@@ -1,0 +1,60 @@
+//! Criterion bench for E3's substrate: B+-tree insert pathlength —
+//! transaction inserts, IB inserts with the remembered path, and the
+//! ablated (no-hint) variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mohan_btree::{BTree, BTreeConfig, InsertMode};
+use mohan_common::{FileId, IndexEntry, Rid};
+
+fn tree(hint: bool) -> BTree {
+    BTree::create(
+        FileId(1),
+        BTreeConfig { page_size: 2048, fill_factor: 0.9, unique: false, hint_enabled: hint },
+    )
+}
+
+fn entry(k: i64) -> IndexEntry {
+    IndexEntry::from_i64(k, Rid::new((k / 100) as u32, (k % 100) as u16))
+}
+
+fn bench_inserts(c: &mut Criterion) {
+    let n = 10_000i64;
+    let mut group = c.benchmark_group("btree_insert_10k_sorted_keys");
+    group.sample_size(10);
+    for (label, mode, hint) in [
+        ("transaction", InsertMode::Transaction, true),
+        ("ib_remembered_path", InsertMode::Ib, true),
+        ("ib_no_hint", InsertMode::Ib, false),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &n, |b, &n| {
+            b.iter_batched(
+                || tree(hint),
+                |t| {
+                    for k in 0..n {
+                        t.insert(entry(k), mode).expect("insert");
+                    }
+                    t
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let t = tree(true);
+    for k in 0..50_000i64 {
+        t.insert(entry(k), InsertMode::Ib).expect("insert");
+    }
+    c.bench_function("btree_lookup_exact_in_50k", |b| {
+        let mut k = 0i64;
+        b.iter(|| {
+            k = (k + 7_919) % 50_000;
+            t.lookup_exact(&entry(k)).expect("lookup")
+        });
+    });
+}
+
+criterion_group!(benches, bench_inserts, bench_lookup);
+criterion_main!(benches);

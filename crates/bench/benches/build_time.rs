@@ -1,0 +1,36 @@
+//! Criterion bench for E1: index build wall-clock by algorithm
+//! (quiet table — deterministic timing; the churned variant lives in
+//! the `experiments` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mohan_bench::workload::{bench_config, seed_table, TABLE};
+use mohan_oib::build::{build_index, IndexSpec};
+use mohan_oib::schema::BuildAlgorithm;
+
+fn bench_builds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    for n in [5_000i64, 20_000] {
+        for algo in [BuildAlgorithm::Offline, BuildAlgorithm::Nsf, BuildAlgorithm::Sf] {
+            group.bench_with_input(BenchmarkId::new(format!("{algo:?}"), n), &n, |b, &n| {
+                b.iter_batched(
+                    || seed_table(bench_config(), n, 1).0,
+                    |db| {
+                        build_index(
+                            &db,
+                            TABLE,
+                            IndexSpec { name: "b".into(), key_cols: vec![0], unique: false },
+                            algo,
+                        )
+                        .expect("build")
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_builds);
+criterion_main!(benches);

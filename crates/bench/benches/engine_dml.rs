@@ -1,0 +1,61 @@
+//! Criterion bench: record DML throughput with 0..3 maintained
+//! indexes (the per-update index-maintenance cost E6 measures during
+//! builds, here at steady state).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mohan_bench::workload::{bench_config, seed_table, TABLE};
+use mohan_oib::build::{build_indexes, IndexSpec};
+use mohan_oib::schema::{BuildAlgorithm, Record};
+use mohan_oib::Db;
+use std::sync::Arc;
+
+fn setup(indexes: usize) -> Arc<Db> {
+    let (db, _) = seed_table(bench_config(), 5_000, 3);
+    if indexes > 0 {
+        let specs: Vec<IndexSpec> = (0..indexes)
+            .map(|i| IndexSpec { name: format!("i{i}"), key_cols: vec![i % 2], unique: false })
+            .collect();
+        build_indexes(&db, TABLE, &specs, BuildAlgorithm::Sf).expect("build");
+    }
+    db
+}
+
+fn bench_inserts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insert_record");
+    for indexes in [0usize, 1, 3] {
+        let db = setup(indexes);
+        let mut k = 50_000_000i64;
+        group.bench_with_input(
+            BenchmarkId::new("maintained_indexes", indexes),
+            &indexes,
+            |b, _| {
+                b.iter(|| {
+                    k += 1;
+                    let tx = db.begin();
+                    db.insert_record(tx, TABLE, &Record::new(vec![k, 1])).expect("insert");
+                    db.commit(tx).expect("commit");
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_delete_insert_cycle(c: &mut Criterion) {
+    let db = setup(1);
+    let mut k = 90_000_000i64;
+    c.bench_function("delete_insert_cycle_1_index", |b| {
+        b.iter(|| {
+            k += 1;
+            let tx = db.begin();
+            let rid = db.insert_record(tx, TABLE, &Record::new(vec![k, 1])).expect("insert");
+            db.commit(tx).expect("commit");
+            let tx = db.begin();
+            db.delete_record(tx, TABLE, rid).expect("delete");
+            db.commit(tx).expect("commit");
+        });
+    });
+}
+
+criterion_group!(benches, bench_inserts, bench_delete_insert_cycle);
+criterion_main!(benches);

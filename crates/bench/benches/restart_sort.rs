@@ -1,0 +1,57 @@
+//! Criterion bench for E7's substrate: restartable-sort throughput
+//! with and without checkpoint overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mohan_common::{IndexEntry, Rid};
+use mohan_sort::{ExternalSort, RunFormation, RunStore};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn keys(n: u64) -> Vec<IndexEntry> {
+    let mut rng = StdRng::seed_from_u64(7);
+    (0..n)
+        .map(|i| {
+            IndexEntry::from_i64(
+                rng.random_range(0..10_000_000),
+                Rid::new((i / 100) as u32, (i % 100) as u16),
+            )
+        })
+        .collect()
+}
+
+fn bench_run_formation(c: &mut Criterion) {
+    let input = keys(50_000);
+    let mut group = c.benchmark_group("sort_50k_keys");
+    group.sample_size(10);
+    for interval in [0u64, 2_000, 10_000] {
+        let label = if interval == 0 { "no checkpoints".into() } else { format!("cp every {interval}") };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &interval, |b, &interval| {
+            b.iter(|| {
+                let store: Arc<RunStore<IndexEntry>> = Arc::new(RunStore::new());
+                let mut rf = RunFormation::new(Arc::clone(&store), 1024);
+                for (i, e) in input.iter().enumerate() {
+                    rf.push(e.clone(), i as u64 + 1).expect("push");
+                    if interval != 0 && (i as u64 + 1).is_multiple_of(interval) {
+                        rf.checkpoint().expect("checkpoint");
+                    }
+                }
+                rf.finish().expect("finish").len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_sort(c: &mut Criterion) {
+    let input = keys(50_000);
+    c.bench_function("external_sort_full_50k", |b| {
+        b.iter(|| {
+            let ext: ExternalSort<IndexEntry> = ExternalSort::new(1024, 8, 10_000);
+            ext.sort_all(input.iter().cloned()).expect("sort").len()
+        });
+    });
+}
+
+criterion_group!(benches, bench_run_formation, bench_full_sort);
+criterion_main!(benches);

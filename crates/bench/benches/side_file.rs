@@ -1,0 +1,58 @@
+//! Criterion bench: side-file append vs direct tree maintenance — the
+//! §4 claim that SF's transaction-side cost during the build is an
+//! append, not a traversal.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mohan_btree::{BTree, BTreeConfig, InsertMode};
+use mohan_common::{FileId, IndexEntry, Rid};
+use mohan_oib::side_file::SideFile;
+use mohan_wal::SideFileOp;
+
+fn entry(k: i64) -> IndexEntry {
+    IndexEntry::from_i64(k, Rid::new((k / 100) as u32, (k % 100) as u16))
+}
+
+fn bench_append_vs_tree(c: &mut Criterion) {
+    let sf = SideFile::new();
+    let mut k = 0i64;
+    c.bench_function("side_file_append", |b| {
+        b.iter(|| {
+            k += 1;
+            sf.append(SideFileOp { insert: true, entry: entry(k) })
+        });
+    });
+
+    let tree = BTree::create(
+        FileId(2),
+        BTreeConfig { page_size: 2048, fill_factor: 0.9, unique: false, hint_enabled: false },
+    );
+    // Pre-populate so traversals have realistic depth.
+    for k in 0..50_000i64 {
+        tree.insert(entry(k * 2), InsertMode::Ib).expect("insert");
+    }
+    let mut k = 0i64;
+    c.bench_function("direct_tree_insert_in_50k", |b| {
+        b.iter(|| {
+            k += 1;
+            tree.insert(entry(k * 2 + 1), InsertMode::Transaction).expect("insert")
+        });
+    });
+}
+
+fn bench_drain_read(c: &mut Criterion) {
+    let sf = SideFile::new();
+    for k in 0..100_000i64 {
+        sf.append(SideFileOp { insert: true, entry: entry(k) });
+    }
+    c.bench_function("side_file_read_batch_512", |b| {
+        let mut pos = 0u64;
+        b.iter(|| {
+            let batch = sf.read(pos, 512);
+            pos = (pos + batch.len() as u64) % 99_000;
+            batch.len()
+        });
+    });
+}
+
+criterion_group!(benches, bench_append_vs_tree, bench_drain_read);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Experiment runner: regenerates every table in `EXPERIMENTS.md`.
+//!
+//! ```text
+//! experiments [--full] [e1 e4 e7 ...]   # default: all, quick sizes
+//! ```
+
+use mohan_bench::experiments;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let ids: Vec<String> = args.into_iter().filter(|a| a != "--full").collect();
+    let ids: Vec<&str> = if ids.is_empty() {
+        experiments::ALL.to_vec()
+    } else {
+        ids.iter().map(String::as_str).collect()
+    };
+    let quick = !full;
+    println!(
+        "# Online index build experiments ({} mode)",
+        if quick { "quick" } else { "full" }
+    );
+    println!("# Mohan & Narang, SIGMOD 1992 — see EXPERIMENTS.md for the expected shapes\n");
+    let started = Instant::now();
+    for id in ids {
+        let t0 = Instant::now();
+        match experiments::run(id, quick) {
+            Some(tables) => {
+                for t in tables {
+                    t.print();
+                }
+                println!("  [{id} took {:.1}s]", t0.elapsed().as_secs_f64());
+            }
+            None => eprintln!("unknown experiment id: {id}"),
+        }
+    }
+    println!("\n# total: {:.1}s", started.elapsed().as_secs_f64());
+}

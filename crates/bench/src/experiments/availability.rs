@@ -1,0 +1,107 @@
+//! E5 (availability / quiesce) and E6 (per-update interference) — the
+//! reason the paper exists: "disallowing updates while building an
+//! index may become unacceptable" (§1).
+
+use crate::report::{f2, ms, us, Table};
+use crate::workload::{bench_config, seed_table, start_churn, ChurnConfig, TABLE};
+use mohan_oib::build::{build_index, IndexSpec};
+use mohan_oib::schema::BuildAlgorithm;
+use mohan_oib::verify::verify_index;
+use std::time::{Duration, Instant};
+
+fn spec(name: &str) -> IndexSpec {
+    IndexSpec { name: name.into(), key_cols: vec![0], unique: false }
+}
+
+/// E5: updater throughput while a build runs. Offline quiesces the
+/// table (throughput collapses to ~0), NSF pauses only for descriptor
+/// creation, SF never pauses (§2.2.1, §3.2.1, §4).
+pub fn e5_availability(quick: bool) -> Vec<Table> {
+    let n: i64 = if quick { 50_000 } else { 150_000 };
+    // Throttled churn: with CPU headroom, the only throughput loss
+    // left to observe is *blocking* — which is the paper's point.
+    let churn_cfg = || ChurnConfig {
+        threads: 3,
+        ops_per_sec: Some(1_000),
+        ..ChurnConfig::default()
+    };
+    let mut t = Table::new(
+        "E5: update availability during the build window",
+        &["scenario", "window", "updater ops/s", "errors", "ops vs baseline"],
+    );
+    // Baseline: churn with no build, for the same wall-clock as the
+    // slowest build below (measured on the fly).
+    let baseline_tp;
+    {
+        let (db, rids) = seed_table(bench_config(), n, 66);
+        let churn = start_churn(&db, &rids, churn_cfg());
+        std::thread::sleep(Duration::from_millis(if quick { 300 } else { 800 }));
+        let stats = churn.stop();
+        baseline_tp = stats.throughput();
+        t.row(vec![
+            "no build (baseline)".into(),
+            ms(stats.elapsed),
+            f2(baseline_tp),
+            stats.errors.to_string(),
+            "100.0%".into(),
+        ]);
+    }
+    for algo in [BuildAlgorithm::Offline, BuildAlgorithm::Nsf, BuildAlgorithm::Sf] {
+        let (db, rids) = seed_table(bench_config(), n, 66);
+        let churn = start_churn(&db, &rids, churn_cfg());
+        std::thread::sleep(Duration::from_millis(50));
+        let ops0 = churn.ops_live.get();
+        let started = Instant::now();
+        let idx = build_index(&db, TABLE, spec("e5"), algo).expect("build");
+        let window = started.elapsed();
+        let ops_during = churn.ops_live.get() - ops0;
+        let stats = churn.stop();
+        verify_index(&db, idx).expect("verify");
+        let tp = ops_during as f64 / window.as_secs_f64().max(1e-9);
+        t.row(vec![
+            format!("{algo:?} build"),
+            ms(window),
+            f2(tp),
+            stats.errors.to_string(),
+            format!("{:.1}%", 100.0 * tp / baseline_tp.max(1e-9)),
+        ]);
+    }
+    t.note("Offline: updaters block on the table S lock for the whole window.");
+    t.note("NSF: only the descriptor-create quiesce; SF: no quiesce at any point.");
+    vec![t]
+}
+
+/// E6: what one update costs while the build runs. §4: under SF,
+/// transactions append cheap side-file entries; under NSF they do full
+/// index maintenance in the shared tree.
+pub fn e6_updater_cost(quick: bool) -> Vec<Table> {
+    let n: i64 = if quick { 20_000 } else { 60_000 };
+    let mut t = Table::new(
+        "E6: per-update work while the build is in flight",
+        &["algorithm", "mean latency", "txn log recs/op", "side-file appends", "lock calls/op"],
+    );
+    for algo in [BuildAlgorithm::Nsf, BuildAlgorithm::Sf] {
+        let (db, rids) = seed_table(bench_config(), n, 77);
+        let recs0 = db.wal.stats.records.get();
+        let ib0 = db.wal.stats.ib_records.get();
+        let locks0 = db.locks.stats.calls.get();
+        let churn = start_churn(&db, &rids, ChurnConfig { threads: 2, ..ChurnConfig::default() });
+        std::thread::sleep(Duration::from_millis(30));
+        let idx = build_index(&db, TABLE, spec("e6"), algo).expect("build");
+        let stats = churn.stop();
+        verify_index(&db, idx).expect("verify");
+        let txn_recs =
+            (db.wal.stats.records.get() - recs0) - (db.wal.stats.ib_records.get() - ib0);
+        let locks = db.locks.stats.calls.get() - locks0;
+        let appends = db.index(idx).expect("idx").side_file.appended.get();
+        t.row(vec![
+            format!("{algo:?}"),
+            us(stats.mean_latency()),
+            f2(txn_recs as f64 / stats.ops.max(1) as f64),
+            appends.to_string(),
+            f2(locks as f64 / stats.ops.max(1) as f64),
+        ]);
+    }
+    t.note("SF's appends replace direct tree maintenance while the scan is behind the record.");
+    vec![t]
+}

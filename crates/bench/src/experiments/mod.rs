@@ -1,0 +1,42 @@
+//! The experiment suite (E1-E14). Each experiment regenerates one of
+//! the paper's qualitative claims as a quantitative table; the mapping
+//! to paper sections lives in `DESIGN.md` §3 and the expected shapes
+//! in `EXPERIMENTS.md`.
+
+pub mod availability;
+pub mod build_cost;
+pub mod clustering;
+pub mod pseudo;
+pub mod restart;
+pub mod side_file;
+pub mod storage_model;
+pub mod unique;
+
+use crate::report::Table;
+
+/// Run one experiment by id (`"e1"`..`"e14"`). `quick` shrinks the
+/// workloads for CI-speed runs.
+pub fn run(id: &str, quick: bool) -> Option<Vec<Table>> {
+    Some(match id {
+        "e1" => build_cost::e1_build_time(quick),
+        "e2" => build_cost::e2_logging(quick),
+        "e3" => build_cost::e3_traversals(quick),
+        "e4" => clustering::e4_clustering(quick),
+        "e5" => availability::e5_availability(quick),
+        "e6" => availability::e6_updater_cost(quick),
+        "e7" => restart::e7_restartable_sort(quick),
+        "e8" => restart::e8_restartable_merge(quick),
+        "e9" => restart::e9_ib_restart(quick),
+        "e10" => pseudo::e10_pseudo_delete(quick),
+        "e11" => side_file::e11_drain(quick),
+        "e12" => build_cost::e12_multi_index(quick),
+        "e13" => unique::e13_unique_correctness(quick),
+        "e14" => storage_model::e14_primary_model(quick),
+        _ => return None,
+    })
+}
+
+/// All experiment ids in order.
+pub const ALL: [&str; 14] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+];

@@ -1,0 +1,62 @@
+//! E10: pseudo-deleted-key garbage and its cleanup (§2.2.4). "Pseudo-
+//! deleted keys can cause unnecessary page splits and cause more pages
+//! to be allocated for the index than are actually required."
+
+use crate::report::{pct, Table};
+use crate::workload::{bench_config, seed_table, TABLE};
+use mohan_btree::scan::clustering;
+use mohan_oib::build::{build_index, IndexSpec};
+use mohan_oib::gc::garbage_collect;
+use mohan_oib::schema::BuildAlgorithm;
+use mohan_oib::verify::verify_index;
+
+/// E10: index bloat vs delete rate, and what one GC pass reclaims.
+pub fn e10_pseudo_delete(quick: bool) -> Vec<Table> {
+    let n: i64 = if quick { 4_000 } else { 15_000 };
+    let fractions: &[f64] = if quick { &[0.1, 0.5] } else { &[0.1, 0.3, 0.5] };
+    let mut t = Table::new(
+        "E10: pseudo-deleted keys — bloat and GC reclamation",
+        &["deleted", "entries", "tombstones", "occupancy", "GC removed", "GC skipped", "live after"],
+    );
+    for &frac in fractions {
+        let (db, rids) = seed_table(bench_config(), n, 10);
+        let idx = build_index(
+            &db,
+            TABLE,
+            IndexSpec { name: "e10".into(), key_cols: vec![0], unique: false },
+            BuildAlgorithm::Nsf,
+        )
+        .expect("build");
+        // Commit a batch of deletes: each leaves a tombstone.
+        let victims = ((n as f64) * frac) as usize;
+        let tx = db.begin();
+        for rid in rids.iter().take(victims) {
+            db.delete_record(tx, TABLE, *rid).expect("delete");
+        }
+        db.commit(tx).expect("commit");
+        // Keep one delete uncommitted so GC must skip it.
+        let inflight = db.begin();
+        db.delete_record(inflight, TABLE, rids[victims]).expect("delete");
+
+        let rt = db.index(idx).expect("idx");
+        let before = clustering(&rt.tree).expect("clustering");
+        let gc = garbage_collect(&db, idx).expect("gc");
+        db.rollback(inflight).expect("rollback");
+        verify_index(&db, idx).expect("verify");
+        let after = clustering(&rt.tree).expect("clustering");
+        t.row(vec![
+            pct(frac),
+            before.entries.to_string(),
+            before.pseudo_entries.to_string(),
+            pct(before.avg_occupancy),
+            gc.removed.to_string(),
+            gc.skipped.to_string(),
+            (after.entries - after.pseudo_entries).to_string(),
+        ]);
+        assert_eq!(gc.removed as usize, victims, "GC must reclaim every committed tombstone");
+        assert_eq!(gc.skipped, 1, "GC must skip the in-flight delete");
+    }
+    t.note("A key deleted while its deleter is uncommitted is skipped (conditional instant lock).");
+    t.note("SF trees gain tombstones only from post-build deletes; NSF also from build-time races.");
+    vec![t]
+}

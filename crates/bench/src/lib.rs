@@ -1,0 +1,11 @@
+//! Benchmark harness: workload generation, churn driving, table
+//! reporting, and the experiment suite that regenerates every
+//! comparison the paper makes (see `DESIGN.md` §3 and
+//! `EXPERIMENTS.md`).
+
+pub mod experiments;
+pub mod report;
+pub mod workload;
+
+pub use report::Table;
+pub use workload::{seed_table, start_churn, ChurnConfig, ChurnHandle, ChurnStats};

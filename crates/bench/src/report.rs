@@ -1,0 +1,123 @@
+//! Fixed-width table rendering for experiment output.
+
+/// One experiment's result table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment id + title, e.g. "E1: build time".
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Free-text notes printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Start a table.
+    #[must_use]
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Append a note.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Render to a string.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} ==\n", self.title));
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                s.push_str(&format!("{:<width$}  ", c, width = widths[i]));
+            }
+            s.trim_end().to_string()
+        };
+        out.push_str(&line(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + widths.len() * 2));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("  note: {n}\n"));
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format a float with 2 decimals.
+#[must_use]
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format a ratio as a percentage.
+#[must_use]
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Format a millisecond duration.
+#[must_use]
+pub fn ms(d: std::time::Duration) -> String {
+    format!("{:.1}ms", d.as_secs_f64() * 1e3)
+}
+
+/// Format a microsecond duration.
+#[must_use]
+pub fn us(d: std::time::Duration) -> String {
+    format!("{:.0}µs", d.as_secs_f64() * 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("E0: demo", &["algo", "value"]);
+        t.row(vec!["offline".into(), "1".into()]);
+        t.row(vec!["sf".into(), "12345".into()]);
+        t.note("shape only");
+        let s = t.render();
+        assert!(s.contains("E0: demo"));
+        assert!(s.contains("offline"));
+        assert!(s.contains("note: shape only"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

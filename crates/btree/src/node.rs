@@ -1,0 +1,365 @@
+//! Index page (node) representation.
+//!
+//! Nodes live in a [`mohan_storage::PageCache`] like every other page:
+//! a decoded volatile image plus an encoded durable image. Capacity is
+//! accounted in *bytes* of encoded entries so variable-length keys
+//! split pages realistically.
+//!
+//! Page 0 of every index file is the **anchor**: it names the root and
+//! records the tree height, so the root can move (root splits, bulk
+//! loads, checkpoint resets) without any out-of-band metadata.
+
+use mohan_common::{Error, IndexEntry, KeyValue, PageId, Result, Rid};
+use mohan_storage::PagePayload;
+
+/// One key in a leaf: the entry plus its pseudo-deleted flag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeafEntry {
+    /// The `<key value, RID>` pair.
+    pub entry: IndexEntry,
+    /// Logically deleted but physically present (§2.1.2).
+    pub pseudo_deleted: bool,
+}
+
+impl LeafEntry {
+    /// A live entry.
+    #[must_use]
+    pub fn live(entry: IndexEntry) -> LeafEntry {
+        LeafEntry { entry, pseudo_deleted: false }
+    }
+
+    /// A tombstone.
+    #[must_use]
+    pub fn tombstone(entry: IndexEntry) -> LeafEntry {
+        LeafEntry { entry, pseudo_deleted: true }
+    }
+
+    /// Encoded size contribution (entry bytes + flag).
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.entry.encoded_size() + 1
+    }
+}
+
+/// An index page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// The anchor page (always page 0).
+    Anchor {
+        /// Current root page.
+        root: PageId,
+        /// Tree height (1 = root is a leaf).
+        height: u32,
+    },
+    /// Interior page: `children.len() == seps.len() + 1`; subtree `i`
+    /// holds entries `< seps[i]` (and `≥ seps[i-1]`).
+    Internal {
+        /// Separator entries.
+        seps: Vec<IndexEntry>,
+        /// Child pages.
+        children: Vec<PageId>,
+    },
+    /// Leaf page with a forward chain pointer.
+    Leaf {
+        /// Sorted entries.
+        entries: Vec<LeafEntry>,
+        /// Next leaf to the right.
+        next: Option<PageId>,
+        /// Upper bound of this leaf's key range, fixed at split time
+        /// (`None` = rightmost leaf). Unlike the right sibling's
+        /// current first entry, the fence never moves when entries are
+        /// physically deleted, which makes the remembered-path hint's
+        /// containment check sound.
+        high_fence: Option<IndexEntry>,
+    },
+}
+
+impl Node {
+    /// Empty leaf.
+    #[must_use]
+    pub fn empty_leaf() -> Node {
+        Node::Leaf { entries: Vec::new(), next: None, high_fence: None }
+    }
+
+    /// Byte occupancy for capacity accounting.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        match self {
+            Node::Anchor { .. } => 16,
+            Node::Internal { seps, children } => {
+                seps.iter().map(IndexEntry::encoded_size).sum::<usize>() + children.len() * 4
+            }
+            Node::Leaf { entries, high_fence, .. } => {
+                entries.iter().map(LeafEntry::size).sum::<usize>()
+                    + 8
+                    + high_fence.as_ref().map_or(0, IndexEntry::encoded_size)
+            }
+        }
+    }
+
+    /// Leaf entries (panics on non-leaves; internal use).
+    #[must_use]
+    pub fn leaf_entries(&self) -> &[LeafEntry] {
+        match self {
+            Node::Leaf { entries, .. } => entries,
+            _ => panic!("not a leaf"),
+        }
+    }
+
+    /// Position of `entry` in a leaf, or where it would insert.
+    pub fn leaf_search(&self, entry: &IndexEntry) -> std::result::Result<usize, usize> {
+        match self {
+            Node::Leaf { entries, .. } => entries.binary_search_by(|le| le.entry.cmp(entry)),
+            _ => panic!("not a leaf"),
+        }
+    }
+
+    /// First leaf position whose key value is ≥ `key` (unique-check
+    /// and range-scan start).
+    #[must_use]
+    pub fn leaf_lower_bound(&self, key: &KeyValue) -> usize {
+        match self {
+            Node::Leaf { entries, .. } => {
+                entries.partition_point(|le| le.entry.key < *key)
+            }
+            _ => panic!("not a leaf"),
+        }
+    }
+
+    /// Child index to follow for `entry` in an internal node.
+    #[must_use]
+    pub fn route(&self, entry: &IndexEntry) -> usize {
+        match self {
+            Node::Internal { seps, .. } => seps.partition_point(|s| s <= entry),
+            _ => panic!("not internal"),
+        }
+    }
+
+    /// Child index to follow for the *smallest entry with key value*
+    /// `key` (i.e. `<key, RID::MIN>`).
+    #[must_use]
+    pub fn route_key(&self, key: &KeyValue) -> usize {
+        let probe = IndexEntry::new(key.clone(), Rid::MIN);
+        self.route(&probe)
+    }
+}
+
+const TAG_ANCHOR: u8 = 0;
+const TAG_INTERNAL: u8 = 1;
+const TAG_LEAF: u8 = 2;
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn read_u32(buf: &[u8], pos: &mut usize) -> Result<u32> {
+    if buf.len() < *pos + 4 {
+        return Err(Error::Corruption("truncated node".into()));
+    }
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&buf[*pos..*pos + 4]);
+    *pos += 4;
+    Ok(u32::from_be_bytes(b))
+}
+
+impl PagePayload for Node {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Node::Anchor { root, height } => {
+                out.push(TAG_ANCHOR);
+                push_u32(out, root.0);
+                push_u32(out, *height);
+            }
+            Node::Internal { seps, children } => {
+                out.push(TAG_INTERNAL);
+                push_u32(out, seps.len() as u32);
+                for s in seps {
+                    s.encode(out);
+                }
+                push_u32(out, children.len() as u32);
+                for c in children {
+                    push_u32(out, c.0);
+                }
+            }
+            Node::Leaf { entries, next, high_fence } => {
+                out.push(TAG_LEAF);
+                push_u32(out, entries.len() as u32);
+                for le in entries {
+                    out.push(u8::from(le.pseudo_deleted));
+                    le.entry.encode(out);
+                }
+                match next {
+                    Some(p) => {
+                        out.push(1);
+                        push_u32(out, p.0);
+                    }
+                    None => out.push(0),
+                }
+                match high_fence {
+                    Some(f) => {
+                        out.push(1);
+                        f.encode(out);
+                    }
+                    None => out.push(0),
+                }
+            }
+        }
+    }
+
+    fn decode(buf: &[u8]) -> Result<Node> {
+        let mut pos = 0;
+        let tag = *buf.first().ok_or_else(|| Error::Corruption("empty node".into()))?;
+        pos += 1;
+        match tag {
+            TAG_ANCHOR => {
+                let root = PageId(read_u32(buf, &mut pos)?);
+                let height = read_u32(buf, &mut pos)?;
+                Ok(Node::Anchor { root, height })
+            }
+            TAG_INTERNAL => {
+                let n = read_u32(buf, &mut pos)? as usize;
+                let mut seps = Vec::with_capacity(n);
+                for _ in 0..n {
+                    seps.push(
+                        IndexEntry::decode(buf, &mut pos)
+                            .ok_or_else(|| Error::Corruption("bad separator".into()))?,
+                    );
+                }
+                let c = read_u32(buf, &mut pos)? as usize;
+                let mut children = Vec::with_capacity(c);
+                for _ in 0..c {
+                    children.push(PageId(read_u32(buf, &mut pos)?));
+                }
+                Ok(Node::Internal { seps, children })
+            }
+            TAG_LEAF => {
+                let n = read_u32(buf, &mut pos)? as usize;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let pseudo = *buf
+                        .get(pos)
+                        .ok_or_else(|| Error::Corruption("truncated leaf".into()))?
+                        != 0;
+                    pos += 1;
+                    entries.push(LeafEntry {
+                        pseudo_deleted: pseudo,
+                        entry: IndexEntry::decode(buf, &mut pos)
+                            .ok_or_else(|| Error::Corruption("bad leaf entry".into()))?,
+                    });
+                }
+                let next = match buf.get(pos) {
+                    Some(0) => {
+                        pos += 1;
+                        None
+                    }
+                    Some(1) => {
+                        pos += 1;
+                        Some(PageId(read_u32(buf, &mut pos)?))
+                    }
+                    _ => return Err(Error::Corruption("bad next pointer".into())),
+                };
+                let high_fence = match buf.get(pos) {
+                    Some(0) => None,
+                    Some(1) => {
+                        pos += 1;
+                        Some(
+                            IndexEntry::decode(buf, &mut pos)
+                                .ok_or_else(|| Error::Corruption("bad fence".into()))?,
+                        )
+                    }
+                    _ => return Err(Error::Corruption("bad fence tag".into())),
+                };
+                Ok(Node::Leaf { entries, next, high_fence })
+            }
+            _ => Err(Error::Corruption(format!("unknown node tag {tag}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(k: i64, slot: u16) -> IndexEntry {
+        IndexEntry::from_i64(k, Rid::new(1, slot))
+    }
+
+    #[test]
+    fn anchor_roundtrip() {
+        let n = Node::Anchor { root: PageId(7), height: 3 };
+        let mut b = Vec::new();
+        n.encode(&mut b);
+        assert_eq!(Node::decode(&b).unwrap(), n);
+    }
+
+    #[test]
+    fn internal_roundtrip_and_route() {
+        let n = Node::Internal {
+            seps: vec![e(10, 0), e(20, 0)],
+            children: vec![PageId(1), PageId(2), PageId(3)],
+        };
+        let mut b = Vec::new();
+        n.encode(&mut b);
+        assert_eq!(Node::decode(&b).unwrap(), n);
+        assert_eq!(n.route(&e(5, 0)), 0);
+        assert_eq!(n.route(&e(10, 0)), 1); // seps[i] <= entry goes right
+        assert_eq!(n.route(&e(15, 0)), 1);
+        assert_eq!(n.route(&e(25, 0)), 2);
+    }
+
+    #[test]
+    fn leaf_roundtrip_with_flags() {
+        let n = Node::Leaf {
+            entries: vec![LeafEntry::live(e(1, 1)), LeafEntry::tombstone(e(2, 2))],
+            next: Some(PageId(9)),
+            high_fence: Some(e(5, 0)),
+        };
+        let mut b = Vec::new();
+        n.encode(&mut b);
+        assert_eq!(Node::decode(&b).unwrap(), n);
+    }
+
+    #[test]
+    fn leaf_search_and_lower_bound() {
+        let n = Node::Leaf {
+            entries: vec![
+                LeafEntry::live(e(5, 1)),
+                LeafEntry::live(e(5, 3)),
+                LeafEntry::live(e(8, 0)),
+            ],
+            next: None,
+            high_fence: None,
+        };
+        assert_eq!(n.leaf_search(&e(5, 3)), Ok(1));
+        assert_eq!(n.leaf_search(&e(5, 2)), Err(1));
+        assert_eq!(n.leaf_lower_bound(&KeyValue::from_i64(5)), 0);
+        assert_eq!(n.leaf_lower_bound(&KeyValue::from_i64(6)), 2);
+        assert_eq!(n.leaf_lower_bound(&KeyValue::from_i64(9)), 3);
+    }
+
+    #[test]
+    fn route_key_targets_smallest_rid() {
+        let n = Node::Internal {
+            // Separator is <10, rid 5.5>; a key-value search for 10
+            // must go LEFT of it to find possible smaller RIDs.
+            seps: vec![IndexEntry::from_i64(10, Rid::new(5, 5))],
+            children: vec![PageId(1), PageId(2)],
+        };
+        assert_eq!(n.route_key(&KeyValue::from_i64(10)), 0);
+        assert_eq!(n.route_key(&KeyValue::from_i64(11)), 1);
+    }
+
+    #[test]
+    fn size_accounts_entries() {
+        let empty = Node::empty_leaf();
+        let one = Node::Leaf { entries: vec![LeafEntry::live(e(1, 1))], next: None, high_fence: None };
+        assert!(one.size() > empty.size());
+    }
+
+    #[test]
+    fn decode_garbage_fails() {
+        assert!(Node::decode(&[]).is_err());
+        assert!(Node::decode(&[99]).is_err());
+        assert!(Node::decode(&[TAG_LEAF, 0, 0, 0, 1]).is_err());
+    }
+}

@@ -1,0 +1,598 @@
+//! Leaf-chain scans, structural verification and clustering metrics.
+
+use crate::node::Node;
+use crate::tree::BTree;
+use mohan_common::{Error, IndexEntry, KeyValue, PageId, Result, Rid};
+
+/// Entry probe that sorts before every real entry (routes any descent
+/// to the leftmost leaf).
+fn min_probe() -> IndexEntry {
+    IndexEntry::new(KeyValue::empty(), Rid::MIN)
+}
+
+/// Walk the leaf chain left to right, calling `f` for every leaf
+/// (share-latch coupling).
+pub fn for_each_leaf(tree: &BTree, mut f: impl FnMut(PageId, &Node)) -> Result<()> {
+    // Find the leftmost leaf by descending for the minimal probe.
+    let probe = min_probe();
+    let anchor = tree.cache.frame(PageId(0))?;
+    let mut guard = anchor.latch.share_arc();
+    let mut page;
+    loop {
+        let next = match &guard.payload {
+            Node::Anchor { root, .. } => *root,
+            Node::Internal { children, .. } => children[guard.payload.route(&probe)],
+            Node::Leaf { .. } => unreachable!("loop exits on leaves"),
+        };
+        let frame = tree.cache.frame(next)?;
+        let child = frame.latch.share_arc();
+        if matches!(child.payload, Node::Leaf { .. }) {
+            guard = child;
+            page = next;
+            break;
+        }
+        guard = child;
+    }
+    loop {
+        f(page, &guard.payload);
+        let next = match &guard.payload {
+            Node::Leaf { next, .. } => *next,
+            _ => unreachable!(),
+        };
+        let Some(np) = next else { return Ok(()) };
+        let frame = tree.cache.frame(np)?;
+        let ng = frame.latch.share_arc();
+        guard = ng;
+        page = np;
+    }
+}
+
+/// Collect every entry in key order as `(entry, pseudo_deleted)`.
+/// `include_pseudo = false` filters tombstones out (the view a reader
+/// of the finished index sees).
+pub fn collect_all(tree: &BTree, include_pseudo: bool) -> Result<Vec<(IndexEntry, bool)>> {
+    let mut out = Vec::new();
+    for_each_leaf(tree, |_, node| {
+        for le in node.leaf_entries() {
+            if include_pseudo || !le.pseudo_deleted {
+                out.push((le.entry.clone(), le.pseudo_deleted));
+            }
+        }
+    })?;
+    Ok(out)
+}
+
+/// Clustering quality of the leaf level (§4: "consecutive keys being
+/// on consecutive pages on disk ... deviations need to be
+/// quantified").
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusteringStats {
+    /// Number of leaves.
+    pub leaves: u64,
+    /// Chain transitions total.
+    pub transitions: u64,
+    /// Transitions where the right neighbour has a higher page number
+    /// (physically ascending, prefetch-friendly).
+    pub ascending: u64,
+    /// Mean leaf occupancy (bytes used / page size).
+    pub avg_occupancy: f64,
+    /// Total entries (including pseudo-deleted).
+    pub entries: u64,
+    /// Pseudo-deleted entries still occupying space.
+    pub pseudo_entries: u64,
+}
+
+impl ClusteringStats {
+    /// Fraction of physically ascending transitions (1.0 = perfectly
+    /// clustered, as a bottom-up build produces).
+    #[must_use]
+    pub fn clustering_ratio(&self) -> f64 {
+        if self.transitions == 0 {
+            1.0
+        } else {
+            self.ascending as f64 / self.transitions as f64
+        }
+    }
+}
+
+/// Measure leaf-level clustering.
+pub fn clustering(tree: &BTree) -> Result<ClusteringStats> {
+    let page_size = tree.config().page_size as f64;
+    let mut stats = ClusteringStats {
+        leaves: 0,
+        transitions: 0,
+        ascending: 0,
+        avg_occupancy: 0.0,
+        entries: 0,
+        pseudo_entries: 0,
+    };
+    let mut occupancy_sum = 0.0;
+    let mut prev: Option<PageId> = None;
+    for_each_leaf(tree, |page, node| {
+        stats.leaves += 1;
+        occupancy_sum += node.size() as f64 / page_size;
+        for le in node.leaf_entries() {
+            stats.entries += 1;
+            if le.pseudo_deleted {
+                stats.pseudo_entries += 1;
+            }
+        }
+        if let Some(p) = prev {
+            stats.transitions += 1;
+            if page > p {
+                stats.ascending += 1;
+            }
+        }
+        prev = Some(page);
+    })?;
+    if stats.leaves > 0 {
+        stats.avg_occupancy = occupancy_sum / stats.leaves as f64;
+    }
+    Ok(stats)
+}
+
+/// Verify every structural invariant of the tree:
+/// * all leaves at the same depth;
+/// * entries sorted and unique within and across leaves;
+/// * every separator bounds its subtrees;
+/// * the leaf chain visits exactly the leaves of the in-order
+///   traversal, in order.
+pub fn verify_structure(tree: &BTree) -> Result<()> {
+    let anchor = tree.cache.frame(PageId(0))?;
+    let (root, height) = {
+        let g = anchor.latch.share();
+        match g.payload {
+            Node::Anchor { root, height } => (root, height),
+            _ => return Err(Error::Corruption("page 0 is not the anchor".into())),
+        }
+    };
+    let mut leaves_in_order: Vec<PageId> = Vec::new();
+    verify_node(tree, root, height, 1, None, None, &mut leaves_in_order)?;
+
+    // The chain must match the in-order leaf sequence.
+    let mut chain: Vec<PageId> = Vec::new();
+    for_each_leaf(tree, |page, _| chain.push(page))?;
+    if chain != leaves_in_order {
+        return Err(Error::Corruption(format!(
+            "leaf chain {chain:?} disagrees with tree order {leaves_in_order:?}"
+        )));
+    }
+
+    // Global ordering and exact-entry uniqueness.
+    let all = collect_all(tree, true)?;
+    for w in all.windows(2) {
+        if w[0].0 >= w[1].0 {
+            return Err(Error::Corruption(format!(
+                "entries out of order: {:?} !< {:?}",
+                w[0].0, w[1].0
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn verify_node(
+    tree: &BTree,
+    page: PageId,
+    height: u32,
+    depth: u32,
+    low: Option<&IndexEntry>,
+    high: Option<&IndexEntry>,
+    leaves: &mut Vec<PageId>,
+) -> Result<()> {
+    let frame = tree.cache.frame(page)?;
+    let g = frame.latch.share();
+    match &g.payload {
+        Node::Anchor { .. } => Err(Error::Corruption("anchor inside tree".into())),
+        Node::Leaf { entries, high_fence, .. } => {
+            if depth != height {
+                return Err(Error::Corruption(format!(
+                    "leaf {page} at depth {depth}, height {height}"
+                )));
+            }
+            if let (Some(f), Some(hi)) = (high_fence, high) {
+                if f > hi {
+                    return Err(Error::Corruption(format!(
+                        "{page}: stored high fence exceeds parent bound"
+                    )));
+                }
+            }
+            for le in entries {
+                if let Some(f) = high_fence {
+                    if le.entry >= *f {
+                        return Err(Error::Corruption(format!(
+                            "{page}: entry at or above stored high fence"
+                        )));
+                    }
+                }
+                if let Some(lo) = low {
+                    if le.entry < *lo {
+                        return Err(Error::Corruption(format!(
+                            "{page}: entry below low fence"
+                        )));
+                    }
+                }
+                if let Some(hi) = high {
+                    if le.entry >= *hi {
+                        return Err(Error::Corruption(format!(
+                            "{page}: entry above high fence"
+                        )));
+                    }
+                }
+            }
+            leaves.push(page);
+            Ok(())
+        }
+        Node::Internal { seps, children } => {
+            if children.len() != seps.len() + 1 {
+                return Err(Error::Corruption(format!("{page}: arity mismatch")));
+            }
+            for w in seps.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(Error::Corruption(format!("{page}: separators unsorted")));
+                }
+            }
+            let seps = seps.clone();
+            let children = children.clone();
+            drop(g);
+            for (i, child) in children.iter().enumerate() {
+                let lo = if i == 0 { low } else { Some(&seps[i - 1]) };
+                let hi = if i == seps.len() { high } else { Some(&seps[i]) };
+                verify_node(tree, *child, height, depth + 1, lo, hi, leaves)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{BTreeConfig, InsertMode};
+    use mohan_common::FileId;
+
+    fn tree() -> BTree {
+        BTree::create(
+            FileId(11),
+            BTreeConfig { page_size: 256, fill_factor: 0.9, unique: false, hint_enabled: true },
+        )
+    }
+
+    fn e(k: i64) -> IndexEntry {
+        IndexEntry::from_i64(k, Rid::new(1, (k % 1000) as u16))
+    }
+
+    #[test]
+    fn collect_all_is_sorted_and_complete() {
+        let t = tree();
+        for k in (0..300i64).rev() {
+            t.insert(e(k), InsertMode::Transaction).unwrap();
+        }
+        let all = collect_all(&t, true).unwrap();
+        assert_eq!(all.len(), 300);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn collect_filters_pseudo() {
+        let t = tree();
+        for k in 0..10i64 {
+            t.insert(e(k), InsertMode::Transaction).unwrap();
+        }
+        t.pseudo_delete_or_tombstone(&e(4)).unwrap();
+        assert_eq!(collect_all(&t, true).unwrap().len(), 10);
+        assert_eq!(collect_all(&t, false).unwrap().len(), 9);
+    }
+
+    #[test]
+    fn verify_accepts_valid_tree() {
+        let t = tree();
+        for k in 0..1000i64 {
+            t.insert(e((k * 37) % 1000), InsertMode::Transaction).unwrap();
+        }
+        verify_structure(&t).unwrap();
+    }
+
+    #[test]
+    fn verify_rejects_tampered_tree() {
+        let t = tree();
+        for k in 0..300i64 {
+            t.insert(e(k), InsertMode::Transaction).unwrap();
+        }
+        // Corrupt a random leaf by reversing its entries.
+        let mut victim = None;
+        for_each_leaf(&t, |page, node| {
+            if node.leaf_entries().len() > 1 && victim.is_none() {
+                victim = Some(page);
+            }
+        })
+        .unwrap();
+        let frame = t.cache.frame(victim.unwrap()).unwrap();
+        {
+            let mut g = frame.latch.exclusive();
+            if let Node::Leaf { entries, .. } = &mut g.payload {
+                entries.reverse();
+            }
+        }
+        assert!(verify_structure(&t).is_err());
+    }
+
+    #[test]
+    fn ascending_inserts_cluster_perfectly() {
+        let t = tree();
+        for k in 0..2000i64 {
+            t.insert(e(k), InsertMode::Ib).unwrap();
+        }
+        let c = clustering(&t).unwrap();
+        assert!(c.leaves > 10);
+        assert!(
+            c.clustering_ratio() > 0.95,
+            "ratio {} too low for sequential build",
+            c.clustering_ratio()
+        );
+    }
+
+    #[test]
+    fn random_inserts_cluster_poorly() {
+        let t = tree();
+        let mut k = 1i64;
+        for _ in 0..2000 {
+            k = (k * 48271) % 2_147_483_647; // Lehmer shuffle
+            t.insert(e(k), InsertMode::Transaction).unwrap();
+        }
+        let c = clustering(&t).unwrap();
+        assert!(c.leaves > 10);
+        assert!(
+            c.clustering_ratio() < 0.9,
+            "ratio {} suspiciously high for random inserts",
+            c.clustering_ratio()
+        );
+    }
+
+    #[test]
+    fn clustering_counts_pseudo_entries() {
+        let t = tree();
+        for k in 0..50i64 {
+            t.insert(e(k), InsertMode::Transaction).unwrap();
+        }
+        for k in 0..10i64 {
+            t.pseudo_delete_or_tombstone(&e(k)).unwrap();
+        }
+        let c = clustering(&t).unwrap();
+        assert_eq!(c.entries, 50);
+        assert_eq!(c.pseudo_entries, 10);
+    }
+
+    #[test]
+    fn empty_tree_scans_cleanly() {
+        let t = tree();
+        assert!(collect_all(&t, true).unwrap().is_empty());
+        verify_structure(&t).unwrap();
+        let c = clustering(&t).unwrap();
+        assert_eq!(c.leaves, 1);
+        assert_eq!(c.clustering_ratio(), 1.0);
+    }
+}
+
+/// How a range scan schedules its leaf-page reads (§2.3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefetchStrategy {
+    /// Sequential prefetch \[TeGu84\]: one I/O fetches a run of
+    /// *physically consecutive* pages. Effective exactly when the tree
+    /// is clustered (a bottom-up build), which is the paper's case for
+    /// SF's clustering advantage.
+    PhysicalSequence,
+    /// Parent-guided prefetch \[CHHIM91\]: leaf page-ids are read from
+    /// the parent pages first, so one I/O can gather any group of
+    /// leaves regardless of physical order — "to compensate for
+    /// [NSF's] inability to build the index tree bottom-up".
+    ParentGuided,
+}
+
+/// I/O accounting for one range scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RangeScanStats {
+    /// Live entries returned.
+    pub entries: u64,
+    /// Leaf pages visited.
+    pub leaves: u64,
+    /// Simulated leaf I/O batches issued under the chosen strategy.
+    pub io_batches: u64,
+}
+
+/// Scan all live entries with `lo ≤ key value ≤ hi` in key order,
+/// modelling leaf I/O under `strategy` with `prefetch` pages per
+/// batch.
+pub fn range_scan(
+    tree: &BTree,
+    lo: &KeyValue,
+    hi: &KeyValue,
+    prefetch: usize,
+    strategy: PrefetchStrategy,
+) -> Result<(Vec<IndexEntry>, RangeScanStats)> {
+    let prefetch = prefetch.max(1) as u64;
+    let mut out = Vec::new();
+    let mut pages: Vec<PageId> = Vec::new();
+
+    // Descend to the first leaf that can hold `lo`.
+    let probe = IndexEntry::new(lo.clone(), Rid::MIN);
+    let anchor = tree.cache.frame(PageId(0))?;
+    let mut guard = anchor.latch.share_arc();
+    let mut page;
+    loop {
+        let next = match &guard.payload {
+            Node::Anchor { root, .. } => *root,
+            Node::Internal { children, .. } => children[guard.payload.route(&probe)],
+            Node::Leaf { .. } => unreachable!("loop exits on leaves"),
+        };
+        let frame = tree.cache.frame(next)?;
+        let child = frame.latch.share_arc();
+        if matches!(child.payload, Node::Leaf { .. }) {
+            guard = child;
+            page = next;
+            break;
+        }
+        guard = child;
+    }
+    // Walk right while the range continues.
+    loop {
+        pages.push(page);
+        let (entries, next) = match &guard.payload {
+            Node::Leaf { entries, next, .. } => (entries, *next),
+            _ => unreachable!(),
+        };
+        let mut past_range = false;
+        let start = guard.payload.leaf_lower_bound(lo);
+        for le in &entries[start..] {
+            if le.entry.key > *hi {
+                past_range = true;
+                break;
+            }
+            if !le.pseudo_deleted {
+                out.push(le.entry.clone());
+            }
+        }
+        if past_range {
+            break;
+        }
+        let Some(np) = next else { break };
+        let frame = tree.cache.frame(np)?;
+        let ng = frame.latch.share_arc();
+        guard = ng;
+        page = np;
+    }
+
+    // I/O accounting over the visited page sequence.
+    let io_batches = match strategy {
+        PrefetchStrategy::ParentGuided => pages.len() as u64 / prefetch
+            + u64::from(!(pages.len() as u64).is_multiple_of(prefetch) && !pages.is_empty()),
+        PrefetchStrategy::PhysicalSequence => {
+            // One I/O reads a window of `prefetch` *physically
+            // consecutive* page numbers; a leaf rides the current
+            // window if its page number is ascending and inside it
+            // (interleaved internal pages cost window space but not
+            // extra I/Os).
+            let mut batches = 0u64;
+            let mut window_end = 0u64;
+            let mut prev: Option<u32> = None;
+            for &p in &pages {
+                let ascending = prev.is_some_and(|q| p.0 > q);
+                if !ascending || u64::from(p.0) >= window_end {
+                    batches += 1;
+                    window_end = u64::from(p.0) + prefetch;
+                }
+                prev = Some(p.0);
+            }
+            batches
+        }
+    };
+    let stats =
+        RangeScanStats { entries: out.len() as u64, leaves: pages.len() as u64, io_batches };
+    Ok((out, stats))
+}
+
+#[cfg(test)]
+mod range_tests {
+    use super::*;
+    use crate::bulk::BulkLoader;
+    use crate::tree::{BTreeConfig, InsertMode};
+    use mohan_common::{FileId, Lsn};
+
+    fn cfg() -> BTreeConfig {
+        BTreeConfig { page_size: 256, fill_factor: 0.9, unique: false, hint_enabled: true }
+    }
+
+    fn e(k: i64) -> IndexEntry {
+        IndexEntry::from_i64(k, Rid::new((k / 100) as u32, (k % 100) as u16))
+    }
+
+    fn k(v: i64) -> KeyValue {
+        KeyValue::from_i64(v)
+    }
+
+    #[test]
+    fn range_scan_returns_exact_window() {
+        let t = BTree::create(FileId(20), cfg());
+        for key in 0..500i64 {
+            t.insert(e(key), InsertMode::Transaction).unwrap();
+        }
+        let (got, stats) =
+            range_scan(&t, &k(100), &k(199), 4, PrefetchStrategy::ParentGuided).unwrap();
+        assert_eq!(got.len(), 100);
+        assert_eq!(got.first().unwrap().key, k(100));
+        assert_eq!(got.last().unwrap().key, k(199));
+        assert_eq!(stats.entries, 100);
+        assert!(stats.leaves >= 1);
+    }
+
+    #[test]
+    fn range_scan_skips_pseudo_deleted() {
+        let t = BTree::create(FileId(21), cfg());
+        for key in 0..50i64 {
+            t.insert(e(key), InsertMode::Transaction).unwrap();
+        }
+        t.pseudo_delete_or_tombstone(&e(25)).unwrap();
+        let (got, _) = range_scan(&t, &k(20), &k(29), 4, PrefetchStrategy::ParentGuided).unwrap();
+        assert_eq!(got.len(), 9);
+        assert!(got.iter().all(|x| x.key != k(25)));
+    }
+
+    #[test]
+    fn empty_and_out_of_range_windows() {
+        let t = BTree::create(FileId(22), cfg());
+        let (got, _) = range_scan(&t, &k(0), &k(9), 4, PrefetchStrategy::PhysicalSequence).unwrap();
+        assert!(got.is_empty());
+        for key in 0..20i64 {
+            t.insert(e(key), InsertMode::Transaction).unwrap();
+        }
+        let (got, _) =
+            range_scan(&t, &k(100), &k(200), 4, PrefetchStrategy::PhysicalSequence).unwrap();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn clustered_tree_needs_few_physical_batches() {
+        // Bottom-up build: leaves are physically consecutive.
+        let t = BTree::create(FileId(23), cfg());
+        let mut bl = BulkLoader::new(&t).unwrap();
+        for key in 0..2000i64 {
+            bl.append(e(key)).unwrap();
+        }
+        bl.finish(Lsn::NULL).unwrap();
+        let (_, seq) = range_scan(&t, &k(0), &k(1999), 8, PrefetchStrategy::PhysicalSequence).unwrap();
+        let (_, par) = range_scan(&t, &k(0), &k(1999), 8, PrefetchStrategy::ParentGuided).unwrap();
+        let optimal = seq.leaves.div_ceil(8);
+        assert_eq!(par.io_batches, optimal);
+        // Interleaved internal-page allocations cost window space, so
+        // allow a small constant factor over the leaf-only optimum.
+        assert!(
+            seq.io_batches <= optimal + optimal / 2 + 1,
+            "clustered sequential prefetch should be near-optimal: {} vs {}",
+            seq.io_batches,
+            optimal
+        );
+    }
+
+    #[test]
+    fn unclustered_tree_pays_for_physical_prefetch_but_not_parent_guided() {
+        // Random insertion order: splits scatter leaf page numbers.
+        let t = BTree::create(FileId(24), cfg());
+        let mut key = 1i64;
+        for _ in 0..2000 {
+            key = (key * 48271) % 2_147_483_647;
+            t.insert(e(key % 100_000), InsertMode::Transaction).unwrap();
+        }
+        let lo = k(0);
+        let hi = k(100_000);
+        let (_, seq) = range_scan(&t, &lo, &hi, 8, PrefetchStrategy::PhysicalSequence).unwrap();
+        let (_, par) = range_scan(&t, &lo, &hi, 8, PrefetchStrategy::ParentGuided).unwrap();
+        let optimal = seq.leaves.div_ceil(8);
+        assert_eq!(par.io_batches, optimal, "parent-guided is order-independent");
+        assert!(
+            seq.io_batches > optimal * 3,
+            "unclustered sequential prefetch should degrade: {} vs optimal {}",
+            seq.io_batches,
+            optimal
+        );
+    }
+}

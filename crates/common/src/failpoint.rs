@@ -1,0 +1,140 @@
+//! Deterministic crash injection.
+//!
+//! The paper's restartability arguments (§2.2.3 checkpointing, §3.2.4
+//! SF checkpoints, §5 restartable sort) can only be tested by killing
+//! the index builder at precise points. A [`FailpointSet`] is a named
+//! set of countdown triggers: code under test calls
+//! [`FailpointSet::hit`] at interesting sites; when a trigger's
+//! countdown reaches zero the site returns
+//! [`Error::InjectedCrash`](crate::error::Error::InjectedCrash), which
+//! callers propagate to the crash orchestrator.
+//!
+//! Failpoints are *instance-scoped* (carried by the `Db`), not global,
+//! so parallel tests never interfere with each other.
+
+use crate::error::{Error, Result};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One arm/disarm-able set of failpoints.
+#[derive(Default, Debug)]
+pub struct FailpointSet {
+    inner: Mutex<HashMap<&'static str, Trigger>>,
+}
+
+#[derive(Debug)]
+struct Trigger {
+    /// Remaining hits before firing. Fires when a hit sees 0.
+    remaining: u64,
+    /// Number of times the site has actually fired.
+    fired: u64,
+}
+
+/// Shared handle to a failpoint set.
+pub type Failpoints = Arc<FailpointSet>;
+
+impl FailpointSet {
+    /// Create an empty (fully disarmed) set.
+    #[must_use]
+    pub fn new() -> Failpoints {
+        Arc::new(FailpointSet::default())
+    }
+
+    /// Arm `site` to fire on the `(skip + 1)`-th hit.
+    pub fn arm_after(&self, site: &'static str, skip: u64) {
+        self.inner
+            .lock()
+            .insert(site, Trigger { remaining: skip, fired: 0 });
+    }
+
+    /// Arm `site` to fire on the next hit.
+    pub fn arm(&self, site: &'static str) {
+        self.arm_after(site, 0);
+    }
+
+    /// Disarm `site`.
+    pub fn disarm(&self, site: &'static str) {
+        self.inner.lock().remove(site);
+    }
+
+    /// Disarm everything.
+    pub fn clear(&self) {
+        self.inner.lock().clear();
+    }
+
+    /// Number of times `site` has fired.
+    #[must_use]
+    pub fn fired(&self, site: &'static str) -> u64 {
+        self.inner.lock().get(site).map_or(0, |t| t.fired)
+    }
+
+    /// Called by instrumented code. Returns `Err(InjectedCrash)` when
+    /// the armed countdown for `site` expires; otherwise `Ok(())`.
+    pub fn hit(&self, site: &'static str) -> Result<()> {
+        let mut map = self.inner.lock();
+        if let Some(t) = map.get_mut(site) {
+            if t.remaining == 0 {
+                t.fired += 1;
+                // One-shot: a fired trigger disarms itself so recovery
+                // code re-running the same path does not crash again.
+                let fired = t.fired;
+                map.remove(site);
+                let _ = fired;
+                return Err(Error::InjectedCrash(site));
+            }
+            t.remaining -= 1;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_site_never_fires() {
+        let fp = FailpointSet::new();
+        for _ in 0..100 {
+            fp.hit("nope").unwrap();
+        }
+    }
+
+    #[test]
+    fn fires_after_countdown_then_disarms() {
+        let fp = FailpointSet::new();
+        fp.arm_after("x", 2);
+        assert!(fp.hit("x").is_ok());
+        assert!(fp.hit("x").is_ok());
+        let err = fp.hit("x").unwrap_err();
+        assert_eq!(err, Error::InjectedCrash("x"));
+        // One-shot: re-hitting after firing is fine.
+        assert!(fp.hit("x").is_ok());
+    }
+
+    #[test]
+    fn arm_zero_fires_immediately() {
+        let fp = FailpointSet::new();
+        fp.arm("y");
+        assert!(fp.hit("y").unwrap_err().is_crash());
+    }
+
+    #[test]
+    fn clear_disarms_all() {
+        let fp = FailpointSet::new();
+        fp.arm("a");
+        fp.arm("b");
+        fp.clear();
+        assert!(fp.hit("a").is_ok());
+        assert!(fp.hit("b").is_ok());
+    }
+
+    #[test]
+    fn independent_sites() {
+        let fp = FailpointSet::new();
+        fp.arm("a");
+        assert!(fp.hit("b").is_ok());
+        assert!(fp.hit("a").is_err());
+    }
+}

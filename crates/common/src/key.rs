@@ -1,0 +1,309 @@
+//! Order-preserving key encoding and the `<key value, RID>` index
+//! entry.
+//!
+//! The paper's indexes store keys of the form `<key value, RID>` where
+//! the key value is the concatenation of the indexed columns' values
+//! (§1.1). We reproduce that: a record is a tuple of `i64` columns
+//! (plus an optional string column payload), and a [`KeyValue`] is the
+//! order-preserving byte concatenation of the chosen columns, so byte
+//! comparison equals column-wise comparison.
+
+use crate::ids::Rid;
+use std::fmt;
+
+/// An index key value: an opaque byte string whose lexicographic order
+/// is the index order.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct KeyValue(pub Vec<u8>);
+
+impl KeyValue {
+    /// Empty key; sorts before every other key.
+    pub const fn empty() -> KeyValue {
+        KeyValue(Vec::new())
+    }
+
+    /// Encode a single signed integer so that byte order equals numeric
+    /// order (flip the sign bit, then big-endian).
+    #[must_use]
+    pub fn from_i64(v: i64) -> KeyValue {
+        let mut k = KeyValue::empty();
+        k.push_i64(v);
+        k
+    }
+
+    /// Encode a composite key from several integers, preserving
+    /// lexicographic tuple order.
+    #[must_use]
+    pub fn from_i64s(vs: &[i64]) -> KeyValue {
+        let mut k = KeyValue(Vec::with_capacity(vs.len() * 8));
+        for &v in vs {
+            k.push_i64(v);
+        }
+        k
+    }
+
+    /// Encode a string key. A terminator byte keeps prefixes ordered
+    /// before their extensions even when another column follows.
+    #[must_use]
+    pub fn from_str_key(s: &str) -> KeyValue {
+        let mut k = KeyValue::empty();
+        k.push_str_col(s);
+        k
+    }
+
+    /// Append an order-preserving `i64` column.
+    pub fn push_i64(&mut self, v: i64) {
+        let biased = (v as u64) ^ (1u64 << 63);
+        self.0.extend_from_slice(&biased.to_be_bytes());
+    }
+
+    /// Append a string column followed by a `0x00` terminator.
+    ///
+    /// Interior NUL bytes are escaped as `0x00 0xFF` so that the
+    /// encoding stays order-preserving and unambiguous.
+    pub fn push_str_col(&mut self, s: &str) {
+        for &b in s.as_bytes() {
+            self.0.push(b);
+            if b == 0 {
+                self.0.push(0xFF);
+            }
+        }
+        self.0.push(0);
+    }
+
+    /// Decode the first 8 bytes back into an `i64` (inverse of
+    /// [`KeyValue::push_i64`] for single-column integer keys).
+    #[must_use]
+    pub fn first_i64(&self) -> Option<i64> {
+        if self.0.len() < 8 {
+            return None;
+        }
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.0[..8]);
+        Some((u64::from_be_bytes(b) ^ (1u64 << 63)) as i64)
+    }
+
+    /// Length of the encoded key in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if the key is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Borrow the raw encoded bytes.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for KeyValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(v) = self.first_i64() {
+            if self.0.len() == 8 {
+                return write!(f, "Key({v})");
+            }
+        }
+        write!(f, "Key(0x")?;
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<i64> for KeyValue {
+    fn from(v: i64) -> Self {
+        KeyValue::from_i64(v)
+    }
+}
+
+/// A complete index entry `<key value, RID>`.
+///
+/// Entries order by key value first and RID second; in a *nonunique*
+/// index two entries are "the same key" only if both components match
+/// (§2.2.3: "for a nonunique index, the key must match completely
+/// (`<key value, RID>`) for rejection").
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct IndexEntry {
+    /// Encoded key value (concatenated indexed columns).
+    pub key: KeyValue,
+    /// Record the key was extracted from.
+    pub rid: Rid,
+}
+
+impl IndexEntry {
+    /// Build an entry.
+    #[must_use]
+    pub fn new(key: KeyValue, rid: Rid) -> IndexEntry {
+        IndexEntry { key, rid }
+    }
+
+    /// Entry with an integer key, convenient in tests and examples.
+    #[must_use]
+    pub fn from_i64(key: i64, rid: Rid) -> IndexEntry {
+        IndexEntry { key: KeyValue::from_i64(key), rid }
+    }
+
+    /// Encoded size used for page-capacity accounting: key bytes plus
+    /// a fixed per-entry overhead (RID + flags + slot bookkeeping).
+    #[must_use]
+    pub fn encoded_size(&self) -> usize {
+        self.key.len() + 10
+    }
+
+    /// Serialize into `out` (length-prefixed key, packed RID).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.key.len() as u32).to_be_bytes());
+        out.extend_from_slice(self.key.as_bytes());
+        out.extend_from_slice(&self.rid.pack().to_be_bytes());
+    }
+
+    /// Deserialize from `buf` starting at `pos`; advances `pos`.
+    /// Returns `None` on truncated input.
+    #[must_use]
+    pub fn decode(buf: &[u8], pos: &mut usize) -> Option<IndexEntry> {
+        if buf.len() < *pos + 4 {
+            return None;
+        }
+        let mut l4 = [0u8; 4];
+        l4.copy_from_slice(&buf[*pos..*pos + 4]);
+        let klen = u32::from_be_bytes(l4) as usize;
+        *pos += 4;
+        if buf.len() < *pos + klen + 8 {
+            return None;
+        }
+        let key = KeyValue(buf[*pos..*pos + klen].to_vec());
+        *pos += klen;
+        let mut r8 = [0u8; 8];
+        r8.copy_from_slice(&buf[*pos..*pos + 8]);
+        *pos += 8;
+        Some(IndexEntry { key, rid: Rid::unpack(u64::from_be_bytes(r8)) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn i64_encoding_preserves_order() {
+        let vals = [i64::MIN, -1_000_000, -1, 0, 1, 42, i64::MAX];
+        for w in vals.windows(2) {
+            assert!(
+                KeyValue::from_i64(w[0]) < KeyValue::from_i64(w[1]),
+                "{} !< {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn i64_roundtrip() {
+        for v in [i64::MIN, -7, 0, 7, i64::MAX] {
+            assert_eq!(KeyValue::from_i64(v).first_i64(), Some(v));
+        }
+    }
+
+    #[test]
+    fn composite_keys_order_like_tuples() {
+        let a = KeyValue::from_i64s(&[1, 100]);
+        let b = KeyValue::from_i64s(&[2, -100]);
+        let c = KeyValue::from_i64s(&[2, 0]);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn string_prefix_orders_before_extension() {
+        let a = KeyValue::from_str_key("ab");
+        let b = KeyValue::from_str_key("abc");
+        assert!(a < b);
+    }
+
+    #[test]
+    fn string_then_int_composite() {
+        let mut a = KeyValue::from_str_key("x");
+        a.push_i64(5);
+        let mut b = KeyValue::from_str_key("x");
+        b.push_i64(6);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn interior_nul_is_escaped() {
+        let a = KeyValue::from_str_key("a\0b");
+        let b = KeyValue::from_str_key("a");
+        assert!(b < a);
+    }
+
+    #[test]
+    fn entry_orders_by_key_then_rid() {
+        let e1 = IndexEntry::from_i64(1, Rid::new(9, 9));
+        let e2 = IndexEntry::from_i64(2, Rid::new(0, 0));
+        let e3 = IndexEntry::from_i64(2, Rid::new(0, 1));
+        assert!(e1 < e2 && e2 < e3);
+    }
+
+    #[test]
+    fn entry_encode_decode_roundtrip() {
+        let e = IndexEntry::from_i64(-31337, Rid::new(12, 3));
+        let mut buf = Vec::new();
+        e.encode(&mut buf);
+        let mut pos = 0;
+        assert_eq!(IndexEntry::decode(&buf, &mut pos), Some(e));
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn decode_truncated_returns_none() {
+        let e = IndexEntry::from_i64(5, Rid::new(1, 1));
+        let mut buf = Vec::new();
+        e.encode(&mut buf);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert_eq!(IndexEntry::decode(&buf[..cut], &mut pos), None);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_i64_order(a in any::<i64>(), b in any::<i64>()) {
+            let (ka, kb) = (KeyValue::from_i64(a), KeyValue::from_i64(b));
+            prop_assert_eq!(a.cmp(&b), ka.cmp(&kb));
+        }
+
+        #[test]
+        fn prop_tuple_order(a in prop::collection::vec(any::<i64>(), 1..4),
+                            b in prop::collection::vec(any::<i64>(), 1..4)) {
+            // Compare only equal-length tuples: variable-length integer
+            // tuples are not comparable without headers.
+            if a.len() == b.len() {
+                let (ka, kb) = (KeyValue::from_i64s(&a), KeyValue::from_i64s(&b));
+                prop_assert_eq!(a.cmp(&b), ka.cmp(&kb));
+            }
+        }
+
+        #[test]
+        fn prop_string_order(a in ".{0,12}", b in ".{0,12}") {
+            let (ka, kb) = (KeyValue::from_str_key(&a), KeyValue::from_str_key(&b));
+            prop_assert_eq!(a.as_bytes().cmp(b.as_bytes()), ka.cmp(&kb));
+        }
+
+        #[test]
+        fn prop_entry_roundtrip(k in prop::collection::vec(any::<u8>(), 0..40),
+                                page in any::<u32>(), slot in any::<u16>()) {
+            let e = IndexEntry::new(KeyValue(k), Rid::new(page, slot));
+            let mut buf = Vec::new();
+            e.encode(&mut buf);
+            let mut pos = 0;
+            prop_assert_eq!(IndexEntry::decode(&buf, &mut pos), Some(e));
+        }
+    }
+}

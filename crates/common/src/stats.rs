@@ -1,0 +1,120 @@
+//! Lightweight atomic event counters.
+//!
+//! The 1992 paper argues in *pathlengths*: lock calls saved, log
+//! records avoided, tree traversals skipped. The benchmark harness
+//! reproduces those arguments by counting the events exactly, so every
+//! subsystem exposes a stats struct built from [`Counter`]s.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A relaxed atomic event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// New counter at zero.
+    #[must_use]
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add one.
+    pub fn bump(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero, returning the previous value.
+    pub fn reset(&self) -> u64 {
+        self.0.swap(0, Ordering::Relaxed)
+    }
+}
+
+impl Clone for Counter {
+    fn clone(&self) -> Self {
+        Counter(AtomicU64::new(self.get()))
+    }
+}
+
+/// A relaxed atomic maximum tracker (e.g. peak side-file backlog).
+#[derive(Debug, Default)]
+pub struct MaxGauge(AtomicU64);
+
+impl MaxGauge {
+    /// New gauge at zero.
+    #[must_use]
+    pub const fn new() -> MaxGauge {
+        MaxGauge(AtomicU64::new(0))
+    }
+
+    /// Record an observation; keeps the maximum.
+    pub fn observe(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current maximum.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl Clone for MaxGauge {
+    fn clone(&self) -> Self {
+        MaxGauge(AtomicU64::new(self.get()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::new();
+        c.bump();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.reset(), 5);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn counter_is_thread_safe() {
+        let c = Arc::new(Counter::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.bump();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 8000);
+    }
+
+    #[test]
+    fn gauge_keeps_max() {
+        let g = MaxGauge::new();
+        g.observe(3);
+        g.observe(7);
+        g.observe(5);
+        assert_eq!(g.get(), 7);
+    }
+}

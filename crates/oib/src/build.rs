@@ -1,0 +1,871 @@
+//! The index-build drivers: offline baseline, NSF (§2), SF (§3),
+//! multi-index single-scan builds (§6.2), restart resume, and drop /
+//! cancel (§2.3.2).
+
+use crate::engine::Db;
+use crate::progress::{self, BuildProgress};
+use crate::runtime::{IndexRuntime, IndexState};
+use crate::schema::{BuildAlgorithm, IndexDef, Record};
+use mohan_btree::{BulkLoader, InsertMode, InsertOutcome};
+use mohan_common::{
+    Error, IndexEntry, IndexId, PageId, Result, Rid, TableId, TxId,
+};
+use mohan_lock::{LockMode, LockName};
+use mohan_sort::{
+    ExternalSort, Merge, MergeCheckpoint, MergePassCheckpoint, RunFormation, SortCheckpoint,
+};
+use mohan_wal::{LogPayload, RecKind};
+use std::sync::Arc;
+
+/// What the caller wants indexed.
+#[derive(Debug, Clone)]
+pub struct IndexSpec {
+    /// Index name.
+    pub name: String,
+    /// Key columns, in order.
+    pub key_cols: Vec<usize>,
+    /// Enforce key-value uniqueness.
+    pub unique: bool,
+}
+
+/// Build one index.
+pub fn build_index(
+    db: &Arc<Db>,
+    table: TableId,
+    spec: IndexSpec,
+    algorithm: BuildAlgorithm,
+) -> Result<IndexId> {
+    Ok(build_indexes(db, table, &[spec], algorithm)?[0])
+}
+
+/// Build several indexes in **one scan of the data** (§6.2). Returns
+/// their ids. On a unique-key violation every index of the batch is
+/// cancelled; on an injected crash the builds stay resumable via
+/// [`resume_build`].
+pub fn build_indexes(
+    db: &Arc<Db>,
+    table: TableId,
+    specs: &[IndexSpec],
+    algorithm: BuildAlgorithm,
+) -> Result<Vec<IndexId>> {
+    assert!(!specs.is_empty());
+    match algorithm {
+        BuildAlgorithm::Offline => offline_build(db, table, specs),
+        BuildAlgorithm::Nsf | BuildAlgorithm::Sf => {
+            let idxs = create_descriptors(db, table, specs, algorithm)?;
+            let ids: Vec<IndexId> = idxs.iter().map(|i| i.def.id).collect();
+            match run_from_scratch(db, &idxs) {
+                Ok(()) => Ok(ids),
+                Err(e) if e.is_crash() => Err(e),
+                Err(e) => {
+                    cancel_builds(db, &idxs)?;
+                    Err(e)
+                }
+            }
+        }
+    }
+}
+
+/// Continue an interrupted build after [`Db::restart`].
+pub fn resume_build(db: &Arc<Db>, id: IndexId) -> Result<()> {
+    let idx = db.index(id)?;
+    if idx.state() == IndexState::Complete {
+        return Ok(());
+    }
+    let result = resume_one(db, &idx);
+    match result {
+        Ok(()) => Ok(()),
+        Err(e) if e.is_crash() => Err(e),
+        Err(e) => {
+            cancel_builds(db, std::slice::from_ref(&idx))?;
+            Err(e)
+        }
+    }
+}
+
+/// Drop a completed index (or abandon one mid-build from the outside):
+/// quiesce updates with a table S lock (footnote 6), then remove the
+/// descriptor.
+pub fn drop_index(db: &Arc<Db>, id: IndexId) -> Result<()> {
+    let idx = db.index(id)?;
+    let tx = db.begin();
+    db.locks.lock(tx, LockName::Table(idx.def.table), LockMode::S)?;
+    db.unregister_index(id);
+    progress::clear(db, id);
+    db.commit(tx)
+}
+
+// ===================================================================
+// descriptor creation
+// ===================================================================
+
+fn make_runtime(
+    db: &Db,
+    table: TableId,
+    spec: &IndexSpec,
+    algorithm: BuildAlgorithm,
+    state: IndexState,
+) -> Arc<IndexRuntime> {
+    let def = IndexDef {
+        id: db.next_index_id(),
+        name: spec.name.clone(),
+        table,
+        unique: spec.unique,
+        key_cols: spec.key_cols.clone(),
+    };
+    Arc::new(IndexRuntime::new(def, algorithm, state, &db.cfg))
+}
+
+/// NSF: short quiesce (table S lock) around descriptor creation so no
+/// update transaction straddles it (§2.2.1). SF: no quiesce (§3.2.1).
+fn create_descriptors(
+    db: &Arc<Db>,
+    table: TableId,
+    specs: &[IndexSpec],
+    algorithm: BuildAlgorithm,
+) -> Result<Vec<Arc<IndexRuntime>>> {
+    let tbl = db.table(table)?;
+    let mut out = Vec::with_capacity(specs.len());
+    match algorithm {
+        BuildAlgorithm::Nsf => {
+            // §2.2.1's short quiesce — or the §3.2.3 no-quiesce
+            // alternative, where transactions straddling the creation
+            // are compensated via the visible-index-count comparison
+            // at rollback.
+            let quiesce_tx = if db.cfg.nsf_descriptor_quiesce {
+                let tx = db.begin();
+                db.locks.lock(tx, LockName::Table(table), LockMode::S)?;
+                Some(tx)
+            } else {
+                None
+            };
+            for spec in specs {
+                let rt = make_runtime(db, table, spec, algorithm, IndexState::NsfBuilding);
+                set_scan_bounds(&rt, &tbl);
+                force_empty_tree(db, &rt)?;
+                db.register_index(Arc::clone(&rt));
+                out.push(rt);
+            }
+            if let Some(tx) = quiesce_tx {
+                // End the quiesce: update transactions may run again.
+                db.commit(tx)?;
+            }
+        }
+        BuildAlgorithm::Sf => {
+            for spec in specs {
+                let rt = make_runtime(db, table, spec, algorithm, IndexState::SfBuilding);
+                set_scan_bounds(&rt, &tbl);
+                force_empty_tree(db, &rt)?;
+                db.register_index(Arc::clone(&rt));
+                out.push(rt);
+            }
+        }
+        BuildAlgorithm::Offline => unreachable!("offline uses offline_build"),
+    }
+    Ok(out)
+}
+
+/// Note the last data page before the scan starts (§2.3.1): records
+/// added to later pages are the transactions' responsibility.
+/// Descriptor creation is a durable catalog update: force the empty
+/// tree (anchor + root) so restart always finds a structurally valid
+/// index to recover into.
+fn force_empty_tree(db: &Db, rt: &IndexRuntime) -> mohan_common::Result<()> {
+    db.wal.flush_all();
+    rt.tree.force_all(db.wal.flushed_lsn())
+}
+
+fn set_scan_bounds(rt: &IndexRuntime, tbl: &mohan_heap::HeapTable) {
+    let pages = tbl.num_pages();
+    if pages == 0 {
+        rt.set_scan_end(PageId(u32::MAX));
+        rt.finish_scan();
+    } else {
+        rt.set_scan_end(PageId(pages - 1));
+    }
+}
+
+// ===================================================================
+// the build pipeline
+// ===================================================================
+
+fn run_from_scratch(db: &Arc<Db>, idxs: &[Arc<IndexRuntime>]) -> Result<()> {
+    let runs = scan_and_sort(db, idxs, &vec![None; idxs.len()])?;
+    for (idx, idx_runs) in idxs.iter().zip(runs) {
+        let finals = reduce_phase(db, idx, idx_runs, None)?;
+        enter_final_phase(db, idx, finals)?;
+    }
+    Ok(())
+}
+
+fn resume_one(db: &Arc<Db>, idx: &Arc<IndexRuntime>) -> Result<()> {
+    match progress::load(db, idx.def.id)? {
+        None => {
+            // Crash before the first sort checkpoint: start over.
+            run_from_scratch(db, std::slice::from_ref(idx))
+        }
+        Some(BuildProgress::Scanning { sort }) => {
+            let runs = scan_and_sort(db, std::slice::from_ref(idx), &[Some(sort)])?;
+            let finals = reduce_phase(db, idx, runs.into_iter().next().expect("one"), None)?;
+            enter_final_phase(db, idx, finals)
+        }
+        Some(BuildProgress::Reducing { pass }) => {
+            let finals = reduce_phase(db, idx, Vec::new(), Some(pass))?;
+            enter_final_phase(db, idx, finals)
+        }
+        Some(BuildProgress::Loading { merge, bulk }) => {
+            sf_load_phase(db, idx, merge, Some(bulk))?;
+            sf_drain_phase(db, idx, 0)
+        }
+        Some(BuildProgress::Inserting { merge, inserted }) => {
+            nsf_insert_phase(db, idx, merge, inserted)
+        }
+        Some(BuildProgress::Draining { pos }) => sf_drain_phase(db, idx, pos),
+    }
+}
+
+/// Scan the data pages once, feeding every index's run formation;
+/// checkpoint all sorters together (§5.1). `resumes[i]` repositions
+/// index `i` after a crash.
+fn scan_and_sort(
+    db: &Arc<Db>,
+    idxs: &[Arc<IndexRuntime>],
+    resumes: &[Option<SortCheckpoint<IndexEntry>>],
+) -> Result<Vec<Vec<u64>>> {
+    let table = db.table(idxs[0].def.table)?;
+    let ws = db.cfg.sort_workspace_keys;
+    let mut rfs: Vec<RunFormation<IndexEntry>> = Vec::with_capacity(idxs.len());
+    let mut floors: Vec<u64> = Vec::with_capacity(idxs.len());
+    for (idx, resume) in idxs.iter().zip(resumes) {
+        let store = idx.run_store();
+        match resume {
+            Some(cp) => {
+                floors.push(cp.scan_pos);
+                rfs.push(RunFormation::resume(store, ws, cp)?);
+            }
+            None => {
+                floors.push(0);
+                rfs.push(RunFormation::new(store, ws));
+            }
+        }
+    }
+    let scan_end = idxs[0].scan_end();
+    if scan_end != PageId(u32::MAX) && table.num_pages() > 0 {
+        // Scan positions are `rid.pack() + 1` so that position 0
+        // unambiguously means "nothing fed" (RID (0,0) packs to 0).
+        let min_floor = floors.iter().copied().min().unwrap_or(0);
+        let from = if min_floor == 0 { None } else { Some(Rid::unpack(min_floor - 1)) };
+        let mut since_cp = 0usize;
+        table.scan_from(from, scan_end, |rid, data| {
+            let rec = Record::decode(data)?;
+            let pos = rid.pack() + 1;
+            for (i, idx) in idxs.iter().enumerate() {
+                if pos > floors[i] {
+                    let entry = idx.def.entry_of(&rec, rid)?;
+                    rfs[i].push(entry, pos)?;
+                }
+                if idx.algorithm == BuildAlgorithm::Sf {
+                    // Advance Current-RID under the page's S latch
+                    // (§3.2.2): this record's key is now the IB's
+                    // responsibility; everything before it is the
+                    // transactions'.
+                    idx.set_current_rid(rid);
+                }
+            }
+            db.failpoints.hit("build.scan.record")?;
+            since_cp += 1;
+            if since_cp >= db.cfg.sort_checkpoint_every_keys {
+                since_cp = 0;
+                for (i, idx) in idxs.iter().enumerate() {
+                    let cp = rfs[i].checkpoint()?;
+                    progress::store(db, idx.def.id, &BuildProgress::Scanning { sort: cp });
+                }
+                db.failpoints.hit("build.scan")?;
+            }
+            Ok(true)
+        })?;
+    }
+    for idx in idxs {
+        if idx.algorithm == BuildAlgorithm::Sf {
+            idx.finish_scan();
+        }
+    }
+    let mut all_runs = Vec::with_capacity(idxs.len());
+    for rf in rfs {
+        all_runs.push(rf.finish()?);
+    }
+    Ok(all_runs)
+}
+
+/// Reduce runs below the merge fan-in, persisting §5.2 checkpoints.
+fn reduce_phase(
+    db: &Arc<Db>,
+    idx: &Arc<IndexRuntime>,
+    runs: Vec<u64>,
+    resume: Option<MergePassCheckpoint>,
+) -> Result<Vec<u64>> {
+    let ext = ExternalSort {
+        store: idx.run_store(),
+        workspace: db.cfg.sort_workspace_keys,
+        fan_in: db.cfg.merge_fan_in,
+        checkpoint_every: db.cfg.merge_checkpoint_every_keys,
+    };
+    let id = idx.def.id;
+    let mut persist = |cp: &MergePassCheckpoint| -> Result<()> {
+        progress::store(db, id, &BuildProgress::Reducing { pass: cp.clone() });
+        db.failpoints.hit("build.reduce")
+    };
+    match resume {
+        Some(cp) => ext.resume_reduce(&cp, &mut persist),
+        None => ext.reduce_runs(runs, &mut persist),
+    }
+}
+
+/// Persist the initial final-phase progress record, then run it.
+fn enter_final_phase(db: &Arc<Db>, idx: &Arc<IndexRuntime>, finals: Vec<u64>) -> Result<()> {
+    let merge_cp = MergeCheckpoint {
+        counters: vec![0; finals.len()],
+        inputs: finals,
+        emitted: 0,
+    };
+    match idx.algorithm {
+        BuildAlgorithm::Nsf => {
+            progress::store(
+                db,
+                idx.def.id,
+                &BuildProgress::Inserting { merge: merge_cp.clone(), inserted: 0 },
+            );
+            nsf_insert_phase(db, idx, merge_cp, 0)
+        }
+        BuildAlgorithm::Sf => {
+            sf_load_phase(db, idx, merge_cp, None)?;
+            sf_drain_phase(db, idx, 0)
+        }
+        BuildAlgorithm::Offline => {
+            offline_load(db, idx, merge_cp)
+        }
+    }
+}
+
+/// Mark the index complete: record the completion horizon, flip the
+/// state, persist the catalog and drop the progress record.
+fn complete_index(db: &Arc<Db>, idx: &Arc<IndexRuntime>, completed_at: mohan_common::Lsn) -> Result<()> {
+    idx.set_completed_lsn(completed_at);
+    idx.set_state(IndexState::Complete);
+    db.persist_catalog();
+    progress::clear(db, idx.def.id);
+    db.wal.flush_all();
+    idx.tree.force_all(db.wal.flushed_lsn())?;
+    Ok(())
+}
+
+// ===================================================================
+// NSF: insert into the shared tree (§2.2.3)
+// ===================================================================
+
+fn nsf_insert_phase(
+    db: &Arc<Db>,
+    idx: &Arc<IndexRuntime>,
+    merge_cp: MergeCheckpoint,
+    mut inserted: u64,
+) -> Result<()> {
+    let store = idx.run_store();
+    let mut merge = Merge::resume(&store, &merge_cp)?;
+    let mut ib = db.begin_ib();
+    let mut batch: Vec<IndexEntry> = Vec::with_capacity(db.cfg.ib_multi_key_batch);
+    let mut since_cp = 0usize;
+    let mut last_key: Option<mohan_common::KeyValue> = None;
+
+    let result = (|| -> Result<()> {
+        while let Some(entry) = merge.next() {
+            db.failpoints.hit("nsf.insert.key")?;
+            last_key = Some(entry.key.clone());
+            match idx.tree.insert(entry.clone(), InsertMode::Ib)? {
+                InsertOutcome::Inserted => batch.push(entry),
+                InsertOutcome::DuplicateEntry { .. } => {
+                    // Already present (a transaction beat the IB, or a
+                    // committed deleter left a tombstone): rejected, no
+                    // log record written (§2.2.3).
+                }
+                InsertOutcome::DuplicateKeyValue { existing, .. } => {
+                    ib_resolve_unique(db, ib, idx, entry, existing)?;
+                }
+            }
+            inserted += 1;
+            since_cp += 1;
+            if batch.len() >= db.cfg.ib_multi_key_batch {
+                flush_ib_batch(db, ib, idx, &mut batch)?;
+            }
+            if since_cp >= db.cfg.ib_checkpoint_every_keys {
+                since_cp = 0;
+                flush_ib_batch(db, ib, idx, &mut batch)?;
+                // §2.2.3 periodic checkpointing: force the tree, commit
+                // the inserts, record the position.
+                db.wal.flush_all();
+                idx.tree.force_all(db.wal.flushed_lsn())?;
+                db.ib_commit_cycle(&mut ib)?;
+                if db.cfg.nsf_gradual_reads {
+                    // Footnote 3: everything at or below the committed
+                    // high key is now readable.
+                    if let Some(high) = &last_key {
+                        idx.set_read_watermark(high.clone());
+                    }
+                }
+                progress::store(
+                    db,
+                    idx.def.id,
+                    &BuildProgress::Inserting { merge: merge.checkpoint(), inserted },
+                );
+                db.failpoints.hit("build.insert")?;
+            }
+        }
+        flush_ib_batch(db, ib, idx, &mut batch)?;
+        let completed_at = db.wal.tail_lsn();
+        db.commit(ib)?;
+        complete_index(db, idx, completed_at)
+    })();
+
+    if let Err(e) = &result {
+        if !e.is_crash() {
+            let _ = db.rollback(ib);
+        }
+    }
+    result
+}
+
+/// Log one multi-key record for the batch (§2.3.1: "one log record
+/// for multiple keys").
+fn flush_ib_batch(
+    db: &Db,
+    ib: TxId,
+    idx: &IndexRuntime,
+    batch: &mut Vec<IndexEntry>,
+) -> Result<()> {
+    if batch.is_empty() {
+        return Ok(());
+    }
+    db.log(
+        ib,
+        RecKind::UndoRedo,
+        LogPayload::IndexBulkInsert { index: idx.def.id, entries: std::mem::take(batch) },
+    )?;
+    Ok(())
+}
+
+/// §2.2.3 IB unique arbitration: lock *both* records (share, instant),
+/// re-verify the duplicate condition against the data pages, and abort
+/// the build only if it genuinely holds.
+fn ib_resolve_unique(
+    db: &Arc<Db>,
+    ib: TxId,
+    idx: &Arc<IndexRuntime>,
+    entry: IndexEntry,
+    existing: Rid,
+) -> Result<()> {
+    for _ in 0..8 {
+        db.locks
+            .instant(ib, LockName::Record(idx.def.table, entry.rid), LockMode::S)?;
+        db.locks
+            .instant(ib, LockName::Record(idx.def.table, existing), LockMode::S)?;
+        let own = db.record_key(idx, entry.rid)?;
+        if own.as_ref() != Some(&entry.key) {
+            // Our record vanished or changed key: skip this key; the
+            // responsible transaction maintains the index itself.
+            return Ok(());
+        }
+        let theirs = db.record_key(idx, existing)?;
+        if theirs.as_ref() == Some(&entry.key) {
+            // Both records committed with the same key value: a unique
+            // index cannot be built on this table (§2.2.3).
+            return Err(Error::UniqueViolation { index: idx.def.id, existing });
+        }
+        // The conflicting entry is committed-dead: take it over.
+        if idx.tree.unique_replace(&entry.key, existing, entry.rid)? {
+            db.log(
+                ib,
+                RecKind::UndoRedo,
+                LogPayload::IndexInsert { index: idx.def.id, entry },
+            )?;
+            return Ok(());
+        }
+        // Raced away; re-attempt the plain insert.
+        match idx.tree.insert(entry.clone(), InsertMode::Ib)? {
+            InsertOutcome::Inserted => {
+                db.log(
+                    ib,
+                    RecKind::UndoRedo,
+                    LogPayload::IndexInsert { index: idx.def.id, entry },
+                )?;
+                return Ok(());
+            }
+            InsertOutcome::DuplicateEntry { .. } => return Ok(()),
+            InsertOutcome::DuplicateKeyValue { .. } => {}
+        }
+    }
+    Err(Error::Corruption(format!(
+        "IB unique arbitration did not converge on {}",
+        idx.def.id
+    )))
+}
+
+// ===================================================================
+// SF: bottom-up load + side-file drain (§3.2)
+// ===================================================================
+
+fn sf_load_phase(
+    db: &Arc<Db>,
+    idx: &Arc<IndexRuntime>,
+    merge_cp: MergeCheckpoint,
+    bulk_cp: Option<mohan_btree::BulkCheckpoint>,
+) -> Result<()> {
+    let store = idx.run_store();
+    let mut merge = Merge::resume(&store, &merge_cp)?;
+    let mut loader = match &bulk_cp {
+        Some(cp) => BulkLoader::resume(&idx.tree, cp)?,
+        None => {
+            // Persist the phase transition before touching the tree.
+            let init = loader_init_checkpoint(db, idx)?;
+            progress::store(
+                db,
+                idx.def.id,
+                &BuildProgress::Loading { merge: merge.checkpoint(), bulk: init.clone() },
+            );
+            BulkLoader::resume(&idx.tree, &init)?
+        }
+    };
+    let ib = db.begin_ib();
+    let unique = idx.def.unique;
+    let mut since_cp = 0usize;
+    let mut pending: Option<IndexEntry> = None;
+
+    let result = (|| -> Result<()> {
+        loop {
+            if since_cp >= db.cfg.ib_checkpoint_every_keys {
+                // The unique-path lookahead may hold one consumed
+                // entry; it can be flushed (making the merge counters
+                // and the loader agree) unless an equal-key run is
+                // still in flight.
+                if let Some(p) = &pending {
+                    if merge.peek().is_none_or(|e| e.key != p.key) {
+                        loader.append(pending.take().expect("pending"))?;
+                    }
+                }
+                if pending.is_none() {
+                    since_cp = 0;
+                    db.wal.flush_all();
+                    let bulk = loader.checkpoint(db.wal.flushed_lsn())?;
+                    progress::store(
+                        db,
+                        idx.def.id,
+                        &BuildProgress::Loading { merge: merge.checkpoint(), bulk },
+                    );
+                    db.failpoints.hit("build.load")?;
+                }
+            }
+            let Some(entry) = merge.next() else { break };
+            db.failpoints.hit("sf.load.key")?;
+            since_cp += 1;
+            if !unique {
+                loader.append(entry)?;
+                continue;
+            }
+            // Unique index: resolve runs of equal key values before
+            // loading (both-committed ⇒ violation; committed-dead
+            // entries are skipped).
+            match pending.take() {
+                None => pending = Some(entry),
+                Some(prev) if prev.key != entry.key => {
+                    loader.append(prev)?;
+                    pending = Some(entry);
+                }
+                Some(prev) => {
+                    let mut group = vec![prev, entry];
+                    while merge.peek().is_some_and(|e| e.key == group[0].key) {
+                        group.push(merge.next().expect("peeked"));
+                        since_cp += 1;
+                    }
+                    if let Some(survivor) = resolve_unique_group(db, ib, idx, group)? {
+                        loader.append(survivor)?;
+                    }
+                }
+            }
+        }
+        if let Some(p) = pending.take() {
+            loader.append(p)?;
+        }
+        db.wal.flush_all();
+        loader.finish(db.wal.flushed_lsn())?;
+        db.commit(ib)?;
+        progress::store(db, idx.def.id, &BuildProgress::Draining { pos: 0 });
+        Ok(())
+    })();
+
+    if let Err(e) = &result {
+        if !e.is_crash() {
+            let _ = db.rollback(ib);
+        }
+    }
+    result
+}
+
+/// An "empty loader" checkpoint used to enter the loading phase
+/// deterministically even if a crash hits before the first real
+/// checkpoint.
+fn loader_init_checkpoint(
+    db: &Db,
+    idx: &IndexRuntime,
+) -> Result<mohan_btree::BulkCheckpoint> {
+    db.wal.flush_all();
+    let loader = BulkLoader::new(&idx.tree)?;
+    loader.checkpoint(db.wal.flushed_lsn())
+}
+
+/// §2.2.3-style arbitration for a sorted group of equal keys during
+/// the SF bulk load. Returns the surviving entry, if any.
+fn resolve_unique_group(
+    db: &Arc<Db>,
+    ib: TxId,
+    idx: &Arc<IndexRuntime>,
+    group: Vec<IndexEntry>,
+) -> Result<Option<IndexEntry>> {
+    let mut survivor: Option<IndexEntry> = None;
+    for e in group {
+        db.locks
+            .instant(ib, LockName::Record(idx.def.table, e.rid), LockMode::S)?;
+        if db.record_key(idx, e.rid)?.as_ref() == Some(&e.key) {
+            if let Some(s) = &survivor {
+                return Err(Error::UniqueViolation { index: idx.def.id, existing: s.rid });
+            }
+            survivor = Some(e);
+        }
+    }
+    Ok(survivor)
+}
+
+pub(crate) fn sf_drain_phase(db: &Arc<Db>, idx: &Arc<IndexRuntime>, mut pos: u64) -> Result<()> {
+    let mut ib = db.begin_ib();
+    let result = (|| -> Result<()> {
+        // First pass: optionally sort the backlog for clustered index
+        // access, preserving the relative order of identical keys
+        // (§3.2.5). Applied as one atomic IB transaction; a crash
+        // repeats the pass.
+        if db.cfg.side_file_sorted_apply {
+            let snapshot = idx.side_file.len();
+            if snapshot > pos {
+                let mut ops = idx.side_file.read(pos, (snapshot - pos) as usize);
+                ops.sort_by(|a, b| a.entry.cmp(&b.entry)); // stable
+                for op in ops {
+                    apply_drain_op(db, ib, idx, op)?;
+                    db.failpoints.hit("sf.drain.op")?;
+                }
+                db.ib_commit_cycle(&mut ib)?;
+                pos = snapshot;
+                progress::store(db, idx.def.id, &BuildProgress::Draining { pos });
+                db.failpoints.hit("build.drain")?;
+            }
+        }
+        // Catch-up passes: drain the whole visible backlog each pass.
+        // If sustained appends outpace the drain for several passes,
+        // fall back to a short table quiesce for the final catch-up —
+        // the paper assumes the IB eventually reaches the last entry
+        // (§3.2.5); against adversarial unthrottled updaters that
+        // assumption needs the same brief lock phase production online
+        // DDL implementations use (see DESIGN.md).
+        let mut nonempty_passes = 0u32;
+        let mut quiesce_tx: Option<TxId> = None;
+        let result2 = (|| -> Result<()> {
+            loop {
+                let backlog = idx.side_file.len().saturating_sub(pos) as usize;
+                let batch = idx.side_file.read(pos, backlog.max(db.cfg.side_file_batch));
+                if batch.is_empty() {
+                    let completed_at = db.wal.tail_lsn();
+                    if idx.side_file.try_close(pos) {
+                        db.commit(ib)?;
+                        return complete_index(db, idx, completed_at);
+                    }
+                    std::thread::yield_now();
+                    continue;
+                }
+                for op in batch {
+                    apply_drain_op(db, ib, idx, op)?;
+                    pos += 1;
+                    db.failpoints.hit("sf.drain.op")?;
+                }
+                db.ib_commit_cycle(&mut ib)?;
+                progress::store(db, idx.def.id, &BuildProgress::Draining { pos });
+                db.failpoints.hit("build.drain")?;
+                nonempty_passes += 1;
+                if nonempty_passes >= 3 && quiesce_tx.is_none() {
+                    let qtx = db.begin();
+                    db.locks.lock(qtx, LockName::Table(idx.def.table), LockMode::S)?;
+                    quiesce_tx = Some(qtx);
+                }
+            }
+        })();
+        if let Some(qtx) = quiesce_tx {
+            let _ = db.commit(qtx);
+        }
+        result2
+    })();
+    if let Err(e) = &result {
+        if !e.is_crash() {
+            let _ = db.rollback(ib);
+        }
+    }
+    result
+}
+
+/// Apply one side-file entry "as a normal transaction would", with
+/// undo-redo logging (§3.2.5). Inserts tolerate duplicates (crash
+/// overlap with the rescan window); deletes tolerate missing keys.
+///
+/// Each operation is verified against the record's *current* state
+/// first (the same data-page re-verification §2.2.3 uses for unique
+/// checks): RID reuse can produce a stale entry — e.g. record A with
+/// key K deleted at RID R (side-file `delete <K,R>`) and record B
+/// re-inserted at R with the same derived key while *invisible* to
+/// the side-file (different primary key, or the post-crash rescan
+/// window). Applying the stale delete would remove B's perfectly
+/// valid key. An operation that disagrees with the current record
+/// state is skipped: whatever changed the record either appended a
+/// later side-file entry (it was visible) or is covered by the IB's
+/// own extraction.
+fn apply_drain_op(
+    db: &Arc<Db>,
+    ib: TxId,
+    idx: &Arc<IndexRuntime>,
+    op: mohan_wal::SideFileOp,
+) -> Result<()> {
+    let current = db.record_key(idx, op.entry.rid)?;
+    let record_has_key = current.as_ref() == Some(&op.entry.key);
+    if op.insert != record_has_key {
+        return Ok(());
+    }
+    if op.insert {
+        match idx.tree.insert(op.entry.clone(), InsertMode::Transaction)? {
+            InsertOutcome::Inserted => {
+                db.log(
+                    ib,
+                    RecKind::UndoRedo,
+                    LogPayload::IndexInsert { index: idx.def.id, entry: op.entry },
+                )?;
+            }
+            InsertOutcome::DuplicateEntry { pseudo: true } => {
+                idx.tree.set_pseudo(&op.entry, false)?;
+                db.log(
+                    ib,
+                    RecKind::UndoRedo,
+                    LogPayload::IndexReactivate { index: idx.def.id, entry: op.entry },
+                )?;
+            }
+            InsertOutcome::DuplicateEntry { pseudo: false } => {}
+            InsertOutcome::DuplicateKeyValue { existing, .. } => {
+                ib_resolve_unique(db, ib, idx, op.entry, existing)?;
+            }
+        }
+    } else {
+        let was = idx.tree.lookup_exact(&op.entry)?;
+        if let Some(state) = was {
+            idx.tree.physical_delete(&op.entry)?;
+            db.log(
+                ib,
+                RecKind::UndoRedo,
+                LogPayload::IndexPhysicalDelete {
+                    index: idx.def.id,
+                    entry: op.entry,
+                    was_pseudo: state.pseudo_deleted,
+                },
+            )?;
+        }
+    }
+    Ok(())
+}
+
+// ===================================================================
+// Offline baseline
+// ===================================================================
+
+/// The pre-paper way: quiesce *all* updates for the whole build.
+fn offline_build(db: &Arc<Db>, table: TableId, specs: &[IndexSpec]) -> Result<Vec<IndexId>> {
+    let tx = db.begin();
+    db.locks.lock(tx, LockName::Table(table), LockMode::S)?;
+    let result = (|| -> Result<Vec<IndexId>> {
+        let tbl = db.table(table)?;
+        let mut idxs = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let rt = make_runtime(db, table, spec, BuildAlgorithm::Offline, IndexState::Complete);
+            set_scan_bounds(&rt, &tbl);
+            idxs.push(rt);
+        }
+        // One shared scan, unregistered runtimes: a crash leaves no
+        // trace (the offline strategy is restart-from-scratch).
+        let runs = scan_and_sort(db, &idxs, &vec![None; idxs.len()])?;
+        for (idx, idx_runs) in idxs.iter().zip(runs) {
+            let finals = reduce_phase(db, idx, idx_runs, None)?;
+            let merge_cp = MergeCheckpoint {
+                counters: vec![0; finals.len()],
+                inputs: finals,
+                emitted: 0,
+            };
+            offline_load(db, idx, merge_cp)?;
+        }
+        let ids = idxs.iter().map(|i| i.def.id).collect();
+        for idx in idxs {
+            idx.set_completed_lsn(db.wal.tail_lsn());
+            progress::clear(db, idx.def.id);
+            db.register_index(idx);
+        }
+        Ok(ids)
+    })();
+    match result {
+        Ok(ids) => {
+            db.commit(tx)?;
+            Ok(ids)
+        }
+        Err(e) => {
+            let _ = db.rollback(tx);
+            Err(e)
+        }
+    }
+}
+
+/// Plain bottom-up load for the offline baseline (quiesced, so no
+/// uniqueness races: adjacent equal keys are a straight violation).
+fn offline_load(db: &Arc<Db>, idx: &Arc<IndexRuntime>, merge_cp: MergeCheckpoint) -> Result<()> {
+    let store = idx.run_store();
+    let merge = Merge::resume(&store, &merge_cp)?;
+    let mut loader = BulkLoader::new(&idx.tree)?;
+    let mut prev: Option<IndexEntry> = None;
+    for entry in merge {
+        if idx.def.unique {
+            if let Some(p) = &prev {
+                if p.key == entry.key {
+                    return Err(Error::UniqueViolation { index: idx.def.id, existing: p.rid });
+                }
+            }
+        }
+        prev = Some(entry.clone());
+        loader.append(entry)?;
+    }
+    db.wal.flush_all();
+    loader.finish(db.wal.flushed_lsn())?;
+    Ok(())
+}
+
+// ===================================================================
+// cancel (§2.3.2)
+// ===================================================================
+
+/// Cancelling an in-progress build: quiesce updates (so rollbacks
+/// never meet a half-vanished descriptor), then delete the descriptor
+/// and all build state.
+fn cancel_builds(db: &Arc<Db>, idxs: &[Arc<IndexRuntime>]) -> Result<()> {
+    let tx = db.begin();
+    db.locks.lock(tx, LockName::Table(idxs[0].def.table), LockMode::S)?;
+    for idx in idxs {
+        db.unregister_index(idx.def.id);
+        progress::clear(db, idx.def.id);
+        idx.tree.clear();
+    }
+    db.commit(tx)
+}

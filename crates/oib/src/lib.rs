@@ -1,0 +1,48 @@
+//! Online index build without quiescing updates.
+//!
+//! This crate is the paper's primary contribution: the **NSF** (No
+//! Side-File) and **SF** (Side-File) algorithms of C. Mohan and
+//! Inderpal Narang, *"Algorithms for Creating Indexes for Very Large
+//! Tables Without Quiescing Updates"*, SIGMOD 1992 — built on the full
+//! engine the paper assumes (heap tables, a latched B+-tree with
+//! pseudo-deleted keys, ARIES-style WAL recovery, a lock manager, and
+//! the restartable sort of §5).
+//!
+//! The entry points:
+//!
+//! * [`engine::Db`] — the transactional engine: tables, indexes,
+//!   record DML with Figure-1 index maintenance, rollback with
+//!   Figure-2 compensation, crash simulation and restart recovery.
+//! * [`build::build_indexes`] — create one or more indexes in one data
+//!   scan (§6.2) with the chosen [`schema::BuildAlgorithm`]:
+//!   [`Offline`](schema::BuildAlgorithm::Offline) (quiesce everything;
+//!   the baseline the paper wants to retire),
+//!   [`Nsf`](schema::BuildAlgorithm::Nsf) or
+//!   [`Sf`](schema::BuildAlgorithm::Sf).
+//! * [`build::resume_build`] — continue an interrupted build after
+//!   [`engine::Db::restart`], losing at most one checkpoint interval
+//!   of work (§2.2.3, §3.2.4, §5).
+//! * [`gc::garbage_collect`] — background cleanup of pseudo-deleted
+//!   keys (§2.2.4).
+//! * [`verify`] — the correctness oracle used by every experiment: the
+//!   finished index must agree entry-for-entry with the table.
+//! * [`primary`] — the §6.2 storage-model extension: building a
+//!   secondary index by scanning a clustering primary index with a
+//!   *current-key* cursor instead of Current-RID.
+
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod dml;
+pub mod engine;
+pub mod gc;
+pub mod primary;
+pub mod progress;
+pub mod runtime;
+pub mod schema;
+pub mod side_file;
+pub mod verify;
+
+pub use engine::Db;
+pub use runtime::{IndexRuntime, IndexState};
+pub use schema::{BuildAlgorithm, IndexDef, Record};

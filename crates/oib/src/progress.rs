@@ -1,0 +1,190 @@
+//! Durable build-progress records.
+//!
+//! Each in-flight index build keeps one progress record in the stable
+//! blob area, updated at every checkpoint. It tells
+//! [`crate::build::resume_build`] which phase to re-enter and carries
+//! the phase's own checkpoint (§5 sort/merge checkpoints, §2.2.3 NSF
+//! insert position, §3.2.4 SF bulk-load checkpoint, §3.2.5 drain
+//! position).
+
+use crate::engine::Db;
+use mohan_btree::BulkCheckpoint;
+use mohan_common::{Error, IndexEntry, IndexId, Result};
+use mohan_sort::{MergeCheckpoint, MergePassCheckpoint, SortCheckpoint};
+
+/// Where an interrupted build resumes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildProgress {
+    /// Scanning data pages and forming sorted runs (§5.1).
+    Scanning {
+        /// Sort-phase checkpoint (includes the data-scan position).
+        sort: SortCheckpoint<IndexEntry>,
+    },
+    /// Reducing runs below the merge fan-in (§5.2).
+    Reducing {
+        /// Run-reduction checkpoint.
+        pass: MergePassCheckpoint,
+    },
+    /// SF: bottom-up bulk load fed by the pipelined final merge
+    /// (§3.2.4).
+    Loading {
+        /// Final-merge position.
+        merge: MergeCheckpoint,
+        /// Tree loader checkpoint.
+        bulk: BulkCheckpoint,
+    },
+    /// NSF: inserting sorted keys into the shared tree (§2.2.3).
+    Inserting {
+        /// Final-merge position.
+        merge: MergeCheckpoint,
+        /// Keys handed to the index manager so far.
+        inserted: u64,
+    },
+    /// SF: draining the side-file (§3.2.5).
+    Draining {
+        /// Entries applied so far.
+        pos: u64,
+    },
+}
+
+impl BuildProgress {
+    /// Serialize.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            BuildProgress::Scanning { sort } => {
+                out.push(0);
+                out.extend_from_slice(&sort.encode());
+            }
+            BuildProgress::Reducing { pass } => {
+                out.push(1);
+                out.extend_from_slice(&pass.encode());
+            }
+            BuildProgress::Loading { merge, bulk } => {
+                out.push(2);
+                let m = merge.encode();
+                out.extend_from_slice(&(m.len() as u32).to_be_bytes());
+                out.extend_from_slice(&m);
+                out.extend_from_slice(&bulk.encode());
+            }
+            BuildProgress::Inserting { merge, inserted } => {
+                out.push(3);
+                let m = merge.encode();
+                out.extend_from_slice(&(m.len() as u32).to_be_bytes());
+                out.extend_from_slice(&m);
+                out.extend_from_slice(&inserted.to_be_bytes());
+            }
+            BuildProgress::Draining { pos } => {
+                out.push(4);
+                out.extend_from_slice(&pos.to_be_bytes());
+            }
+        }
+        out
+    }
+
+    /// Deserialize.
+    #[must_use]
+    pub fn decode(buf: &[u8]) -> Option<BuildProgress> {
+        match *buf.first()? {
+            0 => Some(BuildProgress::Scanning { sort: SortCheckpoint::decode(&buf[1..])? }),
+            1 => Some(BuildProgress::Reducing { pass: MergePassCheckpoint::decode(&buf[1..])? }),
+            2 => {
+                let mlen = u32::from_be_bytes(buf.get(1..5)?.try_into().ok()?) as usize;
+                let merge = MergeCheckpoint::decode(buf.get(5..5 + mlen)?)?;
+                let bulk = BulkCheckpoint::decode(buf.get(5 + mlen..)?)?;
+                Some(BuildProgress::Loading { merge, bulk })
+            }
+            3 => {
+                let mlen = u32::from_be_bytes(buf.get(1..5)?.try_into().ok()?) as usize;
+                let merge = MergeCheckpoint::decode(buf.get(5..5 + mlen)?)?;
+                let inserted =
+                    u64::from_be_bytes(buf.get(5 + mlen..5 + mlen + 8)?.try_into().ok()?);
+                Some(BuildProgress::Inserting { merge, inserted })
+            }
+            4 => Some(BuildProgress::Draining {
+                pos: u64::from_be_bytes(buf.get(1..9)?.try_into().ok()?),
+            }),
+            _ => None,
+        }
+    }
+}
+
+fn key(id: IndexId) -> String {
+    format!("build/{}/progress", id.0)
+}
+
+/// Durably record build progress.
+pub fn store(db: &Db, id: IndexId, progress: &BuildProgress) {
+    db.blobs.put(&key(id), progress.encode());
+}
+
+/// Load build progress, if any.
+pub fn load(db: &Db, id: IndexId) -> Result<Option<BuildProgress>> {
+    match db.blobs.get(&key(id)) {
+        None => Ok(None),
+        Some(bytes) => BuildProgress::decode(&bytes)
+            .map(Some)
+            .ok_or_else(|| Error::Corruption(format!("corrupt build progress for {id}"))),
+    }
+}
+
+/// Remove the progress record (build finished or cancelled).
+pub fn clear(db: &Db, id: IndexId) {
+    db.blobs.remove(&key(id));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mohan_common::Rid;
+    use mohan_sort::RunMeta;
+
+    #[test]
+    fn all_variants_roundtrip() {
+        let e = IndexEntry::from_i64(5, Rid::new(1, 1));
+        let cases = vec![
+            BuildProgress::Scanning {
+                sort: SortCheckpoint {
+                    runs: vec![RunMeta { id: 1, len: 10 }],
+                    scan_pos: 99,
+                    last_run_high: Some(e.clone()),
+                },
+            },
+            BuildProgress::Reducing {
+                pass: MergePassCheckpoint {
+                    remaining: vec![1, 2],
+                    inflight: Some((
+                        7,
+                        MergeCheckpoint { inputs: vec![1, 2], counters: vec![3, 4], emitted: 7 },
+                    )),
+                },
+            },
+            BuildProgress::Loading {
+                merge: MergeCheckpoint { inputs: vec![5], counters: vec![2], emitted: 2 },
+                bulk: BulkCheckpoint {
+                    highest: Some(e.clone()),
+                    count: 2,
+                    allocated: 4,
+                    root: mohan_common::PageId(1),
+                    height: 1,
+                    right_path: vec![mohan_common::PageId(1)],
+                },
+            },
+            BuildProgress::Inserting {
+                merge: MergeCheckpoint { inputs: vec![], counters: vec![], emitted: 0 },
+                inserted: 123,
+            },
+            BuildProgress::Draining { pos: 77 },
+        ];
+        for c in cases {
+            assert_eq!(BuildProgress::decode(&c.encode()), Some(c));
+        }
+    }
+
+    #[test]
+    fn decode_garbage_is_none() {
+        assert_eq!(BuildProgress::decode(&[]), None);
+        assert_eq!(BuildProgress::decode(&[9, 1, 2]), None);
+    }
+}

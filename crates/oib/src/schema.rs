@@ -1,0 +1,237 @@
+//! Records, index definitions and key extraction.
+//!
+//! A record is a tuple of `i64` columns; an index key value is the
+//! order-preserving concatenation of the values of the indexed columns
+//! (§1.1: "key value is the concatenation of the values of the columns
+//! (fields) of the table over which the index is defined").
+
+use mohan_common::{Error, IndexEntry, IndexId, KeyValue, Result, Rid, TableId};
+
+/// A table row: a fixed tuple of integer columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record(pub Vec<i64>);
+
+impl Record {
+    /// Construct from column values.
+    #[must_use]
+    pub fn new(cols: Vec<i64>) -> Record {
+        Record(cols)
+    }
+
+    /// Serialize for heap storage.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(2 + self.0.len() * 8);
+        out.extend_from_slice(&(self.0.len() as u16).to_be_bytes());
+        for &c in &self.0 {
+            out.extend_from_slice(&c.to_be_bytes());
+        }
+        out
+    }
+
+    /// Deserialize from heap bytes.
+    pub fn decode(buf: &[u8]) -> Result<Record> {
+        if buf.len() < 2 {
+            return Err(Error::Corruption("record too short".into()));
+        }
+        let n = u16::from_be_bytes([buf[0], buf[1]]) as usize;
+        if buf.len() < 2 + n * 8 {
+            return Err(Error::Corruption("record truncated".into()));
+        }
+        let mut cols = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&buf[2 + i * 8..2 + i * 8 + 8]);
+            cols.push(i64::from_be_bytes(b));
+        }
+        Ok(Record(cols))
+    }
+}
+
+/// Which build algorithm an index was (or is being) created with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildAlgorithm {
+    /// The pre-paper baseline: quiesce all updates for the whole build.
+    Offline,
+    /// §2: no side-file; transactions maintain the index directly
+    /// while the IB inserts into the same tree.
+    Nsf,
+    /// §3: bottom-up build plus a side-file drained at the end; no
+    /// quiesce at any point.
+    Sf,
+}
+
+impl BuildAlgorithm {
+    /// Stable tag for catalog serialization.
+    #[must_use]
+    pub fn tag(self) -> u8 {
+        match self {
+            BuildAlgorithm::Offline => 0,
+            BuildAlgorithm::Nsf => 1,
+            BuildAlgorithm::Sf => 2,
+        }
+    }
+
+    /// Inverse of [`BuildAlgorithm::tag`].
+    #[must_use]
+    pub fn from_tag(t: u8) -> Option<BuildAlgorithm> {
+        match t {
+            0 => Some(BuildAlgorithm::Offline),
+            1 => Some(BuildAlgorithm::Nsf),
+            2 => Some(BuildAlgorithm::Sf),
+            _ => None,
+        }
+    }
+}
+
+/// Definition of an index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexDef {
+    /// Index identity.
+    pub id: IndexId,
+    /// Human-readable name.
+    pub name: String,
+    /// Table indexed.
+    pub table: TableId,
+    /// Key-value uniqueness enforced?
+    pub unique: bool,
+    /// Column positions forming the key, in order.
+    pub key_cols: Vec<usize>,
+}
+
+impl IndexDef {
+    /// Extract this index's key value from a record.
+    pub fn key_of(&self, rec: &Record) -> Result<KeyValue> {
+        let mut vals = Vec::with_capacity(self.key_cols.len());
+        for &c in &self.key_cols {
+            let v = rec
+                .0
+                .get(c)
+                .ok_or_else(|| Error::Corruption(format!("column {c} out of range")))?;
+            vals.push(*v);
+        }
+        Ok(KeyValue::from_i64s(&vals))
+    }
+
+    /// Extract the full `<key value, RID>` entry.
+    pub fn entry_of(&self, rec: &Record, rid: Rid) -> Result<IndexEntry> {
+        Ok(IndexEntry::new(self.key_of(rec)?, rid))
+    }
+
+    /// Extract the key from encoded record bytes.
+    pub fn key_of_bytes(&self, data: &[u8]) -> Result<KeyValue> {
+        self.key_of(&Record::decode(data)?)
+    }
+
+    /// Catalog serialization.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.id.0.to_be_bytes());
+        out.extend_from_slice(&self.table.0.to_be_bytes());
+        out.push(u8::from(self.unique));
+        out.extend_from_slice(&(self.name.len() as u16).to_be_bytes());
+        out.extend_from_slice(self.name.as_bytes());
+        out.extend_from_slice(&(self.key_cols.len() as u16).to_be_bytes());
+        for &c in &self.key_cols {
+            out.extend_from_slice(&(c as u16).to_be_bytes());
+        }
+        out
+    }
+
+    /// Catalog deserialization; advances `pos`.
+    pub fn decode(buf: &[u8], pos: &mut usize) -> Result<IndexDef> {
+        let err = || Error::Corruption("truncated index def".into());
+        let rd_u32 = |buf: &[u8], pos: &mut usize| -> Result<u32> {
+            let b: [u8; 4] = buf.get(*pos..*pos + 4).ok_or_else(err)?.try_into().unwrap();
+            *pos += 4;
+            Ok(u32::from_be_bytes(b))
+        };
+        let rd_u16 = |buf: &[u8], pos: &mut usize| -> Result<u16> {
+            let b: [u8; 2] = buf.get(*pos..*pos + 2).ok_or_else(err)?.try_into().unwrap();
+            *pos += 2;
+            Ok(u16::from_be_bytes(b))
+        };
+        let id = IndexId(rd_u32(buf, pos)?);
+        let table = TableId(rd_u32(buf, pos)?);
+        let unique = *buf.get(*pos).ok_or_else(err)? != 0;
+        *pos += 1;
+        let nlen = rd_u16(buf, pos)? as usize;
+        let name = String::from_utf8(buf.get(*pos..*pos + nlen).ok_or_else(err)?.to_vec())
+            .map_err(|_| err())?;
+        *pos += nlen;
+        let ncols = rd_u16(buf, pos)? as usize;
+        let mut key_cols = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            key_cols.push(rd_u16(buf, pos)? as usize);
+        }
+        Ok(IndexDef { id, name, table, unique, key_cols })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_roundtrip() {
+        let r = Record::new(vec![1, -2, i64::MAX]);
+        assert_eq!(Record::decode(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn record_decode_rejects_garbage() {
+        assert!(Record::decode(&[]).is_err());
+        assert!(Record::decode(&[0, 3, 1]).is_err());
+    }
+
+    #[test]
+    fn key_extraction_single_and_composite() {
+        let def = IndexDef {
+            id: IndexId(1),
+            name: "ix".into(),
+            table: TableId(1),
+            unique: false,
+            key_cols: vec![2, 0],
+        };
+        let r = Record::new(vec![10, 20, 30]);
+        assert_eq!(def.key_of(&r).unwrap(), KeyValue::from_i64s(&[30, 10]));
+        assert!(def.key_of(&Record::new(vec![1])).is_err());
+    }
+
+    #[test]
+    fn key_of_bytes_matches_key_of() {
+        let def = IndexDef {
+            id: IndexId(1),
+            name: "ix".into(),
+            table: TableId(1),
+            unique: true,
+            key_cols: vec![0],
+        };
+        let r = Record::new(vec![77, 5]);
+        assert_eq!(def.key_of_bytes(&r.encode()).unwrap(), def.key_of(&r).unwrap());
+    }
+
+    #[test]
+    fn def_roundtrip() {
+        let def = IndexDef {
+            id: IndexId(9),
+            name: "orders_by_customer".into(),
+            table: TableId(3),
+            unique: true,
+            key_cols: vec![1, 4],
+        };
+        let bytes = def.encode();
+        let mut pos = 0;
+        assert_eq!(IndexDef::decode(&bytes, &mut pos).unwrap(), def);
+        assert_eq!(pos, bytes.len());
+    }
+
+    #[test]
+    fn algorithm_tags_roundtrip() {
+        for a in [BuildAlgorithm::Offline, BuildAlgorithm::Nsf, BuildAlgorithm::Sf] {
+            assert_eq!(BuildAlgorithm::from_tag(a.tag()), Some(a));
+        }
+        assert_eq!(BuildAlgorithm::from_tag(9), None);
+    }
+}

@@ -1,0 +1,218 @@
+//! The side-file: an append-only table of `<operation, key>` entries
+//! (§3.1).
+//!
+//! "Transactions append entries without doing any locking of the
+//! appended entries" — a single mutex guards the tail pointer, which
+//! is the moral equivalent: no entry is ever locked, and appends never
+//! wait on the index builder's work.
+//!
+//! The end-of-drain handshake closes the race the paper leaves
+//! implicit: a transaction that saw `Index_Build = '1'` under the data
+//! page latch might append only after the IB checked for the last
+//! entry. Here the close decision and every append share the mutex:
+//! [`SideFile::try_close`] succeeds only if the drain position equals
+//! the tail, and any append that arrives after a successful close is
+//! refused with [`Append::BuildDone`] so the transaction updates the
+//! index directly instead.
+
+use mohan_common::stats::{Counter, MaxGauge};
+use mohan_wal::SideFileOp;
+use parking_lot::Mutex;
+
+/// Result of an append attempt.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Append {
+    /// Entry appended at this position.
+    Appended(u64),
+    /// The build finished concurrently; the caller must apply the
+    /// operation to the index directly.
+    BuildDone,
+}
+
+#[derive(Default)]
+struct Inner {
+    entries: Vec<SideFileOp>,
+    closed: bool,
+}
+
+/// One index build's side-file.
+#[derive(Default)]
+pub struct SideFile {
+    inner: Mutex<Inner>,
+    /// Entries appended over the build's lifetime.
+    pub appended: Counter,
+    /// Peak backlog (appended − drained) observed at drain time.
+    pub max_backlog: MaxGauge,
+}
+
+impl SideFile {
+    /// Fresh, open side-file.
+    #[must_use]
+    pub fn new() -> SideFile {
+        SideFile::default()
+    }
+
+    /// Transaction append (Figure 1). Returns [`Append::BuildDone`]
+    /// if the build already completed.
+    pub fn append(&self, op: SideFileOp) -> Append {
+        self.append_with(op, |_| {})
+    }
+
+    /// Append and run `log` under the same critical section, so the
+    /// side-file's entry order always equals the WAL order of the
+    /// `SideFileAppend` records — which is what makes the rebuilt
+    /// side-file's drain position meaningful after a crash.
+    pub fn append_with(&self, op: SideFileOp, log: impl FnOnce(&SideFileOp)) -> Append {
+        let mut g = self.inner.lock();
+        if g.closed {
+            return Append::BuildDone;
+        }
+        log(&op);
+        g.entries.push(op);
+        self.appended.bump();
+        Append::Appended(g.entries.len() as u64 - 1)
+    }
+
+    /// Recovery replay of a logged append (always accepted; the
+    /// side-file is rebuilt from the log in LSN order).
+    pub fn redo_append(&self, op: SideFileOp) {
+        self.inner.lock().entries.push(op);
+    }
+
+    /// Current length.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.inner.lock().entries.len() as u64
+    }
+
+    /// True if no entries exist.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Read up to `n` entries starting at `pos` (the IB's drain).
+    #[must_use]
+    pub fn read(&self, pos: u64, n: usize) -> Vec<SideFileOp> {
+        let g = self.inner.lock();
+        let start = (pos as usize).min(g.entries.len());
+        let end = start.saturating_add(n).min(g.entries.len());
+        self.max_backlog.observe((g.entries.len() - start) as u64);
+        g.entries[start..end].to_vec()
+    }
+
+    /// Atomically close the side-file if everything up to `drained`
+    /// has been applied. On success transactions switch to direct
+    /// index maintenance (§3.2.5: "after processing the last entry in
+    /// the side-file, IB resets the Index_Build flag").
+    #[must_use]
+    pub fn try_close(&self, drained: u64) -> bool {
+        let mut g = self.inner.lock();
+        if g.entries.len() as u64 == drained {
+            g.closed = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Is the side-file closed (build complete)?
+    #[must_use]
+    pub fn closed(&self) -> bool {
+        self.inner.lock().closed
+    }
+
+    /// Crash: contents are volatile (rebuilt from redo), the closed
+    /// flag is re-derived from the catalog state.
+    pub fn crash(&self) {
+        let mut g = self.inner.lock();
+        g.entries.clear();
+        g.closed = false;
+    }
+
+    /// Mark closed without a position check (restart of a build whose
+    /// completion was already durable in the catalog).
+    pub fn force_close(&self) {
+        self.inner.lock().closed = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mohan_common::{IndexEntry, Rid};
+
+    fn op(k: i64, insert: bool) -> SideFileOp {
+        SideFileOp { insert, entry: IndexEntry::from_i64(k, Rid::new(1, k as u16)) }
+    }
+
+    #[test]
+    fn append_read_in_order() {
+        let sf = SideFile::new();
+        assert_eq!(sf.append(op(1, true)), Append::Appended(0));
+        assert_eq!(sf.append(op(2, false)), Append::Appended(1));
+        let got = sf.read(0, 10);
+        assert_eq!(got.len(), 2);
+        assert!(got[0].insert && !got[1].insert);
+        assert_eq!(sf.read(1, 10).len(), 1);
+    }
+
+    #[test]
+    fn close_only_when_fully_drained() {
+        let sf = SideFile::new();
+        sf.append(op(1, true));
+        assert!(!sf.try_close(0));
+        assert!(sf.try_close(1));
+        assert!(sf.closed());
+    }
+
+    #[test]
+    fn appends_after_close_are_refused() {
+        let sf = SideFile::new();
+        assert!(sf.try_close(0));
+        assert_eq!(sf.append(op(9, true)), Append::BuildDone);
+        assert_eq!(sf.len(), 0);
+    }
+
+    #[test]
+    fn close_race_never_loses_an_entry() {
+        // Hammer append vs try_close from two threads: either the
+        // entry lands before the close (and the close fails) or the
+        // appender is told the build is done.
+        use std::sync::Arc;
+        for _ in 0..200 {
+            let sf = Arc::new(SideFile::new());
+            let sf2 = Arc::clone(&sf);
+            let closer = std::thread::spawn(move || sf2.try_close(0));
+            let res = sf.append(op(1, true));
+            let closed = closer.join().unwrap();
+            match res {
+                Append::Appended(_) => assert!(!closed, "closed while an entry was pending"),
+                Append::BuildDone => assert!(closed),
+            }
+        }
+    }
+
+    #[test]
+    fn crash_clears_and_reopens() {
+        let sf = SideFile::new();
+        sf.append(op(1, true));
+        assert!(sf.try_close(1));
+        sf.crash();
+        assert_eq!(sf.len(), 0);
+        assert!(!sf.closed());
+        sf.redo_append(op(1, true));
+        assert_eq!(sf.len(), 1);
+    }
+
+    #[test]
+    fn backlog_gauge_tracks_peak() {
+        let sf = SideFile::new();
+        for i in 0..10 {
+            sf.append(op(i, true));
+        }
+        let _ = sf.read(0, 2);
+        let _ = sf.read(8, 2);
+        assert_eq!(sf.max_backlog.get(), 10);
+    }
+}

@@ -1,0 +1,88 @@
+//! The correctness oracle.
+//!
+//! Every experiment ends by checking that the finished index agrees
+//! *entry-for-entry* with the table's committed state — the live
+//! entries must be exactly the `<key value, RID>` pairs derivable from
+//! the records, pseudo-deleted entries must not shadow a live record's
+//! key, and the tree must satisfy all structural invariants.
+//!
+//! Call at quiescent points (no in-flight transactions), as a real
+//! `CHECK INDEX` utility would.
+
+use crate::engine::Db;
+use crate::runtime::IndexState;
+use crate::schema::Record;
+use mohan_common::{Error, IndexEntry, IndexId, Result};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Full agreement check between index and table.
+pub fn verify_index(db: &Arc<Db>, index: IndexId) -> Result<()> {
+    let idx = db.index(index)?;
+    if idx.state() != IndexState::Complete {
+        return Err(Error::IndexNotReadable(index));
+    }
+    mohan_btree::scan::verify_structure(&idx.tree)?;
+
+    let mut expected: BTreeSet<IndexEntry> = BTreeSet::new();
+    let table = db.table(idx.def.table)?;
+    if table.num_pages() > 0 {
+        let last = mohan_common::PageId(table.num_pages() - 1);
+        table.scan_from(None, last, |rid, data| {
+            let rec = Record::decode(data)?;
+            expected.insert(idx.def.entry_of(&rec, rid)?);
+            Ok(true)
+        })?;
+    }
+
+    let mut live: BTreeSet<IndexEntry> = BTreeSet::new();
+    for (entry, pseudo) in mohan_btree::scan::collect_all(&idx.tree, true)? {
+        if pseudo {
+            // A tombstone must not correspond to a live record.
+            if expected.contains(&entry) {
+                return Err(Error::Corruption(format!(
+                    "{index}: entry {entry:?} is pseudo-deleted but its record is live"
+                )));
+            }
+            continue;
+        }
+        live.insert(entry);
+    }
+
+    if live != expected {
+        let missing: Vec<_> = expected.difference(&live).take(5).collect();
+        let extra: Vec<_> = live.difference(&expected).take(5).collect();
+        return Err(Error::Corruption(format!(
+            "{index} disagrees with table: {} missing (e.g. {missing:?}), {} extra (e.g. {extra:?})",
+            expected.difference(&live).count(),
+            live.difference(&expected).count(),
+        )));
+    }
+
+    if idx.def.unique {
+        let mut prev: Option<IndexEntry> = None;
+        for entry in &live {
+            if let Some(p) = &prev {
+                if p.key == entry.key {
+                    return Err(Error::Corruption(format!(
+                        "{index}: unique index holds two live entries for one key value"
+                    )));
+                }
+            }
+            prev = Some(entry.clone());
+        }
+    }
+    Ok(())
+}
+
+/// Verify every complete index of a table.
+pub fn verify_all(db: &Arc<Db>, table: mohan_common::TableId) -> Result<usize> {
+    let mut checked = 0;
+    for idx in db.indexes_of(table) {
+        if idx.state() == IndexState::Complete {
+            verify_index(db, idx.def.id)?;
+            checked += 1;
+        }
+    }
+    Ok(checked)
+}

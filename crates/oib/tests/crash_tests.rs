@@ -1,0 +1,297 @@
+//! Crash/resume tests: kill the index builder at every phase (scan,
+//! merge, NSF insert, SF load, SF drain), run restart recovery, resume
+//! the build, and prove the finished index is exactly right — the
+//! paper's §2.2.3 / §3.2.4 / §5 restartability machinery end to end.
+
+use mohan_common::{EngineConfig, Error, Rid, TableId};
+use mohan_oib::build::{build_index, resume_build, IndexSpec};
+use mohan_oib::runtime::IndexState;
+use mohan_oib::schema::{BuildAlgorithm, Record};
+use mohan_oib::verify::verify_index;
+use mohan_oib::Db;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const T: TableId = TableId(1);
+
+fn db() -> Arc<Db> {
+    let db = Db::new(EngineConfig {
+        lock_timeout_ms: 5_000,
+        ..EngineConfig::small()
+    });
+    db.create_table(T);
+    db
+}
+
+fn rec(k: i64, v: i64) -> Record {
+    Record::new(vec![k, v])
+}
+
+fn spec(unique: bool) -> IndexSpec {
+    IndexSpec { name: "crashy".into(), key_cols: vec![0], unique }
+}
+
+fn seed(db: &Arc<Db>, n: i64) -> Vec<Rid> {
+    let tx = db.begin();
+    let rids = (0..n).map(|k| db.insert_record(tx, T, &rec(k, 1)).unwrap()).collect();
+    db.commit(tx).unwrap();
+    rids
+}
+
+/// Crash the build at `site` after `skip` hits, restart, resume
+/// (possibly several times if resuming re-hits armed sites), verify.
+fn crash_resume_cycle(db: &Arc<Db>, algorithm: BuildAlgorithm, site: &'static str, skip: u64) {
+    db.failpoints.arm_after(site, skip);
+    let err = build_index(db, T, spec(false), algorithm).unwrap_err();
+    assert!(err.is_crash(), "expected crash, got {err}");
+    db.simulate_crash();
+    db.restart().unwrap();
+    let id = db.indexes_of(T).last().unwrap().def.id;
+    resume_build(db, id).unwrap();
+    let idx = db.index(id).unwrap();
+    assert_eq!(idx.state(), IndexState::Complete);
+    verify_index(db, id).unwrap();
+}
+
+#[test]
+fn nsf_crash_during_scan_resumes() {
+    let db = db();
+    seed(&db, 300);
+    crash_resume_cycle(&db, BuildAlgorithm::Nsf, "build.scan", 1);
+}
+
+#[test]
+fn sf_crash_during_scan_resumes() {
+    let db = db();
+    seed(&db, 300);
+    crash_resume_cycle(&db, BuildAlgorithm::Sf, "build.scan", 1);
+}
+
+#[test]
+fn crash_before_any_checkpoint_restarts_from_scratch() {
+    let db = db();
+    seed(&db, 100);
+    crash_resume_cycle(&db, BuildAlgorithm::Sf, "build.scan.record", 5);
+}
+
+#[test]
+fn nsf_crash_during_insert_phase_resumes() {
+    let db = db();
+    seed(&db, 300);
+    crash_resume_cycle(&db, BuildAlgorithm::Nsf, "build.insert", 1);
+}
+
+#[test]
+fn nsf_crash_mid_key_between_checkpoints_resumes() {
+    let db = db();
+    seed(&db, 300);
+    crash_resume_cycle(&db, BuildAlgorithm::Nsf, "nsf.insert.key", 150);
+}
+
+#[test]
+fn sf_crash_during_bulk_load_resumes() {
+    let db = db();
+    seed(&db, 300);
+    crash_resume_cycle(&db, BuildAlgorithm::Sf, "build.load", 1);
+}
+
+#[test]
+fn sf_crash_mid_load_key_resumes() {
+    let db = db();
+    seed(&db, 300);
+    crash_resume_cycle(&db, BuildAlgorithm::Sf, "sf.load.key", 200);
+}
+
+#[test]
+fn sf_crash_during_drain_resumes() {
+    let db = db();
+    let rids = seed(&db, 300);
+    // Deterministic side-file population: crash mid-scan first. After
+    // restart the conservative cursor makes *every* update visible, so
+    // committed updates before the resume land in the side-file.
+    db.failpoints.arm("build.scan");
+    let err = build_index(&db, T, spec(false), BuildAlgorithm::Sf).unwrap_err();
+    assert!(err.is_crash());
+    db.simulate_crash();
+    db.restart().unwrap();
+    let id = db.indexes_of(T).last().unwrap().def.id;
+
+    let tx = db.begin();
+    for k in 0..40 {
+        db.insert_record(tx, T, &rec(700_000 + k, 2)).unwrap();
+        db.delete_record(tx, T, rids[(k * 5) as usize]).unwrap();
+    }
+    db.commit(tx).unwrap();
+    assert!(db.index(id).unwrap().side_file.len() >= 80);
+
+    // Now crash in the drain itself, twice (mid-op and at the
+    // checkpoint), resuming each time.
+    db.failpoints.arm_after("sf.drain.op", 10);
+    let err = resume_build(&db, id).unwrap_err();
+    assert!(err.is_crash());
+    db.simulate_crash();
+    db.restart().unwrap();
+    db.failpoints.arm("build.drain");
+    let err = resume_build(&db, id).unwrap_err();
+    assert!(err.is_crash());
+    db.simulate_crash();
+    db.restart().unwrap();
+    resume_build(&db, id).unwrap();
+    verify_index(&db, id).unwrap();
+}
+
+#[test]
+fn repeated_crashes_across_phases_still_converge() {
+    let db = db();
+    seed(&db, 400);
+    // First crash in the scan.
+    db.failpoints.arm_after("build.scan", 0);
+    let err = build_index(&db, T, spec(false), BuildAlgorithm::Sf).unwrap_err();
+    assert!(err.is_crash());
+    let id = db.indexes_of(T).last().unwrap().def.id;
+
+    // Second crash in the load.
+    db.simulate_crash();
+    db.restart().unwrap();
+    db.failpoints.arm("build.load");
+    let err = resume_build(&db, id).unwrap_err();
+    assert!(err.is_crash());
+
+    // Third crash in the drain.
+    db.simulate_crash();
+    db.restart().unwrap();
+    db.failpoints.arm("sf.drain.op");
+    match resume_build(&db, id) {
+        Err(e) => {
+            assert!(e.is_crash());
+            db.simulate_crash();
+            db.restart().unwrap();
+            resume_build(&db, id).unwrap();
+        }
+        Ok(()) => {
+            // Empty side-file: the drain-op site never fired. Done.
+            db.failpoints.clear();
+        }
+    }
+    verify_index(&db, id).unwrap();
+}
+
+#[test]
+fn crash_with_concurrent_updates_then_resume_is_exact() {
+    // The full gauntlet: churn + crash mid-build + loser transactions
+    // at the crash + resume + verify. Run for both algorithms.
+    for algorithm in [BuildAlgorithm::Nsf, BuildAlgorithm::Sf] {
+        let db = db();
+        seed(&db, 300);
+        let stop = Arc::new(AtomicBool::new(false));
+        let db2 = Arc::clone(&db);
+        let stop2 = Arc::clone(&stop);
+        let churn = std::thread::spawn(move || {
+            let mut k = 500_000i64;
+            while !stop2.load(Ordering::Relaxed) {
+                let tx = db2.begin();
+                k += 1;
+                let ok = db2.insert_record(tx, T, &rec(k, 0)).is_ok();
+                if ok && k % 3 == 0 {
+                    let _ = db2.rollback(tx);
+                } else {
+                    let _ = db2.commit(tx);
+                }
+            }
+        });
+        // Crash somewhere in the middle of the pipeline.
+        let site = match algorithm {
+            BuildAlgorithm::Nsf => "nsf.insert.key",
+            _ => "sf.load.key",
+        };
+        db.failpoints.arm_after(site, 100);
+        let err = build_index(&db, T, spec(false), algorithm).unwrap_err();
+        assert!(err.is_crash(), "{algorithm:?}");
+        stop.store(true, Ordering::Relaxed);
+        churn.join().unwrap();
+
+        db.simulate_crash();
+        db.restart().unwrap();
+        let id = db.indexes_of(T).last().unwrap().def.id;
+        resume_build(&db, id).unwrap();
+        verify_index(&db, id).unwrap();
+    }
+}
+
+#[test]
+fn unique_build_crash_resume_detects_violation_after_restart() {
+    let db = db();
+    seed(&db, 100);
+    // Create a duplicate pair that the resumed build must detect.
+    let tx = db.begin();
+    db.insert_record(tx, T, &rec(42, 7)).unwrap(); // key 42 duplicates seed
+    db.commit(tx).unwrap();
+
+    db.failpoints.arm("build.scan");
+    let err = build_index(&db, T, spec(true), BuildAlgorithm::Sf).unwrap_err();
+    assert!(err.is_crash());
+    db.simulate_crash();
+    db.restart().unwrap();
+    let id = db.indexes_of(T).last().unwrap().def.id;
+    let err = resume_build(&db, id).unwrap_err();
+    assert!(matches!(err, Error::UniqueViolation { .. }));
+    // The cancelled build leaves no descriptor.
+    assert!(db.index(id).is_err());
+}
+
+#[test]
+fn checkpoint_interval_bounds_rescan_work() {
+    // Quantitative restartability: with frequent checkpoints, the
+    // resumed scan re-reads only the tail of the table.
+    let db = Db::new(EngineConfig {
+        sort_checkpoint_every_keys: 50,
+        ..EngineConfig::small()
+    });
+    db.create_table(T);
+    seed(&db, 500);
+
+    // Crash after the 8th checkpoint (~400 records in).
+    db.failpoints.arm_after("build.scan", 7);
+    let err = build_index(&db, T, spec(false), BuildAlgorithm::Sf).unwrap_err();
+    assert!(err.is_crash());
+    db.simulate_crash();
+    db.restart().unwrap();
+
+    let table = db.table(T).unwrap();
+    let scanned_before_resume = table.stats.scan_pages.get();
+    let id = db.indexes_of(T).last().unwrap().def.id;
+    resume_build(&db, id).unwrap();
+    let rescanned = table.stats.scan_pages.get() - scanned_before_resume;
+    let total_pages = table.num_pages() as u64;
+    assert!(
+        rescanned < total_pages / 2,
+        "resume rescanned {rescanned} of {total_pages} pages — checkpoints not honoured"
+    );
+    verify_index(&db, id).unwrap();
+}
+
+#[test]
+fn loser_ib_transaction_is_undone_at_restart() {
+    // Crash the NSF insert phase between IB checkpoints with the log
+    // fully flushed (a busy system's log would be): the IB's
+    // uncommitted bulk inserts are durable, so restart must actively
+    // undo them (IndexBulkRemove CLRs), and the resume re-inserts the
+    // tail.
+    let db = Db::new(EngineConfig {
+        ib_checkpoint_every_keys: 100,
+        lock_timeout_ms: 5_000,
+        ..EngineConfig::small()
+    });
+    db.create_table(T);
+    seed(&db, 300);
+    db.failpoints.arm_after("nsf.insert.key", 150);
+    let err = build_index(&db, T, spec(false), BuildAlgorithm::Nsf).unwrap_err();
+    assert!(err.is_crash());
+    db.wal.flush_all();
+    db.simulate_crash();
+    let stats = db.restart().unwrap();
+    assert!(stats.losers >= 1, "the in-flight IB transaction must lose");
+    let id = db.indexes_of(T).last().unwrap().def.id;
+    resume_build(&db, id).unwrap();
+    verify_index(&db, id).unwrap();
+}

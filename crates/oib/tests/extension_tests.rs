@@ -1,0 +1,275 @@
+//! Tests for the paper's optional extensions: the NSF no-quiesce
+//! variant (§2.2.1 alternative / §3.2.3), gradual read availability
+//! (footnote 3), and the §6.2 primary-index storage model.
+
+use mohan_common::{EngineConfig, Error, KeyValue, Rid, TableId};
+use mohan_oib::build::{build_index, IndexSpec};
+use mohan_oib::primary::build_secondary_via_primary;
+use mohan_oib::runtime::IndexState;
+use mohan_oib::schema::{BuildAlgorithm, Record};
+use mohan_oib::verify::verify_index;
+use mohan_oib::Db;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const T: TableId = TableId(1);
+
+fn rec(k: i64, v: i64) -> Record {
+    Record::new(vec![k, v])
+}
+
+fn spec(name: &str, unique: bool) -> IndexSpec {
+    IndexSpec { name: name.into(), key_cols: vec![0], unique }
+}
+
+fn seed(db: &Arc<Db>, n: i64) -> Vec<Rid> {
+    let tx = db.begin();
+    let rids = (0..n).map(|k| db.insert_record(tx, T, &rec(k, 1)).unwrap()).collect();
+    db.commit(tx).unwrap();
+    rids
+}
+
+// ===================================================================
+// NSF without the descriptor-create quiesce
+// ===================================================================
+
+fn no_quiesce_db() -> Arc<Db> {
+    let db = Db::new(EngineConfig {
+        nsf_descriptor_quiesce: false,
+        lock_timeout_ms: 5_000,
+        ..EngineConfig::small()
+    });
+    db.create_table(T);
+    db
+}
+
+#[test]
+fn nsf_no_quiesce_builds_while_a_transaction_holds_ix() {
+    // The whole point: an updater holding IX for the entire build no
+    // longer blocks descriptor creation.
+    let db = no_quiesce_db();
+    seed(&db, 100);
+    let holder = db.begin();
+    db.insert_record(holder, T, &rec(900_000, 0)).unwrap();
+    let idx = build_index(&db, T, spec("nq", false), BuildAlgorithm::Nsf).unwrap();
+    db.commit(holder).unwrap();
+    verify_index(&db, idx).unwrap();
+    assert_eq!(db.index_lookup(idx, &KeyValue::from_i64(900_000)).unwrap().len(), 1);
+}
+
+#[test]
+fn nsf_no_quiesce_straddling_rollback_is_compensated() {
+    // §2.2.1's problem scenario: T1 inserts a record *before* the
+    // descriptor exists (so its log record counts zero visible
+    // indexes), the build starts, and T1 rolls back afterwards. The
+    // count comparison (Figure 2 applied to NSF per §3.2.3) must
+    // compensate: the key may not survive in the index.
+    let db = no_quiesce_db();
+    seed(&db, 200);
+
+    let t1 = db.begin();
+    let ghost = db.insert_record(t1, T, &rec(777_777, 0)).unwrap();
+
+    // Run the build in another thread; it will scan the uncommitted
+    // record and insert its key.
+    let db2 = Arc::clone(&db);
+    let builder = std::thread::spawn(move || {
+        build_index(&db2, T, spec("nq2", false), BuildAlgorithm::Nsf)
+    });
+    // Wait until the descriptor is visible, then roll T1 back: the
+    // undo happens while the index is visible although the forward
+    // insert predates it.
+    while db.indexes_of(T).is_empty() {
+        std::thread::yield_now();
+    }
+    db.rollback(t1).unwrap();
+    let idx = builder.join().unwrap().unwrap();
+
+    assert!(!db.table(T).unwrap().exists(ghost));
+    assert!(db.index_lookup(idx, &KeyValue::from_i64(777_777)).unwrap().is_empty());
+    verify_index(&db, idx).unwrap();
+}
+
+#[test]
+fn nsf_no_quiesce_with_churn_is_exact() {
+    let db = no_quiesce_db();
+    let rids = seed(&db, 300);
+    let stop = Arc::new(AtomicBool::new(false));
+    let db2 = Arc::clone(&db);
+    let stop2 = Arc::clone(&stop);
+    let rids2 = rids.clone();
+    let churn = std::thread::spawn(move || {
+        let mut k = 500_000i64;
+        while !stop2.load(Ordering::Relaxed) {
+            let tx = db2.begin();
+            k += 1;
+            let ok = db2.insert_record(tx, T, &rec(k, 0)).is_ok()
+                && db2.delete_record(tx, T, rids2[(k % 250) as usize]).is_ok()
+                && db2.insert_record(tx, T, &rec(k + 1_000_000, 0)).is_ok();
+            if !ok || k % 4 == 0 {
+                let _ = db2.rollback(tx);
+            } else {
+                let _ = db2.commit(tx);
+            }
+        }
+    });
+    std::thread::sleep(Duration::from_millis(20));
+    let idx = build_index(&db, T, spec("nq3", false), BuildAlgorithm::Nsf).unwrap();
+    stop.store(true, Ordering::Relaxed);
+    churn.join().unwrap();
+    verify_index(&db, idx).unwrap();
+}
+
+// ===================================================================
+// Gradual read availability (footnote 3)
+// ===================================================================
+
+#[test]
+fn gradual_reads_serve_the_committed_prefix() {
+    let db = Db::new(EngineConfig {
+        nsf_gradual_reads: true,
+        ib_checkpoint_every_keys: 100,
+        lock_timeout_ms: 5_000,
+        ..EngineConfig::small()
+    });
+    db.create_table(T);
+    seed(&db, 1_000);
+
+    // Pause the builder mid-insert with a crash failpoint so the
+    // watermark is guaranteed to sit between two checkpoints.
+    db.failpoints.arm_after("nsf.insert.key", 550);
+    let err = build_index(&db, T, spec("grad", false), BuildAlgorithm::Nsf).unwrap_err();
+    assert!(err.is_crash());
+
+    let idx = db.indexes_of(T).last().unwrap().def.id;
+    let rt = db.index(idx).unwrap();
+    assert_eq!(rt.state(), IndexState::NsfBuilding);
+
+    // Keys below the committed watermark (≥ 500 keys committed) are
+    // readable mid-build; keys beyond it are refused.
+    assert_eq!(db.index_lookup(idx, &KeyValue::from_i64(5)).unwrap().len(), 1);
+    assert_eq!(db.index_lookup(idx, &KeyValue::from_i64(499)).unwrap().len(), 1);
+    let far = db.index_lookup(idx, &KeyValue::from_i64(999));
+    assert!(matches!(far, Err(Error::IndexNotReadable(_))));
+
+    // Maintenance keeps the readable prefix exact.
+    let tx = db.begin();
+    let rid = db.insert_record(tx, T, &rec(-5, 0)).unwrap(); // below everything
+    db.commit(tx).unwrap();
+    assert_eq!(db.index_lookup(idx, &KeyValue::from_i64(-5)).unwrap(), vec![rid]);
+
+    // Finish the build after a restart; everything becomes readable.
+    db.simulate_crash();
+    db.restart().unwrap();
+    mohan_oib::build::resume_build(&db, idx).unwrap();
+    assert_eq!(db.index_lookup(idx, &KeyValue::from_i64(999)).unwrap().len(), 1);
+    verify_index(&db, idx).unwrap();
+}
+
+#[test]
+fn gradual_reads_disabled_by_default() {
+    let db = Db::new(EngineConfig::small());
+    db.create_table(T);
+    seed(&db, 200);
+    db.failpoints.arm_after("nsf.insert.key", 100);
+    let err = build_index(&db, T, spec("g2", false), BuildAlgorithm::Nsf).unwrap_err();
+    assert!(err.is_crash());
+    let idx = db.indexes_of(T).last().unwrap().def.id;
+    assert!(matches!(
+        db.index_lookup(idx, &KeyValue::from_i64(1)),
+        Err(Error::IndexNotReadable(_))
+    ));
+}
+
+// ===================================================================
+// §6.2 primary-index storage model
+// ===================================================================
+
+fn db_with_primary(n: i64) -> (Arc<Db>, Vec<Rid>, mohan_common::IndexId) {
+    let db = Db::new(EngineConfig { lock_timeout_ms: 5_000, ..EngineConfig::small() });
+    db.create_table(T);
+    let rids = seed(&db, n);
+    let primary =
+        build_index(&db, T, spec("pk", true), BuildAlgorithm::Offline).unwrap();
+    (db, rids, primary)
+}
+
+#[test]
+fn primary_model_build_on_quiet_table() {
+    let (db, _, primary) = db_with_primary(400);
+    let idx = build_secondary_via_primary(
+        &db,
+        primary,
+        IndexSpec { name: "sec".into(), key_cols: vec![1], unique: false },
+    )
+    .unwrap();
+    verify_index(&db, idx).unwrap();
+    verify_index(&db, primary).unwrap();
+}
+
+#[test]
+fn primary_model_build_under_insert_delete_churn() {
+    let (db, rids, primary) = db_with_primary(400);
+    let stop = Arc::new(AtomicBool::new(false));
+    let db2 = Arc::clone(&db);
+    let stop2 = Arc::clone(&stop);
+    let churn = std::thread::spawn(move || {
+        let mut k = 700_000i64;
+        while !stop2.load(Ordering::Relaxed) {
+            let tx = db2.begin();
+            k += 1;
+            // pk stays immutable: inserts of fresh keys + deletes only.
+            let ok = db2.insert_record(tx, T, &rec(k, k % 37)).is_ok()
+                && db2.delete_record(tx, T, rids[(k % 300) as usize]).is_ok();
+            if ok {
+                let _ = db2.commit(tx);
+            } else {
+                let _ = db2.rollback(tx);
+            }
+        }
+    });
+    std::thread::sleep(Duration::from_millis(20));
+    let idx = build_secondary_via_primary(
+        &db,
+        primary,
+        IndexSpec { name: "sec".into(), key_cols: vec![1], unique: false },
+    )
+    .unwrap();
+    stop.store(true, Ordering::Relaxed);
+    churn.join().unwrap();
+    verify_index(&db, idx).unwrap();
+    verify_index(&db, primary).unwrap();
+}
+
+#[test]
+fn primary_model_requires_complete_unique_primary() {
+    let db = Db::new(EngineConfig::small());
+    db.create_table(T);
+    seed(&db, 50);
+    // Nonunique index is not a valid clustering primary.
+    let nonunique = build_index(&db, T, spec("nu", false), BuildAlgorithm::Offline).unwrap();
+    let err = build_secondary_via_primary(
+        &db,
+        nonunique,
+        IndexSpec { name: "x".into(), key_cols: vec![1], unique: false },
+    )
+    .unwrap_err();
+    assert!(matches!(err, Error::Corruption(_)));
+    // The failed attempt must not leave a descriptor behind.
+    assert_eq!(db.indexes_of(T).len(), 1);
+}
+
+#[test]
+fn primary_model_unique_secondary_detects_duplicates() {
+    let (db, _, primary) = db_with_primary(50);
+    // payload column (col 1) is all 1s from `seed` — duplicates.
+    let err = build_secondary_via_primary(
+        &db,
+        primary,
+        IndexSpec { name: "dup".into(), key_cols: vec![1], unique: true },
+    )
+    .unwrap_err();
+    assert!(matches!(err, Error::UniqueViolation { .. }));
+    assert_eq!(db.indexes_of(T).len(), 1);
+}

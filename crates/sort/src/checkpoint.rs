@@ -1,0 +1,171 @@
+//! Checkpoint metadata for the two sort phases, with a byte codec so
+//! the engine can store it in the stable blob area.
+
+use crate::item::SortItem;
+
+/// Description of one run known to a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunMeta {
+    /// Run id in the [`crate::run_store::RunStore`].
+    pub id: u64,
+    /// Length in items at checkpoint time.
+    pub len: u64,
+}
+
+/// Sort-phase checkpoint (§5.1): "we checkpoint the information
+/// relating to the already output sorted streams and the position of
+/// the IB data scan up to which keys have already been extracted and
+/// sorted. For the last sorted stream ... we also record the value of
+/// the highest key that was output."
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SortCheckpoint<T: SortItem> {
+    /// Runs that existed (and their lengths) at the checkpoint, in
+    /// creation order; the last one is still open for appends.
+    pub runs: Vec<RunMeta>,
+    /// Caller-defined scan position: every input item with position
+    /// ≤ this has been absorbed into the checkpointed runs.
+    pub scan_pos: u64,
+    /// Highest key written to the last (open) run, if any.
+    pub last_run_high: Option<T>,
+}
+
+/// Merge-phase checkpoint (§5.2): the per-input-stream counter vector
+/// plus the output position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeCheckpoint {
+    /// Input run ids in leaf order.
+    pub inputs: Vec<u64>,
+    /// Items consumed from each input so far.
+    pub counters: Vec<u64>,
+    /// Items emitted (= output-file end position).
+    pub emitted: u64,
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn read_u64(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    if buf.len() < *pos + 8 {
+        return None;
+    }
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[*pos..*pos + 8]);
+    *pos += 8;
+    Some(u64::from_be_bytes(b))
+}
+
+impl<T: SortItem> SortCheckpoint<T> {
+    /// Serialize for the stable blob store.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        push_u64(&mut out, self.runs.len() as u64);
+        for r in &self.runs {
+            push_u64(&mut out, r.id);
+            push_u64(&mut out, r.len);
+        }
+        push_u64(&mut out, self.scan_pos);
+        match &self.last_run_high {
+            Some(k) => {
+                out.push(1);
+                k.encode_item(&mut out);
+            }
+            None => out.push(0),
+        }
+        out
+    }
+
+    /// Deserialize; `None` on corrupt input.
+    #[must_use]
+    pub fn decode(buf: &[u8]) -> Option<SortCheckpoint<T>> {
+        let mut pos = 0;
+        let n = read_u64(buf, &mut pos)? as usize;
+        let mut runs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = read_u64(buf, &mut pos)?;
+            let len = read_u64(buf, &mut pos)?;
+            runs.push(RunMeta { id, len });
+        }
+        let scan_pos = read_u64(buf, &mut pos)?;
+        let last_run_high = match *buf.get(pos)? {
+            0 => None,
+            1 => {
+                pos += 1;
+                Some(T::decode_item(buf, &mut pos)?)
+            }
+            _ => return None,
+        };
+        Some(SortCheckpoint { runs, scan_pos, last_run_high })
+    }
+}
+
+impl MergeCheckpoint {
+    /// Serialize for the stable blob store.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        push_u64(&mut out, self.inputs.len() as u64);
+        for &i in &self.inputs {
+            push_u64(&mut out, i);
+        }
+        for &c in &self.counters {
+            push_u64(&mut out, c);
+        }
+        push_u64(&mut out, self.emitted);
+        out
+    }
+
+    /// Deserialize; `None` on corrupt input.
+    #[must_use]
+    pub fn decode(buf: &[u8]) -> Option<MergeCheckpoint> {
+        let mut pos = 0;
+        let n = read_u64(buf, &mut pos)? as usize;
+        let mut inputs = Vec::with_capacity(n);
+        for _ in 0..n {
+            inputs.push(read_u64(buf, &mut pos)?);
+        }
+        let mut counters = Vec::with_capacity(n);
+        for _ in 0..n {
+            counters.push(read_u64(buf, &mut pos)?);
+        }
+        let emitted = read_u64(buf, &mut pos)?;
+        Some(MergeCheckpoint { inputs, counters, emitted })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_checkpoint_roundtrip() {
+        let cp = SortCheckpoint::<i64> {
+            runs: vec![RunMeta { id: 0, len: 100 }, RunMeta { id: 1, len: 42 }],
+            scan_pos: 777,
+            last_run_high: Some(-5),
+        };
+        assert_eq!(SortCheckpoint::decode(&cp.encode()), Some(cp));
+    }
+
+    #[test]
+    fn sort_checkpoint_none_high() {
+        let cp = SortCheckpoint::<i64> { runs: vec![], scan_pos: 0, last_run_high: None };
+        assert_eq!(SortCheckpoint::decode(&cp.encode()), Some(cp));
+    }
+
+    #[test]
+    fn merge_checkpoint_roundtrip() {
+        let cp = MergeCheckpoint { inputs: vec![3, 1, 4], counters: vec![10, 0, 7], emitted: 17 };
+        assert_eq!(MergeCheckpoint::decode(&cp.encode()), Some(cp));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let cp = MergeCheckpoint { inputs: vec![1], counters: vec![5], emitted: 5 };
+        let bytes = cp.encode();
+        for cut in 0..bytes.len() {
+            assert_eq!(MergeCheckpoint::decode(&bytes[..cut]), None);
+        }
+    }
+}

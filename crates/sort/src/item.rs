@@ -1,0 +1,69 @@
+//! The item trait sortable by this crate.
+
+use mohan_common::{IndexEntry, KeyValue, Rid};
+
+/// An ordered, encodable sort item. The codec is used only for
+/// checkpoint metadata (the "highest key output" recorded on stable
+/// storage, §5.1), not for the runs themselves.
+pub trait SortItem: Ord + Clone + Send + 'static {
+    /// Serialize into `out`.
+    fn encode_item(&self, out: &mut Vec<u8>);
+    /// Deserialize from `buf` at `pos`, advancing it. `None` on
+    /// truncated input.
+    fn decode_item(buf: &[u8], pos: &mut usize) -> Option<Self>;
+}
+
+impl SortItem for IndexEntry {
+    fn encode_item(&self, out: &mut Vec<u8>) {
+        self.encode(out);
+    }
+    fn decode_item(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        IndexEntry::decode(buf, pos)
+    }
+}
+
+impl SortItem for i64 {
+    fn encode_item(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_be_bytes());
+    }
+    fn decode_item(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        if buf.len() < *pos + 8 {
+            return None;
+        }
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&buf[*pos..*pos + 8]);
+        *pos += 8;
+        Some(i64::from_be_bytes(b))
+    }
+}
+
+/// Convenience constructor used by tests and benches.
+#[must_use]
+pub fn entry(key: i64, page: u32, slot: u16) -> IndexEntry {
+    IndexEntry::new(KeyValue::from_i64(key), Rid::new(page, slot))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i64_roundtrip() {
+        let mut buf = Vec::new();
+        42i64.encode_item(&mut buf);
+        (-7i64).encode_item(&mut buf);
+        let mut pos = 0;
+        assert_eq!(i64::decode_item(&buf, &mut pos), Some(42));
+        assert_eq!(i64::decode_item(&buf, &mut pos), Some(-7));
+        assert_eq!(i64::decode_item(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn entry_roundtrip() {
+        let e = entry(5, 1, 2);
+        let mut buf = Vec::new();
+        e.encode_item(&mut buf);
+        let mut pos = 0;
+        assert_eq!(IndexEntry::decode_item(&buf, &mut pos), Some(e));
+    }
+}

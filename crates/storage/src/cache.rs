@@ -1,0 +1,424 @@
+//! A typed page cache with an explicit volatile/durable boundary.
+//!
+//! Real DBMS pages live on disk and are cached in a buffer pool. We
+//! invert the emphasis: the *volatile* image (a decoded Rust value
+//! behind a [`Latch`]) is primary, and the *durable* image (encoded
+//! bytes, updated only by [`PageCache::force`]) models the disk. A
+//! simulated system failure ([`PageCache::crash`]) discards every
+//! volatile frame and all allocations that were never forced; restart
+//! decodes the durable images on demand.
+//!
+//! The write-ahead-log rule is enforced at the boundary: `force`
+//! requires the caller to pass the WAL's flushed LSN and refuses to
+//! write a page whose LSN is newer ("write-ahead logging", §1.1).
+
+use crate::latch::{Latch, LatchStats};
+use mohan_common::stats::Counter;
+use mohan_common::{Error, FileId, Lsn, PageId, Result};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Something that can live in a page: encodable to / decodable from the
+/// durable byte image.
+pub trait PagePayload: Send + Sync + Sized + 'static {
+    /// Serialize the page contents.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Deserialize page contents. Errors indicate corruption.
+    fn decode(buf: &[u8]) -> Result<Self>;
+}
+
+/// A page's volatile image: its payload plus the recovery LSN of the
+/// last logged change applied to it.
+#[derive(Debug)]
+pub struct PageBuf<T> {
+    /// LSN of the newest log record applied to this page
+    /// (`Page_LSN` in the paper's pseudo-code).
+    pub lsn: Lsn,
+    /// The decoded page contents.
+    pub payload: T,
+}
+
+/// One cached page: identity plus latched buffer.
+#[derive(Debug)]
+pub struct Frame<T> {
+    /// Page number within the owning file.
+    pub id: PageId,
+    /// The latch protecting the buffer (S for readers, X for
+    /// updaters, per §1.1).
+    pub latch: Latch<PageBuf<T>>,
+}
+
+/// I/O and allocation counters for one page cache.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    /// Frame lookups that found a volatile image.
+    pub hits: Counter,
+    /// Frame lookups that had to decode the durable image (a read
+    /// I/O in the simulation).
+    pub misses: Counter,
+    /// Pages forced to the durable image (write I/Os).
+    pub forces: Counter,
+    /// Pages allocated.
+    pub allocations: Counter,
+    /// Simulated I/O batches issued by sequential scans (one batch
+    /// reads `prefetch_pages` pages, §2.2.2).
+    pub io_batches: Counter,
+}
+
+struct DurableState {
+    images: HashMap<PageId, Vec<u8>>,
+    /// Durable allocation high-water mark: pages `< page_count` are
+    /// considered allocated after a crash.
+    page_count: u32,
+}
+
+struct VolatileState<T> {
+    frames: HashMap<PageId, Arc<Frame<T>>>,
+    next_page: u32,
+}
+
+/// A crash-aware cache of typed pages forming one page file.
+pub struct PageCache<T: PagePayload> {
+    file: FileId,
+    volatile: RwLock<VolatileState<T>>,
+    durable: Mutex<DurableState>,
+    latch_stats: Arc<LatchStats>,
+    /// Event counters for this cache.
+    pub stats: CacheStats,
+}
+
+impl<T: PagePayload> PageCache<T> {
+    /// Create an empty page file.
+    #[must_use]
+    pub fn new(file: FileId) -> PageCache<T> {
+        PageCache {
+            file,
+            volatile: RwLock::new(VolatileState { frames: HashMap::new(), next_page: 0 }),
+            durable: Mutex::new(DurableState { images: HashMap::new(), page_count: 0 }),
+            latch_stats: LatchStats::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The file this cache backs.
+    #[must_use]
+    pub fn file_id(&self) -> FileId {
+        self.file
+    }
+
+    /// Latch acquisition counters shared by all frames of this file.
+    #[must_use]
+    pub fn latch_stats(&self) -> &Arc<LatchStats> {
+        &self.latch_stats
+    }
+
+    /// Allocate a fresh page holding `payload`. The allocation is
+    /// volatile until the page is forced.
+    pub fn allocate(&self, payload: T) -> Arc<Frame<T>> {
+        let mut v = self.volatile.write();
+        let id = PageId(v.next_page);
+        v.next_page += 1;
+        let frame = Arc::new(Frame {
+            id,
+            latch: Latch::new(
+                PageBuf { lsn: Lsn::NULL, payload },
+                Arc::clone(&self.latch_stats),
+            ),
+        });
+        v.frames.insert(id, Arc::clone(&frame));
+        self.stats.allocations.bump();
+        frame
+    }
+
+    /// Number of allocated pages (volatile view).
+    #[must_use]
+    pub fn num_pages(&self) -> u32 {
+        self.volatile.read().next_page
+    }
+
+    /// Fetch a page frame, decoding the durable image on a miss.
+    /// Returns `NotFound` for never-allocated or crash-lost pages.
+    pub fn frame(&self, id: PageId) -> Result<Arc<Frame<T>>> {
+        if let Some(f) = self.volatile.read().frames.get(&id) {
+            self.stats.hits.bump();
+            return Ok(Arc::clone(f));
+        }
+        // Miss: try the durable image. Hold the volatile write lock
+        // across the check-and-insert so two threads don't both decode.
+        let mut v = self.volatile.write();
+        if let Some(f) = v.frames.get(&id) {
+            self.stats.hits.bump();
+            return Ok(Arc::clone(f));
+        }
+        let d = self.durable.lock();
+        let Some(bytes) = d.images.get(&id) else {
+            return Err(Error::NotFound(format!("{} {id}", self.file)));
+        };
+        let payload = T::decode(&bytes[8..])?;
+        let mut l8 = [0u8; 8];
+        l8.copy_from_slice(&bytes[..8]);
+        let lsn = Lsn(u64::from_be_bytes(l8));
+        drop(d);
+        let frame = Arc::new(Frame {
+            id,
+            latch: Latch::new(PageBuf { lsn, payload }, Arc::clone(&self.latch_stats)),
+        });
+        v.frames.insert(id, Arc::clone(&frame));
+        self.stats.misses.bump();
+        Ok(frame)
+    }
+
+    /// Fetch `id`, creating an empty page from `make` if it does not
+    /// resolve (recovery: redo must recreate pages that were allocated
+    /// but never forced before the crash). Grows the allocation cursor
+    /// past `id` if needed.
+    pub fn ensure_with(&self, id: PageId, make: impl FnOnce() -> T) -> Result<Arc<Frame<T>>> {
+        if self.exists(id) {
+            return self.frame(id);
+        }
+        let mut v = self.volatile.write();
+        if let Some(f) = v.frames.get(&id) {
+            return Ok(Arc::clone(f));
+        }
+        let frame = Arc::new(Frame {
+            id,
+            latch: Latch::new(
+                PageBuf { lsn: Lsn::NULL, payload: make() },
+                Arc::clone(&self.latch_stats),
+            ),
+        });
+        v.frames.insert(id, Arc::clone(&frame));
+        v.next_page = v.next_page.max(id.0 + 1);
+        self.stats.allocations.bump();
+        Ok(frame)
+    }
+
+    /// True if `id` currently resolves to a page (volatile or durable).
+    #[must_use]
+    pub fn exists(&self, id: PageId) -> bool {
+        self.volatile.read().frames.contains_key(&id) || self.durable.lock().images.contains_key(&id)
+    }
+
+    /// Force one page to the durable image. Enforces the WAL rule: the
+    /// page's LSN must not exceed `flushed_lsn`.
+    pub fn force(&self, id: PageId, flushed_lsn: Lsn) -> Result<()>
+    where
+        T: PagePayload,
+    {
+        let frame = self.frame(id)?;
+        let buf = frame.latch.share();
+        if buf.lsn > flushed_lsn {
+            return Err(Error::Corruption(format!(
+                "WAL violation: forcing {} {id} with page LSN {} > flushed {}",
+                self.file, buf.lsn, flushed_lsn
+            )));
+        }
+        let mut bytes = Vec::with_capacity(64);
+        bytes.extend_from_slice(&buf.lsn.0.to_be_bytes());
+        buf.payload.encode(&mut bytes);
+        drop(buf);
+        let mut d = self.durable.lock();
+        d.images.insert(id, bytes);
+        d.page_count = d.page_count.max(id.0 + 1);
+        self.stats.forces.bump();
+        Ok(())
+    }
+
+    /// Force every allocated page (used by checkpoints that require a
+    /// consistent durable image, §3.2.4).
+    pub fn force_all(&self, flushed_lsn: Lsn) -> Result<()> {
+        let pages: Vec<PageId> = {
+            let v = self.volatile.read();
+            v.frames.keys().copied().collect()
+        };
+        for id in pages {
+            self.force(id, flushed_lsn)?;
+        }
+        Ok(())
+    }
+
+    /// Deallocate every page with id ≥ `from`, volatile *and* durable.
+    /// This is the §3.2.4 trick: after an SF crash, index pages
+    /// allocated past the last checkpoint are put back in the
+    /// deallocated state.
+    pub fn truncate_from(&self, from: PageId) {
+        let mut v = self.volatile.write();
+        v.frames.retain(|id, _| *id < from);
+        v.next_page = v.next_page.min(from.0);
+        let mut d = self.durable.lock();
+        d.images.retain(|id, _| *id < from);
+        d.page_count = d.page_count.min(from.0);
+    }
+
+    /// Simulated system failure: drop all volatile frames and reset the
+    /// allocation cursor to the durable high-water mark.
+    pub fn crash(&self) {
+        let mut v = self.volatile.write();
+        v.frames.clear();
+        v.next_page = self.durable.lock().page_count;
+    }
+
+    /// Durable page high-water mark (what restart will see).
+    #[must_use]
+    pub fn durable_pages(&self) -> u32 {
+        self.durable.lock().page_count
+    }
+}
+
+impl<T: PagePayload> std::fmt::Debug for PageCache<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageCache")
+            .field("file", &self.file)
+            .field("pages", &self.num_pages())
+            .field("durable_pages", &self.durable_pages())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Blob(Vec<u8>);
+
+    impl PagePayload for Blob {
+        fn encode(&self, out: &mut Vec<u8>) {
+            out.extend_from_slice(&self.0);
+        }
+        fn decode(buf: &[u8]) -> Result<Self> {
+            Ok(Blob(buf.to_vec()))
+        }
+    }
+
+    fn cache() -> PageCache<Blob> {
+        PageCache::new(FileId(1))
+    }
+
+    #[test]
+    fn allocate_assigns_dense_ids() {
+        let c = cache();
+        assert_eq!(c.allocate(Blob(vec![1])).id, PageId(0));
+        assert_eq!(c.allocate(Blob(vec![2])).id, PageId(1));
+        assert_eq!(c.num_pages(), 2);
+    }
+
+    #[test]
+    fn unforced_pages_die_in_a_crash() {
+        let c = cache();
+        let f = c.allocate(Blob(vec![1, 2, 3]));
+        assert_eq!(f.id, PageId(0));
+        c.crash();
+        assert_eq!(c.num_pages(), 0);
+        assert!(c.frame(PageId(0)).is_err());
+    }
+
+    #[test]
+    fn forced_pages_survive_a_crash() {
+        let c = cache();
+        let f = c.allocate(Blob(vec![9, 9]));
+        {
+            let mut b = f.latch.exclusive();
+            b.lsn = Lsn(5);
+            b.payload.0.push(7);
+        }
+        c.force(PageId(0), Lsn(5)).unwrap();
+        c.crash();
+        assert_eq!(c.num_pages(), 1);
+        let f2 = c.frame(PageId(0)).unwrap();
+        let b = f2.latch.share();
+        assert_eq!(b.payload, Blob(vec![9, 9, 7]));
+        assert_eq!(b.lsn, Lsn(5));
+    }
+
+    #[test]
+    fn crash_loses_unforced_changes_to_forced_pages() {
+        let c = cache();
+        let f = c.allocate(Blob(vec![1]));
+        c.force(PageId(0), Lsn::NULL).unwrap();
+        {
+            let mut b = f.latch.exclusive();
+            b.payload.0.push(2);
+        }
+        c.crash();
+        let f2 = c.frame(PageId(0)).unwrap();
+        assert_eq!(f2.latch.share().payload, Blob(vec![1]));
+    }
+
+    #[test]
+    fn force_enforces_wal_rule() {
+        let c = cache();
+        let f = c.allocate(Blob(vec![]));
+        f.latch.exclusive().lsn = Lsn(10);
+        let err = c.force(PageId(0), Lsn(9)).unwrap_err();
+        assert!(matches!(err, Error::Corruption(_)));
+        c.force(PageId(0), Lsn(10)).unwrap();
+    }
+
+    #[test]
+    fn truncate_from_deallocates_tail() {
+        let c = cache();
+        for i in 0..5u8 {
+            let f = c.allocate(Blob(vec![i]));
+            c.force(f.id, Lsn::NULL).unwrap();
+        }
+        c.truncate_from(PageId(2));
+        assert_eq!(c.num_pages(), 2);
+        assert!(c.frame(PageId(2)).is_err());
+        assert!(c.frame(PageId(1)).is_ok());
+        // Reallocation reuses the truncated ids.
+        assert_eq!(c.allocate(Blob(vec![])).id, PageId(2));
+        // Durable state was truncated too.
+        c.crash();
+        assert_eq!(c.num_pages(), 2);
+    }
+
+    #[test]
+    fn stats_count_hits_misses_forces() {
+        let c = cache();
+        let f = c.allocate(Blob(vec![1]));
+        c.force(f.id, Lsn::NULL).unwrap();
+        let _ = c.frame(PageId(0)).unwrap(); // hit (inside force there was one too)
+        c.crash();
+        let _ = c.frame(PageId(0)).unwrap(); // miss -> decode
+        assert!(c.stats.hits.get() >= 1);
+        assert_eq!(c.stats.misses.get(), 1);
+        assert_eq!(c.stats.forces.get(), 1);
+    }
+
+    #[test]
+    fn force_all_then_crash_preserves_everything() {
+        let c = cache();
+        for i in 0..10u8 {
+            let f = c.allocate(Blob(vec![i]));
+            f.latch.exclusive().lsn = Lsn(u64::from(i));
+        }
+        c.force_all(Lsn(100)).unwrap();
+        c.crash();
+        assert_eq!(c.num_pages(), 10);
+        for i in 0..10u8 {
+            let f = c.frame(PageId(u32::from(i))).unwrap();
+            assert_eq!(f.latch.share().payload, Blob(vec![i]));
+        }
+    }
+
+    #[test]
+    fn concurrent_fetch_decodes_once() {
+        let c = Arc::new(cache());
+        let f = c.allocate(Blob(vec![42]));
+        c.force(f.id, Lsn::NULL).unwrap();
+        c.crash();
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                c.frame(PageId(0)).unwrap().latch.share().payload.0[0]
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 42);
+        }
+        assert_eq!(c.stats.misses.get(), 1);
+    }
+}

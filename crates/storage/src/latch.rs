@@ -1,0 +1,166 @@
+//! Page latches.
+//!
+//! A latch "is like a semaphore and it is very cheap in terms of
+//! instructions executed. It provides physical consistency of the data
+//! when a page is being examined. Readers of the page acquire a share
+//! (S) latch, while updaters acquire an exclusive (X) latch" (§1.1,
+//! footnote 2). We wrap `parking_lot::RwLock` and count acquisitions so
+//! the benchmark harness can report latch pathlengths.
+
+use mohan_common::stats::Counter;
+use parking_lot::lock_api::{ArcRwLockReadGuard, ArcRwLockWriteGuard};
+use parking_lot::{RawRwLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::Arc;
+
+/// Owned share-mode latch guard (keeps the latch alive; storable in a
+/// descent path without self-referential borrows).
+pub type ShareGuard<T> = ArcRwLockReadGuard<RawRwLock, T>;
+/// Owned exclusive-mode latch guard.
+pub type ExclusiveGuard<T> = ArcRwLockWriteGuard<RawRwLock, T>;
+
+/// Shared acquisition counters for a family of latches (e.g. all data
+/// pages of a table, or all pages of one index).
+#[derive(Debug, Default)]
+pub struct LatchStats {
+    /// Share-mode acquisitions.
+    pub share: Counter,
+    /// Exclusive-mode acquisitions.
+    pub exclusive: Counter,
+    /// Try-acquisitions that failed (used by crabbing retries).
+    pub contended_tries: Counter,
+}
+
+impl LatchStats {
+    /// New zeroed stats, ready to share across latches.
+    #[must_use]
+    pub fn new() -> Arc<LatchStats> {
+        Arc::new(LatchStats::default())
+    }
+}
+
+/// A share/exclusive latch protecting one value (typically a page).
+#[derive(Debug)]
+pub struct Latch<T> {
+    lock: Arc<RwLock<T>>,
+    stats: Arc<LatchStats>,
+}
+
+impl<T> Latch<T> {
+    /// Wrap `value` in a latch reporting to `stats`.
+    pub fn new(value: T, stats: Arc<LatchStats>) -> Latch<T> {
+        Latch { lock: Arc::new(RwLock::new(value)), stats }
+    }
+
+    /// Acquire in share mode, returning an owned guard suitable for
+    /// storing in a descent path.
+    pub fn share_arc(&self) -> ShareGuard<T> {
+        self.stats.share.bump();
+        self.lock.read_arc()
+    }
+
+    /// Acquire in exclusive mode, returning an owned guard suitable
+    /// for storing in a descent path (latch crabbing).
+    pub fn exclusive_arc(&self) -> ExclusiveGuard<T> {
+        self.stats.exclusive.bump();
+        self.lock.write_arc()
+    }
+
+    /// Acquire in share (S) mode; blocks until granted.
+    pub fn share(&self) -> RwLockReadGuard<'_, T> {
+        self.stats.share.bump();
+        self.lock.read()
+    }
+
+    /// Acquire in exclusive (X) mode; blocks until granted.
+    pub fn exclusive(&self) -> RwLockWriteGuard<'_, T> {
+        self.stats.exclusive.bump();
+        self.lock.write()
+    }
+
+    /// Conditional exclusive acquisition (never blocks). Used by
+    /// lock-free-ish paths that retry rather than risk latch deadlock.
+    pub fn try_exclusive(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.lock.try_write() {
+            Some(g) => {
+                self.stats.exclusive.bump();
+                Some(g)
+            }
+            None => {
+                self.stats.contended_tries.bump();
+                None
+            }
+        }
+    }
+
+    /// Conditional share acquisition (never blocks).
+    pub fn try_share(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.lock.try_read() {
+            Some(g) => {
+                self.stats.share.bump();
+                Some(g)
+            }
+            None => {
+                self.stats.contended_tries.bump();
+                None
+            }
+        }
+    }
+
+    /// Access the stats this latch reports to.
+    #[must_use]
+    pub fn stats(&self) -> &Arc<LatchStats> {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counts_acquisitions() {
+        let stats = LatchStats::new();
+        let l = Latch::new(5u32, Arc::clone(&stats));
+        {
+            let g = l.share();
+            assert_eq!(*g, 5);
+        }
+        {
+            let mut g = l.exclusive();
+            *g = 6;
+        }
+        assert_eq!(stats.share.get(), 1);
+        assert_eq!(stats.exclusive.get(), 1);
+    }
+
+    #[test]
+    fn try_exclusive_fails_under_share() {
+        let l = Latch::new((), LatchStats::new());
+        let _s = l.share();
+        assert!(l.try_exclusive().is_none());
+        assert_eq!(l.stats().contended_tries.get(), 1);
+    }
+
+    #[test]
+    fn readers_are_concurrent() {
+        let l = Arc::new(Latch::new(0u64, LatchStats::new()));
+        let l2 = Arc::clone(&l);
+        let g1 = l.share();
+        let h = thread::spawn(move || {
+            let g2 = l2.share();
+            *g2
+        });
+        assert_eq!(h.join().unwrap(), 0);
+        drop(g1);
+    }
+
+    #[test]
+    fn exclusive_blocks_share() {
+        let l = Arc::new(Latch::new(0u64, LatchStats::new()));
+        let g = l.exclusive();
+        assert!(l.try_share().is_none());
+        drop(g);
+        assert!(l.try_share().is_some());
+    }
+}

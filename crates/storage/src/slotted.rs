@@ -1,0 +1,478 @@
+//! Byte-accurate slotted data pages for heap records.
+//!
+//! Records grow from the front of the page; the slot directory grows
+//! from the back. Slot numbers are *stable*: deleting a record leaves
+//! an empty slot behind, so a RID (`page`,`slot`) never silently moves
+//! — a property both NSF and SF depend on (keys carry RIDs, and the
+//! SF visibility rule compares RIDs).
+//!
+//! Layout of the backing buffer:
+//!
+//! ```text
+//! [0..2)  slot_count  (u16)
+//! [2..4)  free_start  (u16, offset of next record byte)
+//! [4..)   record heap ...           ... slot dir <- [len-4*count..len)
+//! ```
+//!
+//! Each 4-byte slot entry is `(offset: u16, len: u16)`; `offset == 0`
+//! marks a slot with no record (the header lives at 0). Among those,
+//! `len == 1` marks a **reserved** slot: its record was deleted by a
+//! transaction that has not committed yet, so the slot number must not
+//! be reused until the deleter commits ([`SlottedPage::free_slot`]) or
+//! its rollback restores the record at the same RID.
+
+use crate::cache::PagePayload;
+use mohan_common::{Error, Result, SlotId};
+
+const HDR: usize = 4;
+const SLOT_BYTES: usize = 4;
+
+/// One slotted heap page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlottedPage {
+    buf: Vec<u8>,
+}
+
+impl SlottedPage {
+    /// Create an empty page with `size` usable bytes (including the
+    /// header and slot directory).
+    #[must_use]
+    pub fn new(size: usize) -> SlottedPage {
+        assert!(size >= 64 && size <= u16::MAX as usize, "page size out of range");
+        let mut buf = vec![0u8; size];
+        write_u16(&mut buf, 0, 0);
+        write_u16(&mut buf, 2, HDR as u16);
+        SlottedPage { buf }
+    }
+
+    fn slot_count(&self) -> usize {
+        read_u16(&self.buf, 0) as usize
+    }
+
+    fn free_start(&self) -> usize {
+        read_u16(&self.buf, 2) as usize
+    }
+
+    fn set_slot_count(&mut self, n: usize) {
+        write_u16(&mut self.buf, 0, n as u16);
+    }
+
+    fn set_free_start(&mut self, off: usize) {
+        write_u16(&mut self.buf, 2, off as u16);
+    }
+
+    fn slot_entry_pos(&self, slot: usize) -> usize {
+        self.buf.len() - (slot + 1) * SLOT_BYTES
+    }
+
+    fn slot_entry(&self, slot: usize) -> (usize, usize) {
+        let p = self.slot_entry_pos(slot);
+        (read_u16(&self.buf, p) as usize, read_u16(&self.buf, p + 2) as usize)
+    }
+
+    fn set_slot_entry(&mut self, slot: usize, off: usize, len: usize) {
+        let p = self.slot_entry_pos(slot);
+        write_u16(&mut self.buf, p, off as u16);
+        write_u16(&mut self.buf, p + 2, len as u16);
+    }
+
+    /// Number of slots ever used (including now-empty ones).
+    #[must_use]
+    pub fn slots(&self) -> u16 {
+        self.slot_count() as u16
+    }
+
+    /// Number of live records.
+    #[must_use]
+    pub fn live_records(&self) -> usize {
+        (0..self.slot_count()).filter(|&s| self.slot_entry(s).0 != 0).count()
+    }
+
+    /// Contiguous free bytes (before any compaction).
+    #[must_use]
+    pub fn contiguous_free(&self) -> usize {
+        let dir_start = self.buf.len() - self.slot_count() * SLOT_BYTES;
+        dir_start.saturating_sub(self.free_start())
+    }
+
+    /// Free bytes recoverable by compaction plus the contiguous tail.
+    #[must_use]
+    pub fn total_free(&self) -> usize {
+        let live: usize = (0..self.slot_count())
+            .map(|s| {
+                let (off, len) = self.slot_entry(s);
+                if off != 0 {
+                    len
+                } else {
+                    0
+                }
+            })
+            .sum();
+        self.buf.len() - HDR - self.slot_count() * SLOT_BYTES - live
+    }
+
+    /// Would `insert` of `len` bytes succeed (possibly via compaction)?
+    #[must_use]
+    pub fn fits(&self, len: usize) -> bool {
+        let dir_growth = if self.first_empty_slot().is_some() { 0 } else { SLOT_BYTES };
+        self.total_free() >= len + dir_growth
+    }
+
+    fn first_empty_slot(&self) -> Option<usize> {
+        (0..self.slot_count()).find(|&s| self.slot_entry(s) == (0, 0))
+    }
+
+    /// Insert a record, reusing an empty slot if one exists.
+    /// Returns the assigned slot, or `PageFull`.
+    pub fn insert(&mut self, data: &[u8]) -> Result<SlotId> {
+        let slot = match self.first_empty_slot() {
+            Some(s) => s,
+            None => self.slot_count(),
+        };
+        self.insert_at(SlotId(slot as u16), data)?;
+        Ok(SlotId(slot as u16))
+    }
+
+    /// Insert a record at a *specific* slot (used by redo and by
+    /// rollback of a delete, which must restore the original RID).
+    /// The slot must be empty or beyond the current directory.
+    pub fn insert_at(&mut self, slot: SlotId, data: &[u8]) -> Result<()> {
+        let s = slot.0 as usize;
+        if s < self.slot_count() && self.slot_entry(s).0 != 0 {
+            return Err(Error::Corruption(format!("slot {s} already occupied")));
+        }
+        let new_slots = self.slot_count().max(s + 1);
+        let dir_growth = (new_slots - self.slot_count()) * SLOT_BYTES;
+        if self.total_free() < data.len() + dir_growth {
+            return Err(Error::PageFull);
+        }
+        if new_slots > self.slot_count() {
+            // Growing the directory moves its start downward; make sure
+            // no record bytes live where the new entries will go.
+            let new_dir_start = self.buf.len() - new_slots * SLOT_BYTES;
+            if self.free_start() > new_dir_start {
+                self.compact();
+            }
+            // Zero-filled entries are "empty".
+            for extra in self.slot_count()..new_slots {
+                let old_count = self.slot_count();
+                self.set_slot_count(old_count + 1);
+                self.set_slot_entry(extra, 0, 0);
+            }
+        }
+        let dir_start = self.buf.len() - self.slot_count() * SLOT_BYTES;
+        if dir_start - self.free_start() < data.len() {
+            self.compact();
+        }
+        let off = self.free_start();
+        debug_assert!(off + data.len() <= self.buf.len() - self.slot_count() * SLOT_BYTES);
+        self.buf[off..off + data.len()].copy_from_slice(data);
+        self.set_free_start(off + data.len());
+        self.set_slot_entry(s, off, data.len());
+        Ok(())
+    }
+
+    /// Read a record. `None` for empty or out-of-range slots.
+    #[must_use]
+    pub fn get(&self, slot: SlotId) -> Option<&[u8]> {
+        let s = slot.0 as usize;
+        if s >= self.slot_count() {
+            return None;
+        }
+        let (off, len) = self.slot_entry(s);
+        if off == 0 {
+            return None;
+        }
+        Some(&self.buf[off..off + len])
+    }
+
+    /// Delete a record, returning its bytes. The slot becomes
+    /// *reserved* (not reusable) until [`SlottedPage::free_slot`]
+    /// releases it or a rollback restores the record.
+    pub fn delete(&mut self, slot: SlotId) -> Result<Vec<u8>> {
+        let old = self
+            .get(slot)
+            .ok_or_else(|| Error::NotFound(format!("record {slot}")))?
+            .to_vec();
+        self.set_slot_entry(slot.0 as usize, 0, 1);
+        Ok(old)
+    }
+
+    /// Release a reserved slot for reuse (the deleter committed).
+    /// Idempotent; a no-op on occupied or already-free slots.
+    pub fn free_slot(&mut self, slot: SlotId) {
+        let s = slot.0 as usize;
+        if s < self.slot_count() && self.slot_entry(s) == (0, 1) {
+            self.set_slot_entry(s, 0, 0);
+        }
+    }
+
+    /// Is this slot reserved by an uncommitted delete?
+    #[must_use]
+    pub fn is_reserved(&self, slot: SlotId) -> bool {
+        let s = slot.0 as usize;
+        s < self.slot_count() && self.slot_entry(s) == (0, 1)
+    }
+
+    /// Slot numbers currently reserved (post-recovery sweep).
+    #[must_use]
+    pub fn reserved_slots(&self) -> Vec<SlotId> {
+        (0..self.slot_count())
+            .filter(|&s| self.slot_entry(s) == (0, 1))
+            .map(|s| SlotId(s as u16))
+            .collect()
+    }
+
+    /// Replace a record in place, returning the old bytes. Compacts if
+    /// needed; `PageFull` if the new image cannot fit.
+    pub fn update(&mut self, slot: SlotId, data: &[u8]) -> Result<Vec<u8>> {
+        let s = slot.0 as usize;
+        let old = self
+            .get(slot)
+            .ok_or_else(|| Error::NotFound(format!("record {slot}")))?
+            .to_vec();
+        let (off, old_len) = self.slot_entry(s);
+        if data.len() <= old_len {
+            self.buf[off..off + data.len()].copy_from_slice(data);
+            self.set_slot_entry(s, off, data.len());
+            return Ok(old);
+        }
+        // Needs more room: logically delete, then re-place.
+        self.set_slot_entry(s, 0, 0);
+        if self.total_free() < data.len() {
+            // Roll the deletion back so the page is unchanged.
+            self.set_slot_entry(s, off, old_len);
+            return Err(Error::PageFull);
+        }
+        let dir_start = self.buf.len() - self.slot_count() * SLOT_BYTES;
+        if dir_start - self.free_start() < data.len() {
+            self.compact();
+        }
+        let noff = self.free_start();
+        self.buf[noff..noff + data.len()].copy_from_slice(data);
+        self.set_free_start(noff + data.len());
+        self.set_slot_entry(s, noff, data.len());
+        Ok(old)
+    }
+
+    /// Iterate live records as `(slot, bytes)` in slot order — the
+    /// order the IB's key-extraction scan visits them.
+    pub fn records(&self) -> impl Iterator<Item = (SlotId, &[u8])> + '_ {
+        (0..self.slot_count()).filter_map(move |s| {
+            let (off, len) = self.slot_entry(s);
+            if off == 0 {
+                None
+            } else {
+                Some((SlotId(s as u16), &self.buf[off..off + len]))
+            }
+        })
+    }
+
+    /// Defragment the record heap (slot numbers are preserved).
+    pub fn compact(&mut self) {
+        let live: Vec<(usize, Vec<u8>)> = (0..self.slot_count())
+            .filter_map(|s| {
+                let (off, len) = self.slot_entry(s);
+                if off == 0 {
+                    None
+                } else {
+                    Some((s, self.buf[off..off + len].to_vec()))
+                }
+            })
+            .collect();
+        let mut cursor = HDR;
+        for (s, data) in live {
+            self.buf[cursor..cursor + data.len()].copy_from_slice(&data);
+            self.set_slot_entry(s, cursor, data.len());
+            cursor += data.len();
+        }
+        self.set_free_start(cursor);
+    }
+}
+
+impl PagePayload for SlottedPage {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.buf);
+    }
+
+    fn decode(buf: &[u8]) -> Result<Self> {
+        if buf.len() < HDR {
+            return Err(Error::Corruption("slotted page too small".into()));
+        }
+        Ok(SlottedPage { buf: buf.to_vec() })
+    }
+}
+
+fn read_u16(buf: &[u8], pos: usize) -> u16 {
+    u16::from_be_bytes([buf[pos], buf[pos + 1]])
+}
+
+fn write_u16(buf: &mut [u8], pos: usize, v: u16) {
+    buf[pos..pos + 2].copy_from_slice(&v.to_be_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut p = SlottedPage::new(256);
+        let s0 = p.insert(b"hello").unwrap();
+        let s1 = p.insert(b"world!").unwrap();
+        assert_eq!(p.get(s0), Some(&b"hello"[..]));
+        assert_eq!(p.get(s1), Some(&b"world!"[..]));
+        assert_eq!(p.live_records(), 2);
+    }
+
+    #[test]
+    fn delete_leaves_stable_slot_numbers() {
+        let mut p = SlottedPage::new(256);
+        let s0 = p.insert(b"aa").unwrap();
+        let s1 = p.insert(b"bb").unwrap();
+        p.delete(s0).unwrap();
+        assert_eq!(p.get(s0), None);
+        assert_eq!(p.get(s1), Some(&b"bb"[..]));
+        // A deleted slot is *reserved* until freed: the next insert
+        // must not take it.
+        assert!(p.is_reserved(s0));
+        let s2 = p.insert(b"cc").unwrap();
+        assert_ne!(s2, s0);
+        // After the deleter commits, the slot is reusable.
+        p.free_slot(s0);
+        let s3 = p.insert(b"dd").unwrap();
+        assert_eq!(s3, s0);
+        assert_eq!(p.reserved_slots(), Vec::<SlotId>::new());
+    }
+
+    #[test]
+    fn insert_at_restores_exact_rid() {
+        let mut p = SlottedPage::new(256);
+        let s0 = p.insert(b"x").unwrap();
+        let old = p.delete(s0).unwrap();
+        p.insert_at(s0, &old).unwrap();
+        assert_eq!(p.get(s0), Some(&b"x"[..]));
+    }
+
+    #[test]
+    fn insert_at_rejects_occupied_slot() {
+        let mut p = SlottedPage::new(256);
+        let s0 = p.insert(b"x").unwrap();
+        assert!(matches!(p.insert_at(s0, b"y"), Err(Error::Corruption(_))));
+    }
+
+    #[test]
+    fn insert_at_beyond_directory_grows_it() {
+        let mut p = SlottedPage::new(256);
+        p.insert_at(SlotId(3), b"late").unwrap();
+        assert_eq!(p.get(SlotId(3)), Some(&b"late"[..]));
+        assert_eq!(p.get(SlotId(0)), None);
+        assert_eq!(p.slots(), 4);
+    }
+
+    #[test]
+    fn page_full_reported() {
+        let mut p = SlottedPage::new(64);
+        let data = [7u8; 30];
+        p.insert(&data).unwrap();
+        assert!(matches!(p.insert(&data), Err(Error::PageFull)));
+    }
+
+    #[test]
+    fn update_in_place_and_grow() {
+        let mut p = SlottedPage::new(128);
+        let s = p.insert(b"abcdef").unwrap();
+        let old = p.update(s, b"xy").unwrap();
+        assert_eq!(old, b"abcdef");
+        assert_eq!(p.get(s), Some(&b"xy"[..]));
+        let old2 = p.update(s, b"0123456789").unwrap();
+        assert_eq!(old2, b"xy");
+        assert_eq!(p.get(s), Some(&b"0123456789"[..]));
+    }
+
+    #[test]
+    fn update_too_big_leaves_page_unchanged() {
+        let mut p = SlottedPage::new(64);
+        let s = p.insert(&[1u8; 20]).unwrap();
+        p.insert(&[2u8; 20]).unwrap();
+        let err = p.update(s, &[3u8; 40]).unwrap_err();
+        assert!(matches!(err, Error::PageFull));
+        assert_eq!(p.get(s), Some(&[1u8; 20][..]));
+    }
+
+    #[test]
+    fn compaction_reclaims_space() {
+        let mut p = SlottedPage::new(128);
+        let s0 = p.insert(&[1u8; 30]).unwrap();
+        let s1 = p.insert(&[2u8; 30]).unwrap();
+        let s2 = p.insert(&[3u8; 30]).unwrap();
+        p.delete(s0).unwrap();
+        p.delete(s2).unwrap();
+        // Free space is fragmented; a 50-byte record needs compaction.
+        let s3 = p.insert(&[4u8; 50]).unwrap();
+        assert_eq!(p.get(s1), Some(&[2u8; 30][..]));
+        assert_eq!(p.get(s3), Some(&[4u8; 50][..]));
+    }
+
+    #[test]
+    fn records_iterates_in_slot_order() {
+        let mut p = SlottedPage::new(256);
+        p.insert(b"a").unwrap();
+        let s1 = p.insert(b"b").unwrap();
+        p.insert(b"c").unwrap();
+        p.delete(s1).unwrap();
+        let got: Vec<Vec<u8>> = p.records().map(|(_, d)| d.to_vec()).collect();
+        assert_eq!(got, vec![b"a".to_vec(), b"c".to_vec()]);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut p = SlottedPage::new(256);
+        p.insert(b"persist me").unwrap();
+        let mut bytes = Vec::new();
+        p.encode(&mut bytes);
+        let q = SlottedPage::decode(&bytes).unwrap();
+        assert_eq!(p, q);
+    }
+
+    proptest! {
+        /// Random op sequences against a model HashMap: slot stability,
+        /// contents, and free-space accounting never diverge.
+        #[test]
+        fn prop_model_check(ops in prop::collection::vec(
+            (0u8..3, prop::collection::vec(any::<u8>(), 1..24)), 0..60)) {
+            let mut p = SlottedPage::new(512);
+            let mut model: std::collections::HashMap<u16, Vec<u8>> =
+                std::collections::HashMap::new();
+            for (op, data) in ops {
+                match op {
+                    0 => {
+                        if let Ok(s) = p.insert(&data) {
+                            prop_assert!(!model.contains_key(&s.0));
+                            model.insert(s.0, data);
+                        }
+                    }
+                    1 => {
+                        if let Some(&slot) = model.keys().min() {
+                            let old = p.delete(SlotId(slot)).unwrap();
+                            prop_assert_eq!(&old, model.get(&slot).unwrap());
+                            model.remove(&slot);
+                        }
+                    }
+                    _ => {
+                        if let Some(&slot) = model.keys().max() {
+                            if p.update(SlotId(slot), &data).is_ok() {
+                                model.insert(slot, data);
+                            }
+                        }
+                    }
+                }
+                for (&slot, val) in &model {
+                    prop_assert_eq!(p.get(SlotId(slot)), Some(val.as_slice()));
+                }
+                prop_assert_eq!(p.live_records(), model.len());
+            }
+        }
+    }
+}

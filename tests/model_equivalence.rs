@@ -1,0 +1,168 @@
+//! Property-based model checking: random DML programs (with rollbacks
+//! and crashes at random points) executed against the engine must
+//! leave every index in exact agreement with a trivial in-memory
+//! model of the table.
+
+use online_index_build::prelude::*;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const T: TableId = TableId(1);
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { key: i64, payload: i64 },
+    Delete { victim: usize },
+    Update { victim: usize, key: i64 },
+    CommitTx,
+    RollbackTx,
+    CrashRestart,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..10_000i64, 0..100i64).prop_map(|(key, payload)| Op::Insert { key, payload }),
+        2 => (0..64usize).prop_map(|victim| Op::Delete { victim }),
+        2 => (0..64usize, 0..10_000i64).prop_map(|(victim, key)| Op::Update { victim, key }),
+        3 => Just(Op::CommitTx),
+        1 => Just(Op::RollbackTx),
+        1 => Just(Op::CrashRestart),
+    ]
+}
+
+/// Run a program against the engine and a model simultaneously.
+/// The model tracks only *committed* state; an open transaction's
+/// effects are buffered and merged at commit.
+fn run_program(ops: Vec<Op>, algorithm: BuildAlgorithm, build_at: usize) {
+    let db = Db::new(EngineConfig::small());
+    db.create_table(T);
+    let mut committed: HashMap<u64, (i64, i64)> = HashMap::new(); // rid.pack -> cols
+    let mut pending: Vec<(u64, Option<(i64, i64)>)> = Vec::new(); // (rid, new state)
+    let mut tx: Option<TxId> = None;
+    let mut index: Option<IndexId> = None;
+
+    let apply_pending =
+        |committed: &mut HashMap<u64, (i64, i64)>, pending: &mut Vec<(u64, Option<(i64, i64)>)>| {
+            for (rid, state) in pending.drain(..) {
+                match state {
+                    Some(cols) => {
+                        committed.insert(rid, cols);
+                    }
+                    None => {
+                        committed.remove(&rid);
+                    }
+                }
+            }
+        };
+
+    for (i, op) in ops.into_iter().enumerate() {
+        if i == build_at && index.is_none() {
+            // Build the index at a quiescent point mid-program.
+            if let Some(t) = tx.take() {
+                db.commit(t).unwrap();
+                apply_pending(&mut committed, &mut pending);
+            }
+            index = Some(
+                build_index(
+                    &db,
+                    T,
+                    IndexSpec { name: "m".into(), key_cols: vec![0], unique: false },
+                    algorithm,
+                )
+                .expect("build"),
+            );
+        }
+        let cur = *tx.get_or_insert_with(|| db.begin());
+        match op {
+            Op::Insert { key, payload } => {
+                let rid = db.insert_record(cur, T, &Record::new(vec![key, payload])).unwrap();
+                pending.push((rid.pack(), Some((key, payload))));
+            }
+            Op::Delete { victim } => {
+                // Pick a committed record not touched by this tx.
+                let candidates: Vec<u64> = committed
+                    .keys()
+                    .filter(|r| pending.iter().all(|(p, _)| p != *r))
+                    .copied()
+                    .collect();
+                if candidates.is_empty() {
+                    continue;
+                }
+                let rid = Rid::unpack(candidates[victim % candidates.len()]);
+                db.delete_record(cur, T, rid).unwrap();
+                pending.push((rid.pack(), None));
+            }
+            Op::Update { victim, key } => {
+                let candidates: Vec<u64> = committed
+                    .keys()
+                    .filter(|r| pending.iter().all(|(p, _)| p != *r))
+                    .copied()
+                    .collect();
+                if candidates.is_empty() {
+                    continue;
+                }
+                let rid = Rid::unpack(candidates[victim % candidates.len()]);
+                db.update_record(cur, T, rid, &Record::new(vec![key, 1])).unwrap();
+                pending.push((rid.pack(), Some((key, 1))));
+            }
+            Op::CommitTx => {
+                db.commit(cur).unwrap();
+                tx = None;
+                apply_pending(&mut committed, &mut pending);
+            }
+            Op::RollbackTx => {
+                db.rollback(cur).unwrap();
+                tx = None;
+                pending.clear();
+            }
+            Op::CrashRestart => {
+                // Open transaction dies with the crash (it loses).
+                tx = None;
+                pending.clear();
+                db.checkpoint().unwrap(); // make committed state durable
+                db.simulate_crash();
+                db.restart().unwrap();
+            }
+        }
+    }
+    if let Some(t) = tx.take() {
+        db.commit(t).unwrap();
+        apply_pending(&mut committed, &mut pending);
+    }
+
+    // Compare the table against the model.
+    let scanned: HashMap<u64, (i64, i64)> = db
+        .table_scan(T)
+        .unwrap()
+        .into_iter()
+        .map(|(rid, rec)| (rid.pack(), (rec.0[0], rec.0[1])))
+        .collect();
+    assert_eq!(scanned, committed, "table diverged from model");
+
+    // And the index against the table.
+    if let Some(idx) = index {
+        verify_index(&db, idx).expect("index agrees with table");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn prop_engine_matches_model_nsf(ops in prop::collection::vec(op_strategy(), 1..80),
+                                     build_at in 0..40usize) {
+        run_program(ops, BuildAlgorithm::Nsf, build_at);
+    }
+
+    #[test]
+    fn prop_engine_matches_model_sf(ops in prop::collection::vec(op_strategy(), 1..80),
+                                    build_at in 0..40usize) {
+        run_program(ops, BuildAlgorithm::Sf, build_at);
+    }
+
+    #[test]
+    fn prop_engine_matches_model_offline(ops in prop::collection::vec(op_strategy(), 1..80),
+                                         build_at in 0..40usize) {
+        run_program(ops, BuildAlgorithm::Offline, build_at);
+    }
+}
