@@ -9,7 +9,12 @@ use mohan_common::{FileId, IndexEntry, Rid};
 fn tree(hint: bool) -> BTree {
     BTree::create(
         FileId(1),
-        BTreeConfig { page_size: 2048, fill_factor: 0.9, unique: false, hint_enabled: hint },
+        BTreeConfig {
+            page_size: 2048,
+            fill_factor: 0.9,
+            unique: false,
+            hint_enabled: hint,
+        },
     )
 }
 

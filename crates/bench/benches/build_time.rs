@@ -11,7 +11,11 @@ fn bench_builds(c: &mut Criterion) {
     let mut group = c.benchmark_group("index_build");
     group.sample_size(10);
     for n in [5_000i64, 20_000] {
-        for algo in [BuildAlgorithm::Offline, BuildAlgorithm::Nsf, BuildAlgorithm::Sf] {
+        for algo in [
+            BuildAlgorithm::Offline,
+            BuildAlgorithm::Nsf,
+            BuildAlgorithm::Sf,
+        ] {
             group.bench_with_input(BenchmarkId::new(format!("{algo:?}"), n), &n, |b, &n| {
                 b.iter_batched(
                     || seed_table(bench_config(), n, 1).0,
@@ -19,7 +23,11 @@ fn bench_builds(c: &mut Criterion) {
                         build_index(
                             &db,
                             TABLE,
-                            IndexSpec { name: "b".into(), key_cols: vec![0], unique: false },
+                            IndexSpec {
+                                name: "b".into(),
+                                key_cols: vec![0],
+                                unique: false,
+                            },
                             algo,
                         )
                         .expect("build")

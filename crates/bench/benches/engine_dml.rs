@@ -13,7 +13,11 @@ fn setup(indexes: usize) -> Arc<Db> {
     let (db, _) = seed_table(bench_config(), 5_000, 3);
     if indexes > 0 {
         let specs: Vec<IndexSpec> = (0..indexes)
-            .map(|i| IndexSpec { name: format!("i{i}"), key_cols: vec![i % 2], unique: false })
+            .map(|i| IndexSpec {
+                name: format!("i{i}"),
+                key_cols: vec![i % 2],
+                unique: false,
+            })
             .collect();
         build_indexes(&db, TABLE, &specs, BuildAlgorithm::Sf).expect("build");
     }
@@ -32,7 +36,8 @@ fn bench_inserts(c: &mut Criterion) {
                 b.iter(|| {
                     k += 1;
                     let tx = db.begin();
-                    db.insert_record(tx, TABLE, &Record::new(vec![k, 1])).expect("insert");
+                    db.insert_record(tx, TABLE, &Record::new(vec![k, 1]))
+                        .expect("insert");
                     db.commit(tx).expect("commit");
                 });
             },
@@ -48,7 +53,9 @@ fn bench_delete_insert_cycle(c: &mut Criterion) {
         b.iter(|| {
             k += 1;
             let tx = db.begin();
-            let rid = db.insert_record(tx, TABLE, &Record::new(vec![k, 1])).expect("insert");
+            let rid = db
+                .insert_record(tx, TABLE, &Record::new(vec![k, 1]))
+                .expect("insert");
             db.commit(tx).expect("commit");
             let tx = db.begin();
             db.delete_record(tx, TABLE, rid).expect("delete");

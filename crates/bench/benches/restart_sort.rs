@@ -25,20 +25,28 @@ fn bench_run_formation(c: &mut Criterion) {
     let mut group = c.benchmark_group("sort_50k_keys");
     group.sample_size(10);
     for interval in [0u64, 2_000, 10_000] {
-        let label = if interval == 0 { "no checkpoints".into() } else { format!("cp every {interval}") };
-        group.bench_with_input(BenchmarkId::from_parameter(label), &interval, |b, &interval| {
-            b.iter(|| {
-                let store: Arc<RunStore<IndexEntry>> = Arc::new(RunStore::new());
-                let mut rf = RunFormation::new(Arc::clone(&store), 1024);
-                for (i, e) in input.iter().enumerate() {
-                    rf.push(e.clone(), i as u64 + 1).expect("push");
-                    if interval != 0 && (i as u64 + 1).is_multiple_of(interval) {
-                        rf.checkpoint().expect("checkpoint");
+        let label = if interval == 0 {
+            "no checkpoints".into()
+        } else {
+            format!("cp every {interval}")
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &interval,
+            |b, &interval| {
+                b.iter(|| {
+                    let store: Arc<RunStore<IndexEntry>> = Arc::new(RunStore::new());
+                    let mut rf = RunFormation::new(Arc::clone(&store), 1024);
+                    for (i, e) in input.iter().enumerate() {
+                        rf.push(e.clone(), i as u64 + 1).expect("push");
+                        if interval != 0 && (i as u64 + 1).is_multiple_of(interval) {
+                            rf.checkpoint().expect("checkpoint");
+                        }
                     }
-                }
-                rf.finish().expect("finish").len()
-            });
-        });
+                    rf.finish().expect("finish").len()
+                });
+            },
+        );
     }
     group.finish();
 }

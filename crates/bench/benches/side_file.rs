@@ -18,13 +18,21 @@ fn bench_append_vs_tree(c: &mut Criterion) {
     c.bench_function("side_file_append", |b| {
         b.iter(|| {
             k += 1;
-            sf.append(SideFileOp { insert: true, entry: entry(k) })
+            sf.append(SideFileOp {
+                insert: true,
+                entry: entry(k),
+            })
         });
     });
 
     let tree = BTree::create(
         FileId(2),
-        BTreeConfig { page_size: 2048, fill_factor: 0.9, unique: false, hint_enabled: false },
+        BTreeConfig {
+            page_size: 2048,
+            fill_factor: 0.9,
+            unique: false,
+            hint_enabled: false,
+        },
     );
     // Pre-populate so traversals have realistic depth.
     for k in 0..50_000i64 {
@@ -34,7 +42,8 @@ fn bench_append_vs_tree(c: &mut Criterion) {
     c.bench_function("direct_tree_insert_in_50k", |b| {
         b.iter(|| {
             k += 1;
-            tree.insert(entry(k * 2 + 1), InsertMode::Transaction).expect("insert")
+            tree.insert(entry(k * 2 + 1), InsertMode::Transaction)
+                .expect("insert")
         });
     });
 }
@@ -42,7 +51,10 @@ fn bench_append_vs_tree(c: &mut Criterion) {
 fn bench_drain_read(c: &mut Criterion) {
     let sf = SideFile::new();
     for k in 0..100_000i64 {
-        sf.append(SideFileOp { insert: true, entry: entry(k) });
+        sf.append(SideFileOp {
+            insert: true,
+            entry: entry(k),
+        });
     }
     c.bench_function("side_file_read_batch_512", |b| {
         let mut pos = 0u64;

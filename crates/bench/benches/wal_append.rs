@@ -1,0 +1,187 @@
+//! Criterion bench: WAL append scaling — LSN reservation + segment
+//! publish vs the old single-`RwLock<Vec<_>>` design, at 1/2/4/8
+//! appender threads.
+//!
+//! Each sample performs the same total number of appends
+//! (`TOTAL_APPENDS`) split across the thread count, so the times are
+//! directly comparable: a flat line across thread counts means the
+//! appenders are not serializing. The `baseline` rows rebuild the old
+//! design in-bench (one lock around a `Vec` tail) so the comparison
+//! survives the old code's removal.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use mohan_common::{Lsn, TxId};
+use mohan_wal::record::{LogPayload, LogRecord, RecKind};
+use mohan_wal::LogManager;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const TOTAL_APPENDS: usize = 16_384;
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// The pre-sharding log manager: every append takes one write lock on
+/// the whole tail.
+struct BaselineLog {
+    records: RwLock<Vec<Arc<LogRecord>>>,
+    flushed: AtomicU64,
+}
+
+impl BaselineLog {
+    fn new() -> BaselineLog {
+        BaselineLog {
+            records: RwLock::new(Vec::new()),
+            flushed: AtomicU64::new(0),
+        }
+    }
+
+    fn append(&self, tx: TxId) -> Lsn {
+        let mut recs = self.records.write();
+        let lsn = Lsn(recs.len() as u64 + 1);
+        recs.push(Arc::new(LogRecord {
+            lsn,
+            tx,
+            prev: Lsn::NULL,
+            kind: RecKind::RedoOnly,
+            payload: LogPayload::TxBegin,
+        }));
+        lsn
+    }
+
+    fn flush_to(&self, lsn: Lsn) {
+        let mut cur = self.flushed.load(Ordering::Acquire);
+        while cur < lsn.0 {
+            match self
+                .flushed
+                .compare_exchange(cur, lsn.0, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+fn append_new(log: &LogManager, tx: TxId) -> Lsn {
+    log.append(tx, Lsn::NULL, RecKind::RedoOnly, LogPayload::TxBegin)
+}
+
+/// Split `TOTAL_APPENDS` across `threads` workers hammering `op`.
+fn fan_out<L: Sync>(log: &L, threads: usize, op: impl Fn(&L, u64, usize) + Sync) {
+    let per = TOTAL_APPENDS / threads;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let op = &op;
+            s.spawn(move || {
+                for i in 0..per {
+                    op(log, t as u64, i);
+                }
+            });
+        }
+    });
+}
+
+fn bench_append(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wal_append");
+    g.sample_size(25);
+    for threads in THREADS {
+        // Finished logs are parked here so their teardown (hundreds of
+        // thousands of Arc drops) stays out of the timed region.
+        let mut parked: Vec<Arc<BaselineLog>> = Vec::new();
+        g.bench_with_input(
+            BenchmarkId::new("baseline", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_batched(
+                    || Arc::new(BaselineLog::new()),
+                    |log| {
+                        fan_out(&*log, threads, |l, t, _| {
+                            l.append(TxId(t));
+                        });
+                        parked.push(log);
+                    },
+                    BatchSize::LargeInput,
+                );
+            },
+        );
+        let mut parked: Vec<Arc<LogManager>> = Vec::new();
+        g.bench_with_input(
+            BenchmarkId::new("sharded", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_batched(
+                    || Arc::new(LogManager::new()),
+                    |log| {
+                        fan_out(&*log, threads, |l, t, _| {
+                            append_new(l, TxId(t));
+                        });
+                        parked.push(log);
+                    },
+                    BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Append + group-commit-style flush every 64 records: the flush path
+/// is where concurrent callers coalesce instead of each re-forcing.
+fn bench_append_flush(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wal_append_flush64");
+    g.sample_size(25);
+    let threads = 4usize;
+    {
+        let mut parked: Vec<Arc<BaselineLog>> = Vec::new();
+        g.bench_with_input(
+            BenchmarkId::new("baseline", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_batched(
+                    || Arc::new(BaselineLog::new()),
+                    |log| {
+                        fan_out(&*log, threads, |l, t, i| {
+                            let lsn = l.append(TxId(t));
+                            if i % 64 == 63 {
+                                l.flush_to(lsn);
+                            }
+                        });
+                        parked.push(log);
+                    },
+                    BatchSize::LargeInput,
+                );
+            },
+        );
+        let mut parked: Vec<Arc<LogManager>> = Vec::new();
+        let mut coalesced = (0u64, 0u64); // (coalesced, forces)
+        g.bench_with_input(
+            BenchmarkId::new("sharded", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_batched(
+                    || Arc::new(LogManager::new()),
+                    |log| {
+                        fan_out(&*log, threads, |l, t, i| {
+                            let lsn = append_new(l, TxId(t));
+                            if i % 64 == 63 {
+                                l.flush_to(lsn);
+                            }
+                        });
+                        coalesced.0 += log.stats.group_flush_coalesced.get();
+                        coalesced.1 += log.stats.flushes.get();
+                        parked.push(log);
+                    },
+                    BatchSize::LargeInput,
+                );
+            },
+        );
+        println!(
+            "wal_append_flush64/sharded/{threads}: {} forces, {} coalesced",
+            coalesced.1, coalesced.0
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_append, bench_append_flush);
+criterion_main!(benches);

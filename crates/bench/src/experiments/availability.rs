@@ -10,7 +10,11 @@ use mohan_oib::verify::verify_index;
 use std::time::{Duration, Instant};
 
 fn spec(name: &str) -> IndexSpec {
-    IndexSpec { name: name.into(), key_cols: vec![0], unique: false }
+    IndexSpec {
+        name: name.into(),
+        key_cols: vec![0],
+        unique: false,
+    }
 }
 
 /// E5: updater throughput while a build runs. Offline quiesces the
@@ -27,7 +31,13 @@ pub fn e5_availability(quick: bool) -> Vec<Table> {
     };
     let mut t = Table::new(
         "E5: update availability during the build window",
-        &["scenario", "window", "updater ops/s", "errors", "ops vs baseline"],
+        &[
+            "scenario",
+            "window",
+            "updater ops/s",
+            "errors",
+            "ops vs baseline",
+        ],
     );
     // Baseline: churn with no build, for the same wall-clock as the
     // slowest build below (measured on the fly).
@@ -46,7 +56,11 @@ pub fn e5_availability(quick: bool) -> Vec<Table> {
             "100.0%".into(),
         ]);
     }
-    for algo in [BuildAlgorithm::Offline, BuildAlgorithm::Nsf, BuildAlgorithm::Sf] {
+    for algo in [
+        BuildAlgorithm::Offline,
+        BuildAlgorithm::Nsf,
+        BuildAlgorithm::Sf,
+    ] {
         let (db, rids) = seed_table(bench_config(), n, 66);
         let churn = start_churn(&db, &rids, churn_cfg());
         std::thread::sleep(Duration::from_millis(50));
@@ -78,20 +92,32 @@ pub fn e6_updater_cost(quick: bool) -> Vec<Table> {
     let n: i64 = if quick { 20_000 } else { 60_000 };
     let mut t = Table::new(
         "E6: per-update work while the build is in flight",
-        &["algorithm", "mean latency", "txn log recs/op", "side-file appends", "lock calls/op"],
+        &[
+            "algorithm",
+            "mean latency",
+            "txn log recs/op",
+            "side-file appends",
+            "lock calls/op",
+        ],
     );
     for algo in [BuildAlgorithm::Nsf, BuildAlgorithm::Sf] {
         let (db, rids) = seed_table(bench_config(), n, 77);
         let recs0 = db.wal.stats.records.get();
         let ib0 = db.wal.stats.ib_records.get();
         let locks0 = db.locks.stats.calls.get();
-        let churn = start_churn(&db, &rids, ChurnConfig { threads: 2, ..ChurnConfig::default() });
+        let churn = start_churn(
+            &db,
+            &rids,
+            ChurnConfig {
+                threads: 2,
+                ..ChurnConfig::default()
+            },
+        );
         std::thread::sleep(Duration::from_millis(30));
         let idx = build_index(&db, TABLE, spec("e6"), algo).expect("build");
         let stats = churn.stop();
         verify_index(&db, idx).expect("verify");
-        let txn_recs =
-            (db.wal.stats.records.get() - recs0) - (db.wal.stats.ib_records.get() - ib0);
+        let txn_recs = (db.wal.stats.records.get() - recs0) - (db.wal.stats.ib_records.get() - ib0);
         let locks = db.locks.stats.calls.get() - locks0;
         let appends = db.index(idx).expect("idx").side_file.appended.get();
         t.row(vec![

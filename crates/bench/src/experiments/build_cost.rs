@@ -8,11 +8,18 @@ use mohan_oib::schema::BuildAlgorithm;
 use mohan_oib::verify::verify_index;
 use std::time::Instant;
 
-const ALGOS: [BuildAlgorithm; 3] =
-    [BuildAlgorithm::Offline, BuildAlgorithm::Nsf, BuildAlgorithm::Sf];
+const ALGOS: [BuildAlgorithm; 3] = [
+    BuildAlgorithm::Offline,
+    BuildAlgorithm::Nsf,
+    BuildAlgorithm::Sf,
+];
 
 fn spec(name: &str) -> IndexSpec {
-    IndexSpec { name: name.into(), key_cols: vec![0], unique: false }
+    IndexSpec {
+        name: name.into(),
+        key_cols: vec![0],
+        unique: false,
+    }
 }
 
 /// E1: wall-clock build time, offline vs NSF vs SF, with concurrent
@@ -20,15 +27,32 @@ fn spec(name: &str) -> IndexSpec {
 /// SF builds most efficiently (bottom-up, unlogged); NSF pays logging
 /// and tree-sharing overhead; offline is fast but blocks all updates.
 pub fn e1_build_time(quick: bool) -> Vec<Table> {
-    let sizes: &[i64] = if quick { &[10_000, 30_000] } else { &[30_000, 100_000] };
+    let sizes: &[i64] = if quick {
+        &[10_000, 30_000]
+    } else {
+        &[30_000, 100_000]
+    };
     let mut t = Table::new(
         "E1: build time under concurrent updates",
-        &["rows", "algorithm", "build", "updater ops/s", "updater errors"],
+        &[
+            "rows",
+            "algorithm",
+            "build",
+            "updater ops/s",
+            "updater errors",
+        ],
     );
     for &n in sizes {
         for algo in ALGOS {
             let (db, rids) = seed_table(bench_config(), n, 11);
-            let churn = start_churn(&db, &rids, ChurnConfig { threads: 2, ..ChurnConfig::default() });
+            let churn = start_churn(
+                &db,
+                &rids,
+                ChurnConfig {
+                    threads: 2,
+                    ..ChurnConfig::default()
+                },
+            );
             // Let the churn reach steady state before the build.
             std::thread::sleep(std::time::Duration::from_millis(50));
             let ops0 = churn.ops_live.get();
@@ -61,14 +85,25 @@ pub fn e2_logging(quick: bool) -> Vec<Table> {
     let n: i64 = if quick { 10_000 } else { 40_000 };
     let mut t = Table::new(
         "E2: log volume by origin (n rows, throttled churn)",
-        &["algorithm", "IB log recs", "IB log KB", "IB recs/key", "txn log recs", "total KB"],
+        &[
+            "algorithm",
+            "IB log recs",
+            "IB log KB",
+            "IB recs/key",
+            "txn log recs",
+            "total KB",
+        ],
     );
     for algo in ALGOS {
         let (db, rids) = seed_table(bench_config(), n, 22);
         let churn = start_churn(
             &db,
             &rids,
-            ChurnConfig { threads: 2, ops_per_sec: Some(2_000), ..ChurnConfig::default() },
+            ChurnConfig {
+                threads: 2,
+                ops_per_sec: Some(2_000),
+                ..ChurnConfig::default()
+            },
         );
         std::thread::sleep(std::time::Duration::from_millis(30));
         let recs0 = db.wal.stats.records.get();

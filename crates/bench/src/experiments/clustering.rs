@@ -19,21 +19,43 @@ pub fn e4_clustering(quick: bool) -> Vec<Table> {
     let threads: &[usize] = if quick { &[0, 2] } else { &[0, 1, 2, 4] };
     let mut t = Table::new(
         "E4: leaf-level clustering vs concurrent update intensity",
-        &["updaters", "algorithm", "clustering", "occupancy", "leaves", "entries"],
+        &[
+            "updaters",
+            "algorithm",
+            "clustering",
+            "occupancy",
+            "leaves",
+            "entries",
+        ],
     );
     for &upd in threads {
-        for algo in [BuildAlgorithm::Offline, BuildAlgorithm::Nsf, BuildAlgorithm::Sf] {
+        for algo in [
+            BuildAlgorithm::Offline,
+            BuildAlgorithm::Nsf,
+            BuildAlgorithm::Sf,
+        ] {
             if algo == BuildAlgorithm::Offline && upd > 0 {
                 continue; // offline quiesces: updater intensity is moot
             }
             let (db, rids) = seed_table(bench_config(), n, 55);
             let churn = (upd > 0).then(|| {
-                start_churn(&db, &rids, ChurnConfig { threads: upd, ..ChurnConfig::default() })
+                start_churn(
+                    &db,
+                    &rids,
+                    ChurnConfig {
+                        threads: upd,
+                        ..ChurnConfig::default()
+                    },
+                )
             });
             let idx = build_index(
                 &db,
                 TABLE,
-                IndexSpec { name: "e4".into(), key_cols: vec![0], unique: false },
+                IndexSpec {
+                    name: "e4".into(),
+                    key_cols: vec![0],
+                    unique: false,
+                },
                 algo,
             )
             .expect("build");
@@ -63,11 +85,22 @@ pub fn e4_clustering(quick: bool) -> Vec<Table> {
         &["metric", "value"],
     );
     let (db, rids) = seed_table(bench_config(), n, 56);
-    let churn = start_churn(&db, &rids, ChurnConfig { threads: 2, ..ChurnConfig::default() });
+    let churn = start_churn(
+        &db,
+        &rids,
+        ChurnConfig {
+            threads: 2,
+            ..ChurnConfig::default()
+        },
+    );
     let idx = build_index(
         &db,
         TABLE,
-        IndexSpec { name: "e4b".into(), key_cols: vec![0], unique: false },
+        IndexSpec {
+            name: "e4b".into(),
+            key_cols: vec![0],
+            unique: false,
+        },
         BuildAlgorithm::Nsf,
     )
     .expect("build");
@@ -93,7 +126,13 @@ pub fn e4_clustering(quick: bool) -> Vec<Table> {
     // bottom-up one.
     let mut io = Table::new(
         "E4c: full-range scan I/O batches by prefetch strategy (§2.3.1)",
-        &["tree built by", "leaves", "sequential prefetch", "parent-guided", "ratio"],
+        &[
+            "tree built by",
+            "leaves",
+            "sequential prefetch",
+            "parent-guided",
+            "ratio",
+        ],
     );
     for (label, algo, txn_style) in [
         ("SF bottom-up", BuildAlgorithm::Sf, false),
@@ -109,7 +148,11 @@ pub fn e4_clustering(quick: bool) -> Vec<Table> {
             idx = build_index(
                 &db,
                 TABLE,
-                IndexSpec { name: "io".into(), key_cols: vec![0], unique: false },
+                IndexSpec {
+                    name: "io".into(),
+                    key_cols: vec![0],
+                    unique: false,
+                },
                 BuildAlgorithm::Offline,
             )
             .expect("build");
@@ -129,11 +172,22 @@ pub fn e4_clustering(quick: bool) -> Vec<Table> {
         } else {
             let (d, rids) = seed_table(bench_config(), n, 57);
             db = d;
-            let churn = start_churn(&db, &rids, ChurnConfig { threads: 2, ..ChurnConfig::default() });
+            let churn = start_churn(
+                &db,
+                &rids,
+                ChurnConfig {
+                    threads: 2,
+                    ..ChurnConfig::default()
+                },
+            );
             idx = build_index(
                 &db,
                 TABLE,
-                IndexSpec { name: "io".into(), key_cols: vec![0], unique: false },
+                IndexSpec {
+                    name: "io".into(),
+                    key_cols: vec![0],
+                    unique: false,
+                },
                 algo,
             )
             .expect("build");

@@ -1,0 +1,82 @@
+//! E15: hot-path contention profile of the sharded storage substrate.
+//!
+//! The paper's algorithms are motivated by *not quiescing updates*:
+//! the index builder and N updater transactions hammer the same table
+//! at once. That only helps if the storage substrate below them does
+//! not serialize everything on a handful of locks. This experiment
+//! runs the same churn + online build at increasing thread counts and
+//! reports where the contention actually lands: WAL group-flush
+//! coalescing, buffer-pool shard hit spread, free-space-map shard
+//! spread, and page-latch wait events.
+
+use crate::report::{dist, Table};
+use crate::workload::{bench_config, seed_table, start_churn, ChurnConfig, TABLE};
+use mohan_oib::build::{build_index, IndexSpec};
+use mohan_oib::schema::BuildAlgorithm;
+use mohan_oib::verify::verify_index;
+
+/// E15: contention counters under churn + online build.
+pub fn e15_contention(quick: bool) -> Vec<Table> {
+    let threads: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4, 8] };
+    let rows: i64 = if quick { 10_000 } else { 30_000 };
+    let mut t = Table::new(
+        "E15: storage hot-path contention (churn + NSF build)",
+        &[
+            "updaters",
+            "wal forces",
+            "coalesced",
+            "latch waits",
+            "cache shard hits (total ×imb [per shard])",
+            "fsm shard hits (total ×imb [per shard])",
+        ],
+    );
+    for &n in threads {
+        let (db, rids) = seed_table(bench_config(), rows, 15);
+        let table = db.table(TABLE).expect("table");
+        // Reset counters so the report reflects the contended phase,
+        // not the single-threaded seeding.
+        db.wal.stats.flushes.reset();
+        db.wal.stats.group_flush_coalesced.reset();
+        table.cache.latch_stats().wait_events.reset();
+        let churn = start_churn(
+            &db,
+            &rids,
+            ChurnConfig {
+                threads: n,
+                ..ChurnConfig::default()
+            },
+        );
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let idx = build_index(
+            &db,
+            TABLE,
+            IndexSpec {
+                name: format!("e15-{n}"),
+                key_cols: vec![0],
+                unique: false,
+            },
+            BuildAlgorithm::Nsf,
+        )
+        .expect("build");
+        let stats = churn.stop();
+        verify_index(&db, idx).expect("verify");
+        assert!(stats.ops > 0, "churn made no progress");
+        t.row(vec![
+            n.to_string(),
+            db.wal.stats.flushes.get().to_string(),
+            db.wal.stats.group_flush_coalesced.get().to_string(),
+            table.cache.latch_stats().wait_events.get().to_string(),
+            dist(&table.cache.stats.shard_hits),
+            dist(&table.stats.fsm_shard_hits),
+        ]);
+    }
+    t.note(format!(
+        "×imb = hottest shard / even spread (1.00 is perfectly balanced); \
+         {} cache shards, {} fsm shards.",
+        mohan_storage::cache::PAGE_SHARDS,
+        mohan_heap::FSM_SHARDS,
+    ));
+    t.note("coalesced = flush_to calls satisfied by another caller's group flush.");
+    t.note("Each run's index verified entry-for-entry against the table.");
+    vec![t]
+}

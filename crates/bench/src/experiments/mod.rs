@@ -6,6 +6,7 @@
 pub mod availability;
 pub mod build_cost;
 pub mod clustering;
+pub mod contention;
 pub mod pseudo;
 pub mod restart;
 pub mod side_file;
@@ -32,11 +33,12 @@ pub fn run(id: &str, quick: bool) -> Option<Vec<Table>> {
         "e12" => build_cost::e12_multi_index(quick),
         "e13" => unique::e13_unique_correctness(quick),
         "e14" => storage_model::e14_primary_model(quick),
+        "e15" => contention::e15_contention(quick),
         _ => return None,
     })
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 14] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+pub const ALL: [&str; 15] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
 ];

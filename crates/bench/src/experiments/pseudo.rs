@@ -16,14 +16,26 @@ pub fn e10_pseudo_delete(quick: bool) -> Vec<Table> {
     let fractions: &[f64] = if quick { &[0.1, 0.5] } else { &[0.1, 0.3, 0.5] };
     let mut t = Table::new(
         "E10: pseudo-deleted keys — bloat and GC reclamation",
-        &["deleted", "entries", "tombstones", "occupancy", "GC removed", "GC skipped", "live after"],
+        &[
+            "deleted",
+            "entries",
+            "tombstones",
+            "occupancy",
+            "GC removed",
+            "GC skipped",
+            "live after",
+        ],
     );
     for &frac in fractions {
         let (db, rids) = seed_table(bench_config(), n, 10);
         let idx = build_index(
             &db,
             TABLE,
-            IndexSpec { name: "e10".into(), key_cols: vec![0], unique: false },
+            IndexSpec {
+                name: "e10".into(),
+                key_cols: vec![0],
+                unique: false,
+            },
             BuildAlgorithm::Nsf,
         )
         .expect("build");
@@ -36,7 +48,8 @@ pub fn e10_pseudo_delete(quick: bool) -> Vec<Table> {
         db.commit(tx).expect("commit");
         // Keep one delete uncommitted so GC must skip it.
         let inflight = db.begin();
-        db.delete_record(inflight, TABLE, rids[victims]).expect("delete");
+        db.delete_record(inflight, TABLE, rids[victims])
+            .expect("delete");
 
         let rt = db.index(idx).expect("idx");
         let before = clustering(&rt.tree).expect("clustering");
@@ -53,10 +66,15 @@ pub fn e10_pseudo_delete(quick: bool) -> Vec<Table> {
             gc.skipped.to_string(),
             (after.entries - after.pseudo_entries).to_string(),
         ]);
-        assert_eq!(gc.removed as usize, victims, "GC must reclaim every committed tombstone");
+        assert_eq!(
+            gc.removed as usize, victims,
+            "GC must reclaim every committed tombstone"
+        );
         assert_eq!(gc.skipped, 1, "GC must skip the in-flight delete");
     }
     t.note("A key deleted while its deleter is uncommitted is skipped (conditional instant lock).");
-    t.note("SF trees gain tombstones only from post-build deletes; NSF also from build-time races.");
+    t.note(
+        "SF trees gain tombstones only from post-build deletes; NSF also from build-time races.",
+    );
     vec![t]
 }

@@ -25,10 +25,21 @@ fn entry(k: i64, i: u64) -> IndexEntry {
 /// workspace shortens runs.
 pub fn e7_restartable_sort(quick: bool) -> Vec<Table> {
     let n: u64 = if quick { 20_000 } else { 100_000 };
-    let intervals: &[u64] = if quick { &[1_000, 5_000] } else { &[1_000, 5_000, 20_000] };
+    let intervals: &[u64] = if quick {
+        &[1_000, 5_000]
+    } else {
+        &[1_000, 5_000, 20_000]
+    };
     let mut t = Table::new(
         "E7: sort-phase checkpoints — lost work vs interval (crash at 60%)",
-        &["interval", "checkpoints", "keys re-fed", "lost %", "runs (crash path)", "runs (no crash)"],
+        &[
+            "interval",
+            "checkpoints",
+            "keys re-fed",
+            "lost %",
+            "runs (crash path)",
+            "runs (no crash)",
+        ],
     );
     let mut rng = StdRng::seed_from_u64(7);
     let keys: Vec<i64> = (0..n).map(|_| rng.random_range(0..10_000_000)).collect();
@@ -89,7 +100,11 @@ pub fn e7_restartable_sort(quick: bool) -> Vec<Table> {
 pub fn e8_restartable_merge(quick: bool) -> Vec<Table> {
     let n: u64 = if quick { 20_000 } else { 100_000 };
     let runs_count = 8usize;
-    let intervals: &[u64] = if quick { &[1_000, 5_000] } else { &[1_000, 5_000, 20_000] };
+    let intervals: &[u64] = if quick {
+        &[1_000, 5_000]
+    } else {
+        &[1_000, 5_000, 20_000]
+    };
     let mut t = Table::new(
         "E8: merge-phase checkpoints — lost work vs interval (crash at 60%)",
         &["interval", "re-emitted keys", "lost %", "output exact"],
@@ -148,10 +163,20 @@ pub fn e8_restartable_merge(quick: bool) -> Vec<Table> {
 /// interval (§2.2.3, §3.2.4).
 pub fn e9_ib_restart(quick: bool) -> Vec<Table> {
     let n: i64 = if quick { 5_000 } else { 20_000 };
-    let intervals: &[usize] = if quick { &[500, 2_000] } else { &[1_000, 4_000, 16_000] };
+    let intervals: &[usize] = if quick {
+        &[500, 2_000]
+    } else {
+        &[1_000, 4_000, 16_000]
+    };
     let mut t = Table::new(
         "E9: IB restart — keys redone after a crash at 50% of the key-insert phase",
-        &["algorithm", "cp interval", "keys at checkpoint", "keys redone", "resume time"],
+        &[
+            "algorithm",
+            "cp interval",
+            "keys at checkpoint",
+            "keys redone",
+            "resume time",
+        ],
     );
     for algo in [BuildAlgorithm::Nsf, BuildAlgorithm::Sf] {
         for &interval in intervals {
@@ -166,7 +191,11 @@ pub fn e9_ib_restart(quick: bool) -> Vec<Table> {
             let err = build_index(
                 &db,
                 TABLE,
-                IndexSpec { name: "e9".into(), key_cols: vec![0], unique: false },
+                IndexSpec {
+                    name: "e9".into(),
+                    key_cols: vec![0],
+                    unique: false,
+                },
                 algo,
             )
             .expect_err("armed crash");
@@ -193,6 +222,8 @@ pub fn e9_ib_restart(quick: bool) -> Vec<Table> {
             ]);
         }
     }
-    t.note("Redone keys ≤ one checkpoint interval; re-insertions are rejected as duplicates (NSF).");
+    t.note(
+        "Redone keys ≤ one checkpoint interval; re-insertions are rejected as duplicates (NSF).",
+    );
     vec![t]
 }

@@ -15,14 +15,28 @@ pub fn e11_drain(quick: bool) -> Vec<Table> {
     let threads: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4] };
     let mut t = Table::new(
         "E11: SF side-file growth and drain (§3.2.5)",
-        &["updaters", "drain order", "appended", "peak backlog", "build", "traversals"],
+        &[
+            "updaters",
+            "drain order",
+            "appended",
+            "peak backlog",
+            "build",
+            "traversals",
+        ],
     );
     for &upd in threads {
         for sorted in [true, false] {
             let mut cfg = bench_config();
             cfg.side_file_sorted_apply = sorted;
             let (db, rids) = seed_table(cfg, n, 110);
-            let churn = start_churn(&db, &rids, ChurnConfig { threads: upd, ..ChurnConfig::default() });
+            let churn = start_churn(
+                &db,
+                &rids,
+                ChurnConfig {
+                    threads: upd,
+                    ..ChurnConfig::default()
+                },
+            );
             // Let updaters ramp before the scan starts so the
             // side-file actually sees traffic.
             std::thread::sleep(std::time::Duration::from_millis(40));
@@ -30,7 +44,11 @@ pub fn e11_drain(quick: bool) -> Vec<Table> {
             let idx = build_index(
                 &db,
                 TABLE,
-                IndexSpec { name: "e11".into(), key_cols: vec![0], unique: false },
+                IndexSpec {
+                    name: "e11".into(),
+                    key_cols: vec![0],
+                    unique: false,
+                },
                 BuildAlgorithm::Sf,
             )
             .expect("build");
@@ -62,19 +80,26 @@ pub fn e11_drain(quick: bool) -> Vec<Table> {
     let churn = start_churn(
         &db,
         &rids,
-        ChurnConfig { threads: 1, ops_per_sec: Some(300), ..ChurnConfig::default() },
+        ChurnConfig {
+            threads: 1,
+            ops_per_sec: Some(300),
+            ..ChurnConfig::default()
+        },
     );
     let recs0 = db.wal.stats.records.get();
     let ib0 = db.wal.stats.ib_records.get();
     let idx = build_index(
         &db,
         TABLE,
-        IndexSpec { name: "e11b".into(), key_cols: vec![0], unique: false },
+        IndexSpec {
+            name: "e11b".into(),
+            key_cols: vec![0],
+            unique: false,
+        },
         BuildAlgorithm::Sf,
     )
     .expect("build");
-    let during_recs =
-        (db.wal.stats.records.get() - recs0) - (db.wal.stats.ib_records.get() - ib0);
+    let during_recs = (db.wal.stats.records.get() - recs0) - (db.wal.stats.ib_records.get() - ib0);
     let during = churn.stop();
     t2.row(vec![
         "during SF build (side-file appends)".into(),
@@ -84,10 +109,18 @@ pub fn e11_drain(quick: bool) -> Vec<Table> {
     let churn = start_churn(
         &db,
         &rids,
-        ChurnConfig { threads: 1, ops_per_sec: Some(300), ..ChurnConfig::default() },
+        ChurnConfig {
+            threads: 1,
+            ops_per_sec: Some(300),
+            ..ChurnConfig::default()
+        },
     );
     let recs1 = db.wal.stats.records.get();
-    std::thread::sleep(std::time::Duration::from_millis(if quick { 150 } else { 400 }));
+    std::thread::sleep(std::time::Duration::from_millis(if quick {
+        150
+    } else {
+        400
+    }));
     let after = churn.stop();
     let after_recs = db.wal.stats.records.get() - recs1;
     t2.row(vec![

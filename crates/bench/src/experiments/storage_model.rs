@@ -26,19 +26,29 @@ pub fn e14_primary_model(quick: bool) -> Vec<Table> {
             &db,
             &rids,
             // Inserts and deletes only: the primary key must stay put.
-            ChurnConfig { threads: 2, mix: (1, 1, 0), ..ChurnConfig::default() },
+            ChurnConfig {
+                threads: 2,
+                mix: (1, 1, 0),
+                ..ChurnConfig::default()
+            },
         );
         let idx = build_index(
             &db,
             TABLE,
-            IndexSpec { name: "by_payload".into(), key_cols: vec![1], unique: false },
+            IndexSpec {
+                name: "by_payload".into(),
+                key_cols: vec![1],
+                unique: false,
+            },
             BuildAlgorithm::Sf,
         )
         .expect("build");
         churn.stop();
         verify_index(&db, idx).expect("verify");
         let rt = db.index(idx).expect("idx");
-        let entries = mohan_btree::scan::collect_all(&rt.tree, false).expect("scan").len();
+        let entries = mohan_btree::scan::collect_all(&rt.tree, false)
+            .expect("scan")
+            .len();
         t.row(vec![
             "Current-RID (heap scan)".into(),
             entries.to_string(),
@@ -53,26 +63,40 @@ pub fn e14_primary_model(quick: bool) -> Vec<Table> {
         let primary = build_index(
             &db,
             TABLE,
-            IndexSpec { name: "pk".into(), key_cols: vec![0], unique: true },
+            IndexSpec {
+                name: "pk".into(),
+                key_cols: vec![0],
+                unique: true,
+            },
             BuildAlgorithm::Offline,
         )
         .expect("primary");
         let churn = start_churn(
             &db,
             &rids,
-            ChurnConfig { threads: 2, mix: (1, 1, 0), ..ChurnConfig::default() },
+            ChurnConfig {
+                threads: 2,
+                mix: (1, 1, 0),
+                ..ChurnConfig::default()
+            },
         );
         let idx = build_secondary_via_primary(
             &db,
             primary,
-            IndexSpec { name: "by_payload_pk".into(), key_cols: vec![1], unique: false },
+            IndexSpec {
+                name: "by_payload_pk".into(),
+                key_cols: vec![1],
+                unique: false,
+            },
         )
         .expect("secondary");
         churn.stop();
         verify_index(&db, idx).expect("verify");
         verify_index(&db, primary).expect("primary stays consistent");
         let rt = db.index(idx).expect("idx");
-        let entries = mohan_btree::scan::collect_all(&rt.tree, false).expect("scan").len();
+        let entries = mohan_btree::scan::collect_all(&rt.tree, false)
+            .expect("scan")
+            .len();
         t.row(vec![
             "Current-Key (primary-index scan)".into(),
             entries.to_string(),
@@ -80,6 +104,8 @@ pub fn e14_primary_model(quick: bool) -> Vec<Table> {
             "true".into(),
         ]);
     }
-    t.note("'In the place of Current-RID we would use the current-key as the scan position' (§6.2).");
+    t.note(
+        "'In the place of Current-RID we would use the current-key as the scan position' (§6.2).",
+    );
     vec![t]
 }

@@ -10,7 +10,11 @@ use mohan_oib::schema::{BuildAlgorithm, Record};
 use mohan_oib::verify::verify_index;
 
 fn uspec() -> IndexSpec {
-    IndexSpec { name: "e13".into(), key_cols: vec![0], unique: true }
+    IndexSpec {
+        name: "e13".into(),
+        key_cols: vec![0],
+        unique: true,
+    }
 }
 
 /// E13: adversarial unique builds across seeds. Every run with a truly
@@ -21,7 +25,13 @@ pub fn e13_unique_correctness(quick: bool) -> Vec<Table> {
     let seeds: u64 = if quick { 4 } else { 10 };
     let mut t = Table::new(
         "E13: unique-index build correctness under churn",
-        &["algorithm", "runs", "spurious violations", "verified", "true dup detected"],
+        &[
+            "algorithm",
+            "runs",
+            "spurious violations",
+            "verified",
+            "true dup detected",
+        ],
     );
     for algo in [BuildAlgorithm::Nsf, BuildAlgorithm::Sf] {
         let mut spurious = 0u64;
@@ -33,7 +43,11 @@ pub fn e13_unique_correctness(quick: bool) -> Vec<Table> {
             let churn = start_churn(
                 &db,
                 &rids,
-                ChurnConfig { threads: 2, seed, ..ChurnConfig::default() },
+                ChurnConfig {
+                    threads: 2,
+                    seed,
+                    ..ChurnConfig::default()
+                },
             );
             match build_index(&db, TABLE, uspec(), algo) {
                 Ok(idx) => {
@@ -55,7 +69,8 @@ pub fn e13_unique_correctness(quick: bool) -> Vec<Table> {
         let detected = {
             let (db, _) = seed_table(bench_config(), n, 777);
             let tx = db.begin();
-            db.insert_record(tx, TABLE, &Record::new(vec![5, 0])).expect("dup"); // key 5 duplicates the seed
+            db.insert_record(tx, TABLE, &Record::new(vec![5, 0]))
+                .expect("dup"); // key 5 duplicates the seed
             db.commit(tx).expect("commit");
             matches!(
                 build_index(&db, TABLE, uspec(), algo),
@@ -72,6 +87,8 @@ pub fn e13_unique_correctness(quick: bool) -> Vec<Table> {
         assert_eq!(spurious, 0, "{algo:?} raised a spurious unique violation");
         assert!(detected, "{algo:?} missed a genuine duplicate");
     }
-    t.note("Arbitration waits on the record locks and re-verifies against the data pages (§2.2.3).");
+    t.note(
+        "Arbitration waits on the record locks and re-verifies against the data pages (§2.2.3).",
+    );
     vec![t]
 }

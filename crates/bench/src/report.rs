@@ -98,6 +98,19 @@ pub fn us(d: std::time::Duration) -> String {
     format!("{:.0}µs", d.as_secs_f64() * 1e6)
 }
 
+/// Render a per-shard distribution compactly: total, hottest shard's
+/// multiple of an even spread, and a sparkline-ish bucket list.
+#[must_use]
+pub fn dist(d: &mohan_common::stats::ShardDist) -> String {
+    let snap = d.snapshot();
+    let total = d.total();
+    if total == 0 {
+        return "0 (idle)".to_string();
+    }
+    let cells: Vec<String> = snap.iter().map(ToString::to_string).collect();
+    format!("{total} ×{:.2} [{}]", d.imbalance(), cells.join(" "))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -136,7 +136,10 @@ impl ChurnHandle {
     pub fn stop(self) -> ChurnStats {
         self.stop.store(true, Ordering::Relaxed);
         let elapsed = self.started.elapsed();
-        let mut agg = ChurnStats { elapsed, ..ChurnStats::default() };
+        let mut agg = ChurnStats {
+            elapsed,
+            ..ChurnStats::default()
+        };
         for h in self.handles {
             let s = h.join().expect("churn thread");
             agg.ops += s.ops;
@@ -161,14 +164,22 @@ pub fn start_churn(db: &Arc<Db>, rids: &[Rid], cfg: ChurnConfig) -> ChurnHandle 
     for t in 0..cfg.threads {
         let db = Arc::clone(db);
         let stop = Arc::clone(&stop);
-        let mine = shared.get(t).cloned().unwrap_or_else(|| Arc::new(Mutex::new(Vec::new())));
+        let mine = shared
+            .get(t)
+            .cloned()
+            .unwrap_or_else(|| Arc::new(Mutex::new(Vec::new())));
         let cfg = cfg.clone();
         let ops_live = Arc::clone(&ops_live);
         handles.push(std::thread::spawn(move || {
             churn_thread(&db, &stop, &mine, &cfg, t as u64, &ops_live)
         }));
     }
-    ChurnHandle { stop, handles, started: Instant::now(), ops_live }
+    ChurnHandle {
+        stop,
+        handles,
+        started: Instant::now(),
+        ops_live,
+    }
 }
 
 fn churn_thread(
@@ -184,7 +195,9 @@ fn churn_thread(
     let mut next_key = 10_000_000 + (thread_no as i64) * 100_000_000;
     let (wi, wd, wu) = cfg.mix;
     let total_w = wi + wd + wu;
-    let pacing = cfg.ops_per_sec.map(|r| Duration::from_secs_f64(1.0 / r as f64));
+    let pacing = cfg
+        .ops_per_sec
+        .map(|r| Duration::from_secs_f64(1.0 / r as f64));
 
     while !stop.load(Ordering::Relaxed) {
         let roll = rng.random_bool(cfg.rollback_fraction);
@@ -194,11 +207,12 @@ fn churn_thread(
         let mut local = mine.lock();
         let res = if pick < wi || local.is_empty() {
             next_key += 1;
-            db.insert_record(tx, TABLE, &Record::new(vec![next_key, 7])).map(|rid| {
-                if !roll {
-                    local.push(rid);
-                }
-            })
+            db.insert_record(tx, TABLE, &Record::new(vec![next_key, 7]))
+                .map(|rid| {
+                    if !roll {
+                        local.push(rid);
+                    }
+                })
         } else if pick < wi + wd {
             let i = rng.random_range(0..local.len());
             let rid = local[i];
@@ -210,7 +224,8 @@ fn churn_thread(
         } else {
             let rid = local[rng.random_range(0..local.len())];
             next_key += 1;
-            db.update_record(tx, TABLE, rid, &Record::new(vec![next_key, 9])).map(|_| ())
+            db.update_record(tx, TABLE, rid, &Record::new(vec![next_key, 9]))
+                .map(|_| ())
         };
         drop(local);
         match res {
@@ -245,7 +260,14 @@ mod tests {
     fn seed_and_churn_roundtrip() {
         let (db, rids) = seed_table(EngineConfig::small(), 200, 1);
         assert_eq!(rids.len(), 200);
-        let churn = start_churn(&db, &rids, ChurnConfig { threads: 2, ..ChurnConfig::default() });
+        let churn = start_churn(
+            &db,
+            &rids,
+            ChurnConfig {
+                threads: 2,
+                ..ChurnConfig::default()
+            },
+        );
         std::thread::sleep(Duration::from_millis(50));
         let stats = churn.stop();
         assert!(stats.ops > 0);
@@ -260,7 +282,11 @@ mod tests {
         let churn = start_churn(
             &db,
             &rids,
-            ChurnConfig { threads: 1, ops_per_sec: Some(100), ..ChurnConfig::default() },
+            ChurnConfig {
+                threads: 1,
+                ops_per_sec: Some(100),
+                ..ChurnConfig::default()
+            },
         );
         std::thread::sleep(Duration::from_millis(200));
         let stats = churn.stop();

@@ -94,7 +94,14 @@ impl BulkCheckpoint {
         for _ in 0..n {
             right_path.push(PageId(rd_u32(buf, &mut pos)?));
         }
-        Some(BulkCheckpoint { highest, count, allocated, root, height, right_path })
+        Some(BulkCheckpoint {
+            highest,
+            count,
+            allocated,
+            root,
+            height,
+            right_path,
+        })
     }
 }
 
@@ -123,7 +130,12 @@ impl<'t> BulkLoader<'t> {
         if !root_frame.latch.share().payload.leaf_entries().is_empty() {
             return Err(Error::Corruption("bulk load requires an empty tree".into()));
         }
-        Ok(BulkLoader { tree, right_path: vec![root], last: None, count: 0 })
+        Ok(BulkLoader {
+            tree,
+            right_path: vec![root],
+            last: None,
+            count: 0,
+        })
     }
 
     /// Append one entry; must be strictly greater than the previous.
@@ -136,7 +148,8 @@ impl<'t> BulkLoader<'t> {
                 )));
             }
         }
-        let fill = ((self.tree.config().page_size as f64) * self.tree.config().fill_factor) as usize;
+        let fill =
+            ((self.tree.config().page_size as f64) * self.tree.config().fill_factor) as usize;
         let leaf_page = *self.right_path.last().expect("path nonempty");
         let frame = self.tree.cache.frame(leaf_page)?;
         {
@@ -159,7 +172,10 @@ impl<'t> BulkLoader<'t> {
         });
         {
             let mut g = frame.latch.exclusive();
-            if let Node::Leaf { next, high_fence, .. } = &mut g.payload {
+            if let Node::Leaf {
+                next, high_fence, ..
+            } = &mut g.payload
+            {
                 *next = Some(new_leaf.id);
                 *high_fence = Some(entry.clone());
             }
@@ -200,7 +216,8 @@ impl<'t> BulkLoader<'t> {
             self.right_path.insert(0, new_root.id);
             return Ok(());
         }
-        let fill = ((self.tree.config().page_size as f64) * self.tree.config().fill_factor) as usize;
+        let fill =
+            ((self.tree.config().page_size as f64) * self.tree.config().fill_factor) as usize;
         let parent_page = self.right_path[depth - 1];
         let frame = self.tree.cache.frame(parent_page)?;
         {
@@ -218,10 +235,10 @@ impl<'t> BulkLoader<'t> {
         }
         // Parent full: open a new rightmost internal node holding only
         // the new child, and promote the separator another level up.
-        let new_node = self
-            .tree
-            .cache
-            .allocate(Node::Internal { seps: vec![], children: vec![child] });
+        let new_node = self.tree.cache.allocate(Node::Internal {
+            seps: vec![],
+            children: vec![child],
+        });
         self.right_path[depth - 1] = new_node.id;
         self.promote(sep, new_node.id, depth - 1)
     }
@@ -255,7 +272,10 @@ impl<'t> BulkLoader<'t> {
         {
             let anchor = tree.cache.frame(PageId(0))?;
             let mut g = anchor.latch.exclusive();
-            g.payload = Node::Anchor { root: cp.root, height: cp.height };
+            g.payload = Node::Anchor {
+                root: cp.root,
+                height: cp.height,
+            };
         }
         // Prune the rightmost branch: keys above the checkpointed
         // highest key, and children pointing at deallocated pages,
@@ -264,7 +284,11 @@ impl<'t> BulkLoader<'t> {
             let frame = tree.cache.frame(page)?;
             let mut g = frame.latch.exclusive();
             match &mut g.payload {
-                Node::Leaf { entries, next, high_fence } => {
+                Node::Leaf {
+                    entries,
+                    next,
+                    high_fence,
+                } => {
                     match &cp.highest {
                         Some(h) => entries.retain(|le| le.entry <= *h),
                         None => entries.clear(),
@@ -318,12 +342,20 @@ mod tests {
     fn tree() -> BTree {
         BTree::create(
             FileId(12),
-            BTreeConfig { page_size: 256, fill_factor: 0.9, unique: false, hint_enabled: true },
+            BTreeConfig {
+                page_size: 256,
+                fill_factor: 0.9,
+                unique: false,
+                hint_enabled: true,
+            },
         )
     }
 
     fn e(k: i64) -> IndexEntry {
-        IndexEntry::new(KeyValue::from_i64(k), Rid::new((k / 10) as u32, (k % 10) as u16))
+        IndexEntry::new(
+            KeyValue::from_i64(k),
+            Rid::new((k / 10) as u32, (k % 10) as u16),
+        )
     }
 
     #[test]
@@ -367,7 +399,8 @@ mod tests {
     #[test]
     fn rejects_nonempty_tree() {
         let t = tree();
-        t.insert(e(1), crate::tree::InsertMode::Transaction).unwrap();
+        t.insert(e(1), crate::tree::InsertMode::Transaction)
+            .unwrap();
         assert!(BulkLoader::new(&t).is_err());
     }
 

@@ -25,13 +25,19 @@ impl LeafEntry {
     /// A live entry.
     #[must_use]
     pub fn live(entry: IndexEntry) -> LeafEntry {
-        LeafEntry { entry, pseudo_deleted: false }
+        LeafEntry {
+            entry,
+            pseudo_deleted: false,
+        }
     }
 
     /// A tombstone.
     #[must_use]
     pub fn tombstone(entry: IndexEntry) -> LeafEntry {
-        LeafEntry { entry, pseudo_deleted: true }
+        LeafEntry {
+            entry,
+            pseudo_deleted: true,
+        }
     }
 
     /// Encoded size contribution (entry bytes + flag).
@@ -78,7 +84,11 @@ impl Node {
     /// Empty leaf.
     #[must_use]
     pub fn empty_leaf() -> Node {
-        Node::Leaf { entries: Vec::new(), next: None, high_fence: None }
+        Node::Leaf {
+            entries: Vec::new(),
+            next: None,
+            high_fence: None,
+        }
     }
 
     /// Byte occupancy for capacity accounting.
@@ -89,7 +99,11 @@ impl Node {
             Node::Internal { seps, children } => {
                 seps.iter().map(IndexEntry::encoded_size).sum::<usize>() + children.len() * 4
             }
-            Node::Leaf { entries, high_fence, .. } => {
+            Node::Leaf {
+                entries,
+                high_fence,
+                ..
+            } => {
                 entries.iter().map(LeafEntry::size).sum::<usize>()
                     + 8
                     + high_fence.as_ref().map_or(0, IndexEntry::encoded_size)
@@ -119,9 +133,7 @@ impl Node {
     #[must_use]
     pub fn leaf_lower_bound(&self, key: &KeyValue) -> usize {
         match self {
-            Node::Leaf { entries, .. } => {
-                entries.partition_point(|le| le.entry.key < *key)
-            }
+            Node::Leaf { entries, .. } => entries.partition_point(|le| le.entry.key < *key),
             _ => panic!("not a leaf"),
         }
     }
@@ -181,7 +193,11 @@ impl PagePayload for Node {
                     push_u32(out, c.0);
                 }
             }
-            Node::Leaf { entries, next, high_fence } => {
+            Node::Leaf {
+                entries,
+                next,
+                high_fence,
+            } => {
                 out.push(TAG_LEAF);
                 push_u32(out, entries.len() as u32);
                 for le in entries {
@@ -208,7 +224,9 @@ impl PagePayload for Node {
 
     fn decode(buf: &[u8]) -> Result<Node> {
         let mut pos = 0;
-        let tag = *buf.first().ok_or_else(|| Error::Corruption("empty node".into()))?;
+        let tag = *buf
+            .first()
+            .ok_or_else(|| Error::Corruption("empty node".into()))?;
         pos += 1;
         match tag {
             TAG_ANCHOR => {
@@ -269,7 +287,11 @@ impl PagePayload for Node {
                     }
                     _ => return Err(Error::Corruption("bad fence tag".into())),
                 };
-                Ok(Node::Leaf { entries, next, high_fence })
+                Ok(Node::Leaf {
+                    entries,
+                    next,
+                    high_fence,
+                })
             }
             _ => Err(Error::Corruption(format!("unknown node tag {tag}"))),
         }
@@ -286,7 +308,10 @@ mod tests {
 
     #[test]
     fn anchor_roundtrip() {
-        let n = Node::Anchor { root: PageId(7), height: 3 };
+        let n = Node::Anchor {
+            root: PageId(7),
+            height: 3,
+        };
         let mut b = Vec::new();
         n.encode(&mut b);
         assert_eq!(Node::decode(&b).unwrap(), n);
@@ -352,7 +377,11 @@ mod tests {
     #[test]
     fn size_accounts_entries() {
         let empty = Node::empty_leaf();
-        let one = Node::Leaf { entries: vec![LeafEntry::live(e(1, 1))], next: None, high_fence: None };
+        let one = Node::Leaf {
+            entries: vec![LeafEntry::live(e(1, 1))],
+            next: None,
+            high_fence: None,
+        };
         assert!(one.size() > empty.size());
     }
 

@@ -184,7 +184,11 @@ fn verify_node(
     let g = frame.latch.share();
     match &g.payload {
         Node::Anchor { .. } => Err(Error::Corruption("anchor inside tree".into())),
-        Node::Leaf { entries, high_fence, .. } => {
+        Node::Leaf {
+            entries,
+            high_fence,
+            ..
+        } => {
             if depth != height {
                 return Err(Error::Corruption(format!(
                     "leaf {page} at depth {depth}, height {height}"
@@ -207,16 +211,12 @@ fn verify_node(
                 }
                 if let Some(lo) = low {
                     if le.entry < *lo {
-                        return Err(Error::Corruption(format!(
-                            "{page}: entry below low fence"
-                        )));
+                        return Err(Error::Corruption(format!("{page}: entry below low fence")));
                     }
                 }
                 if let Some(hi) = high {
                     if le.entry >= *hi {
-                        return Err(Error::Corruption(format!(
-                            "{page}: entry above high fence"
-                        )));
+                        return Err(Error::Corruption(format!("{page}: entry above high fence")));
                     }
                 }
             }
@@ -237,7 +237,11 @@ fn verify_node(
             drop(g);
             for (i, child) in children.iter().enumerate() {
                 let lo = if i == 0 { low } else { Some(&seps[i - 1]) };
-                let hi = if i == seps.len() { high } else { Some(&seps[i]) };
+                let hi = if i == seps.len() {
+                    high
+                } else {
+                    Some(&seps[i])
+                };
                 verify_node(tree, *child, height, depth + 1, lo, hi, leaves)?;
             }
             Ok(())
@@ -254,7 +258,12 @@ mod tests {
     fn tree() -> BTree {
         BTree::create(
             FileId(11),
-            BTreeConfig { page_size: 256, fill_factor: 0.9, unique: false, hint_enabled: true },
+            BTreeConfig {
+                page_size: 256,
+                fill_factor: 0.9,
+                unique: false,
+                hint_enabled: true,
+            },
         )
     }
 
@@ -288,7 +297,8 @@ mod tests {
     fn verify_accepts_valid_tree() {
         let t = tree();
         for k in 0..1000i64 {
-            t.insert(e((k * 37) % 1000), InsertMode::Transaction).unwrap();
+            t.insert(e((k * 37) % 1000), InsertMode::Transaction)
+                .unwrap();
         }
         verify_structure(&t).unwrap();
     }
@@ -464,8 +474,10 @@ pub fn range_scan(
 
     // I/O accounting over the visited page sequence.
     let io_batches = match strategy {
-        PrefetchStrategy::ParentGuided => pages.len() as u64 / prefetch
-            + u64::from(!(pages.len() as u64).is_multiple_of(prefetch) && !pages.is_empty()),
+        PrefetchStrategy::ParentGuided => {
+            pages.len() as u64 / prefetch
+                + u64::from(!(pages.len() as u64).is_multiple_of(prefetch) && !pages.is_empty())
+        }
         PrefetchStrategy::PhysicalSequence => {
             // One I/O reads a window of `prefetch` *physically
             // consecutive* page numbers; a leaf rides the current
@@ -486,8 +498,11 @@ pub fn range_scan(
             batches
         }
     };
-    let stats =
-        RangeScanStats { entries: out.len() as u64, leaves: pages.len() as u64, io_batches };
+    let stats = RangeScanStats {
+        entries: out.len() as u64,
+        leaves: pages.len() as u64,
+        io_batches,
+    };
     Ok((out, stats))
 }
 
@@ -499,7 +514,12 @@ mod range_tests {
     use mohan_common::{FileId, Lsn};
 
     fn cfg() -> BTreeConfig {
-        BTreeConfig { page_size: 256, fill_factor: 0.9, unique: false, hint_enabled: true }
+        BTreeConfig {
+            page_size: 256,
+            fill_factor: 0.9,
+            unique: false,
+            hint_enabled: true,
+        }
     }
 
     fn e(k: i64) -> IndexEntry {
@@ -559,7 +579,8 @@ mod range_tests {
             bl.append(e(key)).unwrap();
         }
         bl.finish(Lsn::NULL).unwrap();
-        let (_, seq) = range_scan(&t, &k(0), &k(1999), 8, PrefetchStrategy::PhysicalSequence).unwrap();
+        let (_, seq) =
+            range_scan(&t, &k(0), &k(1999), 8, PrefetchStrategy::PhysicalSequence).unwrap();
         let (_, par) = range_scan(&t, &k(0), &k(1999), 8, PrefetchStrategy::ParentGuided).unwrap();
         let optimal = seq.leaves.div_ceil(8);
         assert_eq!(par.io_batches, optimal);
@@ -587,7 +608,10 @@ mod range_tests {
         let (_, seq) = range_scan(&t, &lo, &hi, 8, PrefetchStrategy::PhysicalSequence).unwrap();
         let (_, par) = range_scan(&t, &lo, &hi, 8, PrefetchStrategy::ParentGuided).unwrap();
         let optimal = seq.leaves.div_ceil(8);
-        assert_eq!(par.io_batches, optimal, "parent-guided is order-independent");
+        assert_eq!(
+            par.io_batches, optimal,
+            "parent-guided is order-independent"
+        );
         assert!(
             seq.io_batches > optimal * 3,
             "unclustered sequential prefetch should degrade: {} vs optimal {}",

@@ -133,7 +133,10 @@ impl BTree {
     #[must_use]
     pub fn create(file: FileId, cfg: BTreeConfig) -> BTree {
         let cache = PageCache::new(file);
-        let anchor = cache.allocate(Node::Anchor { root: PageId(1), height: 1 });
+        let anchor = cache.allocate(Node::Anchor {
+            root: PageId(1),
+            height: 1,
+        });
         debug_assert_eq!(anchor.id, PageId(0));
         let root = cache.allocate(Node::empty_leaf());
         debug_assert_eq!(root.id, PageId(1));
@@ -173,7 +176,10 @@ impl BTree {
         let root = self.cache.allocate(Node::empty_leaf());
         let anchor = self.cache.frame(PageId(0)).expect("anchor");
         let mut g = anchor.latch.exclusive();
-        g.payload = Node::Anchor { root: root.id, height: 1 };
+        g.payload = Node::Anchor {
+            root: root.id,
+            height: 1,
+        };
         *self.hint.lock() = None;
     }
 
@@ -195,9 +201,7 @@ impl BTree {
         loop {
             let next = match &guard.payload {
                 Node::Anchor { root, .. } => *root,
-                Node::Internal { children, .. } => {
-                    children[guard.payload.route(entry)]
-                }
+                Node::Internal { children, .. } => children[guard.payload.route(entry)],
                 Node::Leaf { .. } => {
                     // `guard` already is the leaf; find its id by
                     // re-deriving below. Leaf reached only via child
@@ -225,7 +229,10 @@ impl BTree {
         let mut path: Vec<PathFrame> = Vec::with_capacity(4);
         let anchor = self.cache.frame(PageId(0))?;
         let g = anchor.latch.exclusive_arc();
-        path.push(PathFrame { page: PageId(0), guard: g });
+        path.push(PathFrame {
+            page: PageId(0),
+            guard: g,
+        });
         loop {
             let (next, is_last_internal_hop) = {
                 let top = &path.last().expect("path nonempty").guard.payload;
@@ -243,9 +250,7 @@ impl BTree {
                 Node::Internal { .. } => {
                     guard.payload.size() + self.cfg.max_entry() + 4 <= self.cfg.page_size
                 }
-                Node::Anchor { .. } => {
-                    return Err(Error::Corruption("anchor below root".into()))
-                }
+                Node::Anchor { .. } => return Err(Error::Corruption("anchor below root".into())),
             };
             if safe {
                 path.clear();
@@ -289,13 +294,19 @@ impl BTree {
             return Ok(at);
         }
         // Try moving right past the run, then left before it.
-        let right = entries[at..].iter().position(|e| e.entry.key != *key).map(|o| at + o);
+        let right = entries[at..]
+            .iter()
+            .position(|e| e.entry.key != *key)
+            .map(|o| at + o);
         if let Some(r) = right {
             if r < entries.len() {
                 return Ok(r);
             }
         }
-        let left = entries[..at].iter().rposition(|e| e.entry.key != *key).map(|o| o + 1);
+        let left = entries[..at]
+            .iter()
+            .rposition(|e| e.entry.key != *key)
+            .map(|o| o + 1);
         if let Some(l) = left {
             if l > 0 {
                 return Ok(l);
@@ -309,12 +320,19 @@ impl BTree {
     /// Split the leaf at the top of `path`, then insert `le` into the
     /// proper half. `path` must still contain the leaf's retained
     /// ancestors. `ib` selects the specialized split.
-    fn split_leaf_and_insert(&self, mut path: Vec<PathFrame>, le: LeafEntry, ib: bool) -> Result<PageId> {
+    fn split_leaf_and_insert(
+        &self,
+        mut path: Vec<PathFrame>,
+        le: LeafEntry,
+        ib: bool,
+    ) -> Result<PageId> {
         let mut leaf_frame = path.pop().expect("leaf frame");
         let (mut left_entries, old_next, old_fence) = match &mut leaf_frame.guard.payload {
-            Node::Leaf { entries, next, high_fence } => {
-                (std::mem::take(entries), *next, high_fence.take())
-            }
+            Node::Leaf {
+                entries,
+                next,
+                high_fence,
+            } => (std::mem::take(entries), *next, high_fence.take()),
             _ => return Err(Error::Corruption("split target not a leaf".into())),
         };
 
@@ -371,12 +389,19 @@ impl BTree {
                 .first()
                 .map(|e| e.entry.clone())
                 .ok_or_else(|| Error::Corruption("empty right split".into()))?;
-            let target = if goes_right { new_page } else { leaf_frame.page };
+            let target = if goes_right {
+                new_page
+            } else {
+                leaf_frame.page
+            };
             (sep, target)
         };
 
         // Fix the chain and freeze the left page's new upper bound.
-        if let Node::Leaf { next, high_fence, .. } = &mut leaf_frame.guard.payload {
+        if let Node::Leaf {
+            next, high_fence, ..
+        } = &mut leaf_frame.guard.payload
+        {
             *next = Some(new_page);
             *high_fence = Some(sep.clone());
         }
@@ -397,7 +422,9 @@ impl BTree {
         new_child: PageId,
     ) -> Result<()> {
         let Some(mut parent) = path.pop() else {
-            return Err(Error::Corruption("split cascaded past retained path".into()));
+            return Err(Error::Corruption(
+                "split cascaded past retained path".into(),
+            ));
         };
         match &mut parent.guard.payload {
             Node::Anchor { root, height } => {
@@ -433,10 +460,14 @@ impl BTree {
                 let rseps = lseps.split_off(mid + 1);
                 lseps.pop(); // `up` moves up, not right
                 let rchildren = lchildren.split_off(mid + 1);
-                let new_node = self
-                    .cache
-                    .allocate(Node::Internal { seps: rseps, children: rchildren });
-                parent.guard.payload = Node::Internal { seps: lseps, children: lchildren };
+                let new_node = self.cache.allocate(Node::Internal {
+                    seps: rseps,
+                    children: rchildren,
+                });
+                parent.guard.payload = Node::Internal {
+                    seps: lseps,
+                    children: lchildren,
+                };
                 let left_page = parent.page;
                 drop(parent);
                 self.insert_separator(path, left_page, up, new_node.id)
@@ -472,7 +503,11 @@ impl BTree {
         // crabbing descent.
         let fits = guard.payload.size() + entry.encoded_size() < self.cfg.fill_target();
         match &guard.payload {
-            Node::Leaf { entries, high_fence, .. } => {
+            Node::Leaf {
+                entries,
+                high_fence,
+                ..
+            } => {
                 let first = entries.first()?;
                 if *entry < first.entry || !fits {
                     return None;
@@ -622,6 +657,31 @@ impl BTree {
         }
     }
 
+    /// Physically remove the exact entry only if it is still live.
+    /// The IB's batch-insert undo goes through here: an entry a
+    /// committed deleter has pseudo-deleted since the IB inserted it
+    /// is that deleter's tombstone — removing it would let the
+    /// resumed IB re-insert the stale key (§2.2.3) — so it stays.
+    /// Returns `true` if the entry was removed.
+    pub fn physical_delete_if_live(&self, entry: &IndexEntry) -> Result<bool> {
+        let _structure = self.structure_shared();
+        let mut path = self.descend_x(entry)?;
+        let leaf = path.last_mut().expect("leaf");
+        match leaf.guard.payload.leaf_search(entry) {
+            Ok(i) => {
+                if let Node::Leaf { entries, .. } = &mut leaf.guard.payload {
+                    if entries[i].pseudo_deleted {
+                        return Ok(false);
+                    }
+                    entries.remove(i);
+                }
+                self.stats.physical_deletes.bump();
+                Ok(true)
+            }
+            Err(_) => Ok(false),
+        }
+    }
+
     /// Unique-index repair from the paper's example (§2.2.3 item 9):
     /// the committed-dead pseudo entry `<key, old_rid>` is replaced by
     /// a live `<key, new_rid>` in place.
@@ -721,7 +781,12 @@ mod tests {
     use rand::SeedableRng;
 
     fn cfg(unique: bool) -> BTreeConfig {
-        BTreeConfig { page_size: 256, fill_factor: 0.9, unique, hint_enabled: true }
+        BTreeConfig {
+            page_size: 256,
+            fill_factor: 0.9,
+            unique,
+            hint_enabled: true,
+        }
     }
 
     fn tree(unique: bool) -> BTree {
@@ -736,13 +801,41 @@ mod tests {
     fn insert_and_lookup_small() {
         let t = tree(false);
         for k in [5i64, 1, 9, 3] {
-            assert_eq!(t.insert(e(k, 1, k as u16), InsertMode::Transaction).unwrap(), InsertOutcome::Inserted);
+            assert_eq!(
+                t.insert(e(k, 1, k as u16), InsertMode::Transaction)
+                    .unwrap(),
+                InsertOutcome::Inserted
+            );
         }
         assert_eq!(
             t.lookup_exact(&e(5, 1, 5)).unwrap(),
-            Some(EntryState { pseudo_deleted: false })
+            Some(EntryState {
+                pseudo_deleted: false
+            })
         );
         assert_eq!(t.lookup_exact(&e(7, 1, 7)).unwrap(), None);
+    }
+
+    #[test]
+    fn physical_delete_if_live_spares_tombstones() {
+        let t = tree(false);
+        t.insert(e(5, 1, 1), InsertMode::Transaction).unwrap();
+        t.insert(e(7, 1, 2), InsertMode::Transaction).unwrap();
+        // 5 gets pseudo-deleted (a committed deleter's tombstone):
+        // the conditional delete must leave it in place.
+        t.set_pseudo(&e(5, 1, 1), true).unwrap();
+        assert!(!t.physical_delete_if_live(&e(5, 1, 1)).unwrap());
+        assert_eq!(
+            t.lookup_exact(&e(5, 1, 1)).unwrap(),
+            Some(EntryState {
+                pseudo_deleted: true
+            })
+        );
+        // 7 is live: removed outright.
+        assert!(t.physical_delete_if_live(&e(7, 1, 2)).unwrap());
+        assert_eq!(t.lookup_exact(&e(7, 1, 2)).unwrap(), None);
+        // Absent entries report false.
+        assert!(!t.physical_delete_if_live(&e(9, 1, 3)).unwrap());
     }
 
     #[test]
@@ -760,7 +853,10 @@ mod tests {
     fn nonunique_same_key_different_rid_ok() {
         let t = tree(false);
         t.insert(e(5, 1, 1), InsertMode::Transaction).unwrap();
-        assert_eq!(t.insert(e(5, 1, 2), InsertMode::Transaction).unwrap(), InsertOutcome::Inserted);
+        assert_eq!(
+            t.insert(e(5, 1, 2), InsertMode::Transaction).unwrap(),
+            InsertOutcome::Inserted
+        );
         let group = t.lookup_key_group(&KeyValue::from_i64(5)).unwrap();
         assert_eq!(group.len(), 2);
     }
@@ -772,7 +868,10 @@ mod tests {
         let out = t.insert(e(5, 2, 2), InsertMode::Transaction).unwrap();
         assert_eq!(
             out,
-            InsertOutcome::DuplicateKeyValue { existing: Rid::new(1, 1), existing_pseudo: false }
+            InsertOutcome::DuplicateKeyValue {
+                existing: Rid::new(1, 1),
+                existing_pseudo: false
+            }
         );
         assert_eq!(t.lookup_key_group(&KeyValue::from_i64(5)).unwrap().len(), 1);
     }
@@ -785,7 +884,10 @@ mod tests {
         let out = t.insert(e(5, 2, 2), InsertMode::Transaction).unwrap();
         assert_eq!(
             out,
-            InsertOutcome::DuplicateKeyValue { existing: Rid::new(1, 1), existing_pseudo: true }
+            InsertOutcome::DuplicateKeyValue {
+                existing: Rid::new(1, 1),
+                existing_pseudo: true
+            }
         );
     }
 
@@ -794,11 +896,15 @@ mod tests {
         let t = tree(true);
         t.insert(e(5, 1, 1), InsertMode::Transaction).unwrap();
         t.set_pseudo(&e(5, 1, 1), true).unwrap();
-        assert!(t.unique_replace(&KeyValue::from_i64(5), Rid::new(1, 1), Rid::new(9, 9)).unwrap());
+        assert!(t
+            .unique_replace(&KeyValue::from_i64(5), Rid::new(1, 1), Rid::new(9, 9))
+            .unwrap());
         assert_eq!(t.lookup_exact(&e(5, 1, 1)).unwrap(), None);
         assert_eq!(
             t.lookup_exact(&e(5, 9, 9)).unwrap(),
-            Some(EntryState { pseudo_deleted: false })
+            Some(EntryState {
+                pseudo_deleted: false
+            })
         );
     }
 
@@ -809,7 +915,9 @@ mod tests {
         assert!(t.pseudo_delete_or_tombstone(&e(7, 1, 1)).unwrap());
         assert_eq!(
             t.lookup_exact(&e(7, 1, 1)).unwrap(),
-            Some(EntryState { pseudo_deleted: true })
+            Some(EntryState {
+                pseudo_deleted: true
+            })
         );
         // Insert of the exact pseudo entry is *rejected* (caller must
         // reactivate explicitly).
@@ -820,7 +928,9 @@ mod tests {
         assert!(t.set_pseudo(&e(7, 1, 1), false).unwrap());
         assert_eq!(
             t.lookup_exact(&e(7, 1, 1)).unwrap(),
-            Some(EntryState { pseudo_deleted: false })
+            Some(EntryState {
+                pseudo_deleted: false
+            })
         );
     }
 
@@ -830,7 +940,9 @@ mod tests {
         assert!(!t.pseudo_delete_or_tombstone(&e(3, 1, 1)).unwrap());
         assert_eq!(
             t.lookup_exact(&e(3, 1, 1)).unwrap(),
-            Some(EntryState { pseudo_deleted: true })
+            Some(EntryState {
+                pseudo_deleted: true
+            })
         );
         assert_eq!(t.stats.tombstones.get(), 1);
     }
@@ -851,7 +963,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         keys.shuffle(&mut rng);
         for &k in &keys {
-            t.insert(e(k, (k / 100) as u32, (k % 100) as u16), InsertMode::Transaction).unwrap();
+            t.insert(
+                e(k, (k / 100) as u32, (k % 100) as u16),
+                InsertMode::Transaction,
+            )
+            .unwrap();
         }
         assert!(t.stats.splits.get() > 10);
         for &k in &keys {
@@ -882,7 +998,8 @@ mod tests {
         // inserts in the middle: the split must move only higher keys.
         let t = tree(false);
         for k in (0..20i64).map(|x| x * 10) {
-            t.insert(e(k, 1, k as u16), InsertMode::Transaction).unwrap();
+            t.insert(e(k, 1, k as u16), InsertMode::Transaction)
+                .unwrap();
         }
         let splits_before = t.stats.splits.get();
         // Force IB inserts until an IB split happens.
@@ -891,7 +1008,11 @@ mod tests {
             t.insert(e(k, 2, k as u16), InsertMode::Ib).unwrap();
             k += 2;
         }
-        assert_eq!(t.stats.splits.get(), splits_before, "no normal splits by IB");
+        assert_eq!(
+            t.stats.splits.get(),
+            splits_before,
+            "no normal splits by IB"
+        );
         // Everything is still sorted & present.
         let group: Vec<i64> = crate::scan::collect_all(&t, true)
             .unwrap()
@@ -909,7 +1030,8 @@ mod tests {
         // Build a unique tree with several transient pseudo entries of
         // the same key value, forcing splits around them.
         for k in 0..200i64 {
-            t.insert(e(k, 1, k as u16), InsertMode::Transaction).unwrap();
+            t.insert(e(k, 1, k as u16), InsertMode::Transaction)
+                .unwrap();
         }
         // A burst of tombstones with one key value.
         for slot in 0..4u16 {
@@ -917,7 +1039,8 @@ mod tests {
             t.pseudo_delete_or_tombstone(&probe).unwrap();
         }
         for k in 200..400i64 {
-            t.insert(e(k, 1, (k % 100) as u16), InsertMode::Transaction).unwrap();
+            t.insert(e(k, 1, (k % 100) as u16), InsertMode::Transaction)
+                .unwrap();
         }
         let group = t.lookup_key_group(&KeyValue::from_i64(100)).unwrap();
         assert_eq!(group.len(), 5); // original + 4 tombstones
@@ -952,7 +1075,8 @@ mod tests {
             let t = Arc::clone(&t);
             handles.push(std::thread::spawn(move || {
                 for k in 0..500i64 {
-                    t.insert(e(k, th, k as u16), InsertMode::Transaction).unwrap();
+                    t.insert(e(k, th, k as u16), InsertMode::Transaction)
+                        .unwrap();
                 }
             }));
         }

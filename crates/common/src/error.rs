@@ -53,10 +53,16 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::UniqueViolation { index, existing } => {
-                write!(f, "unique key value violation in {index} (committed key at {existing})")
+                write!(
+                    f,
+                    "unique key value violation in {index} (committed key at {existing})"
+                )
             }
             Error::LockTimeout { tx, name } => {
-                write!(f, "{tx} timed out waiting for lock {name} (treated as deadlock)")
+                write!(
+                    f,
+                    "{tx} timed out waiting for lock {name} (treated as deadlock)"
+                )
             }
             Error::LockBusy => write!(f, "conditional lock not available"),
             Error::NotFound(what) => write!(f, "not found: {what}"),
@@ -91,7 +97,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = Error::UniqueViolation { index: IndexId(2), existing: Rid::new(1, 1) };
+        let e = Error::UniqueViolation {
+            index: IndexId(2),
+            existing: Rid::new(1, 1),
+        };
         assert!(e.to_string().contains("idx2"));
         assert!(e.to_string().contains("P1.s1"));
     }

@@ -43,9 +43,13 @@ impl FailpointSet {
 
     /// Arm `site` to fire on the `(skip + 1)`-th hit.
     pub fn arm_after(&self, site: &'static str, skip: u64) {
-        self.inner
-            .lock()
-            .insert(site, Trigger { remaining: skip, fired: 0 });
+        self.inner.lock().insert(
+            site,
+            Trigger {
+                remaining: skip,
+                fired: 0,
+            },
+        );
     }
 
     /// Arm `site` to fire on the next hit.

@@ -57,17 +57,26 @@ pub struct Rid {
 impl Rid {
     /// Smallest possible RID; used as the initial `Current-RID` of an
     /// SF scan (nothing is visible yet).
-    pub const MIN: Rid = Rid { page: PageId(0), slot: SlotId(0) };
+    pub const MIN: Rid = Rid {
+        page: PageId(0),
+        slot: SlotId(0),
+    };
 
     /// Largest possible RID; the paper's `infinity`, set by the SF
     /// index builder once the scan finishes so every later update sees
     /// the index as visible.
-    pub const MAX: Rid = Rid { page: PageId(u32::MAX), slot: SlotId(u16::MAX) };
+    pub const MAX: Rid = Rid {
+        page: PageId(u32::MAX),
+        slot: SlotId(u16::MAX),
+    };
 
     /// Construct a RID from raw page / slot numbers.
     #[must_use]
     pub fn new(page: u32, slot: u16) -> Rid {
-        Rid { page: PageId(page), slot: SlotId(slot) }
+        Rid {
+            page: PageId(page),
+            slot: SlotId(slot),
+        }
     }
 
     /// Pack into a `u64` so a scan cursor can live in an atomic.
@@ -80,7 +89,10 @@ impl Rid {
     /// Inverse of [`Rid::pack`].
     #[must_use]
     pub fn unpack(v: u64) -> Rid {
-        Rid { page: PageId((v >> 16) as u32), slot: SlotId((v & 0xFFFF) as u16) }
+        Rid {
+            page: PageId((v >> 16) as u32),
+            slot: SlotId((v & 0xFFFF) as u16),
+        }
     }
 }
 

@@ -147,7 +147,10 @@ impl IndexEntry {
     /// Entry with an integer key, convenient in tests and examples.
     #[must_use]
     pub fn from_i64(key: i64, rid: Rid) -> IndexEntry {
-        IndexEntry { key: KeyValue::from_i64(key), rid }
+        IndexEntry {
+            key: KeyValue::from_i64(key),
+            rid,
+        }
     }
 
     /// Encoded size used for page-capacity accounting: key bytes plus
@@ -183,7 +186,10 @@ impl IndexEntry {
         let mut r8 = [0u8; 8];
         r8.copy_from_slice(&buf[*pos..*pos + 8]);
         *pos += 8;
-        Some(IndexEntry { key, rid: Rid::unpack(u64::from_be_bytes(r8)) })
+        Some(IndexEntry {
+            key,
+            rid: Rid::unpack(u64::from_be_bytes(r8)),
+        })
     }
 }
 

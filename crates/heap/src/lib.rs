@@ -15,13 +15,17 @@
 
 #![warn(missing_docs)]
 
-use mohan_common::stats::Counter;
+use mohan_common::stats::{Counter, ShardDist};
 use mohan_common::{Error, Lsn, PageId, Result, Rid, TableId};
 use mohan_storage::{PageCache, SlottedPage};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of free-space-map shards per table (power of two).
+pub const FSM_SHARDS: usize = 8;
 
 /// Event counters for one table.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct HeapStats {
     /// Records inserted.
     pub inserts: Counter,
@@ -33,6 +37,79 @@ pub struct HeapStats {
     pub scan_pages: Counter,
     /// Simulated prefetch I/O batches issued by scans.
     pub io_batches: Counter,
+    /// Free-page candidates taken from each FSM shard (shows whether
+    /// concurrent inserters spread over the shards or pile up on one).
+    pub fsm_shard_hits: ShardDist,
+}
+
+impl Default for HeapStats {
+    fn default() -> Self {
+        HeapStats {
+            inserts: Counter::new(),
+            deletes: Counter::new(),
+            updates: Counter::new(),
+            scan_pages: Counter::new(),
+            io_batches: Counter::new(),
+            fsm_shard_hits: ShardDist::new(FSM_SHARDS),
+        }
+    }
+}
+
+/// A sharded free-space map: pages believed to have room, partitioned
+/// by page-id hash so concurrent inserters don't serialize on one
+/// list. A shard lock is only ever held for a push/pop — never across
+/// a page latch — so the old whole-insert serialization is gone.
+struct FreeSpaceMap {
+    shards: Vec<Mutex<Vec<PageId>>>,
+    /// Round-robin probe cursor: concurrent inserters start their
+    /// probe at different shards instead of all hammering shard 0.
+    cursor: AtomicUsize,
+}
+
+impl FreeSpaceMap {
+    fn new() -> FreeSpaceMap {
+        FreeSpaceMap {
+            shards: (0..FSM_SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
+    fn shard_of(page: PageId) -> usize {
+        (u64::from(page.0).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 61) as usize & (FSM_SHARDS - 1)
+    }
+
+    /// Where the next probe should start.
+    fn preferred_shard(&self) -> usize {
+        self.cursor.fetch_add(1, Ordering::Relaxed) & (FSM_SHARDS - 1)
+    }
+
+    /// Record `page` as having free space (idempotent).
+    fn note_free(&self, page: PageId) {
+        let mut shard = self.shards[Self::shard_of(page)].lock();
+        if !shard.contains(&page) {
+            shard.push(page);
+        }
+    }
+
+    /// Take a candidate page out of the map (most recently freed
+    /// first within a shard), probing all shards starting at `start`.
+    /// The caller either re-registers the page via `note_free` or
+    /// lets a full page stay dropped. Returns the shard it came from.
+    fn take_candidate(&self, start: usize) -> Option<(PageId, usize)> {
+        for i in 0..FSM_SHARDS {
+            let s = (start + i) & (FSM_SHARDS - 1);
+            if let Some(p) = self.shards[s].lock().pop() {
+                return Some((p, s));
+            }
+        }
+        None
+    }
+
+    fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
+    }
 }
 
 /// A heap table.
@@ -43,8 +120,8 @@ pub struct HeapTable {
     pub cache: PageCache<SlottedPage>,
     page_size: usize,
     prefetch: usize,
-    /// Pages believed to have free space, most recently freed last.
-    fsm: Mutex<Vec<PageId>>,
+    /// Pages believed to have free space, sharded by page-id hash.
+    fsm: FreeSpaceMap,
     /// Event counters.
     pub stats: HeapStats,
 }
@@ -58,7 +135,7 @@ impl HeapTable {
             cache: PageCache::new(mohan_common::FileId(id.0)),
             page_size,
             prefetch: prefetch.max(1),
-            fsm: Mutex::new(Vec::new()),
+            fsm: FreeSpaceMap::new(),
             stats: HeapStats::default(),
         }
     }
@@ -79,12 +156,15 @@ impl HeapTable {
                 self.page_size
             )));
         }
-        // Pick a page: most recently freed first, else the last page,
-        // else a new one. The FSM lock is held across the page latch
-        // (consistent fsm → latch order everywhere).
-        let mut fsm = self.fsm.lock();
-        let mut candidates: Vec<PageId> = Vec::with_capacity(3);
-        if let Some(&p) = fsm.last() {
+        // Pick a page: a recently freed candidate from the sharded
+        // FSM first, else the last page, else a new one. Taking a
+        // candidate *removes* it from the map, so no FSM lock is ever
+        // held across the page latch and two inserters never chase
+        // the same candidate; a page that still has room is
+        // re-registered after the latch is dropped.
+        let mut candidates: Vec<PageId> = Vec::with_capacity(2);
+        if let Some((p, shard)) = self.fsm.take_candidate(self.fsm.preferred_shard()) {
+            self.stats.fsm_shard_hits.bump(shard);
             candidates.push(p);
         }
         let n = self.cache.num_pages();
@@ -102,14 +182,15 @@ impl HeapTable {
                 let rid = Rid { page, slot };
                 let lsn = log(rid);
                 g.lsn = lsn;
-                if !g.payload.fits(64) {
-                    fsm.retain(|&p| p != page);
+                let still_free = g.payload.fits(64);
+                drop(g);
+                if still_free {
+                    self.fsm.note_free(page);
                 }
                 self.stats.inserts.bump();
                 return Ok(rid);
             }
-            drop(g);
-            fsm.retain(|&p| p != page);
+            // Full: the candidate stays out of the map.
         }
         // Fresh page.
         let frame = self.cache.allocate(SlottedPage::new(self.page_size));
@@ -119,6 +200,11 @@ impl HeapTable {
         let rid = Rid { page, slot };
         let lsn = log(rid);
         g.lsn = lsn;
+        let still_free = g.payload.fits(64);
+        drop(g);
+        if still_free {
+            self.fsm.note_free(page);
+        }
         self.stats.inserts.bump();
         Ok(rid)
     }
@@ -146,10 +232,7 @@ impl HeapTable {
         let mut g = frame.latch.exclusive();
         g.payload.free_slot(rid.slot);
         drop(g);
-        let mut fsm = self.fsm.lock();
-        if !fsm.contains(&rid.page) {
-            fsm.push(rid.page);
-        }
+        self.fsm.note_free(rid.page);
         Ok(())
     }
 
@@ -160,7 +243,9 @@ impl HeapTable {
         let mut freed = 0;
         for pnum in 0..self.cache.num_pages() {
             let page = PageId(pnum);
-            let Ok(frame) = self.cache.frame(page) else { continue };
+            let Ok(frame) = self.cache.frame(page) else {
+                continue;
+            };
             let mut g = frame.latch.exclusive();
             for slot in g.payload.reserved_slots() {
                 g.payload.free_slot(slot);
@@ -171,7 +256,12 @@ impl HeapTable {
     }
 
     /// Update a record in place, returning its before-image.
-    pub fn update_with(&self, rid: Rid, new: &[u8], log: impl FnOnce(&[u8]) -> Lsn) -> Result<Vec<u8>> {
+    pub fn update_with(
+        &self,
+        rid: Rid,
+        new: &[u8],
+        log: impl FnOnce(&[u8]) -> Lsn,
+    ) -> Result<Vec<u8>> {
         let frame = self.cache.frame(rid.page)?;
         let mut g = frame.latch.exclusive();
         let old = g.payload.update(rid.slot, new)?;
@@ -209,7 +299,24 @@ impl HeapTable {
         &self,
         from: Option<Rid>,
         last_page: PageId,
+        f: impl FnMut(Rid, &[u8]) -> Result<bool>,
+    ) -> Result<Option<Rid>> {
+        self.scan_pages(from, last_page, f, |_| {})
+    }
+
+    /// [`HeapTable::scan_from`] with a per-page hook: `page_done`
+    /// runs after the last record of each page *while the page's S
+    /// latch is still held*. The SF index builder needs the hook to
+    /// advance Current-RID past the whole page before any updater can
+    /// latch the page again — an insert that reuses the page's free
+    /// space after the scan has left must compare below the cursor
+    /// and go to the side-file, or its key would be lost.
+    pub fn scan_pages(
+        &self,
+        from: Option<Rid>,
+        last_page: PageId,
         mut f: impl FnMut(Rid, &[u8]) -> Result<bool>,
+        mut page_done: impl FnMut(PageId),
     ) -> Result<Option<Rid>> {
         let mut last_seen = None;
         let mut pages_in_batch = 0usize;
@@ -222,8 +329,15 @@ impl HeapTable {
             pages_in_batch = (pages_in_batch + 1) % self.prefetch;
             self.stats.scan_pages.bump();
             let frame = match self.cache.frame(page) {
-                Ok(f) => f,
-                Err(Error::NotFound(_)) => continue, // hole (crash-lost page)
+                Ok(fr) => fr,
+                Err(Error::NotFound(_)) => {
+                    // Hole (crash-lost page): there is no frame to
+                    // latch, and none will reappear — allocation only
+                    // ever extends the file — so the hook runs
+                    // latchless.
+                    page_done(page);
+                    continue;
+                }
                 Err(e) => return Err(e),
             };
             let g = frame.latch.share();
@@ -237,6 +351,7 @@ impl HeapTable {
                     return Ok(last_seen);
                 }
             }
+            page_done(page);
         }
         Ok(last_seen)
     }
@@ -254,8 +369,12 @@ impl HeapTable {
 
     // ----- recovery primitives --------------------------------------
 
-    fn ensure(&self, page: PageId) -> Result<std::sync::Arc<mohan_storage::cache::Frame<SlottedPage>>> {
-        self.cache.ensure_with(page, || SlottedPage::new(self.page_size))
+    fn ensure(
+        &self,
+        page: PageId,
+    ) -> Result<std::sync::Arc<mohan_storage::cache::Frame<SlottedPage>>> {
+        self.cache
+            .ensure_with(page, || SlottedPage::new(self.page_size))
     }
 
     /// Redo an insert if the page has not seen `lsn` yet.
@@ -310,10 +429,7 @@ impl HeapTable {
         g.payload.free_slot(rid.slot);
         g.lsn = log();
         drop(g);
-        let mut fsm = self.fsm.lock();
-        if !fsm.contains(&rid.page) {
-            fsm.push(rid.page);
-        }
+        self.fsm.note_free(rid.page);
         self.stats.deletes.bump();
         Ok(old)
     }
@@ -339,7 +455,7 @@ impl HeapTable {
     /// Simulated crash (volatile pages vanish).
     pub fn crash(&self) {
         self.cache.crash();
-        self.fsm.lock().clear();
+        self.fsm.clear();
     }
 }
 
@@ -457,6 +573,50 @@ mod tests {
     }
 
     #[test]
+    fn scan_pages_hook_fires_after_each_pages_records() {
+        let t = table();
+        for i in 0..60u8 {
+            t.insert_with(&[i; 20], no_log).unwrap();
+        }
+        let pages = t.num_pages();
+        assert!(pages >= 2, "need a multi-page table");
+        #[derive(Debug, PartialEq)]
+        enum Ev {
+            Rec(Rid),
+            Done(PageId),
+        }
+        let events = std::cell::RefCell::new(Vec::new());
+        t.scan_pages(
+            None,
+            PageId(pages - 1),
+            |rid, _| {
+                events.borrow_mut().push(Ev::Rec(rid));
+                Ok(true)
+            },
+            |page| events.borrow_mut().push(Ev::Done(page)),
+        )
+        .unwrap();
+        let events = events.into_inner();
+        // Every page is closed out exactly once, and only after its
+        // last record and before the next page's first.
+        let mut current = None;
+        let mut done = Vec::new();
+        for ev in &events {
+            match ev {
+                Ev::Rec(rid) => {
+                    assert!(!done.contains(&rid.page), "record after page_done");
+                    current = Some(rid.page);
+                }
+                Ev::Done(p) => {
+                    assert_eq!(Some(*p), current, "hook out of order");
+                    done.push(*p);
+                }
+            }
+        }
+        assert_eq!(done.len(), pages as usize);
+    }
+
+    #[test]
     fn scan_stops_early_and_reports_position() {
         let t = table();
         for i in 0..20u8 {
@@ -496,9 +656,13 @@ mod tests {
             t.insert_with(&[i; 40], no_log).unwrap();
         }
         let pages = t.num_pages() as u64;
-        t.scan_from(None, PageId((pages - 1) as u32), |_, _| Ok(true)).unwrap();
+        t.scan_from(None, PageId((pages - 1) as u32), |_, _| Ok(true))
+            .unwrap();
         let batches = t.stats.io_batches.get();
-        assert!(batches >= pages / 4 && batches <= pages / 4 + 2, "batches={batches} pages={pages}");
+        assert!(
+            batches >= pages / 4 && batches <= pages / 4 + 2,
+            "batches={batches} pages={pages}"
+        );
     }
 
     #[test]
@@ -538,6 +702,30 @@ mod tests {
     fn oversized_record_rejected() {
         let t = table();
         assert!(t.insert_with(&[0u8; 300], no_log).is_err());
+    }
+
+    #[test]
+    fn concurrent_inserters_never_lose_or_duplicate_rids() {
+        let t = std::sync::Arc::new(HeapTable::new(TableId(1), 256, 4));
+        let handles: Vec<_> = (0..8u8)
+            .map(|w| {
+                let t = std::sync::Arc::clone(&t);
+                std::thread::spawn(move || {
+                    (0..50u8)
+                        .map(|i| t.insert_with(&[w, i], no_log).unwrap())
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut rids: Vec<Rid> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        rids.sort();
+        rids.dedup();
+        assert_eq!(rids.len(), 400, "duplicate RID handed out under contention");
+        assert_eq!(t.count().unwrap(), 400);
+        assert_eq!(t.stats.inserts.get(), 400);
     }
 
     #[test]

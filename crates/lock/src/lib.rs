@@ -69,8 +69,7 @@ impl std::fmt::Display for LockName {
     }
 }
 
-#[derive(Debug)]
-#[derive(Default)]
+#[derive(Debug, Default)]
 struct GrantState {
     /// `(holder, mode, count)` — count supports re-entrant requests.
     holders: Vec<(TxId, LockMode, u32)>,
@@ -149,7 +148,6 @@ struct LockEntry {
     cv: Condvar,
 }
 
-
 /// Lock-manager event counters (the paper's pathlength arguments count
 /// lock calls saved, so we count them made).
 #[derive(Debug, Default)]
@@ -213,7 +211,10 @@ impl LockManager {
                     st.dequeue(ticket);
                     entry.cv.notify_all();
                     self.stats.timeouts.bump();
-                    return Err(Error::LockTimeout { tx, name: name.to_string() });
+                    return Err(Error::LockTimeout {
+                        tx,
+                        name: name.to_string(),
+                    });
                 }
             }
             st.dequeue(ticket);
@@ -273,7 +274,10 @@ impl LockManager {
                     st.dequeue(ticket);
                     entry.cv.notify_all();
                     self.stats.timeouts.bump();
-                    return Err(Error::LockTimeout { tx, name: name.to_string() });
+                    return Err(Error::LockTimeout {
+                        tx,
+                        name: name.to_string(),
+                    });
                 }
             }
             st.dequeue(ticket);
@@ -327,7 +331,9 @@ impl LockManager {
 
 impl std::fmt::Debug for LockManager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("LockManager").field("timeout", &self.timeout).finish()
+        f.debug_struct("LockManager")
+            .field("timeout", &self.timeout)
+            .finish()
     }
 }
 
@@ -399,7 +405,10 @@ mod tests {
         let m = mgr();
         // Deleter still holds X: GC's conditional instant S is denied.
         m.lock(TxId(1), rec(7), LockMode::X).unwrap();
-        assert_eq!(m.try_instant(TxId(9), rec(7), LockMode::S), Err(Error::LockBusy));
+        assert_eq!(
+            m.try_instant(TxId(9), rec(7), LockMode::S),
+            Err(Error::LockBusy)
+        );
         m.release_all(TxId(1));
         // Committed: grantable, and nothing is retained.
         m.try_instant(TxId(9), rec(7), LockMode::S).unwrap();

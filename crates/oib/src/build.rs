@@ -7,9 +7,7 @@ use crate::progress::{self, BuildProgress};
 use crate::runtime::{IndexRuntime, IndexState};
 use crate::schema::{BuildAlgorithm, IndexDef, Record};
 use mohan_btree::{BulkLoader, InsertMode, InsertOutcome};
-use mohan_common::{
-    Error, IndexEntry, IndexId, PageId, Result, Rid, TableId, TxId,
-};
+use mohan_common::{Error, IndexEntry, IndexId, PageId, Result, Rid, SlotId, TableId, TxId};
 use mohan_lock::{LockMode, LockName};
 use mohan_sort::{
     ExternalSort, Merge, MergeCheckpoint, MergePassCheckpoint, RunFormation, SortCheckpoint,
@@ -89,7 +87,8 @@ pub fn resume_build(db: &Arc<Db>, id: IndexId) -> Result<()> {
 pub fn drop_index(db: &Arc<Db>, id: IndexId) -> Result<()> {
     let idx = db.index(id)?;
     let tx = db.begin();
-    db.locks.lock(tx, LockName::Table(idx.def.table), LockMode::S)?;
+    db.locks
+        .lock(tx, LockName::Table(idx.def.table), LockMode::S)?;
     db.unregister_index(id);
     progress::clear(db, id);
     db.commit(tx)
@@ -254,36 +253,63 @@ fn scan_and_sort(
         // Scan positions are `rid.pack() + 1` so that position 0
         // unambiguously means "nothing fed" (RID (0,0) packs to 0).
         let min_floor = floors.iter().copied().min().unwrap_or(0);
-        let from = if min_floor == 0 { None } else { Some(Rid::unpack(min_floor - 1)) };
+        let from = if min_floor == 0 {
+            None
+        } else {
+            Some(Rid::unpack(min_floor - 1))
+        };
         let mut since_cp = 0usize;
-        table.scan_from(from, scan_end, |rid, data| {
-            let rec = Record::decode(data)?;
-            let pos = rid.pack() + 1;
-            for (i, idx) in idxs.iter().enumerate() {
-                if pos > floors[i] {
-                    let entry = idx.def.entry_of(&rec, rid)?;
-                    rfs[i].push(entry, pos)?;
-                }
-                if idx.algorithm == BuildAlgorithm::Sf {
-                    // Advance Current-RID under the page's S latch
-                    // (§3.2.2): this record's key is now the IB's
-                    // responsibility; everything before it is the
-                    // transactions'.
-                    idx.set_current_rid(rid);
-                }
-            }
-            db.failpoints.hit("build.scan.record")?;
-            since_cp += 1;
-            if since_cp >= db.cfg.sort_checkpoint_every_keys {
-                since_cp = 0;
+        table.scan_pages(
+            from,
+            scan_end,
+            |rid, data| {
+                let rec = Record::decode(data)?;
+                let pos = rid.pack() + 1;
                 for (i, idx) in idxs.iter().enumerate() {
-                    let cp = rfs[i].checkpoint()?;
-                    progress::store(db, idx.def.id, &BuildProgress::Scanning { sort: cp });
+                    if pos > floors[i] {
+                        let entry = idx.def.entry_of(&rec, rid)?;
+                        rfs[i].push(entry, pos)?;
+                    }
+                    if idx.algorithm == BuildAlgorithm::Sf {
+                        // Advance Current-RID under the page's S latch
+                        // (§3.2.2): this record's key is now the IB's
+                        // responsibility; everything before it is the
+                        // transactions'.
+                        idx.set_current_rid(rid);
+                    }
                 }
-                db.failpoints.hit("build.scan")?;
-            }
-            Ok(true)
-        })?;
+                db.failpoints.hit("build.scan.record")?;
+                since_cp += 1;
+                if since_cp >= db.cfg.sort_checkpoint_every_keys {
+                    since_cp = 0;
+                    for (i, idx) in idxs.iter().enumerate() {
+                        let cp = rfs[i].checkpoint()?;
+                        progress::store(db, idx.def.id, &BuildProgress::Scanning { sort: cp });
+                    }
+                    db.failpoints.hit("build.scan")?;
+                }
+                Ok(true)
+            },
+            |page| {
+                for idx in idxs {
+                    if idx.algorithm == BuildAlgorithm::Sf {
+                        // The scan is done with this page. Advance
+                        // Current-RID past every slot the page could
+                        // ever hold *before* the S latch drops: an
+                        // insert that reuses the page's free space
+                        // after the scan has left must compare below
+                        // the cursor and go to the side-file — with
+                        // only the last-record cursor it would land
+                        // above it and its key would never reach the
+                        // index.
+                        idx.set_current_rid(Rid {
+                            page,
+                            slot: SlotId(u16::MAX),
+                        });
+                    }
+                }
+            },
+        )?;
     }
     for idx in idxs {
         if idx.algorithm == BuildAlgorithm::Sf {
@@ -333,7 +359,10 @@ fn enter_final_phase(db: &Arc<Db>, idx: &Arc<IndexRuntime>, finals: Vec<u64>) ->
             progress::store(
                 db,
                 idx.def.id,
-                &BuildProgress::Inserting { merge: merge_cp.clone(), inserted: 0 },
+                &BuildProgress::Inserting {
+                    merge: merge_cp.clone(),
+                    inserted: 0,
+                },
             );
             nsf_insert_phase(db, idx, merge_cp, 0)
         }
@@ -341,15 +370,17 @@ fn enter_final_phase(db: &Arc<Db>, idx: &Arc<IndexRuntime>, finals: Vec<u64>) ->
             sf_load_phase(db, idx, merge_cp, None)?;
             sf_drain_phase(db, idx, 0)
         }
-        BuildAlgorithm::Offline => {
-            offline_load(db, idx, merge_cp)
-        }
+        BuildAlgorithm::Offline => offline_load(db, idx, merge_cp),
     }
 }
 
 /// Mark the index complete: record the completion horizon, flip the
 /// state, persist the catalog and drop the progress record.
-fn complete_index(db: &Arc<Db>, idx: &Arc<IndexRuntime>, completed_at: mohan_common::Lsn) -> Result<()> {
+fn complete_index(
+    db: &Arc<Db>,
+    idx: &Arc<IndexRuntime>,
+    completed_at: mohan_common::Lsn,
+) -> Result<()> {
     idx.set_completed_lsn(completed_at);
     idx.set_state(IndexState::Complete);
     db.persist_catalog();
@@ -414,7 +445,10 @@ fn nsf_insert_phase(
                 progress::store(
                     db,
                     idx.def.id,
-                    &BuildProgress::Inserting { merge: merge.checkpoint(), inserted },
+                    &BuildProgress::Inserting {
+                        merge: merge.checkpoint(),
+                        inserted,
+                    },
                 );
                 db.failpoints.hit("build.insert")?;
             }
@@ -447,7 +481,10 @@ fn flush_ib_batch(
     db.log(
         ib,
         RecKind::UndoRedo,
-        LogPayload::IndexBulkInsert { index: idx.def.id, entries: std::mem::take(batch) },
+        LogPayload::IndexBulkInsert {
+            index: idx.def.id,
+            entries: std::mem::take(batch),
+        },
     )?;
     Ok(())
 }
@@ -477,14 +514,20 @@ fn ib_resolve_unique(
         if theirs.as_ref() == Some(&entry.key) {
             // Both records committed with the same key value: a unique
             // index cannot be built on this table (§2.2.3).
-            return Err(Error::UniqueViolation { index: idx.def.id, existing });
+            return Err(Error::UniqueViolation {
+                index: idx.def.id,
+                existing,
+            });
         }
         // The conflicting entry is committed-dead: take it over.
         if idx.tree.unique_replace(&entry.key, existing, entry.rid)? {
             db.log(
                 ib,
                 RecKind::UndoRedo,
-                LogPayload::IndexInsert { index: idx.def.id, entry },
+                LogPayload::IndexInsert {
+                    index: idx.def.id,
+                    entry,
+                },
             )?;
             return Ok(());
         }
@@ -494,7 +537,10 @@ fn ib_resolve_unique(
                 db.log(
                     ib,
                     RecKind::UndoRedo,
-                    LogPayload::IndexInsert { index: idx.def.id, entry },
+                    LogPayload::IndexInsert {
+                        index: idx.def.id,
+                        entry,
+                    },
                 )?;
                 return Ok(());
             }
@@ -528,7 +574,10 @@ fn sf_load_phase(
             progress::store(
                 db,
                 idx.def.id,
-                &BuildProgress::Loading { merge: merge.checkpoint(), bulk: init.clone() },
+                &BuildProgress::Loading {
+                    merge: merge.checkpoint(),
+                    bulk: init.clone(),
+                },
             );
             BulkLoader::resume(&idx.tree, &init)?
         }
@@ -557,7 +606,10 @@ fn sf_load_phase(
                     progress::store(
                         db,
                         idx.def.id,
-                        &BuildProgress::Loading { merge: merge.checkpoint(), bulk },
+                        &BuildProgress::Loading {
+                            merge: merge.checkpoint(),
+                            bulk,
+                        },
                     );
                     db.failpoints.hit("build.load")?;
                 }
@@ -611,10 +663,7 @@ fn sf_load_phase(
 /// An "empty loader" checkpoint used to enter the loading phase
 /// deterministically even if a crash hits before the first real
 /// checkpoint.
-fn loader_init_checkpoint(
-    db: &Db,
-    idx: &IndexRuntime,
-) -> Result<mohan_btree::BulkCheckpoint> {
+fn loader_init_checkpoint(db: &Db, idx: &IndexRuntime) -> Result<mohan_btree::BulkCheckpoint> {
     db.wal.flush_all();
     let loader = BulkLoader::new(&idx.tree)?;
     loader.checkpoint(db.wal.flushed_lsn())
@@ -634,7 +683,10 @@ fn resolve_unique_group(
             .instant(ib, LockName::Record(idx.def.table, e.rid), LockMode::S)?;
         if db.record_key(idx, e.rid)?.as_ref() == Some(&e.key) {
             if let Some(s) = &survivor {
-                return Err(Error::UniqueViolation { index: idx.def.id, existing: s.rid });
+                return Err(Error::UniqueViolation {
+                    index: idx.def.id,
+                    existing: s.rid,
+                });
             }
             survivor = Some(e);
         }
@@ -697,7 +749,8 @@ pub(crate) fn sf_drain_phase(db: &Arc<Db>, idx: &Arc<IndexRuntime>, mut pos: u64
                 nonempty_passes += 1;
                 if nonempty_passes >= 3 && quiesce_tx.is_none() {
                     let qtx = db.begin();
-                    db.locks.lock(qtx, LockName::Table(idx.def.table), LockMode::S)?;
+                    db.locks
+                        .lock(qtx, LockName::Table(idx.def.table), LockMode::S)?;
                     quiesce_tx = Some(qtx);
                 }
             }
@@ -747,7 +800,10 @@ fn apply_drain_op(
                 db.log(
                     ib,
                     RecKind::UndoRedo,
-                    LogPayload::IndexInsert { index: idx.def.id, entry: op.entry },
+                    LogPayload::IndexInsert {
+                        index: idx.def.id,
+                        entry: op.entry,
+                    },
                 )?;
             }
             InsertOutcome::DuplicateEntry { pseudo: true } => {
@@ -755,7 +811,10 @@ fn apply_drain_op(
                 db.log(
                     ib,
                     RecKind::UndoRedo,
-                    LogPayload::IndexReactivate { index: idx.def.id, entry: op.entry },
+                    LogPayload::IndexReactivate {
+                        index: idx.def.id,
+                        entry: op.entry,
+                    },
                 )?;
             }
             InsertOutcome::DuplicateEntry { pseudo: false } => {}
@@ -793,7 +852,13 @@ fn offline_build(db: &Arc<Db>, table: TableId, specs: &[IndexSpec]) -> Result<Ve
         let tbl = db.table(table)?;
         let mut idxs = Vec::with_capacity(specs.len());
         for spec in specs {
-            let rt = make_runtime(db, table, spec, BuildAlgorithm::Offline, IndexState::Complete);
+            let rt = make_runtime(
+                db,
+                table,
+                spec,
+                BuildAlgorithm::Offline,
+                IndexState::Complete,
+            );
             set_scan_bounds(&rt, &tbl);
             idxs.push(rt);
         }
@@ -840,7 +905,10 @@ fn offline_load(db: &Arc<Db>, idx: &Arc<IndexRuntime>, merge_cp: MergeCheckpoint
         if idx.def.unique {
             if let Some(p) = &prev {
                 if p.key == entry.key {
-                    return Err(Error::UniqueViolation { index: idx.def.id, existing: p.rid });
+                    return Err(Error::UniqueViolation {
+                        index: idx.def.id,
+                        existing: p.rid,
+                    });
                 }
             }
         }
@@ -861,7 +929,8 @@ fn offline_load(db: &Arc<Db>, idx: &Arc<IndexRuntime>, merge_cp: MergeCheckpoint
 /// and all build state.
 fn cancel_builds(db: &Arc<Db>, idxs: &[Arc<IndexRuntime>]) -> Result<()> {
     let tx = db.begin();
-    db.locks.lock(tx, LockName::Table(idxs[0].def.table), LockMode::S)?;
+    db.locks
+        .lock(tx, LockName::Table(idxs[0].def.table), LockMode::S)?;
     for idx in idxs {
         db.unregister_index(idx.def.id);
         progress::clear(db, idx.def.id);

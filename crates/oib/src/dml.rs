@@ -31,7 +31,10 @@ pub(crate) fn key_ops_for_undo_of_insert(
     rid: Rid,
 ) -> Result<Vec<SideFileOp>> {
     let rec = Record::decode(data)?;
-    Ok(vec![SideFileOp { insert: false, entry: def.entry_of(&rec, rid)? }])
+    Ok(vec![SideFileOp {
+        insert: false,
+        entry: def.entry_of(&rec, rid)?,
+    }])
 }
 
 /// Undo of a record delete: re-insert the record's key.
@@ -41,7 +44,10 @@ pub(crate) fn key_ops_for_undo_of_delete(
     rid: Rid,
 ) -> Result<Vec<SideFileOp>> {
     let rec = Record::decode(old)?;
-    Ok(vec![SideFileOp { insert: true, entry: def.entry_of(&rec, rid)? }])
+    Ok(vec![SideFileOp {
+        insert: true,
+        entry: def.entry_of(&rec, rid)?,
+    }])
 }
 
 /// Undo of a record update: remove the new key, restore the old one
@@ -60,8 +66,14 @@ pub(crate) fn key_ops_for_undo_of_update(
         return Ok(vec![]);
     }
     Ok(vec![
-        SideFileOp { insert: false, entry: new_e },
-        SideFileOp { insert: true, entry: old_e },
+        SideFileOp {
+            insert: false,
+            entry: new_e,
+        },
+        SideFileOp {
+            insert: true,
+            entry: old_e,
+        },
     ])
 }
 
@@ -90,10 +102,19 @@ impl Db {
             )
             .unwrap_or(Lsn::NULL)
         })?;
-        self.locks.lock(tx, LockName::Record(table_id, rid), LockMode::X)?;
+        self.locks
+            .lock(tx, LockName::Record(table_id, rid), LockMode::X)?;
         for (idx, mech) in &actions {
             let entry = idx.def.entry_of(rec, rid)?;
-            self.apply_key_op(tx, idx, *mech, SideFileOp { insert: true, entry })?;
+            self.apply_key_op(
+                tx,
+                idx,
+                *mech,
+                SideFileOp {
+                    insert: true,
+                    entry,
+                },
+            )?;
         }
         self.recheck_key_cursors(tx, table_id, rid, rec, &actions, true)?;
         Ok(rid)
@@ -103,7 +124,8 @@ impl Db {
     pub fn delete_record(&self, tx: TxId, table_id: TableId, rid: Rid) -> Result<Record> {
         self.ensure_active(tx)?;
         self.lock_table_ix(tx, table_id)?;
-        self.locks.lock(tx, LockName::Record(table_id, rid), LockMode::X)?;
+        self.locks
+            .lock(tx, LockName::Record(table_id, rid), LockMode::X)?;
         let table = self.table(table_id)?;
         let mut actions = Vec::new();
         let old = table.delete_with(rid, |old| {
@@ -125,7 +147,15 @@ impl Db {
         let old_rec = Record::decode(&old)?;
         for (idx, mech) in &actions {
             let entry = idx.def.entry_of(&old_rec, rid)?;
-            self.apply_key_op(tx, idx, *mech, SideFileOp { insert: false, entry })?;
+            self.apply_key_op(
+                tx,
+                idx,
+                *mech,
+                SideFileOp {
+                    insert: false,
+                    entry,
+                },
+            )?;
         }
         self.recheck_key_cursors(tx, table_id, rid, &old_rec, &actions, false)?;
         Ok(old_rec)
@@ -141,7 +171,8 @@ impl Db {
     ) -> Result<Record> {
         self.ensure_active(tx)?;
         self.lock_table_ix(tx, table_id)?;
-        self.locks.lock(tx, LockName::Record(table_id, rid), LockMode::X)?;
+        self.locks
+            .lock(tx, LockName::Record(table_id, rid), LockMode::X)?;
         let table = self.table(table_id)?;
         let new_data = new.encode();
         let mut actions = Vec::new();
@@ -168,8 +199,24 @@ impl Db {
             if old_e == new_e {
                 continue;
             }
-            self.apply_key_op(tx, &idx, mech, SideFileOp { insert: false, entry: old_e })?;
-            self.apply_key_op(tx, &idx, mech, SideFileOp { insert: true, entry: new_e })?;
+            self.apply_key_op(
+                tx,
+                &idx,
+                mech,
+                SideFileOp {
+                    insert: false,
+                    entry: old_e,
+                },
+            )?;
+            self.apply_key_op(
+                tx,
+                &idx,
+                mech,
+                SideFileOp {
+                    insert: true,
+                    entry: new_e,
+                },
+            )?;
         }
         Ok(old_rec)
     }
@@ -183,7 +230,11 @@ impl Db {
 
     /// Query a *complete* index: all RIDs carrying `key` (pseudo-
     /// deleted entries excluded).
-    pub fn index_lookup(&self, index_id: mohan_common::IndexId, key: &KeyValue) -> Result<Vec<Rid>> {
+    pub fn index_lookup(
+        &self,
+        index_id: mohan_common::IndexId,
+        key: &KeyValue,
+    ) -> Result<Vec<Rid>> {
         let idx = self.index(index_id)?;
         match idx.state() {
             IndexState::Complete => {}
@@ -254,7 +305,10 @@ impl Db {
                     if let Err(e) = self.log(
                         tx,
                         RecKind::RedoOnly,
-                        LogPayload::SideFileAppend { index: idx.def.id, op: op.clone() },
+                        LogPayload::SideFileAppend {
+                            index: idx.def.id,
+                            op: op.clone(),
+                        },
                     ) {
                         log_err = Some(e);
                     }
@@ -293,7 +347,10 @@ impl Db {
                 self.log(
                     tx,
                     RecKind::UndoRedo,
-                    LogPayload::IndexInsert { index: idx.def.id, entry },
+                    LogPayload::IndexInsert {
+                        index: idx.def.id,
+                        entry,
+                    },
                 )?;
                 Ok(())
             }
@@ -303,7 +360,10 @@ impl Db {
                 self.log(
                     tx,
                     RecKind::UndoOnly,
-                    LogPayload::IndexInsert { index: idx.def.id, entry },
+                    LogPayload::IndexInsert {
+                        index: idx.def.id,
+                        entry,
+                    },
                 )?;
                 Ok(())
             }
@@ -314,13 +374,17 @@ impl Db {
                 self.log(
                     tx,
                     RecKind::UndoRedo,
-                    LogPayload::IndexReactivate { index: idx.def.id, entry },
+                    LogPayload::IndexReactivate {
+                        index: idx.def.id,
+                        entry,
+                    },
                 )?;
                 Ok(())
             }
-            InsertOutcome::DuplicateKeyValue { existing, existing_pseudo } => {
-                self.resolve_unique_insert(tx, idx, entry, existing, existing_pseudo)
-            }
+            InsertOutcome::DuplicateKeyValue {
+                existing,
+                existing_pseudo,
+            } => self.resolve_unique_insert(tx, idx, entry, existing, existing_pseudo),
         }
     }
 
@@ -346,7 +410,10 @@ impl Db {
                     self.log(
                         tx,
                         RecKind::UndoRedo,
-                        LogPayload::IndexInsert { index: idx.def.id, entry },
+                        LogPayload::IndexInsert {
+                            index: idx.def.id,
+                            entry,
+                        },
                     )?;
                     return Ok(());
                 }
@@ -354,7 +421,10 @@ impl Db {
                     self.log(
                         tx,
                         RecKind::UndoOnly,
-                        LogPayload::IndexInsert { index: idx.def.id, entry },
+                        LogPayload::IndexInsert {
+                            index: idx.def.id,
+                            entry,
+                        },
                     )?;
                     return Ok(());
                 }
@@ -363,15 +433,24 @@ impl Db {
                     self.log(
                         tx,
                         RecKind::UndoRedo,
-                        LogPayload::IndexReactivate { index: idx.def.id, entry },
+                        LogPayload::IndexReactivate {
+                            index: idx.def.id,
+                            entry,
+                        },
                     )?;
                     return Ok(());
                 }
-                InsertOutcome::DuplicateKeyValue { existing: e2, existing_pseudo: p2 } => {
+                InsertOutcome::DuplicateKeyValue {
+                    existing: e2,
+                    existing_pseudo: p2,
+                } => {
                     let conflict_key = self.record_key(idx, e2)?;
                     let still_conflicts = conflict_key.as_ref() == Some(&entry.key);
                     if still_conflicts && !p2 {
-                        return Err(Error::UniqueViolation { index: idx.def.id, existing: e2 });
+                        return Err(Error::UniqueViolation {
+                            index: idx.def.id,
+                            existing: e2,
+                        });
                     }
                     if !still_conflicts {
                         // Committed-dead conflict: take the entry over
@@ -410,9 +489,15 @@ impl Db {
     ) -> Result<()> {
         let found = idx.tree.pseudo_delete_or_tombstone(entry)?;
         let payload = if found {
-            LogPayload::IndexPseudoDelete { index: idx.def.id, entry: entry.clone() }
+            LogPayload::IndexPseudoDelete {
+                index: idx.def.id,
+                entry: entry.clone(),
+            }
         } else {
-            LogPayload::IndexInsertTombstone { index: idx.def.id, entry: entry.clone() }
+            LogPayload::IndexInsertTombstone {
+                index: idx.def.id,
+                entry: entry.clone(),
+            }
         };
         self.log(tx, RecKind::UndoRedo, payload)?;
         Ok(())
@@ -477,11 +562,7 @@ impl Db {
     /// Current key value of the record at `rid`, or `None` if the
     /// record no longer exists (used by unique arbitration to decide
     /// whether a conflicting index entry is committed-dead).
-    pub(crate) fn record_key(
-        &self,
-        idx: &Arc<IndexRuntime>,
-        rid: Rid,
-    ) -> Result<Option<KeyValue>> {
+    pub(crate) fn record_key(&self, idx: &Arc<IndexRuntime>, rid: Rid) -> Result<Option<KeyValue>> {
         let table = self.table(idx.def.table)?;
         match table.read(rid) {
             Ok(data) => Ok(Some(idx.def.key_of_bytes(&data)?)),

@@ -13,9 +13,7 @@
 use crate::runtime::{IndexRuntime, IndexState};
 use crate::schema::{BuildAlgorithm, Record};
 use mohan_common::failpoint::{FailpointSet, Failpoints};
-use mohan_common::{
-    EngineConfig, Error, IndexEntry, IndexId, Lsn, Result, Rid, TableId, TxId,
-};
+use mohan_common::{EngineConfig, Error, IndexEntry, IndexId, Lsn, Result, Rid, TableId, TxId};
 use mohan_heap::HeapTable;
 use mohan_lock::{LockManager, LockMode, LockName};
 use mohan_storage::blob::BlobStore;
@@ -82,7 +80,11 @@ impl Db {
 
     /// Create a table.
     pub fn create_table(&self, id: TableId) -> Arc<HeapTable> {
-        let t = Arc::new(HeapTable::new(id, self.cfg.data_page_size, self.cfg.prefetch_pages));
+        let t = Arc::new(HeapTable::new(
+            id,
+            self.cfg.data_page_size,
+            self.cfg.prefetch_pages,
+        ));
         self.tables.write().insert(id, Arc::clone(&t));
         t
     }
@@ -196,7 +198,9 @@ impl Db {
     /// Begin an ordinary transaction.
     pub fn begin(&self) -> TxId {
         let tx = TxId(self.next_tx.fetch_add(1, Ordering::Relaxed));
-        let lsn = self.wal.append(tx, Lsn::NULL, RecKind::RedoOnly, LogPayload::TxBegin);
+        let lsn = self
+            .wal
+            .append(tx, Lsn::NULL, RecKind::RedoOnly, LogPayload::TxBegin);
         self.txs.lock().insert(tx, lsn);
         tx
     }
@@ -250,7 +254,11 @@ impl Db {
 
     /// Record that `tx` deleted `rid` (slot released at commit).
     pub(crate) fn note_delete(&self, tx: TxId, table: TableId, rid: Rid) {
-        self.tx_deletes.lock().entry(tx).or_default().push((table, rid));
+        self.tx_deletes
+            .lock()
+            .entry(tx)
+            .or_default()
+            .push((table, rid));
     }
 
     /// Roll back: undo the whole chain with CLRs, then end.
@@ -258,12 +266,16 @@ impl Db {
         let last = {
             let mut txs = self.txs.lock();
             let last = *txs.get(&tx).ok_or(Error::TxNotActive(tx))?;
-            let abort = self.wal.append(tx, last, RecKind::RedoOnly, LogPayload::TxAbort);
+            let abort = self
+                .wal
+                .append(tx, last, RecKind::RedoOnly, LogPayload::TxAbort);
             txs.insert(tx, abort);
             abort
         };
         let new_last = mohan_wal::rollback_tx(&self.wal, self, tx, last, Lsn::NULL)?;
-        let end = self.wal.append(tx, new_last, RecKind::RedoOnly, LogPayload::TxEnd);
+        let end = self
+            .wal
+            .append(tx, new_last, RecKind::RedoOnly, LogPayload::TxEnd);
         self.wal.flush_to(end);
         // Rollback restored the deleted records in place; the
         // reservations simply lapse.
@@ -302,9 +314,12 @@ impl Db {
             })();
             match result {
                 Ok(()) => {
-                    let lsn =
-                        self.wal
-                            .append(TxId(0), Lsn::NULL, RecKind::RedoOnly, LogPayload::Checkpoint);
+                    let lsn = self.wal.append(
+                        TxId(0),
+                        Lsn::NULL,
+                        RecKind::RedoOnly,
+                        LogPayload::Checkpoint,
+                    );
                     self.wal.flush_to(lsn);
                     return Ok(());
                 }
@@ -368,11 +383,11 @@ impl Db {
                 }
                 IndexState::SfBuilding => {
                     let pk = idx.key_cursor.as_ref().and_then(|kc| {
-                        Record::decode(data)
-                            .ok()
-                            .map(|r| mohan_common::KeyValue::from_i64s(
+                        Record::decode(data).ok().map(|r| {
+                            mohan_common::KeyValue::from_i64s(
                                 &kc.pk_cols.iter().map(|&c| r.0[c]).collect::<Vec<_>>(),
-                            ))
+                            )
+                        })
                     });
                     if idx.sf_visible(rid, pk.as_ref()) {
                         count += 1;
@@ -401,11 +416,11 @@ impl Db {
             match idx.state() {
                 IndexState::SfBuilding => {
                     let pk = idx.key_cursor.as_ref().and_then(|kc| {
-                        Record::decode(data)
-                            .ok()
-                            .map(|r| mohan_common::KeyValue::from_i64s(
+                        Record::decode(data).ok().map(|r| {
+                            mohan_common::KeyValue::from_i64s(
                                 &kc.pk_cols.iter().map(|&c| r.0[c]).collect::<Vec<_>>(),
-                            ))
+                            )
+                        })
                     });
                     if idx.sf_visible(rid, pk.as_ref()) {
                         acts.push((idx, Mechanism::SideFile));
@@ -428,9 +443,7 @@ impl Db {
                         // Became visible since the original data
                         // change: traverse the tree (Figure 2).
                         acts.push((idx, Mechanism::Direct));
-                    } else if idx.algorithm == BuildAlgorithm::Sf
-                        && rec_lsn < idx.completed_lsn()
-                    {
+                    } else if idx.algorithm == BuildAlgorithm::Sf && rec_lsn < idx.completed_lsn() {
                         // Forward maintenance went through the (now
                         // drained) side-file; compensate directly.
                         acts.push((idx, Mechanism::Direct));
@@ -465,6 +478,24 @@ impl Db {
         }
     }
 
+    /// Make `entry` present, preserving its pseudo flag if it already
+    /// exists. Replays the IB's batched inserts: the batch log record
+    /// is written *after* the tree mutations it describes, so a
+    /// committed pseudo-delete logged in between has a smaller LSN
+    /// than the batch yet reflects a *later* tree state — replaying
+    /// the batch as "ensure live" would resurrect that deleted key.
+    pub(crate) fn tree_ensure_present(idx: &IndexRuntime, entry: &IndexEntry) -> Result<()> {
+        use mohan_btree::{InsertMode, InsertOutcome};
+        match idx.tree.insert(entry.clone(), InsertMode::Ib)? {
+            InsertOutcome::Inserted | InsertOutcome::DuplicateEntry { .. } => Ok(()),
+            InsertOutcome::DuplicateKeyValue { .. } => {
+                // Unique arbitration already ran forward; the entry's
+                // fate is carried by other log records.
+                Ok(())
+            }
+        }
+    }
+
     /// Make `entry` present and pseudo-deleted.
     pub(crate) fn tree_ensure_pseudo(idx: &IndexRuntime, entry: &IndexEntry) -> Result<()> {
         let _ = idx.tree.pseudo_delete_or_tombstone(entry)?;
@@ -485,15 +516,15 @@ impl std::fmt::Debug for Db {
 impl RecoveryTarget for Db {
     fn redo(&self, rec: &LogRecord) -> Result<()> {
         match &rec.payload {
-            LogPayload::HeapInsert { table, rid, data, .. } => {
-                self.table(*table)?.redo_insert(*rid, data, rec.lsn)
-            }
+            LogPayload::HeapInsert {
+                table, rid, data, ..
+            } => self.table(*table)?.redo_insert(*rid, data, rec.lsn),
             LogPayload::HeapDelete { table, rid, .. } => {
                 self.table(*table)?.redo_delete(*rid, rec.lsn)
             }
-            LogPayload::HeapUpdate { table, rid, new, .. } => {
-                self.table(*table)?.redo_update(*rid, new, rec.lsn)
-            }
+            LogPayload::HeapUpdate {
+                table, rid, new, ..
+            } => self.table(*table)?.redo_update(*rid, new, rec.lsn),
             LogPayload::IndexInsert { index, entry }
             | LogPayload::IndexReactivate { index, entry } => {
                 if let Ok(idx) = self.index(*index) {
@@ -517,7 +548,7 @@ impl RecoveryTarget for Db {
             LogPayload::IndexBulkInsert { index, entries } => {
                 if let Ok(idx) = self.index(*index) {
                     for e in entries {
-                        Self::tree_ensure_live(&idx, e)?;
+                        Self::tree_ensure_present(&idx, e)?;
                     }
                 }
                 Ok(())
@@ -552,7 +583,12 @@ impl RecoveryTarget for Db {
                 .append(rec.tx, clr_prev, RecKind::Clr { undo_next }, payload)
         };
         match &rec.payload {
-            LogPayload::HeapInsert { table, rid, data, visible_indexes } => {
+            LogPayload::HeapInsert {
+                table,
+                rid,
+                data,
+                visible_indexes,
+            } => {
                 let tbl = self.table(*table)?;
                 let mut plan = Vec::new();
                 let mut clr_lsn = Lsn::NULL;
@@ -575,7 +611,12 @@ impl RecoveryTarget for Db {
                 }
                 Ok(last)
             }
-            LogPayload::HeapDelete { table, rid, old, visible_indexes } => {
+            LogPayload::HeapDelete {
+                table,
+                rid,
+                old,
+                visible_indexes,
+            } => {
                 let tbl = self.table(*table)?;
                 let mut plan = Vec::new();
                 let mut clr_lsn = Lsn::NULL;
@@ -598,7 +639,13 @@ impl RecoveryTarget for Db {
                 }
                 Ok(last)
             }
-            LogPayload::HeapUpdate { table, rid, old, new, visible_indexes } => {
+            LogPayload::HeapUpdate {
+                table,
+                rid,
+                old,
+                new,
+                visible_indexes,
+            } => {
                 let tbl = self.table(*table)?;
                 let mut plan = Vec::new();
                 let mut clr_lsn = Lsn::NULL;
@@ -629,13 +676,19 @@ impl RecoveryTarget for Db {
                 if let Ok(idx) = self.index(*index) {
                     Self::tree_ensure_pseudo(&idx, entry)?;
                 }
-                Ok(clr(LogPayload::IndexPseudoDelete { index: *index, entry: entry.clone() }))
+                Ok(clr(LogPayload::IndexPseudoDelete {
+                    index: *index,
+                    entry: entry.clone(),
+                }))
             }
             LogPayload::IndexReactivate { index, entry } => {
                 if let Ok(idx) = self.index(*index) {
                     Self::tree_ensure_pseudo(&idx, entry)?;
                 }
-                Ok(clr(LogPayload::IndexPseudoDelete { index: *index, entry: entry.clone() }))
+                Ok(clr(LogPayload::IndexPseudoDelete {
+                    index: *index,
+                    entry: entry.clone(),
+                }))
             }
             LogPayload::IndexPseudoDelete { index, entry }
             | LogPayload::IndexInsertTombstone { index, entry } => {
@@ -644,9 +697,16 @@ impl RecoveryTarget for Db {
                 if let Ok(idx) = self.index(*index) {
                     Self::tree_ensure_live(&idx, entry)?;
                 }
-                Ok(clr(LogPayload::IndexReactivate { index: *index, entry: entry.clone() }))
+                Ok(clr(LogPayload::IndexReactivate {
+                    index: *index,
+                    entry: entry.clone(),
+                }))
             }
-            LogPayload::IndexPhysicalDelete { index, entry, was_pseudo } => {
+            LogPayload::IndexPhysicalDelete {
+                index,
+                entry,
+                was_pseudo,
+            } => {
                 if let Ok(idx) = self.index(*index) {
                     if *was_pseudo {
                         Self::tree_ensure_pseudo(&idx, entry)?;
@@ -655,19 +715,38 @@ impl RecoveryTarget for Db {
                     }
                 }
                 let payload = if *was_pseudo {
-                    LogPayload::IndexInsertTombstone { index: *index, entry: entry.clone() }
+                    LogPayload::IndexInsertTombstone {
+                        index: *index,
+                        entry: entry.clone(),
+                    }
                 } else {
-                    LogPayload::IndexInsert { index: *index, entry: entry.clone() }
+                    LogPayload::IndexInsert {
+                        index: *index,
+                        entry: entry.clone(),
+                    }
                 };
                 Ok(clr(payload))
             }
             LogPayload::IndexBulkInsert { index, entries } => {
+                // Undo only the entries that are still live: one a
+                // committed deleter has pseudo-deleted since the IB
+                // inserted it is that deleter's tombstone, and the
+                // resumed IB relies on it to reject the stale key
+                // (§2.2.3). The CLR lists only what was actually
+                // removed so its redo cannot destroy a kept tombstone
+                // after a second crash either.
+                let mut removed = Vec::new();
                 if let Ok(idx) = self.index(*index) {
                     for e in entries {
-                        let _ = idx.tree.physical_delete(e)?;
+                        if idx.tree.physical_delete_if_live(e)? {
+                            removed.push(e.clone());
+                        }
                     }
                 }
-                Ok(clr(LogPayload::IndexBulkRemove { index: *index, entries: entries.clone() }))
+                Ok(clr(LogPayload::IndexBulkRemove {
+                    index: *index,
+                    entries: removed,
+                }))
             }
             other => Err(Error::Corruption(format!(
                 "undo of non-undoable payload {other:?}"
@@ -696,7 +775,10 @@ impl Db {
                         tx,
                         last,
                         RecKind::RedoOnly,
-                        LogPayload::SideFileAppend { index: idx.def.id, op: op.clone() },
+                        LogPayload::SideFileAppend {
+                            index: idx.def.id,
+                            op: op.clone(),
+                        },
                     );
                 });
                 match appended {
@@ -713,7 +795,10 @@ impl Db {
                         tx,
                         last,
                         RecKind::RedoOnly,
-                        LogPayload::IndexInsert { index: idx.def.id, entry: op.entry },
+                        LogPayload::IndexInsert {
+                            index: idx.def.id,
+                            entry: op.entry,
+                        },
                     ))
                 } else {
                     Self::tree_ensure_pseudo(idx, &op.entry)?;
@@ -721,7 +806,10 @@ impl Db {
                         tx,
                         last,
                         RecKind::RedoOnly,
-                        LogPayload::IndexPseudoDelete { index: idx.def.id, entry: op.entry },
+                        LogPayload::IndexPseudoDelete {
+                            index: idx.def.id,
+                            entry: op.entry,
+                        },
                     ))
                 }
             }

@@ -82,7 +82,10 @@ pub fn build_secondary_via_primary(
             // key and the fence belongs to this (already walked) leaf
             // and must count as visible.
             match node {
-                Node::Leaf { high_fence: Some(f), .. } => kc.advance(f.key.clone()),
+                Node::Leaf {
+                    high_fence: Some(f),
+                    ..
+                } => kc.advance(f.key.clone()),
                 _ => {
                     if let Some((last_key, _)) = batch.last() {
                         kc.advance(last_key.clone());
@@ -143,7 +146,11 @@ pub fn build_secondary_via_primary(
         let finals = ext.reduce_runs(runs, &mut |_| Ok(()))?;
         let merge = mohan_sort::Merge::resume(
             &ext.store,
-            &MergeCheckpoint { counters: vec![0; finals.len()], inputs: finals, emitted: 0 },
+            &MergeCheckpoint {
+                counters: vec![0; finals.len()],
+                inputs: finals,
+                emitted: 0,
+            },
         )?;
         let mut sorted: Vec<IndexEntry> = merge.collect();
         // The sorter ran on a sequence number, not the entry order of
@@ -154,7 +161,10 @@ pub fn build_secondary_via_primary(
         if idx.def.unique {
             for w in sorted.windows(2) {
                 if w[0].key == w[1].key {
-                    return Err(Error::UniqueViolation { index: id, existing: w[0].rid });
+                    return Err(Error::UniqueViolation {
+                        index: id,
+                        existing: w[0].rid,
+                    });
                 }
             }
         }

@@ -87,8 +87,12 @@ impl BuildProgress {
     #[must_use]
     pub fn decode(buf: &[u8]) -> Option<BuildProgress> {
         match *buf.first()? {
-            0 => Some(BuildProgress::Scanning { sort: SortCheckpoint::decode(&buf[1..])? }),
-            1 => Some(BuildProgress::Reducing { pass: MergePassCheckpoint::decode(&buf[1..])? }),
+            0 => Some(BuildProgress::Scanning {
+                sort: SortCheckpoint::decode(&buf[1..])?,
+            }),
+            1 => Some(BuildProgress::Reducing {
+                pass: MergePassCheckpoint::decode(&buf[1..])?,
+            }),
             2 => {
                 let mlen = u32::from_be_bytes(buf.get(1..5)?.try_into().ok()?) as usize;
                 let merge = MergeCheckpoint::decode(buf.get(5..5 + mlen)?)?;
@@ -156,12 +160,20 @@ mod tests {
                     remaining: vec![1, 2],
                     inflight: Some((
                         7,
-                        MergeCheckpoint { inputs: vec![1, 2], counters: vec![3, 4], emitted: 7 },
+                        MergeCheckpoint {
+                            inputs: vec![1, 2],
+                            counters: vec![3, 4],
+                            emitted: 7,
+                        },
                     )),
                 },
             },
             BuildProgress::Loading {
-                merge: MergeCheckpoint { inputs: vec![5], counters: vec![2], emitted: 2 },
+                merge: MergeCheckpoint {
+                    inputs: vec![5],
+                    counters: vec![2],
+                    emitted: 2,
+                },
                 bulk: BulkCheckpoint {
                     highest: Some(e.clone()),
                     count: 2,
@@ -172,7 +184,11 @@ mod tests {
                 },
             },
             BuildProgress::Inserting {
-                merge: MergeCheckpoint { inputs: vec![], counters: vec![], emitted: 0 },
+                merge: MergeCheckpoint {
+                    inputs: vec![],
+                    counters: vec![],
+                    emitted: 0,
+                },
                 inserted: 123,
             },
             BuildProgress::Draining { pos: 77 },

@@ -3,9 +3,9 @@
 
 use crate::schema::{BuildAlgorithm, IndexDef};
 use crate::side_file::SideFile;
-use mohan_sort::RunStore;
 use mohan_btree::{BTree, BTreeConfig};
 use mohan_common::{EngineConfig, Error, FileId, KeyValue, Lsn, PageId, Result, Rid};
+use mohan_sort::RunStore;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 
@@ -61,7 +61,10 @@ impl KeyCursor {
     /// Fresh cursor deriving the visibility probe from `pk_cols`.
     #[must_use]
     pub fn for_pk_cols(pk_cols: Vec<usize>) -> KeyCursor {
-        KeyCursor { pk_cols, ..KeyCursor::default() }
+        KeyCursor {
+            pk_cols,
+            ..KeyCursor::default()
+        }
     }
 
     /// Advance to `key` (must be monotone).
@@ -324,8 +327,10 @@ impl IndexRuntime {
         let _has_kc = *buf.get(*pos).ok_or_else(err)?;
         *pos += 1;
         self.set_state(state);
-        self.scan_end_page.store(u32::from_be_bytes(se), Ordering::Release);
-        self.completed_lsn.store(u64::from_be_bytes(cl), Ordering::Release);
+        self.scan_end_page
+            .store(u32::from_be_bytes(se), Ordering::Release);
+        self.completed_lsn
+            .store(u64::from_be_bytes(cl), Ordering::Release);
         if state == IndexState::Complete {
             self.side_file.force_close();
         }
@@ -383,6 +388,25 @@ mod tests {
         assert!(r.visible_for(Rid::new(11, 0), None));
         r.finish_scan();
         assert!(r.visible_for(Rid::new(6, 0), None));
+    }
+
+    #[test]
+    fn page_end_cursor_covers_tail_inserts_into_scanned_page() {
+        let r = rt(IndexState::SfBuilding);
+        r.set_scan_end(PageId(10));
+        // The scan consumed page 3, whose last record sat in slot 7.
+        r.set_current_rid(Rid::new(3, 7));
+        // A tail insert into page 3's free space now compares *above*
+        // the last-record cursor — with only that cursor its key
+        // would be lost (neither scanned nor side-filed) ...
+        assert!(!r.sf_visible(Rid::new(3, 8), None));
+        // ... so the scan's page-done hook advances Current-RID past
+        // the whole page before releasing the page latch.
+        r.set_current_rid(Rid::new(3, u16::MAX));
+        assert!(r.sf_visible(Rid::new(3, 8), None));
+        assert!(r.sf_visible(Rid::new(3, u16::MAX), None));
+        // Pages the scan has not reached stay its responsibility.
+        assert!(!r.sf_visible(Rid::new(4, 0), None));
     }
 
     #[test]

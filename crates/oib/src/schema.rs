@@ -165,7 +165,13 @@ impl IndexDef {
         for _ in 0..ncols {
             key_cols.push(rd_u16(buf, pos)? as usize);
         }
-        Ok(IndexDef { id, name, table, unique, key_cols })
+        Ok(IndexDef {
+            id,
+            name,
+            table,
+            unique,
+            key_cols,
+        })
     }
 }
 
@@ -209,7 +215,10 @@ mod tests {
             key_cols: vec![0],
         };
         let r = Record::new(vec![77, 5]);
-        assert_eq!(def.key_of_bytes(&r.encode()).unwrap(), def.key_of(&r).unwrap());
+        assert_eq!(
+            def.key_of_bytes(&r.encode()).unwrap(),
+            def.key_of(&r).unwrap()
+        );
     }
 
     #[test]
@@ -229,7 +238,11 @@ mod tests {
 
     #[test]
     fn algorithm_tags_roundtrip() {
-        for a in [BuildAlgorithm::Offline, BuildAlgorithm::Nsf, BuildAlgorithm::Sf] {
+        for a in [
+            BuildAlgorithm::Offline,
+            BuildAlgorithm::Nsf,
+            BuildAlgorithm::Sf,
+        ] {
             assert_eq!(BuildAlgorithm::from_tag(a.tag()), Some(a));
         }
         assert_eq!(BuildAlgorithm::from_tag(9), None);

@@ -143,7 +143,10 @@ mod tests {
     use mohan_common::{IndexEntry, Rid};
 
     fn op(k: i64, insert: bool) -> SideFileOp {
-        SideFileOp { insert, entry: IndexEntry::from_i64(k, Rid::new(1, k as u16)) }
+        SideFileOp {
+            insert,
+            entry: IndexEntry::from_i64(k, Rid::new(1, k as u16)),
+        }
     }
 
     #[test]

@@ -31,12 +31,18 @@ fn rec(k: i64, v: i64) -> Record {
 }
 
 fn spec(name: &str, unique: bool) -> IndexSpec {
-    IndexSpec { name: name.into(), key_cols: vec![0], unique }
+    IndexSpec {
+        name: name.into(),
+        key_cols: vec![0],
+        unique,
+    }
 }
 
 fn seed(db: &Arc<Db>, n: i64) -> Vec<Rid> {
     let tx = db.begin();
-    let rids = (0..n).map(|k| db.insert_record(tx, T, &rec(k, 0)).unwrap()).collect();
+    let rids = (0..n)
+        .map(|k| db.insert_record(tx, T, &rec(k, 0)).unwrap())
+        .collect();
     db.commit(tx).unwrap();
     rids
 }
@@ -155,7 +161,11 @@ fn sf_unique_build_with_concurrent_updates_is_correct() {
 
 #[test]
 fn all_three_algorithms_agree_on_quiet_tables() {
-    for algo in [BuildAlgorithm::Offline, BuildAlgorithm::Nsf, BuildAlgorithm::Sf] {
+    for algo in [
+        BuildAlgorithm::Offline,
+        BuildAlgorithm::Nsf,
+        BuildAlgorithm::Sf,
+    ] {
         let db = db();
         seed(&db, 300);
         let idx = build_index(&db, T, spec("quiet", false), algo).unwrap();
@@ -167,7 +177,11 @@ fn all_three_algorithms_agree_on_quiet_tables() {
 
 #[test]
 fn multi_index_single_scan_builds_all() {
-    for algo in [BuildAlgorithm::Offline, BuildAlgorithm::Nsf, BuildAlgorithm::Sf] {
+    for algo in [
+        BuildAlgorithm::Offline,
+        BuildAlgorithm::Nsf,
+        BuildAlgorithm::Sf,
+    ] {
         let db = db();
         let tx = db.begin();
         for k in 0..200 {
@@ -180,8 +194,16 @@ fn multi_index_single_scan_builds_all() {
             T,
             &[
                 spec("by_k", false),
-                IndexSpec { name: "by_v".into(), key_cols: vec![1], unique: false },
-                IndexSpec { name: "by_kv".into(), key_cols: vec![0, 1], unique: true },
+                IndexSpec {
+                    name: "by_v".into(),
+                    key_cols: vec![1],
+                    unique: false,
+                },
+                IndexSpec {
+                    name: "by_kv".into(),
+                    key_cols: vec![0, 1],
+                    unique: true,
+                },
             ],
             algo,
         )
@@ -190,7 +212,10 @@ fn multi_index_single_scan_builds_all() {
         // One scan, not three (measured before verification rescans).
         let pages = db.table(T).unwrap().num_pages() as u64;
         let scanned = db.table(T).unwrap().stats.scan_pages.get() - scans_before;
-        assert!(scanned <= pages + 1, "{algo:?}: scanned {scanned} of {pages} pages");
+        assert!(
+            scanned <= pages + 1,
+            "{algo:?}: scanned {scanned} of {pages} pages"
+        );
         assert_eq!(verify_all(&db, T).unwrap(), 3, "{algo:?}");
     }
 }
@@ -211,7 +236,10 @@ fn sf_never_quiesces_nsf_quiesces_briefly() {
 
     // NSF against a fresh long-running updater times out on the
     // descriptor-create quiesce (lock timeout stands in for "waits").
-    let db2 = Db::new(EngineConfig { lock_timeout_ms: 150, ..EngineConfig::small() });
+    let db2 = Db::new(EngineConfig {
+        lock_timeout_ms: 150,
+        ..EngineConfig::small()
+    });
     db2.create_table(T);
     let tx = db2.begin();
     db2.insert_record(tx, T, &rec(1, 0)).unwrap();
@@ -266,7 +294,10 @@ fn paper_example_scenario_nonunique() {
     db.rollback(t1).unwrap();
     let entry = idx.def.entry_of(&rec(424_242, 0), rid).unwrap();
     assert_eq!(
-        idx.tree.lookup_exact(&entry).unwrap().map(|s| s.pseudo_deleted),
+        idx.tree
+            .lookup_exact(&entry)
+            .unwrap()
+            .map(|s| s.pseudo_deleted),
         Some(true),
         "rollback leaves a pseudo-deleted key, not a hole"
     );
@@ -278,7 +309,10 @@ fn paper_example_scenario_nonunique() {
     assert_eq!(rid2, rid, "slot is reused");
     db.commit(t2).unwrap();
     assert_eq!(
-        idx.tree.lookup_exact(&entry).unwrap().map(|s| s.pseudo_deleted),
+        idx.tree
+            .lookup_exact(&entry)
+            .unwrap()
+            .map(|s| s.pseudo_deleted),
         Some(false)
     );
     verify_index(&db, idx_id).unwrap();
@@ -291,10 +325,20 @@ fn unique_violation_cancels_build_and_leaves_no_descriptor() {
     db.insert_record(tx, T, &rec(5, 1)).unwrap();
     db.insert_record(tx, T, &rec(5, 2)).unwrap(); // duplicate key value
     db.commit(tx).unwrap();
-    for algo in [BuildAlgorithm::Offline, BuildAlgorithm::Nsf, BuildAlgorithm::Sf] {
+    for algo in [
+        BuildAlgorithm::Offline,
+        BuildAlgorithm::Nsf,
+        BuildAlgorithm::Sf,
+    ] {
         let err = build_index(&db, T, spec("uk", true), algo).unwrap_err();
-        assert!(matches!(err, Error::UniqueViolation { .. }), "{algo:?}: {err}");
-        assert!(db.indexes_of(T).is_empty(), "{algo:?} left a descriptor behind");
+        assert!(
+            matches!(err, Error::UniqueViolation { .. }),
+            "{algo:?}: {err}"
+        );
+        assert!(
+            db.indexes_of(T).is_empty(),
+            "{algo:?} left a descriptor behind"
+        );
     }
     // Updates still work afterwards.
     let tx = db.begin();
@@ -365,7 +409,12 @@ fn sf_side_file_collects_only_behind_scan_updates() {
     db.insert_record(tx, T, &rec(777_777, 0)).unwrap();
     db.commit(tx).unwrap();
     assert_eq!(rt.side_file.appended.get(), appended_before);
-    assert_eq!(db.index_lookup(idx, &KeyValue::from_i64(777_777)).unwrap().len(), 1);
+    assert_eq!(
+        db.index_lookup(idx, &KeyValue::from_i64(777_777))
+            .unwrap()
+            .len(),
+        1
+    );
 }
 
 #[test]

@@ -28,12 +28,18 @@ fn rec(k: i64, v: i64) -> Record {
 }
 
 fn spec(unique: bool) -> IndexSpec {
-    IndexSpec { name: "crashy".into(), key_cols: vec![0], unique }
+    IndexSpec {
+        name: "crashy".into(),
+        key_cols: vec![0],
+        unique,
+    }
 }
 
 fn seed(db: &Arc<Db>, n: i64) -> Vec<Rid> {
     let tx = db.begin();
-    let rids = (0..n).map(|k| db.insert_record(tx, T, &rec(k, 1)).unwrap()).collect();
+    let rids = (0..n)
+        .map(|k| db.insert_record(tx, T, &rec(k, 1)).unwrap())
+        .collect();
     db.commit(tx).unwrap();
     rids
 }

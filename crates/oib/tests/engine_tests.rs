@@ -22,13 +22,19 @@ fn rec(k: i64, v: i64) -> Record {
 }
 
 fn spec(name: &str, unique: bool) -> IndexSpec {
-    IndexSpec { name: name.into(), key_cols: vec![0], unique }
+    IndexSpec {
+        name: name.into(),
+        key_cols: vec![0],
+        unique,
+    }
 }
 
 /// Populate the table with keys `0..n`, committed.
 fn seed(db: &Arc<Db>, n: i64) -> Vec<Rid> {
     let tx = db.begin();
-    let rids: Vec<Rid> = (0..n).map(|k| db.insert_record(tx, T, &rec(k, k * 10)).unwrap()).collect();
+    let rids: Vec<Rid> = (0..n)
+        .map(|k| db.insert_record(tx, T, &rec(k, k * 10)).unwrap())
+        .collect();
     db.commit(tx).unwrap();
     rids
 }
@@ -85,7 +91,10 @@ fn committed_work_survives_crash() {
     db.simulate_crash();
     db.restart().unwrap();
     for (k, rid) in rids.iter().enumerate() {
-        assert_eq!(db.read_record(T, *rid).unwrap(), rec(k as i64, k as i64 * 10));
+        assert_eq!(
+            db.read_record(T, *rid).unwrap(),
+            rec(k as i64, k as i64 * 10)
+        );
     }
 }
 
@@ -131,12 +140,18 @@ fn completed_index_is_maintained_and_queryable() {
     let tx = db.begin();
     let rid = db.insert_record(tx, T, &rec(500, 1)).unwrap();
     db.commit(tx).unwrap();
-    assert_eq!(db.index_lookup(idx, &KeyValue::from_i64(500)).unwrap(), vec![rid]);
+    assert_eq!(
+        db.index_lookup(idx, &KeyValue::from_i64(500)).unwrap(),
+        vec![rid]
+    );
 
     let tx = db.begin();
     db.delete_record(tx, T, rid).unwrap();
     db.commit(tx).unwrap();
-    assert!(db.index_lookup(idx, &KeyValue::from_i64(500)).unwrap().is_empty());
+    assert!(db
+        .index_lookup(idx, &KeyValue::from_i64(500))
+        .unwrap()
+        .is_empty());
     verify_index(&db, idx).unwrap();
 }
 
@@ -152,10 +167,22 @@ fn index_maintenance_rolls_back_with_the_transaction() {
     db.update_record(tx, T, rids[4], &rec(888, 0)).unwrap();
     db.rollback(tx).unwrap();
 
-    assert!(db.index_lookup(idx, &KeyValue::from_i64(777)).unwrap().is_empty());
-    assert_eq!(db.index_lookup(idx, &KeyValue::from_i64(3)).unwrap(), vec![rids[3]]);
-    assert_eq!(db.index_lookup(idx, &KeyValue::from_i64(4)).unwrap(), vec![rids[4]]);
-    assert!(db.index_lookup(idx, &KeyValue::from_i64(888)).unwrap().is_empty());
+    assert!(db
+        .index_lookup(idx, &KeyValue::from_i64(777))
+        .unwrap()
+        .is_empty());
+    assert_eq!(
+        db.index_lookup(idx, &KeyValue::from_i64(3)).unwrap(),
+        vec![rids[3]]
+    );
+    assert_eq!(
+        db.index_lookup(idx, &KeyValue::from_i64(4)).unwrap(),
+        vec![rids[4]]
+    );
+    assert!(db
+        .index_lookup(idx, &KeyValue::from_i64(888))
+        .unwrap()
+        .is_empty());
     verify_index(&db, idx).unwrap();
 }
 
@@ -179,10 +206,22 @@ fn index_survives_crash_with_committed_and_loser_transactions() {
     db.simulate_crash();
     db.restart().unwrap();
 
-    assert_eq!(db.index_lookup(idx, &KeyValue::from_i64(1000)).unwrap(), vec![new_rid]);
-    assert!(db.index_lookup(idx, &KeyValue::from_i64(0)).unwrap().is_empty());
-    assert!(db.index_lookup(idx, &KeyValue::from_i64(2000)).unwrap().is_empty());
-    assert_eq!(db.index_lookup(idx, &KeyValue::from_i64(1)).unwrap(), vec![rids[1]]);
+    assert_eq!(
+        db.index_lookup(idx, &KeyValue::from_i64(1000)).unwrap(),
+        vec![new_rid]
+    );
+    assert!(db
+        .index_lookup(idx, &KeyValue::from_i64(0))
+        .unwrap()
+        .is_empty());
+    assert!(db
+        .index_lookup(idx, &KeyValue::from_i64(2000))
+        .unwrap()
+        .is_empty());
+    assert_eq!(
+        db.index_lookup(idx, &KeyValue::from_i64(1)).unwrap(),
+        vec![rids[1]]
+    );
     verify_index(&db, idx).unwrap();
 }
 
@@ -212,7 +251,10 @@ fn unique_index_allows_reusing_key_after_committed_delete() {
     let tx = db.begin();
     let rid = db.insert_record(tx, T, &rec(5, 42)).unwrap();
     db.commit(tx).unwrap();
-    assert_eq!(db.index_lookup(idx, &KeyValue::from_i64(5)).unwrap(), vec![rid]);
+    assert_eq!(
+        db.index_lookup(idx, &KeyValue::from_i64(5)).unwrap(),
+        vec![rid]
+    );
     verify_index(&db, idx).unwrap();
 }
 
@@ -243,7 +285,10 @@ fn unique_insert_waits_for_inflight_deleter() {
     std::thread::sleep(std::time::Duration::from_millis(50));
     db.commit(deleter).unwrap();
     let rid = inserter.join().unwrap();
-    assert_eq!(db.index_lookup(idx, &KeyValue::from_i64(7)).unwrap(), vec![rid]);
+    assert_eq!(
+        db.index_lookup(idx, &KeyValue::from_i64(7)).unwrap(),
+        vec![rid]
+    );
     verify_index(&db, idx).unwrap();
 }
 
@@ -269,14 +314,16 @@ fn multi_column_keys_work_end_to_end() {
     let idx = build_index(
         &db,
         T,
-        IndexSpec { name: "composite".into(), key_cols: vec![0, 1], unique: true },
+        IndexSpec {
+            name: "composite".into(),
+            key_cols: vec![0, 1],
+            unique: true,
+        },
         BuildAlgorithm::Offline,
     )
     .unwrap();
     verify_index(&db, idx).unwrap();
-    let hits = db
-        .index_lookup(idx, &KeyValue::from_i64s(&[2, 7]))
-        .unwrap();
+    let hits = db.index_lookup(idx, &KeyValue::from_i64s(&[2, 7])).unwrap();
     assert_eq!(hits.len(), 1);
 }
 
@@ -291,5 +338,8 @@ fn reads_of_building_index_are_refused() {
     assert!(err.is_crash());
     let id = db.indexes_of(T)[0].def.id;
     let lookup = db.index_lookup(id, &KeyValue::from_i64(0));
-    assert!(matches!(lookup, Err(mohan_common::Error::IndexNotReadable(_))));
+    assert!(matches!(
+        lookup,
+        Err(mohan_common::Error::IndexNotReadable(_))
+    ));
 }

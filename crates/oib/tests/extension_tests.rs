@@ -20,12 +20,18 @@ fn rec(k: i64, v: i64) -> Record {
 }
 
 fn spec(name: &str, unique: bool) -> IndexSpec {
-    IndexSpec { name: name.into(), key_cols: vec![0], unique }
+    IndexSpec {
+        name: name.into(),
+        key_cols: vec![0],
+        unique,
+    }
 }
 
 fn seed(db: &Arc<Db>, n: i64) -> Vec<Rid> {
     let tx = db.begin();
-    let rids = (0..n).map(|k| db.insert_record(tx, T, &rec(k, 1)).unwrap()).collect();
+    let rids = (0..n)
+        .map(|k| db.insert_record(tx, T, &rec(k, 1)).unwrap())
+        .collect();
     db.commit(tx).unwrap();
     rids
 }
@@ -55,7 +61,12 @@ fn nsf_no_quiesce_builds_while_a_transaction_holds_ix() {
     let idx = build_index(&db, T, spec("nq", false), BuildAlgorithm::Nsf).unwrap();
     db.commit(holder).unwrap();
     verify_index(&db, idx).unwrap();
-    assert_eq!(db.index_lookup(idx, &KeyValue::from_i64(900_000)).unwrap().len(), 1);
+    assert_eq!(
+        db.index_lookup(idx, &KeyValue::from_i64(900_000))
+            .unwrap()
+            .len(),
+        1
+    );
 }
 
 #[test]
@@ -74,9 +85,8 @@ fn nsf_no_quiesce_straddling_rollback_is_compensated() {
     // Run the build in another thread; it will scan the uncommitted
     // record and insert its key.
     let db2 = Arc::clone(&db);
-    let builder = std::thread::spawn(move || {
-        build_index(&db2, T, spec("nq2", false), BuildAlgorithm::Nsf)
-    });
+    let builder =
+        std::thread::spawn(move || build_index(&db2, T, spec("nq2", false), BuildAlgorithm::Nsf));
     // Wait until the descriptor is visible, then roll T1 back: the
     // undo happens while the index is visible although the forward
     // insert predates it.
@@ -87,7 +97,10 @@ fn nsf_no_quiesce_straddling_rollback_is_compensated() {
     let idx = builder.join().unwrap().unwrap();
 
     assert!(!db.table(T).unwrap().exists(ghost));
-    assert!(db.index_lookup(idx, &KeyValue::from_i64(777_777)).unwrap().is_empty());
+    assert!(db
+        .index_lookup(idx, &KeyValue::from_i64(777_777))
+        .unwrap()
+        .is_empty());
     verify_index(&db, idx).unwrap();
 }
 
@@ -148,8 +161,16 @@ fn gradual_reads_serve_the_committed_prefix() {
 
     // Keys below the committed watermark (≥ 500 keys committed) are
     // readable mid-build; keys beyond it are refused.
-    assert_eq!(db.index_lookup(idx, &KeyValue::from_i64(5)).unwrap().len(), 1);
-    assert_eq!(db.index_lookup(idx, &KeyValue::from_i64(499)).unwrap().len(), 1);
+    assert_eq!(
+        db.index_lookup(idx, &KeyValue::from_i64(5)).unwrap().len(),
+        1
+    );
+    assert_eq!(
+        db.index_lookup(idx, &KeyValue::from_i64(499))
+            .unwrap()
+            .len(),
+        1
+    );
     let far = db.index_lookup(idx, &KeyValue::from_i64(999));
     assert!(matches!(far, Err(Error::IndexNotReadable(_))));
 
@@ -157,13 +178,21 @@ fn gradual_reads_serve_the_committed_prefix() {
     let tx = db.begin();
     let rid = db.insert_record(tx, T, &rec(-5, 0)).unwrap(); // below everything
     db.commit(tx).unwrap();
-    assert_eq!(db.index_lookup(idx, &KeyValue::from_i64(-5)).unwrap(), vec![rid]);
+    assert_eq!(
+        db.index_lookup(idx, &KeyValue::from_i64(-5)).unwrap(),
+        vec![rid]
+    );
 
     // Finish the build after a restart; everything becomes readable.
     db.simulate_crash();
     db.restart().unwrap();
     mohan_oib::build::resume_build(&db, idx).unwrap();
-    assert_eq!(db.index_lookup(idx, &KeyValue::from_i64(999)).unwrap().len(), 1);
+    assert_eq!(
+        db.index_lookup(idx, &KeyValue::from_i64(999))
+            .unwrap()
+            .len(),
+        1
+    );
     verify_index(&db, idx).unwrap();
 }
 
@@ -187,11 +216,13 @@ fn gradual_reads_disabled_by_default() {
 // ===================================================================
 
 fn db_with_primary(n: i64) -> (Arc<Db>, Vec<Rid>, mohan_common::IndexId) {
-    let db = Db::new(EngineConfig { lock_timeout_ms: 5_000, ..EngineConfig::small() });
+    let db = Db::new(EngineConfig {
+        lock_timeout_ms: 5_000,
+        ..EngineConfig::small()
+    });
     db.create_table(T);
     let rids = seed(&db, n);
-    let primary =
-        build_index(&db, T, spec("pk", true), BuildAlgorithm::Offline).unwrap();
+    let primary = build_index(&db, T, spec("pk", true), BuildAlgorithm::Offline).unwrap();
     (db, rids, primary)
 }
 
@@ -201,7 +232,11 @@ fn primary_model_build_on_quiet_table() {
     let idx = build_secondary_via_primary(
         &db,
         primary,
-        IndexSpec { name: "sec".into(), key_cols: vec![1], unique: false },
+        IndexSpec {
+            name: "sec".into(),
+            key_cols: vec![1],
+            unique: false,
+        },
     )
     .unwrap();
     verify_index(&db, idx).unwrap();
@@ -233,7 +268,11 @@ fn primary_model_build_under_insert_delete_churn() {
     let idx = build_secondary_via_primary(
         &db,
         primary,
-        IndexSpec { name: "sec".into(), key_cols: vec![1], unique: false },
+        IndexSpec {
+            name: "sec".into(),
+            key_cols: vec![1],
+            unique: false,
+        },
     )
     .unwrap();
     stop.store(true, Ordering::Relaxed);
@@ -252,7 +291,11 @@ fn primary_model_requires_complete_unique_primary() {
     let err = build_secondary_via_primary(
         &db,
         nonunique,
-        IndexSpec { name: "x".into(), key_cols: vec![1], unique: false },
+        IndexSpec {
+            name: "x".into(),
+            key_cols: vec![1],
+            unique: false,
+        },
     )
     .unwrap_err();
     assert!(matches!(err, Error::Corruption(_)));
@@ -267,7 +310,11 @@ fn primary_model_unique_secondary_detects_duplicates() {
     let err = build_secondary_via_primary(
         &db,
         primary,
-        IndexSpec { name: "dup".into(), key_cols: vec![1], unique: true },
+        IndexSpec {
+            name: "dup".into(),
+            key_cols: vec![1],
+            unique: true,
+        },
     )
     .unwrap_err();
     assert!(matches!(err, Error::UniqueViolation { .. }));

@@ -1,0 +1,287 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! The build environment cannot reach crates.io, so the workspace
+//! replaces `criterion` with this in-tree shim. It keeps the source
+//! shape (`criterion_group!`, `criterion_main!`, `Criterion`,
+//! benchmark groups, `iter`/`iter_batched`) and performs a simple but
+//! honest measurement: per sample, iteration counts are auto-scaled to
+//! a minimum wall-time, and the median/min/max per-iteration times are
+//! printed. No plotting, no statistics beyond that.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (prevents the optimizer from deleting the
+/// benchmarked computation).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup. The shim runs setup once per
+/// measured batch regardless, so this is shape-compatibility only.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Throughput annotation (accepted, not currently rendered).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_count: usize,
+    min_sample_time: Duration,
+}
+
+impl Bencher<'_> {
+    /// Measure `routine`, auto-scaling iterations per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Estimate a per-sample iteration count that reaches the
+        // minimum sample time.
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt >= self.min_sample_time || iters >= 1 << 20 {
+                self.samples
+                    .push(dt / u32::try_from(iters).unwrap_or(u32::MAX));
+                break;
+            }
+            iters = iters.saturating_mul(4);
+        }
+        let per_sample_iters = iters;
+        for _ in 1..self.sample_count {
+            let t0 = Instant::now();
+            for _ in 0..per_sample_iters {
+                black_box(routine());
+            }
+            self.samples
+                .push(t0.elapsed() / u32::try_from(per_sample_iters).unwrap_or(u32::MAX));
+        }
+    }
+
+    /// Measure `routine` with untimed per-iteration `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_count {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, samples: &mut [Duration]) {
+    if samples.is_empty() {
+        return;
+    }
+    samples.sort_unstable();
+    let fmt = |d: Duration| -> String {
+        let ns = d.as_nanos();
+        if ns >= 1_000_000_000 {
+            format!("{:.3} s", d.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            format!("{:.3} ms", d.as_secs_f64() * 1e3)
+        } else if ns >= 1_000 {
+            format!("{:.3} µs", d.as_secs_f64() * 1e6)
+        } else {
+            format!("{ns} ns")
+        }
+    };
+    let median = samples[samples.len() / 2];
+    println!(
+        "{name:<50} time: [{} {} {}]",
+        fmt(samples[0]),
+        fmt(median),
+        fmt(samples[samples.len() - 1]),
+    );
+}
+
+/// The benchmark manager.
+pub struct Criterion {
+    sample_count: usize,
+    min_sample_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_count: 11,
+            min_sample_time: Duration::from_millis(20),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for source compatibility; the shim has no CLI.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    fn run_one(&mut self, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut samples = Vec::with_capacity(self.sample_count);
+        let mut b = Bencher {
+            samples: &mut samples,
+            sample_count: self.sample_count,
+            min_sample_time: self.min_sample_time,
+        };
+        f(&mut b);
+        report(name, &mut samples);
+    }
+
+    /// Benchmark a single function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        self.run_one(name, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_count = n.max(3);
+        self
+    }
+
+    /// Throughput annotation (accepted, not rendered).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&name, &mut f);
+        self
+    }
+
+    /// Benchmark with an explicit input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&name, &mut |b| f(b, input));
+        self
+    }
+
+    /// End the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate `main` running the declared groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_samples() {
+        let mut c = Criterion {
+            sample_count: 3,
+            min_sample_time: Duration::from_micros(50),
+        };
+        c.bench_function("smoke/iter", |b| b.iter(|| black_box(2u64 + 2)));
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::new("batched", 1), &1u64, |b, &x| {
+            b.iter_batched(
+                || vec![x; 16],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            );
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 4).to_string(), "f/4");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+}

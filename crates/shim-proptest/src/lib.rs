@@ -1,0 +1,378 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The build environment cannot reach crates.io, so the workspace
+//! replaces `proptest` with this in-tree shim. It keeps the source
+//! shape of the real crate — the `proptest!` macro, `Strategy` with
+//! `prop_map`, `any::<T>()`, `prop::collection::vec`, `prop_oneof!`,
+//! `Just`, and `ProptestConfig` — but generates cases by plain random
+//! sampling (no shrinking). Each `#[test]` runs `cases` deterministic
+//! iterations seeded from the test name, so failures reproduce.
+
+use rand::rngs::StdRng;
+
+/// Run-count configuration (field-compatible subset).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+    /// Accepted for API compatibility; the shim does not shrink.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 48,
+            max_shrink_iters: 1024,
+        }
+    }
+}
+
+/// A generator of values of type `Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Box the strategy (object-safe erasure used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// An owned, type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        self.0.sample(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted choice among boxed strategies (built by `prop_oneof!`).
+pub struct OneOf<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> OneOf<T> {
+    /// Build from `(weight, strategy)` arms.
+    #[must_use]
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> OneOf<T> {
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! needs at least one weighted arm");
+        OneOf { arms, total }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        use rand::Rng;
+        let mut roll = rng.random_range(0..self.total);
+        for (w, s) in &self.arms {
+            if roll < *w {
+                return s.sample(rng);
+            }
+            roll -= w;
+        }
+        unreachable!("weights exhausted")
+    }
+}
+
+/// Uniform sampling over a type's whole domain.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// `any::<T>()`: the canonical strategy for `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Sample the whole domain uniformly.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                use rand::RngCore;
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        use rand::RngCore;
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Numeric ranges are strategies.
+macro_rules! impl_strategy_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                use rand::Rng;
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                use rand::Rng;
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// String "regex" strategies. Only the `.{lo,hi}` shape the workspace
+/// uses is honoured: a random ASCII string with length in `[lo, hi]`.
+/// Other patterns fall back to a short random string.
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut StdRng) -> String {
+        use rand::Rng;
+        let (lo, hi) = parse_dot_repeat(self).unwrap_or((0, 8));
+        let len = rng.random_range(lo..=hi);
+        (0..len)
+            .map(|_| char::from(rng.random_range(0x20u8..0x7f)))
+            .collect()
+    }
+}
+
+fn parse_dot_repeat(pat: &str) -> Option<(usize, usize)> {
+    let body = pat.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = body.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+/// Tuples of strategies generate tuples of values.
+macro_rules! impl_strategy_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_strategy_tuple!(A: 0, B: 1);
+impl_strategy_tuple!(A: 0, B: 1, C: 2);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+/// The `prop::` namespace.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{StdRng, Strategy};
+
+        /// Strategy for `Vec`s with random length in `len`.
+        pub struct VecStrategy<S> {
+            elem: S,
+            len: std::ops::Range<usize>,
+        }
+
+        /// `prop::collection::vec(elem, len_range)`.
+        pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { elem, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                use rand::Rng;
+                let n = rng.random_range(self.len.clone());
+                (0..n).map(|_| self.elem.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything a property test module imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+
+    /// Stable per-test seed: FNV-1a over the test path.
+    #[must_use]
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// Assert within a property (maps to a plain panic; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Weighted alternative strategies: `prop_oneof![w1 => s1, w2 => s2]`.
+/// All arms must generate the same `Value` type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $(($weight, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+/// The property-test harness macro. Each `#[test] fn name(args...)`
+/// becomes a normal test running `cases` sampled iterations.
+#[macro_export]
+macro_rules! proptest {
+    // Optional config header.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg); $($rest)*);
+    };
+    // One test at a time (munch).
+    (@cfg ($cfg:expr);
+     $(#[$meta:meta])* fn $name:ident ( $($args:tt)* ) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = <$crate::__rt::StdRng as $crate::__rt::SeedableRng>::seed_from_u64(
+                $crate::__rt::seed_for(concat!(module_path!(), "::", stringify!($name))),
+            );
+            for _case in 0..config.cases {
+                $crate::proptest!(@bind rng; $($args)*);
+                $body
+            }
+        }
+        $crate::proptest!(@cfg ($cfg); $($rest)*);
+    };
+    (@cfg ($cfg:expr);) => {};
+    // Argument binding: `[mut] pat in strategy, ...`. Comma rules come
+    // first so multi-argument lists are munched before the tail rules.
+    (@bind $rng:ident; mut $x:ident in $s:expr, $($rest:tt)+) => {
+        #[allow(unused_mut)]
+        let mut $x = $crate::Strategy::sample(&($s), &mut $rng);
+        $crate::proptest!(@bind $rng; $($rest)+);
+    };
+    (@bind $rng:ident; $x:ident in $s:expr, $($rest:tt)+) => {
+        let $x = $crate::Strategy::sample(&($s), &mut $rng);
+        $crate::proptest!(@bind $rng; $($rest)+);
+    };
+    (@bind $rng:ident; mut $x:ident in $s:expr) => {
+        #[allow(unused_mut)]
+        let mut $x = $crate::Strategy::sample(&($s), &mut $rng);
+    };
+    (@bind $rng:ident; $x:ident in $s:expr) => {
+        let $x = $crate::Strategy::sample(&($s), &mut $rng);
+    };
+    // No config header: default config.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn sampled_vecs_respect_bounds(v in prop::collection::vec(any::<i64>(), 1..9)) {
+            prop_assert!(!v.is_empty() && v.len() < 9);
+        }
+
+        #[test]
+        fn ranges_are_strategies(x in 0..100i64, mut y in 5..6usize) {
+            y += 1;
+            prop_assert!((0..100).contains(&x));
+            prop_assert_eq!(y, 6);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 7, ..ProptestConfig::default() })]
+
+        #[test]
+        fn oneof_and_map_work(v in prop_oneof![
+            3 => (0..10i64).prop_map(|x| x * 2),
+            1 => Just(-1i64),
+        ]) {
+            prop_assert!(v == -1 || (v % 2 == 0 && (0..20).contains(&v)));
+        }
+
+        #[test]
+        fn string_pattern_lengths(s in ".{0,12}") {
+            prop_assert!(s.len() <= 12);
+        }
+    }
+}

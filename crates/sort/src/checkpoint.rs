@@ -96,7 +96,11 @@ impl<T: SortItem> SortCheckpoint<T> {
             }
             _ => return None,
         };
-        Some(SortCheckpoint { runs, scan_pos, last_run_high })
+        Some(SortCheckpoint {
+            runs,
+            scan_pos,
+            last_run_high,
+        })
     }
 }
 
@@ -130,7 +134,11 @@ impl MergeCheckpoint {
             counters.push(read_u64(buf, &mut pos)?);
         }
         let emitted = read_u64(buf, &mut pos)?;
-        Some(MergeCheckpoint { inputs, counters, emitted })
+        Some(MergeCheckpoint {
+            inputs,
+            counters,
+            emitted,
+        })
     }
 }
 
@@ -150,19 +158,31 @@ mod tests {
 
     #[test]
     fn sort_checkpoint_none_high() {
-        let cp = SortCheckpoint::<i64> { runs: vec![], scan_pos: 0, last_run_high: None };
+        let cp = SortCheckpoint::<i64> {
+            runs: vec![],
+            scan_pos: 0,
+            last_run_high: None,
+        };
         assert_eq!(SortCheckpoint::decode(&cp.encode()), Some(cp));
     }
 
     #[test]
     fn merge_checkpoint_roundtrip() {
-        let cp = MergeCheckpoint { inputs: vec![3, 1, 4], counters: vec![10, 0, 7], emitted: 17 };
+        let cp = MergeCheckpoint {
+            inputs: vec![3, 1, 4],
+            counters: vec![10, 0, 7],
+            emitted: 17,
+        };
         assert_eq!(MergeCheckpoint::decode(&cp.encode()), Some(cp));
     }
 
     #[test]
     fn decode_rejects_truncation() {
-        let cp = MergeCheckpoint { inputs: vec![1], counters: vec![5], emitted: 5 };
+        let cp = MergeCheckpoint {
+            inputs: vec![1],
+            counters: vec![5],
+            emitted: 5,
+        };
         let bytes = cp.encode();
         for cut in 0..bytes.len() {
             assert_eq!(MergeCheckpoint::decode(&bytes[..cut]), None);

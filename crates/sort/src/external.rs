@@ -88,7 +88,10 @@ impl MergePassCheckpoint {
             }
             _ => return None,
         };
-        Some(MergePassCheckpoint { remaining, inflight })
+        Some(MergePassCheckpoint {
+            remaining,
+            inflight,
+        })
     }
 }
 
@@ -156,7 +159,10 @@ impl<T: SortItem> ExternalSort<T> {
         // dangling reference.
         let mut new_remaining = remaining.to_vec();
         new_remaining.push(output);
-        persist(&MergePassCheckpoint { remaining: new_remaining.clone(), inflight: None })?;
+        persist(&MergePassCheckpoint {
+            remaining: new_remaining.clone(),
+            inflight: None,
+        })?;
         for r in inputs {
             self.store.delete(r);
         }
@@ -280,11 +286,18 @@ mod tests {
             remaining: vec![4, 9],
             inflight: Some((
                 17,
-                MergeCheckpoint { inputs: vec![1, 2], counters: vec![3, 0], emitted: 3 },
+                MergeCheckpoint {
+                    inputs: vec![1, 2],
+                    counters: vec![3, 0],
+                    emitted: 3,
+                },
             )),
         };
         assert_eq!(MergePassCheckpoint::decode(&cp.encode()), Some(cp));
-        let done = MergePassCheckpoint { remaining: vec![], inflight: None };
+        let done = MergePassCheckpoint {
+            remaining: vec![],
+            inflight: None,
+        };
         assert_eq!(MergePassCheckpoint::decode(&done.encode()), Some(done));
     }
 
@@ -351,7 +364,9 @@ mod tests {
             .unwrap_err();
         assert!(err.is_crash());
         sorter.store.crash();
-        let finals = sorter.resume_reduce(&saved.unwrap(), &mut |_| Ok(())).unwrap();
+        let finals = sorter
+            .resume_reduce(&saved.unwrap(), &mut |_| Ok(()))
+            .unwrap();
         let got: Vec<i64> = sorter.final_merge(finals).unwrap().collect();
         assert_eq!(got, vec![1, 2, 3, 7, 8, 9]);
         // Only the runs the final checkpoint knows about remain.
@@ -368,7 +383,10 @@ mod tests {
     #[test]
     fn sort_all_handles_empty_and_single() {
         let sorter: ExternalSort<i64> = ExternalSort::new(4, 2, 10);
-        assert_eq!(sorter.sort_all(Vec::<i64>::new()).unwrap(), Vec::<i64>::new());
+        assert_eq!(
+            sorter.sort_all(Vec::<i64>::new()).unwrap(),
+            Vec::<i64>::new()
+        );
         let sorter2: ExternalSort<i64> = ExternalSort::new(4, 2, 10);
         assert_eq!(sorter2.sort_all(vec![42i64]).unwrap(), vec![42]);
     }

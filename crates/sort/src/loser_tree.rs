@@ -29,7 +29,11 @@ impl<T: Ord, I: Iterator<Item = T>> LoserTree<T, I> {
     pub fn new(mut sources: Vec<I>) -> LoserTree<T, I> {
         let k = sources.len();
         let heads: Vec<Option<T>> = sources.iter_mut().map(Iterator::next).collect();
-        let mut lt = LoserTree { sources, heads, tree: vec![NOBODY; k.max(1)] };
+        let mut lt = LoserTree {
+            sources,
+            heads,
+            tree: vec![NOBODY; k.max(1)],
+        };
         if k > 1 {
             let winner = lt.build(1);
             lt.tree[0] = winner;

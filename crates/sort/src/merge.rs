@@ -29,7 +29,12 @@ impl<T: SortItem> RunCursor<T> {
     /// Open a cursor at item position `pos`.
     #[must_use]
     pub fn new(store: Arc<RunStore<T>>, run: u64, pos: u64) -> RunCursor<T> {
-        RunCursor { store, run, pos, buf: VecDeque::new() }
+        RunCursor {
+            store,
+            run,
+            pos,
+            buf: VecDeque::new(),
+        }
     }
 }
 
@@ -62,7 +67,12 @@ impl<T: SortItem> Merge<T> {
             .map(|&r| RunCursor::new(Arc::clone(store), r, 0))
             .collect();
         let counters = vec![0; inputs.len()];
-        Merge { tree: LoserTree::new(cursors), inputs, counters, emitted: 0 }
+        Merge {
+            tree: LoserTree::new(cursors),
+            inputs,
+            counters,
+            emitted: 0,
+        }
     }
 
     /// Resume a merge from a checkpoint: "reposition the input files to
@@ -199,7 +209,11 @@ mod tests {
     #[test]
     fn resume_at_zero_equals_fresh_merge() {
         let (store, ids) = store_with_runs(&[vec![1, 4], vec![2, 3]]);
-        let cp = MergeCheckpoint { inputs: ids.clone(), counters: vec![0, 0], emitted: 0 };
+        let cp = MergeCheckpoint {
+            inputs: ids.clone(),
+            counters: vec![0, 0],
+            emitted: 0,
+        };
         let out: Vec<i64> = Merge::resume(&store, &cp).unwrap().collect();
         assert_eq!(out, vec![1, 2, 3, 4]);
     }
@@ -207,7 +221,11 @@ mod tests {
     #[test]
     fn resume_rejects_malformed_checkpoint() {
         let (store, _) = store_with_runs(&[vec![1i64]]);
-        let cp = MergeCheckpoint { inputs: vec![0], counters: vec![], emitted: 0 };
+        let cp = MergeCheckpoint {
+            inputs: vec![0],
+            counters: vec![],
+            emitted: 0,
+        };
         assert!(Merge::<i64>::resume(&store, &cp).is_err());
     }
 

@@ -52,7 +52,11 @@ impl<T: SortItem> RunFormation<T> {
     /// every known run to its checkpointed length, and reopen the last
     /// run. The caller must re-feed input from just after
     /// [`SortCheckpoint::scan_pos`].
-    pub fn resume(store: Arc<RunStore<T>>, capacity: usize, cp: &SortCheckpoint<T>) -> Result<RunFormation<T>> {
+    pub fn resume(
+        store: Arc<RunStore<T>>,
+        capacity: usize,
+        cp: &SortCheckpoint<T>,
+    ) -> Result<RunFormation<T>> {
         let known: Vec<u64> = cp.runs.iter().map(|r| r.id).collect();
         for id in store.run_ids() {
             if !known.contains(&id) {
@@ -132,7 +136,10 @@ impl<T: SortItem> RunFormation<T> {
         }
         let mut metas = Vec::with_capacity(self.runs.len());
         for &id in &self.runs {
-            metas.push(RunMeta { id, len: self.store.len(id)? });
+            metas.push(RunMeta {
+                id,
+                len: self.store.len(id)?,
+            });
         }
         Ok(SortCheckpoint {
             runs: metas,
@@ -173,7 +180,9 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn collect_runs(store: &RunStore<i64>, runs: &[u64]) -> Vec<Vec<i64>> {
-        runs.iter().map(|&r| store.read(r, 0, usize::MAX).unwrap()).collect()
+        runs.iter()
+            .map(|&r| store.read(r, 0, usize::MAX).unwrap())
+            .collect()
     }
 
     #[test]
@@ -229,7 +238,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let n = 4000usize;
         let ws = 64usize;
-        let input: Vec<i64> = (0..n).map(|_| rng.random_range(i64::MIN..i64::MAX)).collect();
+        let input: Vec<i64> = (0..n)
+            .map(|_| rng.random_range(i64::MIN..i64::MAX))
+            .collect();
         let store = Arc::new(RunStore::new());
         let mut rf = RunFormation::new(Arc::clone(&store), ws);
         for (i, &v) in input.iter().enumerate() {

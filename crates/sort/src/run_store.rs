@@ -50,14 +50,22 @@ impl<T: SortItem> RunStore<T> {
         let mut id = self.next_id.lock();
         let run_id = *id;
         *id += 1;
-        self.runs.lock().insert(run_id, Run { items: Vec::new(), durable: 0 });
+        self.runs.lock().insert(
+            run_id,
+            Run {
+                items: Vec::new(),
+                durable: 0,
+            },
+        );
         run_id
     }
 
     /// Append items to a run (volatile).
     pub fn append(&self, run: u64, items: &[T]) -> Result<()> {
         let mut runs = self.runs.lock();
-        let r = runs.get_mut(&run).ok_or_else(|| Error::NotFound(format!("run {run}")))?;
+        let r = runs
+            .get_mut(&run)
+            .ok_or_else(|| Error::NotFound(format!("run {run}")))?;
         r.items.extend_from_slice(items);
         self.appended.add(items.len() as u64);
         Ok(())
@@ -66,7 +74,9 @@ impl<T: SortItem> RunStore<T> {
     /// Force a run: its current length becomes durable.
     pub fn force_run(&self, run: u64) -> Result<()> {
         let mut runs = self.runs.lock();
-        let r = runs.get_mut(&run).ok_or_else(|| Error::NotFound(format!("run {run}")))?;
+        let r = runs
+            .get_mut(&run)
+            .ok_or_else(|| Error::NotFound(format!("run {run}")))?;
         self.forced.add((r.items.len() - r.durable) as u64);
         r.durable = r.items.len();
         Ok(())
@@ -75,7 +85,9 @@ impl<T: SortItem> RunStore<T> {
     /// Current (volatile) length of a run.
     pub fn len(&self, run: u64) -> Result<u64> {
         let runs = self.runs.lock();
-        let r = runs.get(&run).ok_or_else(|| Error::NotFound(format!("run {run}")))?;
+        let r = runs
+            .get(&run)
+            .ok_or_else(|| Error::NotFound(format!("run {run}")))?;
         Ok(r.items.len() as u64)
     }
 
@@ -89,7 +101,9 @@ impl<T: SortItem> RunStore<T> {
     /// verification).
     pub fn read(&self, run: u64, offset: u64, count: usize) -> Result<Vec<T>> {
         let runs = self.runs.lock();
-        let r = runs.get(&run).ok_or_else(|| Error::NotFound(format!("run {run}")))?;
+        let r = runs
+            .get(&run)
+            .ok_or_else(|| Error::NotFound(format!("run {run}")))?;
         let start = (offset as usize).min(r.items.len());
         let end = start.saturating_add(count).min(r.items.len());
         Ok(r.items[start..end].to_vec())
@@ -99,7 +113,9 @@ impl<T: SortItem> RunStore<T> {
     /// The durable mark is clamped too.
     pub fn truncate(&self, run: u64, len: u64) -> Result<()> {
         let mut runs = self.runs.lock();
-        let r = runs.get_mut(&run).ok_or_else(|| Error::NotFound(format!("run {run}")))?;
+        let r = runs
+            .get_mut(&run)
+            .ok_or_else(|| Error::NotFound(format!("run {run}")))?;
         r.items.truncate(len as usize);
         r.durable = r.durable.min(len as usize);
         Ok(())

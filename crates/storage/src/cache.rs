@@ -1,4 +1,5 @@
-//! A typed page cache with an explicit volatile/durable boundary.
+//! A typed, sharded page cache with an explicit volatile/durable
+//! boundary.
 //!
 //! Real DBMS pages live on disk and are cached in a buffer pool. We
 //! invert the emphasis: the *volatile* image (a decoded Rust value
@@ -8,16 +9,29 @@
 //! volatile frame and all allocations that were never forced; restart
 //! decodes the durable images on demand.
 //!
+//! The cache is partitioned into [`PAGE_SHARDS`] shards keyed by a
+//! page-id hash. Each shard owns its own volatile frame map and
+//! durable image map, so lookups and forces on different pages contend
+//! only within a shard; the allocation cursor and the durable
+//! high-water mark are shared atomics. The crash/restart semantics are
+//! per-shard but observably identical to the unsharded cache.
+//!
 //! The write-ahead-log rule is enforced at the boundary: `force`
 //! requires the caller to pass the WAL's flushed LSN and refuses to
 //! write a page whose LSN is newer ("write-ahead logging", §1.1).
 
 use crate::latch::{Latch, LatchStats};
-use mohan_common::stats::Counter;
+use mohan_common::stats::{Counter, ShardDist};
 use mohan_common::{Error, FileId, Lsn, PageId, Result};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
+
+/// Number of shards each page cache is partitioned into (power of
+/// two; the shard index is the top bits of a Fibonacci hash of the
+/// page id).
+pub const PAGE_SHARDS: usize = 16;
 
 /// Something that can live in a page: encodable to / decodable from the
 /// durable byte image.
@@ -50,7 +64,7 @@ pub struct Frame<T> {
 }
 
 /// I/O and allocation counters for one page cache.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct CacheStats {
     /// Frame lookups that found a volatile image.
     pub hits: Counter,
@@ -64,25 +78,50 @@ pub struct CacheStats {
     /// Simulated I/O batches issued by sequential scans (one batch
     /// reads `prefetch_pages` pages, §2.2.2).
     pub io_batches: Counter,
+    /// Hit distribution across the cache's shards (shows whether the
+    /// page-id hash is actually spreading the hot path).
+    pub shard_hits: ShardDist,
 }
 
-struct DurableState {
-    images: HashMap<PageId, Vec<u8>>,
-    /// Durable allocation high-water mark: pages `< page_count` are
-    /// considered allocated after a crash.
-    page_count: u32,
+impl Default for CacheStats {
+    fn default() -> Self {
+        CacheStats {
+            hits: Counter::new(),
+            misses: Counter::new(),
+            forces: Counter::new(),
+            allocations: Counter::new(),
+            io_batches: Counter::new(),
+            shard_hits: ShardDist::new(PAGE_SHARDS),
+        }
+    }
 }
 
-struct VolatileState<T> {
-    frames: HashMap<PageId, Arc<Frame<T>>>,
-    next_page: u32,
+/// One cache partition: a volatile frame map plus the durable images
+/// of the pages that hash here.
+struct Shard<T> {
+    volatile: RwLock<HashMap<PageId, Arc<Frame<T>>>>,
+    durable: Mutex<HashMap<PageId, Vec<u8>>>,
+}
+
+impl<T> Shard<T> {
+    fn new() -> Shard<T> {
+        Shard {
+            volatile: RwLock::new(HashMap::new()),
+            durable: Mutex::new(HashMap::new()),
+        }
+    }
 }
 
 /// A crash-aware cache of typed pages forming one page file.
 pub struct PageCache<T: PagePayload> {
     file: FileId,
-    volatile: RwLock<VolatileState<T>>,
-    durable: Mutex<DurableState>,
+    shards: Vec<Shard<T>>,
+    /// Allocation cursor (volatile view): pages `< next_page` are
+    /// allocated.
+    next_page: AtomicU32,
+    /// Durable allocation high-water mark: pages `< durable_count`
+    /// are considered allocated after a crash.
+    durable_count: AtomicU32,
     latch_stats: Arc<LatchStats>,
     /// Event counters for this cache.
     pub stats: CacheStats,
@@ -94,11 +133,18 @@ impl<T: PagePayload> PageCache<T> {
     pub fn new(file: FileId) -> PageCache<T> {
         PageCache {
             file,
-            volatile: RwLock::new(VolatileState { frames: HashMap::new(), next_page: 0 }),
-            durable: Mutex::new(DurableState { images: HashMap::new(), page_count: 0 }),
+            shards: (0..PAGE_SHARDS).map(|_| Shard::new()).collect(),
+            next_page: AtomicU32::new(0),
+            durable_count: AtomicU32::new(0),
             latch_stats: LatchStats::new(),
             stats: CacheStats::default(),
         }
+    }
+
+    /// Shard index for a page (Fibonacci hash so sequentially
+    /// allocated pages spread instead of clustering).
+    fn shard_of(id: PageId) -> usize {
+        (u64::from(id.0).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 60) as usize & (PAGE_SHARDS - 1)
     }
 
     /// The file this cache backs.
@@ -113,20 +159,24 @@ impl<T: PagePayload> PageCache<T> {
         &self.latch_stats
     }
 
-    /// Allocate a fresh page holding `payload`. The allocation is
-    /// volatile until the page is forced.
-    pub fn allocate(&self, payload: T) -> Arc<Frame<T>> {
-        let mut v = self.volatile.write();
-        let id = PageId(v.next_page);
-        v.next_page += 1;
-        let frame = Arc::new(Frame {
+    fn make_frame(&self, id: PageId, lsn: Lsn, payload: T) -> Arc<Frame<T>> {
+        Arc::new(Frame {
             id,
-            latch: Latch::new(
-                PageBuf { lsn: Lsn::NULL, payload },
-                Arc::clone(&self.latch_stats),
-            ),
-        });
-        v.frames.insert(id, Arc::clone(&frame));
+            latch: Latch::new(PageBuf { lsn, payload }, Arc::clone(&self.latch_stats)),
+        })
+    }
+
+    /// Allocate a fresh page holding `payload`. The allocation is
+    /// volatile until the page is forced. The page id comes from a
+    /// shared atomic cursor, so concurrent allocators never meet a
+    /// lock.
+    pub fn allocate(&self, payload: T) -> Arc<Frame<T>> {
+        let id = PageId(self.next_page.fetch_add(1, Ordering::AcqRel));
+        let frame = self.make_frame(id, Lsn::NULL, payload);
+        self.shards[Self::shard_of(id)]
+            .volatile
+            .write()
+            .insert(id, Arc::clone(&frame));
         self.stats.allocations.bump();
         frame
     }
@@ -134,25 +184,30 @@ impl<T: PagePayload> PageCache<T> {
     /// Number of allocated pages (volatile view).
     #[must_use]
     pub fn num_pages(&self) -> u32 {
-        self.volatile.read().next_page
+        self.next_page.load(Ordering::Acquire)
     }
 
     /// Fetch a page frame, decoding the durable image on a miss.
     /// Returns `NotFound` for never-allocated or crash-lost pages.
     pub fn frame(&self, id: PageId) -> Result<Arc<Frame<T>>> {
-        if let Some(f) = self.volatile.read().frames.get(&id) {
+        let si = Self::shard_of(id);
+        let shard = &self.shards[si];
+        if let Some(f) = shard.volatile.read().get(&id) {
             self.stats.hits.bump();
+            self.stats.shard_hits.bump(si);
             return Ok(Arc::clone(f));
         }
-        // Miss: try the durable image. Hold the volatile write lock
-        // across the check-and-insert so two threads don't both decode.
-        let mut v = self.volatile.write();
-        if let Some(f) = v.frames.get(&id) {
+        // Miss: try the durable image. Hold the shard's volatile write
+        // lock across the check-and-insert so two threads don't both
+        // decode.
+        let mut v = shard.volatile.write();
+        if let Some(f) = v.get(&id) {
             self.stats.hits.bump();
+            self.stats.shard_hits.bump(si);
             return Ok(Arc::clone(f));
         }
-        let d = self.durable.lock();
-        let Some(bytes) = d.images.get(&id) else {
+        let d = shard.durable.lock();
+        let Some(bytes) = d.get(&id) else {
             return Err(Error::NotFound(format!("{} {id}", self.file)));
         };
         let payload = T::decode(&bytes[8..])?;
@@ -160,11 +215,8 @@ impl<T: PagePayload> PageCache<T> {
         l8.copy_from_slice(&bytes[..8]);
         let lsn = Lsn(u64::from_be_bytes(l8));
         drop(d);
-        let frame = Arc::new(Frame {
-            id,
-            latch: Latch::new(PageBuf { lsn, payload }, Arc::clone(&self.latch_stats)),
-        });
-        v.frames.insert(id, Arc::clone(&frame));
+        let frame = self.make_frame(id, lsn, payload);
+        v.insert(id, Arc::clone(&frame));
         self.stats.misses.bump();
         Ok(frame)
     }
@@ -177,19 +229,14 @@ impl<T: PagePayload> PageCache<T> {
         if self.exists(id) {
             return self.frame(id);
         }
-        let mut v = self.volatile.write();
-        if let Some(f) = v.frames.get(&id) {
+        let shard = &self.shards[Self::shard_of(id)];
+        let mut v = shard.volatile.write();
+        if let Some(f) = v.get(&id) {
             return Ok(Arc::clone(f));
         }
-        let frame = Arc::new(Frame {
-            id,
-            latch: Latch::new(
-                PageBuf { lsn: Lsn::NULL, payload: make() },
-                Arc::clone(&self.latch_stats),
-            ),
-        });
-        v.frames.insert(id, Arc::clone(&frame));
-        v.next_page = v.next_page.max(id.0 + 1);
+        let frame = self.make_frame(id, Lsn::NULL, make());
+        v.insert(id, Arc::clone(&frame));
+        self.next_page.fetch_max(id.0 + 1, Ordering::AcqRel);
         self.stats.allocations.bump();
         Ok(frame)
     }
@@ -197,7 +244,8 @@ impl<T: PagePayload> PageCache<T> {
     /// True if `id` currently resolves to a page (volatile or durable).
     #[must_use]
     pub fn exists(&self, id: PageId) -> bool {
-        self.volatile.read().frames.contains_key(&id) || self.durable.lock().images.contains_key(&id)
+        let shard = &self.shards[Self::shard_of(id)];
+        shard.volatile.read().contains_key(&id) || shard.durable.lock().contains_key(&id)
     }
 
     /// Force one page to the durable image. Enforces the WAL rule: the
@@ -218,9 +266,11 @@ impl<T: PagePayload> PageCache<T> {
         bytes.extend_from_slice(&buf.lsn.0.to_be_bytes());
         buf.payload.encode(&mut bytes);
         drop(buf);
-        let mut d = self.durable.lock();
-        d.images.insert(id, bytes);
-        d.page_count = d.page_count.max(id.0 + 1);
+        self.shards[Self::shard_of(id)]
+            .durable
+            .lock()
+            .insert(id, bytes);
+        self.durable_count.fetch_max(id.0 + 1, Ordering::AcqRel);
         self.stats.forces.bump();
         Ok(())
     }
@@ -228,10 +278,10 @@ impl<T: PagePayload> PageCache<T> {
     /// Force every allocated page (used by checkpoints that require a
     /// consistent durable image, §3.2.4).
     pub fn force_all(&self, flushed_lsn: Lsn) -> Result<()> {
-        let pages: Vec<PageId> = {
-            let v = self.volatile.read();
-            v.frames.keys().copied().collect()
-        };
+        let mut pages: Vec<PageId> = Vec::new();
+        for shard in &self.shards {
+            pages.extend(shard.volatile.read().keys().copied());
+        }
         for id in pages {
             self.force(id, flushed_lsn)?;
         }
@@ -243,26 +293,31 @@ impl<T: PagePayload> PageCache<T> {
     /// allocated past the last checkpoint are put back in the
     /// deallocated state.
     pub fn truncate_from(&self, from: PageId) {
-        let mut v = self.volatile.write();
-        v.frames.retain(|id, _| *id < from);
-        v.next_page = v.next_page.min(from.0);
-        let mut d = self.durable.lock();
-        d.images.retain(|id, _| *id < from);
-        d.page_count = d.page_count.min(from.0);
+        for shard in &self.shards {
+            shard.volatile.write().retain(|id, _| *id < from);
+            shard.durable.lock().retain(|id, _| *id < from);
+        }
+        self.next_page.fetch_min(from.0, Ordering::AcqRel);
+        self.durable_count.fetch_min(from.0, Ordering::AcqRel);
     }
 
-    /// Simulated system failure: drop all volatile frames and reset the
-    /// allocation cursor to the durable high-water mark.
+    /// Simulated system failure: drop all volatile frames (in every
+    /// shard) and reset the allocation cursor to the durable
+    /// high-water mark.
     pub fn crash(&self) {
-        let mut v = self.volatile.write();
-        v.frames.clear();
-        v.next_page = self.durable.lock().page_count;
+        for shard in &self.shards {
+            shard.volatile.write().clear();
+        }
+        self.next_page.store(
+            self.durable_count.load(Ordering::Acquire),
+            Ordering::Release,
+        );
     }
 
     /// Durable page high-water mark (what restart will see).
     #[must_use]
     pub fn durable_pages(&self) -> u32 {
-        self.durable.lock().page_count
+        self.durable_count.load(Ordering::Acquire)
     }
 }
 
@@ -420,5 +475,54 @@ mod tests {
             assert_eq!(h.join().unwrap(), 42);
         }
         assert_eq!(c.stats.misses.get(), 1);
+    }
+
+    #[test]
+    fn concurrent_allocations_get_unique_dense_ids() {
+        let c = Arc::new(cache());
+        let handles: Vec<_> = (0..8u8)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    (0..50)
+                        .map(|_| c.allocate(Blob(vec![t])).id.0)
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut ids: Vec<u32> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 400);
+        assert_eq!(ids[0], 0);
+        assert_eq!(ids[399], 399);
+        assert_eq!(c.num_pages(), 400);
+    }
+
+    #[test]
+    fn hits_spread_across_shards() {
+        let c = cache();
+        let n = 64u32;
+        for i in 0..n {
+            c.allocate(Blob(vec![i as u8]));
+        }
+        for i in 0..n {
+            let _ = c.frame(PageId(i)).unwrap();
+        }
+        assert_eq!(c.stats.shard_hits.total(), c.stats.hits.get());
+        let populated = c
+            .stats
+            .shard_hits
+            .snapshot()
+            .iter()
+            .filter(|&&n| n > 0)
+            .count();
+        assert!(
+            populated > PAGE_SHARDS / 2,
+            "hash clustered: {populated} shards hit"
+        );
     }
 }

@@ -28,6 +28,10 @@ pub struct LatchStats {
     pub exclusive: Counter,
     /// Try-acquisitions that failed (used by crabbing retries).
     pub contended_tries: Counter,
+    /// Blocking acquisitions that found the latch held and had to
+    /// wait (a latch-contention event; cheap uncontended acquisitions
+    /// never count here).
+    pub wait_events: Counter,
 }
 
 impl LatchStats {
@@ -48,33 +52,54 @@ pub struct Latch<T> {
 impl<T> Latch<T> {
     /// Wrap `value` in a latch reporting to `stats`.
     pub fn new(value: T, stats: Arc<LatchStats>) -> Latch<T> {
-        Latch { lock: Arc::new(RwLock::new(value)), stats }
+        Latch {
+            lock: Arc::new(RwLock::new(value)),
+            stats,
+        }
     }
 
     /// Acquire in share mode, returning an owned guard suitable for
     /// storing in a descent path.
     pub fn share_arc(&self) -> ShareGuard<T> {
         self.stats.share.bump();
-        self.lock.read_arc()
+        if self.lock.try_read().is_none() {
+            self.stats.wait_events.bump();
+        }
+        ShareGuard::lock(Arc::clone(&self.lock))
     }
 
     /// Acquire in exclusive mode, returning an owned guard suitable
     /// for storing in a descent path (latch crabbing).
     pub fn exclusive_arc(&self) -> ExclusiveGuard<T> {
         self.stats.exclusive.bump();
-        self.lock.write_arc()
+        if self.lock.try_write().is_none() {
+            self.stats.wait_events.bump();
+        }
+        ExclusiveGuard::lock(Arc::clone(&self.lock))
     }
 
     /// Acquire in share (S) mode; blocks until granted.
     pub fn share(&self) -> RwLockReadGuard<'_, T> {
         self.stats.share.bump();
-        self.lock.read()
+        match self.lock.try_read() {
+            Some(g) => g,
+            None => {
+                self.stats.wait_events.bump();
+                self.lock.read()
+            }
+        }
     }
 
     /// Acquire in exclusive (X) mode; blocks until granted.
     pub fn exclusive(&self) -> RwLockWriteGuard<'_, T> {
         self.stats.exclusive.bump();
-        self.lock.write()
+        match self.lock.try_write() {
+            Some(g) => g,
+            None => {
+                self.stats.wait_events.bump();
+                self.lock.write()
+            }
+        }
     }
 
     /// Conditional exclusive acquisition (never blocks). Used by

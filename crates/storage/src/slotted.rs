@@ -38,7 +38,10 @@ impl SlottedPage {
     /// header and slot directory).
     #[must_use]
     pub fn new(size: usize) -> SlottedPage {
-        assert!(size >= 64 && size <= u16::MAX as usize, "page size out of range");
+        assert!(
+            size >= 64 && size <= u16::MAX as usize,
+            "page size out of range"
+        );
         let mut buf = vec![0u8; size];
         write_u16(&mut buf, 0, 0);
         write_u16(&mut buf, 2, HDR as u16);
@@ -67,7 +70,10 @@ impl SlottedPage {
 
     fn slot_entry(&self, slot: usize) -> (usize, usize) {
         let p = self.slot_entry_pos(slot);
-        (read_u16(&self.buf, p) as usize, read_u16(&self.buf, p + 2) as usize)
+        (
+            read_u16(&self.buf, p) as usize,
+            read_u16(&self.buf, p + 2) as usize,
+        )
     }
 
     fn set_slot_entry(&mut self, slot: usize, off: usize, len: usize) {
@@ -85,7 +91,9 @@ impl SlottedPage {
     /// Number of live records.
     #[must_use]
     pub fn live_records(&self) -> usize {
-        (0..self.slot_count()).filter(|&s| self.slot_entry(s).0 != 0).count()
+        (0..self.slot_count())
+            .filter(|&s| self.slot_entry(s).0 != 0)
+            .count()
     }
 
     /// Contiguous free bytes (before any compaction).
@@ -114,7 +122,11 @@ impl SlottedPage {
     /// Would `insert` of `len` bytes succeed (possibly via compaction)?
     #[must_use]
     pub fn fits(&self, len: usize) -> bool {
-        let dir_growth = if self.first_empty_slot().is_some() { 0 } else { SLOT_BYTES };
+        let dir_growth = if self.first_empty_slot().is_some() {
+            0
+        } else {
+            SLOT_BYTES
+        };
         self.total_free() >= len + dir_growth
     }
 

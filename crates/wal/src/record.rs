@@ -39,7 +39,10 @@ impl SideFileOp {
     /// side-file entry by appending its opposite, §3.2.3).
     #[must_use]
     pub fn inverse(&self) -> SideFileOp {
-        SideFileOp { insert: !self.insert, entry: self.entry.clone() }
+        SideFileOp {
+            insert: !self.insert,
+            entry: self.entry.clone(),
+        }
     }
 
     /// Approximate encoded size in bytes (for log-volume accounting).
@@ -188,7 +191,10 @@ impl LogPayload {
     #[must_use]
     pub fn encoded_size(&self) -> usize {
         let body = match self {
-            LogPayload::TxBegin | LogPayload::TxCommit | LogPayload::TxAbort | LogPayload::TxEnd => 0,
+            LogPayload::TxBegin
+            | LogPayload::TxCommit
+            | LogPayload::TxAbort
+            | LogPayload::TxEnd => 0,
             LogPayload::HeapInsert { data, .. } => 10 + data.len() + 4,
             LogPayload::HeapDelete { old, .. } => 10 + old.len() + 4,
             LogPayload::HeapUpdate { old, new, .. } => 10 + old.len() + new.len() + 4,
@@ -266,7 +272,13 @@ mod tests {
 
     #[test]
     fn kinds_partition_redo_undo() {
-        let mk = |kind| LogRecord { lsn: Lsn(1), tx: TxId(1), prev: Lsn::NULL, kind, payload: LogPayload::TxBegin };
+        let mk = |kind| LogRecord {
+            lsn: Lsn(1),
+            tx: TxId(1),
+            prev: Lsn::NULL,
+            kind,
+            payload: LogPayload::TxBegin,
+        };
         assert!(mk(RecKind::UndoRedo).is_redoable() && mk(RecKind::UndoRedo).is_undoable());
         assert!(mk(RecKind::RedoOnly).is_redoable() && !mk(RecKind::RedoOnly).is_undoable());
         assert!(!mk(RecKind::UndoOnly).is_redoable() && mk(RecKind::UndoOnly).is_undoable());
@@ -276,7 +288,10 @@ mod tests {
 
     #[test]
     fn side_file_op_inverse() {
-        let op = SideFileOp { insert: true, entry: entry() };
+        let op = SideFileOp {
+            insert: true,
+            entry: entry(),
+        };
         let inv = op.inverse();
         assert!(!inv.insert);
         assert_eq!(inv.entry, op.entry);
@@ -285,19 +300,32 @@ mod tests {
 
     #[test]
     fn sizes_scale_with_content() {
-        let small = LogPayload::IndexInsert { index: IndexId(1), entry: entry() };
-        let bulk = LogPayload::IndexBulkInsert { index: IndexId(1), entries: vec![entry(); 10] };
+        let small = LogPayload::IndexInsert {
+            index: IndexId(1),
+            entry: entry(),
+        };
+        let bulk = LogPayload::IndexBulkInsert {
+            index: IndexId(1),
+            entries: vec![entry(); 10],
+        };
         assert!(bulk.encoded_size() < 10 * small.encoded_size());
         assert!(bulk.encoded_size() > small.encoded_size());
     }
 
     #[test]
     fn index_op_classification() {
-        assert!(LogPayload::IndexInsert { index: IndexId(1), entry: entry() }.is_index_op());
+        assert!(LogPayload::IndexInsert {
+            index: IndexId(1),
+            entry: entry()
+        }
+        .is_index_op());
         assert!(!LogPayload::TxBegin.is_index_op());
         assert!(!LogPayload::SideFileAppend {
             index: IndexId(1),
-            op: SideFileOp { insert: true, entry: entry() }
+            op: SideFileOp {
+                insert: true,
+                entry: entry()
+            }
         }
         .is_index_op());
     }

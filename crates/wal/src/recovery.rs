@@ -126,8 +126,11 @@ pub fn recover<T: RecoveryTarget>(log: &LogManager, target: &T) -> Result<Recove
 
     // Per-loser cursors: (next record to consider, tx's current last
     // LSN for CLR chaining).
-    let mut cursors: HashMap<TxId, (Lsn, Lsn)> =
-        analysis.losers.iter().map(|(&tx, &last)| (tx, (last, last))).collect();
+    let mut cursors: HashMap<TxId, (Lsn, Lsn)> = analysis
+        .losers
+        .iter()
+        .map(|(&tx, &last)| (tx, (last, last)))
+        .collect();
     stats.losers = cursors.len() as u64;
     while let Some((&tx, &(cur, _))) = cursors.iter().max_by_key(|&(_, &(cur, _))| cur) {
         if !cur.is_valid() {
@@ -218,7 +221,10 @@ mod tests {
 
     fn setup() -> (std::sync::Arc<LogManager>, ToyTarget) {
         let log = std::sync::Arc::new(LogManager::new());
-        let target = ToyTarget { state: Mutex::new(HashMap::new()), log: std::sync::Arc::clone(&log) };
+        let target = ToyTarget {
+            state: Mutex::new(HashMap::new()),
+            log: std::sync::Arc::clone(&log),
+        };
         (log, target)
     }
 
@@ -317,7 +323,10 @@ mod tests {
         // Second recovery on ANOTHER fresh state (as after a crash that
         // lost all volatile data): redo now includes the CLRs, and the
         // TxEnd means no further undo. Net effect must still be zero.
-        let target2 = ToyTarget { state: Mutex::new(HashMap::new()), log: std::sync::Arc::new(LogManager::new()) };
+        let target2 = ToyTarget {
+            state: Mutex::new(HashMap::new()),
+            log: std::sync::Arc::new(LogManager::new()),
+        };
         // Reuse the same log but a fresh target whose CLRs would go to
         // a scratch log (none are written since no losers remain).
         recover(&log, &target2).unwrap();

@@ -32,7 +32,11 @@ fn main() -> Result<()> {
     let err = build_index(
         &db,
         table,
-        IndexSpec { name: "by_key".into(), key_cols: vec![0], unique: true },
+        IndexSpec {
+            name: "by_key".into(),
+            key_cols: vec![0],
+            unique: true,
+        },
         BuildAlgorithm::Sf,
     )
     .expect_err("the armed failpoint kills the build");
@@ -45,7 +49,12 @@ fn main() -> Result<()> {
         "restart recovery: {} records analyzed, {} redone, {} loser tx",
         stats.analyzed, stats.redone, stats.losers
     );
-    let id = db.indexes_of(table).last().expect("descriptor survives").def.id;
+    let id = db
+        .indexes_of(table)
+        .last()
+        .expect("descriptor survives")
+        .def
+        .id;
 
     // Crash #2: during the bottom-up load.
     println!("resuming; system failure during the bulk load ...");

@@ -28,9 +28,21 @@ fn main() -> Result<()> {
         &db,
         table,
         &[
-            IndexSpec { name: "pk".into(), key_cols: vec![0], unique: true },
-            IndexSpec { name: "by_device".into(), key_cols: vec![1], unique: false },
-            IndexSpec { name: "by_severity_device".into(), key_cols: vec![2, 1], unique: false },
+            IndexSpec {
+                name: "pk".into(),
+                key_cols: vec![0],
+                unique: true,
+            },
+            IndexSpec {
+                name: "by_device".into(),
+                key_cols: vec![1],
+                unique: false,
+            },
+            IndexSpec {
+                name: "by_severity_device".into(),
+                key_cols: vec![2, 1],
+                unique: false,
+            },
         ],
         BuildAlgorithm::Sf,
     )?;
@@ -50,14 +62,22 @@ fn main() -> Result<()> {
     let fourth = build_secondary_via_primary(
         &db,
         ids[0],
-        IndexSpec { name: "by_severity".into(), key_cols: vec![2], unique: false },
+        IndexSpec {
+            name: "by_severity".into(),
+            key_cols: vec![2],
+            unique: false,
+        },
     )?;
     verify_index(&db, fourth)?;
 
     // Use them.
     let device_42 = db.index_lookup(ids[1], &KeyValue::from_i64(42))?;
     let sev_3 = db.index_lookup(fourth, &KeyValue::from_i64(3))?;
-    println!("device 42 has {} events; severity 3 has {} events", device_42.len(), sev_3.len());
+    println!(
+        "device 42 has {} events; severity 3 has {} events",
+        device_42.len(),
+        sev_3.len()
+    );
     println!("all four indexes verified ✓");
     Ok(())
 }

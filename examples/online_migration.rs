@@ -57,7 +57,10 @@ fn oltp_thread(
 }
 
 fn run_scenario(algorithm: BuildAlgorithm) -> Result<()> {
-    let db = Db::new(EngineConfig { lock_timeout_ms: 30_000, ..EngineConfig::default() });
+    let db = Db::new(EngineConfig {
+        lock_timeout_ms: 30_000,
+        ..EngineConfig::default()
+    });
     db.create_table(ORDERS);
 
     // Historical orders.
@@ -71,7 +74,14 @@ fn run_scenario(algorithm: BuildAlgorithm) -> Result<()> {
     let stop = Arc::new(AtomicBool::new(false));
     let committed = Arc::new(AtomicU64::new(0));
     let workers: Vec<_> = (0..3)
-        .map(|i| oltp_thread(Arc::clone(&db), Arc::clone(&stop), Arc::clone(&committed), i))
+        .map(|i| {
+            oltp_thread(
+                Arc::clone(&db),
+                Arc::clone(&stop),
+                Arc::clone(&committed),
+                i,
+            )
+        })
         .collect();
     std::thread::sleep(Duration::from_millis(100));
 
@@ -81,7 +91,11 @@ fn run_scenario(algorithm: BuildAlgorithm) -> Result<()> {
     let idx = build_index(
         &db,
         ORDERS,
-        IndexSpec { name: "orders_by_customer".into(), key_cols: vec![1], unique: false },
+        IndexSpec {
+            name: "orders_by_customer".into(),
+            key_cols: vec![1],
+            unique: false,
+        },
         algorithm,
     )?;
     let window = started.elapsed();
@@ -103,7 +117,11 @@ fn run_scenario(algorithm: BuildAlgorithm) -> Result<()> {
 
 fn main() -> Result<()> {
     println!("CREATE INDEX on a live `orders` table, three ways:\n");
-    for algorithm in [BuildAlgorithm::Offline, BuildAlgorithm::Nsf, BuildAlgorithm::Sf] {
+    for algorithm in [
+        BuildAlgorithm::Offline,
+        BuildAlgorithm::Nsf,
+        BuildAlgorithm::Sf,
+    ] {
         run_scenario(algorithm)?;
     }
     println!("\nOffline blocks the OLTP threads for the whole window;");

@@ -27,7 +27,11 @@ fn main() -> Result<()> {
     let idx = build_index(
         &db,
         table,
-        IndexSpec { name: "by_payload".into(), key_cols: vec![1], unique: false },
+        IndexSpec {
+            name: "by_payload".into(),
+            key_cols: vec![1],
+            unique: false,
+        },
         BuildAlgorithm::Sf,
     )?;
 
@@ -41,7 +45,10 @@ fn main() -> Result<()> {
     let tx = db.begin();
     let rid = db.insert_record(tx, table, &Record::new(vec![999_999, 424_242]))?;
     db.commit(tx)?;
-    assert_eq!(db.index_lookup(idx, &KeyValue::from_i64(424_242))?, vec![rid]);
+    assert_eq!(
+        db.index_lookup(idx, &KeyValue::from_i64(424_242))?,
+        vec![rid]
+    );
 
     // Prove it exact against the table.
     verify_index(&db, idx)?;

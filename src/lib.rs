@@ -71,12 +71,9 @@ pub use mohan_wal as wal;
 /// Everything a typical user needs, in one import.
 pub mod prelude {
     pub use mohan_common::{
-        EngineConfig, Error, IndexEntry, IndexId, KeyValue, Lsn, PageId, Result, Rid, TableId,
-        TxId,
+        EngineConfig, Error, IndexEntry, IndexId, KeyValue, Lsn, PageId, Result, Rid, TableId, TxId,
     };
-    pub use mohan_oib::build::{
-        build_index, build_indexes, drop_index, resume_build, IndexSpec,
-    };
+    pub use mohan_oib::build::{build_index, build_indexes, drop_index, resume_build, IndexSpec};
     pub use mohan_oib::gc::garbage_collect;
     pub use mohan_oib::primary::build_secondary_via_primary;
     pub use mohan_oib::schema::{BuildAlgorithm, Record};
@@ -95,17 +92,25 @@ mod smoke {
         db.create_table(table);
         let tx = db.begin();
         for k in 0..100 {
-            db.insert_record(tx, table, &Record::new(vec![k, k])).unwrap();
+            db.insert_record(tx, table, &Record::new(vec![k, k]))
+                .unwrap();
         }
         db.commit(tx).unwrap();
         let idx = build_index(
             &db,
             table,
-            IndexSpec { name: "q".into(), key_cols: vec![0], unique: true },
+            IndexSpec {
+                name: "q".into(),
+                key_cols: vec![0],
+                unique: true,
+            },
             BuildAlgorithm::Nsf,
         )
         .unwrap();
-        assert_eq!(db.index_lookup(idx, &KeyValue::from_i64(7)).unwrap().len(), 1);
+        assert_eq!(
+            db.index_lookup(idx, &KeyValue::from_i64(7)).unwrap().len(),
+            1
+        );
         verify_index(&db, idx).unwrap();
     }
 }

@@ -22,21 +22,41 @@ fn gauntlet_cfg() -> EngineConfig {
 
 #[test]
 fn every_algorithm_survives_heavy_churn() {
-    for algo in [BuildAlgorithm::Offline, BuildAlgorithm::Nsf, BuildAlgorithm::Sf] {
+    for algo in [
+        BuildAlgorithm::Offline,
+        BuildAlgorithm::Nsf,
+        BuildAlgorithm::Sf,
+    ] {
         let (db, rids) = seed_table(gauntlet_cfg(), 2_000, 7);
         let churn = start_churn(
             &db,
             &rids,
-            ChurnConfig { threads: 3, rollback_fraction: 0.2, ..ChurnConfig::default() },
+            ChurnConfig {
+                threads: 3,
+                rollback_fraction: 0.2,
+                ..ChurnConfig::default()
+            },
         );
         std::thread::sleep(std::time::Duration::from_millis(20));
         let ids = build_indexes(
             &db,
             TABLE,
             &[
-                IndexSpec { name: "a".into(), key_cols: vec![0], unique: false },
-                IndexSpec { name: "b".into(), key_cols: vec![1], unique: false },
-                IndexSpec { name: "c".into(), key_cols: vec![0, 1], unique: true },
+                IndexSpec {
+                    name: "a".into(),
+                    key_cols: vec![0],
+                    unique: false,
+                },
+                IndexSpec {
+                    name: "b".into(),
+                    key_cols: vec![1],
+                    unique: false,
+                },
+                IndexSpec {
+                    name: "c".into(),
+                    key_cols: vec![0, 1],
+                    unique: true,
+                },
             ],
             algo,
         )
@@ -55,19 +75,34 @@ fn back_to_back_builds_with_continuous_churn() {
     // each with a different algorithm; then drop the middle one and
     // build a replacement.
     let (db, rids) = seed_table(gauntlet_cfg(), 1_500, 8);
-    let churn = start_churn(&db, &rids, ChurnConfig { threads: 2, ..ChurnConfig::default() });
+    let churn = start_churn(
+        &db,
+        &rids,
+        ChurnConfig {
+            threads: 2,
+            ..ChurnConfig::default()
+        },
+    );
 
     let a = build_index(
         &db,
         TABLE,
-        IndexSpec { name: "a".into(), key_cols: vec![0], unique: false },
+        IndexSpec {
+            name: "a".into(),
+            key_cols: vec![0],
+            unique: false,
+        },
         BuildAlgorithm::Sf,
     )
     .expect("sf");
     let b = build_index(
         &db,
         TABLE,
-        IndexSpec { name: "b".into(), key_cols: vec![1], unique: false },
+        IndexSpec {
+            name: "b".into(),
+            key_cols: vec![1],
+            unique: false,
+        },
         BuildAlgorithm::Nsf,
     )
     .expect("nsf");
@@ -75,7 +110,11 @@ fn back_to_back_builds_with_continuous_churn() {
     let c = build_index(
         &db,
         TABLE,
-        IndexSpec { name: "c".into(), key_cols: vec![0], unique: false },
+        IndexSpec {
+            name: "c".into(),
+            key_cols: vec![0],
+            unique: false,
+        },
         BuildAlgorithm::Sf,
     )
     .expect("sf again");
@@ -92,12 +131,23 @@ fn crash_mid_build_with_churn_then_resume_with_new_churn() {
         (BuildAlgorithm::Sf, "sf.load.key"),
     ] {
         let (db, rids) = seed_table(gauntlet_cfg(), 1_500, 9);
-        let churn = start_churn(&db, &rids, ChurnConfig { threads: 2, ..ChurnConfig::default() });
+        let churn = start_churn(
+            &db,
+            &rids,
+            ChurnConfig {
+                threads: 2,
+                ..ChurnConfig::default()
+            },
+        );
         db.failpoints.arm_after(site, 700);
         let err = build_index(
             &db,
             TABLE,
-            IndexSpec { name: "x".into(), key_cols: vec![0], unique: false },
+            IndexSpec {
+                name: "x".into(),
+                key_cols: vec![0],
+                unique: false,
+            },
             algo,
         )
         .expect_err("armed crash");
@@ -108,9 +158,20 @@ fn crash_mid_build_with_churn_then_resume_with_new_churn() {
         db.restart().expect("restart");
 
         // Fresh churn during the resume as well.
-        let survivors: Vec<Rid> =
-            db.table_scan(TABLE).expect("scan").into_iter().map(|(r, _)| r).collect();
-        let churn = start_churn(&db, &survivors, ChurnConfig { threads: 2, ..ChurnConfig::default() });
+        let survivors: Vec<Rid> = db
+            .table_scan(TABLE)
+            .expect("scan")
+            .into_iter()
+            .map(|(r, _)| r)
+            .collect();
+        let churn = start_churn(
+            &db,
+            &survivors,
+            ChurnConfig {
+                threads: 2,
+                ..ChurnConfig::default()
+            },
+        );
         let id = db.indexes_of(TABLE).last().expect("descriptor").def.id;
         resume_build(&db, id).unwrap_or_else(|e| panic!("{algo:?} resume: {e}"));
         churn.stop();
@@ -124,14 +185,22 @@ fn gc_during_churn_keeps_indexes_consistent() {
     let idx = build_index(
         &db,
         TABLE,
-        IndexSpec { name: "g".into(), key_cols: vec![0], unique: false },
+        IndexSpec {
+            name: "g".into(),
+            key_cols: vec![0],
+            unique: false,
+        },
         BuildAlgorithm::Nsf,
     )
     .expect("build");
     let churn = start_churn(
         &db,
         &rids,
-        ChurnConfig { threads: 2, mix: (1, 3, 1), ..ChurnConfig::default() },
+        ChurnConfig {
+            threads: 2,
+            mix: (1, 3, 1),
+            ..ChurnConfig::default()
+        },
     );
     // Several GC passes racing the churn.
     for _ in 0..5 {
@@ -149,7 +218,14 @@ fn gc_during_churn_keeps_indexes_consistent() {
 #[test]
 fn checkpoint_during_churn_and_build() {
     let (db, rids) = seed_table(gauntlet_cfg(), 1_000, 11);
-    let churn = start_churn(&db, &rids, ChurnConfig { threads: 2, ..ChurnConfig::default() });
+    let churn = start_churn(
+        &db,
+        &rids,
+        ChurnConfig {
+            threads: 2,
+            ..ChurnConfig::default()
+        },
+    );
     let db2 = Arc::clone(&db);
     let checkpointer = std::thread::spawn(move || {
         for _ in 0..10 {
@@ -162,7 +238,11 @@ fn checkpoint_during_churn_and_build() {
     let idx = build_index(
         &db,
         TABLE,
-        IndexSpec { name: "k".into(), key_cols: vec![0], unique: false },
+        IndexSpec {
+            name: "k".into(),
+            key_cols: vec![0],
+            unique: false,
+        },
         BuildAlgorithm::Sf,
     )
     .expect("build");
@@ -181,7 +261,11 @@ fn range_lookup_matches_point_lookups() {
     let idx = build_index(
         &db,
         TABLE,
-        IndexSpec { name: "r".into(), key_cols: vec![0], unique: true },
+        IndexSpec {
+            name: "r".into(),
+            key_cols: vec![0],
+            unique: true,
+        },
         BuildAlgorithm::Sf,
     )
     .expect("build");

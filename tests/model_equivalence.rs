@@ -41,19 +41,19 @@ fn run_program(ops: Vec<Op>, algorithm: BuildAlgorithm, build_at: usize) {
     let mut tx: Option<TxId> = None;
     let mut index: Option<IndexId> = None;
 
-    let apply_pending =
-        |committed: &mut HashMap<u64, (i64, i64)>, pending: &mut Vec<(u64, Option<(i64, i64)>)>| {
-            for (rid, state) in pending.drain(..) {
-                match state {
-                    Some(cols) => {
-                        committed.insert(rid, cols);
-                    }
-                    None => {
-                        committed.remove(&rid);
-                    }
+    let apply_pending = |committed: &mut HashMap<u64, (i64, i64)>,
+                         pending: &mut Vec<(u64, Option<(i64, i64)>)>| {
+        for (rid, state) in pending.drain(..) {
+            match state {
+                Some(cols) => {
+                    committed.insert(rid, cols);
+                }
+                None => {
+                    committed.remove(&rid);
                 }
             }
-        };
+        }
+    };
 
     for (i, op) in ops.into_iter().enumerate() {
         if i == build_at && index.is_none() {
@@ -66,7 +66,11 @@ fn run_program(ops: Vec<Op>, algorithm: BuildAlgorithm, build_at: usize) {
                 build_index(
                     &db,
                     T,
-                    IndexSpec { name: "m".into(), key_cols: vec![0], unique: false },
+                    IndexSpec {
+                        name: "m".into(),
+                        key_cols: vec![0],
+                        unique: false,
+                    },
                     algorithm,
                 )
                 .expect("build"),
@@ -75,7 +79,9 @@ fn run_program(ops: Vec<Op>, algorithm: BuildAlgorithm, build_at: usize) {
         let cur = *tx.get_or_insert_with(|| db.begin());
         match op {
             Op::Insert { key, payload } => {
-                let rid = db.insert_record(cur, T, &Record::new(vec![key, payload])).unwrap();
+                let rid = db
+                    .insert_record(cur, T, &Record::new(vec![key, payload]))
+                    .unwrap();
                 pending.push((rid.pack(), Some((key, payload))));
             }
             Op::Delete { victim } => {
@@ -102,7 +108,8 @@ fn run_program(ops: Vec<Op>, algorithm: BuildAlgorithm, build_at: usize) {
                     continue;
                 }
                 let rid = Rid::unpack(candidates[victim % candidates.len()]);
-                db.update_record(cur, T, rid, &Record::new(vec![key, 1])).unwrap();
+                db.update_record(cur, T, rid, &Record::new(vec![key, 1]))
+                    .unwrap();
                 pending.push((rid.pack(), Some((key, 1))));
             }
             Op::CommitTx => {

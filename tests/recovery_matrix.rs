@@ -21,7 +21,8 @@ fn db() -> std::sync::Arc<Db> {
     db.create_table(T);
     let tx = db.begin();
     for k in 0..600 {
-        db.insert_record(tx, T, &Record::new(vec![k, k % 13])).unwrap();
+        db.insert_record(tx, T, &Record::new(vec![k, k % 13]))
+            .unwrap();
     }
     db.commit(tx).unwrap();
     db
@@ -32,8 +33,11 @@ fn run_matrix(algorithm: BuildAlgorithm, sites: &[(&'static str, &[u64])]) {
         for &skip in skips {
             let db = db();
             db.failpoints.arm_after(site, skip);
-            let spec =
-                IndexSpec { name: format!("{site}@{skip}"), key_cols: vec![0], unique: false };
+            let spec = IndexSpec {
+                name: format!("{site}@{skip}"),
+                key_cols: vec![0],
+                unique: false,
+            };
             match build_index(&db, T, spec, algorithm) {
                 Ok(idx) => {
                     // The site never fired (e.g. phase skipped): the
@@ -98,8 +102,16 @@ fn multi_index_build_crash_resumes_each_independently() {
         &db,
         T,
         &[
-            IndexSpec { name: "m0".into(), key_cols: vec![0], unique: false },
-            IndexSpec { name: "m1".into(), key_cols: vec![1], unique: false },
+            IndexSpec {
+                name: "m0".into(),
+                key_cols: vec![0],
+                unique: false,
+            },
+            IndexSpec {
+                name: "m1".into(),
+                key_cols: vec![1],
+                unique: false,
+            },
         ],
         BuildAlgorithm::Sf,
     )
@@ -128,7 +140,11 @@ fn double_crash_at_same_site_still_converges() {
         let err = build_index(
             &db,
             T,
-            IndexSpec { name: "d".into(), key_cols: vec![0], unique: false },
+            IndexSpec {
+                name: "d".into(),
+                key_cols: vec![0],
+                unique: false,
+            },
             algorithm,
         )
         .expect_err("first crash");
