@@ -1,0 +1,84 @@
+//! Criterion bench: round-trip time over the loopback service path —
+//! what one client-observed operation costs once framing, admission
+//! control, and a worker shard sit between the caller and the engine.
+//!
+//! `ping` isolates the pure wire + scheduling floor; `insert` and
+//! `read` add a full auto-commit statement; `insert_while_sf_builds`
+//! is the E16 claim as a latency number: the same DML RTT while an SF
+//! build streams progress on another connection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mohan_bench::workload::{bench_config, seed_table, TABLE};
+use mohan_client::Client;
+use mohan_server::{Server, ServerConfig};
+use mohan_wire::message::{BuildAlgo, IndexSpecWire};
+
+fn server() -> (Server, String) {
+    let (db, _) = seed_table(bench_config(), 5_000, 3);
+    let srv = Server::start(db, ServerConfig::default()).expect("bind");
+    let addr = srv.addr().to_string();
+    (srv, addr)
+}
+
+fn bench_ping(c: &mut Criterion) {
+    let (srv, addr) = server();
+    let mut client = Client::connect(&addr).expect("connect");
+    c.bench_function("server_rtt_ping", |b| {
+        b.iter(|| client.ping().expect("ping"));
+    });
+    drop(client);
+    srv.drain();
+}
+
+fn bench_dml(c: &mut Criterion) {
+    let (srv, addr) = server();
+    let mut client = Client::connect(&addr).expect("connect");
+    let mut k = 50_000_000i64;
+    c.bench_function("server_rtt_insert", |b| {
+        b.iter(|| {
+            k += 1;
+            client.insert(TABLE, vec![k, 1]).expect("insert")
+        });
+    });
+    let rid = client.insert(TABLE, vec![k + 1, 1]).expect("insert");
+    c.bench_function("server_rtt_read", |b| {
+        b.iter(|| client.read(TABLE, rid).expect("read"));
+    });
+    drop(client);
+    srv.drain();
+}
+
+fn bench_insert_during_build(c: &mut Criterion) {
+    let (srv, addr) = server();
+    let mut client = Client::connect(&addr).expect("connect");
+    // Run the SF build on its own connection; it holds its admission
+    // slot until done, so DML below shares the server with it.
+    let addr2 = addr.clone();
+    let builder = std::thread::spawn(move || {
+        let mut b = Client::connect(&addr2).expect("connect");
+        b.create_index(
+            TABLE,
+            BuildAlgo::Sf,
+            vec![IndexSpecWire {
+                name: "rtt_sf".into(),
+                key_cols: vec![0],
+                unique: false,
+            }],
+            |_, _, _| {},
+        )
+        .expect("build")
+    });
+    let mut k = 90_000_000i64;
+    c.bench_function("server_rtt_insert_while_sf_builds", |b| {
+        b.iter(|| {
+            k += 1;
+            client.insert(TABLE, vec![k, 1]).expect("insert")
+        });
+    });
+    builder.join().expect("builder thread");
+    drop(client);
+    srv.drain();
+}
+
+criterion_group!(benches, bench_ping, bench_dml, bench_insert_during_build);
+criterion_main!(benches);

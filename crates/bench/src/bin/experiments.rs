@@ -1,8 +1,11 @@
 //! Experiment runner: regenerates every table in `EXPERIMENTS.md`.
 //!
 //! ```text
-//! experiments [--full] [e1 e4 e7 ...]   # default: all, quick sizes
+//! experiments [--full] [--smoke] [e1 e4 e7 ...]   # default: all, quick sizes
 //! ```
+//!
+//! `--smoke` shrinks workloads a further 10x (floored at 1k rows) so
+//! CI can exercise each experiment's full code path in seconds.
 
 use mohan_bench::experiments;
 use std::time::Instant;
@@ -10,16 +13,29 @@ use std::time::Instant;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
-    let ids: Vec<String> = args.into_iter().filter(|a| a != "--full").collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let ids: Vec<String> = args
+        .into_iter()
+        .filter(|a| a != "--full" && a != "--smoke")
+        .collect();
     let ids: Vec<&str> = if ids.is_empty() {
         experiments::ALL.to_vec()
     } else {
         ids.iter().map(String::as_str).collect()
     };
     let quick = !full;
+    if smoke {
+        experiments::set_size_divisor(10);
+    }
     println!(
         "# Online index build experiments ({} mode)",
-        if quick { "quick" } else { "full" }
+        if smoke {
+            "smoke"
+        } else if quick {
+            "quick"
+        } else {
+            "full"
+        }
     );
     println!("# Mohan & Narang, SIGMOD 1992 — see EXPERIMENTS.md for the expected shapes\n");
     let started = Instant::now();

@@ -27,10 +27,10 @@ fn spec(name: &str) -> IndexSpec {
 /// SF builds most efficiently (bottom-up, unlogged); NSF pays logging
 /// and tree-sharing overhead; offline is fast but blocks all updates.
 pub fn e1_build_time(quick: bool) -> Vec<Table> {
-    let sizes: &[i64] = if quick {
-        &[10_000, 30_000]
+    let sizes: Vec<i64> = if quick {
+        [10_000, 30_000].map(super::scaled).into()
     } else {
-        &[30_000, 100_000]
+        [30_000, 100_000].map(super::scaled).into()
     };
     let mut t = Table::new(
         "E1: build time under concurrent updates",
@@ -42,7 +42,7 @@ pub fn e1_build_time(quick: bool) -> Vec<Table> {
             "updater errors",
         ],
     );
-    for &n in sizes {
+    for &n in &sizes {
         for algo in ALGOS {
             let (db, rids) = seed_table(bench_config(), n, 11);
             let churn = start_churn(

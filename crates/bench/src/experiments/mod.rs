@@ -1,4 +1,4 @@
-//! The experiment suite (E1-E14). Each experiment regenerates one of
+//! The experiment suite (E1-E16). Each experiment regenerates one of
 //! the paper's qualitative claims as a quantitative table; the mapping
 //! to paper sections lives in `DESIGN.md` §3 and the expected shapes
 //! in `EXPERIMENTS.md`.
@@ -9,13 +9,31 @@ pub mod clustering;
 pub mod contention;
 pub mod pseudo;
 pub mod restart;
+pub mod service;
 pub mod side_file;
 pub mod storage_model;
 pub mod unique;
 
 use crate::report::Table;
+use std::sync::atomic::{AtomicI64, Ordering};
 
-/// Run one experiment by id (`"e1"`..`"e14"`). `quick` shrinks the
+/// Global workload shrink factor for smoke runs (CI). 1 = no shrink.
+static SIZE_DIVISOR: AtomicI64 = AtomicI64::new(1);
+
+/// Shrink every [`scaled`] workload size by `divisor` (floored at 1k
+/// rows so experiments still cross checkpoint boundaries). Used by the
+/// runner's `--smoke` flag so CI can exercise the full code path of an
+/// experiment in seconds.
+pub fn set_size_divisor(divisor: i64) {
+    SIZE_DIVISOR.store(divisor.max(1), Ordering::Relaxed);
+}
+
+/// Apply the smoke divisor to a workload size.
+pub(crate) fn scaled(n: i64) -> i64 {
+    (n / SIZE_DIVISOR.load(Ordering::Relaxed)).max(1_000)
+}
+
+/// Run one experiment by id (`"e1"`..`"e16"`). `quick` shrinks the
 /// workloads for CI-speed runs.
 pub fn run(id: &str, quick: bool) -> Option<Vec<Table>> {
     Some(match id {
@@ -34,11 +52,13 @@ pub fn run(id: &str, quick: bool) -> Option<Vec<Table>> {
         "e13" => unique::e13_unique_correctness(quick),
         "e14" => storage_model::e14_primary_model(quick),
         "e15" => contention::e15_contention(quick),
+        "e16" => service::e16_service(quick),
         _ => return None,
     })
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 15] = [
+pub const ALL: [&str; 16] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16",
 ];

@@ -1,0 +1,356 @@
+//! Blocking client for the engine's wire protocol.
+//!
+//! [`Client`] wraps one `TcpStream` and speaks strict
+//! request/response: every call writes one frame and reads frames
+//! until the exchange's terminal response ([`Client::create_index`] is
+//! the only multi-frame exchange — it consumes the
+//! [`Response::Progress`] stream, handing each frame to a callback).
+//! [`Pool`] adds connection reuse for closed-loop drivers: checkout a
+//! connection, run statements, and the RAII guard returns it on drop.
+//!
+//! Like everything in the workspace, the transport is `std::net` — the
+//! container has no crates.io access, and a blocking client is exactly
+//! what a closed-loop workload driver wants anyway (one in-flight
+//! request per connection models one user).
+
+#![warn(missing_docs)]
+
+use mohan_common::{IndexId, KeyValue, Rid, TableId, TxId};
+use mohan_wire::frame::{read_frame, write_frame};
+use mohan_wire::message::{BuildAlgo, BuildPhase, ErrorCode, IndexSpecWire, Request, Response};
+use parking_lot::Mutex;
+use std::io::{self, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Everything a client call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure; the connection is unusable afterwards.
+    Io(io::Error),
+    /// The server answered with a structured error.
+    Server {
+        /// Error class.
+        code: ErrorCode,
+        /// Server-side detail text.
+        message: String,
+    },
+    /// Admission control rejected the request; retry after backoff.
+    Busy,
+    /// The peer violated the protocol (undecodable frame, wrong
+    /// response kind, mid-exchange close). Connection unusable.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error {code:?}: {message}")
+            }
+            ClientError::Busy => write!(f, "server busy (admission control)"),
+            ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl ClientError {
+    /// True for failures that leave the connection itself healthy (the
+    /// server answered; the *request* failed). Io/Protocol failures
+    /// mean the stream can no longer be trusted for framing.
+    #[must_use]
+    pub fn connection_reusable(&self) -> bool {
+        matches!(self, ClientError::Server { .. } | ClientError::Busy)
+    }
+}
+
+/// Alias for client call results.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// One blocking connection to the server.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to `addr` (e.g. `"127.0.0.1:7878"`).
+    pub fn connect(addr: impl ToSocketAddrs) -> ClientResult<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Bound how long a single response read may block. `None`
+    /// restores indefinite blocking.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> ClientResult<()> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    fn send(&mut self, req: &Request) -> ClientResult<()> {
+        let mut w = BufWriter::new(&mut self.stream);
+        write_frame(&mut w, &req.encode())?;
+        w.flush()?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> ClientResult<Response> {
+        match read_frame(&mut self.stream)? {
+            None => Err(ClientError::Protocol("server closed mid-exchange".into())),
+            Some(payload) => Response::decode(&payload)
+                .ok_or_else(|| ClientError::Protocol("undecodable response frame".into())),
+        }
+    }
+
+    /// One request, one response — the raw exchange. `Err`/`Busy`
+    /// responses are *returned*, not converted to errors; the typed
+    /// wrappers below do the conversion.
+    pub fn call(&mut self, req: &Request) -> ClientResult<Response> {
+        self.send(req)?;
+        self.recv()
+    }
+
+    fn expect(&mut self, req: &Request) -> ClientResult<Response> {
+        match self.call(req)? {
+            Response::Err { code, message } => Err(ClientError::Server { code, message }),
+            Response::Busy => Err(ClientError::Busy),
+            other => Ok(other),
+        }
+    }
+
+    fn protocol<T>(what: &str, got: &Response) -> ClientResult<T> {
+        Err(ClientError::Protocol(format!(
+            "expected {what}, got {got:?}"
+        )))
+    }
+
+    // ----- typed calls ------------------------------------------------
+
+    /// Liveness / RTT probe.
+    pub fn ping(&mut self) -> ClientResult<()> {
+        match self.expect(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Self::protocol("Pong", &other),
+        }
+    }
+
+    /// Open a transaction on this connection.
+    pub fn begin(&mut self) -> ClientResult<TxId> {
+        match self.expect(&Request::Begin)? {
+            Response::TxBegun { tx } => Ok(TxId(tx)),
+            other => Self::protocol("TxBegun", &other),
+        }
+    }
+
+    /// Commit the open transaction.
+    pub fn commit(&mut self) -> ClientResult<()> {
+        match self.expect(&Request::Commit)? {
+            Response::Committed => Ok(()),
+            other => Self::protocol("Committed", &other),
+        }
+    }
+
+    /// Roll back the open transaction.
+    pub fn rollback(&mut self) -> ClientResult<()> {
+        match self.expect(&Request::Rollback)? {
+            Response::RolledBack => Ok(()),
+            other => Self::protocol("RolledBack", &other),
+        }
+    }
+
+    /// Insert a record (auto-commits when no transaction is open).
+    pub fn insert(&mut self, table: TableId, cols: Vec<i64>) -> ClientResult<Rid> {
+        match self.expect(&Request::Insert {
+            table: table.0,
+            cols,
+        })? {
+            Response::Inserted { rid } => Ok(Rid::unpack(rid)),
+            other => Self::protocol("Inserted", &other),
+        }
+    }
+
+    /// Replace the record at `rid`.
+    pub fn update(&mut self, table: TableId, rid: Rid, cols: Vec<i64>) -> ClientResult<()> {
+        match self.expect(&Request::Update {
+            table: table.0,
+            rid: rid.pack(),
+            cols,
+        })? {
+            Response::Updated => Ok(()),
+            other => Self::protocol("Updated", &other),
+        }
+    }
+
+    /// Delete the record at `rid`.
+    pub fn delete(&mut self, table: TableId, rid: Rid) -> ClientResult<()> {
+        match self.expect(&Request::Delete {
+            table: table.0,
+            rid: rid.pack(),
+        })? {
+            Response::Deleted => Ok(()),
+            other => Self::protocol("Deleted", &other),
+        }
+    }
+
+    /// Read the record at `rid`.
+    pub fn read(&mut self, table: TableId, rid: Rid) -> ClientResult<Vec<i64>> {
+        match self.expect(&Request::Read {
+            table: table.0,
+            rid: rid.pack(),
+        })? {
+            Response::Record { cols } => Ok(cols),
+            other => Self::protocol("Record", &other),
+        }
+    }
+
+    /// Exact-match probe of an index.
+    pub fn lookup(&mut self, index: IndexId, key: &KeyValue) -> ClientResult<Vec<Rid>> {
+        match self.expect(&Request::Lookup {
+            index: index.0,
+            key: key.as_bytes().to_vec(),
+        })? {
+            Response::Rids { rids } => Ok(rids.into_iter().map(Rid::unpack).collect()),
+            other => Self::protocol("Rids", &other),
+        }
+    }
+
+    /// Snapshot of the server's counters.
+    pub fn stats(&mut self) -> ClientResult<Vec<(String, u64)>> {
+        match self.expect(&Request::Stats)? {
+            Response::Stats { counters } => Ok(counters),
+            other => Self::protocol("Stats", &other),
+        }
+    }
+
+    /// Build indexes online, streaming progress to `on_progress` until
+    /// the terminal `IndexCreated` (or error) frame arrives.
+    ///
+    /// The exchange blocks this connection for the whole build — run it
+    /// on its own connection if DML must continue concurrently (that
+    /// separation is the point of the experiment).
+    pub fn create_index(
+        &mut self,
+        table: TableId,
+        algo: BuildAlgo,
+        specs: Vec<IndexSpecWire>,
+        mut on_progress: impl FnMut(IndexId, BuildPhase, u64),
+    ) -> ClientResult<Vec<IndexId>> {
+        self.send(&Request::CreateIndex {
+            table: table.0,
+            algo,
+            specs,
+        })?;
+        loop {
+            match self.recv()? {
+                Response::Progress {
+                    index,
+                    phase,
+                    detail,
+                } => on_progress(IndexId(index), phase, detail),
+                Response::IndexCreated { ids } => {
+                    return Ok(ids.into_iter().map(IndexId).collect())
+                }
+                Response::Err { code, message } => {
+                    return Err(ClientError::Server { code, message })
+                }
+                Response::Busy => return Err(ClientError::Busy),
+                other => return Self::protocol("Progress|IndexCreated", &other),
+            }
+        }
+    }
+}
+
+/// A small connection pool: checkout with [`Pool::get`], drop the
+/// guard to return the connection. Connections that died (transport
+/// or protocol error) should be taken out of circulation with
+/// [`PooledClient::discard`].
+pub struct Pool {
+    addr: String,
+    idle: Mutex<Vec<Client>>,
+    max_idle: usize,
+}
+
+impl Pool {
+    /// Pool connecting to `addr`, keeping at most `max_idle` idle
+    /// connections (more may exist checked-out at once).
+    #[must_use]
+    pub fn new(addr: &str, max_idle: usize) -> Arc<Pool> {
+        Arc::new(Pool {
+            addr: addr.to_owned(),
+            idle: Mutex::new(Vec::new()),
+            max_idle,
+        })
+    }
+
+    /// Checkout an idle connection or open a fresh one.
+    pub fn get(self: &Arc<Pool>) -> ClientResult<PooledClient> {
+        let client = match self.idle.lock().pop() {
+            Some(c) => c,
+            None => Client::connect(&self.addr)?,
+        };
+        Ok(PooledClient {
+            pool: Arc::clone(self),
+            client: Some(client),
+        })
+    }
+
+    /// Idle connections currently pooled.
+    #[must_use]
+    pub fn idle_count(&self) -> usize {
+        self.idle.lock().len()
+    }
+
+    fn put_back(&self, client: Client) {
+        let mut idle = self.idle.lock();
+        if idle.len() < self.max_idle {
+            idle.push(client);
+        } // else: drop, closing the socket
+    }
+}
+
+/// RAII checkout from a [`Pool`]; derefs to [`Client`].
+pub struct PooledClient {
+    pool: Arc<Pool>,
+    client: Option<Client>,
+}
+
+impl PooledClient {
+    /// Close this connection instead of returning it to the pool. Call
+    /// after an error where
+    /// [`connection_reusable`](ClientError::connection_reusable) is
+    /// false, or after leaving a transaction open deliberately.
+    pub fn discard(mut self) {
+        self.client = None;
+    }
+}
+
+impl std::ops::Deref for PooledClient {
+    type Target = Client;
+    fn deref(&self) -> &Client {
+        self.client.as_ref().expect("client present until drop")
+    }
+}
+
+impl std::ops::DerefMut for PooledClient {
+    fn deref_mut(&mut self) -> &mut Client {
+        self.client.as_mut().expect("client present until drop")
+    }
+}
+
+impl Drop for PooledClient {
+    fn drop(&mut self) {
+        if let Some(client) = self.client.take() {
+            self.pool.put_back(client);
+        }
+    }
+}

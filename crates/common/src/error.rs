@@ -47,6 +47,12 @@ pub enum Error {
     /// The index exists but is still being built and is not yet
     /// available as an access path for retrievals (§2.2.1).
     IndexNotReadable(IndexId),
+    /// A statement required an open transaction on the session
+    /// (commit/rollback with nothing to end).
+    NoOpenTx,
+    /// `BEGIN` was issued while the session already holds an open
+    /// transaction; the engine does not nest transactions.
+    TxAlreadyOpen(TxId),
 }
 
 impl fmt::Display for Error {
@@ -74,6 +80,10 @@ impl fmt::Display for Error {
             Error::NoSuchIndex(idx) => write!(f, "no such index {idx}"),
             Error::IndexNotReadable(idx) => {
                 write!(f, "index {idx} is still being built and cannot serve reads")
+            }
+            Error::NoOpenTx => write!(f, "no open transaction on this session"),
+            Error::TxAlreadyOpen(tx) => {
+                write!(f, "{tx} is already open on this session")
             }
         }
     }

@@ -10,17 +10,24 @@
 //! callers propagate to the crash orchestrator.
 //!
 //! Failpoints are *instance-scoped* (carried by the `Db`), not global,
-//! so parallel tests never interfere with each other.
+//! so parallel tests never interfere with each other. For binaries and
+//! CI, a set can also be armed from an environment-style spec string
+//! (`name:count,...`) via [`FailpointSet::arm_from_spec`] /
+//! [`FailpointSet::arm_from_env`], so crash points are reachable
+//! without code changes.
 
 use crate::error::{Error, Result};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// Environment variable read by [`FailpointSet::arm_from_env`].
+pub const FAILPOINTS_ENV: &str = "MOHAN_FAILPOINTS";
+
 /// One arm/disarm-able set of failpoints.
 #[derive(Default, Debug)]
 pub struct FailpointSet {
-    inner: Mutex<HashMap<&'static str, Trigger>>,
+    inner: Mutex<HashMap<String, Trigger>>,
 }
 
 #[derive(Debug)]
@@ -42,9 +49,9 @@ impl FailpointSet {
     }
 
     /// Arm `site` to fire on the `(skip + 1)`-th hit.
-    pub fn arm_after(&self, site: &'static str, skip: u64) {
+    pub fn arm_after(&self, site: &str, skip: u64) {
         self.inner.lock().insert(
-            site,
+            site.to_owned(),
             Trigger {
                 remaining: skip,
                 fired: 0,
@@ -53,12 +60,51 @@ impl FailpointSet {
     }
 
     /// Arm `site` to fire on the next hit.
-    pub fn arm(&self, site: &'static str) {
+    pub fn arm(&self, site: &str) {
         self.arm_after(site, 0);
     }
 
+    /// Arm every trigger named in a `site:count,...` spec string:
+    /// `count` is the 1-based hit that fires (so `build.scan:1` fires
+    /// on the first hit; `sf.drain.op:50` on the 50th). A bare `site`
+    /// means `site:1`. Returns the number of sites armed, or a
+    /// description of the first malformed item.
+    pub fn arm_from_spec(&self, spec: &str) -> std::result::Result<usize, String> {
+        let mut armed = 0;
+        for item in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let (site, count) = match item.split_once(':') {
+                Some((site, count)) => {
+                    let n: u64 = count
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad count in failpoint spec item '{item}'"))?;
+                    if n == 0 {
+                        return Err(format!("count must be >= 1 in '{item}'"));
+                    }
+                    (site.trim(), n)
+                }
+                None => (item, 1),
+            };
+            if site.is_empty() {
+                return Err(format!("empty site name in '{item}'"));
+            }
+            self.arm_after(site, count - 1);
+            armed += 1;
+        }
+        Ok(armed)
+    }
+
+    /// Arm triggers from the [`FAILPOINTS_ENV`] environment variable,
+    /// if set. Returns the number of sites armed.
+    pub fn arm_from_env(&self) -> std::result::Result<usize, String> {
+        match std::env::var(FAILPOINTS_ENV) {
+            Ok(spec) => self.arm_from_spec(&spec),
+            Err(_) => Ok(0),
+        }
+    }
+
     /// Disarm `site`.
-    pub fn disarm(&self, site: &'static str) {
+    pub fn disarm(&self, site: &str) {
         self.inner.lock().remove(site);
     }
 
@@ -69,7 +115,7 @@ impl FailpointSet {
 
     /// Number of times `site` has fired.
     #[must_use]
-    pub fn fired(&self, site: &'static str) -> u64 {
+    pub fn fired(&self, site: &str) -> u64 {
         self.inner.lock().get(site).map_or(0, |t| t.fired)
     }
 
@@ -132,6 +178,29 @@ mod tests {
         fp.clear();
         assert!(fp.hit("a").is_ok());
         assert!(fp.hit("b").is_ok());
+    }
+
+    #[test]
+    fn spec_string_arms_counts() {
+        let fp = FailpointSet::new();
+        assert_eq!(fp.arm_from_spec("a:1, b:3 ,c").unwrap(), 3);
+        // a fires on the 1st hit, c (bare) likewise.
+        assert!(fp.hit("a").unwrap_err().is_crash());
+        assert!(fp.hit("c").unwrap_err().is_crash());
+        // b fires on the 3rd hit.
+        assert!(fp.hit("b").is_ok());
+        assert!(fp.hit("b").is_ok());
+        assert!(fp.hit("b").unwrap_err().is_crash());
+    }
+
+    #[test]
+    fn spec_string_rejects_garbage() {
+        let fp = FailpointSet::new();
+        assert!(fp.arm_from_spec("a:x").is_err());
+        assert!(fp.arm_from_spec("a:0").is_err());
+        assert!(fp.arm_from_spec(":3").is_err());
+        assert_eq!(fp.arm_from_spec("").unwrap(), 0);
+        assert_eq!(fp.arm_from_spec(" , ,").unwrap(), 0);
     }
 
     #[test]

@@ -712,6 +712,7 @@ pub(crate) fn sf_drain_phase(db: &Arc<Db>, idx: &Arc<IndexRuntime>, mut pos: u64
                 }
                 db.ib_commit_cycle(&mut ib)?;
                 pos = snapshot;
+                idx.side_file.drain_passes.bump();
                 progress::store(db, idx.def.id, &BuildProgress::Draining { pos });
                 db.failpoints.hit("build.drain")?;
             }
@@ -747,6 +748,7 @@ pub(crate) fn sf_drain_phase(db: &Arc<Db>, idx: &Arc<IndexRuntime>, mut pos: u64
                 progress::store(db, idx.def.id, &BuildProgress::Draining { pos });
                 db.failpoints.hit("build.drain")?;
                 nonempty_passes += 1;
+                idx.side_file.drain_passes.bump();
                 if nonempty_passes >= 3 && quiesce_tx.is_none() {
                     let qtx = db.begin();
                     db.locks

@@ -29,6 +29,9 @@
 //! * [`primary`] — the §6.2 storage-model extension: building a
 //!   secondary index by scanning a clustering primary index with a
 //!   *current-key* cursor instead of Current-RID.
+//! * [`session::Session`] — the per-connection statement API (one
+//!   open transaction, auto-commit DML, rollback on drop) shared by
+//!   the TCP server, the examples, and the tests.
 
 #![warn(missing_docs)]
 
@@ -40,9 +43,11 @@ pub mod primary;
 pub mod progress;
 pub mod runtime;
 pub mod schema;
+pub mod session;
 pub mod side_file;
 pub mod verify;
 
 pub use engine::Db;
 pub use runtime::{IndexRuntime, IndexState};
 pub use schema::{BuildAlgorithm, IndexDef, Record};
+pub use session::Session;

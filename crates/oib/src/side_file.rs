@@ -43,6 +43,11 @@ pub struct SideFile {
     pub appended: Counter,
     /// Peak backlog (appended − drained) observed at drain time.
     pub max_backlog: MaxGauge,
+    /// Non-empty catch-up passes the drain executed (§3.2.5): how many
+    /// times the IB found new entries appended since its last pass.
+    /// Stays small when the drain converges on its own; hitting the
+    /// quiesce fallback shows up as a value ≥ 3.
+    pub drain_passes: Counter,
 }
 
 impl SideFile {

@@ -1,0 +1,374 @@
+//! Threaded TCP service exposing the engine over the wire protocol.
+//!
+//! The paper's availability story (§2.2.1 NSF's short descriptor
+//! quiesce, §3.2.1 SF's zero quiesce) is a claim about what *clients*
+//! experience while `CREATE INDEX` runs. This crate is the serving
+//! substrate that makes the claim observable end-to-end: a `std::net`
+//! TCP listener (no async runtime — the container has no crates.io
+//! access, consistent with the in-tree shim policy) feeding a sharded
+//! pool of worker threads, each owning a set of non-blocking
+//! connections with a per-connection [`mohan_oib::Session`].
+//!
+//! Service behaviours, all bounded by configuration rather than left
+//! to queue without limit:
+//!
+//! * **admission control** — a global in-flight cap; requests over the
+//!   cap get an immediate [`mohan_wire::Response::Busy`] instead of
+//!   queueing (closed-loop clients back off; the cap bounds engine
+//!   concurrency);
+//! * **per-request deadlines** — a request that sat buffered past its
+//!   deadline is refused with `DeadlineExceeded` rather than executed
+//!   late; post-execution overruns are counted;
+//! * **idle / slow-client timeouts** — both directions of a stuck
+//!   connection are bounded: reads by the idle timeout, writes by the
+//!   write timeout;
+//! * **online builds over the wire** — `CreateIndex` runs the build on
+//!   its own thread while the worker streams
+//!   [`mohan_wire::Response::Progress`] frames from the build's
+//!   durable checkpoints, so a client watches the scan/sort/load/drain
+//!   phases of §2/§3 live;
+//! * **graceful drain** — [`Server::drain`] stops accepting, lets
+//!   in-flight work and commits finish (rolling back what does not
+//!   finish inside the drain timeout), flushes the WAL, and joins
+//!   every thread; committed work survives a crash-and-recover after
+//!   the drain by construction.
+
+#![warn(missing_docs)]
+
+mod worker;
+
+use mohan_common::stats::{Counter, ShardDist};
+use mohan_oib::Db;
+use parking_lot::Mutex;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables for one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`"127.0.0.1:0"` picks a free port).
+    pub bind_addr: String,
+    /// Worker threads; each owns a shard of the connections.
+    pub workers: usize,
+    /// Maximum simultaneous connections; further accepts are closed
+    /// immediately.
+    pub max_connections: usize,
+    /// Maximum requests executing at once (running builds count);
+    /// requests over the cap get `Busy`.
+    pub max_inflight: usize,
+    /// A request older than this when the worker gets to it is refused
+    /// with `DeadlineExceeded`.
+    pub request_deadline: Duration,
+    /// Connections silent for this long are closed (open transaction
+    /// rolled back). Connections with a running build are exempt.
+    pub idle_timeout: Duration,
+    /// A response write blocked longer than this marks the client slow
+    /// and closes the connection.
+    pub write_timeout: Duration,
+    /// How long a drain waits for open transactions and running builds
+    /// before rolling back / abandoning them.
+    pub drain_timeout: Duration,
+    /// How often a build's checkpoints are polled for progress frames.
+    pub progress_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            bind_addr: "127.0.0.1:0".into(),
+            workers: 4,
+            max_connections: 64,
+            max_inflight: 8,
+            request_deadline: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(60),
+            write_timeout: Duration::from_secs(2),
+            drain_timeout: Duration::from_secs(10),
+            progress_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Server-side counters, exposed over the wire via `Request::Stats`.
+#[derive(Debug)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub conns_accepted: Counter,
+    /// Connections refused at the `max_connections` cap.
+    pub conns_rejected: Counter,
+    /// Connections closed (any reason).
+    pub conns_closed: Counter,
+    /// Connections closed by the idle timeout.
+    pub idle_closed: Counter,
+    /// Connections closed by the write (slow-client) timeout.
+    pub slow_closed: Counter,
+    /// Requests executed (admitted past admission control).
+    pub requests: Counter,
+    /// Requests refused with `Busy`.
+    pub busy_rejects: Counter,
+    /// Requests refused with `DeadlineExceeded` before execution.
+    pub deadline_rejects: Counter,
+    /// Requests that executed but finished past their deadline.
+    pub deadline_overruns: Counter,
+    /// Frames that failed to decode.
+    pub malformed: Counter,
+    /// `CreateIndex` builds started.
+    pub builds_started: Counter,
+    /// Builds finished successfully.
+    pub builds_done: Counter,
+    /// Builds that returned an error.
+    pub builds_failed: Counter,
+    /// Progress frames streamed.
+    pub progress_frames: Counter,
+    /// Open transactions rolled back by a drain.
+    pub drain_rollbacks: Counter,
+    /// Connection count per worker shard.
+    pub conn_shards: ShardDist,
+}
+
+impl ServerStats {
+    fn new(workers: usize) -> ServerStats {
+        ServerStats {
+            conns_accepted: Counter::default(),
+            conns_rejected: Counter::default(),
+            conns_closed: Counter::default(),
+            idle_closed: Counter::default(),
+            slow_closed: Counter::default(),
+            requests: Counter::default(),
+            busy_rejects: Counter::default(),
+            deadline_rejects: Counter::default(),
+            deadline_overruns: Counter::default(),
+            malformed: Counter::default(),
+            builds_started: Counter::default(),
+            builds_done: Counter::default(),
+            builds_failed: Counter::default(),
+            progress_frames: Counter::default(),
+            drain_rollbacks: Counter::default(),
+            conn_shards: ShardDist::new(workers.max(1)),
+        }
+    }
+
+    /// Flat `(name, value)` snapshot for the `Stats` response.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        let mut out = vec![
+            ("server.conns_accepted".into(), self.conns_accepted.get()),
+            ("server.conns_rejected".into(), self.conns_rejected.get()),
+            ("server.conns_closed".into(), self.conns_closed.get()),
+            ("server.idle_closed".into(), self.idle_closed.get()),
+            ("server.slow_closed".into(), self.slow_closed.get()),
+            ("server.requests".into(), self.requests.get()),
+            ("server.busy_rejects".into(), self.busy_rejects.get()),
+            (
+                "server.deadline_rejects".into(),
+                self.deadline_rejects.get(),
+            ),
+            (
+                "server.deadline_overruns".into(),
+                self.deadline_overruns.get(),
+            ),
+            ("server.malformed".into(), self.malformed.get()),
+            ("server.builds_started".into(), self.builds_started.get()),
+            ("server.builds_done".into(), self.builds_done.get()),
+            ("server.builds_failed".into(), self.builds_failed.get()),
+            ("server.progress_frames".into(), self.progress_frames.get()),
+            ("server.drain_rollbacks".into(), self.drain_rollbacks.get()),
+        ];
+        for (i, n) in self.conn_shards.snapshot().into_iter().enumerate() {
+            out.push((format!("server.conn_shard.{i}"), n));
+        }
+        out
+    }
+}
+
+const STATE_RUNNING: u8 = 0;
+const STATE_DRAINING: u8 = 1;
+
+/// State shared by the accept thread, the workers, and the handle.
+pub(crate) struct Inner {
+    pub(crate) db: Arc<Db>,
+    pub(crate) cfg: ServerConfig,
+    pub(crate) stats: ServerStats,
+    state: AtomicU8,
+    drain_started: Mutex<Option<Instant>>,
+    pub(crate) inflight: AtomicUsize,
+    pub(crate) conn_count: AtomicUsize,
+}
+
+impl Inner {
+    pub(crate) fn draining(&self) -> bool {
+        self.state.load(Ordering::Acquire) == STATE_DRAINING
+    }
+
+    /// Time since the drain began (zero if not draining).
+    pub(crate) fn drain_elapsed(&self) -> Duration {
+        self.drain_started
+            .lock()
+            .map_or(Duration::ZERO, |t| t.elapsed())
+    }
+
+    /// Try to take an in-flight execution slot.
+    pub(crate) fn admit(&self) -> bool {
+        self.inflight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < self.cfg.max_inflight).then_some(n + 1)
+            })
+            .is_ok()
+    }
+
+    /// Release a slot taken by [`Inner::admit`].
+    pub(crate) fn release(&self) {
+        self.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// What a [`Server::drain`] accomplished.
+#[derive(Debug)]
+pub struct DrainReport {
+    /// Open transactions the drain had to roll back.
+    pub rolled_back: u64,
+    /// Builds still running when the drain timeout expired; their
+    /// threads keep running detached (the `Db` is refcounted), but no
+    /// client is connected to see them finish.
+    pub builds_abandoned: u64,
+    /// Connections closed over the server's lifetime.
+    pub conns_closed: u64,
+}
+
+/// A running server: accept thread + worker pool over a shared [`Db`].
+pub struct Server {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start serving `db` per `cfg`.
+    pub fn start(db: Arc<Db>, cfg: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.bind_addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let workers = cfg.workers.max(1);
+        let inner = Arc::new(Inner {
+            db,
+            stats: ServerStats::new(workers),
+            cfg,
+            state: AtomicU8::new(STATE_RUNNING),
+            drain_started: Mutex::new(None),
+            inflight: AtomicUsize::new(0),
+            conn_count: AtomicUsize::new(0),
+        });
+
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for shard in 0..workers {
+            let (tx, rx) = mpsc::channel::<TcpStream>();
+            senders.push(tx);
+            let inner2 = Arc::clone(&inner);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("oib-worker-{shard}"))
+                    .spawn(move || worker::worker_loop(&inner2, shard, &rx))
+                    .expect("spawn worker"),
+            );
+        }
+
+        let inner2 = Arc::clone(&inner);
+        let accept = std::thread::Builder::new()
+            .name("oib-accept".into())
+            .spawn(move || accept_loop(&inner2, &listener, &senders))
+            .expect("spawn acceptor");
+
+        Ok(Server {
+            inner,
+            addr,
+            accept: Some(accept),
+            workers: handles,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's counters.
+    #[must_use]
+    pub fn stats(&self) -> &ServerStats {
+        &self.inner.stats
+    }
+
+    /// Connections currently open.
+    #[must_use]
+    pub fn connections(&self) -> usize {
+        self.inner.conn_count.load(Ordering::Acquire)
+    }
+
+    /// Graceful shutdown: stop accepting, let buffered requests and
+    /// commits finish (other statements are refused with `Draining`),
+    /// wait up to the drain timeout for open transactions and running
+    /// builds, roll back what remains, flush the WAL, and join every
+    /// thread.
+    pub fn drain(mut self) -> DrainReport {
+        *self.inner.drain_started.lock() = Some(Instant::now());
+        self.inner.state.store(STATE_DRAINING, Ordering::Release);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        // Every committed transaction's log is already flushed at
+        // commit; this force-flush covers stray tail records so a
+        // post-drain copy of the log is complete.
+        self.inner.db.wal.flush_all();
+        let abandoned = self
+            .inner
+            .stats
+            .builds_started
+            .get()
+            .saturating_sub(self.inner.stats.builds_done.get())
+            .saturating_sub(self.inner.stats.builds_failed.get());
+        DrainReport {
+            rolled_back: self.inner.stats.drain_rollbacks.get(),
+            builds_abandoned: abandoned,
+            conns_closed: self.inner.stats.conns_closed.get(),
+        }
+    }
+}
+
+fn accept_loop(inner: &Arc<Inner>, listener: &TcpListener, senders: &[mpsc::Sender<TcpStream>]) {
+    let mut next = 0usize;
+    while !inner.draining() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if inner.conn_count.load(Ordering::Acquire) >= inner.cfg.max_connections {
+                    inner.stats.conns_rejected.bump();
+                    drop(stream);
+                    continue;
+                }
+                if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                    continue;
+                }
+                inner.conn_count.fetch_add(1, Ordering::AcqRel);
+                inner.stats.conns_accepted.bump();
+                inner.stats.conn_shards.bump(next % senders.len());
+                // A worker only disappears at drain time; if the send
+                // races that, the stream just drops (client sees EOF).
+                if senders[next % senders.len()].send(stream).is_err() {
+                    inner.conn_count.fetch_sub(1, Ordering::AcqRel);
+                }
+                next = next.wrapping_add(1);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_micros(500));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}

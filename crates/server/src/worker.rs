@@ -1,0 +1,529 @@
+//! Worker shards: each worker owns a set of non-blocking connections
+//! and services them in a poll loop — read bytes, split frames,
+//! execute requests through the connection's [`Session`], write
+//! responses, watch running builds.
+//!
+//! One worker executes one request at a time (closed-loop per shard);
+//! concurrency comes from the shard count plus build threads. The
+//! global in-flight cap spans all shards, so admission control is a
+//! property of the server, not of a lucky shard assignment.
+
+use crate::Inner;
+use mohan_common::{Error, IndexId, KeyValue, Rid, TableId};
+use mohan_oib::build::{build_indexes, IndexSpec};
+use mohan_oib::progress::{self, BuildProgress};
+use mohan_oib::runtime::IndexState;
+use mohan_oib::schema::{BuildAlgorithm, Record};
+use mohan_oib::Session;
+use mohan_wire::frame::{take_frame, write_frame};
+use mohan_wire::message::{BuildAlgo, BuildPhase, ErrorCode, Request, Response};
+use parking_lot::Mutex;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Where a spawned build thread deposits its outcome.
+type BuildResult = Arc<Mutex<Option<Result<Vec<IndexId>, Error>>>>;
+
+/// A `CreateIndex` running on its own thread for one connection.
+struct BuildJob {
+    table: TableId,
+    result: BuildResult,
+    /// Last progress frame sent, to emit only on change.
+    last_sent: Option<(u32, BuildPhase, u64)>,
+    last_poll: Instant,
+}
+
+struct Conn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    session: Session,
+    last_activity: Instant,
+    build: Option<BuildJob>,
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, inner: &Arc<Inner>) -> Conn {
+        Conn {
+            stream,
+            buf: Vec::new(),
+            session: Session::new(Arc::clone(&inner.db)),
+            last_activity: Instant::now(),
+            build: None,
+            dead: false,
+        }
+    }
+}
+
+pub(crate) fn worker_loop(inner: &Arc<Inner>, _shard: usize, rx: &mpsc::Receiver<TcpStream>) {
+    let mut conns: Vec<Conn> = Vec::new();
+    loop {
+        let draining = inner.draining();
+        while let Ok(stream) = rx.try_recv() {
+            if draining {
+                inner
+                    .conn_count
+                    .fetch_sub(1, std::sync::atomic::Ordering::AcqRel);
+                drop(stream); // accepted in the race window; EOF to client
+            } else {
+                conns.push(Conn::new(stream, inner));
+            }
+        }
+
+        let mut progressed = false;
+        for conn in &mut conns {
+            progressed |= service_conn(inner, conn, draining);
+        }
+
+        if draining {
+            let expired = inner.drain_elapsed() >= inner.cfg.drain_timeout;
+            for conn in &mut conns {
+                if conn.dead {
+                    continue;
+                }
+                // A connection with nothing pending has had its say.
+                if conn.build.is_none() && conn.session.current_tx().is_none() {
+                    conn.dead = true;
+                } else if expired {
+                    if conn.session.current_tx().is_some() {
+                        inner.stats.drain_rollbacks.bump();
+                    }
+                    if conn.build.is_some() {
+                        // Leave the build thread running detached; the
+                        // admission slot must come back regardless.
+                        inner.release();
+                    }
+                    conn.dead = true;
+                }
+            }
+        }
+
+        conns.retain_mut(|conn| {
+            if conn.dead {
+                let _ = conn.session.close(); // rolls back an open tx
+                inner.stats.conns_closed.bump();
+                inner
+                    .conn_count
+                    .fetch_sub(1, std::sync::atomic::Ordering::AcqRel);
+                false
+            } else {
+                true
+            }
+        });
+
+        if draining && conns.is_empty() {
+            return;
+        }
+        if !progressed {
+            std::thread::sleep(Duration::from_micros(500));
+        }
+    }
+}
+
+/// One service pass over a connection. Returns true if any work
+/// happened (so the worker only sleeps on a fully idle shard).
+fn service_conn(inner: &Arc<Inner>, conn: &mut Conn, draining: bool) -> bool {
+    let mut progressed = false;
+    if conn.build.is_some() {
+        progressed |= watch_build(inner, conn);
+    }
+
+    // Pull whatever the socket has.
+    let mut tmp = [0u8; 4096];
+    loop {
+        match conn.stream.read(&mut tmp) {
+            Ok(0) => {
+                conn.dead = true;
+                return true;
+            }
+            Ok(n) => {
+                conn.buf.extend_from_slice(&tmp[..n]);
+                conn.last_activity = Instant::now();
+                progressed = true;
+                if n < tmp.len() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.dead = true;
+                return true;
+            }
+        }
+    }
+
+    // Execute complete frames. While a build owns this connection the
+    // exchange is mid-stream — buffered bytes wait their turn.
+    while !conn.dead && conn.build.is_none() {
+        match take_frame(&mut conn.buf) {
+            Ok(None) => break,
+            Ok(Some(payload)) => {
+                progressed = true;
+                handle_payload(inner, conn, &payload, draining);
+            }
+            Err(_) => {
+                // Oversized length prefix: framing is unrecoverable.
+                inner.stats.malformed.bump();
+                send(
+                    inner,
+                    conn,
+                    &protocol_err(ErrorCode::Malformed, "frame too large"),
+                );
+                conn.dead = true;
+            }
+        }
+    }
+
+    if !conn.dead && conn.build.is_none() && conn.last_activity.elapsed() >= inner.cfg.idle_timeout
+    {
+        inner.stats.idle_closed.bump();
+        conn.dead = true;
+        progressed = true;
+    }
+    progressed
+}
+
+fn protocol_err(code: ErrorCode, message: &str) -> Response {
+    Response::Err {
+        code,
+        message: message.into(),
+    }
+}
+
+fn handle_payload(inner: &Arc<Inner>, conn: &mut Conn, payload: &[u8], draining: bool) {
+    let Some(req) = Request::decode(payload) else {
+        inner.stats.malformed.bump();
+        send(
+            inner,
+            conn,
+            &protocol_err(ErrorCode::Malformed, "undecodable request"),
+        );
+        return;
+    };
+
+    // During a drain, only finishing an open transaction is allowed.
+    if draining && !matches!(req, Request::Commit | Request::Rollback) {
+        send(
+            inner,
+            conn,
+            &protocol_err(ErrorCode::Draining, "server is draining"),
+        );
+        return;
+    }
+
+    // Commit/Rollback are exempt from admission control: they release
+    // locks (and the client's next request slot), so refusing them at
+    // the cap would let a saturated server deadlock against itself —
+    // the blocked statements hold every slot while waiting for exactly
+    // those locks. Ping is exempt as a pure liveness probe.
+    let admitted = if matches!(req, Request::Commit | Request::Rollback | Request::Ping) {
+        false
+    } else if inner.admit() {
+        true
+    } else {
+        inner.stats.busy_rejects.bump();
+        send(inner, conn, &Response::Busy);
+        return;
+    };
+
+    // `last_activity` is when this request's bytes arrived; by the
+    // time the worker gets here it may have sat behind pipelined
+    // predecessors or a slow statement on a sibling connection.
+    let waited = conn.last_activity.elapsed();
+    if waited >= inner.cfg.request_deadline {
+        inner.stats.deadline_rejects.bump();
+        if admitted {
+            inner.release();
+        }
+        send(
+            inner,
+            conn,
+            &protocol_err(
+                ErrorCode::DeadlineExceeded,
+                &format!("queued {}ms", waited.as_millis()),
+            ),
+        );
+        return;
+    }
+
+    inner.stats.requests.bump();
+    let started = Instant::now();
+    let keep_slot = execute(inner, conn, req);
+    if started.elapsed() + waited >= inner.cfg.request_deadline {
+        inner.stats.deadline_overruns.bump();
+    }
+    if admitted && !keep_slot {
+        inner.release();
+    }
+}
+
+/// Execute one request and send its response(s). Returns true when
+/// the admission slot stays held past this call (a spawned build).
+fn execute(inner: &Arc<Inner>, conn: &mut Conn, req: Request) -> bool {
+    let resp = match req {
+        Request::Ping => Response::Pong,
+        Request::Begin => match conn.session.begin() {
+            Ok(tx) => Response::TxBegun { tx: tx.0 },
+            Err(e) => Response::from_error(&e),
+        },
+        Request::Commit => match conn.session.commit() {
+            Ok(()) => Response::Committed,
+            Err(e) => Response::from_error(&e),
+        },
+        Request::Rollback => match conn.session.rollback() {
+            Ok(()) => Response::RolledBack,
+            Err(e) => Response::from_error(&e),
+        },
+        Request::Insert { table, cols } => {
+            match conn.session.insert(TableId(table), &Record(cols)) {
+                Ok(rid) => Response::Inserted { rid: rid.pack() },
+                Err(e) => Response::from_error(&e),
+            }
+        }
+        Request::Update { table, rid, cols } => {
+            match conn
+                .session
+                .update(TableId(table), Rid::unpack(rid), &Record(cols))
+            {
+                Ok(_) => Response::Updated,
+                Err(e) => Response::from_error(&e),
+            }
+        }
+        Request::Delete { table, rid } => {
+            match conn.session.delete(TableId(table), Rid::unpack(rid)) {
+                Ok(_) => Response::Deleted,
+                Err(e) => Response::from_error(&e),
+            }
+        }
+        Request::Read { table, rid } => match conn.session.read(TableId(table), Rid::unpack(rid)) {
+            Ok(rec) => Response::Record { cols: rec.0 },
+            Err(e) => Response::from_error(&e),
+        },
+        Request::Lookup { index, key } => {
+            match conn.session.lookup(IndexId(index), &KeyValue(key)) {
+                Ok(rids) => Response::Rids {
+                    rids: rids.into_iter().map(Rid::pack).collect(),
+                },
+                Err(e) => Response::from_error(&e),
+            }
+        }
+        Request::Stats => {
+            let mut counters = inner.stats.snapshot();
+            counters.push(("engine.active_txs".into(), inner.db.active_txs() as u64));
+            counters.push((
+                "server.inflight".into(),
+                inner.inflight.load(std::sync::atomic::Ordering::Acquire) as u64,
+            ));
+            Response::Stats { counters }
+        }
+        Request::CreateIndex { table, algo, specs } => {
+            return start_build(inner, conn, TableId(table), algo, specs);
+        }
+    };
+    send(inner, conn, &resp);
+    false
+}
+
+fn start_build(
+    inner: &Arc<Inner>,
+    conn: &mut Conn,
+    table: TableId,
+    algo: BuildAlgo,
+    specs: Vec<mohan_wire::message::IndexSpecWire>,
+) -> bool {
+    if specs.is_empty() {
+        send(
+            inner,
+            conn,
+            &protocol_err(ErrorCode::Malformed, "no index specs"),
+        );
+        return false;
+    }
+    if let Some(tx) = conn.session.current_tx() {
+        send(
+            inner,
+            conn,
+            &Response::from_error(&Error::TxAlreadyOpen(tx)),
+        );
+        return false;
+    }
+    let algorithm = match algo {
+        BuildAlgo::Offline => BuildAlgorithm::Offline,
+        BuildAlgo::Nsf => BuildAlgorithm::Nsf,
+        BuildAlgo::Sf => BuildAlgorithm::Sf,
+    };
+    let engine_specs: Vec<IndexSpec> = specs
+        .into_iter()
+        .map(|s| IndexSpec {
+            name: s.name,
+            key_cols: s.key_cols.into_iter().map(usize::from).collect(),
+            unique: s.unique,
+        })
+        .collect();
+
+    let result: BuildResult = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&result);
+    let db = Arc::clone(&inner.db);
+    inner.stats.builds_started.bump();
+    let spawned = std::thread::Builder::new()
+        .name("oib-build".into())
+        .spawn(move || {
+            let r = build_indexes(&db, table, &engine_specs, algorithm);
+            *slot.lock() = Some(r);
+        });
+    if spawned.is_err() {
+        inner.stats.builds_failed.bump();
+        send(
+            inner,
+            conn,
+            &protocol_err(ErrorCode::Internal, "could not spawn build thread"),
+        );
+        return false;
+    }
+    // First frame immediately: the client knows the build was admitted
+    // before any checkpoint exists to poll.
+    inner.stats.progress_frames.bump();
+    send(
+        inner,
+        conn,
+        &Response::Progress {
+            index: 0,
+            phase: BuildPhase::Starting,
+            detail: 0,
+        },
+    );
+    conn.build = Some(BuildJob {
+        table,
+        result,
+        last_sent: Some((0, BuildPhase::Starting, 0)),
+        last_poll: Instant::now(),
+    });
+    true // slot stays held until the build finishes
+}
+
+/// Poll a connection's running build: stream progress on change, and
+/// finish the exchange when the build thread reports its result.
+fn watch_build(inner: &Arc<Inner>, conn: &mut Conn) -> bool {
+    let Some(job) = &mut conn.build else {
+        return false;
+    };
+
+    let finished = { job.result.lock().take() };
+    if let Some(result) = finished {
+        let final_resp = match result {
+            Ok(ids) => {
+                inner.stats.builds_done.bump();
+                inner.stats.progress_frames.bump();
+                let done = Response::Progress {
+                    index: ids.first().map_or(0, |id| id.0),
+                    phase: BuildPhase::Done,
+                    detail: 0,
+                };
+                conn.build = None;
+                inner.release();
+                send(inner, conn, &done);
+                Response::IndexCreated {
+                    ids: ids.into_iter().map(|id| id.0).collect(),
+                }
+            }
+            Err(e) => {
+                inner.stats.builds_failed.bump();
+                conn.build = None;
+                inner.release();
+                Response::from_error(&e)
+            }
+        };
+        send(inner, conn, &final_resp);
+        return true;
+    }
+
+    if job.last_poll.elapsed() < inner.cfg.progress_interval {
+        return false;
+    }
+    job.last_poll = Instant::now();
+    // The building index's durable checkpoint is the progress source —
+    // the same record a post-crash resume would start from.
+    let building = inner
+        .db
+        .indexes_of(job.table)
+        .into_iter()
+        .find(|idx| idx.state() != IndexState::Complete);
+    let Some(idx) = building else { return false };
+    let Ok(Some(p)) = progress::load(&inner.db, idx.def.id) else {
+        return false;
+    };
+    let (phase, detail) = phase_of(&p);
+    let frame = (idx.def.id.0, phase, detail);
+    if job.last_sent == Some(frame) {
+        return false;
+    }
+    job.last_sent = Some(frame);
+    inner.stats.progress_frames.bump();
+    send(
+        inner,
+        conn,
+        &Response::Progress {
+            index: frame.0,
+            phase,
+            detail,
+        },
+    );
+    true
+}
+
+fn phase_of(p: &BuildProgress) -> (BuildPhase, u64) {
+    match p {
+        BuildProgress::Scanning { sort } => (BuildPhase::Scanning, sort.scan_pos),
+        BuildProgress::Reducing { .. } => (BuildPhase::Reducing, 0),
+        BuildProgress::Loading { merge, .. } => (BuildPhase::Loading, merge.emitted),
+        BuildProgress::Inserting { inserted, .. } => (BuildPhase::Inserting, *inserted),
+        BuildProgress::Draining { pos } => (BuildPhase::Draining, *pos),
+    }
+}
+
+/// Write one response on a non-blocking stream, bounded by the write
+/// timeout; a persistently full socket marks the client slow and the
+/// connection dead.
+fn send(inner: &Arc<Inner>, conn: &mut Conn, resp: &Response) {
+    if conn.dead {
+        return;
+    }
+    let payload = resp.encode();
+    let mut framed = Vec::with_capacity(4 + payload.len());
+    framed.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    framed.extend_from_slice(&payload);
+    debug_assert!({
+        // write_frame and this manual framing must agree.
+        let mut check = Vec::new();
+        write_frame(&mut check, &payload).unwrap();
+        check == framed
+    });
+
+    let start = Instant::now();
+    let mut written = 0usize;
+    while written < framed.len() {
+        match conn.stream.write(&framed[written..]) {
+            Ok(0) => {
+                conn.dead = true;
+                return;
+            }
+            Ok(n) => written += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if start.elapsed() >= inner.cfg.write_timeout {
+                    inner.stats.slow_closed.bump();
+                    conn.dead = true;
+                    return;
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! The engine's wire protocol: a dependency-free, length-prefixed
+//! binary framing with typed request/response messages.
+//!
+//! The repo's north star is a system that serves client traffic, not a
+//! library driven by in-process function calls — and the paper's
+//! availability claims (§2.2.1, §3.2.1, §4: SF builds at zero quiesce,
+//! NSF at a short descriptor quiesce) are only observable *as clients
+//! experience them* if `CREATE INDEX` runs while DML arrives over a
+//! connection. This crate defines what travels on that connection:
+//!
+//! * [`frame`] — `[u32 BE length][payload]` framing with a hard size
+//!   cap, blocking read/write helpers and an incremental splitter for
+//!   non-blocking servers.
+//! * [`message`] — [`message::Request`] / [`message::Response`] enums
+//!   covering transactions (`Begin`/`Commit`/`Rollback`), DML
+//!   (`Insert`/`Update`/`Delete`/`Read`/`Lookup`), online index builds
+//!   (`CreateIndex` answered by a stream of
+//!   [`message::Response::Progress`] frames, then
+//!   [`message::Response::IndexCreated`]), server stats, and
+//!   structured errors ([`message::ErrorCode`] mapped from
+//!   [`mohan_common::Error`]).
+//! * [`codec`] — the big-endian primitive encoding shared by both.
+//!
+//! Everything encodes to explicit bytes (no `serde`, no derive
+//! macros): the container has no crates.io access, and an explicit
+//! codec keeps the protocol's compatibility surface auditable.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod frame;
+pub mod message;
+
+pub use frame::{read_frame, take_frame, write_frame, FrameError, MAX_FRAME};
+pub use message::{
+    error_code_of, BuildAlgo, BuildPhase, ErrorCode, IndexSpecWire, Request, Response,
+};

@@ -1,0 +1,829 @@
+//! Typed request/response messages and their byte encodings.
+//!
+//! A payload is one tag byte followed by a tag-specific body. Decoding
+//! is strict: unknown tags, truncated bodies and trailing bytes all
+//! return `None`, which the peer reports as [`ErrorCode::Malformed`].
+//!
+//! The crate deliberately depends only on `mohan-common`: records
+//! travel as `Vec<i64>` column values (the engine's `Record` is a
+//! newtype over exactly that), RIDs as their packed `u64` form, and
+//! index keys as the order-preserving `KeyValue` bytes — so the
+//! protocol can be spoken without linking the engine.
+
+use crate::codec::{put_bytes, put_i64, put_string, put_u16, put_u32, put_u64, put_u8, Cursor};
+use mohan_common::error::Error;
+
+/// Build algorithm selector carried by `CreateIndex` (§1: offline
+/// baseline, §2 NSF, §3 SF).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildAlgo {
+    /// Quiesced baseline build.
+    Offline,
+    /// No-side-file online build (§2).
+    Nsf,
+    /// Side-file online build (§3).
+    Sf,
+}
+
+impl BuildAlgo {
+    fn tag(self) -> u8 {
+        match self {
+            BuildAlgo::Offline => 0,
+            BuildAlgo::Nsf => 1,
+            BuildAlgo::Sf => 2,
+        }
+    }
+
+    fn from_tag(t: u8) -> Option<Self> {
+        match t {
+            0 => Some(BuildAlgo::Offline),
+            1 => Some(BuildAlgo::Nsf),
+            2 => Some(BuildAlgo::Sf),
+            _ => None,
+        }
+    }
+}
+
+/// Index definition as carried on the wire (mirrors `oib::IndexSpec`
+/// without depending on it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexSpecWire {
+    /// Human-readable index name.
+    pub name: String,
+    /// Column positions forming the key, in order.
+    pub key_cols: Vec<u16>,
+    /// Enforce unique committed key values (§2.2.3).
+    pub unique: bool,
+}
+
+impl IndexSpecWire {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_string(out, &self.name);
+        put_u16(out, self.key_cols.len() as u16);
+        for &c in &self.key_cols {
+            put_u16(out, c);
+        }
+        put_u8(out, u8::from(self.unique));
+    }
+
+    fn decode(c: &mut Cursor<'_>) -> Option<Self> {
+        let name = c.get_string()?;
+        let n = c.get_u16()? as usize;
+        let mut key_cols = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            key_cols.push(c.get_u16()?);
+        }
+        let unique = match c.get_u8()? {
+            0 => false,
+            1 => true,
+            _ => return None,
+        };
+        Some(IndexSpecWire {
+            name,
+            key_cols,
+            unique,
+        })
+    }
+}
+
+/// Phase of an in-flight build, streamed in
+/// [`Response::Progress`] frames. Mirrors `oib::BuildProgress`
+/// checkpoints plus a `Starting` state emitted before the build thread
+/// has stored its first checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildPhase {
+    /// Build accepted; no checkpoint stored yet.
+    Starting,
+    /// Scanning the table / feeding the external sort.
+    Scanning,
+    /// Reducing sorted runs (merge passes).
+    Reducing,
+    /// Bulk-loading the tree from the final merge.
+    Loading,
+    /// Inserting sorted keys one by one (non-bulk path).
+    Inserting,
+    /// Draining the side file (§3.2.5, SF only).
+    Draining,
+    /// Build finished; `IndexCreated` follows.
+    Done,
+}
+
+impl BuildPhase {
+    fn tag(self) -> u8 {
+        match self {
+            BuildPhase::Starting => 0,
+            BuildPhase::Scanning => 1,
+            BuildPhase::Reducing => 2,
+            BuildPhase::Loading => 3,
+            BuildPhase::Inserting => 4,
+            BuildPhase::Draining => 5,
+            BuildPhase::Done => 6,
+        }
+    }
+
+    fn from_tag(t: u8) -> Option<Self> {
+        match t {
+            0 => Some(BuildPhase::Starting),
+            1 => Some(BuildPhase::Scanning),
+            2 => Some(BuildPhase::Reducing),
+            3 => Some(BuildPhase::Loading),
+            4 => Some(BuildPhase::Inserting),
+            5 => Some(BuildPhase::Draining),
+            6 => Some(BuildPhase::Done),
+            _ => None,
+        }
+    }
+}
+
+/// Everything a client can ask the server to do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness / RTT probe.
+    Ping,
+    /// Open a transaction on this connection's session.
+    Begin,
+    /// Commit the session's open transaction.
+    Commit,
+    /// Roll back the session's open transaction.
+    Rollback,
+    /// Insert a record; auto-commits if no transaction is open.
+    Insert {
+        /// Target table.
+        table: u32,
+        /// Column values.
+        cols: Vec<i64>,
+    },
+    /// Replace the record at `rid`.
+    Update {
+        /// Target table.
+        table: u32,
+        /// Packed RID (see `Rid::pack`).
+        rid: u64,
+        /// Replacement column values.
+        cols: Vec<i64>,
+    },
+    /// Delete the record at `rid`.
+    Delete {
+        /// Target table.
+        table: u32,
+        /// Packed RID.
+        rid: u64,
+    },
+    /// Read the record at `rid` (no transaction needed).
+    Read {
+        /// Target table.
+        table: u32,
+        /// Packed RID.
+        rid: u64,
+    },
+    /// Exact-match probe of an index.
+    Lookup {
+        /// Target index.
+        index: u32,
+        /// Order-preserving key bytes (`KeyValue`).
+        key: Vec<u8>,
+    },
+    /// Build one or more indexes online; the server streams
+    /// [`Response::Progress`] frames, then [`Response::IndexCreated`].
+    CreateIndex {
+        /// Table to index.
+        table: u32,
+        /// Build algorithm.
+        algo: BuildAlgo,
+        /// Index definitions (multiple = §5 multi-index single scan).
+        specs: Vec<IndexSpecWire>,
+    },
+    /// Snapshot of the server's counters.
+    Stats,
+}
+
+const REQ_PING: u8 = 1;
+const REQ_BEGIN: u8 = 2;
+const REQ_COMMIT: u8 = 3;
+const REQ_ROLLBACK: u8 = 4;
+const REQ_INSERT: u8 = 5;
+const REQ_UPDATE: u8 = 6;
+const REQ_DELETE: u8 = 7;
+const REQ_READ: u8 = 8;
+const REQ_LOOKUP: u8 = 9;
+const REQ_CREATE_INDEX: u8 = 10;
+const REQ_STATS: u8 = 11;
+
+fn put_cols(out: &mut Vec<u8>, cols: &[i64]) {
+    put_u16(out, cols.len() as u16);
+    for &v in cols {
+        put_i64(out, v);
+    }
+}
+
+fn get_cols(c: &mut Cursor<'_>) -> Option<Vec<i64>> {
+    let n = c.get_u16()? as usize;
+    let mut cols = Vec::with_capacity(n.min(256));
+    for _ in 0..n {
+        cols.push(c.get_i64()?);
+    }
+    Some(cols)
+}
+
+impl Request {
+    /// Encode to a frame payload (tag + body).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Ping => put_u8(&mut out, REQ_PING),
+            Request::Begin => put_u8(&mut out, REQ_BEGIN),
+            Request::Commit => put_u8(&mut out, REQ_COMMIT),
+            Request::Rollback => put_u8(&mut out, REQ_ROLLBACK),
+            Request::Insert { table, cols } => {
+                put_u8(&mut out, REQ_INSERT);
+                put_u32(&mut out, *table);
+                put_cols(&mut out, cols);
+            }
+            Request::Update { table, rid, cols } => {
+                put_u8(&mut out, REQ_UPDATE);
+                put_u32(&mut out, *table);
+                put_u64(&mut out, *rid);
+                put_cols(&mut out, cols);
+            }
+            Request::Delete { table, rid } => {
+                put_u8(&mut out, REQ_DELETE);
+                put_u32(&mut out, *table);
+                put_u64(&mut out, *rid);
+            }
+            Request::Read { table, rid } => {
+                put_u8(&mut out, REQ_READ);
+                put_u32(&mut out, *table);
+                put_u64(&mut out, *rid);
+            }
+            Request::Lookup { index, key } => {
+                put_u8(&mut out, REQ_LOOKUP);
+                put_u32(&mut out, *index);
+                put_bytes(&mut out, key);
+            }
+            Request::CreateIndex { table, algo, specs } => {
+                put_u8(&mut out, REQ_CREATE_INDEX);
+                put_u32(&mut out, *table);
+                put_u8(&mut out, algo.tag());
+                put_u16(&mut out, specs.len() as u16);
+                for s in specs {
+                    s.encode(&mut out);
+                }
+            }
+            Request::Stats => put_u8(&mut out, REQ_STATS),
+        }
+        out
+    }
+
+    /// Decode from a frame payload. `None` means malformed.
+    #[must_use]
+    pub fn decode(payload: &[u8]) -> Option<Request> {
+        let mut c = Cursor::new(payload);
+        let req = match c.get_u8()? {
+            REQ_PING => Request::Ping,
+            REQ_BEGIN => Request::Begin,
+            REQ_COMMIT => Request::Commit,
+            REQ_ROLLBACK => Request::Rollback,
+            REQ_INSERT => Request::Insert {
+                table: c.get_u32()?,
+                cols: get_cols(&mut c)?,
+            },
+            REQ_UPDATE => Request::Update {
+                table: c.get_u32()?,
+                rid: c.get_u64()?,
+                cols: get_cols(&mut c)?,
+            },
+            REQ_DELETE => Request::Delete {
+                table: c.get_u32()?,
+                rid: c.get_u64()?,
+            },
+            REQ_READ => Request::Read {
+                table: c.get_u32()?,
+                rid: c.get_u64()?,
+            },
+            REQ_LOOKUP => Request::Lookup {
+                index: c.get_u32()?,
+                key: c.get_bytes()?,
+            },
+            REQ_CREATE_INDEX => {
+                let table = c.get_u32()?;
+                let algo = BuildAlgo::from_tag(c.get_u8()?)?;
+                let n = c.get_u16()? as usize;
+                let mut specs = Vec::with_capacity(n.min(16));
+                for _ in 0..n {
+                    specs.push(IndexSpecWire::decode(&mut c)?);
+                }
+                Request::CreateIndex { table, algo, specs }
+            }
+            REQ_STATS => Request::Stats,
+            _ => return None,
+        };
+        c.finish(req)
+    }
+}
+
+/// Structured error classes a [`Response::Err`] carries.
+///
+/// The first block mirrors [`mohan_common::error::Error`] one-to-one;
+/// the second block is protocol/service-level conditions the engine
+/// itself never raises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// [`Error::UniqueViolation`].
+    UniqueViolation,
+    /// [`Error::LockTimeout`].
+    LockTimeout,
+    /// [`Error::LockBusy`].
+    LockBusy,
+    /// [`Error::NotFound`].
+    NotFound,
+    /// [`Error::PageFull`].
+    PageFull,
+    /// [`Error::Corruption`].
+    Corruption,
+    /// [`Error::BuildCancelled`].
+    BuildCancelled,
+    /// [`Error::InjectedCrash`].
+    InjectedCrash,
+    /// [`Error::TxNotActive`].
+    TxNotActive,
+    /// [`Error::NoSuchIndex`].
+    NoSuchIndex,
+    /// [`Error::IndexNotReadable`].
+    IndexNotReadable,
+    /// [`Error::NoOpenTx`]: commit/rollback with no open transaction.
+    NoOpenTx,
+    /// [`Error::TxAlreadyOpen`]: `Begin` while one is already open.
+    TxAlreadyOpen,
+    /// The request payload failed to decode.
+    Malformed,
+    /// The request missed its per-request deadline before execution.
+    DeadlineExceeded,
+    /// The server is draining and no longer accepts new work.
+    Draining,
+    /// Internal service failure not expressible as an engine error.
+    Internal,
+}
+
+impl ErrorCode {
+    fn tag(self) -> u8 {
+        match self {
+            ErrorCode::UniqueViolation => 1,
+            ErrorCode::LockTimeout => 2,
+            ErrorCode::LockBusy => 3,
+            ErrorCode::NotFound => 4,
+            ErrorCode::PageFull => 5,
+            ErrorCode::Corruption => 6,
+            ErrorCode::BuildCancelled => 7,
+            ErrorCode::InjectedCrash => 8,
+            ErrorCode::TxNotActive => 9,
+            ErrorCode::NoSuchIndex => 10,
+            ErrorCode::IndexNotReadable => 11,
+            ErrorCode::NoOpenTx => 12,
+            ErrorCode::TxAlreadyOpen => 13,
+            ErrorCode::Malformed => 32,
+            ErrorCode::DeadlineExceeded => 33,
+            ErrorCode::Draining => 34,
+            ErrorCode::Internal => 35,
+        }
+    }
+
+    fn from_tag(t: u8) -> Option<Self> {
+        match t {
+            1 => Some(ErrorCode::UniqueViolation),
+            2 => Some(ErrorCode::LockTimeout),
+            3 => Some(ErrorCode::LockBusy),
+            4 => Some(ErrorCode::NotFound),
+            5 => Some(ErrorCode::PageFull),
+            6 => Some(ErrorCode::Corruption),
+            7 => Some(ErrorCode::BuildCancelled),
+            8 => Some(ErrorCode::InjectedCrash),
+            9 => Some(ErrorCode::TxNotActive),
+            10 => Some(ErrorCode::NoSuchIndex),
+            11 => Some(ErrorCode::IndexNotReadable),
+            12 => Some(ErrorCode::NoOpenTx),
+            13 => Some(ErrorCode::TxAlreadyOpen),
+            32 => Some(ErrorCode::Malformed),
+            33 => Some(ErrorCode::DeadlineExceeded),
+            34 => Some(ErrorCode::Draining),
+            35 => Some(ErrorCode::Internal),
+            _ => None,
+        }
+    }
+}
+
+/// Map an engine error to its wire code.
+#[must_use]
+pub fn error_code_of(e: &Error) -> ErrorCode {
+    match e {
+        Error::UniqueViolation { .. } => ErrorCode::UniqueViolation,
+        Error::LockTimeout { .. } => ErrorCode::LockTimeout,
+        Error::LockBusy => ErrorCode::LockBusy,
+        Error::NotFound(_) => ErrorCode::NotFound,
+        Error::PageFull => ErrorCode::PageFull,
+        Error::Corruption(_) => ErrorCode::Corruption,
+        Error::BuildCancelled => ErrorCode::BuildCancelled,
+        Error::InjectedCrash(_) => ErrorCode::InjectedCrash,
+        Error::TxNotActive(_) => ErrorCode::TxNotActive,
+        Error::NoSuchIndex(_) => ErrorCode::NoSuchIndex,
+        Error::IndexNotReadable(_) => ErrorCode::IndexNotReadable,
+        Error::NoOpenTx => ErrorCode::NoOpenTx,
+        Error::TxAlreadyOpen(_) => ErrorCode::TxAlreadyOpen,
+    }
+}
+
+/// Everything the server can answer with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Transaction opened.
+    TxBegun {
+        /// Engine transaction id, for observability.
+        tx: u64,
+    },
+    /// Transaction committed (WAL flushed to the commit LSN).
+    Committed,
+    /// Transaction rolled back.
+    RolledBack,
+    /// Record inserted.
+    Inserted {
+        /// Packed RID of the new record.
+        rid: u64,
+    },
+    /// Record updated in place (or moved; same RID semantics as the
+    /// engine's `update_record`).
+    Updated,
+    /// Record deleted.
+    Deleted,
+    /// Answer to [`Request::Read`].
+    Record {
+        /// Column values.
+        cols: Vec<i64>,
+    },
+    /// Answer to [`Request::Lookup`].
+    Rids {
+        /// Packed RIDs of matching records.
+        rids: Vec<u64>,
+    },
+    /// Build progress frame; zero or more precede `IndexCreated`.
+    Progress {
+        /// Index being built (0 until the id is known).
+        index: u32,
+        /// Current phase.
+        phase: BuildPhase,
+        /// Phase-specific progress figure (records scanned, keys
+        /// inserted, side-file drain position, ...).
+        detail: u64,
+    },
+    /// Build finished; terminal frame of a `CreateIndex` exchange.
+    IndexCreated {
+        /// Ids of the created indexes, in spec order.
+        ids: Vec<u32>,
+    },
+    /// Counter snapshot, answer to [`Request::Stats`].
+    Stats {
+        /// `(name, value)` pairs, order unspecified.
+        counters: Vec<(String, u64)>,
+    },
+    /// Admission control rejected the request; retry after backoff.
+    Busy,
+    /// The request failed; terminal frame for its exchange.
+    Err {
+        /// Structured class, for programmatic handling.
+        code: ErrorCode,
+        /// Human-readable detail (the engine error's `Display`).
+        message: String,
+    },
+}
+
+const RESP_PONG: u8 = 1;
+const RESP_TX_BEGUN: u8 = 2;
+const RESP_COMMITTED: u8 = 3;
+const RESP_ROLLED_BACK: u8 = 4;
+const RESP_INSERTED: u8 = 5;
+const RESP_UPDATED: u8 = 6;
+const RESP_DELETED: u8 = 7;
+const RESP_RECORD: u8 = 8;
+const RESP_RIDS: u8 = 9;
+const RESP_PROGRESS: u8 = 10;
+const RESP_INDEX_CREATED: u8 = 11;
+const RESP_STATS: u8 = 12;
+const RESP_BUSY: u8 = 13;
+const RESP_ERR: u8 = 14;
+
+impl Response {
+    /// Encode to a frame payload (tag + body).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Pong => put_u8(&mut out, RESP_PONG),
+            Response::TxBegun { tx } => {
+                put_u8(&mut out, RESP_TX_BEGUN);
+                put_u64(&mut out, *tx);
+            }
+            Response::Committed => put_u8(&mut out, RESP_COMMITTED),
+            Response::RolledBack => put_u8(&mut out, RESP_ROLLED_BACK),
+            Response::Inserted { rid } => {
+                put_u8(&mut out, RESP_INSERTED);
+                put_u64(&mut out, *rid);
+            }
+            Response::Updated => put_u8(&mut out, RESP_UPDATED),
+            Response::Deleted => put_u8(&mut out, RESP_DELETED),
+            Response::Record { cols } => {
+                put_u8(&mut out, RESP_RECORD);
+                put_cols(&mut out, cols);
+            }
+            Response::Rids { rids } => {
+                put_u8(&mut out, RESP_RIDS);
+                put_u32(&mut out, rids.len() as u32);
+                for &r in rids {
+                    put_u64(&mut out, r);
+                }
+            }
+            Response::Progress {
+                index,
+                phase,
+                detail,
+            } => {
+                put_u8(&mut out, RESP_PROGRESS);
+                put_u32(&mut out, *index);
+                put_u8(&mut out, phase.tag());
+                put_u64(&mut out, *detail);
+            }
+            Response::IndexCreated { ids } => {
+                put_u8(&mut out, RESP_INDEX_CREATED);
+                put_u16(&mut out, ids.len() as u16);
+                for &id in ids {
+                    put_u32(&mut out, id);
+                }
+            }
+            Response::Stats { counters } => {
+                put_u8(&mut out, RESP_STATS);
+                put_u16(&mut out, counters.len() as u16);
+                for (name, value) in counters {
+                    put_string(&mut out, name);
+                    put_u64(&mut out, *value);
+                }
+            }
+            Response::Busy => put_u8(&mut out, RESP_BUSY),
+            Response::Err { code, message } => {
+                put_u8(&mut out, RESP_ERR);
+                put_u8(&mut out, code.tag());
+                put_string(&mut out, message);
+            }
+        }
+        out
+    }
+
+    /// Decode from a frame payload. `None` means malformed.
+    #[must_use]
+    pub fn decode(payload: &[u8]) -> Option<Response> {
+        let mut c = Cursor::new(payload);
+        let resp = match c.get_u8()? {
+            RESP_PONG => Response::Pong,
+            RESP_TX_BEGUN => Response::TxBegun { tx: c.get_u64()? },
+            RESP_COMMITTED => Response::Committed,
+            RESP_ROLLED_BACK => Response::RolledBack,
+            RESP_INSERTED => Response::Inserted { rid: c.get_u64()? },
+            RESP_UPDATED => Response::Updated,
+            RESP_DELETED => Response::Deleted,
+            RESP_RECORD => Response::Record {
+                cols: get_cols(&mut c)?,
+            },
+            RESP_RIDS => {
+                let n = c.get_u32()? as usize;
+                if n > crate::frame::MAX_FRAME / 8 {
+                    return None;
+                }
+                let mut rids = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    rids.push(c.get_u64()?);
+                }
+                Response::Rids { rids }
+            }
+            RESP_PROGRESS => Response::Progress {
+                index: c.get_u32()?,
+                phase: BuildPhase::from_tag(c.get_u8()?)?,
+                detail: c.get_u64()?,
+            },
+            RESP_INDEX_CREATED => {
+                let n = c.get_u16()? as usize;
+                let mut ids = Vec::with_capacity(n.min(16));
+                for _ in 0..n {
+                    ids.push(c.get_u32()?);
+                }
+                Response::IndexCreated { ids }
+            }
+            RESP_STATS => {
+                let n = c.get_u16()? as usize;
+                let mut counters = Vec::with_capacity(n.min(256));
+                for _ in 0..n {
+                    let name = c.get_string()?;
+                    let value = c.get_u64()?;
+                    counters.push((name, value));
+                }
+                Response::Stats { counters }
+            }
+            RESP_BUSY => Response::Busy,
+            RESP_ERR => Response::Err {
+                code: ErrorCode::from_tag(c.get_u8()?)?,
+                message: c.get_string()?,
+            },
+            _ => return None,
+        };
+        c.finish(resp)
+    }
+
+    /// Build the error response for an engine failure.
+    #[must_use]
+    pub fn from_error(e: &Error) -> Response {
+        Response::Err {
+            code: error_code_of(e),
+            message: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mohan_common::ids::{IndexId, Rid, TxId};
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Ping,
+            Request::Begin,
+            Request::Commit,
+            Request::Rollback,
+            Request::Insert {
+                table: 1,
+                cols: vec![7, -9, i64::MIN, i64::MAX],
+            },
+            Request::Update {
+                table: 1,
+                rid: Rid::new(3, 4).pack(),
+                cols: vec![],
+            },
+            Request::Delete {
+                table: 2,
+                rid: Rid::new(1, 1).pack(),
+            },
+            Request::Read { table: 2, rid: 99 },
+            Request::Lookup {
+                index: 5,
+                key: mohan_common::key::KeyValue::from_i64(-1)
+                    .as_bytes()
+                    .to_vec(),
+            },
+            Request::CreateIndex {
+                table: 1,
+                algo: BuildAlgo::Sf,
+                specs: vec![
+                    IndexSpecWire {
+                        name: "ix_k".into(),
+                        key_cols: vec![0],
+                        unique: true,
+                    },
+                    IndexSpecWire {
+                        name: "ix_v".into(),
+                        key_cols: vec![1, 0],
+                        unique: false,
+                    },
+                ],
+            },
+            Request::Stats,
+        ]
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        vec![
+            Response::Pong,
+            Response::TxBegun { tx: 42 },
+            Response::Committed,
+            Response::RolledBack,
+            Response::Inserted {
+                rid: Rid::new(7, 2).pack(),
+            },
+            Response::Updated,
+            Response::Deleted,
+            Response::Record {
+                cols: vec![1, 2, 3],
+            },
+            Response::Rids {
+                rids: vec![0, u64::MAX, 17],
+            },
+            Response::Progress {
+                index: 9,
+                phase: BuildPhase::Draining,
+                detail: 12345,
+            },
+            Response::IndexCreated { ids: vec![9, 10] },
+            Response::Stats {
+                counters: vec![("server.requests".into(), 7), ("server.busy".into(), 0)],
+            },
+            Response::Busy,
+            Response::Err {
+                code: ErrorCode::LockTimeout,
+                message: "tx7 timed out".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn request_roundtrip_all_variants() {
+        for req in sample_requests() {
+            let bytes = req.encode();
+            assert_eq!(Request::decode(&bytes), Some(req));
+        }
+    }
+
+    #[test]
+    fn response_roundtrip_all_variants() {
+        for resp in sample_responses() {
+            let bytes = resp.encode();
+            assert_eq!(Response::decode(&bytes), Some(resp));
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        for req in sample_requests() {
+            let bytes = req.encode();
+            for cut in 0..bytes.len() {
+                assert_eq!(Request::decode(&bytes[..cut]), None, "{req:?} cut {cut}");
+            }
+        }
+        for resp in sample_responses() {
+            let bytes = resp.encode();
+            for cut in 0..bytes.len() {
+                assert_eq!(Response::decode(&bytes[..cut]), None, "{resp:?} cut {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = Request::Ping.encode();
+        bytes.push(0);
+        assert_eq!(Request::decode(&bytes), None);
+        let mut bytes = Response::Committed.encode();
+        bytes.push(0);
+        assert_eq!(Response::decode(&bytes), None);
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        assert_eq!(Request::decode(&[0xEE]), None);
+        assert_eq!(Response::decode(&[0xEE]), None);
+        assert_eq!(Request::decode(&[]), None);
+    }
+
+    #[test]
+    fn error_code_mapping_covers_engine_errors() {
+        let cases: Vec<(Error, ErrorCode)> = vec![
+            (
+                Error::UniqueViolation {
+                    index: IndexId(1),
+                    existing: Rid::new(1, 1),
+                },
+                ErrorCode::UniqueViolation,
+            ),
+            (
+                Error::LockTimeout {
+                    tx: TxId(1),
+                    name: "rec".into(),
+                },
+                ErrorCode::LockTimeout,
+            ),
+            (Error::LockBusy, ErrorCode::LockBusy),
+            (Error::NotFound("x".into()), ErrorCode::NotFound),
+            (Error::PageFull, ErrorCode::PageFull),
+            (Error::Corruption("c".into()), ErrorCode::Corruption),
+            (Error::BuildCancelled, ErrorCode::BuildCancelled),
+            (Error::InjectedCrash("site"), ErrorCode::InjectedCrash),
+            (Error::TxNotActive(TxId(3)), ErrorCode::TxNotActive),
+            (Error::NoSuchIndex(IndexId(4)), ErrorCode::NoSuchIndex),
+            (
+                Error::IndexNotReadable(IndexId(5)),
+                ErrorCode::IndexNotReadable,
+            ),
+            (Error::NoOpenTx, ErrorCode::NoOpenTx),
+            (Error::TxAlreadyOpen(TxId(9)), ErrorCode::TxAlreadyOpen),
+        ];
+        for (err, code) in cases {
+            assert_eq!(error_code_of(&err), code, "{err:?}");
+            // And the wire response carries the display text through.
+            let resp = Response::from_error(&err);
+            let decoded = Response::decode(&resp.encode()).unwrap();
+            match decoded {
+                Response::Err { code: c, message } => {
+                    assert_eq!(c, code);
+                    assert_eq!(message, err.to_string());
+                }
+                other => panic!("expected Err, got {other:?}"),
+            }
+        }
+    }
+}

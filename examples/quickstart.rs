@@ -12,20 +12,23 @@ fn main() -> Result<()> {
     let table = TableId(1);
     db.create_table(table);
 
-    // Load 10,000 rows: (key, payload).
+    // A Session is the same statement API a TCP connection gets: one
+    // open transaction at most, auto-commit when none is open.
+    let mut session = Session::new(db.clone());
+
+    // Load 10,000 rows: (key, payload), one explicit transaction.
     println!("loading 10,000 rows ...");
-    let tx = db.begin();
+    session.begin()?;
     for k in 0..10_000 {
-        db.insert_record(tx, table, &Record::new(vec![k, k * 3]))?;
+        session.insert(table, &Record::new(vec![k, k * 3]))?;
     }
-    db.commit(tx)?;
+    session.commit()?;
 
     // Build a secondary index with the Side-File algorithm: no quiesce
     // at any point — concurrent transactions would go to the side-file
     // while the builder scans, sorts and bulk-loads.
     println!("building index by payload (SF, online) ...");
-    let idx = build_index(
-        &db,
+    let idx = session.create_index(
         table,
         IndexSpec {
             name: "by_payload".into(),
@@ -36,17 +39,15 @@ fn main() -> Result<()> {
     )?;
 
     // Query through the index.
-    let hits = db.index_lookup(idx, &KeyValue::from_i64(300))?;
+    let hits = session.lookup(idx, &KeyValue::from_i64(300))?;
     println!("payload 300 found at {} record(s): {:?}", hits.len(), hits);
-    let rec = db.read_record(table, hits[0])?;
+    let rec = session.read(table, hits[0])?;
     println!("record contents: {:?}", rec.0);
 
-    // The index stays maintained by ordinary DML.
-    let tx = db.begin();
-    let rid = db.insert_record(tx, table, &Record::new(vec![999_999, 424_242]))?;
-    db.commit(tx)?;
+    // The index stays maintained by ordinary DML (auto-commit here).
+    let rid = session.insert(table, &Record::new(vec![999_999, 424_242]))?;
     assert_eq!(
-        db.index_lookup(idx, &KeyValue::from_i64(424_242))?,
+        session.lookup(idx, &KeyValue::from_i64(424_242))?,
         vec![rid]
     );
 

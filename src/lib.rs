@@ -55,18 +55,24 @@
 //! | [`sort`] | restartable external sort (§5) |
 //! | [`heap`] | heap tables with WAL hooks and scan cursors |
 //! | [`oib`] | **the paper's contribution**: engine + NSF + SF |
+//! | [`wire`] | length-prefixed binary client/server protocol |
+//! | [`server`] | threaded TCP service: sessions, admission control, drain |
+//! | [`client`] | blocking client with connection pooling |
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
 //! the reproduced evaluation.
 
 pub use mohan_btree as btree;
+pub use mohan_client as client;
 pub use mohan_common as common;
 pub use mohan_heap as heap;
 pub use mohan_lock as lock;
 pub use mohan_oib as oib;
+pub use mohan_server as server;
 pub use mohan_sort as sort;
 pub use mohan_storage as storage;
 pub use mohan_wal as wal;
+pub use mohan_wire as wire;
 
 /// Everything a typical user needs, in one import.
 pub mod prelude {
@@ -78,7 +84,7 @@ pub mod prelude {
     pub use mohan_oib::primary::build_secondary_via_primary;
     pub use mohan_oib::schema::{BuildAlgorithm, Record};
     pub use mohan_oib::verify::{verify_all, verify_index};
-    pub use mohan_oib::{Db, IndexState};
+    pub use mohan_oib::{Db, IndexState, Session};
 }
 
 #[cfg(test)]
