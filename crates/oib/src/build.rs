@@ -46,12 +46,29 @@ pub fn build_indexes(
     specs: &[IndexSpec],
     algorithm: BuildAlgorithm,
 ) -> Result<Vec<IndexId>> {
+    build_indexes_observed(db, table, specs, algorithm, |_| {})
+}
+
+/// [`build_indexes`] with an observer hook: `on_ids` fires once the
+/// batch's index ids are allocated (descriptors registered for NSF/SF,
+/// runtimes created for offline), before any scan work. An observer —
+/// e.g. a server streaming progress frames — can then poll
+/// [`progress::load`] for exactly these ids instead of guessing which
+/// of the table's in-flight builds is this one.
+pub fn build_indexes_observed(
+    db: &Arc<Db>,
+    table: TableId,
+    specs: &[IndexSpec],
+    algorithm: BuildAlgorithm,
+    on_ids: impl FnOnce(&[IndexId]),
+) -> Result<Vec<IndexId>> {
     assert!(!specs.is_empty());
     match algorithm {
-        BuildAlgorithm::Offline => offline_build(db, table, specs),
+        BuildAlgorithm::Offline => offline_build(db, table, specs, on_ids),
         BuildAlgorithm::Nsf | BuildAlgorithm::Sf => {
             let idxs = create_descriptors(db, table, specs, algorithm)?;
             let ids: Vec<IndexId> = idxs.iter().map(|i| i.def.id).collect();
+            on_ids(&ids);
             match run_from_scratch(db, &idxs) {
                 Ok(()) => Ok(ids),
                 Err(e) if e.is_crash() => Err(e),
@@ -847,7 +864,12 @@ fn apply_drain_op(
 // ===================================================================
 
 /// The pre-paper way: quiesce *all* updates for the whole build.
-fn offline_build(db: &Arc<Db>, table: TableId, specs: &[IndexSpec]) -> Result<Vec<IndexId>> {
+fn offline_build(
+    db: &Arc<Db>,
+    table: TableId,
+    specs: &[IndexSpec],
+    on_ids: impl FnOnce(&[IndexId]),
+) -> Result<Vec<IndexId>> {
     let tx = db.begin();
     db.locks.lock(tx, LockName::Table(table), LockMode::S)?;
     let result = (|| -> Result<Vec<IndexId>> {
@@ -864,6 +886,7 @@ fn offline_build(db: &Arc<Db>, table: TableId, specs: &[IndexSpec]) -> Result<Ve
             set_scan_bounds(&rt, &tbl);
             idxs.push(rt);
         }
+        on_ids(&idxs.iter().map(|i| i.def.id).collect::<Vec<_>>());
         // One shared scan, unregistered runtimes: a crash leaves no
         // trace (the offline strategy is restart-from-scratch).
         let runs = scan_and_sort(db, &idxs, &vec![None; idxs.len()])?;

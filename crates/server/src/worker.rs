@@ -10,14 +10,14 @@
 
 use crate::Inner;
 use mohan_common::{Error, IndexId, KeyValue, Rid, TableId};
-use mohan_oib::build::{build_indexes, IndexSpec};
+use mohan_oib::build::{build_indexes_observed, IndexSpec};
 use mohan_oib::progress::{self, BuildProgress};
-use mohan_oib::runtime::IndexState;
 use mohan_oib::schema::{BuildAlgorithm, Record};
 use mohan_oib::Session;
-use mohan_wire::frame::{take_frame, write_frame};
+use mohan_wire::frame::{take_frame, write_frame, MAX_FRAME};
 use mohan_wire::message::{BuildAlgo, BuildPhase, ErrorCode, Request, Response};
 use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::{mpsc, Arc};
@@ -26,10 +26,17 @@ use std::time::{Duration, Instant};
 /// Where a spawned build thread deposits its outcome.
 type BuildResult = Arc<Mutex<Option<Result<Vec<IndexId>, Error>>>>;
 
+/// Where the build thread publishes the index ids it registered, as
+/// soon as they are allocated (before any scan work).
+type BuildIds = Arc<Mutex<Option<Vec<IndexId>>>>;
+
 /// A `CreateIndex` running on its own thread for one connection.
 struct BuildJob {
-    table: TableId,
     result: BuildResult,
+    /// Ids this build registered — the only ids whose progress this
+    /// connection reports (another connection may be building on the
+    /// same table concurrently).
+    ids: BuildIds,
     /// Last progress frame sent, to emit only on change.
     last_sent: Option<(u32, BuildPhase, u64)>,
     last_poll: Instant,
@@ -38,6 +45,10 @@ struct BuildJob {
 struct Conn {
     stream: TcpStream,
     buf: Vec<u8>,
+    /// Complete frames split off `buf`, each stamped with its arrival
+    /// time so the per-request deadline is measured per frame, not
+    /// from the connection's most recent byte.
+    pending: VecDeque<(Vec<u8>, Instant)>,
     session: Session,
     last_activity: Instant,
     build: Option<BuildJob>,
@@ -49,6 +60,7 @@ impl Conn {
         Conn {
             stream,
             buf: Vec::new(),
+            pending: VecDeque::new(),
             session: Session::new(Arc::clone(&inner.db)),
             last_activity: Instant::now(),
             build: None,
@@ -84,16 +96,14 @@ pub(crate) fn worker_loop(inner: &Arc<Inner>, _shard: usize, rx: &mpsc::Receiver
                     continue;
                 }
                 // A connection with nothing pending has had its say.
-                if conn.build.is_none() && conn.session.current_tx().is_none() {
+                if conn.build.is_none()
+                    && conn.pending.is_empty()
+                    && conn.session.current_tx().is_none()
+                {
                     conn.dead = true;
                 } else if expired {
                     if conn.session.current_tx().is_some() {
                         inner.stats.drain_rollbacks.bump();
-                    }
-                    if conn.build.is_some() {
-                        // Leave the build thread running detached; the
-                        // admission slot must come back regardless.
-                        inner.release();
                     }
                     conn.dead = true;
                 }
@@ -102,6 +112,14 @@ pub(crate) fn worker_loop(inner: &Arc<Inner>, _shard: usize, rx: &mpsc::Receiver
 
         conns.retain_mut(|conn| {
             if conn.dead {
+                // However the connection died — EOF, write timeout,
+                // malformed frame, drain — a spawned build still holds
+                // its admission slot; reclaim it here or the server
+                // wedges at max_inflight. The build thread itself keeps
+                // running detached (the `Db` is refcounted).
+                if conn.build.take().is_some() {
+                    inner.release();
+                }
                 let _ = conn.session.close(); // rolls back an open tx
                 inner.stats.conns_closed.bump();
                 inner
@@ -155,14 +173,15 @@ fn service_conn(inner: &Arc<Inner>, conn: &mut Conn, draining: bool) -> bool {
         }
     }
 
-    // Execute complete frames. While a build owns this connection the
-    // exchange is mid-stream — buffered bytes wait their turn.
-    while !conn.dead && conn.build.is_none() {
+    // Split complete frames off the receive buffer, stamping each with
+    // its arrival time: the per-request deadline is measured from when
+    // a frame's bytes were all here. (`last_activity` is refreshed by
+    // any later pipelined bytes, so it only feeds the idle timeout.)
+    while !conn.dead {
         match take_frame(&mut conn.buf) {
             Ok(None) => break,
             Ok(Some(payload)) => {
-                progressed = true;
-                handle_payload(inner, conn, &payload, draining);
+                conn.pending.push_back((payload, Instant::now()));
             }
             Err(_) => {
                 // Oversized length prefix: framing is unrecoverable.
@@ -175,6 +194,16 @@ fn service_conn(inner: &Arc<Inner>, conn: &mut Conn, draining: bool) -> bool {
                 conn.dead = true;
             }
         }
+    }
+
+    // Execute queued frames. While a build owns this connection the
+    // exchange is mid-stream — queued requests wait their turn.
+    while !conn.dead && conn.build.is_none() {
+        let Some((payload, arrived)) = conn.pending.pop_front() else {
+            break;
+        };
+        progressed = true;
+        handle_payload(inner, conn, &payload, arrived, draining);
     }
 
     if !conn.dead && conn.build.is_none() && conn.last_activity.elapsed() >= inner.cfg.idle_timeout
@@ -193,7 +222,13 @@ fn protocol_err(code: ErrorCode, message: &str) -> Response {
     }
 }
 
-fn handle_payload(inner: &Arc<Inner>, conn: &mut Conn, payload: &[u8], draining: bool) {
+fn handle_payload(
+    inner: &Arc<Inner>,
+    conn: &mut Conn,
+    payload: &[u8],
+    arrived: Instant,
+    draining: bool,
+) {
     let Some(req) = Request::decode(payload) else {
         inner.stats.malformed.bump();
         send(
@@ -229,10 +264,10 @@ fn handle_payload(inner: &Arc<Inner>, conn: &mut Conn, payload: &[u8], draining:
         return;
     };
 
-    // `last_activity` is when this request's bytes arrived; by the
+    // `arrived` is when this frame was completely received; by the
     // time the worker gets here it may have sat behind pipelined
     // predecessors or a slow statement on a sibling connection.
-    let waited = conn.last_activity.elapsed();
+    let waited = arrived.elapsed();
     if waited >= inner.cfg.request_deadline {
         inner.stats.deadline_rejects.bump();
         if admitted {
@@ -365,13 +400,17 @@ fn start_build(
         .collect();
 
     let result: BuildResult = Arc::new(Mutex::new(None));
+    let ids: BuildIds = Arc::new(Mutex::new(None));
     let slot = Arc::clone(&result);
+    let ids_slot = Arc::clone(&ids);
     let db = Arc::clone(&inner.db);
     inner.stats.builds_started.bump();
     let spawned = std::thread::Builder::new()
         .name("oib-build".into())
         .spawn(move || {
-            let r = build_indexes(&db, table, &engine_specs, algorithm);
+            let r = build_indexes_observed(&db, table, &engine_specs, algorithm, |registered| {
+                *ids_slot.lock() = Some(registered.to_vec());
+            });
             *slot.lock() = Some(r);
         });
     if spawned.is_err() {
@@ -396,8 +435,8 @@ fn start_build(
         },
     );
     conn.build = Some(BuildJob {
-        table,
         result,
+        ids,
         last_sent: Some((0, BuildPhase::Starting, 0)),
         last_poll: Instant::now(),
     });
@@ -444,29 +483,38 @@ fn watch_build(inner: &Arc<Inner>, conn: &mut Conn) -> bool {
         return false;
     }
     job.last_poll = Instant::now();
-    // The building index's durable checkpoint is the progress source —
-    // the same record a post-crash resume would start from.
-    let building = inner
-        .db
-        .indexes_of(job.table)
-        .into_iter()
-        .find(|idx| idx.state() != IndexState::Complete);
-    let Some(idx) = building else { return false };
-    let Ok(Some(p)) = progress::load(&inner.db, idx.def.id) else {
+    // The building indexes' durable checkpoints are the progress
+    // source — the same records a post-crash resume would start from.
+    // Only the ids this build registered are consulted: another
+    // connection may be building on the same table at the same time,
+    // and its frames must not leak into this exchange. A finished
+    // index clears its progress record, so the first id that still has
+    // one is the batch's current position.
+    let ids = job.ids.lock().clone();
+    let Some(ids) = ids else { return false };
+    let mut next: Option<(u32, BuildPhase, u64)> = None;
+    for id in ids {
+        let Ok(Some(p)) = progress::load(&inner.db, id) else {
+            continue;
+        };
+        let (phase, detail) = phase_of(&p);
+        let frame = (id.0, phase, detail);
+        if job.last_sent == Some(frame) {
+            return false;
+        }
+        job.last_sent = Some(frame);
+        next = Some(frame);
+        break;
+    }
+    let Some((index, phase, detail)) = next else {
         return false;
     };
-    let (phase, detail) = phase_of(&p);
-    let frame = (idx.def.id.0, phase, detail);
-    if job.last_sent == Some(frame) {
-        return false;
-    }
-    job.last_sent = Some(frame);
     inner.stats.progress_frames.bump();
     send(
         inner,
         conn,
         &Response::Progress {
-            index: frame.0,
+            index,
             phase,
             detail,
         },
@@ -491,7 +539,15 @@ fn send(inner: &Arc<Inner>, conn: &mut Conn, resp: &Response) {
     if conn.dead {
         return;
     }
-    let payload = resp.encode();
+    let mut payload = resp.encode();
+    if payload.len() > MAX_FRAME {
+        // The peer drops the connection on an oversized frame; answer
+        // with an in-band error instead. (Unreachable with the current
+        // message set — encode-time list clamps keep every response
+        // under the cap — but the invariant belongs here, not in each
+        // response constructor.)
+        payload = protocol_err(ErrorCode::Internal, "response exceeds frame cap").encode();
+    }
     let mut framed = Vec::with_capacity(4 + payload.len());
     framed.extend_from_slice(&(payload.len() as u32).to_be_bytes());
     framed.extend_from_slice(&payload);

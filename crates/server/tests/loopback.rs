@@ -227,6 +227,66 @@ fn admission_control_rejects_over_cap() {
     srv.drain();
 }
 
+/// A client that hangs up mid-`CreateIndex` must not leak its
+/// admission slot: with `max_inflight = 1` a leak would wedge the
+/// server into answering `Busy` forever.
+#[test]
+fn dropped_connection_mid_build_releases_admission_slot() {
+    let db = engine(5_000);
+    seed(&db, 2_000);
+    let srv = server(
+        &db,
+        ServerConfig {
+            max_inflight: 1,
+            ..ServerConfig::default()
+        },
+    );
+    let addr = addr_of(&srv);
+
+    // Start an SF build on a raw connection and hang up as soon as the
+    // server confirms it (the Starting frame): the single in-flight
+    // slot is held by the running build at that point.
+    let mut stream = std::net::TcpStream::connect(srv.addr()).unwrap();
+    let req = Request::CreateIndex {
+        table: T.0,
+        algo: BuildAlgo::Sf,
+        specs: vec![IndexSpecWire {
+            name: "ix_orphan".into(),
+            key_cols: vec![0],
+            unique: false,
+        }],
+    };
+    write_frame(&mut stream, &req.encode()).unwrap();
+    stream.flush().unwrap();
+    let first = Response::decode(&read_frame(&mut stream).unwrap().unwrap()).unwrap();
+    assert!(
+        matches!(
+            first,
+            Response::Progress {
+                phase: BuildPhase::Starting,
+                ..
+            }
+        ),
+        "expected Starting frame, got {first:?}"
+    );
+    drop(stream); // client dies while the build thread keeps running
+
+    // The slot comes back when the worker reaps the dead connection,
+    // whether or not the detached build has finished by then.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let mut c = Client::connect(&addr).unwrap();
+    loop {
+        match c.insert(T, vec![9_999_999, 0]) {
+            Ok(_) => break,
+            Err(ClientError::Busy) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => panic!("admission slot never released: {e}"),
+        }
+    }
+    srv.drain();
+}
+
 /// The acceptance scenario from the ISSUE, end to end.
 #[test]
 fn concurrent_dml_sf_build_streams_progress_and_drain_loses_nothing() {

@@ -39,8 +39,17 @@ impl std::error::Error for FrameError {}
 
 /// Write one frame: length prefix then payload, single `write_all` per
 /// part (callers wanting fewer syscalls wrap `w` in a `BufWriter`).
+///
+/// An oversized payload is refused (release builds included): the peer
+/// would reject the frame anyway, but only after its receive stream is
+/// unrecoverably desynchronised.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
-    debug_assert!(payload.len() <= MAX_FRAME);
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            FrameError::TooLarge(payload.len()).to_string(),
+        ));
+    }
     w.write_all(&(payload.len() as u32).to_be_bytes())?;
     w.write_all(payload)
 }
@@ -157,6 +166,17 @@ mod tests {
         assert_eq!(take_frame(&mut buf).unwrap().unwrap(), b"one");
         assert_eq!(take_frame(&mut buf).unwrap().unwrap(), b"two");
         assert_eq!(take_frame(&mut buf).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_payload_rejected_by_writer() {
+        // Must hold in release builds too: a frame the peer cannot
+        // accept should fail at the writer, not kill the connection.
+        let payload = vec![0u8; MAX_FRAME + 1];
+        let mut out = Vec::new();
+        let err = write_frame(&mut out, &payload).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -59,8 +59,9 @@ pub struct IndexSpecWire {
 impl IndexSpecWire {
     fn encode(&self, out: &mut Vec<u8>) {
         put_string(out, &self.name);
-        put_u16(out, self.key_cols.len() as u16);
-        for &c in &self.key_cols {
+        let n = self.key_cols.len().min(MAX_LIST);
+        put_u16(out, n as u16);
+        for &c in &self.key_cols[..n] {
             put_u16(out, c);
         }
         put_u8(out, u8::from(self.unique));
@@ -209,9 +210,22 @@ const REQ_LOOKUP: u8 = 9;
 const REQ_CREATE_INDEX: u8 = 10;
 const REQ_STATS: u8 = 11;
 
+/// Explicit protocol cap on every `u16`-counted list (columns, index
+/// specs, key columns, created ids, stat counters). Encoders clamp to
+/// it — count and emitted elements always agree — instead of letting
+/// `as u16` wrap the count and produce a frame the peer rejects as
+/// malformed (trailing bytes). Real lists are orders of magnitude
+/// smaller; the clamp is a wire-format invariant, not a working limit.
+pub const MAX_LIST: usize = u16::MAX as usize;
+
+/// Most RIDs one [`Response::Rids`] can carry and still fit
+/// [`crate::frame::MAX_FRAME`] (tag + u32 count + 8 bytes per RID).
+pub const MAX_RIDS: usize = (crate::frame::MAX_FRAME - 8) / 8;
+
 fn put_cols(out: &mut Vec<u8>, cols: &[i64]) {
-    put_u16(out, cols.len() as u16);
-    for &v in cols {
+    let n = cols.len().min(MAX_LIST);
+    put_u16(out, n as u16);
+    for &v in &cols[..n] {
         put_i64(out, v);
     }
 }
@@ -265,8 +279,9 @@ impl Request {
                 put_u8(&mut out, REQ_CREATE_INDEX);
                 put_u32(&mut out, *table);
                 put_u8(&mut out, algo.tag());
-                put_u16(&mut out, specs.len() as u16);
-                for s in specs {
+                let n = specs.len().min(MAX_LIST);
+                put_u16(&mut out, n as u16);
+                for s in &specs[..n] {
                     s.encode(&mut out);
                 }
             }
@@ -537,8 +552,9 @@ impl Response {
             }
             Response::Rids { rids } => {
                 put_u8(&mut out, RESP_RIDS);
-                put_u32(&mut out, rids.len() as u32);
-                for &r in rids {
+                let n = rids.len().min(MAX_RIDS);
+                put_u32(&mut out, n as u32);
+                for &r in &rids[..n] {
                     put_u64(&mut out, r);
                 }
             }
@@ -554,15 +570,17 @@ impl Response {
             }
             Response::IndexCreated { ids } => {
                 put_u8(&mut out, RESP_INDEX_CREATED);
-                put_u16(&mut out, ids.len() as u16);
-                for &id in ids {
+                let n = ids.len().min(MAX_LIST);
+                put_u16(&mut out, n as u16);
+                for &id in &ids[..n] {
                     put_u32(&mut out, id);
                 }
             }
             Response::Stats { counters } => {
                 put_u8(&mut out, RESP_STATS);
-                put_u16(&mut out, counters.len() as u16);
-                for (name, value) in counters {
+                let n = counters.len().min(MAX_LIST);
+                put_u16(&mut out, n as u16);
+                for (name, value) in &counters[..n] {
                     put_string(&mut out, name);
                     put_u64(&mut out, *value);
                 }
@@ -771,6 +789,22 @@ mod tests {
         let mut bytes = Response::Committed.encode();
         bytes.push(0);
         assert_eq!(Response::decode(&bytes), None);
+    }
+
+    #[test]
+    fn overlong_list_clamps_instead_of_wrapping_count() {
+        // `as u16` used to wrap the count to 3 while still emitting
+        // every element, which the peer rejected as trailing bytes.
+        let resp = Response::Record {
+            cols: vec![7; MAX_LIST + 3],
+        };
+        match Response::decode(&resp.encode()).expect("frame stays well-formed") {
+            Response::Record { cols } => {
+                assert_eq!(cols.len(), MAX_LIST);
+                assert!(cols.iter().all(|&v| v == 7));
+            }
+            other => panic!("expected Record, got {other:?}"),
+        }
     }
 
     #[test]
