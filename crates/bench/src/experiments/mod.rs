@@ -1,4 +1,4 @@
-//! The experiment suite (E1-E16). Each experiment regenerates one of
+//! The experiment suite (E1-E17). Each experiment regenerates one of
 //! the paper's qualitative claims as a quantitative table; the mapping
 //! to paper sections lives in `DESIGN.md` §3 and the expected shapes
 //! in `EXPERIMENTS.md`.
@@ -7,6 +7,7 @@ pub mod availability;
 pub mod build_cost;
 pub mod clustering;
 pub mod contention;
+pub mod observability;
 pub mod pseudo;
 pub mod restart;
 pub mod service;
@@ -53,12 +54,13 @@ pub fn run(id: &str, quick: bool) -> Option<Vec<Table>> {
         "e14" => storage_model::e14_primary_model(quick),
         "e15" => contention::e15_contention(quick),
         "e16" => service::e16_service(quick),
+        "e17" => observability::e17_observability(quick),
         _ => return None,
     })
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 16] = [
+pub const ALL: [&str; 17] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16",
+    "e16", "e17",
 ];

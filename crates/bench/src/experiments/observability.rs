@@ -1,0 +1,322 @@
+//! E17: the observability layer's two claims — the registry's record
+//! path is cheap enough to leave on, and one `Metrics` response over
+//! the wire answers the operational questions the paper's experiments
+//! keep asking (how far behind is the drain? what is the WAL paying?
+//! is the cache absorbing the scan?) while an SF build runs live.
+//!
+//! Part 1 interleaves recording-on and recording-off rounds of the
+//! same direct-engine churn (the E1 workload's DML half) and reports
+//! the throughput delta; the smoke run asserts it stays inside the
+//! budget so CI catches an accidentally hot instrumentation path.
+//!
+//! Part 2 is the acceptance scenario: loopback server, wire churn, an
+//! SF `CreateIndex` streaming progress on its own connection — and a
+//! single `Metrics` request from a fourth connection mid-drain, from
+//! which the table below is printed.
+
+use crate::report::{f2, ms, pct, Table};
+use crate::workload::{bench_config, seed_table, start_churn, ChurnConfig, TABLE};
+use mohan_client::{Client, ClientError, MetricsReport};
+use mohan_common::Rid;
+use mohan_server::{Server, ServerConfig};
+use mohan_wire::message::{BuildAlgo, BuildPhase, IndexSpecWire};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Overhead budget the smoke run enforces: with recording enabled the
+/// churn must keep at least this fraction of its recording-off
+/// throughput. The record path is a handful of relaxed atomics, so
+/// the budget is generous — it exists to catch regressions that put a
+/// lock or an allocation on the hot path, not to certify a precise
+/// percentage.
+const MIN_KEPT_FRACTION: f64 = 0.65;
+
+/// One churn round of `window`, returning committed ops.
+fn churn_round(rows: i64, seed: u64, window: Duration) -> u64 {
+    let (db, rids) = seed_table(bench_config(), rows, seed);
+    let churn = start_churn(
+        &db,
+        &rids,
+        ChurnConfig {
+            threads: 2,
+            ..ChurnConfig::default()
+        },
+    );
+    std::thread::sleep(window);
+    churn.stop().ops
+}
+
+/// Part 1: throughput with the registry recording vs globally off,
+/// interleaved rounds so machine drift hits both arms equally.
+fn overhead_table(quick: bool, smoke_assert: bool) -> Table {
+    let rows = super::scaled(if quick { 10_000 } else { 30_000 });
+    let window = Duration::from_millis(if quick { 200 } else { 600 });
+    const ROUNDS: u64 = 3;
+
+    let mut ops_on = 0u64;
+    let mut ops_off = 0u64;
+    for round in 0..ROUNDS {
+        mohan_obs::set_recording(true);
+        ops_on += churn_round(rows, 7 + round, window);
+        mohan_obs::set_recording(false);
+        ops_off += churn_round(rows, 7 + round, window);
+    }
+    mohan_obs::set_recording(true); // never leave the process muted
+
+    let tp_on = ops_on as f64 / (ROUNDS as f64 * window.as_secs_f64());
+    let tp_off = ops_off as f64 / (ROUNDS as f64 * window.as_secs_f64());
+    let kept = tp_on / tp_off.max(1e-9);
+
+    let mut t = Table::new(
+        "E17a: metrics-registry overhead on the E1 DML workload",
+        &["recording", "rounds", "ops/s", "vs recording off"],
+    );
+    t.row(vec![
+        "off".into(),
+        ROUNDS.to_string(),
+        f2(tp_off),
+        "100.0%".into(),
+    ]);
+    t.row(vec!["on".into(), ROUNDS.to_string(), f2(tp_on), pct(kept)]);
+    t.note(format!(
+        "Budget: recording-on must keep >= {:.0}% of recording-off throughput.",
+        MIN_KEPT_FRACTION * 100.0
+    ));
+    if smoke_assert {
+        assert!(
+            kept >= MIN_KEPT_FRACTION,
+            "metrics recording overhead over budget: kept {:.1}% < {:.1}% \
+             (on {tp_on:.0} ops/s vs off {tp_off:.0} ops/s)",
+            kept * 100.0,
+            MIN_KEPT_FRACTION * 100.0
+        );
+    }
+    t
+}
+
+/// Closed-loop wire DML against `addr` until stopped.
+fn wire_churn(
+    addr: &str,
+    threads: usize,
+    rids: &[Rid],
+    stop: &Arc<AtomicBool>,
+) -> Vec<JoinHandle<u64>> {
+    (0..threads)
+        .map(|i| {
+            let addr = addr.to_owned();
+            let stop = Arc::clone(stop);
+            let slice: Vec<Rid> = rids
+                .iter()
+                .copied()
+                .skip(i)
+                .step_by(threads.max(1))
+                .collect();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr).expect("wire churn connect");
+                let mut key = 10_000_000 * (i as i64 + 1);
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    key += 1;
+                    let result = if ops.is_multiple_of(3) && !slice.is_empty() {
+                        let rid = slice[ops as usize % slice.len()];
+                        c.update(TABLE, rid, vec![key, 2])
+                    } else {
+                        c.insert(TABLE, vec![key, 0]).map(|_| ())
+                    };
+                    match result {
+                        Ok(()) => ops += 1,
+                        Err(ClientError::Busy) => {
+                            key -= 1;
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                        Err(ClientError::Server { .. }) => {}
+                        Err(e) => panic!("wire churn client {i}: {e}"),
+                    }
+                }
+                ops
+            })
+        })
+        .collect()
+}
+
+fn hist_row(t: &mut Table, report: &MetricsReport, name: &str) {
+    match report.hist(name) {
+        Some(h) => t.row(vec![
+            name.into(),
+            h.p50.to_string(),
+            h.p99.to_string(),
+            format!("count {}", h.count),
+        ]),
+        None => t.row(vec![name.into(), "-".into(), "-".into(), "absent".into()]),
+    }
+}
+
+/// Part 2: one `Metrics` response sampled mid-drain of a live SF
+/// build over loopback.
+fn live_snapshot_table(quick: bool, smoke_assert: bool) -> Table {
+    let n = super::scaled(if quick { 20_000 } else { 60_000 });
+    let (db, rids) = seed_table(bench_config(), n, 99);
+    let srv = Server::start(
+        Arc::clone(&db),
+        ServerConfig {
+            workers: 4,
+            max_inflight: 16,
+            // Tight progress polling so the Loading/Draining signal
+            // below fires early enough to sample mid-build even on
+            // smoke-sized tables.
+            progress_interval: Duration::from_millis(2),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = srv.addr().to_string();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let churners = wire_churn(&addr, 3, &rids, &stop);
+    std::thread::sleep(Duration::from_millis(50));
+
+    // SF build on its own connection; the first Loading (or Draining)
+    // frame signals that the side-file is populated and the build is
+    // in its interesting half, so the snapshot lands mid-build.
+    let (signal_tx, signal_rx) = mpsc::channel::<()>();
+    let addr2 = addr.clone();
+    let builder = std::thread::spawn(move || {
+        let mut c = Client::connect(&addr2).expect("builder connect");
+        loop {
+            match c.create_index(
+                TABLE,
+                BuildAlgo::Sf,
+                vec![IndexSpecWire {
+                    name: "e17_sf".into(),
+                    key_cols: vec![0],
+                    unique: false,
+                }],
+                |_, phase, _| {
+                    if phase == BuildPhase::Loading || phase == BuildPhase::Draining {
+                        let _ = signal_tx.send(());
+                    }
+                },
+            ) {
+                Ok(ids) => return ids,
+                Err(ClientError::Busy) => std::thread::sleep(Duration::from_millis(1)),
+                Err(e) => panic!("wire SF build: {e}"),
+            }
+        }
+    });
+
+    // One Metrics request from a fresh connection. If the build is too
+    // fast to catch (tiny smoke tables), fall back to sampling right
+    // after it instead of hanging forever.
+    let _ = signal_rx.recv_timeout(Duration::from_secs(30));
+    let mut observer = Client::connect(&addr).expect("observer connect");
+    let sampled_at = Instant::now();
+    let report = loop {
+        match observer.metrics() {
+            Ok(r) => break r,
+            Err(ClientError::Busy) if sampled_at.elapsed() < Duration::from_secs(10) => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) => panic!("metrics request: {e}"),
+        }
+    };
+    let mid_build = !builder.is_finished();
+
+    let ids = builder.join().expect("builder thread");
+    stop.store(true, Ordering::Relaxed);
+    let wire_ops: u64 = churners.into_iter().map(|h| h.join().unwrap()).sum();
+    let report_after = observer.metrics().expect("post-build metrics");
+    srv.drain();
+
+    let mut t = Table::new(
+        "E17b: one Metrics response sampled during a live SF build (µs)",
+        &["metric", "p50", "p99", "detail"],
+    );
+    hist_row(&mut t, &report, "wal.flush_us");
+    hist_row(&mut t, &report, "server.req_us.Insert");
+    hist_row(&mut t, &report, "server.req_us.Update");
+    hist_row(&mut t, &report, "server.req_us.CreateIndex");
+    let hit = report.counter("cache.hit").unwrap_or(0);
+    let miss = report.counter("cache.miss").unwrap_or(0);
+    t.row(vec![
+        "cache hit rate".into(),
+        "-".into(),
+        "-".into(),
+        format!(
+            "{} ({hit} hit / {miss} miss)",
+            pct(hit as f64 / (hit + miss).max(1) as f64)
+        ),
+    ]);
+    t.row(vec![
+        "build.drain_lag".into(),
+        "-".into(),
+        "-".into(),
+        format!(
+            "{} entries behind{}",
+            report.counter("build.drain_lag").unwrap_or(0),
+            if mid_build {
+                " (sampled mid-build)"
+            } else {
+                " (build already done)"
+            }
+        ),
+    ]);
+    t.row(vec![
+        "build.side_file_appended".into(),
+        "-".into(),
+        "-".into(),
+        report
+            .counter("build.side_file_appended")
+            .unwrap_or(0)
+            .to_string(),
+    ]);
+    for phase in ["scan", "reduce", "load", "drain"] {
+        hist_row(&mut t, &report_after, &format!("build.phase_us.{phase}"));
+    }
+    t.note(format!(
+        "Built index {:?} while {} wire DML ops committed; snapshot taken {}.",
+        ids,
+        wire_ops,
+        if mid_build {
+            "mid-build"
+        } else {
+            "after the build"
+        }
+    ));
+    t.note(format!(
+        "Sample-to-response {} on a connection separate from churn and build.",
+        ms(sampled_at.elapsed())
+    ));
+
+    if smoke_assert {
+        // The acceptance list: every named stat must be present in the
+        // single response.
+        assert!(
+            report.hist("wal.flush_us").is_some(),
+            "wal.flush_us missing"
+        );
+        assert!(
+            report.hist("server.req_us.Insert").is_some(),
+            "server.req_us.Insert missing"
+        );
+        assert!(report.counter("cache.hit").is_some(), "cache.hit missing");
+        assert!(
+            report.counter("build.drain_lag").is_some(),
+            "build.drain_lag missing"
+        );
+        assert!(
+            report.counters.windows(2).all(|w| w[0].0 < w[1].0),
+            "Metrics counters not sorted"
+        );
+    }
+    t
+}
+
+/// E17: registry overhead + the live wire snapshot.
+pub fn e17_observability(quick: bool) -> Vec<Table> {
+    vec![
+        overhead_table(quick, quick),
+        live_snapshot_table(quick, quick),
+    ]
+}

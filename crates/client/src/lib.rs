@@ -17,7 +17,9 @@
 
 use mohan_common::{IndexId, KeyValue, Rid, TableId, TxId};
 use mohan_wire::frame::{read_frame, write_frame};
-use mohan_wire::message::{BuildAlgo, BuildPhase, ErrorCode, IndexSpecWire, Request, Response};
+use mohan_wire::message::{
+    BuildAlgo, BuildPhase, ErrorCode, HistogramSummaryWire, IndexSpecWire, Request, Response,
+};
 use parking_lot::Mutex;
 use std::io::{self, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -76,6 +78,36 @@ impl ClientError {
 
 /// Alias for client call results.
 pub type ClientResult<T> = Result<T, ClientError>;
+
+/// One decoded [`Response::Metrics`] frame: every counter/gauge and
+/// every histogram summary the server knows, sorted by name.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsReport {
+    /// `(name, value)` counters and gauges, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, summary)` histogram extracts, sorted by name.
+    pub hists: Vec<(String, HistogramSummaryWire)>,
+}
+
+impl MetricsReport {
+    /// Value of the counter or gauge `name`, if present.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| self.counters[i].1)
+    }
+
+    /// Summary of the histogram `name`, if present.
+    #[must_use]
+    pub fn hist(&self, name: &str) -> Option<&HistogramSummaryWire> {
+        self.hists
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.hists[i].1)
+    }
+}
 
 /// One blocking connection to the server.
 pub struct Client {
@@ -229,6 +261,42 @@ impl Client {
         match self.expect(&Request::Stats)? {
             Response::Stats { counters } => Ok(counters),
             other => Self::protocol("Stats", &other),
+        }
+    }
+
+    /// One full metrics snapshot: engine + server counters/gauges and
+    /// histogram summaries, both lists sorted by name.
+    pub fn metrics(&mut self) -> ClientResult<MetricsReport> {
+        match self.expect(&Request::Metrics)? {
+            Response::Metrics { counters, hists } => Ok(MetricsReport { counters, hists }),
+            other => Self::protocol("Metrics", &other),
+        }
+    }
+
+    /// Subscribe to a periodic metrics stream. The server emits one
+    /// [`MetricsReport`] per `interval_ms` (clamped server-side) until
+    /// this connection closes; `on_frame` returning `false` ends the
+    /// stream by disconnecting, which is the protocol's way to
+    /// unsubscribe — hence the method consumes the client.
+    pub fn observe_stats(
+        mut self,
+        interval_ms: u32,
+        mut on_frame: impl FnMut(MetricsReport) -> bool,
+    ) -> ClientResult<()> {
+        self.send(&Request::ObserveStats { interval_ms })?;
+        loop {
+            match self.recv()? {
+                Response::Metrics { counters, hists } => {
+                    if !on_frame(MetricsReport { counters, hists }) {
+                        return Ok(()); // drop disconnects
+                    }
+                }
+                Response::Err { code, message } => {
+                    return Err(ClientError::Server { code, message })
+                }
+                Response::Busy => return Err(ClientError::Busy),
+                other => return Self::protocol("Metrics", &other),
+            }
         }
     }
 

@@ -24,6 +24,23 @@ use std::sync::Arc;
 /// Environment variable read by [`FailpointSet::arm_from_env`].
 pub const FAILPOINTS_ENV: &str = "MOHAN_FAILPOINTS";
 
+/// Every failpoint site instrumented in the engine. Specs naming other
+/// sites still arm (tests invent private sites freely), but
+/// [`FailpointSet::arm_from_spec`] warns about them so a typo in
+/// `MOHAN_FAILPOINTS` is visible instead of silently inert.
+pub const KNOWN_SITES: &[&str] = &[
+    "build.drain",
+    "build.insert",
+    "build.load",
+    "build.reduce",
+    "build.scan",
+    "build.scan.record",
+    "nsf.insert.key",
+    "primary.scan.record",
+    "sf.drain.op",
+    "sf.load.key",
+];
+
 /// One arm/disarm-able set of failpoints.
 #[derive(Default, Debug)]
 pub struct FailpointSet {
@@ -67,7 +84,9 @@ impl FailpointSet {
     /// Arm every trigger named in a `site:count,...` spec string:
     /// `count` is the 1-based hit that fires (so `build.scan:1` fires
     /// on the first hit; `sf.drain.op:50` on the 50th). A bare `site`
-    /// means `site:1`. Returns the number of sites armed, or a
+    /// means `site:1`. Site names outside [`KNOWN_SITES`] are armed
+    /// anyway but warned about on stderr (a typo would otherwise be
+    /// silently inert). Returns the number of sites armed, or a
     /// description of the first malformed item.
     pub fn arm_from_spec(&self, spec: &str) -> std::result::Result<usize, String> {
         let mut armed = 0;
@@ -87,6 +106,13 @@ impl FailpointSet {
             };
             if site.is_empty() {
                 return Err(format!("empty site name in '{item}'"));
+            }
+            if !KNOWN_SITES.contains(&site) {
+                eprintln!(
+                    "warning: failpoint site '{site}' is not instrumented anywhere \
+                     in the engine (known sites: {})",
+                    KNOWN_SITES.join(", ")
+                );
             }
             self.arm_after(site, count - 1);
             armed += 1;
@@ -201,6 +227,47 @@ mod tests {
         assert!(fp.arm_from_spec(":3").is_err());
         assert_eq!(fp.arm_from_spec("").unwrap(), 0);
         assert_eq!(fp.arm_from_spec(" , ,").unwrap(), 0);
+    }
+
+    #[test]
+    fn spec_comma_list_arms_every_item_with_whitespace_tolerance() {
+        let fp = FailpointSet::new();
+        let n = fp
+            .arm_from_spec("build.scan:2,  sf.drain.op:1 ,\tbuild.load")
+            .unwrap();
+        assert_eq!(n, 3);
+        assert!(fp.hit("build.scan").is_ok());
+        assert!(fp.hit("build.scan").unwrap_err().is_crash());
+        assert!(fp.hit("sf.drain.op").unwrap_err().is_crash());
+        assert!(fp.hit("build.load").unwrap_err().is_crash());
+    }
+
+    #[test]
+    fn spec_unknown_sites_still_arm() {
+        // The warning is advisory; the trigger must work so tests can
+        // keep using private site names.
+        let fp = FailpointSet::new();
+        assert_eq!(fp.arm_from_spec("definitely.not.a.site:1").unwrap(), 1);
+        assert!(fp.hit("definitely.not.a.site").unwrap_err().is_crash());
+    }
+
+    #[test]
+    fn spec_error_reports_the_offending_item() {
+        let fp = FailpointSet::new();
+        let err = fp.arm_from_spec("build.scan:1,b:oops").unwrap_err();
+        assert!(err.contains("b:oops"), "{err}");
+        let err = fp.arm_from_spec("a:0").unwrap_err();
+        assert!(err.contains("a:0"), "{err}");
+    }
+
+    #[test]
+    fn known_sites_list_is_sorted_and_nonempty() {
+        // Sorted so the warning's site dump is scannable and the list
+        // diff-stable as sites are added.
+        assert!(!KNOWN_SITES.is_empty());
+        let mut sorted = KNOWN_SITES.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, KNOWN_SITES);
     }
 
     #[test]

@@ -1,0 +1,375 @@
+//! Lock-free log-linear histogram.
+//!
+//! Values are bucketed HdrHistogram-style: 16 linear sub-buckets per
+//! power of two, so every bucket's width is at most 1/16 of its lower
+//! bound — quantile estimates carry a bounded ≤ 6.25% relative error
+//! (values below 16 are exact). The record path is three relaxed
+//! `fetch_add`s and one `fetch_max`; snapshots copy the bucket array
+//! and are mergeable, so one logical metric can be fed by several
+//! physically separate histograms (one per latch family, per shard, …)
+//! and still report a single distribution.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-buckets per power of two (power of two itself).
+const SUB: usize = 16;
+/// `log2(SUB)`.
+const LOG_SUB: u32 = 4;
+
+/// Total buckets needed to cover the full `u64` range:
+/// `(63 - LOG_SUB) * SUB + (2 * SUB - 1) + 1`.
+pub const HISTOGRAM_BUCKETS: usize = (63 - LOG_SUB as usize) * SUB + 2 * SUB;
+
+/// Bucket index of `v`. Exact for `v < SUB`; elsewhere the value's
+/// top `LOG_SUB + 1` significant bits pick the bucket.
+fn bucket_of(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let h = 63 - v.leading_zeros(); // 2^h <= v
+        let g = h - LOG_SUB; // sub-bucket width is 2^g
+        (g as usize) * SUB + (v >> g) as usize
+    }
+}
+
+/// Inclusive lower bound of bucket `idx` (inverse of [`bucket_of`]).
+fn bucket_lower(idx: usize) -> u64 {
+    if idx < 2 * SUB {
+        idx as u64
+    } else {
+        let g = idx / SUB - 1;
+        ((idx - g * SUB) as u64) << g
+    }
+}
+
+/// Inclusive upper bound of bucket `idx`.
+fn bucket_upper(idx: usize) -> u64 {
+    if idx + 1 >= HISTOGRAM_BUCKETS {
+        u64::MAX
+    } else {
+        bucket_lower(idx + 1) - 1
+    }
+}
+
+/// A concurrent log-linear histogram of `u64` observations
+/// (microseconds, depths, byte counts, …).
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("max", &self.max.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// Empty histogram.
+    #[must_use]
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: (0..HISTOGRAM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation. Lock-free; a no-op while recording is
+    /// globally disabled (see [`crate::set_recording`]).
+    pub fn record(&self, v: u64) {
+        if !crate::recording_enabled() {
+            return;
+        }
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record a duration in whole microseconds.
+    pub fn record_micros(&self, d: std::time::Duration) {
+        self.record(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Observations recorded so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of the distribution.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned copy of a [`Histogram`]'s state; merge several to report
+/// one logical distribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations (wrapping on overflow, like the counters).
+    pub sum: u64,
+    /// Largest observation.
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// Snapshot with nothing recorded.
+    #[must_use]
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Fold `other` into `self`.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Estimate of the `q`-quantile (`0.0 < q <= 1.0`): the upper
+    /// bound of the bucket holding the rank-`ceil(q·count)`
+    /// observation, clamped to the observed maximum — so the estimate
+    /// is exact below 16 and within the bucket's ≤ 1/16 relative
+    /// width elsewhere. Returns 0 on an empty snapshot.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    #[must_use]
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean observation (0 on an empty snapshot).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The bucket error bound the quantile estimate of `v` carries:
+    /// the inclusive `[lower, upper]` range of `v`'s bucket.
+    #[must_use]
+    pub fn bucket_bounds(v: u64) -> (u64, u64) {
+        let idx = bucket_of(v);
+        (bucket_lower(idx), bucket_upper(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bucket_fn_is_monotone_and_inverse_consistent() {
+        let mut prev = 0usize;
+        let mut v = 0u64;
+        while v < 1 << 20 {
+            let idx = bucket_of(v);
+            assert!(idx >= prev, "bucket_of not monotone at {v}");
+            assert!(bucket_lower(idx) <= v && v <= bucket_upper(idx), "{v}");
+            prev = idx;
+            v += 1 + v / 7;
+        }
+        assert_eq!(bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_upper(HISTOGRAM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn buckets_tile_the_range_exactly() {
+        for idx in 1..HISTOGRAM_BUCKETS {
+            assert_eq!(
+                bucket_upper(idx - 1).wrapping_add(1),
+                bucket_lower(idx),
+                "gap/overlap at bucket {idx}"
+            );
+        }
+        assert_eq!(bucket_lower(0), 0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        for q in [0.1f64, 0.5, 0.9, 1.0] {
+            let rank = ((q * 16.0).ceil() as u64).clamp(1, 16);
+            assert_eq!(s.quantile(q), rank - 1, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantiles_and_max_on_known_stream() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max, 1000);
+        // p50's true value is 500; bucket error is <= 1/16.
+        let p50 = s.p50();
+        assert!((469..=532).contains(&p50), "p50={p50}");
+        let p99 = s.p99();
+        assert!((990..=1000).contains(&p99), "p99={p99}");
+        assert_eq!(s.quantile(1.0), 1000);
+        assert!((s.mean() - 500.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn snapshots_merge() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in 0..100 {
+            a.record(v);
+            b.record(v + 1000);
+        }
+        let mut s = a.snapshot();
+        s.merge(&b.snapshot());
+        assert_eq!(s.count, 200);
+        assert_eq!(s.max, 1099);
+        assert!(s.p50() < 1000);
+        assert!(s.p99() >= 1000);
+    }
+
+    /// Satellite: 8 threads × 100k records — the total count, sum and
+    /// per-bucket tallies are conserved under concurrency.
+    #[test]
+    fn concurrent_recorders_conserve_counts() {
+        let h = Arc::new(Histogram::new());
+        const THREADS: u64 = 8;
+        const PER: u64 = 100_000;
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    // Deterministic per-thread stream spanning many
+                    // buckets (xorshift).
+                    let mut x = t * 2_654_435_761 + 1;
+                    let mut local_sum = 0u64;
+                    for _ in 0..PER {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        let v = x % 1_000_003;
+                        local_sum = local_sum.wrapping_add(v);
+                        h.record(v);
+                    }
+                    local_sum
+                })
+            })
+            .collect();
+        let expect_sum: u64 = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .fold(0u64, u64::wrapping_add);
+        let s = h.snapshot();
+        assert_eq!(s.count, THREADS * PER);
+        assert_eq!(s.sum, expect_sum);
+        assert_eq!(s.buckets.iter().sum::<u64>(), THREADS * PER);
+        assert!(s.max < 1_000_003);
+    }
+
+    proptest! {
+        /// Satellite: for arbitrary value streams, every quantile
+        /// estimate stays inside the log-linear bucket of the *true*
+        /// quantile value — the advertised ≤ 1/16 relative error.
+        #[test]
+        fn prop_quantile_error_is_bucket_bounded(
+            mut values in prop::collection::vec(any::<u64>(), 1..400),
+            qs in prop::collection::vec(1u32..=100, 1..6)
+        ) {
+            let h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let s = h.snapshot();
+            values.sort_unstable();
+            for q100 in qs {
+                let q = f64::from(q100) / 100.0;
+                let rank = ((q * values.len() as f64).ceil() as usize)
+                    .clamp(1, values.len());
+                let truth = values[rank - 1];
+                let est = s.quantile(q);
+                let (lo, hi) = HistogramSnapshot::bucket_bounds(truth);
+                prop_assert!(
+                    est >= lo && est <= hi,
+                    "q={q} truth={truth} est={est} bounds=({lo},{hi})"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Engine-wide observability: a metrics registry with log-linear
+//! histograms, gauges and counters behind one namespace scheme, plus a
+//! span-based trace ring buffer.
+//!
+//! The 1992 paper argues in *pathlengths* and the workspace's
+//! `common::stats` counters reproduce those arguments, but counters
+//! cannot answer the distributional questions a serving system raises:
+//! the tail of the group-flush stall, the per-opcode request latency
+//! under admission control, the side-file drain *lag* during a live SF
+//! build. This crate supplies the missing substrate:
+//!
+//! * [`Histogram`] — a lock-free log-linear histogram (atomic bucket
+//!   increments, ≤ 1/16 relative bucket error) with mergeable
+//!   [`HistogramSnapshot`]s and p50/p90/p99/max extraction;
+//! * [`Registry`] — named counters, gauge callbacks and histograms
+//!   under one dotted namespace (`wal.flush_us`, `cache.hit`,
+//!   `build.drain_lag`, `server.req_us.<opcode>`, …). Subsystems keep
+//!   owning their stats structs; the registry *adopts* them, and
+//!   several structs adopted under one name merge at snapshot time
+//!   (e.g. every latch family's wait-time histogram appears as one
+//!   `latch.wait_us`);
+//! * [`TraceSink`] — a fixed-capacity, per-thread, drop-oldest ring of
+//!   [`TraceEvent`]s recording build-phase transitions and slow
+//!   requests, dumpable as JSON-lines.
+//!
+//! Recording is globally gateable ([`set_recording`]) so the E17
+//! experiment can measure the overhead of the record path itself.
+
+#![warn(missing_docs)]
+
+mod histogram;
+mod registry;
+mod trace;
+
+pub use histogram::{Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
+pub use registry::{MetricsSnapshot, Registry};
+pub use trace::{SpanGuard, TraceEvent, TraceSink};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Global switch for every record path in this crate (histograms and
+/// trace events; registry gauge *reads* are unaffected). On by
+/// default; the E17 overhead experiment toggles it to measure the
+/// cost of recording against an otherwise identical run.
+static RECORDING: AtomicBool = AtomicBool::new(true);
+
+/// Enable or disable metric/trace recording process-wide.
+pub fn set_recording(enabled: bool) {
+    RECORDING.store(enabled, Ordering::Release);
+}
+
+/// Whether record paths are currently live.
+#[must_use]
+pub fn recording_enabled() -> bool {
+    RECORDING.load(Ordering::Acquire)
+}

@@ -1,0 +1,350 @@
+//! Span-based trace ring buffer.
+//!
+//! A [`TraceSink`] is a fixed-capacity, drop-oldest ring of
+//! [`TraceEvent`]s, sharded so recording threads rarely contend on one
+//! lock: each thread is pinned round-robin to one of [`SHARDS`] rings
+//! (the same home-stripe scheme `common::stats::StripedCounter` uses).
+//! Capacity is per shard, so the sink as a whole retains up to
+//! `SHARDS × capacity` events, evicting the oldest *within each shard*
+//! when full. Events carry a global sequence number so a merged dump
+//! reads in record order.
+//!
+//! Two producers exist: explicit [`TraceSink::event`] calls (build
+//! phase transitions) and [`TraceSink::span`] guards that measure a
+//! scoped duration and record on drop (slow requests — the caller
+//! decides the threshold via [`SpanGuard::commit_if_over`]).
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Ring shards; recording threads are pinned round-robin.
+const SHARDS: usize = 8;
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Global record order (monotone across shards).
+    pub seq: u64,
+    /// Microseconds since the sink was created.
+    pub at_us: u64,
+    /// Event kind, e.g. `"build.phase"` or `"server.slow_request"`.
+    pub kind: &'static str,
+    /// Instance label, e.g. `"sf.drain.pass"` or an opcode name.
+    pub label: String,
+    /// Duration of the span in microseconds (0 for point events).
+    pub dur_us: u64,
+    /// Free-form numeric detail (pass number, backlog, frame bytes).
+    pub detail: u64,
+}
+
+impl TraceEvent {
+    /// The event as one JSON object (used by the JSON-lines dump).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"seq\":{},\"at_us\":{},\"kind\":\"{}\",\"label\":\"{}\",\"dur_us\":{},\"detail\":{}}}",
+            self.seq,
+            self.at_us,
+            json_escape(self.kind),
+            json_escape(&self.label),
+            self.dur_us,
+            self.detail
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Fixed-capacity, sharded, drop-oldest ring of [`TraceEvent`]s.
+pub struct TraceSink {
+    shards: [Mutex<VecDeque<TraceEvent>>; SHARDS],
+    capacity: usize,
+    seq: AtomicU64,
+    epoch: Instant,
+}
+
+impl std::fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceSink")
+            .field("capacity", &self.capacity)
+            .field("recorded", &self.seq.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's home shard, assigned round-robin on first use.
+    static HOME_SHARD: usize = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+}
+
+impl TraceSink {
+    /// Default per-shard event capacity.
+    pub const DEFAULT_CAPACITY: usize = 256;
+
+    /// Sink retaining up to `capacity` events per shard (min 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> TraceSink {
+        TraceSink {
+            shards: std::array::from_fn(|_| Mutex::new(VecDeque::new())),
+            capacity: capacity.max(1),
+            seq: AtomicU64::new(0),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Record a point event (no duration). A no-op while recording is
+    /// globally disabled.
+    pub fn event(&self, kind: &'static str, label: impl Into<String>, detail: u64) {
+        self.push(kind, label.into(), 0, detail);
+    }
+
+    /// Record a completed span whose duration the caller measured
+    /// itself (e.g. a drop-guard that cannot consume a [`SpanGuard`]).
+    pub fn span_event(
+        &self,
+        kind: &'static str,
+        label: impl Into<String>,
+        dur_us: u64,
+        detail: u64,
+    ) {
+        self.push(kind, label.into(), dur_us, detail);
+    }
+
+    /// Start a span; the guard records `kind`/`label` with the
+    /// measured duration when committed (or dropped, for
+    /// [`SpanGuard::commit`]-style unconditional spans).
+    #[must_use]
+    pub fn span<'a>(&'a self, kind: &'static str, label: impl Into<String>) -> SpanGuard<'a> {
+        SpanGuard {
+            sink: self,
+            kind,
+            label: label.into(),
+            detail: 0,
+            started: Instant::now(),
+            armed: true,
+        }
+    }
+
+    fn push(&self, kind: &'static str, label: String, dur_us: u64, detail: u64) {
+        if !crate::recording_enabled() {
+            return;
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let at_us = self.epoch.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        let ev = TraceEvent {
+            seq,
+            at_us,
+            kind,
+            label,
+            dur_us,
+            detail,
+        };
+        let mut ring = self.shards[HOME_SHARD.with(|s| *s)].lock();
+        if ring.len() >= self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(ev);
+    }
+
+    /// All retained events, merged across shards in record order.
+    #[must_use]
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut all: Vec<TraceEvent> = Vec::new();
+        for shard in &self.shards {
+            all.extend(shard.lock().iter().cloned());
+        }
+        all.sort_by_key(|e| e.seq);
+        all
+    }
+
+    /// Retained events as JSON-lines (one object per line).
+    #[must_use]
+    pub fn dump_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in self.events() {
+            out.push_str(&ev.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Drop every retained event (sequence numbers keep advancing).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
+    }
+}
+
+/// Measures a scope's duration for a [`TraceSink`]; records on
+/// [`commit`](SpanGuard::commit) or
+/// [`commit_if_over`](SpanGuard::commit_if_over). Dropping without
+/// committing records nothing, so speculative spans on hot paths cost
+/// one `Instant::now()` when they turn out fast.
+pub struct SpanGuard<'a> {
+    sink: &'a TraceSink,
+    kind: &'static str,
+    label: String,
+    detail: u64,
+    started: Instant,
+    armed: bool,
+}
+
+impl SpanGuard<'_> {
+    /// Attach a numeric detail (pass number, byte count, …).
+    #[must_use]
+    pub fn with_detail(mut self, detail: u64) -> Self {
+        self.detail = detail;
+        self
+    }
+
+    /// Elapsed time since the span started.
+    #[must_use]
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.started.elapsed()
+    }
+
+    /// Record the span unconditionally and return its duration.
+    pub fn commit(mut self) -> std::time::Duration {
+        let d = self.started.elapsed();
+        self.record(d);
+        d
+    }
+
+    /// Record the span only if it ran at least `threshold_us`
+    /// microseconds; returns the duration either way.
+    pub fn commit_if_over(mut self, threshold_us: u64) -> std::time::Duration {
+        let d = self.started.elapsed();
+        if d.as_micros() >= u128::from(threshold_us) {
+            self.record(d);
+        } else {
+            self.armed = false;
+        }
+        d
+    }
+
+    fn record(&mut self, d: std::time::Duration) {
+        if self.armed {
+            self.armed = false;
+            let dur_us = d.as_micros().min(u128::from(u64::MAX)) as u64;
+            self.sink.push(
+                self.kind,
+                std::mem::take(&mut self.label),
+                dur_us,
+                self.detail,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_come_back_in_record_order() {
+        let sink = TraceSink::new(16);
+        for i in 0..5 {
+            sink.event("build.phase", format!("phase-{i}"), i);
+        }
+        let evs = sink.events();
+        assert_eq!(evs.len(), 5);
+        for (i, ev) in evs.iter().enumerate() {
+            assert_eq!(ev.seq, i as u64);
+            assert_eq!(ev.label, format!("phase-{i}"));
+            assert_eq!(ev.detail, i as u64);
+            assert_eq!(ev.dur_us, 0);
+        }
+    }
+
+    #[test]
+    fn ring_drops_oldest_at_capacity() {
+        let sink = TraceSink::new(3);
+        // Single thread → single shard → exact drop-oldest order.
+        for i in 0..10u64 {
+            sink.event("k", "e", i);
+        }
+        let evs = sink.events();
+        assert_eq!(evs.len(), 3);
+        let details: Vec<u64> = evs.iter().map(|e| e.detail).collect();
+        assert_eq!(details, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn span_commit_records_duration() {
+        let sink = TraceSink::new(8);
+        let span = sink.span("server.slow_request", "Insert").with_detail(7);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let d = span.commit();
+        assert!(d.as_micros() >= 2000);
+        let evs = sink.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].kind, "server.slow_request");
+        assert_eq!(evs[0].label, "Insert");
+        assert_eq!(evs[0].detail, 7);
+        assert!(evs[0].dur_us >= 2000);
+    }
+
+    #[test]
+    fn fast_spans_below_threshold_record_nothing() {
+        let sink = TraceSink::new(8);
+        let span = sink.span("server.slow_request", "Ping");
+        let _ = span.commit_if_over(10_000_000);
+        assert!(sink.events().is_empty());
+        // And an uncommitted drop records nothing either.
+        let _ = sink.span("server.slow_request", "Ping");
+        assert!(sink.events().is_empty());
+    }
+
+    #[test]
+    fn jsonl_dump_escapes_and_is_line_per_event() {
+        let sink = TraceSink::new(8);
+        sink.event("k", "quote\"back\\slash\n", 1);
+        sink.event("k", "plain", 2);
+        let dump = sink.dump_jsonl();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("quote\\\"back\\\\slash\\u000a"));
+        assert!(lines[1].contains("\"detail\":2"));
+        assert!(lines[0].starts_with('{') && lines[0].ends_with('}'));
+    }
+
+    #[test]
+    fn concurrent_recorders_interleave_without_loss() {
+        let sink = std::sync::Arc::new(TraceSink::new(10_000));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let sink = std::sync::Arc::clone(&sink);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        sink.event("k", "e", t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let evs = sink.events();
+        assert_eq!(evs.len(), 2000);
+        // seq strictly increasing in merged output.
+        for w in evs.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
+    }
+}

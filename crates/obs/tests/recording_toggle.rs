@@ -1,0 +1,35 @@
+//! The global recording gate lives in process-wide state, so its test
+//! runs in this dedicated integration binary (own process) rather than
+//! as a unit test racing the concurrent histogram stress tests.
+
+use mohan_obs::{set_recording, Histogram, TraceSink};
+
+#[test]
+fn disabled_recording_is_a_no_op_for_histograms_and_traces() {
+    let h = Histogram::new();
+    let sink = TraceSink::new(8);
+
+    h.record(42);
+    sink.event("k", "on", 1);
+    assert_eq!(h.count(), 1);
+    assert_eq!(sink.events().len(), 1);
+
+    set_recording(false);
+    h.record(43);
+    h.record_micros(std::time::Duration::from_micros(9));
+    sink.event("k", "off", 2);
+    sink.span("k", "off-span").commit();
+    assert_eq!(h.count(), 1, "records while disabled must be dropped");
+    assert_eq!(
+        sink.events().len(),
+        1,
+        "events while disabled must be dropped"
+    );
+
+    set_recording(true);
+    h.record(44);
+    sink.event("k", "on-again", 3);
+    assert_eq!(h.count(), 2);
+    assert_eq!(sink.events().len(), 2);
+    assert_eq!(h.snapshot().max, 44);
+}

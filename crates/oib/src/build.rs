@@ -14,6 +14,43 @@ use mohan_sort::{
 };
 use mohan_wal::{LogPayload, RecKind};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Times one build phase: on drop (success, error and crash paths
+/// alike) the duration lands in the `build.phase_us.<label>` histogram
+/// and a `build.phase` trace event, so the ring shows the scan → sort
+/// → load/insert → drain → flip transitions in order.
+struct PhaseTimer<'a> {
+    db: &'a Db,
+    label: &'static str,
+    started: Instant,
+}
+
+impl<'a> PhaseTimer<'a> {
+    fn new(db: &'a Db, label: &'static str) -> PhaseTimer<'a> {
+        PhaseTimer {
+            db,
+            label,
+            started: Instant::now(),
+        }
+    }
+}
+
+impl Drop for PhaseTimer<'_> {
+    fn drop(&mut self) {
+        let d = self.started.elapsed();
+        self.db
+            .obs
+            .histogram(&format!("build.phase_us.{}", self.label))
+            .record_micros(d);
+        self.db.obs.trace().span_event(
+            "build.phase",
+            self.label,
+            d.as_micros().min(u128::from(u64::MAX)) as u64,
+            0,
+        );
+    }
+}
 
 /// What the caller wants indexed.
 #[derive(Debug, Clone)]
@@ -248,6 +285,7 @@ fn scan_and_sort(
     idxs: &[Arc<IndexRuntime>],
     resumes: &[Option<SortCheckpoint<IndexEntry>>],
 ) -> Result<Vec<Vec<u64>>> {
+    let _phase = PhaseTimer::new(db, "scan");
     let table = db.table(idxs[0].def.table)?;
     let ws = db.cfg.sort_workspace_keys;
     let mut rfs: Vec<RunFormation<IndexEntry>> = Vec::with_capacity(idxs.len());
@@ -347,6 +385,7 @@ fn reduce_phase(
     runs: Vec<u64>,
     resume: Option<MergePassCheckpoint>,
 ) -> Result<Vec<u64>> {
+    let _phase = PhaseTimer::new(db, "reduce");
     let ext = ExternalSort {
         store: idx.run_store(),
         workspace: db.cfg.sort_workspace_keys,
@@ -400,6 +439,9 @@ fn complete_index(
 ) -> Result<()> {
     idx.set_completed_lsn(completed_at);
     idx.set_state(IndexState::Complete);
+    db.obs
+        .trace()
+        .event("build.phase", "flip", u64::from(idx.def.id.0));
     db.persist_catalog();
     progress::clear(db, idx.def.id);
     db.wal.flush_all();
@@ -417,6 +459,7 @@ fn nsf_insert_phase(
     merge_cp: MergeCheckpoint,
     mut inserted: u64,
 ) -> Result<()> {
+    let _phase = PhaseTimer::new(db, "insert");
     let store = idx.run_store();
     let mut merge = Merge::resume(&store, &merge_cp)?;
     let mut ib = db.begin_ib();
@@ -581,6 +624,7 @@ fn sf_load_phase(
     merge_cp: MergeCheckpoint,
     bulk_cp: Option<mohan_btree::BulkCheckpoint>,
 ) -> Result<()> {
+    let _phase = PhaseTimer::new(db, "load");
     let store = idx.run_store();
     let mut merge = Merge::resume(&store, &merge_cp)?;
     let mut loader = match &bulk_cp {
@@ -712,6 +756,8 @@ fn resolve_unique_group(
 }
 
 pub(crate) fn sf_drain_phase(db: &Arc<Db>, idx: &Arc<IndexRuntime>, mut pos: u64) -> Result<()> {
+    let _phase = PhaseTimer::new(db, "drain");
+    idx.side_file.set_drained(pos);
     let mut ib = db.begin_ib();
     let result = (|| -> Result<()> {
         // First pass: optionally sort the backlog for clustered index
@@ -729,7 +775,9 @@ pub(crate) fn sf_drain_phase(db: &Arc<Db>, idx: &Arc<IndexRuntime>, mut pos: u64
                 }
                 db.ib_commit_cycle(&mut ib)?;
                 pos = snapshot;
+                idx.side_file.set_drained(pos);
                 idx.side_file.drain_passes.bump();
+                db.obs.trace().event("build.phase", "sf.drain.pass", pos);
                 progress::store(db, idx.def.id, &BuildProgress::Draining { pos });
                 db.failpoints.hit("build.drain")?;
             }
@@ -759,14 +807,17 @@ pub(crate) fn sf_drain_phase(db: &Arc<Db>, idx: &Arc<IndexRuntime>, mut pos: u64
                 for op in batch {
                     apply_drain_op(db, ib, idx, op)?;
                     pos += 1;
+                    idx.side_file.set_drained(pos);
                     db.failpoints.hit("sf.drain.op")?;
                 }
                 db.ib_commit_cycle(&mut ib)?;
+                db.obs.trace().event("build.phase", "sf.drain.pass", pos);
                 progress::store(db, idx.def.id, &BuildProgress::Draining { pos });
                 db.failpoints.hit("build.drain")?;
                 nonempty_passes += 1;
                 idx.side_file.drain_passes.bump();
                 if nonempty_passes >= 3 && quiesce_tx.is_none() {
+                    db.obs.trace().event("build.phase", "sf.drain.quiesce", pos);
                     let qtx = db.begin();
                     db.locks
                         .lock(qtx, LockName::Table(idx.def.table), LockMode::S)?;

@@ -16,6 +16,7 @@ use mohan_common::failpoint::{FailpointSet, Failpoints};
 use mohan_common::{EngineConfig, Error, IndexEntry, IndexId, Lsn, Result, Rid, TableId, TxId};
 use mohan_heap::HeapTable;
 use mohan_lock::{LockManager, LockMode, LockName};
+use mohan_obs::Registry;
 use mohan_storage::blob::BlobStore;
 use mohan_wal::recovery::RecoveryStats;
 use mohan_wal::{LogManager, LogPayload, LogRecord, RecKind, RecoveryTarget, SideFileOp};
@@ -46,6 +47,10 @@ pub struct Db {
     pub blobs: BlobStore,
     /// Crash-injection points.
     pub failpoints: Failpoints,
+    /// Metrics registry + trace ring for this engine instance. WAL,
+    /// cache, latch and build metrics register here under the dotted
+    /// namespace DESIGN.md documents; the server layer adds its own.
+    pub obs: Arc<Registry>,
     tables: RwLock<HashMap<TableId, Arc<HeapTable>>>,
     indexes: RwLock<Vec<Arc<IndexRuntime>>>,
     txs: Mutex<HashMap<TxId, Lsn>>,
@@ -61,19 +66,96 @@ impl Db {
     #[must_use]
     pub fn new(cfg: EngineConfig) -> Arc<Db> {
         let lock_timeout = Duration::from_millis(cfg.lock_timeout_ms);
-        Arc::new(Db {
+        let db = Arc::new(Db {
             cfg,
             wal: LogManager::new(),
             locks: LockManager::new(lock_timeout),
             blobs: BlobStore::new(),
             failpoints: FailpointSet::new(),
+            obs: Registry::new(),
             tables: RwLock::new(HashMap::new()),
             indexes: RwLock::new(Vec::new()),
             txs: Mutex::new(HashMap::new()),
             tx_deletes: Mutex::new(HashMap::new()),
             next_tx: AtomicU64::new(1),
             next_index: AtomicU32::new(1),
-        })
+        });
+        db.register_observability();
+        db
+    }
+
+    /// Publish the engine's pre-existing stats counters as gauges and
+    /// adopt subsystem-owned histograms under the public namespace.
+    /// Gauges capture a `Weak<Db>` so the registry (held by long-lived
+    /// snapshot consumers) never keeps the engine alive.
+    fn register_observability(self: &Arc<Db>) {
+        self.obs
+            .adopt_histogram("wal.flush_us", Arc::clone(&self.wal.stats.flush_us));
+        self.obs.adopt_histogram(
+            "wal.coalesce_depth",
+            Arc::clone(&self.wal.stats.coalesce_depth),
+        );
+        let gauge = |name: &str, f: fn(&Db) -> u64| {
+            let w = Arc::downgrade(self);
+            self.obs
+                .gauge_fn(name, move || w.upgrade().map_or(0, |db| f(&db)));
+        };
+        gauge("wal.records", |db| db.wal.stats.records.get());
+        gauge("wal.bytes", |db| db.wal.stats.bytes.get());
+        gauge("wal.flushes", |db| db.wal.stats.flushes.get());
+        gauge("wal.group_flush_coalesced", |db| {
+            db.wal.stats.group_flush_coalesced.get()
+        });
+        gauge("wal.ib_records", |db| db.wal.stats.ib_records.get());
+        gauge("cache.hit", |db| db.fold_caches(|s| s.hits.get()));
+        gauge("cache.miss", |db| db.fold_caches(|s| s.misses.get()));
+        gauge("cache.force", |db| db.fold_caches(|s| s.forces.get()));
+        gauge("build.drain_lag", |db| {
+            db.indexes
+                .read()
+                .iter()
+                .filter(|i| i.state() == IndexState::SfBuilding)
+                .map(|i| i.side_file.backlog())
+                .sum()
+        });
+        gauge("build.side_file_appended", |db| {
+            db.indexes
+                .read()
+                .iter()
+                .map(|i| i.side_file.appended.get())
+                .sum()
+        });
+        gauge("build.drain_passes", |db| {
+            db.indexes
+                .read()
+                .iter()
+                .map(|i| i.side_file.drain_passes.get())
+                .sum()
+        });
+        gauge("engine.active_txs", |db| db.active_txs() as u64);
+        gauge("latch.wait_events", |db| {
+            let mut n = 0;
+            for t in db.tables.read().values() {
+                n += t.cache.latch_stats().wait_events.get();
+            }
+            for i in db.indexes.read().iter() {
+                n += i.tree.cache.latch_stats().wait_events.get();
+            }
+            n
+        });
+    }
+
+    /// Sum `f` over every page cache in the engine (all heap tables
+    /// plus all index trees).
+    fn fold_caches(&self, f: fn(&mohan_storage::cache::CacheStats) -> u64) -> u64 {
+        let mut n = 0;
+        for t in self.tables.read().values() {
+            n += f(&t.cache.stats);
+        }
+        for i in self.indexes.read().iter() {
+            n += f(&i.tree.cache.stats);
+        }
+        n
     }
 
     // ----- tables and indexes ---------------------------------------
@@ -85,6 +167,8 @@ impl Db {
             self.cfg.data_page_size,
             self.cfg.prefetch_pages,
         ));
+        self.obs
+            .adopt_histogram("latch.wait_us", Arc::clone(&t.cache.latch_stats().wait_us));
         self.tables.write().insert(id, Arc::clone(&t));
         t
     }
@@ -126,6 +210,10 @@ impl Db {
 
     /// Register a new index descriptor and persist the catalog.
     pub(crate) fn register_index(&self, rt: Arc<IndexRuntime>) {
+        self.obs.adopt_histogram(
+            "latch.wait_us",
+            Arc::clone(&rt.tree.cache.latch_stats().wait_us),
+        );
         self.indexes.write().push(rt);
         self.persist_catalog();
     }

@@ -18,6 +18,7 @@
 use mohan_common::stats::{Counter, MaxGauge};
 use mohan_wal::SideFileOp;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Result of an append attempt.
 #[derive(Debug, PartialEq, Eq)]
@@ -48,6 +49,9 @@ pub struct SideFile {
     /// Stays small when the drain converges on its own; hitting the
     /// quiesce fallback shows up as a value ≥ 3.
     pub drain_passes: Counter,
+    /// Entries the IB has applied so far (its drain position),
+    /// published for the live `build.drain_lag` gauge.
+    drained: AtomicU64,
 }
 
 impl SideFile {
@@ -127,12 +131,26 @@ impl SideFile {
         self.inner.lock().closed
     }
 
+    /// Publish the IB's drain position (entries applied so far).
+    pub fn set_drained(&self, pos: u64) {
+        self.drained.store(pos, Ordering::Relaxed);
+    }
+
+    /// Live drain lag: entries appended but not yet applied by the IB.
+    /// 0 once the build closes the side-file.
+    #[must_use]
+    pub fn backlog(&self) -> u64 {
+        self.len()
+            .saturating_sub(self.drained.load(Ordering::Relaxed))
+    }
+
     /// Crash: contents are volatile (rebuilt from redo), the closed
     /// flag is re-derived from the catalog state.
     pub fn crash(&self) {
         let mut g = self.inner.lock();
         g.entries.clear();
         g.closed = false;
+        self.drained.store(0, Ordering::Relaxed);
     }
 
     /// Mark closed without a position check (restart of a build whose
@@ -211,6 +229,24 @@ mod tests {
         assert!(!sf.closed());
         sf.redo_append(op(1, true));
         assert_eq!(sf.len(), 1);
+    }
+
+    #[test]
+    fn live_backlog_follows_drain_position() {
+        let sf = SideFile::new();
+        for i in 0..10 {
+            sf.append(op(i, true));
+        }
+        assert_eq!(sf.backlog(), 10);
+        sf.set_drained(4);
+        assert_eq!(sf.backlog(), 6);
+        sf.set_drained(10);
+        assert_eq!(sf.backlog(), 0);
+        // A stale (over-large) position never underflows.
+        sf.set_drained(99);
+        assert_eq!(sf.backlog(), 0);
+        sf.crash();
+        assert_eq!(sf.backlog(), 0);
     }
 
     #[test]

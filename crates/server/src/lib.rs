@@ -38,6 +38,7 @@
 mod worker;
 
 use mohan_common::stats::{Counter, ShardDist};
+use mohan_obs::Histogram;
 use mohan_oib::Db;
 use parking_lot::Mutex;
 use std::io;
@@ -74,6 +75,10 @@ pub struct ServerConfig {
     pub drain_timeout: Duration,
     /// How often a build's checkpoints are polled for progress frames.
     pub progress_interval: Duration,
+    /// A request whose execution runs at least this long is recorded
+    /// in the engine's trace ring buffer as a `server.slow_request`
+    /// span (see `mohan_obs::TraceSink`).
+    pub slow_request: Duration,
 }
 
 impl Default for ServerConfig {
@@ -88,6 +93,7 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(2),
             drain_timeout: Duration::from_secs(10),
             progress_interval: Duration::from_millis(25),
+            slow_request: Duration::from_millis(100),
         }
     }
 }
@@ -123,6 +129,8 @@ pub struct ServerStats {
     pub builds_failed: Counter,
     /// Progress frames streamed.
     pub progress_frames: Counter,
+    /// Metrics frames streamed to `ObserveStats` subscribers.
+    pub observe_frames: Counter,
     /// Open transactions rolled back by a drain.
     pub drain_rollbacks: Counter,
     /// Connection count per worker shard.
@@ -146,6 +154,7 @@ impl ServerStats {
             builds_done: Counter::default(),
             builds_failed: Counter::default(),
             progress_frames: Counter::default(),
+            observe_frames: Counter::default(),
             drain_rollbacks: Counter::default(),
             conn_shards: ShardDist::new(workers.max(1)),
         }
@@ -175,6 +184,7 @@ impl ServerStats {
             ("server.builds_done".into(), self.builds_done.get()),
             ("server.builds_failed".into(), self.builds_failed.get()),
             ("server.progress_frames".into(), self.progress_frames.get()),
+            ("server.observe_frames".into(), self.observe_frames.get()),
             ("server.drain_rollbacks".into(), self.drain_rollbacks.get()),
         ];
         for (i, n) in self.conn_shards.snapshot().into_iter().enumerate() {
@@ -196,6 +206,10 @@ pub(crate) struct Inner {
     drain_started: Mutex<Option<Instant>>,
     pub(crate) inflight: AtomicUsize,
     pub(crate) conn_count: AtomicUsize,
+    /// Per-opcode request-latency histograms (`server.req_us.<op>`),
+    /// resolved once at startup so the request hot path records with
+    /// plain atomics instead of a registry lookup.
+    pub(crate) req_us: Vec<Arc<Histogram>>,
 }
 
 impl Inner {
@@ -253,6 +267,10 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let workers = cfg.workers.max(1);
+        let req_us = worker::OPCODES
+            .iter()
+            .map(|op| db.obs.histogram(&format!("server.req_us.{op}")))
+            .collect();
         let inner = Arc::new(Inner {
             db,
             stats: ServerStats::new(workers),
@@ -261,6 +279,7 @@ impl Server {
             drain_started: Mutex::new(None),
             inflight: AtomicUsize::new(0),
             conn_count: AtomicUsize::new(0),
+            req_us,
         });
 
         let mut senders = Vec::with_capacity(workers);
@@ -315,7 +334,8 @@ impl Server {
     /// builds, roll back what remains, flush the WAL, and join every
     /// thread.
     pub fn drain(mut self) -> DrainReport {
-        *self.inner.drain_started.lock() = Some(Instant::now());
+        let drain_started = Instant::now();
+        *self.inner.drain_started.lock() = Some(drain_started);
         self.inner.state.store(STATE_DRAINING, Ordering::Release);
         if let Some(h) = self.accept.take() {
             let _ = h.join();
@@ -323,6 +343,18 @@ impl Server {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+        let drained_in = drain_started.elapsed();
+        self.inner
+            .db
+            .obs
+            .histogram("server.drain_us")
+            .record_micros(drained_in);
+        self.inner.db.obs.trace().span_event(
+            "server.drain",
+            "drain",
+            drained_in.as_micros().min(u128::from(u64::MAX)) as u64,
+            self.inner.stats.drain_rollbacks.get(),
+        );
         // Every committed transaction's log is already flushed at
         // commit; this force-flush covers stray tail records so a
         // post-drain copy of the log is complete.

@@ -15,13 +15,53 @@ use mohan_oib::progress::{self, BuildProgress};
 use mohan_oib::schema::{BuildAlgorithm, Record};
 use mohan_oib::Session;
 use mohan_wire::frame::{take_frame, write_frame, MAX_FRAME};
-use mohan_wire::message::{BuildAlgo, BuildPhase, ErrorCode, Request, Response};
+use mohan_wire::message::{
+    BuildAlgo, BuildPhase, ErrorCode, HistogramSummaryWire, Request, Response,
+};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
+
+/// Opcode names in [`opcode_index`] order; `Inner::req_us` holds one
+/// `server.req_us.<opcode>` histogram per entry.
+pub(crate) const OPCODES: &[&str] = &[
+    "Ping",
+    "Begin",
+    "Commit",
+    "Rollback",
+    "Insert",
+    "Update",
+    "Delete",
+    "Read",
+    "Lookup",
+    "CreateIndex",
+    "Stats",
+    "Metrics",
+    "ObserveStats",
+];
+
+/// Index of a request's opcode into [`OPCODES`] / `Inner::req_us`.
+/// Kept in lockstep with [`Request::name`] by a unit test.
+fn opcode_index(req: &Request) -> usize {
+    match req {
+        Request::Ping => 0,
+        Request::Begin => 1,
+        Request::Commit => 2,
+        Request::Rollback => 3,
+        Request::Insert { .. } => 4,
+        Request::Update { .. } => 5,
+        Request::Delete { .. } => 6,
+        Request::Read { .. } => 7,
+        Request::Lookup { .. } => 8,
+        Request::CreateIndex { .. } => 9,
+        Request::Stats => 10,
+        Request::Metrics => 11,
+        Request::ObserveStats { .. } => 12,
+    }
+}
 
 /// Where a spawned build thread deposits its outcome.
 type BuildResult = Arc<Mutex<Option<Result<Vec<IndexId>, Error>>>>;
@@ -42,6 +82,14 @@ struct BuildJob {
     last_poll: Instant,
 }
 
+/// An `ObserveStats` subscription: the connection becomes a metrics
+/// stream, receiving one [`Response::Metrics`] frame per interval
+/// until the client disconnects.
+struct ObserveJob {
+    interval: Duration,
+    last_emit: Instant,
+}
+
 struct Conn {
     stream: TcpStream,
     buf: Vec<u8>,
@@ -52,6 +100,7 @@ struct Conn {
     session: Session,
     last_activity: Instant,
     build: Option<BuildJob>,
+    observe: Option<ObserveJob>,
     dead: bool,
 }
 
@@ -64,6 +113,7 @@ impl Conn {
             session: Session::new(Arc::clone(&inner.db)),
             last_activity: Instant::now(),
             build: None,
+            observe: None,
             dead: false,
         }
     }
@@ -113,11 +163,15 @@ pub(crate) fn worker_loop(inner: &Arc<Inner>, _shard: usize, rx: &mpsc::Receiver
         conns.retain_mut(|conn| {
             if conn.dead {
                 // However the connection died — EOF, write timeout,
-                // malformed frame, drain — a spawned build still holds
-                // its admission slot; reclaim it here or the server
-                // wedges at max_inflight. The build thread itself keeps
-                // running detached (the `Db` is refcounted).
+                // malformed frame, drain — a spawned build or a live
+                // metrics stream still holds its admission slot;
+                // reclaim it here or the server wedges at
+                // max_inflight. The build thread itself keeps running
+                // detached (the `Db` is refcounted).
                 if conn.build.take().is_some() {
+                    inner.release();
+                }
+                if conn.observe.take().is_some() {
                     inner.release();
                 }
                 let _ = conn.session.close(); // rolls back an open tx
@@ -146,6 +200,9 @@ fn service_conn(inner: &Arc<Inner>, conn: &mut Conn, draining: bool) -> bool {
     let mut progressed = false;
     if conn.build.is_some() {
         progressed |= watch_build(inner, conn);
+    }
+    if conn.observe.is_some() {
+        progressed |= pump_observe(inner, conn);
     }
 
     // Pull whatever the socket has.
@@ -196,9 +253,10 @@ fn service_conn(inner: &Arc<Inner>, conn: &mut Conn, draining: bool) -> bool {
         }
     }
 
-    // Execute queued frames. While a build owns this connection the
-    // exchange is mid-stream — queued requests wait their turn.
-    while !conn.dead && conn.build.is_none() {
+    // Execute queued frames. While a build or a metrics stream owns
+    // this connection the exchange is mid-stream — queued requests
+    // wait their turn (for a stream, until the client disconnects).
+    while !conn.dead && conn.build.is_none() && conn.observe.is_none() {
         let Some((payload, arrived)) = conn.pending.pop_front() else {
             break;
         };
@@ -206,7 +264,10 @@ fn service_conn(inner: &Arc<Inner>, conn: &mut Conn, draining: bool) -> bool {
         handle_payload(inner, conn, &payload, arrived, draining);
     }
 
-    if !conn.dead && conn.build.is_none() && conn.last_activity.elapsed() >= inner.cfg.idle_timeout
+    if !conn.dead
+        && conn.build.is_none()
+        && conn.observe.is_none()
+        && conn.last_activity.elapsed() >= inner.cfg.idle_timeout
     {
         inner.stats.idle_closed.bump();
         conn.dead = true;
@@ -285,9 +346,21 @@ fn handle_payload(
     }
 
     inner.stats.requests.bump();
+    let opcode = req.name();
+    let op_idx = opcode_index(&req);
     let started = Instant::now();
     let keep_slot = execute(inner, conn, req);
-    if started.elapsed() + waited >= inner.cfg.request_deadline {
+    let ran = started.elapsed();
+    inner.req_us[op_idx].record_micros(ran);
+    if ran >= inner.cfg.slow_request {
+        inner.db.obs.trace().span_event(
+            "server.slow_request",
+            opcode,
+            ran.as_micros().min(u128::from(u64::MAX)) as u64,
+            waited.as_micros().min(u128::from(u64::MAX)) as u64,
+        );
+    }
+    if ran + waited >= inner.cfg.request_deadline {
         inner.stats.deadline_overruns.bump();
     }
     if admitted && !keep_slot {
@@ -352,7 +425,25 @@ fn execute(inner: &Arc<Inner>, conn: &mut Conn, req: Request) -> bool {
                 "server.inflight".into(),
                 inner.inflight.load(std::sync::atomic::Ordering::Acquire) as u64,
             ));
+            // Sorted so responses are deterministic and clients can
+            // binary-search; `ServerStats::snapshot` emits in struct
+            // order and the two gauges above land at the tail.
+            counters.sort_by(|a, b| a.0.cmp(&b.0));
             Response::Stats { counters }
+        }
+        Request::Metrics => metrics_response(inner),
+        Request::ObserveStats { interval_ms } => {
+            let interval = Duration::from_millis(u64::from(interval_ms).clamp(10, 60_000));
+            // First frame immediately: the subscriber gets a baseline
+            // before the first interval elapses.
+            inner.stats.observe_frames.bump();
+            let first = metrics_response(inner);
+            send(inner, conn, &first);
+            conn.observe = Some(ObserveJob {
+                interval,
+                last_emit: Instant::now(),
+            });
+            return true; // slot stays held while the stream is live
         }
         Request::CreateIndex { table, algo, specs } => {
             return start_build(inner, conn, TableId(table), algo, specs);
@@ -360,6 +451,55 @@ fn execute(inner: &Arc<Inner>, conn: &mut Conn, req: Request) -> bool {
     };
     send(inner, conn, &resp);
     false
+}
+
+/// Assemble one [`Response::Metrics`] frame: the engine registry's
+/// counters, gauges, and histogram summaries merged with the server's
+/// own counters and live gauges, everything sorted by name.
+fn metrics_response(inner: &Arc<Inner>) -> Response {
+    let snap = inner.db.obs.snapshot();
+    let mut counters = snap.counters; // includes the engine.active_txs gauge
+    counters.extend(inner.stats.snapshot());
+    counters.push((
+        "server.inflight".into(),
+        inner.inflight.load(std::sync::atomic::Ordering::Acquire) as u64,
+    ));
+    counters.sort_by(|a, b| a.0.cmp(&b.0));
+    let hists = snap
+        .histograms
+        .into_iter()
+        .map(|(name, h)| {
+            let summary = HistogramSummaryWire {
+                count: h.count,
+                sum: h.sum,
+                max: h.max,
+                p50: h.p50(),
+                p90: h.p90(),
+                p99: h.p99(),
+            };
+            (name, summary)
+        })
+        .collect();
+    Response::Metrics { counters, hists }
+}
+
+/// Emit the next frame of a connection's `ObserveStats` stream when
+/// its interval has elapsed.
+fn pump_observe(inner: &Arc<Inner>, conn: &mut Conn) -> bool {
+    let due = match &mut conn.observe {
+        Some(job) if job.last_emit.elapsed() >= job.interval => {
+            job.last_emit = Instant::now();
+            true
+        }
+        _ => false,
+    };
+    if !due {
+        return false;
+    }
+    inner.stats.observe_frames.bump();
+    let frame = metrics_response(inner);
+    send(inner, conn, &frame);
+    true
 }
 
 fn start_build(
@@ -580,6 +720,54 @@ fn send(inner: &Arc<Inner>, conn: &mut Conn, resp: &Response) {
                 conn.dead = true;
                 return;
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One value per `Request` variant — a new variant that misses
+    /// this list fails the exhaustiveness check in `opcode_index`.
+    fn one_of_each() -> Vec<Request> {
+        vec![
+            Request::Ping,
+            Request::Begin,
+            Request::Commit,
+            Request::Rollback,
+            Request::Insert {
+                table: 1,
+                cols: vec![],
+            },
+            Request::Update {
+                table: 1,
+                rid: 0,
+                cols: vec![],
+            },
+            Request::Delete { table: 1, rid: 0 },
+            Request::Read { table: 1, rid: 0 },
+            Request::Lookup {
+                index: 1,
+                key: vec![],
+            },
+            Request::CreateIndex {
+                table: 1,
+                algo: BuildAlgo::Sf,
+                specs: vec![],
+            },
+            Request::Stats,
+            Request::Metrics,
+            Request::ObserveStats { interval_ms: 100 },
+        ]
+    }
+
+    #[test]
+    fn opcode_table_matches_request_names() {
+        let all = one_of_each();
+        assert_eq!(all.len(), OPCODES.len());
+        for req in &all {
+            assert_eq!(OPCODES[opcode_index(req)], req.name());
         }
     }
 }

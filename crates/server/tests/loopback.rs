@@ -451,3 +451,131 @@ fn concurrent_dml_sf_build_streams_progress_and_drain_loses_nothing() {
     .unwrap();
     assert_eq!(live_entries(&db, built), live_entries(&db, oracle));
 }
+
+/// E17 regression: an `ObserveStats` subscription keeps emitting
+/// metrics frames while a `CreateIndex` streams progress on another
+/// connection, and the frames carry sorted names (so clients can
+/// binary-search them).
+#[test]
+fn observe_stream_emits_beside_a_live_build() {
+    let db = engine(5_000);
+    seed(&db, 2_000);
+    let srv = server(
+        &db,
+        ServerConfig {
+            max_inflight: 4,
+            progress_interval: Duration::from_millis(5),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = addr_of(&srv);
+
+    let build_done = Arc::new(AtomicBool::new(false));
+    let build_done2 = Arc::clone(&build_done);
+    let addr2 = addr.clone();
+    let builder = std::thread::spawn(move || {
+        let mut c = Client::connect(&addr2).unwrap();
+        let ids = c
+            .create_index(
+                T,
+                BuildAlgo::Sf,
+                vec![IndexSpecWire {
+                    name: "ix_observed".into(),
+                    key_cols: vec![0],
+                    unique: false,
+                }],
+                |_, _, _| {},
+            )
+            .unwrap();
+        build_done2.store(true, Ordering::Release);
+        ids
+    });
+
+    // Subscribe while the build runs; keep consuming frames until the
+    // build finishes and at least three frames arrived.
+    let observer = Client::connect(&addr).unwrap();
+    let frames: Arc<Mutex<Vec<mohan_client::MetricsReport>>> = Arc::new(Mutex::new(Vec::new()));
+    let frames2 = Arc::clone(&frames);
+    observer
+        .observe_stats(25, move |report| {
+            let mut f = frames2.lock().unwrap();
+            f.push(report);
+            !(f.len() >= 3 && build_done.load(Ordering::Acquire))
+        })
+        .unwrap();
+
+    let ids = builder.join().unwrap();
+    assert_eq!(ids.len(), 1);
+    let frames = frames.lock().unwrap();
+    assert!(frames.len() >= 3, "only {} metrics frames", frames.len());
+    let last = frames.last().unwrap();
+    // Both lists sorted by name — the determinism the satellite asks for.
+    assert!(last.counters.windows(2).all(|w| w[0].0 < w[1].0));
+    assert!(last.hists.windows(2).all(|w| w[0].0 < w[1].0));
+    assert_eq!(last.counter("server.builds_started"), Some(1));
+    assert!(last.counter("server.observe_frames").unwrap() >= 3);
+    // Engine-side instrumentation crossed the wire: WAL flush latency,
+    // cache traffic, the drain-lag gauge, per-opcode latency.
+    assert!(last.hist("wal.flush_us").is_some());
+    assert!(last.counter("cache.hit").is_some());
+    assert!(last.counter("build.drain_lag").is_some());
+    assert!(last.hist("server.req_us.ObserveStats").is_some());
+    drop(frames);
+    srv.drain();
+}
+
+/// An observer holds an admission slot like a build does; hanging up
+/// must release it through the same reap path, or the server wedges
+/// at max_inflight.
+#[test]
+fn observer_disconnect_releases_its_admission_slot() {
+    let db = engine(2_000);
+    seed(&db, 10);
+    let srv = server(
+        &db,
+        ServerConfig {
+            max_inflight: 1,
+            ..ServerConfig::default()
+        },
+    );
+    let addr = addr_of(&srv);
+
+    let (first_frame_tx, first_frame_rx) = std::sync::mpsc::channel::<()>();
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let addr2 = addr.clone();
+    let observer = std::thread::spawn(move || {
+        let c = Client::connect(&addr2).unwrap();
+        c.observe_stats(25, move |_| {
+            let _ = first_frame_tx.send(());
+            !stop2.load(Ordering::Acquire)
+        })
+        .unwrap();
+    });
+
+    // The stream is live, so the only slot is held: DML gets Busy.
+    first_frame_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("no metrics frame arrived");
+    let mut c = Client::connect(&addr).unwrap();
+    match c.insert(T, vec![1_000, 0]) {
+        Err(ClientError::Busy) => {}
+        other => panic!("expected Busy while observer holds the slot, got {other:?}"),
+    }
+
+    // Disconnect the observer; the worker's reap must give the slot
+    // back even though no response was outstanding.
+    stop.store(true, Ordering::Release);
+    observer.join().unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        match c.insert(T, vec![1_001, 0]) {
+            Ok(_) => break,
+            Err(ClientError::Busy) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => panic!("observer slot never released: {e}"),
+        }
+    }
+    srv.drain();
+}

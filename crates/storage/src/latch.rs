@@ -8,9 +8,11 @@
 //! the benchmark harness can report latch pathlengths.
 
 use mohan_common::stats::Counter;
+use mohan_obs::Histogram;
 use parking_lot::lock_api::{ArcRwLockReadGuard, ArcRwLockWriteGuard};
 use parking_lot::{RawRwLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Owned share-mode latch guard (keeps the latch alive; storable in a
 /// descent path without self-referential borrows).
@@ -32,6 +34,9 @@ pub struct LatchStats {
     /// wait (a latch-contention event; cheap uncontended acquisitions
     /// never count here).
     pub wait_events: Counter,
+    /// Time spent blocked per wait event (µs). Only the blocked branch
+    /// records, so the uncontended fast path stays two atomic bumps.
+    pub wait_us: Arc<Histogram>,
 }
 
 impl LatchStats {
@@ -64,6 +69,10 @@ impl<T> Latch<T> {
         self.stats.share.bump();
         if self.lock.try_read().is_none() {
             self.stats.wait_events.bump();
+            let started = Instant::now();
+            let g = ShareGuard::lock(Arc::clone(&self.lock));
+            self.stats.wait_us.record_micros(started.elapsed());
+            return g;
         }
         ShareGuard::lock(Arc::clone(&self.lock))
     }
@@ -74,6 +83,10 @@ impl<T> Latch<T> {
         self.stats.exclusive.bump();
         if self.lock.try_write().is_none() {
             self.stats.wait_events.bump();
+            let started = Instant::now();
+            let g = ExclusiveGuard::lock(Arc::clone(&self.lock));
+            self.stats.wait_us.record_micros(started.elapsed());
+            return g;
         }
         ExclusiveGuard::lock(Arc::clone(&self.lock))
     }
@@ -85,7 +98,10 @@ impl<T> Latch<T> {
             Some(g) => g,
             None => {
                 self.stats.wait_events.bump();
-                self.lock.read()
+                let started = Instant::now();
+                let g = self.lock.read();
+                self.stats.wait_us.record_micros(started.elapsed());
+                g
             }
         }
     }
@@ -97,7 +113,10 @@ impl<T> Latch<T> {
             Some(g) => g,
             None => {
                 self.stats.wait_events.bump();
-                self.lock.write()
+                let started = Instant::now();
+                let g = self.lock.write();
+                self.stats.wait_us.record_micros(started.elapsed());
+                g
             }
         }
     }

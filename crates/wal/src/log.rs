@@ -22,6 +22,7 @@
 use crate::record::{LogPayload, LogRecord, RecKind};
 use mohan_common::stats::{Counter, StripedCounter};
 use mohan_common::{Lsn, TxId};
+use mohan_obs::Histogram;
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -112,6 +113,13 @@ pub struct WalStats {
     pub group_flush_coalesced: Counter,
     /// Log segments allocated.
     pub segment_allocs: Counter,
+    /// Latency of flush calls that reached the slow path (µs) —
+    /// both actual forces and coalesced waiters; the fast path
+    /// (already durable) records nothing.
+    pub flush_us: Arc<Histogram>,
+    /// Per actual force: how many LSNs the force made durable in one
+    /// go (the group-flush batch size).
+    pub coalesce_depth: Arc<Histogram>,
 }
 
 /// The write-ahead log.
@@ -289,6 +297,7 @@ impl LogManager {
         if self.flushed.load(Ordering::Acquire) >= target {
             return;
         }
+        let started = std::time::Instant::now();
         self.flush_request.fetch_max(target, Ordering::AcqRel);
         // The durable prefix may not contain a hole, so wait until the
         // published prefix covers our own target — but *only* our own:
@@ -323,7 +332,11 @@ impl LogManager {
             self.stats.group_flush_coalesced.bump();
         } else {
             self.stats.flushes.bump();
+            // Records this force made durable in one go: the group
+            // batch another caller's fetch_max would otherwise split.
+            self.stats.coalesce_depth.record(goal.saturating_sub(prev));
         }
+        self.stats.flush_us.record_micros(started.elapsed());
     }
 
     /// Force the whole log.

@@ -136,6 +136,58 @@ impl BuildPhase {
     }
 }
 
+/// Histogram summary as carried on the wire: the quantile extract of
+/// one named distribution from the server's metrics registry (the full
+/// bucket array stays server-side; summaries are what `oib-top` and
+/// the E17 experiment consume).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSummaryWire {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of observations (wrapping).
+    pub sum: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Median estimate.
+    pub p50: u64,
+    /// 90th-percentile estimate.
+    pub p90: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+}
+
+impl HistogramSummaryWire {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.count);
+        put_u64(out, self.sum);
+        put_u64(out, self.max);
+        put_u64(out, self.p50);
+        put_u64(out, self.p90);
+        put_u64(out, self.p99);
+    }
+
+    fn decode(c: &mut Cursor<'_>) -> Option<Self> {
+        Some(HistogramSummaryWire {
+            count: c.get_u64()?,
+            sum: c.get_u64()?,
+            max: c.get_u64()?,
+            p50: c.get_u64()?,
+            p90: c.get_u64()?,
+            p99: c.get_u64()?,
+        })
+    }
+
+    /// Mean observation (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
 /// Everything a client can ask the server to do.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
@@ -196,6 +248,18 @@ pub enum Request {
     },
     /// Snapshot of the server's counters.
     Stats,
+    /// Full metrics snapshot: engine + server counters/gauges and
+    /// histogram summaries, sorted by name.
+    Metrics,
+    /// Subscribe this connection to periodic [`Response::Metrics`]
+    /// frames until it disconnects. The stream occupies the
+    /// connection (like `CreateIndex`); other requests on it are
+    /// serviced after disconnect only.
+    ObserveStats {
+        /// Emission interval in milliseconds (server clamps to its
+        /// supported range).
+        interval_ms: u32,
+    },
 }
 
 const REQ_PING: u8 = 1;
@@ -209,6 +273,8 @@ const REQ_READ: u8 = 8;
 const REQ_LOOKUP: u8 = 9;
 const REQ_CREATE_INDEX: u8 = 10;
 const REQ_STATS: u8 = 11;
+const REQ_METRICS: u8 = 12;
+const REQ_OBSERVE_STATS: u8 = 13;
 
 /// Explicit protocol cap on every `u16`-counted list (columns, index
 /// specs, key columns, created ids, stat counters). Encoders clamp to
@@ -240,6 +306,27 @@ fn get_cols(c: &mut Cursor<'_>) -> Option<Vec<i64>> {
 }
 
 impl Request {
+    /// Stable opcode name, e.g. for per-opcode latency metrics
+    /// (`server.req_us.<opcode>`).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Request::Ping => "Ping",
+            Request::Begin => "Begin",
+            Request::Commit => "Commit",
+            Request::Rollback => "Rollback",
+            Request::Insert { .. } => "Insert",
+            Request::Update { .. } => "Update",
+            Request::Delete { .. } => "Delete",
+            Request::Read { .. } => "Read",
+            Request::Lookup { .. } => "Lookup",
+            Request::CreateIndex { .. } => "CreateIndex",
+            Request::Stats => "Stats",
+            Request::Metrics => "Metrics",
+            Request::ObserveStats { .. } => "ObserveStats",
+        }
+    }
+
     /// Encode to a frame payload (tag + body).
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
@@ -286,6 +373,11 @@ impl Request {
                 }
             }
             Request::Stats => put_u8(&mut out, REQ_STATS),
+            Request::Metrics => put_u8(&mut out, REQ_METRICS),
+            Request::ObserveStats { interval_ms } => {
+                put_u8(&mut out, REQ_OBSERVE_STATS);
+                put_u32(&mut out, *interval_ms);
+            }
         }
         out
     }
@@ -331,6 +423,10 @@ impl Request {
                 Request::CreateIndex { table, algo, specs }
             }
             REQ_STATS => Request::Stats,
+            REQ_METRICS => Request::Metrics,
+            REQ_OBSERVE_STATS => Request::ObserveStats {
+                interval_ms: c.get_u32()?,
+            },
             _ => return None,
         };
         c.finish(req)
@@ -498,8 +594,17 @@ pub enum Response {
     },
     /// Counter snapshot, answer to [`Request::Stats`].
     Stats {
-        /// `(name, value)` pairs, order unspecified.
+        /// `(name, value)` pairs, sorted by name.
         counters: Vec<(String, u64)>,
+    },
+    /// Metrics snapshot, answer to [`Request::Metrics`] and the
+    /// periodic frame of an [`Request::ObserveStats`] stream.
+    Metrics {
+        /// `(name, value)` for every counter and gauge, sorted by
+        /// name.
+        counters: Vec<(String, u64)>,
+        /// `(name, summary)` for every histogram, sorted by name.
+        hists: Vec<(String, HistogramSummaryWire)>,
     },
     /// Admission control rejected the request; retry after backoff.
     Busy,
@@ -526,6 +631,7 @@ const RESP_INDEX_CREATED: u8 = 11;
 const RESP_STATS: u8 = 12;
 const RESP_BUSY: u8 = 13;
 const RESP_ERR: u8 = 14;
+const RESP_METRICS: u8 = 15;
 
 impl Response {
     /// Encode to a frame payload (tag + body).
@@ -583,6 +689,21 @@ impl Response {
                 for (name, value) in &counters[..n] {
                     put_string(&mut out, name);
                     put_u64(&mut out, *value);
+                }
+            }
+            Response::Metrics { counters, hists } => {
+                put_u8(&mut out, RESP_METRICS);
+                let n = counters.len().min(MAX_LIST);
+                put_u16(&mut out, n as u16);
+                for (name, value) in &counters[..n] {
+                    put_string(&mut out, name);
+                    put_u64(&mut out, *value);
+                }
+                let n = hists.len().min(MAX_LIST);
+                put_u16(&mut out, n as u16);
+                for (name, h) in &hists[..n] {
+                    put_string(&mut out, name);
+                    h.encode(&mut out);
                 }
             }
             Response::Busy => put_u8(&mut out, RESP_BUSY),
@@ -643,6 +764,23 @@ impl Response {
                     counters.push((name, value));
                 }
                 Response::Stats { counters }
+            }
+            RESP_METRICS => {
+                let n = c.get_u16()? as usize;
+                let mut counters = Vec::with_capacity(n.min(256));
+                for _ in 0..n {
+                    let name = c.get_string()?;
+                    let value = c.get_u64()?;
+                    counters.push((name, value));
+                }
+                let n = c.get_u16()? as usize;
+                let mut hists = Vec::with_capacity(n.min(256));
+                for _ in 0..n {
+                    let name = c.get_string()?;
+                    let h = HistogramSummaryWire::decode(&mut c)?;
+                    hists.push((name, h));
+                }
+                Response::Metrics { counters, hists }
             }
             RESP_BUSY => Response::Busy,
             RESP_ERR => Response::Err {
@@ -712,6 +850,8 @@ mod tests {
                 ],
             },
             Request::Stats,
+            Request::Metrics,
+            Request::ObserveStats { interval_ms: 250 },
         ]
     }
 
@@ -740,6 +880,33 @@ mod tests {
             Response::IndexCreated { ids: vec![9, 10] },
             Response::Stats {
                 counters: vec![("server.requests".into(), 7), ("server.busy".into(), 0)],
+            },
+            Response::Metrics {
+                counters: vec![("cache.hit".into(), 901), ("cache.miss".into(), 33)],
+                hists: vec![
+                    (
+                        "wal.flush_us".into(),
+                        HistogramSummaryWire {
+                            count: 120,
+                            sum: 99_000,
+                            max: 4_000,
+                            p50: 700,
+                            p90: 1_900,
+                            p99: 3_800,
+                        },
+                    ),
+                    (
+                        "server.req_us.Insert".into(),
+                        HistogramSummaryWire {
+                            count: 0,
+                            sum: 0,
+                            max: 0,
+                            p50: 0,
+                            p90: 0,
+                            p99: 0,
+                        },
+                    ),
+                ],
             },
             Response::Busy,
             Response::Err {
