@@ -1,0 +1,169 @@
+//! E18: follower lag while the primary serves closed-loop DML — with
+//! and without an online SF build running beside it.
+//!
+//! The follower tails the primary's flushed log over the wire and
+//! replays it through the recovery redo path (`mohan_replica`). The
+//! question E18 answers: does the replication stream keep up with a
+//! loaded primary, and how much does an index build — whose catalog
+//! snapshots and side-file appends ride the same stream — widen the
+//! lag window? Lag is sampled in LSNs (the primary's flushed tail
+//! minus the follower's applied position) while the load runs, and
+//! the catch-up time after the load stops measures the drain of
+//! whatever backlog built up.
+
+use super::service::start_wire_churn;
+use crate::report::{f2, ms, Table};
+use crate::workload::{bench_config, seed_table, TABLE};
+use mohan_client::{Client, ClientError};
+use mohan_common::EngineConfig;
+use mohan_oib::verify::verify_index;
+use mohan_oib::Db;
+use mohan_replica::Replica;
+use mohan_server::{Server, ServerConfig};
+use mohan_wire::message::{BuildAlgo, IndexSpecWire};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// E18: replication lag under load, loopback primary → follower.
+pub fn e18_replication(quick: bool) -> Vec<Table> {
+    let n: i64 = super::scaled(if quick { 20_000 } else { 60_000 });
+    const CLIENTS: usize = 4;
+    let sample_every = Duration::from_millis(10);
+
+    let (db, rids) = seed_table(bench_config(), n, 99);
+    let srv = Server::start(
+        Arc::clone(&db),
+        ServerConfig {
+            workers: 4,
+            max_inflight: 16,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = srv.addr().to_string();
+
+    let follower = Db::new(EngineConfig {
+        replica: true,
+        ..bench_config()
+    });
+    follower.create_table(TABLE);
+    let replica = Replica::new(Arc::clone(&follower), &addr);
+    let apply = replica.spawn();
+
+    // Let the follower swallow the seed history before measuring, so
+    // the first window starts from lag 0 rather than a cold backlog.
+    db.wal.flush_all();
+    assert!(
+        replica.wait_caught_up(db.wal.flushed_lsn(), Duration::from_secs(60)),
+        "follower never absorbed the seed history"
+    );
+
+    let mut t = Table::new(
+        "E18: follower lag (LSNs) under closed-loop wire DML, with and without an SF build",
+        &[
+            "scenario",
+            "window",
+            "wire ops/s",
+            "lag mean",
+            "lag p99",
+            "lag max",
+            "catch-up",
+        ],
+    );
+
+    let mut built = None;
+    for build in [false, true] {
+        let churn = start_wire_churn(&addr, CLIENTS, &rids);
+        std::thread::sleep(Duration::from_millis(50));
+
+        // Sample lag while the window runs; the build scenario's
+        // window is the build itself, the baseline's is fixed time.
+        let mut samples: Vec<u64> = Vec::new();
+        let started = Instant::now();
+        if build {
+            let done = Arc::new(AtomicBool::new(false));
+            let done2 = Arc::clone(&done);
+            let addr2 = addr.clone();
+            let builder = std::thread::spawn(move || {
+                let mut c = Client::connect(&addr2).expect("builder connect");
+                let ids = loop {
+                    match c.create_index(
+                        TABLE,
+                        BuildAlgo::Sf,
+                        vec![IndexSpecWire {
+                            name: "e18_sf".into(),
+                            key_cols: vec![0],
+                            unique: false,
+                        }],
+                        |_, _, _| {},
+                    ) {
+                        Ok(ids) => break ids,
+                        Err(ClientError::Busy) => std::thread::sleep(Duration::from_millis(1)),
+                        Err(e) => panic!("wire build: {e}"),
+                    }
+                };
+                done2.store(true, Ordering::Release);
+                ids
+            });
+            while !done.load(Ordering::Acquire) {
+                samples.push(replica.lag());
+                std::thread::sleep(sample_every);
+            }
+            built = Some(builder.join().expect("builder thread")[0]);
+        } else {
+            let window = Duration::from_millis(if quick { 300 } else { 800 });
+            while started.elapsed() < window {
+                samples.push(replica.lag());
+                std::thread::sleep(sample_every);
+            }
+        }
+        let window = started.elapsed();
+        let stats = churn.stop();
+
+        // Catch-up: how long the follower needs to drain the backlog
+        // once the primary goes quiet.
+        db.wal.flush_all();
+        let t0 = Instant::now();
+        assert!(
+            replica.wait_caught_up(db.wal.flushed_lsn(), Duration::from_secs(60)),
+            "follower never caught up after the window"
+        );
+        let catch_up = t0.elapsed();
+
+        samples.sort_unstable();
+        let mean = samples.iter().sum::<u64>() as f64 / samples.len().max(1) as f64;
+        let p99 = samples[(samples.len().saturating_sub(1)) * 99 / 100];
+        let max = samples.last().copied().unwrap_or(0);
+        t.row(vec![
+            if build {
+                "DML + SF build over the wire".into()
+            } else {
+                "DML only".into()
+            },
+            ms(window),
+            f2(stats.ops as f64 / stats.elapsed.as_secs_f64().max(1e-9)),
+            f2(mean),
+            p99.to_string(),
+            max.to_string(),
+            ms(catch_up),
+        ]);
+        let _ = stats.errors;
+    }
+
+    // The replicated build is structurally sound on the follower too.
+    let built = built.expect("build scenario ran");
+    verify_index(&follower, built).expect("follower index verifies");
+
+    replica.stop();
+    srv.drain();
+    apply.join().expect("replica apply thread");
+
+    t.note("Lag sampled every 10ms: primary flushed LSN minus follower applied LSN.");
+    t.note("Catch-up is the backlog drain time after churn stops (flushed prefix fully applied).");
+    t.note(format!(
+        "Follower reconnects: {}; the stream survived the whole run if 0.",
+        replica.reconnects()
+    ));
+    vec![t]
+}

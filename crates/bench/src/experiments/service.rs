@@ -23,24 +23,25 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Closed-loop wire clients: each thread owns one connection and keeps
-/// exactly one request in flight (one simulated user).
-struct WireChurn {
+/// exactly one request in flight (one simulated user). Shared with E18
+/// (replication), which runs the same load with a follower attached.
+pub(crate) struct WireChurn {
     stop: Arc<AtomicBool>,
-    ops_live: Arc<Counter>,
-    busy_live: Arc<Counter>,
+    pub(crate) ops_live: Arc<Counter>,
+    pub(crate) busy_live: Arc<Counter>,
     handles: Vec<JoinHandle<(u64, u64, Duration)>>,
     started: Instant,
 }
 
-struct WireChurnStats {
-    ops: u64,
-    errors: u64,
-    elapsed: Duration,
+pub(crate) struct WireChurnStats {
+    pub(crate) ops: u64,
+    pub(crate) errors: u64,
+    pub(crate) elapsed: Duration,
     total_latency: Duration,
 }
 
 impl WireChurnStats {
-    fn mean_latency(&self) -> Duration {
+    pub(crate) fn mean_latency(&self) -> Duration {
         if self.ops == 0 {
             Duration::ZERO
         } else {
@@ -50,7 +51,7 @@ impl WireChurnStats {
 }
 
 impl WireChurn {
-    fn stop(self) -> WireChurnStats {
+    pub(crate) fn stop(self) -> WireChurnStats {
         self.stop.store(true, Ordering::Relaxed);
         let elapsed = self.started.elapsed();
         let mut ops = 0;
@@ -71,7 +72,7 @@ impl WireChurn {
     }
 }
 
-fn start_wire_churn(addr: &str, threads: usize, seeded_rids: &[Rid]) -> WireChurn {
+pub(crate) fn start_wire_churn(addr: &str, threads: usize, seeded_rids: &[Rid]) -> WireChurn {
     let stop = Arc::new(AtomicBool::new(false));
     let ops_live = Arc::new(Counter::default());
     let busy_live = Arc::new(Counter::default());

@@ -68,12 +68,18 @@ fn render(report: &MetricsReport, frame: u64, clear: bool) {
     let hit = report.counter("cache.hit").unwrap_or(0);
     let miss = report.counter("cache.miss").unwrap_or(0);
     out.push_str(&format!(
-        "oib-top  frame {frame}   cache hit {:.1}%   drain lag {}   active txs {}   inflight {}\n",
+        "oib-top  frame {frame}   cache hit {:.1}%   drain lag {}   active txs {}   inflight {}",
         pct(hit, hit + miss),
         report.counter("build.drain_lag").unwrap_or(0),
         report.counter("engine.active_txs").unwrap_or(0),
         report.counter("server.inflight").unwrap_or(0),
     ));
+    // Only a replication follower registers repl.* gauges; on a
+    // primary the header stays unchanged.
+    if let Some(lag) = report.counter("repl.lag_lsn") {
+        out.push_str(&format!("   repl lag {lag} lsn"));
+    }
+    out.push('\n');
     out.push_str(&format!(
         "{:<28} {:>10} {:>9} {:>9} {:>9} {:>9}\n",
         "histogram (µs)", "count", "p50", "p90", "p99", "max"

@@ -300,6 +300,43 @@ impl Client {
         }
     }
 
+    /// Subscribe to the primary's WAL stream starting at `from_lsn`
+    /// (1-based; `applied + 1` on reconnect). The server ships batched
+    /// frames covering only the *flushed* prefix of its log; empty
+    /// frames are heartbeats carrying the advancing flushed LSN.
+    /// `on_frame` receives the primary's flushed LSN and the decoded
+    /// records; returning `false` ends the stream by disconnecting
+    /// (the protocol's way to unsubscribe — hence the method consumes
+    /// the client).
+    pub fn subscribe_wal(
+        mut self,
+        from_lsn: u64,
+        mut on_frame: impl FnMut(u64, Vec<mohan_wal::LogRecord>) -> bool,
+    ) -> ClientResult<()> {
+        self.send(&Request::SubscribeWal { from_lsn })?;
+        loop {
+            match self.recv()? {
+                Response::WalFrame {
+                    flushed,
+                    count,
+                    records,
+                } => {
+                    let Some(records) = mohan_wal::decode_records(&records, count as usize) else {
+                        return Err(ClientError::Protocol("undecodable WAL records".into()));
+                    };
+                    if !on_frame(flushed, records) {
+                        return Ok(()); // drop disconnects
+                    }
+                }
+                Response::Err { code, message } => {
+                    return Err(ClientError::Server { code, message })
+                }
+                Response::Busy => return Err(ClientError::Busy),
+                other => return Self::protocol("WalFrame", &other),
+            }
+        }
+    }
+
     /// Build indexes online, streaming progress to `on_progress` until
     /// the terminal `IndexCreated` (or error) frame arrives.
     ///

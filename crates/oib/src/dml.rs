@@ -302,7 +302,7 @@ impl Db {
             Mechanism::SideFile => {
                 let mut log_err = None;
                 let appended = idx.side_file.append_with(op.clone(), |op| {
-                    if let Err(e) = self.log(
+                    match self.log(
                         tx,
                         RecKind::RedoOnly,
                         LogPayload::SideFileAppend {
@@ -310,7 +310,11 @@ impl Db {
                             op: op.clone(),
                         },
                     ) {
-                        log_err = Some(e);
+                        Ok(lsn) => lsn,
+                        Err(e) => {
+                            log_err = Some(e);
+                            Lsn::NULL
+                        }
                     }
                 });
                 if let Some(e) = log_err {

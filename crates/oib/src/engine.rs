@@ -236,7 +236,94 @@ impl Db {
             out.extend_from_slice(&(entry.len() as u32).to_be_bytes());
             out.extend_from_slice(&entry);
         }
+        // Ship the snapshot down the WAL so a streaming follower sees
+        // index DDL at its log position. The primary's own restart
+        // ignores the record: there the blob is authoritative.
+        self.wal.append(
+            TxId(0),
+            Lsn::NULL,
+            RecKind::RedoOnly,
+            LogPayload::CatalogUpdate { bytes: out.clone() },
+        );
         self.blobs.put("catalog", out);
+    }
+
+    /// Replica-side application of a [`LogPayload::CatalogUpdate`]
+    /// snapshot: reconcile the runtime index list with the shipped
+    /// catalog. When an index's *completion* arrives, the replica
+    /// materializes it from its own heap — which at this log position
+    /// is identical to the primary's, so the rebuild is equivalent to
+    /// the primary's unlogged, page-forced bulk load. That also makes
+    /// any index records the stream carried *before* the index's
+    /// creation record (the registration/first-maintenance race)
+    /// harmless: the completion rebuild supersedes them.
+    pub(crate) fn apply_catalog_update(&self, bytes: &[u8]) -> Result<()> {
+        let err = || Error::Corruption("bad catalog update".into());
+        let n: [u8; 4] = bytes.get(0..4).ok_or_else(err)?.try_into().unwrap();
+        let n = u32::from_be_bytes(n) as usize;
+        let mut pos = 4;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let len: [u8; 4] = bytes.get(pos..pos + 4).ok_or_else(err)?.try_into().unwrap();
+            pos += 4;
+            let len = u32::from_be_bytes(len) as usize;
+            let chunk = bytes.get(pos..pos + len).ok_or_else(err)?;
+            let mut epos = 0;
+            entries.push(crate::runtime::CatalogEntry::decode(chunk, &mut epos)?);
+            pos += len;
+        }
+        let mut completed = Vec::new();
+        {
+            let mut idxs = self.indexes.write();
+            // Dropped on the primary ⇒ dropped here.
+            idxs.retain(|i| entries.iter().any(|e| e.def.id == i.def.id));
+            for e in entries {
+                // Keep the id allocator ahead of everything the
+                // primary ever created, in case this engine is later
+                // promoted.
+                self.next_index.fetch_max(e.def.id.0 + 1, Ordering::Relaxed);
+                if let Some(rt) = idxs.iter().find(|i| i.def.id == e.def.id) {
+                    let was = rt.state();
+                    rt.apply_catalog_entry(&e);
+                    if was != IndexState::Complete && e.state == IndexState::Complete {
+                        completed.push(Arc::clone(rt));
+                    }
+                } else {
+                    let rt = Arc::new(IndexRuntime::new(
+                        e.def.clone(),
+                        e.algorithm,
+                        e.state,
+                        &self.cfg,
+                    ));
+                    rt.apply_catalog_entry(&e);
+                    self.obs.adopt_histogram(
+                        "latch.wait_us",
+                        Arc::clone(&rt.tree.cache.latch_stats().wait_us),
+                    );
+                    if e.state == IndexState::Complete {
+                        completed.push(Arc::clone(&rt));
+                    }
+                    idxs.push(rt);
+                }
+            }
+        }
+        // Keep the local blob coherent so the replica's own restart
+        // starts from the same catalog it had applied.
+        self.blobs.put("catalog", bytes.to_vec());
+        for rt in completed {
+            self.replica_materialize(&rt)?;
+        }
+        Ok(())
+    }
+
+    /// Rebuild a completed index's tree from the local heap (see
+    /// [`Db::apply_catalog_update`]).
+    fn replica_materialize(&self, idx: &Arc<IndexRuntime>) -> Result<()> {
+        idx.tree.clear();
+        for (rid, rec) in self.table_scan(idx.def.table)? {
+            Self::tree_ensure_live(idx, &idx.def.entry_of(&rec, rid)?)?;
+        }
+        Ok(())
     }
 
     fn load_catalog(&self) -> Result<()> {
@@ -402,11 +489,24 @@ impl Db {
             })();
             match result {
                 Ok(()) => {
+                    // Redo after a crash may start at the flushed
+                    // horizon — except that open side-files are
+                    // volatile and rebuilt purely from redo of their
+                    // logged appends, so the bound must not advance
+                    // past any open side-file's first logged append.
+                    // Appends racing with this computation get LSNs
+                    // above `flushed` and cannot lower the bound.
+                    let mut redo_start = flushed;
+                    for i in self.indexes.read().iter() {
+                        if let Some(first) = i.side_file.open_first_lsn() {
+                            redo_start = redo_start.min(Lsn(first.0.saturating_sub(1)));
+                        }
+                    }
                     let lsn = self.wal.append(
                         TxId(0),
                         Lsn::NULL,
                         RecKind::RedoOnly,
-                        LogPayload::Checkpoint,
+                        LogPayload::Checkpoint { redo_start },
                     );
                     self.wal.flush_to(lsn);
                     return Ok(());
@@ -652,16 +752,23 @@ impl RecoveryTarget for Db {
             LogPayload::SideFileAppend { index, op } => {
                 if let Ok(idx) = self.index(*index) {
                     if !idx.side_file.closed() {
-                        idx.side_file.redo_append(op.clone());
+                        idx.side_file.redo_append(op.clone(), rec.lsn);
                     }
                 }
                 Ok(())
+            }
+            LogPayload::CatalogUpdate { bytes } => {
+                if self.cfg.replica {
+                    self.apply_catalog_update(bytes)
+                } else {
+                    Ok(())
+                }
             }
             LogPayload::TxBegin
             | LogPayload::TxCommit
             | LogPayload::TxAbort
             | LogPayload::TxEnd
-            | LogPayload::Checkpoint => Ok(()),
+            | LogPayload::Checkpoint { .. } => Ok(()),
         }
     }
 
@@ -868,6 +975,7 @@ impl Db {
                             op: op.clone(),
                         },
                     );
+                    lsn
                 });
                 match appended {
                     crate::side_file::Append::Appended(_) => Ok(lsn),

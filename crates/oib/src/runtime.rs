@@ -308,15 +308,62 @@ impl IndexRuntime {
     /// simulation the runtime object itself survives, so this method
     /// *restores state onto* an existing runtime.
     pub fn restore_catalog(&self, buf: &[u8], pos: &mut usize) -> Result<()> {
-        let def = IndexDef::decode(buf, pos)?;
-        if def != self.def {
+        let e = CatalogEntry::decode(buf, pos)?;
+        if e.def != self.def {
             return Err(Error::Corruption(format!(
                 "catalog def mismatch for {}",
                 self.def.id
             )));
         }
+        self.apply_catalog_entry(&e);
+        Ok(())
+    }
+
+    /// Apply a decoded catalog entry's state onto this runtime. Shared
+    /// by the primary's restart ([`IndexRuntime::restore_catalog`])
+    /// and the replica's redo of shipped catalog snapshots.
+    pub fn apply_catalog_entry(&self, e: &CatalogEntry) {
+        self.set_state(e.state);
+        self.scan_end_page.store(e.scan_end.0, Ordering::Release);
+        self.completed_lsn
+            .store(e.completed_lsn.0, Ordering::Release);
+        if e.state == IndexState::Complete {
+            self.side_file.force_close();
+        }
+        // Current-RID is restored by resume_build from the build's
+        // progress record; until then nothing new is visible.
+        self.set_current_rid(Rid::MIN);
+    }
+}
+
+/// One catalog entry decoded on its own, independent of any runtime.
+/// A replica applies shipped catalog snapshots to indexes it may not
+/// have created yet, so decoding cannot presuppose an existing
+/// [`IndexRuntime`].
+#[derive(Debug, Clone)]
+pub struct CatalogEntry {
+    /// Index definition (identity, table, columns, uniqueness).
+    pub def: IndexDef,
+    /// Algorithm the index was (or is being) built with.
+    pub algorithm: BuildAlgorithm,
+    /// Build/visibility state at snapshot time.
+    pub state: IndexState,
+    /// Last page of the SF scan.
+    pub scan_end: PageId,
+    /// Build completion LSN horizon (NULL while building).
+    pub completed_lsn: Lsn,
+    /// Whether the index uses the §6.2 key cursor.
+    pub has_key_cursor: bool,
+}
+
+impl CatalogEntry {
+    /// Decode one entry as produced by
+    /// [`IndexRuntime::encode_catalog`].
+    pub fn decode(buf: &[u8], pos: &mut usize) -> Result<CatalogEntry> {
+        let def = IndexDef::decode(buf, pos)?;
         let err = || Error::Corruption("truncated catalog entry".into());
-        let _algo = BuildAlgorithm::from_tag(*buf.get(*pos).ok_or_else(err)?).ok_or_else(err)?;
+        let algorithm =
+            BuildAlgorithm::from_tag(*buf.get(*pos).ok_or_else(err)?).ok_or_else(err)?;
         *pos += 1;
         let state = IndexState::from_tag(*buf.get(*pos).ok_or_else(err)?);
         *pos += 1;
@@ -324,20 +371,16 @@ impl IndexRuntime {
         *pos += 4;
         let cl: [u8; 8] = buf.get(*pos..*pos + 8).ok_or_else(err)?.try_into().unwrap();
         *pos += 8;
-        let _has_kc = *buf.get(*pos).ok_or_else(err)?;
+        let has_kc = *buf.get(*pos).ok_or_else(err)? != 0;
         *pos += 1;
-        self.set_state(state);
-        self.scan_end_page
-            .store(u32::from_be_bytes(se), Ordering::Release);
-        self.completed_lsn
-            .store(u64::from_be_bytes(cl), Ordering::Release);
-        if state == IndexState::Complete {
-            self.side_file.force_close();
-        }
-        // Current-RID is restored by resume_build from the build's
-        // progress record; until then nothing new is visible.
-        self.set_current_rid(Rid::MIN);
-        Ok(())
+        Ok(CatalogEntry {
+            def,
+            algorithm,
+            state,
+            scan_end: PageId(u32::from_be_bytes(se)),
+            completed_lsn: Lsn(u64::from_be_bytes(cl)),
+            has_key_cursor: has_kc,
+        })
     }
 }
 

@@ -16,6 +16,7 @@
 //! index directly instead.
 
 use mohan_common::stats::{Counter, MaxGauge};
+use mohan_common::Lsn;
 use mohan_wal::SideFileOp;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -34,6 +35,12 @@ pub enum Append {
 struct Inner {
     entries: Vec<SideFileOp>,
     closed: bool,
+    /// LSN of the first logged append (0 = none yet). Side-file
+    /// contents are volatile and rebuilt purely from redo of
+    /// `SideFileAppend` records, so a checkpoint's `redo_start` must
+    /// not advance past the logged history of any open side-file —
+    /// this is where that lower bound comes from.
+    first_lsn: u64,
 }
 
 /// One index build's side-file.
@@ -64,28 +71,53 @@ impl SideFile {
     /// Transaction append (Figure 1). Returns [`Append::BuildDone`]
     /// if the build already completed.
     pub fn append(&self, op: SideFileOp) -> Append {
-        self.append_with(op, |_| {})
+        self.append_with(op, |_| Lsn::NULL)
     }
 
     /// Append and run `log` under the same critical section, so the
     /// side-file's entry order always equals the WAL order of the
     /// `SideFileAppend` records — which is what makes the rebuilt
-    /// side-file's drain position meaningful after a crash.
-    pub fn append_with(&self, op: SideFileOp, log: impl FnOnce(&SideFileOp)) -> Append {
+    /// side-file's drain position meaningful after a crash. `log`
+    /// returns the appended record's LSN ([`Lsn::NULL`] if it logged
+    /// nothing); the first valid one is remembered as the open
+    /// side-file's redo lower bound.
+    pub fn append_with(&self, op: SideFileOp, log: impl FnOnce(&SideFileOp) -> Lsn) -> Append {
         let mut g = self.inner.lock();
         if g.closed {
             return Append::BuildDone;
         }
-        log(&op);
+        let lsn = log(&op);
+        if g.first_lsn == 0 && lsn.is_valid() {
+            g.first_lsn = lsn.0;
+        }
         g.entries.push(op);
         self.appended.bump();
         Append::Appended(g.entries.len() as u64 - 1)
     }
 
     /// Recovery replay of a logged append (always accepted; the
-    /// side-file is rebuilt from the log in LSN order).
-    pub fn redo_append(&self, op: SideFileOp) {
-        self.inner.lock().entries.push(op);
+    /// side-file is rebuilt from the log in LSN order). `lsn` is the
+    /// replayed record's own LSN, re-establishing the redo lower
+    /// bound for checkpoints taken after the restart.
+    pub fn redo_append(&self, op: SideFileOp, lsn: Lsn) {
+        let mut g = self.inner.lock();
+        if g.first_lsn == 0 && lsn.is_valid() {
+            g.first_lsn = lsn.0;
+        }
+        g.entries.push(op);
+    }
+
+    /// LSN of the first logged append while the side-file is still
+    /// open; `None` once closed (its history no longer constrains
+    /// checkpoints) or before any logged append.
+    #[must_use]
+    pub fn open_first_lsn(&self) -> Option<Lsn> {
+        let g = self.inner.lock();
+        if g.closed || g.first_lsn == 0 {
+            None
+        } else {
+            Some(Lsn(g.first_lsn))
+        }
     }
 
     /// Current length.
@@ -150,6 +182,7 @@ impl SideFile {
         let mut g = self.inner.lock();
         g.entries.clear();
         g.closed = false;
+        g.first_lsn = 0;
         self.drained.store(0, Ordering::Relaxed);
     }
 
@@ -227,8 +260,27 @@ mod tests {
         sf.crash();
         assert_eq!(sf.len(), 0);
         assert!(!sf.closed());
-        sf.redo_append(op(1, true));
+        sf.redo_append(op(1, true), Lsn(9));
         assert_eq!(sf.len(), 1);
+        assert_eq!(sf.open_first_lsn(), Some(Lsn(9)));
+    }
+
+    #[test]
+    fn first_logged_lsn_bounds_open_history() {
+        let sf = SideFile::new();
+        // Unlogged appends leave no bound.
+        sf.append(op(1, true));
+        assert_eq!(sf.open_first_lsn(), None);
+        // The first *logged* append sets it; later ones don't move it.
+        sf.append_with(op(2, true), |_| Lsn(41));
+        sf.append_with(op(3, true), |_| Lsn(55));
+        assert_eq!(sf.open_first_lsn(), Some(Lsn(41)));
+        // A closed side-file no longer constrains checkpoints.
+        assert!(sf.try_close(3));
+        assert_eq!(sf.open_first_lsn(), None);
+        // Crash clears the bound along with the contents.
+        sf.crash();
+        assert_eq!(sf.open_first_lsn(), None);
     }
 
     #[test]

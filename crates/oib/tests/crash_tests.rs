@@ -301,3 +301,53 @@ fn loser_ib_transaction_is_undone_at_restart() {
     resume_build(&db, id).unwrap();
     verify_index(&db, id).unwrap();
 }
+
+#[test]
+fn restart_redo_is_bounded_by_the_last_checkpoint() {
+    // Regression: recovery used to scan the whole log from LSN 1 on
+    // every restart, so redo work grew with total history instead of
+    // with what happened since the last checkpoint.
+    let db = db();
+
+    // A long committed history, then a checkpoint that forces every
+    // dirty page (so none of this needs redoing again)…
+    for batch in 0..20 {
+        let tx = db.begin();
+        for k in 0..100 {
+            db.insert_record(tx, T, &rec(batch * 100 + k, 1)).unwrap();
+        }
+        db.commit(tx).unwrap();
+    }
+    db.wal.flush_all();
+    let pre_checkpoint = db.wal.flushed_lsn();
+    db.checkpoint().unwrap();
+
+    // …then a small post-checkpoint tail.
+    let tx = db.begin();
+    for k in 0..10 {
+        db.insert_record(tx, T, &rec(1_000_000 + k, 1)).unwrap();
+    }
+    db.commit(tx).unwrap();
+    db.wal.flush_all();
+
+    db.simulate_crash();
+    let stats = db.restart().unwrap();
+
+    // Redo started at the checkpoint's bound, not LSN 1, and the work
+    // done is O(post-checkpoint records) — far below the >2000-record
+    // pre-checkpoint history.
+    assert!(
+        stats.redo_start >= pre_checkpoint,
+        "redo started at {} — before the checkpoint horizon at {}",
+        stats.redo_start.0,
+        pre_checkpoint.0
+    );
+    assert!(
+        stats.redone <= 50,
+        "{} records redone — restart scales with total log length",
+        stats.redone
+    );
+
+    // Nothing was lost to the shortcut.
+    assert_eq!(db.table_scan(T).unwrap().len(), 2_010);
+}

@@ -1,0 +1,77 @@
+//! Standalone replication follower.
+//!
+//! ```text
+//! oib-replica --primary HOST:PORT [--addr HOST:PORT] [--workers N]
+//! ```
+//!
+//! Creates a fresh replica engine with table 1 (matching
+//! `oib-server`'s schema), tails the primary's WAL stream, and serves
+//! its *own* wire endpoint — read-only in spirit, but mainly so
+//! `oib-top` can watch `repl.lag_lsn` and the apply histograms live.
+//! Runs until stdin closes, then drains.
+
+use mohan_common::{EngineConfig, TableId};
+use mohan_oib::Db;
+use mohan_replica::Replica;
+use mohan_server::{Server, ServerConfig};
+use std::io::Read;
+use std::sync::Arc;
+
+fn main() {
+    let mut primary: Option<String> = None;
+    let mut cfg = ServerConfig {
+        bind_addr: "127.0.0.1:7879".into(),
+        ..ServerConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--primary" => primary = Some(value("--primary")),
+            "--addr" => cfg.bind_addr = value("--addr"),
+            "--workers" => cfg.workers = value("--workers").parse().expect("--workers N"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(primary) = primary else {
+        eprintln!("usage: oib-replica --primary HOST:PORT [--addr HOST:PORT] [--workers N]");
+        std::process::exit(2);
+    };
+
+    let db = Db::new(EngineConfig {
+        replica: true,
+        ..EngineConfig::default()
+    });
+    db.create_table(TableId(1));
+
+    let replica = Replica::new(Arc::clone(&db), &primary);
+    let apply_thread = replica.spawn();
+
+    let server = Server::start(db, cfg).expect("bind");
+    println!("following {primary}; serving metrics on {}", server.addr());
+    println!("close stdin (or send EOF) to stop");
+
+    let mut sink = [0u8; 256];
+    let mut stdin = std::io::stdin();
+    loop {
+        match stdin.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+
+    replica.stop();
+    let _ = apply_thread.join();
+    let report = server.drain();
+    eprintln!(
+        "stopped at applied LSN {}; drained ({} connections closed)",
+        replica.applied_lsn().0,
+        report.conns_closed
+    );
+}

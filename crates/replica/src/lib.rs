@@ -1,0 +1,264 @@
+//! WAL stream replication follower.
+//!
+//! A [`Replica`] tails a primary's log over the wire
+//! (`SubscribeWal`) and replays every redoable record into its own
+//! engine through the same [`RecoveryTarget`] redo path ARIES restart
+//! uses — replication *is* continuous recovery, run against a live
+//! log instead of a dead one.
+//!
+//! Two invariants carry the whole design:
+//!
+//! * **Flushed-prefix-only.** The primary ships nothing beyond its
+//!   flushed LSN, so the follower can never apply state the primary
+//!   would not itself recover after a crash. Crash epochs fall out
+//!   for free: the unflushed suffix the primary discards was never
+//!   sent, and the LSNs it reuses reach the follower as fresh
+//!   records.
+//! * **Contiguous apply.** Records are applied strictly in LSN order
+//!   with no gaps. A frame that skips ahead (or repeats) makes the
+//!   follower drop the connection and resubscribe from
+//!   `applied + 1`, which the server validates against its flushed
+//!   tail — reconnect is always safe because `applied` only advances
+//!   over records the primary has durably flushed.
+//!
+//! Index DDL rides the same stream as `CatalogUpdate` snapshot
+//! records; the engine applies them because the follower's
+//! `EngineConfig::replica` is set (see `mohan_oib`).
+
+#![warn(missing_docs)]
+
+use mohan_client::Client;
+use mohan_common::Lsn;
+use mohan_obs::Histogram;
+use mohan_oib::Db;
+use mohan_wal::{LogRecord, RecoveryTarget};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Reconnect backoff bounds (exponential between them, reset after
+/// any successfully applied frame).
+const BACKOFF_MIN: Duration = Duration::from_millis(50);
+const BACKOFF_MAX: Duration = Duration::from_secs(2);
+
+/// Read timeout on the subscription socket. The primary heartbeats
+/// every ~200ms, so silence this long means the connection is gone.
+const READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A replication follower: owns the local engine's apply position and
+/// the reconnect loop.
+pub struct Replica {
+    db: Arc<Db>,
+    addr: Mutex<String>,
+    /// Highest LSN applied locally; the resubscribe point is
+    /// `applied + 1`.
+    applied: AtomicU64,
+    /// The primary's flushed LSN as of the last frame (heartbeats
+    /// advance it even when no records flow).
+    primary_flushed: AtomicU64,
+    reconnects: AtomicU64,
+    apply_errors: AtomicU64,
+    stop: AtomicBool,
+    /// A frame was applied since the last disconnect (resets backoff).
+    progressed: AtomicBool,
+    batch_us: Arc<Histogram>,
+    apply_us: Arc<Histogram>,
+}
+
+impl Replica {
+    /// Create a follower replaying into `db` from the primary at
+    /// `addr`. `db` must have been built with
+    /// `EngineConfig::replica = true`, or shipped index DDL
+    /// (`CatalogUpdate` records) would be silently dropped.
+    ///
+    /// Registers the follower's gauges and histograms on the engine's
+    /// registry: `repl.lag_lsn`, `repl.applied_lsn`,
+    /// `repl.primary_flushed_lsn`, `repl.reconnects`,
+    /// `repl.apply_errors`, `repl.batch_us`, `repl.apply_us`.
+    #[must_use]
+    pub fn new(db: Arc<Db>, addr: &str) -> Arc<Replica> {
+        assert!(
+            db.cfg.replica,
+            "Replica requires EngineConfig::replica = true"
+        );
+        let batch_us = db.obs.histogram("repl.batch_us");
+        let apply_us = db.obs.histogram("repl.apply_us");
+        let r = Arc::new(Replica {
+            db,
+            addr: Mutex::new(addr.to_owned()),
+            applied: AtomicU64::new(0),
+            primary_flushed: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
+            apply_errors: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            progressed: AtomicBool::new(false),
+            batch_us,
+            apply_us,
+        });
+        let gauge = |name: &str, f: fn(&Replica) -> u64| {
+            let w = Arc::downgrade(&r);
+            r.db.obs
+                .gauge_fn(name, move || w.upgrade().map_or(0, |r| f(&r)));
+        };
+        gauge("repl.lag_lsn", Replica::lag);
+        gauge("repl.applied_lsn", |r| r.applied_lsn().0);
+        gauge("repl.primary_flushed_lsn", |r| r.primary_flushed().0);
+        gauge("repl.reconnects", Replica::reconnects);
+        gauge("repl.apply_errors", |r| {
+            r.apply_errors.load(Ordering::Relaxed)
+        });
+        r
+    }
+
+    /// Point the reconnect loop at a different primary address (the
+    /// next (re)connect uses it).
+    pub fn set_addr(&self, addr: &str) {
+        *self.addr.lock() = addr.to_owned();
+    }
+
+    /// Highest LSN applied locally.
+    #[must_use]
+    pub fn applied_lsn(&self) -> Lsn {
+        Lsn(self.applied.load(Ordering::Acquire))
+    }
+
+    /// The primary's flushed LSN as of the last received frame.
+    #[must_use]
+    pub fn primary_flushed(&self) -> Lsn {
+        Lsn(self.primary_flushed.load(Ordering::Acquire))
+    }
+
+    /// Replication lag in LSNs (primary's flushed tail − applied).
+    #[must_use]
+    pub fn lag(&self) -> u64 {
+        self.primary_flushed()
+            .0
+            .saturating_sub(self.applied_lsn().0)
+    }
+
+    /// Times the follower re-entered the connect loop after a
+    /// disconnect or failed attempt.
+    #[must_use]
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects.load(Ordering::Relaxed)
+    }
+
+    /// Ask the loop to exit. The next frame (heartbeats arrive every
+    /// ~200ms) or connect attempt observes the flag.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// Run the subscribe/apply/reconnect loop until [`Replica::stop`].
+    pub fn run(self: &Arc<Replica>) {
+        let mut backoff = BACKOFF_MIN;
+        while !self.stop.load(Ordering::Acquire) {
+            let addr = self.addr.lock().clone();
+            let outcome = Client::connect(&addr).and_then(|client| {
+                client.set_read_timeout(Some(READ_TIMEOUT))?;
+                let from = self.applied.load(Ordering::Acquire) + 1;
+                self.db
+                    .obs
+                    .trace()
+                    .event("repl.subscribe", addr.clone(), from);
+                let me = Arc::clone(self);
+                client.subscribe_wal(from, move |flushed, records| me.on_frame(flushed, &records))
+            });
+            if self.stop.load(Ordering::Acquire) {
+                return;
+            }
+            match outcome {
+                // `on_frame` returned false: either stop was requested
+                // (handled above) or a gap forced a resubscribe.
+                Ok(()) => {}
+                Err(e) => {
+                    self.db
+                        .obs
+                        .trace()
+                        .event("repl.disconnect", e.to_string(), 0);
+                }
+            }
+            if self.progressed.swap(false, Ordering::AcqRel) {
+                backoff = BACKOFF_MIN;
+            }
+            self.reconnects.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(BACKOFF_MAX);
+        }
+    }
+
+    /// [`Replica::run`] on its own thread.
+    pub fn spawn(self: &Arc<Replica>) -> JoinHandle<()> {
+        let me = Arc::clone(self);
+        std::thread::Builder::new()
+            .name("oib-replica".into())
+            .spawn(move || me.run())
+            .expect("spawn replica thread")
+    }
+
+    /// Block until the follower has applied everything up to `target`
+    /// (inclusive). Returns false on timeout.
+    #[must_use]
+    pub fn wait_caught_up(&self, target: Lsn, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.applied_lsn() < target {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        true
+    }
+
+    /// Apply one frame. Returning false drops the connection (the
+    /// outer loop resubscribes from `applied + 1`).
+    fn on_frame(&self, flushed: u64, records: &[LogRecord]) -> bool {
+        if self.stop.load(Ordering::Acquire) {
+            return false;
+        }
+        let started = Instant::now();
+        self.primary_flushed.fetch_max(flushed, Ordering::AcqRel);
+        for rec in records {
+            let applied = self.applied.load(Ordering::Acquire);
+            if rec.lsn.0 != applied + 1 {
+                // Gap or replay: never apply out of order; resubscribe
+                // from the position we trust.
+                self.db
+                    .obs
+                    .trace()
+                    .event("repl.gap", format!("got {}", rec.lsn.0), applied);
+                return false;
+            }
+            if rec.is_redoable() {
+                let t = Instant::now();
+                if let Err(e) = self.db.redo(rec) {
+                    self.apply_errors.fetch_add(1, Ordering::Relaxed);
+                    self.db
+                        .obs
+                        .trace()
+                        .event("repl.apply_error", e.to_string(), rec.lsn.0);
+                    return false;
+                }
+                self.apply_us.record_micros(t.elapsed());
+            }
+            self.applied.store(rec.lsn.0, Ordering::Release);
+        }
+        if !records.is_empty() {
+            self.batch_us.record_micros(started.elapsed());
+            self.progressed.store(true, Ordering::Release);
+        }
+        true
+    }
+}
+
+impl std::fmt::Debug for Replica {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replica")
+            .field("applied", &self.applied_lsn())
+            .field("primary_flushed", &self.primary_flushed())
+            .field("reconnects", &self.reconnects())
+            .finish()
+    }
+}

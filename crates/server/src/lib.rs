@@ -131,6 +131,12 @@ pub struct ServerStats {
     pub progress_frames: Counter,
     /// Metrics frames streamed to `ObserveStats` subscribers.
     pub observe_frames: Counter,
+    /// `SubscribeWal` subscriptions accepted.
+    pub wal_subs: Counter,
+    /// WAL frames streamed to subscribers (heartbeats included).
+    pub wal_frames: Counter,
+    /// Log records shipped inside those frames.
+    pub wal_records: Counter,
     /// Open transactions rolled back by a drain.
     pub drain_rollbacks: Counter,
     /// Connection count per worker shard.
@@ -155,6 +161,9 @@ impl ServerStats {
             builds_failed: Counter::default(),
             progress_frames: Counter::default(),
             observe_frames: Counter::default(),
+            wal_subs: Counter::default(),
+            wal_frames: Counter::default(),
+            wal_records: Counter::default(),
             drain_rollbacks: Counter::default(),
             conn_shards: ShardDist::new(workers.max(1)),
         }
@@ -185,6 +194,9 @@ impl ServerStats {
             ("server.builds_failed".into(), self.builds_failed.get()),
             ("server.progress_frames".into(), self.progress_frames.get()),
             ("server.observe_frames".into(), self.observe_frames.get()),
+            ("server.wal_subs".into(), self.wal_subs.get()),
+            ("server.wal_frames".into(), self.wal_frames.get()),
+            ("server.wal_records".into(), self.wal_records.get()),
             ("server.drain_rollbacks".into(), self.drain_rollbacks.get()),
         ];
         for (i, n) in self.conn_shards.snapshot().into_iter().enumerate() {

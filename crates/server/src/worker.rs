@@ -41,6 +41,7 @@ pub(crate) const OPCODES: &[&str] = &[
     "Stats",
     "Metrics",
     "ObserveStats",
+    "SubscribeWal",
 ];
 
 /// Index of a request's opcode into [`OPCODES`] / `Inner::req_us`.
@@ -60,6 +61,7 @@ fn opcode_index(req: &Request) -> usize {
         Request::Stats => 10,
         Request::Metrics => 11,
         Request::ObserveStats { .. } => 12,
+        Request::SubscribeWal { .. } => 13,
     }
 }
 
@@ -90,6 +92,28 @@ struct ObserveJob {
     last_emit: Instant,
 }
 
+/// A `SubscribeWal` subscription: the connection becomes a WAL
+/// stream, tailing the log's *flushed* prefix in batched
+/// [`Response::WalFrame`]s until the client disconnects.
+struct WalSubJob {
+    /// Next LSN to ship.
+    next: u64,
+    /// When the last frame (records or heartbeat) went out.
+    last_emit: Instant,
+    /// Force an immediate first frame so the subscriber learns the
+    /// primary's flushed LSN without waiting out a heartbeat.
+    primed: bool,
+}
+
+/// Idle subscriptions still get a frame this often: an empty
+/// `WalFrame` is a heartbeat carrying the advancing flushed LSN.
+const WAL_SUB_HEARTBEAT: Duration = Duration::from_millis(200);
+/// Most records one `WalFrame` carries.
+const WAL_SUB_MAX_RECORDS: usize = 1024;
+/// Approximate byte budget for one frame's record blob, far under
+/// `MAX_FRAME`.
+const WAL_SUB_MAX_BYTES: usize = 1 << 20;
+
 struct Conn {
     stream: TcpStream,
     buf: Vec<u8>,
@@ -101,6 +125,7 @@ struct Conn {
     last_activity: Instant,
     build: Option<BuildJob>,
     observe: Option<ObserveJob>,
+    wal_sub: Option<WalSubJob>,
     dead: bool,
 }
 
@@ -114,6 +139,7 @@ impl Conn {
             last_activity: Instant::now(),
             build: None,
             observe: None,
+            wal_sub: None,
             dead: false,
         }
     }
@@ -174,6 +200,9 @@ pub(crate) fn worker_loop(inner: &Arc<Inner>, _shard: usize, rx: &mpsc::Receiver
                 if conn.observe.take().is_some() {
                     inner.release();
                 }
+                if conn.wal_sub.take().is_some() {
+                    inner.release();
+                }
                 let _ = conn.session.close(); // rolls back an open tx
                 inner.stats.conns_closed.bump();
                 inner
@@ -203,6 +232,9 @@ fn service_conn(inner: &Arc<Inner>, conn: &mut Conn, draining: bool) -> bool {
     }
     if conn.observe.is_some() {
         progressed |= pump_observe(inner, conn);
+    }
+    if conn.wal_sub.is_some() {
+        progressed |= pump_wal_sub(inner, conn);
     }
 
     // Pull whatever the socket has.
@@ -256,7 +288,7 @@ fn service_conn(inner: &Arc<Inner>, conn: &mut Conn, draining: bool) -> bool {
     // Execute queued frames. While a build or a metrics stream owns
     // this connection the exchange is mid-stream — queued requests
     // wait their turn (for a stream, until the client disconnects).
-    while !conn.dead && conn.build.is_none() && conn.observe.is_none() {
+    while !conn.dead && conn.build.is_none() && conn.observe.is_none() && conn.wal_sub.is_none() {
         let Some((payload, arrived)) = conn.pending.pop_front() else {
             break;
         };
@@ -267,6 +299,7 @@ fn service_conn(inner: &Arc<Inner>, conn: &mut Conn, draining: bool) -> bool {
     if !conn.dead
         && conn.build.is_none()
         && conn.observe.is_none()
+        && conn.wal_sub.is_none()
         && conn.last_activity.elapsed() >= inner.cfg.idle_timeout
     {
         inner.stats.idle_closed.bump();
@@ -445,6 +478,33 @@ fn execute(inner: &Arc<Inner>, conn: &mut Conn, req: Request) -> bool {
             });
             return true; // slot stays held while the stream is live
         }
+        Request::SubscribeWal { from_lsn } => {
+            // Only `1 ..= flushed + 1` are valid starting points:
+            // below 1 no record exists, and past the flushed tail the
+            // requested records either don't exist yet or could still
+            // be discarded by a crash — a follower asking for them has
+            // state the primary would not recover with.
+            let flushed = inner.db.wal.flushed_lsn().0;
+            if from_lsn == 0 || from_lsn > flushed + 1 {
+                send(
+                    inner,
+                    conn,
+                    &protocol_err(
+                        ErrorCode::Malformed,
+                        &format!("from_lsn {from_lsn} outside 1..={}", flushed + 1),
+                    ),
+                );
+                return false;
+            }
+            inner.stats.wal_subs.bump();
+            conn.wal_sub = Some(WalSubJob {
+                next: from_lsn,
+                last_emit: Instant::now(),
+                primed: false,
+            });
+            pump_wal_sub(inner, conn);
+            return true; // slot stays held while the stream is live
+        }
         Request::CreateIndex { table, algo, specs } => {
             return start_build(inner, conn, TableId(table), algo, specs);
         }
@@ -499,6 +559,55 @@ fn pump_observe(inner: &Arc<Inner>, conn: &mut Conn) -> bool {
     inner.stats.observe_frames.bump();
     let frame = metrics_response(inner);
     send(inner, conn, &frame);
+    true
+}
+
+/// Ship the next batch of a connection's WAL subscription, or a
+/// heartbeat when the log is quiet. Only the flushed prefix ever goes
+/// out: a record past the flushed tail could still be discarded by a
+/// crash, and a follower must never apply state the primary would not
+/// itself recover.
+fn pump_wal_sub(inner: &Arc<Inner>, conn: &mut Conn) -> bool {
+    let Some(job) = &mut conn.wal_sub else {
+        return false;
+    };
+    let flushed = inner.db.wal.flushed_lsn().0;
+    let mut batch: Vec<Arc<mohan_wal::LogRecord>> = Vec::new();
+    if flushed >= job.next {
+        let mut bytes = 0usize;
+        for rec in inner
+            .db
+            .wal
+            .scan_range(mohan_common::Lsn(job.next - 1), WAL_SUB_MAX_RECORDS)
+        {
+            if rec.lsn.0 > flushed || bytes >= WAL_SUB_MAX_BYTES {
+                break;
+            }
+            bytes += rec.payload.encoded_size() + 32;
+            batch.push(rec);
+        }
+    }
+    if batch.is_empty() && job.primed && job.last_emit.elapsed() < WAL_SUB_HEARTBEAT {
+        return false;
+    }
+    job.primed = true;
+    job.last_emit = Instant::now();
+    if let Some(last) = batch.last() {
+        job.next = last.lsn.0 + 1;
+    }
+    let count = batch.len() as u32;
+    let records = mohan_wal::encode_records(batch.iter().map(|r| &**r));
+    inner.stats.wal_frames.bump();
+    inner.stats.wal_records.add(u64::from(count));
+    send(
+        inner,
+        conn,
+        &Response::WalFrame {
+            flushed,
+            count,
+            records,
+        },
+    );
     true
 }
 
@@ -759,6 +868,7 @@ mod tests {
             Request::Stats,
             Request::Metrics,
             Request::ObserveStats { interval_ms: 100 },
+            Request::SubscribeWal { from_lsn: 1 },
         ]
     }
 

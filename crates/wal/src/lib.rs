@@ -10,6 +10,7 @@
 //!
 //! Modules:
 //! * [`record`] — typed log records and payloads.
+//! * [`codec`] — byte encoding of records, for WAL stream replication.
 //! * [`log`] — the log manager: append/flush, flushed-prefix crash
 //!   semantics, per-transaction `prev_lsn` chains.
 //! * [`recovery`] — the analysis / redo / undo driver, generic over a
@@ -19,10 +20,14 @@
 
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod log;
 pub mod record;
 pub mod recovery;
 
+pub use codec::{decode_record, decode_records, encode_record, encode_records};
 pub use log::{LogManager, WalStats};
 pub use record::{LogPayload, LogRecord, RecKind, SideFileOp};
-pub use recovery::{recover, rollback_tx, AnalysisResult, RecoveryTarget};
+pub use recovery::{
+    checkpoint_redo_start, recover, rollback_tx, AnalysisResult, RecoveryStats, RecoveryTarget,
+};

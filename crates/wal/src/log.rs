@@ -279,8 +279,11 @@ impl LogManager {
     }
 
     /// Force the log up to and including `lsn` (flush-before-force
-    /// WAL rule; no-op if already durable). `lsn` must name an
-    /// appended record (callers pass LSNs returned by `append`).
+    /// WAL rule; no-op if already durable). Targets beyond the
+    /// appended tail are clamped to it: waiting for an LSN nobody has
+    /// reserved would spin forever, and once LSNs arrive over the wire
+    /// (`SubscribeWal`) a stale or hostile target must not wedge a
+    /// worker.
     ///
     /// Concurrent callers coalesce through the durable mark itself:
     /// whoever advances it forces up to the maximum requested LSN
@@ -293,7 +296,9 @@ impl LogManager {
     /// magnitude more than the work it guards, and parked followers
     /// pay scheduler-quantum wake latencies on an oversubscribed box.
     pub fn flush_to(&self, lsn: Lsn) {
-        let target = lsn.0;
+        // Clamp to the reserved tail: LSNs are dense, so LSN `n`
+        // exists iff `n <= next`. Anything above can never publish.
+        let target = lsn.0.min(self.next.load(Ordering::Acquire));
         if self.flushed.load(Ordering::Acquire) >= target {
             return;
         }
@@ -356,19 +361,29 @@ impl LogManager {
         self.slot(phys).cloned()
     }
 
-    /// Snapshot of all records in `(from, ..]` LSN order, for redo and
-    /// analysis scans.
+    /// Snapshot of up to `max` records in `(from, ..]` LSN order. The
+    /// bounded form is what redo scans and the WAL-subscription
+    /// tail-follower use, so catching up over a long log allocates in
+    /// batches instead of one burst covering the whole suffix.
     #[must_use]
-    pub fn scan_from(&self, from: Lsn) -> Vec<Arc<LogRecord>> {
+    pub fn scan_range(&self, from: Lsn, max: usize) -> Vec<Arc<LogRecord>> {
         let tail = self.tail_lsn().0;
         let epochs = self.epochs.read();
         (from.0..tail)
+            .take(max)
             .map(|idx| {
                 self.slot(translate(&epochs, idx))
                     .cloned()
                     .expect("record below published watermark must be set")
             })
             .collect()
+    }
+
+    /// Snapshot of all records in `(from, ..]` LSN order, for redo and
+    /// analysis scans. Thin wrapper over [`LogManager::scan_range`].
+    #[must_use]
+    pub fn scan_from(&self, from: Lsn) -> Vec<Arc<LogRecord>> {
+        self.scan_range(from, usize::MAX)
     }
 
     /// Simulated system failure: everything after the flushed prefix
@@ -466,10 +481,47 @@ mod tests {
     fn prev_chain_walk() {
         let log = LogManager::new();
         let l1 = begin(&log, 7);
-        let l2 = log.append(TxId(7), l1, RecKind::UndoRedo, LogPayload::Checkpoint);
+        let l2 = log.append(
+            TxId(7),
+            l1,
+            RecKind::UndoRedo,
+            LogPayload::Checkpoint {
+                redo_start: Lsn::NULL,
+            },
+        );
         let rec = log.get(l2).unwrap();
         assert_eq!(rec.prev, l1);
         assert_eq!(log.get(rec.prev).unwrap().lsn, l1);
+    }
+
+    #[test]
+    fn flush_beyond_tail_clamps_instead_of_hanging() {
+        let log = LogManager::new();
+        begin(&log, 1);
+        begin(&log, 2);
+        // An LSN far beyond anything appended must not spin forever;
+        // it clamps to the appended tail.
+        log.flush_to(Lsn(1_000_000));
+        assert_eq!(log.flushed_lsn(), Lsn(2));
+        // And on an empty log it is a no-op.
+        let empty = LogManager::new();
+        empty.flush_to(Lsn(42));
+        assert_eq!(empty.flushed_lsn(), Lsn::NULL);
+    }
+
+    #[test]
+    fn scan_range_bounds_the_batch() {
+        let log = LogManager::new();
+        for i in 0..10 {
+            begin(&log, i);
+        }
+        let batch = log.scan_range(Lsn(2), 3);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch[0].lsn, Lsn(3));
+        assert_eq!(batch[2].lsn, Lsn(5));
+        // A batch past the tail is empty; a huge max returns the rest.
+        assert!(log.scan_range(Lsn(10), 100).is_empty());
+        assert_eq!(log.scan_range(Lsn(5), usize::MAX).len(), 5);
     }
 
     #[test]

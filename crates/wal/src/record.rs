@@ -179,9 +179,26 @@ pub enum LogPayload {
     },
 
     /// Engine checkpoint marker (all page caches were forced when this
-    /// was logged). Recovery uses it only as a statistic; redo remains
-    /// idempotent from the log start.
-    Checkpoint,
+    /// was logged). `redo_start` is the LSN restart redo may begin
+    /// *after*: the flushed watermark at checkpoint time, lowered to
+    /// cover the first logged append of any still-open side-file
+    /// (side-file contents are volatile and rebuilt purely from redo,
+    /// so their logged history must stay inside the redo window).
+    Checkpoint {
+        /// Redo may start with LSN `redo_start + 1`.
+        redo_start: Lsn,
+    },
+
+    /// Full catalog snapshot (the same bytes `persist_catalog` writes
+    /// to the catalog blob). Redo-only, written under TxId(0) whenever
+    /// the catalog changes, and a no-op on the primary's own restart —
+    /// the blob store is authoritative there. A replica replaying a
+    /// shipped log applies it instead: it is how index DDL (register /
+    /// state flips / drop) crosses the wire.
+    CatalogUpdate {
+        /// Encoded catalog (see `Db::persist_catalog`).
+        bytes: Vec<u8>,
+    },
 }
 
 impl LogPayload {
@@ -208,7 +225,8 @@ impl LogPayload {
                 4 + entries.iter().map(IndexEntry::encoded_size).sum::<usize>()
             }
             LogPayload::SideFileAppend { op, .. } => 4 + op.encoded_size(),
-            LogPayload::Checkpoint => 8,
+            LogPayload::Checkpoint { .. } => 8,
+            LogPayload::CatalogUpdate { bytes } => 4 + bytes.len(),
         };
         // Tag + LSN + prev LSN + tx id.
         body + 1 + 8 + 8 + 8

@@ -38,27 +38,62 @@ pub struct AnalysisResult {
     pub scanned: u64,
 }
 
-/// Scan the whole log and find loser transactions.
+/// Records per [`LogManager::scan_range`] batch during analysis and
+/// redo, bounding the clone burst a long log would otherwise cause.
+const SCAN_BATCH: usize = 4096;
+
+/// Scan the whole log and find loser transactions. Analysis always
+/// starts from the log head — a loser's `TxBegin` may predate the last
+/// checkpoint — but walks in bounded batches.
 #[must_use]
 pub fn analyze(log: &LogManager) -> AnalysisResult {
     let mut res = AnalysisResult::default();
-    for rec in log.scan_from(Lsn::NULL) {
-        res.scanned += 1;
-        match rec.payload {
-            LogPayload::TxBegin => {
-                res.losers.insert(rec.tx, rec.lsn);
-            }
-            LogPayload::TxCommit | LogPayload::TxEnd => {
-                res.losers.remove(&rec.tx);
-            }
-            _ => {
-                if let Some(last) = res.losers.get_mut(&rec.tx) {
-                    *last = rec.lsn;
+    let mut cur = Lsn::NULL;
+    loop {
+        let batch = log.scan_range(cur, SCAN_BATCH);
+        let Some(last) = batch.last() else {
+            break;
+        };
+        cur = last.lsn;
+        for rec in &batch {
+            res.scanned += 1;
+            match rec.payload {
+                LogPayload::TxBegin => {
+                    res.losers.insert(rec.tx, rec.lsn);
+                }
+                LogPayload::TxCommit | LogPayload::TxEnd => {
+                    res.losers.remove(&rec.tx);
+                }
+                _ => {
+                    if let Some(last) = res.losers.get_mut(&rec.tx) {
+                        *last = rec.lsn;
+                    }
                 }
             }
         }
     }
     res
+}
+
+/// Redo start point recorded by the newest [`LogPayload::Checkpoint`]
+/// in the log ([`Lsn::NULL`] — the log head — when none exists): redo
+/// may begin with the record *after* the returned LSN, because the
+/// checkpoint forced every page up to it and its `redo_start` was
+/// already lowered to cover any open side-file's logged history.
+/// Found by walking backwards from the tail, so the cost is bounded by
+/// the post-checkpoint suffix the caller is about to redo anyway.
+#[must_use]
+pub fn checkpoint_redo_start(log: &LogManager) -> Lsn {
+    let mut cur = log.tail_lsn();
+    while cur.is_valid() {
+        if let Some(rec) = log.get(cur) {
+            if let LogPayload::Checkpoint { redo_start } = rec.payload {
+                return redo_start;
+            }
+        }
+        cur = Lsn(cur.0 - 1);
+    }
+    Lsn::NULL
 }
 
 /// Undo one transaction's chain from `last` down to (but not past)
@@ -104,6 +139,9 @@ pub struct RecoveryStats {
     pub redone: u64,
     /// Loser transactions rolled back.
     pub losers: u64,
+    /// Where redo began (the last checkpoint's `redo_start`, or
+    /// [`Lsn::NULL`] when the log had no checkpoint).
+    pub redo_start: Lsn,
 }
 
 /// Full restart recovery: analysis, redo (repeat history), then a
@@ -112,15 +150,29 @@ pub struct RecoveryStats {
 /// newest-first), ending each loser with `TxEnd`.
 pub fn recover<T: RecoveryTarget>(log: &LogManager, target: &T) -> Result<RecoveryStats> {
     let analysis = analyze(log);
+    let redo_start = checkpoint_redo_start(log);
     let mut stats = RecoveryStats {
         analyzed: analysis.scanned,
+        redo_start,
         ..RecoveryStats::default()
     };
 
-    for rec in log.scan_from(Lsn::NULL) {
-        if rec.is_redoable() {
-            target.redo(&rec)?;
-            stats.redone += 1;
+    // Redo repeats history from the last checkpoint's redo window, not
+    // the log head: the checkpoint forced every page, so earlier
+    // records can only re-apply as no-ops — skipping them is what
+    // keeps restart cost proportional to work since the checkpoint.
+    let mut cur = redo_start;
+    loop {
+        let batch = log.scan_range(cur, SCAN_BATCH);
+        let Some(last) = batch.last() else {
+            break;
+        };
+        cur = last.lsn;
+        for rec in &batch {
+            if rec.is_redoable() {
+                target.redo(rec)?;
+                stats.redone += 1;
+            }
         }
     }
 
@@ -304,6 +356,40 @@ mod tests {
         // ignores it.
         let a = analyze(&log);
         assert!(a.losers.is_empty());
+    }
+
+    #[test]
+    fn redo_starts_after_the_last_checkpoint() {
+        let (log, target) = setup();
+        // Committed tx 1: +5, fully flushed and (by contract of the
+        // checkpoint record below) forced to pages.
+        let b1 = log.append(TxId(1), Lsn::NULL, RecKind::RedoOnly, LogPayload::TxBegin);
+        let l1 = log.append(TxId(1), b1, RecKind::UndoRedo, delta_payload(b'a', 5));
+        log.append(TxId(1), l1, RecKind::RedoOnly, LogPayload::TxCommit);
+        log.flush_all();
+        let redo_start = log.flushed_lsn();
+        log.append(
+            TxId(0),
+            Lsn::NULL,
+            RecKind::RedoOnly,
+            LogPayload::Checkpoint { redo_start },
+        );
+        // Committed tx 2 after the checkpoint: +7.
+        let b2 = log.append(TxId(2), Lsn::NULL, RecKind::RedoOnly, LogPayload::TxBegin);
+        let l2 = log.append(TxId(2), b2, RecKind::UndoRedo, delta_payload(b'a', 7));
+        log.append(TxId(2), l2, RecKind::RedoOnly, LogPayload::TxCommit);
+        log.flush_all();
+
+        // ToyTarget redo is deliberately not idempotent (it re-adds
+        // deltas), so redoing the pre-checkpoint +5 would be visible.
+        let stats = recover(&log, &target).unwrap();
+        assert_eq!(target.state.lock()[&b'a'], 7);
+        assert_eq!(stats.redo_start, redo_start);
+        // Redo covered only the checkpoint + tx 2's records.
+        assert_eq!(stats.redone, 4);
+        // Analysis still walked the full history.
+        assert_eq!(stats.analyzed, 7);
+        assert_eq!(checkpoint_redo_start(&log), redo_start);
     }
 
     #[test]

@@ -260,6 +260,18 @@ pub enum Request {
         /// supported range).
         interval_ms: u32,
     },
+    /// Subscribe this connection to the primary's WAL stream,
+    /// starting at `from_lsn`. The connection becomes a tail-following
+    /// subscription (same occupancy semantics as `ObserveStats`)
+    /// carrying [`Response::WalFrame`]s that cover only the *flushed*
+    /// prefix of the log. Valid starts are `1 ..= flushed + 1`;
+    /// anything else is answered with an error, since those records
+    /// either never existed or could still be discarded by a crash.
+    SubscribeWal {
+        /// First LSN the subscriber wants (1-based; `applied + 1` on
+        /// reconnect).
+        from_lsn: u64,
+    },
 }
 
 const REQ_PING: u8 = 1;
@@ -275,6 +287,7 @@ const REQ_CREATE_INDEX: u8 = 10;
 const REQ_STATS: u8 = 11;
 const REQ_METRICS: u8 = 12;
 const REQ_OBSERVE_STATS: u8 = 13;
+const REQ_SUBSCRIBE_WAL: u8 = 14;
 
 /// Explicit protocol cap on every `u16`-counted list (columns, index
 /// specs, key columns, created ids, stat counters). Encoders clamp to
@@ -324,6 +337,7 @@ impl Request {
             Request::Stats => "Stats",
             Request::Metrics => "Metrics",
             Request::ObserveStats { .. } => "ObserveStats",
+            Request::SubscribeWal { .. } => "SubscribeWal",
         }
     }
 
@@ -378,6 +392,10 @@ impl Request {
                 put_u8(&mut out, REQ_OBSERVE_STATS);
                 put_u32(&mut out, *interval_ms);
             }
+            Request::SubscribeWal { from_lsn } => {
+                put_u8(&mut out, REQ_SUBSCRIBE_WAL);
+                put_u64(&mut out, *from_lsn);
+            }
         }
         out
     }
@@ -426,6 +444,9 @@ impl Request {
             REQ_METRICS => Request::Metrics,
             REQ_OBSERVE_STATS => Request::ObserveStats {
                 interval_ms: c.get_u32()?,
+            },
+            REQ_SUBSCRIBE_WAL => Request::SubscribeWal {
+                from_lsn: c.get_u64()?,
             },
             _ => return None,
         };
@@ -606,6 +627,21 @@ pub enum Response {
         /// `(name, summary)` for every histogram, sorted by name.
         hists: Vec<(String, HistogramSummaryWire)>,
     },
+    /// One batch of a [`Request::SubscribeWal`] stream: `count` log
+    /// records in contiguous LSN order, encoded with
+    /// `mohan_wal::codec` (opaque at this layer — the wire crate only
+    /// depends on `mohan-common`). `records` may be empty: frames
+    /// double as heartbeats carrying the primary's advancing flushed
+    /// LSN, which is what the follower's lag gauge measures against.
+    WalFrame {
+        /// The primary's flushed LSN when the frame was cut; every
+        /// carried record's LSN is ≤ this.
+        flushed: u64,
+        /// Number of records in `records`.
+        count: u32,
+        /// Concatenated record encodings.
+        records: Vec<u8>,
+    },
     /// Admission control rejected the request; retry after backoff.
     Busy,
     /// The request failed; terminal frame for its exchange.
@@ -632,6 +668,7 @@ const RESP_STATS: u8 = 12;
 const RESP_BUSY: u8 = 13;
 const RESP_ERR: u8 = 14;
 const RESP_METRICS: u8 = 15;
+const RESP_WAL_FRAME: u8 = 16;
 
 impl Response {
     /// Encode to a frame payload (tag + body).
@@ -705,6 +742,16 @@ impl Response {
                     put_string(&mut out, name);
                     h.encode(&mut out);
                 }
+            }
+            Response::WalFrame {
+                flushed,
+                count,
+                records,
+            } => {
+                put_u8(&mut out, RESP_WAL_FRAME);
+                put_u64(&mut out, *flushed);
+                put_u32(&mut out, *count);
+                put_bytes(&mut out, records);
             }
             Response::Busy => put_u8(&mut out, RESP_BUSY),
             Response::Err { code, message } => {
@@ -782,6 +829,11 @@ impl Response {
                 }
                 Response::Metrics { counters, hists }
             }
+            RESP_WAL_FRAME => Response::WalFrame {
+                flushed: c.get_u64()?,
+                count: c.get_u32()?,
+                records: c.get_bytes()?,
+            },
             RESP_BUSY => Response::Busy,
             RESP_ERR => Response::Err {
                 code: ErrorCode::from_tag(c.get_u8()?)?,
@@ -852,6 +904,10 @@ mod tests {
             Request::Stats,
             Request::Metrics,
             Request::ObserveStats { interval_ms: 250 },
+            Request::SubscribeWal { from_lsn: 1 },
+            Request::SubscribeWal {
+                from_lsn: u64::MAX - 1,
+            },
         ]
     }
 
@@ -907,6 +963,16 @@ mod tests {
                         },
                     ),
                 ],
+            },
+            Response::WalFrame {
+                flushed: 512,
+                count: 3,
+                records: vec![0xAB, 0xCD, 0xEF, 0x01],
+            },
+            Response::WalFrame {
+                flushed: 512,
+                count: 0,
+                records: Vec::new(),
             },
             Response::Busy,
             Response::Err {
