@@ -1,4 +1,4 @@
-//! The experiment suite (E1-E18). Each experiment regenerates one of
+//! The experiment suite (E1-E19). Each experiment regenerates one of
 //! the paper's qualitative claims as a quantitative table; the mapping
 //! to paper sections lives in `DESIGN.md` §3 and the expected shapes
 //! in `EXPERIMENTS.md`.
@@ -35,7 +35,7 @@ pub(crate) fn scaled(n: i64) -> i64 {
     (n / SIZE_DIVISOR.load(Ordering::Relaxed)).max(1_000)
 }
 
-/// Run one experiment by id (`"e1"`..`"e18"`). `quick` shrinks the
+/// Run one experiment by id (`"e1"`..`"e19"`). `quick` shrinks the
 /// workloads for CI-speed runs.
 pub fn run(id: &str, quick: bool) -> Option<Vec<Table>> {
     Some(match id {
@@ -57,12 +57,13 @@ pub fn run(id: &str, quick: bool) -> Option<Vec<Table>> {
         "e16" => service::e16_service(quick),
         "e17" => observability::e17_observability(quick),
         "e18" => replication::e18_replication(quick),
+        "e19" => replication::e19_follower_reads(quick),
         _ => return None,
     })
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 18] = [
+pub const ALL: [&str; 19] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18",
+    "e16", "e17", "e18", "e19",
 ];

@@ -10,17 +10,23 @@
 //! minus the follower's applied position) while the load runs, and
 //! the catch-up time after the load stops measures the drain of
 //! whatever backlog built up.
+//!
+//! E19 turns the follower from a passive tail into a read replica:
+//! bounded-staleness reads are served from the follower — over the
+//! wire and in-process, through the same [`ReadApi`] driver — while
+//! the primary churns, and the run ends by killing the primary and
+//! timing the promotion (client-visible write downtime).
 
 use super::service::start_wire_churn;
-use crate::report::{f2, ms, Table};
+use crate::report::{f2, ms, us, Table};
 use crate::workload::{bench_config, seed_table, TABLE};
 use mohan_client::{Client, ClientError};
-use mohan_common::EngineConfig;
+use mohan_common::{EngineConfig, ReadApi, Rid};
 use mohan_oib::verify::verify_index;
 use mohan_oib::Db;
-use mohan_replica::Replica;
-use mohan_server::{Server, ServerConfig};
-use mohan_wire::message::{BuildAlgo, IndexSpecWire};
+use mohan_replica::{FollowerReader, Replica};
+use mohan_server::{PromoteHook, Promotion, Server, ServerConfig};
+use mohan_wire::message::{BuildAlgo, IndexSpecWire, Role};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -166,4 +172,233 @@ pub fn e18_replication(quick: bool) -> Vec<Table> {
         replica.reconnects()
     ));
     vec![t]
+}
+
+/// Closed-loop reads against any [`ReadApi`] surface — the same driver
+/// measures the wire client, the in-process follower reader, and (as a
+/// baseline) an in-process session. Errors (stale rejections, mostly)
+/// are counted, backed off, and retried; only successful reads
+/// contribute latency samples.
+fn read_driver<R: ReadApi>(
+    api: &mut R,
+    rids: &[Rid],
+    stop: &AtomicBool,
+) -> (u64, u64, Vec<Duration>) {
+    let mut ok = 0u64;
+    let mut errs = 0u64;
+    let mut lats = Vec::new();
+    let mut i = 0usize;
+    while !stop.load(Ordering::Relaxed) {
+        let rid = rids[i % rids.len()];
+        i = i.wrapping_add(17); // coprime stride ≈ uniform coverage
+        let t0 = Instant::now();
+        match api.read(TABLE, rid) {
+            Ok(_) => {
+                lats.push(t0.elapsed());
+                ok += 1;
+            }
+            Err(_) => {
+                errs += 1;
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+    }
+    (ok, errs, lats)
+}
+
+fn pctl(sorted: &[Duration], p: usize) -> Duration {
+    if sorted.is_empty() {
+        Duration::ZERO
+    } else {
+        sorted[(sorted.len() - 1) * p / 100]
+    }
+}
+
+/// E19: follower reads under a staleness bound, then promotion after
+/// the primary dies — loopback primary → follower, reads over the
+/// wire and in-process through the shared [`ReadApi`] driver.
+pub fn e19_follower_reads(quick: bool) -> Vec<Table> {
+    let n: i64 = super::scaled(if quick { 20_000 } else { 60_000 });
+    const DML_CLIENTS: usize = 4;
+    const WIRE_READERS: usize = 2;
+    /// Reads are refused once the follower trails the primary by more
+    /// than this many LSNs; rejections show up in the table, not as
+    /// harness failures.
+    const MAX_LAG_LSN: u64 = 5_000;
+    let window = Duration::from_millis(if quick { 300 } else { 800 });
+
+    let (db, rids) = seed_table(bench_config(), n, 99);
+    let psrv = Server::start(
+        Arc::clone(&db),
+        ServerConfig {
+            workers: 4,
+            max_inflight: 16,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind primary");
+    let paddr = psrv.addr().to_string();
+
+    let follower = Db::new(EngineConfig {
+        replica: true,
+        ..bench_config()
+    });
+    follower.create_table(TABLE);
+    let replica = Replica::new(Arc::clone(&follower), &paddr);
+    let apply = replica.spawn();
+    db.wal.flush_all();
+    assert!(
+        replica.wait_caught_up(db.wal.flushed_lsn(), Duration::from_secs(60)),
+        "follower never absorbed the seed history"
+    );
+
+    // The follower's own wire endpoint: staleness-gated reads, writes
+    // bounced toward the primary, promotion wired to the replica.
+    let hook_replica = Arc::clone(&replica);
+    let fsrv = Server::start(
+        Arc::clone(&follower),
+        ServerConfig {
+            workers: 4,
+            max_inflight: 16,
+            max_lag_lsn: MAX_LAG_LSN,
+            leader_hint: paddr.clone(),
+            promote_hook: Some(PromoteHook::new(move || {
+                hook_replica.promote().map(|r| Promotion {
+                    last_lsn: r.last_lsn.0,
+                    losers_undone: r.losers_undone,
+                })
+            })),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind follower");
+    let faddr = fsrv.addr().to_string();
+
+    // Phase 1: primary churn + follower reads, all surfaces at once.
+    let churn = start_wire_churn(&paddr, DML_CLIENTS, &rids);
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..WIRE_READERS)
+        .map(|_| {
+            let faddr = faddr.clone();
+            let rids = rids.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&faddr).expect("reader connect");
+                assert_eq!(
+                    c.hello(Role::Client).expect("handshake").role,
+                    Role::Replica
+                );
+                read_driver(&mut c, &rids, &stop)
+            })
+        })
+        .collect();
+    let inproc = {
+        let rids = rids.clone();
+        let stop = Arc::clone(&stop);
+        let mut reader = FollowerReader::new(Arc::clone(&replica), MAX_LAG_LSN);
+        std::thread::spawn(move || read_driver(&mut reader, &rids, &stop))
+    };
+
+    std::thread::sleep(window);
+    stop.store(true, Ordering::Relaxed);
+    let dml = churn.stop();
+    let wire: Vec<_> = readers
+        .into_iter()
+        .map(|h| h.join().expect("wire reader"))
+        .collect();
+    let (ip_ok, ip_errs, mut ip_lats) = inproc.join().expect("in-process reader");
+
+    let mut t = Table::new(
+        "E19: follower read throughput/latency under primary churn (bounded staleness)",
+        &[
+            "read surface",
+            "reads",
+            "reads/s",
+            "p50",
+            "p99",
+            "rejected stale",
+        ],
+    );
+    let secs = window.as_secs_f64();
+    let wire_ok: u64 = wire.iter().map(|(ok, _, _)| ok).sum();
+    let wire_errs: u64 = wire.iter().map(|(_, e, _)| e).sum();
+    let mut wire_lats: Vec<Duration> = wire.into_iter().flat_map(|(_, _, l)| l).collect();
+    wire_lats.sort_unstable();
+    ip_lats.sort_unstable();
+    t.row(vec![
+        format!("wire client ×{WIRE_READERS} (loopback)"),
+        wire_ok.to_string(),
+        f2(wire_ok as f64 / secs),
+        us(pctl(&wire_lats, 50)),
+        us(pctl(&wire_lats, 99)),
+        wire_errs.to_string(),
+    ]);
+    t.row(vec![
+        "in-process FollowerReader".into(),
+        ip_ok.to_string(),
+        f2(ip_ok as f64 / secs),
+        us(pctl(&ip_lats, 50)),
+        us(pctl(&ip_lats, 99)),
+        ip_errs.to_string(),
+    ]);
+    t.note(format!(
+        "Primary DML beside the reads: {} committed wire ops ({}/s); staleness budget {MAX_LAG_LSN} LSNs.",
+        dml.ops,
+        f2(dml.ops as f64 / dml.elapsed.as_secs_f64().max(1e-9)),
+    ));
+    t.note(format!(
+        "Follower counters: repl.reads_served={}, repl.reads_rejected_stale={}.",
+        follower.obs.counter("repl.reads_served").get(),
+        follower.obs.counter("repl.reads_rejected_stale").get(),
+    ));
+
+    // Phase 2: the failover. Converge, kill the primary, promote over
+    // the wire, and time the client-visible write gap.
+    db.wal.flush_all();
+    assert!(
+        replica.wait_caught_up(db.wal.flushed_lsn(), Duration::from_secs(60)),
+        "follower never converged before failover"
+    );
+    psrv.drain();
+    db.simulate_crash();
+
+    let mut t2 = Table::new(
+        "E19: promotion after primary crash (client-visible downtime)",
+        &["step", "value"],
+    );
+    let mut c = Client::connect(&faddr).expect("promoter connect");
+    let t0 = Instant::now();
+    let promoted = c.promote().expect("wire promotion");
+    let promote_call = t0.elapsed();
+    // Downtime as a writer experiences it: from initiating failover to
+    // the first acknowledged write on the new primary.
+    let rid = c
+        .insert(TABLE, vec![77_000_001, 1])
+        .expect("first post-promotion write");
+    let downtime = t0.elapsed();
+    assert_eq!(
+        c.read(TABLE, rid).expect("read back"),
+        vec![77_000_001, 1],
+        "post-promotion write not visible"
+    );
+    assert_eq!(
+        c.hello(Role::Client).expect("handshake").role,
+        Role::Primary
+    );
+
+    t2.row(vec!["promote call (wire)".into(), ms(promote_call)]);
+    t2.row(vec!["downtime to first acked write".into(), ms(downtime)]);
+    t2.row(vec![
+        "in-flight txs undone".into(),
+        promoted.losers_undone.to_string(),
+    ]);
+    t2.row(vec![
+        "log tail at takeover".into(),
+        promoted.last_lsn.to_string(),
+    ]);
+    t2.note("Downtime excludes failure detection: the clock starts at the Promote request.");
+
+    fsrv.drain();
+    apply.join().expect("replica apply thread");
+    vec![t, t2]
 }

@@ -18,7 +18,8 @@
 use mohan_common::{IndexId, KeyValue, Rid, TableId, TxId};
 use mohan_wire::frame::{read_frame, write_frame};
 use mohan_wire::message::{
-    BuildAlgo, BuildPhase, ErrorCode, HistogramSummaryWire, IndexSpecWire, Request, Response,
+    proto_version, BuildAlgo, BuildPhase, ErrorCode, HistogramSummaryWire, IndexSpecWire, Request,
+    Response, Role,
 };
 use parking_lot::Mutex;
 use std::io::{self, BufWriter, Write};
@@ -109,6 +110,27 @@ impl MetricsReport {
     }
 }
 
+/// Decoded [`Response::Welcome`]: the server's half of the version
+/// handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Welcome {
+    /// Server's packed protocol version (`major << 16 | minor`).
+    pub proto_version: u32,
+    /// The server's current role (a follower refuses writes).
+    pub role: Role,
+    /// The server's flushed WAL LSN at handshake time.
+    pub flushed_lsn: u64,
+}
+
+/// Decoded [`Response::Promoted`]: outcome of a follower promotion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Promoted {
+    /// Last LSN in the promoted engine's log.
+    pub last_lsn: u64,
+    /// In-flight transactions rolled back by the promotion restart.
+    pub losers_undone: u64,
+}
+
 /// One blocking connection to the server.
 pub struct Client {
     stream: TcpStream,
@@ -167,6 +189,51 @@ impl Client {
     }
 
     // ----- typed calls ------------------------------------------------
+
+    /// Version/role handshake. Sends this library's protocol version
+    /// and the caller's role; the server answers with its own version,
+    /// its current role (primary or replication follower) and its
+    /// flushed LSN, or rejects the connection with
+    /// [`ErrorCode::UnsupportedProto`] on a major-version mismatch.
+    ///
+    /// Optional: servers keep answering un-handshaked requests, so old
+    /// clients work unchanged. New deployments should call this first
+    /// to learn whether they are talking to a follower.
+    pub fn hello(&mut self, role: Role) -> ClientResult<Welcome> {
+        match self.expect(&Request::Hello {
+            proto_version: proto_version(),
+            role,
+        })? {
+            Response::Welcome {
+                proto_version,
+                role,
+                flushed_lsn,
+            } => Ok(Welcome {
+                proto_version,
+                role,
+                flushed_lsn,
+            }),
+            other => Self::protocol("Welcome", &other),
+        }
+    }
+
+    /// Ask a follower server to promote itself to primary. Blocks
+    /// until the promotion (tail restart + undo of in-flight
+    /// transactions) finishes; afterwards the server accepts writes.
+    /// Fails on a server that is already a primary or has no promotion
+    /// hook configured.
+    pub fn promote(&mut self) -> ClientResult<Promoted> {
+        match self.expect(&Request::Promote)? {
+            Response::Promoted {
+                last_lsn,
+                losers_undone,
+            } => Ok(Promoted {
+                last_lsn,
+                losers_undone,
+            }),
+            other => Self::protocol("Promoted", &other),
+        }
+    }
 
     /// Liveness / RTT probe.
     pub fn ping(&mut self) -> ClientResult<()> {
@@ -372,6 +439,21 @@ impl Client {
                 other => return Self::protocol("Progress|IndexCreated", &other),
             }
         }
+    }
+}
+
+/// The shared read surface: the same driver/oracle code runs over a
+/// wire client, an in-process session, or a follower reader (see
+/// [`mohan_common::ReadApi`]).
+impl mohan_common::ReadApi for Client {
+    type Err = ClientError;
+
+    fn read(&mut self, table: TableId, rid: Rid) -> ClientResult<Vec<i64>> {
+        Client::read(self, table, rid)
+    }
+
+    fn lookup(&mut self, index: IndexId, key: &KeyValue) -> ClientResult<Vec<Rid>> {
+        Client::lookup(self, index, key)
     }
 }
 

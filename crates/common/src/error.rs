@@ -53,6 +53,16 @@ pub enum Error {
     /// `BEGIN` was issued while the session already holds an open
     /// transaction; the engine does not nest transactions.
     TxAlreadyOpen(TxId),
+    /// A write was attempted against an engine running as a
+    /// replication follower. Writes must go to the primary until the
+    /// follower is promoted.
+    NotWritable,
+    /// A follower read was refused because replication lag exceeded
+    /// the configured staleness bound.
+    ReplicaStale {
+        /// Replication lag, in LSNs, when the read was refused.
+        lag: u64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -84,6 +94,15 @@ impl fmt::Display for Error {
             Error::NoOpenTx => write!(f, "no open transaction on this session"),
             Error::TxAlreadyOpen(tx) => {
                 write!(f, "{tx} is already open on this session")
+            }
+            Error::NotWritable => {
+                write!(f, "engine is a replication follower and refuses writes")
+            }
+            Error::ReplicaStale { lag } => {
+                write!(
+                    f,
+                    "follower read refused: replication lag {lag} LSNs over bound"
+                )
             }
         }
     }

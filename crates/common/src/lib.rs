@@ -3,8 +3,9 @@
 //! This crate holds everything the other crates agree on: typed
 //! identifiers ([`ids`]), order-preserving key encoding ([`key`]), the
 //! error type ([`error`]), deterministic crash injection
-//! ([`failpoint`]), lightweight atomic counters ([`stats`]) and engine
-//! configuration ([`config`]).
+//! ([`failpoint`]), lightweight atomic counters ([`stats`]), engine
+//! configuration ([`config`]) and the read-side API surface shared by
+//! sessions, wire clients and follower reads ([`api`]).
 //!
 //! The vocabulary follows Mohan & Narang (SIGMOD 1992): records live on
 //! *data pages* and are addressed by a [`ids::Rid`]; index entries are
@@ -13,6 +14,7 @@
 
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod config;
 pub mod error;
 pub mod failpoint;
@@ -20,6 +22,7 @@ pub mod ids;
 pub mod key;
 pub mod stats;
 
+pub use api::ReadApi;
 pub use config::EngineConfig;
 pub use error::{Error, Result};
 pub use ids::{FileId, IndexId, Lsn, PageId, Rid, SlotId, TableId, TxId};

@@ -22,7 +22,7 @@ use mohan_wal::recovery::RecoveryStats;
 use mohan_wal::{LogManager, LogPayload, LogRecord, RecKind, RecoveryTarget, SideFileOp};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -59,6 +59,14 @@ pub struct Db {
     tx_deletes: Mutex<HashMap<TxId, Vec<(TableId, Rid)>>>,
     next_tx: AtomicU64,
     next_index: AtomicU32,
+    /// Dynamic role. Seeded from `cfg.replica`; promotion flips it to
+    /// false at runtime, which re-enables writes and stops redo from
+    /// applying shipped `CatalogUpdate` snapshots.
+    replica: AtomicBool,
+    /// Replication lag in LSNs, published by the follower's apply loop
+    /// and read by the server's staleness gate (`max_lag_lsn`). Always
+    /// 0 on a primary.
+    repl_lag: AtomicU64,
 }
 
 impl Db {
@@ -66,6 +74,7 @@ impl Db {
     #[must_use]
     pub fn new(cfg: EngineConfig) -> Arc<Db> {
         let lock_timeout = Duration::from_millis(cfg.lock_timeout_ms);
+        let replica = AtomicBool::new(cfg.replica);
         let db = Arc::new(Db {
             cfg,
             wal: LogManager::new(),
@@ -79,6 +88,8 @@ impl Db {
             tx_deletes: Mutex::new(HashMap::new()),
             next_tx: AtomicU64::new(1),
             next_index: AtomicU32::new(1),
+            replica,
+            repl_lag: AtomicU64::new(0),
         });
         db.register_observability();
         db
@@ -550,6 +561,54 @@ impl Db {
         Ok(stats)
     }
 
+    // ----- replication role --------------------------------------------
+
+    /// True while the engine is a replication follower. Seeded from
+    /// `cfg.replica`, cleared by [`Db::promote_to_primary`].
+    #[must_use]
+    pub fn is_replica(&self) -> bool {
+        self.replica.load(Ordering::Acquire)
+    }
+
+    /// Flip the dynamic role (promotion path; tests).
+    pub fn set_replica(&self, replica: bool) {
+        self.replica.store(replica, Ordering::Release);
+    }
+
+    /// Replication lag in LSNs as last published by the follower's
+    /// apply loop (0 on a primary).
+    #[must_use]
+    pub fn repl_lag(&self) -> u64 {
+        self.repl_lag.load(Ordering::Acquire)
+    }
+
+    /// Publish the current replication lag (follower apply loop).
+    pub fn set_repl_lag(&self, lag: u64) {
+        self.repl_lag.store(lag, Ordering::Release);
+    }
+
+    /// Keep the local transaction-id allocator above every replicated
+    /// transaction id, so transactions begun after promotion never
+    /// collide with ids the old primary handed out.
+    pub fn bump_tx_floor(&self, tx: TxId) {
+        self.next_tx.fetch_max(tx.0 + 1, Ordering::AcqRel);
+    }
+
+    /// Promote a replication follower to primary: force the mirrored
+    /// log, run ARIES restart over it (redo is idempotent against the
+    /// already-applied state thanks to page LSNs; the undo pass rolls
+    /// back whatever transactions were still in flight on the dead
+    /// primary), then flip the role so writes are accepted. The caller
+    /// must have stopped the WAL subscription first — nothing may be
+    /// applying records concurrently.
+    pub fn promote_to_primary(&self) -> Result<RecoveryStats> {
+        self.wal.flush_all();
+        let stats = self.restart()?;
+        self.set_replica(false);
+        self.set_repl_lag(0);
+        Ok(stats)
+    }
+
     // ----- visibility planning (Figures 1 and 2) ----------------------
 
     /// Under the data-page latch: which indexes are visible for this
@@ -758,7 +817,9 @@ impl RecoveryTarget for Db {
                 Ok(())
             }
             LogPayload::CatalogUpdate { bytes } => {
-                if self.cfg.replica {
+                // Dynamic role, not `cfg.replica`: a promoted follower
+                // replays its own snapshots as no-ops, like a primary.
+                if self.is_replica() {
                     self.apply_catalog_update(bytes)
                 } else {
                     Ok(())

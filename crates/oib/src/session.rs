@@ -52,10 +52,23 @@ impl Session {
         self.tx
     }
 
+    /// Writes are refused while the engine is a replication follower.
+    /// The server performs the same check at the wire boundary (where
+    /// it can attach a leader hint); this one is defense in depth for
+    /// in-process callers.
+    fn check_writable(&self) -> Result<()> {
+        if self.db.is_replica() {
+            Err(Error::NotWritable)
+        } else {
+            Ok(())
+        }
+    }
+
     // ----- transaction control ----------------------------------------
 
     /// Open a transaction. Fails if one is already open.
     pub fn begin(&mut self) -> Result<TxId> {
+        self.check_writable()?;
         if let Some(tx) = self.tx {
             return Err(Error::TxAlreadyOpen(tx));
         }
@@ -87,6 +100,7 @@ impl Session {
     /// crash still surfaces, since the crash must reach the
     /// orchestrator.
     pub fn with_tx<T>(&mut self, op: impl FnOnce(&Db, TxId) -> Result<T>) -> Result<T> {
+        self.check_writable()?;
         if let Some(tx) = self.tx {
             return op(&self.db, tx);
         }
@@ -144,6 +158,7 @@ impl Session {
         specs: &[IndexSpec],
         algorithm: BuildAlgorithm,
     ) -> Result<Vec<IndexId>> {
+        self.check_writable()?;
         if let Some(tx) = self.tx {
             return Err(Error::TxAlreadyOpen(tx));
         }
@@ -176,6 +191,21 @@ impl Session {
 impl Drop for Session {
     fn drop(&mut self) {
         let _ = self.close();
+    }
+}
+
+/// The shared read surface (bench oracles and closed-loop drivers run
+/// against [`mohan_common::ReadApi`], so the same driver code works
+/// over an in-process session, a wire client, or a follower reader).
+impl mohan_common::ReadApi for Session {
+    type Err = Error;
+
+    fn read(&mut self, table: TableId, rid: Rid) -> Result<Vec<i64>> {
+        Session::read(self, table, rid).map(|r| r.0)
+    }
+
+    fn lookup(&mut self, index: IndexId, key: &KeyValue) -> Result<Vec<Rid>> {
+        Session::lookup(self, index, key)
     }
 }
 
@@ -254,6 +284,34 @@ mod tests {
         }; // s dropped here with the tx open
         assert_eq!(db.active_txs(), 0, "drop must roll back");
         assert!(db.read_record(TableId(1), rid).is_err());
+    }
+
+    #[test]
+    fn replica_session_refuses_writes_until_promoted() {
+        let mut cfg = EngineConfig::small();
+        cfg.replica = true;
+        let db = Db::new(cfg);
+        db.create_table(TableId(1));
+        assert!(db.is_replica());
+        let mut s = Session::new(db.clone());
+        assert_eq!(s.begin(), Err(Error::NotWritable));
+        assert_eq!(s.insert(TableId(1), &rec(1, 10)), Err(Error::NotWritable));
+        let spec = IndexSpec {
+            name: "ix".into(),
+            key_cols: vec![0],
+            unique: false,
+        };
+        assert_eq!(
+            s.create_index(TableId(1), spec, BuildAlgorithm::Sf),
+            Err(Error::NotWritable)
+        );
+        // Reads stay allowed (they just see an empty table here).
+        assert!(s.read(TableId(1), Rid::new(1, 0)).is_err()); // NotFound, not NotWritable
+                                                              // Promotion flips the dynamic role; writes work afterwards.
+        db.promote_to_primary().unwrap();
+        assert!(!db.is_replica());
+        let rid = s.insert(TableId(1), &rec(1, 10)).unwrap();
+        assert_eq!(s.read(TableId(1), rid).unwrap(), rec(1, 10));
     }
 
     #[test]

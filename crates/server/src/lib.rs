@@ -79,6 +79,59 @@ pub struct ServerConfig {
     /// in the engine's trace ring buffer as a `server.slow_request`
     /// span (see `mohan_obs::TraceSink`).
     pub slow_request: Duration,
+    /// Staleness bound for reads served while the engine is a
+    /// replication follower: a `Read`/`Lookup` is refused with
+    /// [`mohan_wire::message::ErrorCode::Stale`] when the follower's
+    /// replication lag (in LSNs) exceeds this. The default
+    /// (`u64::MAX`) never refuses, which is also the right answer on a
+    /// primary where the lag is always 0.
+    pub max_lag_lsn: u64,
+    /// Where writes should go instead, attached to
+    /// [`mohan_wire::message::ErrorCode::NotWritable`] answers on a
+    /// follower. Usually the primary's address; empty when unknown.
+    pub leader_hint: String,
+    /// How a `Promote` request is executed. The server itself cannot
+    /// stop the replication subscription (that is the replica layer,
+    /// which sits above this crate), so promotion is injected: the
+    /// hook runs the whole stop-subscription → restart-undo →
+    /// open-for-writes sequence and reports what it did. With no hook
+    /// configured, `Promote` answers an `Internal` error.
+    pub promote_hook: Option<PromoteHook>,
+}
+
+/// What a successful promotion reports back over the wire.
+#[derive(Debug, Clone, Copy)]
+pub struct Promotion {
+    /// The new primary's log tail after restart undo.
+    pub last_lsn: u64,
+    /// In-flight transactions rolled back by the restart-undo pass.
+    pub losers_undone: u64,
+}
+
+/// Callback executing a promotion (see [`ServerConfig::promote_hook`]).
+///
+/// Runs synchronously on the worker thread servicing the `Promote`
+/// request; implementations must not block on multi-second waits (the
+/// replica layer's promotion takes an apply gate, never a socket
+/// timeout, for exactly this reason).
+#[derive(Clone)]
+pub struct PromoteHook(Arc<dyn Fn() -> Result<Promotion, String> + Send + Sync>);
+
+impl PromoteHook {
+    /// Wrap a promotion closure.
+    pub fn new(f: impl Fn() -> Result<Promotion, String> + Send + Sync + 'static) -> PromoteHook {
+        PromoteHook(Arc::new(f))
+    }
+
+    pub(crate) fn call(&self) -> Result<Promotion, String> {
+        (self.0)()
+    }
+}
+
+impl std::fmt::Debug for PromoteHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("PromoteHook(..)")
+    }
 }
 
 impl Default for ServerConfig {
@@ -94,6 +147,9 @@ impl Default for ServerConfig {
             drain_timeout: Duration::from_secs(10),
             progress_interval: Duration::from_millis(25),
             slow_request: Duration::from_millis(100),
+            max_lag_lsn: u64::MAX,
+            leader_hint: String::new(),
+            promote_hook: None,
         }
     }
 }
@@ -222,6 +278,12 @@ pub(crate) struct Inner {
     /// resolved once at startup so the request hot path records with
     /// plain atomics instead of a registry lookup.
     pub(crate) req_us: Vec<Arc<Histogram>>,
+    /// Follower-read counters (`repl.reads_served` /
+    /// `repl.reads_rejected_stale`), cached off the registry for the
+    /// same reason as `req_us`. Only bumped while the engine is a
+    /// replica.
+    pub(crate) reads_served: Arc<Counter>,
+    pub(crate) reads_stale: Arc<Counter>,
 }
 
 impl Inner {
@@ -283,6 +345,8 @@ impl Server {
             .iter()
             .map(|op| db.obs.histogram(&format!("server.req_us.{op}")))
             .collect();
+        let reads_served = db.obs.counter("repl.reads_served");
+        let reads_stale = db.obs.counter("repl.reads_rejected_stale");
         let inner = Arc::new(Inner {
             db,
             stats: ServerStats::new(workers),
@@ -292,6 +356,8 @@ impl Server {
             inflight: AtomicUsize::new(0),
             conn_count: AtomicUsize::new(0),
             req_us,
+            reads_served,
+            reads_stale,
         });
 
         let mut senders = Vec::with_capacity(workers);

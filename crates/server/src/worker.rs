@@ -16,7 +16,8 @@ use mohan_oib::schema::{BuildAlgorithm, Record};
 use mohan_oib::Session;
 use mohan_wire::frame::{take_frame, write_frame, MAX_FRAME};
 use mohan_wire::message::{
-    BuildAlgo, BuildPhase, ErrorCode, HistogramSummaryWire, Request, Response,
+    proto_major, proto_version, BuildAlgo, BuildPhase, ErrorCode, HistogramSummaryWire, Request,
+    Response, Role, PROTO_MAJOR,
 };
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -42,6 +43,8 @@ pub(crate) const OPCODES: &[&str] = &[
     "Metrics",
     "ObserveStats",
     "SubscribeWal",
+    "Hello",
+    "Promote",
 ];
 
 /// Index of a request's opcode into [`OPCODES`] / `Inner::req_us`.
@@ -62,6 +65,8 @@ fn opcode_index(req: &Request) -> usize {
         Request::Metrics => 11,
         Request::ObserveStats { .. } => 12,
         Request::SubscribeWal { .. } => 13,
+        Request::Hello { .. } => 14,
+        Request::Promote => 15,
     }
 }
 
@@ -347,8 +352,13 @@ fn handle_payload(
     // locks (and the client's next request slot), so refusing them at
     // the cap would let a saturated server deadlock against itself —
     // the blocked statements hold every slot while waiting for exactly
-    // those locks. Ping is exempt as a pure liveness probe.
-    let admitted = if matches!(req, Request::Commit | Request::Rollback | Request::Ping) {
+    // those locks. Ping is exempt as a pure liveness probe, and Hello
+    // likewise: a handshake refused with Busy would read as a protocol
+    // mismatch to the peer.
+    let admitted = if matches!(
+        req,
+        Request::Commit | Request::Rollback | Request::Ping | Request::Hello { .. }
+    ) {
         false
     } else if inner.admit() {
         true
@@ -404,6 +414,52 @@ fn handle_payload(
 /// Execute one request and send its response(s). Returns true when
 /// the admission slot stays held past this call (a spawned build).
 fn execute(inner: &Arc<Inner>, conn: &mut Conn, req: Request) -> bool {
+    // Role gate: on a replication follower, writes are refused with a
+    // redirect hint and data reads are bounded by the configured
+    // staleness budget. Checked here, at the wire boundary, so the
+    // answer can carry `leader_hint`; the session layer repeats the
+    // write check underneath as defense in depth.
+    if inner.db.is_replica() {
+        match &req {
+            Request::Begin
+            | Request::Insert { .. }
+            | Request::Update { .. }
+            | Request::Delete { .. }
+            | Request::CreateIndex { .. } => {
+                send(
+                    inner,
+                    conn,
+                    &Response::Err {
+                        code: ErrorCode::NotWritable {
+                            leader_hint: inner.cfg.leader_hint.clone(),
+                        },
+                        message: "server is a replication follower; writes go to the primary"
+                            .into(),
+                    },
+                );
+                return false;
+            }
+            Request::Read { .. } | Request::Lookup { .. } => {
+                let lag = inner.db.repl_lag();
+                if lag > inner.cfg.max_lag_lsn {
+                    inner.reads_stale.bump();
+                    send(
+                        inner,
+                        conn,
+                        &Response::Err {
+                            code: ErrorCode::Stale { lag },
+                            message: format!(
+                                "replication lag {lag} LSNs exceeds max_lag_lsn {}",
+                                inner.cfg.max_lag_lsn
+                            ),
+                        },
+                    );
+                    return false;
+                }
+            }
+            _ => {}
+        }
+    }
     let resp = match req {
         Request::Ping => Response::Pong,
         Request::Begin => match conn.session.begin() {
@@ -440,14 +496,24 @@ fn execute(inner: &Arc<Inner>, conn: &mut Conn, req: Request) -> bool {
             }
         }
         Request::Read { table, rid } => match conn.session.read(TableId(table), Rid::unpack(rid)) {
-            Ok(rec) => Response::Record { cols: rec.0 },
+            Ok(rec) => {
+                if inner.db.is_replica() {
+                    inner.reads_served.bump();
+                }
+                Response::Record { cols: rec.0 }
+            }
             Err(e) => Response::from_error(&e),
         },
         Request::Lookup { index, key } => {
             match conn.session.lookup(IndexId(index), &KeyValue(key)) {
-                Ok(rids) => Response::Rids {
-                    rids: rids.into_iter().map(Rid::pack).collect(),
-                },
+                Ok(rids) => {
+                    if inner.db.is_replica() {
+                        inner.reads_served.bump();
+                    }
+                    Response::Rids {
+                        rids: rids.into_iter().map(Rid::pack).collect(),
+                    }
+                }
                 Err(e) => Response::from_error(&e),
             }
         }
@@ -507,6 +573,51 @@ fn execute(inner: &Arc<Inner>, conn: &mut Conn, req: Request) -> bool {
         }
         Request::CreateIndex { table, algo, specs } => {
             return start_build(inner, conn, TableId(table), algo, specs);
+        }
+        Request::Hello {
+            proto_version: theirs,
+            role,
+        } => {
+            if proto_major(theirs) != PROTO_MAJOR {
+                protocol_err(
+                    ErrorCode::UnsupportedProto,
+                    &format!(
+                        "peer speaks protocol major {}, server speaks {PROTO_MAJOR}",
+                        proto_major(theirs)
+                    ),
+                )
+            } else {
+                inner
+                    .db
+                    .obs
+                    .trace()
+                    .event("server.hello", format!("{role:?}"), u64::from(theirs));
+                Response::Welcome {
+                    proto_version: proto_version(),
+                    role: if inner.db.is_replica() {
+                        Role::Replica
+                    } else {
+                        Role::Primary
+                    },
+                    flushed_lsn: inner.db.wal.flushed_lsn().0,
+                }
+            }
+        }
+        Request::Promote => {
+            if !inner.db.is_replica() {
+                protocol_err(ErrorCode::Internal, "already a primary")
+            } else {
+                match &inner.cfg.promote_hook {
+                    None => protocol_err(ErrorCode::Internal, "no promotion hook configured"),
+                    Some(hook) => match hook.call() {
+                        Ok(p) => Response::Promoted {
+                            last_lsn: p.last_lsn,
+                            losers_undone: p.losers_undone,
+                        },
+                        Err(msg) => protocol_err(ErrorCode::Internal, &msg),
+                    },
+                }
+            }
         }
     };
     send(inner, conn, &resp);
@@ -869,6 +980,11 @@ mod tests {
             Request::Metrics,
             Request::ObserveStats { interval_ms: 100 },
             Request::SubscribeWal { from_lsn: 1 },
+            Request::Hello {
+                proto_version: proto_version(),
+                role: Role::Client,
+            },
+            Request::Promote,
         ]
     }
 

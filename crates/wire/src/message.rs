@@ -13,6 +13,59 @@
 use crate::codec::{put_bytes, put_i64, put_string, put_u16, put_u32, put_u64, put_u8, Cursor};
 use mohan_common::error::Error;
 
+/// Protocol major version. A server rejects a [`Request::Hello`]
+/// whose major differs from its own — majors gate incompatible
+/// changes. Minor bumps are additive and interoperate.
+pub const PROTO_MAJOR: u16 = 1;
+/// Protocol minor version (additive changes only).
+pub const PROTO_MINOR: u16 = 0;
+
+/// This build's packed protocol version (`major << 16 | minor`).
+#[must_use]
+pub fn proto_version() -> u32 {
+    (u32::from(PROTO_MAJOR) << 16) | u32::from(PROTO_MINOR)
+}
+
+/// Major component of a packed protocol version.
+#[must_use]
+pub fn proto_major(version: u32) -> u16 {
+    (version >> 16) as u16
+}
+
+/// What a peer is, announced in [`Request::Hello`] and answered in
+/// [`Response::Welcome`]. A server is `Primary` or `Replica`; a
+/// connecting peer is usually `Client`, or `Replica` when the
+/// connection is a follower's WAL subscription.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// An engine that accepts writes.
+    Primary,
+    /// A replication follower: serves bounded-staleness reads, refuses
+    /// writes with [`ErrorCode::NotWritable`] until promoted.
+    Replica,
+    /// An ordinary client.
+    Client,
+}
+
+impl Role {
+    fn tag(self) -> u8 {
+        match self {
+            Role::Primary => 0,
+            Role::Replica => 1,
+            Role::Client => 2,
+        }
+    }
+
+    fn from_tag(t: u8) -> Option<Self> {
+        match t {
+            0 => Some(Role::Primary),
+            1 => Some(Role::Replica),
+            2 => Some(Role::Client),
+            _ => None,
+        }
+    }
+}
+
 /// Build algorithm selector carried by `CreateIndex` (§1: offline
 /// baseline, §2 NSF, §3 SF).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -272,6 +325,21 @@ pub enum Request {
         /// reconnect).
         from_lsn: u64,
     },
+    /// Versioned handshake. Optional and backward-compatible: a peer
+    /// that never sends it gets the legacy behaviour. The server
+    /// answers [`Response::Welcome`] when the major versions agree and
+    /// [`ErrorCode::UnsupportedProto`] otherwise.
+    Hello {
+        /// The peer's packed protocol version (see [`proto_version`]).
+        proto_version: u32,
+        /// What the peer is (informational; traced server-side).
+        role: Role,
+    },
+    /// Promote a replica server to primary: stop its WAL subscription,
+    /// roll back any in-flight replicated tail via restart undo, and
+    /// open the engine for writes. Only meaningful on a replica's own
+    /// socket; a primary answers with an error.
+    Promote,
 }
 
 const REQ_PING: u8 = 1;
@@ -288,6 +356,8 @@ const REQ_STATS: u8 = 11;
 const REQ_METRICS: u8 = 12;
 const REQ_OBSERVE_STATS: u8 = 13;
 const REQ_SUBSCRIBE_WAL: u8 = 14;
+const REQ_HELLO: u8 = 15;
+const REQ_PROMOTE: u8 = 16;
 
 /// Explicit protocol cap on every `u16`-counted list (columns, index
 /// specs, key columns, created ids, stat counters). Encoders clamp to
@@ -338,6 +408,8 @@ impl Request {
             Request::Metrics => "Metrics",
             Request::ObserveStats { .. } => "ObserveStats",
             Request::SubscribeWal { .. } => "SubscribeWal",
+            Request::Hello { .. } => "Hello",
+            Request::Promote => "Promote",
         }
     }
 
@@ -396,6 +468,15 @@ impl Request {
                 put_u8(&mut out, REQ_SUBSCRIBE_WAL);
                 put_u64(&mut out, *from_lsn);
             }
+            Request::Hello {
+                proto_version,
+                role,
+            } => {
+                put_u8(&mut out, REQ_HELLO);
+                put_u32(&mut out, *proto_version);
+                put_u8(&mut out, role.tag());
+            }
+            Request::Promote => put_u8(&mut out, REQ_PROMOTE),
         }
         out
     }
@@ -448,6 +529,11 @@ impl Request {
             REQ_SUBSCRIBE_WAL => Request::SubscribeWal {
                 from_lsn: c.get_u64()?,
             },
+            REQ_HELLO => Request::Hello {
+                proto_version: c.get_u32()?,
+                role: Role::from_tag(c.get_u8()?)?,
+            },
+            REQ_PROMOTE => Request::Promote,
             _ => return None,
         };
         c.finish(req)
@@ -458,8 +544,11 @@ impl Request {
 ///
 /// The first block mirrors [`mohan_common::error::Error`] one-to-one;
 /// the second block is protocol/service-level conditions the engine
-/// itself never raises.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// itself never raises. Two variants carry data a client is expected
+/// to act on programmatically — the leader to redirect writes to, the
+/// lag that made a read too stale — so the enum is `Clone`, not
+/// `Copy`.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ErrorCode {
     /// [`Error::UniqueViolation`].
     UniqueViolation,
@@ -495,10 +584,25 @@ pub enum ErrorCode {
     Draining,
     /// Internal service failure not expressible as an engine error.
     Internal,
+    /// The server is a replication follower and refuses writes.
+    NotWritable {
+        /// Where writes should go instead (the follower's primary
+        /// address); empty when the follower does not know one.
+        leader_hint: String,
+    },
+    /// A follower read was refused because replication lag exceeded
+    /// the server's staleness bound (`max_lag_lsn`).
+    Stale {
+        /// The lag, in LSNs, at refusal time.
+        lag: u64,
+    },
+    /// The peer's [`Request::Hello`] carried a protocol major version
+    /// this server does not speak.
+    UnsupportedProto,
 }
 
 impl ErrorCode {
-    fn tag(self) -> u8 {
+    fn tag(&self) -> u8 {
         match self {
             ErrorCode::UniqueViolation => 1,
             ErrorCode::LockTimeout => 2,
@@ -517,30 +621,49 @@ impl ErrorCode {
             ErrorCode::DeadlineExceeded => 33,
             ErrorCode::Draining => 34,
             ErrorCode::Internal => 35,
+            ErrorCode::NotWritable { .. } => 36,
+            ErrorCode::Stale { .. } => 37,
+            ErrorCode::UnsupportedProto => 38,
         }
     }
 
-    fn from_tag(t: u8) -> Option<Self> {
-        match t {
-            1 => Some(ErrorCode::UniqueViolation),
-            2 => Some(ErrorCode::LockTimeout),
-            3 => Some(ErrorCode::LockBusy),
-            4 => Some(ErrorCode::NotFound),
-            5 => Some(ErrorCode::PageFull),
-            6 => Some(ErrorCode::Corruption),
-            7 => Some(ErrorCode::BuildCancelled),
-            8 => Some(ErrorCode::InjectedCrash),
-            9 => Some(ErrorCode::TxNotActive),
-            10 => Some(ErrorCode::NoSuchIndex),
-            11 => Some(ErrorCode::IndexNotReadable),
-            12 => Some(ErrorCode::NoOpenTx),
-            13 => Some(ErrorCode::TxAlreadyOpen),
-            32 => Some(ErrorCode::Malformed),
-            33 => Some(ErrorCode::DeadlineExceeded),
-            34 => Some(ErrorCode::Draining),
-            35 => Some(ErrorCode::Internal),
-            _ => None,
+    /// Tag byte plus the tag-specific body (only the data-carrying
+    /// variants have one).
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u8(out, self.tag());
+        match self {
+            ErrorCode::NotWritable { leader_hint } => put_string(out, leader_hint),
+            ErrorCode::Stale { lag } => put_u64(out, *lag),
+            _ => {}
         }
+    }
+
+    fn decode(c: &mut Cursor<'_>) -> Option<Self> {
+        Some(match c.get_u8()? {
+            1 => ErrorCode::UniqueViolation,
+            2 => ErrorCode::LockTimeout,
+            3 => ErrorCode::LockBusy,
+            4 => ErrorCode::NotFound,
+            5 => ErrorCode::PageFull,
+            6 => ErrorCode::Corruption,
+            7 => ErrorCode::BuildCancelled,
+            8 => ErrorCode::InjectedCrash,
+            9 => ErrorCode::TxNotActive,
+            10 => ErrorCode::NoSuchIndex,
+            11 => ErrorCode::IndexNotReadable,
+            12 => ErrorCode::NoOpenTx,
+            13 => ErrorCode::TxAlreadyOpen,
+            32 => ErrorCode::Malformed,
+            33 => ErrorCode::DeadlineExceeded,
+            34 => ErrorCode::Draining,
+            35 => ErrorCode::Internal,
+            36 => ErrorCode::NotWritable {
+                leader_hint: c.get_string()?,
+            },
+            37 => ErrorCode::Stale { lag: c.get_u64()? },
+            38 => ErrorCode::UnsupportedProto,
+            _ => return None,
+        })
     }
 }
 
@@ -561,6 +684,12 @@ pub fn error_code_of(e: &Error) -> ErrorCode {
         Error::IndexNotReadable(_) => ErrorCode::IndexNotReadable,
         Error::NoOpenTx => ErrorCode::NoOpenTx,
         Error::TxAlreadyOpen(_) => ErrorCode::TxAlreadyOpen,
+        // The engine doesn't know its primary's address; the server
+        // layer substitutes its configured `leader_hint`.
+        Error::NotWritable => ErrorCode::NotWritable {
+            leader_hint: String::new(),
+        },
+        Error::ReplicaStale { lag } => ErrorCode::Stale { lag: *lag },
     }
 }
 
@@ -651,6 +780,26 @@ pub enum Response {
         /// Human-readable detail (the engine error's `Display`).
         message: String,
     },
+    /// Answer to an accepted [`Request::Hello`].
+    Welcome {
+        /// The server's packed protocol version.
+        proto_version: u32,
+        /// What the server is right now ([`Role::Primary`] or
+        /// [`Role::Replica`]; promotion changes later answers).
+        role: Role,
+        /// The server's flushed WAL LSN at handshake time — a
+        /// freshness reference point for follower reads.
+        flushed_lsn: u64,
+    },
+    /// Answer to a successful [`Request::Promote`]: the replica is now
+    /// a primary and accepts writes.
+    Promoted {
+        /// Highest LSN the replica had applied when promoted (its new
+        /// flushed tail).
+        last_lsn: u64,
+        /// In-flight transactions rolled back by the restart-undo pass.
+        losers_undone: u64,
+    },
 }
 
 const RESP_PONG: u8 = 1;
@@ -669,6 +818,8 @@ const RESP_BUSY: u8 = 13;
 const RESP_ERR: u8 = 14;
 const RESP_METRICS: u8 = 15;
 const RESP_WAL_FRAME: u8 = 16;
+const RESP_WELCOME: u8 = 17;
+const RESP_PROMOTED: u8 = 18;
 
 impl Response {
     /// Encode to a frame payload (tag + body).
@@ -756,8 +907,26 @@ impl Response {
             Response::Busy => put_u8(&mut out, RESP_BUSY),
             Response::Err { code, message } => {
                 put_u8(&mut out, RESP_ERR);
-                put_u8(&mut out, code.tag());
+                code.encode(&mut out);
                 put_string(&mut out, message);
+            }
+            Response::Welcome {
+                proto_version,
+                role,
+                flushed_lsn,
+            } => {
+                put_u8(&mut out, RESP_WELCOME);
+                put_u32(&mut out, *proto_version);
+                put_u8(&mut out, role.tag());
+                put_u64(&mut out, *flushed_lsn);
+            }
+            Response::Promoted {
+                last_lsn,
+                losers_undone,
+            } => {
+                put_u8(&mut out, RESP_PROMOTED);
+                put_u64(&mut out, *last_lsn);
+                put_u64(&mut out, *losers_undone);
             }
         }
         out
@@ -836,8 +1005,17 @@ impl Response {
             },
             RESP_BUSY => Response::Busy,
             RESP_ERR => Response::Err {
-                code: ErrorCode::from_tag(c.get_u8()?)?,
+                code: ErrorCode::decode(&mut c)?,
                 message: c.get_string()?,
+            },
+            RESP_WELCOME => Response::Welcome {
+                proto_version: c.get_u32()?,
+                role: Role::from_tag(c.get_u8()?)?,
+                flushed_lsn: c.get_u64()?,
+            },
+            RESP_PROMOTED => Response::Promoted {
+                last_lsn: c.get_u64()?,
+                losers_undone: c.get_u64()?,
             },
             _ => return None,
         };
@@ -908,6 +1086,15 @@ mod tests {
             Request::SubscribeWal {
                 from_lsn: u64::MAX - 1,
             },
+            Request::Hello {
+                proto_version: proto_version(),
+                role: Role::Client,
+            },
+            Request::Hello {
+                proto_version: (9 << 16) | 3,
+                role: Role::Replica,
+            },
+            Request::Promote,
         ]
     }
 
@@ -978,6 +1165,29 @@ mod tests {
             Response::Err {
                 code: ErrorCode::LockTimeout,
                 message: "tx7 timed out".into(),
+            },
+            Response::Err {
+                code: ErrorCode::NotWritable {
+                    leader_hint: "127.0.0.1:4050".into(),
+                },
+                message: "replica refuses writes".into(),
+            },
+            Response::Err {
+                code: ErrorCode::Stale { lag: 4096 },
+                message: "lag over bound".into(),
+            },
+            Response::Err {
+                code: ErrorCode::UnsupportedProto,
+                message: "major 9 unsupported".into(),
+            },
+            Response::Welcome {
+                proto_version: proto_version(),
+                role: Role::Replica,
+                flushed_lsn: 7_777,
+            },
+            Response::Promoted {
+                last_lsn: 9_999,
+                losers_undone: 3,
             },
         ]
     }
@@ -1078,6 +1288,16 @@ mod tests {
             ),
             (Error::NoOpenTx, ErrorCode::NoOpenTx),
             (Error::TxAlreadyOpen(TxId(9)), ErrorCode::TxAlreadyOpen),
+            (
+                Error::NotWritable,
+                ErrorCode::NotWritable {
+                    leader_hint: String::new(),
+                },
+            ),
+            (
+                Error::ReplicaStale { lag: 512 },
+                ErrorCode::Stale { lag: 512 },
+            ),
         ];
         for (err, code) in cases {
             assert_eq!(error_code_of(&err), code, "{err:?}");
