@@ -108,9 +108,93 @@ impl EngineConfig {
     }
 }
 
+/// Environment variable overriding the server's I/O backend choice
+/// (same spellings as [`IoBackendChoice::parse`]). Read by
+/// `ServerConfig::default`, so every test server and tool in the
+/// workspace can be switched without touching call sites — how CI
+/// runs the loopback suites under each backend.
+pub const IO_BACKEND_ENV: &str = "MOHAN_IO_BACKEND";
+
+/// Which I/O readiness backend the server's connection layer uses.
+///
+/// Lives in `mohan-common` (not the server crate) so binaries and
+/// benches can parse/carry the choice without depending on server
+/// internals. Resolution against what the host actually supports
+/// happens in the server's reactor module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoBackendChoice {
+    /// Pick the best available: epoll where it exists, else poll(2).
+    #[default]
+    Auto,
+    /// Linux epoll(7) — O(ready) dispatch. Startup fails if the host
+    /// has no epoll.
+    Epoll,
+    /// Portable poll(2) — O(registered fds) per wait, still
+    /// event-driven.
+    Poll,
+    /// Legacy sleep-polling worker loop (500µs ticks). Kept as the
+    /// no-reactor fallback and as the baseline the reactor's wakeup
+    /// metrics are compared against.
+    ThreadedSleep,
+}
+
+impl IoBackendChoice {
+    /// Parse a CLI/env spelling. Accepts `auto`, `epoll`, `poll`,
+    /// and `threaded` (also `threaded-sleep`/`sleep`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<IoBackendChoice> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "auto" => Some(IoBackendChoice::Auto),
+            "epoll" => Some(IoBackendChoice::Epoll),
+            "poll" => Some(IoBackendChoice::Poll),
+            "threaded" | "threaded-sleep" | "sleep" => Some(IoBackendChoice::ThreadedSleep),
+            _ => None,
+        }
+    }
+
+    /// The choice from [`IO_BACKEND_ENV`]. `Ok(None)` when unset;
+    /// `Err` (with the offending value) when set to something
+    /// unparsable — a typo in a CI matrix must not silently test the
+    /// default backend.
+    pub fn from_env() -> Result<Option<IoBackendChoice>, String> {
+        match std::env::var(IO_BACKEND_ENV) {
+            Ok(v) => IoBackendChoice::parse(&v).map(Some).ok_or(v),
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// Canonical spelling, round-trips through [`IoBackendChoice::parse`].
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            IoBackendChoice::Auto => "auto",
+            IoBackendChoice::Epoll => "epoll",
+            IoBackendChoice::Poll => "poll",
+            IoBackendChoice::ThreadedSleep => "threaded",
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn io_backend_choice_parses_and_round_trips() {
+        for c in [
+            IoBackendChoice::Auto,
+            IoBackendChoice::Epoll,
+            IoBackendChoice::Poll,
+            IoBackendChoice::ThreadedSleep,
+        ] {
+            assert_eq!(IoBackendChoice::parse(c.name()), Some(c));
+        }
+        assert_eq!(
+            IoBackendChoice::parse("Threaded-Sleep"),
+            Some(IoBackendChoice::ThreadedSleep)
+        );
+        assert_eq!(IoBackendChoice::parse("uring"), None);
+    }
 
     #[test]
     fn defaults_are_sane() {

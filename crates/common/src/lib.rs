@@ -23,7 +23,7 @@ pub mod key;
 pub mod stats;
 
 pub use api::ReadApi;
-pub use config::EngineConfig;
+pub use config::{EngineConfig, IoBackendChoice};
 pub use error::{Error, Result};
 pub use ids::{FileId, IndexId, Lsn, PageId, Rid, SlotId, TableId, TxId};
 pub use key::{IndexEntry, KeyValue};

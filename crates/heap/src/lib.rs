@@ -175,7 +175,12 @@ impl HeapTable {
             }
         }
         for page in candidates {
-            let frame = self.cache.frame(page)?;
+            // Candidates are heuristics, not guarantees: the last-page
+            // candidate can be mid-allocation (cursor published before
+            // the frame) or a crash-lost hole. Skip and fall through.
+            let Ok(frame) = self.cache.frame(page) else {
+                continue;
+            };
             let mut g = frame.latch.exclusive();
             if g.payload.fits(data.len()) {
                 let slot = g.payload.insert(data)?;
@@ -192,21 +197,30 @@ impl HeapTable {
             }
             // Full: the candidate stays out of the map.
         }
-        // Fresh page.
-        let frame = self.cache.allocate(SlottedPage::new(self.page_size));
-        let page = frame.id;
-        let mut g = frame.latch.exclusive();
-        let slot = g.payload.insert(data)?;
-        let rid = Rid { page, slot };
-        let lsn = log(rid);
-        g.lsn = lsn;
-        let still_free = g.payload.fits(64);
-        drop(g);
-        if still_free {
-            self.fsm.note_free(page);
+        // Fresh page. A new frame is visible to every other inserter
+        // (as their last-page candidate) the moment it is allocated,
+        // so by the time this thread holds the latch the page may
+        // already be full — those inserts were served, ours was not.
+        // Allocate again rather than surface a spurious `PageFull`.
+        loop {
+            let frame = self.cache.allocate(SlottedPage::new(self.page_size));
+            let page = frame.id;
+            let mut g = frame.latch.exclusive();
+            if !g.payload.fits(data.len()) {
+                continue;
+            }
+            let slot = g.payload.insert(data)?;
+            let rid = Rid { page, slot };
+            let lsn = log(rid);
+            g.lsn = lsn;
+            let still_free = g.payload.fits(64);
+            drop(g);
+            if still_free {
+                self.fsm.note_free(page);
+            }
+            self.stats.inserts.bump();
+            return Ok(rid);
         }
-        self.stats.inserts.bump();
-        Ok(rid)
     }
 
     /// Delete a record, returning its before-image. `log` runs under

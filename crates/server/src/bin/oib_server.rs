@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! oib-server [--addr HOST:PORT] [--workers N] [--max-inflight N] [--seed-rows N]
+//!            [--io-backend auto|epoll|poll|threaded]
 //! ```
 //!
 //! Creates a fresh in-memory engine with table 1 (optionally
@@ -37,6 +38,15 @@ fn main() {
                 cfg.max_inflight = value("--max-inflight").parse().expect("--max-inflight N");
             }
             "--seed-rows" => seed_rows = value("--seed-rows").parse().expect("--seed-rows N"),
+            // Overrides MOHAN_IO_BACKEND (the flag is the more
+            // deliberate of the two).
+            "--io-backend" => {
+                let v = value("--io-backend");
+                cfg.io_backend = mohan_common::IoBackendChoice::parse(&v).unwrap_or_else(|| {
+                    eprintln!("bad --io-backend {v:?}: want auto|epoll|poll|threaded");
+                    std::process::exit(2);
+                });
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
@@ -66,7 +76,11 @@ fn main() {
     }
 
     let server = Server::start(db, cfg).expect("bind");
-    println!("listening on {}", server.addr());
+    println!(
+        "listening on {} (io backend: {})",
+        server.addr(),
+        server.io_backend()
+    );
     println!("serving table 1; close stdin (or send EOF) to drain and exit");
 
     // Block until the launcher closes our stdin — the portable,

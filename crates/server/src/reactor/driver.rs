@@ -1,0 +1,549 @@
+//! The event-driven shard loop: one [`IoBackend`] instance per shard
+//! drives every connection the shard owns.
+//!
+//! Each connection's fd is registered under its slab index; the wake
+//! pipe is registered under [`WAKE_TOKEN`]. The loop blocks in
+//! `wait` until a socket is ready, a timer-wheel deadline arrives, or
+//! someone wakes the shard (new connection handed off, build result
+//! deposited, WAL flushed with live subscribers, drain started). An
+//! idle shard therefore makes *zero* wakeups — the contrast with the
+//! threaded fallback's 2000 ticks per second, and the number the
+//! `server.wakeups` counter exists to expose.
+//!
+//! Timer deadlines are coarse (1ms wheel) one-shot hints: when one
+//! fires the connection is re-examined and re-armed from its actual
+//! state (see [`Conn::next_deadline`]). Write interest is registered
+//! only while a connection has an unwritten backlog, so a writable
+//! socket never busy-wakes the shard under level triggering.
+//!
+//! # The executor thread
+//!
+//! The event loop itself never waits on an engine lock. Frames whose
+//! opcode can acquire locks (DML, reads, index builds — see
+//! [`mohan_wire::message::Request::frame_may_block`]) are *checked
+//! out*: the connection leaves the slab (fd deregistered) and runs on
+//! the shard's executor thread, returning via a channel + wake when
+//! its queue drains. Control frames (`Begin`/`Commit`/`Rollback`,
+//! stats, subscriptions) run inline — they only ever *release* locks,
+//! and keeping them runnable is what breaks the classic stall: one
+//! connection's lock wait must not block the loop that would service
+//! the peer's `Commit` holding the contended lock.
+
+use super::timer::TimerWheel;
+use super::{Event, Interest, IoBackend, ResolvedBackend, WAKE_TOKEN};
+use crate::worker::{self, Conn, ShardCtx};
+use crate::Inner;
+use std::net::TcpStream;
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Wheel granularity: deadlines here bound 25ms+ intervals and
+/// multi-second timeouts, not request latency.
+const TIMER_GRANULARITY: Duration = Duration::from_millis(1);
+
+/// While draining, cap the wait so drain progress (grace expiry,
+/// write timeouts) is re-checked promptly even with no events.
+const DRAIN_TICK: Duration = Duration::from_millis(5);
+
+/// A slab entry: present on this loop, or checked out to the
+/// executor thread (fd deregistered, token parked).
+// Connections live inline in the slab; `Out` is a transient
+// placeholder, so the size skew is intentional (boxing would cost an
+// allocation per checkout round-trip).
+#[allow(clippy::large_enum_variant)]
+enum Slot {
+    Live(Conn),
+    Out,
+}
+
+/// Connection storage keyed by reactor token. Indexes are reused via
+/// a free list, so tokens stay small and dense. Checked-out
+/// connections keep their token (and count as live) so events, timer
+/// fires, and reuse can't alias them while they are away.
+struct Slab {
+    slots: Vec<Option<Slot>>,
+    free: Vec<usize>,
+    live: usize,
+}
+
+impl Slab {
+    fn new() -> Slab {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    fn insert(&mut self, conn: Conn) -> usize {
+        self.live += 1;
+        match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Some(Slot::Live(conn));
+                i
+            }
+            None => {
+                self.slots.push(Some(Slot::Live(conn)));
+                self.slots.len() - 1
+            }
+        }
+    }
+
+    /// The connection at `token`, unless absent or checked out.
+    fn get_mut(&mut self, token: usize) -> Option<&mut Conn> {
+        match self.slots.get_mut(token) {
+            Some(Some(Slot::Live(conn))) => Some(conn),
+            _ => None,
+        }
+    }
+
+    /// Take the connection out for the executor, leaving the token
+    /// parked.
+    fn check_out(&mut self, token: usize) -> Option<Conn> {
+        let slot = self.slots.get_mut(token)?;
+        match slot.take() {
+            Some(Slot::Live(conn)) => {
+                *slot = Some(Slot::Out);
+                Some(conn)
+            }
+            other => {
+                *slot = other;
+                None
+            }
+        }
+    }
+
+    /// Put a returned connection back under its parked token.
+    fn check_in(&mut self, token: usize, conn: Conn) -> &mut Conn {
+        debug_assert!(matches!(self.slots[token], Some(Slot::Out)));
+        self.slots[token] = Some(Slot::Live(conn));
+        match self.slots[token] {
+            Some(Slot::Live(ref mut c)) => c,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Remove a live connection (reaping).
+    fn remove(&mut self, token: usize) -> Option<Conn> {
+        match self.slots.get_mut(token)?.take() {
+            Some(Slot::Live(conn)) => {
+                self.free.push(token);
+                self.live -= 1;
+                Some(conn)
+            }
+            other => {
+                self.slots[token] = other;
+                None
+            }
+        }
+    }
+
+    /// Free a parked token whose returned connection was reaped by
+    /// the caller instead of checked back in.
+    fn release_out(&mut self, token: usize) {
+        debug_assert!(matches!(self.slots[token], Some(Slot::Out)));
+        self.slots[token] = None;
+        self.free.push(token);
+        self.live -= 1;
+    }
+
+    /// Tokens of connections present on this loop (not checked out).
+    fn tokens(&self) -> impl Iterator<Item = usize> + '_ {
+        self.slots.iter().enumerate().filter_map(|(i, s)| match s {
+            Some(Slot::Live(_)) => Some(i),
+            _ => None,
+        })
+    }
+
+    fn live_conns(&mut self) -> impl Iterator<Item = &mut Conn> {
+        self.slots.iter_mut().filter_map(|s| match s {
+            Some(Slot::Live(conn)) => Some(conn),
+            _ => None,
+        })
+    }
+}
+
+/// Run one shard under a reactor backend. Falls back to the threaded
+/// sleep loop if the backend cannot be constructed (e.g. fd
+/// exhaustion at startup) — a degraded server beats a dead shard.
+pub(crate) fn run(
+    inner: &Arc<Inner>,
+    ctx: &ShardCtx,
+    rx: &mpsc::Receiver<TcpStream>,
+    kind: ResolvedBackend,
+    wake_rx: UnixStream,
+) {
+    let mut backend = match super::new_backend(kind) {
+        Ok(b) => b,
+        Err(e) => {
+            inner.db.obs.trace().event(
+                "server.reactor_fallback",
+                format!("shard {}: {e}", ctx.shard),
+                0,
+            );
+            return worker::worker_loop(inner, ctx, rx);
+        }
+    };
+    if backend
+        .register(wake_rx.as_raw_fd(), WAKE_TOKEN, Interest::READ)
+        .is_err()
+    {
+        return worker::worker_loop(inner, ctx, rx);
+    }
+
+    // The executor: receives checked-out connections, runs their
+    // queued frames (which may sit in lock waits), and hands them
+    // back with a wake. One per shard — serial like the loop, but a
+    // blocked statement here leaves the loop free to run the commits
+    // and rollbacks that unblock it.
+    let (exec_tx, exec_rx) = mpsc::channel::<(usize, Conn)>();
+    let (ret_tx, ret_rx) = mpsc::channel::<(usize, Conn)>();
+    let exec_handle = {
+        let inner = Arc::clone(inner);
+        let ctx = ctx.clone();
+        std::thread::Builder::new()
+            .name(format!("oib-exec-{}", ctx.shard))
+            .spawn(move || {
+                let waker = inner.shard_waker(ctx.shard);
+                while let Ok((token, mut conn)) = exec_rx.recv() {
+                    worker::run_pending(&inner, &ctx, &mut conn, inner.draining());
+                    if ret_tx.send((token, conn)).is_err() {
+                        return;
+                    }
+                    if let Some(w) = &waker {
+                        w.wake();
+                    }
+                }
+            })
+            .expect("spawn executor thread")
+    };
+
+    let mut slab = Slab::new();
+    let mut wheel = TimerWheel::new(TIMER_GRANULARITY);
+    let mut events: Vec<Event> = Vec::new();
+    let mut fired: Vec<usize> = Vec::new();
+    let mut dead: Vec<usize> = Vec::new();
+
+    loop {
+        let draining = inner.draining();
+
+        // New connections handed off by the accept loop (it wakes us
+        // after each send).
+        while let Ok(stream) = rx.try_recv() {
+            if draining {
+                inner.conn_count.fetch_sub(1, Ordering::AcqRel);
+                drop(stream); // accepted in the race window; EOF to client
+                continue;
+            }
+            let conn = Conn::new(stream, inner);
+            let token = slab.insert(conn);
+            let conn = slab.get_mut(token).unwrap();
+            let fd = conn.stream.as_raw_fd();
+            if backend.register(fd, token, Interest::READ).is_err() {
+                let mut conn = slab.remove(token).unwrap();
+                worker::reap_conn(inner, ctx, &mut conn);
+                continue;
+            }
+            arm(inner, &mut wheel, conn, token);
+        }
+
+        // Connections back from the executor: re-register and resume.
+        while let Ok((token, conn)) = ret_rx.try_recv() {
+            if let Some(token) = take_back(
+                inner,
+                ctx,
+                &mut slab,
+                &mut *backend,
+                &mut wheel,
+                token,
+                conn,
+            ) {
+                check_out(inner, ctx, &mut slab, &mut *backend, &exec_tx, token);
+            }
+        }
+
+        let mut timeout = wheel.next_deadline();
+        if draining {
+            timeout = Some(timeout.map_or(DRAIN_TICK, |t| t.min(DRAIN_TICK)));
+        }
+        if let Err(e) = backend.wait(&mut events, timeout) {
+            // A failing wait would otherwise spin; pace it and keep
+            // the shard alive (timers still make progress).
+            inner.db.obs.trace().event(
+                "server.reactor_wait_error",
+                format!("{}: {e}", backend.name()),
+                0,
+            );
+            std::thread::sleep(Duration::from_millis(1));
+            events.clear();
+        }
+        inner.stats.wakeups.bump();
+        inner.events_per_wait.record(events.len() as u64);
+
+        let mut woke = false;
+        let mut touched = 0u64;
+        for &ev in &events {
+            if ev.token == WAKE_TOKEN {
+                super::drain_wake(&wake_rx);
+                woke = true;
+                continue;
+            }
+            touched += 1;
+            let mut needs_exec = false;
+            {
+                let Some(conn) = slab.get_mut(ev.token) else {
+                    continue;
+                };
+                if ev.writable {
+                    worker::try_flush(conn);
+                    if !conn.has_backlog() {
+                        // Socket drained: resume whatever the backlog
+                        // had paused.
+                        worker::pump_observe(inner, conn);
+                        worker::pump_wal_burst(inner, conn);
+                        worker::watch_build(inner, conn);
+                    }
+                }
+                if ev.readable || ev.failed {
+                    worker::read_socket(inner, conn);
+                    if !conn.dead {
+                        needs_exec = worker::run_pending_inline(inner, ctx, conn, draining);
+                    }
+                }
+                if !needs_exec {
+                    sync_interest(&mut *backend, conn, ev.token);
+                    arm(inner, &mut wheel, conn, ev.token);
+                }
+            }
+            if needs_exec {
+                check_out(inner, ctx, &mut slab, &mut *backend, &exec_tx, ev.token);
+            }
+        }
+        // One wait servicing k connections means live−k idle ones
+        // were *not* scanned — the work the sleep-poll loop would
+        // have done every tick.
+        inner
+            .stats
+            .idle_scan_skipped
+            .add((slab.live as u64).saturating_sub(touched));
+
+        if woke {
+            // A wake means cross-thread state changed: a build result
+            // landed or the WAL flushed past a subscriber. Re-check
+            // the connections that can care (new-connection handoff
+            // and executor returns were handled at the top).
+            let job_tokens: Vec<usize> = slab
+                .tokens()
+                .filter(|&t| {
+                    slab.get(t)
+                        .is_some_and(|c| c.has_build() || c.has_wal_sub())
+                })
+                .collect();
+            for token in job_tokens {
+                let mut needs_exec = false;
+                {
+                    let Some(conn) = slab.get_mut(token) else {
+                        continue;
+                    };
+                    if conn.has_build() && worker::watch_build(inner, conn) && !conn.has_build() {
+                        // Build finished: queued frames are runnable.
+                        needs_exec = worker::run_pending_inline(inner, ctx, conn, draining);
+                    }
+                    if conn.has_wal_sub() {
+                        worker::pump_wal_burst(inner, conn);
+                    }
+                    if !needs_exec {
+                        sync_interest(&mut *backend, conn, token);
+                        arm(inner, &mut wheel, conn, token);
+                    }
+                }
+                if needs_exec {
+                    check_out(inner, ctx, &mut slab, &mut *backend, &exec_tx, token);
+                }
+            }
+        }
+
+        wheel.expire(&mut fired);
+        for &token in &fired {
+            let mut needs_exec = false;
+            {
+                let Some(conn) = slab.get_mut(token) else {
+                    continue;
+                };
+                conn.timer_at = None;
+                // A fired deadline is a hint: run every due-aware
+                // check and re-arm from actual state.
+                worker::check_write_timeout(inner, conn);
+                if !conn.dead {
+                    worker::try_flush(conn);
+                    if conn.has_build() && worker::watch_build(inner, conn) && !conn.has_build() {
+                        needs_exec = worker::run_pending_inline(inner, ctx, conn, draining);
+                    }
+                    worker::pump_observe(inner, conn);
+                    worker::pump_wal_burst(inner, conn);
+                    worker::check_idle(inner, conn);
+                }
+                if !needs_exec {
+                    sync_interest(&mut *backend, conn, token);
+                    arm(inner, &mut wheel, conn, token);
+                }
+            }
+            if needs_exec {
+                check_out(inner, ctx, &mut slab, &mut *backend, &exec_tx, token);
+            }
+        }
+        fired.clear();
+
+        if draining {
+            worker::drain_mark(inner, slab.live_conns());
+        }
+
+        dead.extend(
+            slab.tokens()
+                .filter(|&t| slab.get(t).is_some_and(|c| c.dead)),
+        );
+        for &token in &dead {
+            if let Some(mut conn) = slab.remove(token) {
+                let _ = backend.deregister(conn.stream.as_raw_fd());
+                worker::reap_conn(inner, ctx, &mut conn);
+            }
+        }
+        dead.clear();
+
+        if draining && slab.live == 0 {
+            break;
+        }
+    }
+    // live == 0 means nothing is checked out; closing the channel
+    // stops the executor.
+    drop(exec_tx);
+    let _ = exec_handle.join();
+}
+
+impl Slab {
+    /// Shared read access (used by token scans).
+    fn get(&self, token: usize) -> Option<&Conn> {
+        match self.slots.get(token) {
+            Some(Some(Slot::Live(conn))) => Some(conn),
+            _ => None,
+        }
+    }
+}
+
+/// Hand a connection with lock-acquiring frames queued to the
+/// executor thread. If the executor is gone (send fails), run the
+/// frames here — correctness over responsiveness.
+fn check_out(
+    inner: &Arc<Inner>,
+    ctx: &ShardCtx,
+    slab: &mut Slab,
+    backend: &mut dyn IoBackend,
+    exec_tx: &mpsc::Sender<(usize, Conn)>,
+    token: usize,
+) {
+    let Some(mut conn) = slab.check_out(token) else {
+        return;
+    };
+    let _ = backend.deregister(conn.stream.as_raw_fd());
+    conn.want_write = false; // no registration while away
+    inner.stats.exec_offloads.bump();
+    if let Err(mpsc::SendError((token, mut conn))) = exec_tx.send((token, conn)) {
+        // Executor unavailable: degrade to inline execution.
+        worker::run_pending(inner, ctx, &mut conn, inner.draining());
+        let conn = slab.check_in(token, conn);
+        if backend
+            .register(conn.stream.as_raw_fd(), token, Interest::READ)
+            .is_err()
+        {
+            conn.dead = true;
+        }
+    }
+}
+
+/// Re-admit a connection the executor finished with: re-register its
+/// fd, resume anything that advanced while it was away, and re-arm
+/// its timer. Returns `Some(token)` when the connection *already*
+/// has another lock-acquiring frame queued (pipelined client) and
+/// must go straight back out.
+fn take_back(
+    inner: &Arc<Inner>,
+    ctx: &ShardCtx,
+    slab: &mut Slab,
+    backend: &mut dyn IoBackend,
+    wheel: &mut TimerWheel,
+    token: usize,
+    mut conn: Conn,
+) -> Option<usize> {
+    // Whatever was armed for this token fired (or will fire stale)
+    // while the connection was away.
+    conn.timer_at = None;
+    conn.want_write = false;
+    if conn.dead {
+        worker::reap_conn(inner, ctx, &mut conn);
+        slab.release_out(token);
+        return None;
+    }
+    let fd = conn.stream.as_raw_fd();
+    if backend.register(fd, token, Interest::READ).is_err() {
+        conn.dead = true;
+        worker::reap_conn(inner, ctx, &mut conn);
+        slab.release_out(token);
+        return None;
+    }
+    let conn = slab.check_in(token, conn);
+    // Streams and builds may have advanced while the connection was
+    // at the executor; catch up now rather than wait for a timer.
+    worker::try_flush(conn);
+    worker::watch_build(inner, conn);
+    worker::pump_observe(inner, conn);
+    worker::pump_wal_burst(inner, conn);
+    let needs_exec = worker::run_pending_inline(inner, ctx, conn, inner.draining());
+    if needs_exec {
+        return Some(token);
+    }
+    sync_interest(backend, conn, token);
+    arm(inner, wheel, conn, token);
+    None
+}
+
+/// Reconcile registered interest with the connection's actual state:
+/// read always, write only while a backlog exists.
+fn sync_interest(backend: &mut dyn IoBackend, conn: &mut Conn, token: usize) {
+    if conn.dead {
+        return;
+    }
+    let want = conn.has_backlog();
+    if want != conn.want_write {
+        let interest = if want {
+            Interest::READ_WRITE
+        } else {
+            Interest::READ
+        };
+        if backend
+            .modify(conn.stream.as_raw_fd(), token, interest)
+            .is_ok()
+        {
+            conn.want_write = want;
+        }
+    }
+}
+
+/// Arm the wheel for the connection's earliest deadline if nothing
+/// earlier is already pending for it. Entries are one-shot and never
+/// cancelled; a stale fire is a cheap re-check.
+fn arm(inner: &Arc<Inner>, wheel: &mut TimerWheel, conn: &mut Conn, token: usize) {
+    if conn.dead {
+        return;
+    }
+    let Some(at) = conn.next_deadline(&inner.cfg) else {
+        return;
+    };
+    if conn.timer_at.is_some_and(|t| t <= at) {
+        return; // an earlier (or equal) fire will re-arm from there
+    }
+    wheel.schedule(at.saturating_duration_since(Instant::now()), token);
+    conn.timer_at = Some(at);
+}

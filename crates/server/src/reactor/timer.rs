@@ -1,0 +1,170 @@
+//! Coarse hashed timer wheel for connection deadlines.
+//!
+//! Each shard schedules *check* times — idle reaping, per-request
+//! progress/metrics/heartbeat emission, write timeouts, drain
+//! expiry — on this wheel and uses [`TimerWheel::next_deadline`] as
+//! its reactor-wait timeout. Entries are one-shot and deliberately
+//! never cancelled: a fired token is a hint ("re-examine this
+//! connection now"), and the handler reschedules from actual state.
+//! Stale fires are therefore harmless (the check is cheap) and the
+//! wheel needs no cancel bookkeeping on the hot path.
+//!
+//! Precision is one tick (1ms by default) — deadlines here bound
+//! 25ms+ intervals and multi-second timeouts, not request latency.
+
+use std::time::{Duration, Instant};
+
+/// One-shot timer entries hashed into `SLOTS` buckets by expiry tick.
+pub(crate) struct TimerWheel {
+    granularity: Duration,
+    start: Instant,
+    slots: Vec<Vec<(u64, usize)>>,
+    /// First tick not yet swept; entries at earlier ticks have fired.
+    swept: u64,
+    /// Cached earliest pending expiry tick (`u64::MAX` when empty),
+    /// kept exact: lowered on schedule, recomputed after a sweep.
+    earliest: u64,
+    len: usize,
+}
+
+const SLOTS: usize = 256;
+
+impl TimerWheel {
+    pub(crate) fn new(granularity: Duration) -> TimerWheel {
+        TimerWheel {
+            granularity: granularity.max(Duration::from_micros(100)),
+            start: Instant::now(),
+            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+            swept: 0,
+            earliest: u64::MAX,
+            len: 0,
+        }
+    }
+
+    fn tick_of(&self, at: Instant) -> u64 {
+        let since = at.saturating_duration_since(self.start);
+        (since.as_nanos() / self.granularity.as_nanos()).min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Schedule `token` to fire `after` from now (rounded up to at
+    /// least one full tick, so a zero delay cannot busy-loop).
+    pub(crate) fn schedule(&mut self, after: Duration, token: usize) {
+        let now_tick = self.tick_of(Instant::now());
+        let delay_ticks = (after.as_nanos().div_ceil(self.granularity.as_nanos())).max(1) as u64;
+        let tick = now_tick.saturating_add(delay_ticks);
+        self.slots[(tick % SLOTS as u64) as usize].push((tick, token));
+        self.earliest = self.earliest.min(tick);
+        self.len += 1;
+    }
+
+    /// When the earliest pending entry is due, as a delay from now
+    /// (zero if already overdue). `None` when nothing is scheduled.
+    pub(crate) fn next_deadline(&self) -> Option<Duration> {
+        if self.len == 0 {
+            return None;
+        }
+        let now_tick = self.tick_of(Instant::now());
+        if self.earliest <= now_tick {
+            return Some(Duration::ZERO);
+        }
+        Some(self.granularity * (self.earliest - now_tick) as u32)
+    }
+
+    /// Pop every entry due by now into `fired`. Sweeps only the slots
+    /// the elapsed tick range maps to (all of them once the range
+    /// exceeds one wheel revolution).
+    pub(crate) fn expire(&mut self, fired: &mut Vec<usize>) {
+        if self.len == 0 {
+            self.swept = self.tick_of(Instant::now());
+            return;
+        }
+        let now_tick = self.tick_of(Instant::now());
+        if now_tick < self.earliest {
+            return;
+        }
+        let from = self.swept.min(self.earliest);
+        let revolutions = now_tick.saturating_sub(from).saturating_add(1);
+        let slot_range: Box<dyn Iterator<Item = u64>> = if revolutions >= SLOTS as u64 {
+            Box::new(0..SLOTS as u64)
+        } else {
+            Box::new((from..=now_tick).map(|t| t % SLOTS as u64))
+        };
+        for s in slot_range {
+            let slot = &mut self.slots[s as usize];
+            let mut i = 0;
+            while i < slot.len() {
+                if slot[i].0 <= now_tick {
+                    fired.push(slot.swap_remove(i).1);
+                    self.len -= 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        self.swept = now_tick + 1;
+        // Recompute the cache; O(pending) but only after actual fires.
+        self.earliest = if self.len == 0 {
+            u64::MAX
+        } else {
+            self.slots
+                .iter()
+                .flatten()
+                .map(|&(t, _)| t)
+                .min()
+                .unwrap_or(u64::MAX)
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_order_of_deadline_not_insertion() {
+        let mut w = TimerWheel::new(Duration::from_millis(1));
+        w.schedule(Duration::from_millis(50), 1);
+        w.schedule(Duration::from_millis(5), 2);
+        let mut fired = Vec::new();
+        std::thread::sleep(Duration::from_millis(10));
+        w.expire(&mut fired);
+        assert_eq!(fired, vec![2], "only the near deadline fired");
+        assert!(w.next_deadline().is_some());
+        std::thread::sleep(Duration::from_millis(50));
+        w.expire(&mut fired);
+        assert_eq!(fired, vec![2, 1]);
+        assert_eq!(w.next_deadline(), None);
+    }
+
+    #[test]
+    fn far_deadlines_share_a_slot_without_firing_early() {
+        let mut w = TimerWheel::new(Duration::from_millis(1));
+        // Same slot (256 ticks apart), very different deadlines.
+        w.schedule(Duration::from_millis(2), 7);
+        w.schedule(Duration::from_millis(2 + 256), 8);
+        std::thread::sleep(Duration::from_millis(6));
+        let mut fired = Vec::new();
+        w.expire(&mut fired);
+        assert_eq!(fired, vec![7], "wrapped entry must not fire a lap early");
+    }
+
+    #[test]
+    fn zero_delay_still_waits_one_tick() {
+        let mut w = TimerWheel::new(Duration::from_millis(1));
+        w.schedule(Duration::ZERO, 1);
+        let d = w.next_deadline().unwrap();
+        assert!(d > Duration::ZERO, "zero-delay must not spin: {d:?}");
+    }
+
+    #[test]
+    fn next_deadline_reflects_earliest() {
+        let mut w = TimerWheel::new(Duration::from_millis(1));
+        assert_eq!(w.next_deadline(), None);
+        w.schedule(Duration::from_secs(60), 1);
+        let d = w.next_deadline().unwrap();
+        assert!(d > Duration::from_secs(59), "{d:?}");
+        w.schedule(Duration::from_millis(10), 2);
+        let d = w.next_deadline().unwrap();
+        assert!(d <= Duration::from_millis(11), "{d:?}");
+    }
+}

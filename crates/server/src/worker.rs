@@ -1,7 +1,22 @@
 //! Worker shards: each worker owns a set of non-blocking connections
-//! and services them in a poll loop — read bytes, split frames,
-//! execute requests through the connection's [`Session`], write
-//! responses, watch running builds.
+//! and services them — read bytes, split frames, execute requests
+//! through the connection's [`Session`], write responses, watch
+//! running builds and streams.
+//!
+//! Two drive modes share every helper in this file:
+//!
+//! * **reactor** (`crate::reactor::driver`) — the shard blocks in its
+//!   [`crate::reactor::IoBackend`] until a socket is ready or a timer
+//!   deadline arrives, so idle connections cost zero wakeups;
+//! * **threaded sleep** ([`worker_loop`]) — the legacy config-gated
+//!   fallback: scan every connection, sleep 500µs when nothing moved.
+//!
+//! Responses are *buffered*: a send appends to the connection's
+//! outbound buffer and flushes as far as the socket accepts. A
+//! `WouldBlock` mid-frame therefore never stalls the shard — the
+//! unwritten tail stays buffered and resumes on write-readiness (or
+//! next tick on the fallback), with the write timeout measured from
+//! when the backlog first appeared.
 //!
 //! One worker executes one request at a time (closed-loop per shard);
 //! concurrency comes from the shard count plus build threads. The
@@ -23,6 +38,7 @@ use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
@@ -70,6 +86,16 @@ fn opcode_index(req: &Request) -> usize {
     }
 }
 
+/// Per-shard state shared by both drive modes: the shard's index (for
+/// waker lookups) and its live `SubscribeWal` count, which gates the
+/// WAL flush waker so shards without subscribers never wake on
+/// flushes.
+#[derive(Clone)]
+pub(crate) struct ShardCtx {
+    pub(crate) shard: usize,
+    pub(crate) wal_subs: Arc<AtomicUsize>,
+}
+
 /// Where a spawned build thread deposits its outcome.
 type BuildResult = Arc<Mutex<Option<Result<Vec<IndexId>, Error>>>>;
 
@@ -112,30 +138,52 @@ struct WalSubJob {
 
 /// Idle subscriptions still get a frame this often: an empty
 /// `WalFrame` is a heartbeat carrying the advancing flushed LSN.
-const WAL_SUB_HEARTBEAT: Duration = Duration::from_millis(200);
+pub(crate) const WAL_SUB_HEARTBEAT: Duration = Duration::from_millis(200);
 /// Most records one `WalFrame` carries.
 const WAL_SUB_MAX_RECORDS: usize = 1024;
 /// Approximate byte budget for one frame's record blob, far under
 /// `MAX_FRAME`.
 const WAL_SUB_MAX_BYTES: usize = 1 << 20;
 
-struct Conn {
-    stream: TcpStream,
+/// A connection whose outbound backlog exceeds this is a slow client
+/// regardless of the write timeout: responses to pipelined requests
+/// must not buffer without bound while the timeout clock runs.
+const OUT_BACKLOG_CAP: usize = 4 * MAX_FRAME;
+
+/// Compact the outbound buffer once this many flushed bytes accumulate
+/// at its front.
+const OUT_COMPACT: usize = 64 * 1024;
+
+pub(crate) struct Conn {
+    pub(crate) stream: TcpStream,
     buf: Vec<u8>,
     /// Complete frames split off `buf`, each stamped with its arrival
     /// time so the per-request deadline is measured per frame, not
     /// from the connection's most recent byte.
     pending: VecDeque<(Vec<u8>, Instant)>,
     session: Session,
-    last_activity: Instant,
+    pub(crate) last_activity: Instant,
     build: Option<BuildJob>,
     observe: Option<ObserveJob>,
     wal_sub: Option<WalSubJob>,
-    dead: bool,
+    pub(crate) dead: bool,
+    /// Outbound bytes not yet accepted by the socket; `out_pos` marks
+    /// the flushed prefix.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// When the current backlog first hit `WouldBlock` — the write
+    /// (slow-client) timeout runs from here and clears when the
+    /// backlog drains.
+    pub(crate) blocked_since: Option<Instant>,
+    /// Reactor-driver bookkeeping: when this connection's armed timer
+    /// fires (`None` = no timer armed). Unused by the threaded loop.
+    pub(crate) timer_at: Option<Instant>,
+    /// Reactor-driver bookkeeping: write interest currently registered.
+    pub(crate) want_write: bool,
 }
 
 impl Conn {
-    fn new(stream: TcpStream, inner: &Arc<Inner>) -> Conn {
+    pub(crate) fn new(stream: TcpStream, inner: &Arc<Inner>) -> Conn {
         Conn {
             stream,
             buf: Vec::new(),
@@ -146,92 +194,245 @@ impl Conn {
             observe: None,
             wal_sub: None,
             dead: false,
+            out: Vec::new(),
+            out_pos: 0,
+            blocked_since: None,
+            timer_at: None,
+            want_write: false,
         }
+    }
+
+    /// Unwritten outbound bytes exist.
+    pub(crate) fn has_backlog(&self) -> bool {
+        self.out_pos < self.out.len()
+    }
+
+    /// Any streaming exchange (build/metrics/WAL) owns this
+    /// connection.
+    pub(crate) fn has_job(&self) -> bool {
+        self.build.is_some() || self.observe.is_some() || self.wal_sub.is_some()
+    }
+
+    /// A running build whose result may arrive from another thread.
+    pub(crate) fn has_build(&self) -> bool {
+        self.build.is_some()
+    }
+
+    /// A live WAL subscription (pumped on flush wakeups).
+    pub(crate) fn has_wal_sub(&self) -> bool {
+        self.wal_sub.is_some()
+    }
+
+    /// The earliest instant at which this connection needs servicing
+    /// absent any socket event: stream emission intervals, the build
+    /// progress poll, the idle deadline, or — while a backlog exists —
+    /// the slow-client write timeout (stream pumps pause on backlog,
+    /// so nothing shorter matters until the socket drains).
+    pub(crate) fn next_deadline(&self, cfg: &crate::ServerConfig) -> Option<Instant> {
+        if self.dead {
+            return None;
+        }
+        if let Some(b) = self.blocked_since {
+            return Some(b + cfg.write_timeout);
+        }
+        let mut at: Option<Instant> = None;
+        let mut fold = |t: Instant| at = Some(at.map_or(t, |a: Instant| a.min(t)));
+        if let Some(j) = &self.build {
+            fold(j.last_poll + cfg.progress_interval);
+        }
+        if let Some(j) = &self.observe {
+            fold(j.last_emit + j.interval);
+        }
+        if let Some(j) = &self.wal_sub {
+            fold(j.last_emit + WAL_SUB_HEARTBEAT);
+        }
+        if !self.has_job() {
+            fold(self.last_activity + cfg.idle_timeout);
+        }
+        at
     }
 }
 
-pub(crate) fn worker_loop(inner: &Arc<Inner>, _shard: usize, rx: &mpsc::Receiver<TcpStream>) {
-    let mut conns: Vec<Conn> = Vec::new();
+/// The legacy sleep-poll shard loop (`io_backend = threaded`): scan
+/// every connection each tick, sleep 500µs when nothing progressed.
+/// Kept config-gated as the portable no-reactor fallback; the event
+/// loop lives in `crate::reactor::driver`.
+/// A threaded-loop connection slot: serviced by the tick loop,
+/// checked out to the shard's executor thread, or vacant.
+// `Live` dominating the enum's size is the point: connections live
+// inline in the slot vector, and `Out`/`Empty` are transient
+// placeholders — boxing would buy an allocation per checkout.
+#[allow(clippy::large_enum_variant)]
+enum TickSlot {
+    Live(Conn),
+    Out,
+    Empty,
+}
+
+pub(crate) fn worker_loop(inner: &Arc<Inner>, ctx: &ShardCtx, rx: &mpsc::Receiver<TcpStream>) {
+    // Lock-acquiring frames run on this executor thread so the tick
+    // loop never sits in a lock wait: the loop must stay free to run
+    // the peer's `Commit`/`Rollback` that releases the contended
+    // lock (see `run_pending_inline`). The reactor driver does the
+    // same with its own executor.
+    let (exec_tx, exec_rx) = mpsc::channel::<(usize, Conn)>();
+    let (ret_tx, ret_rx) = mpsc::channel::<(usize, Conn)>();
+    let exec = {
+        let inner = Arc::clone(inner);
+        let ctx = ctx.clone();
+        std::thread::Builder::new()
+            .name(format!("oib-exec-{}", ctx.shard))
+            .spawn(move || {
+                while let Ok((slot, mut conn)) = exec_rx.recv() {
+                    run_pending(&inner, &ctx, &mut conn, inner.draining());
+                    if ret_tx.send((slot, conn)).is_err() {
+                        return;
+                    }
+                }
+            })
+            .expect("spawn executor thread")
+    };
+
+    let mut slots: Vec<TickSlot> = Vec::new();
+    let mut out = 0usize;
     loop {
         let draining = inner.draining();
         while let Ok(stream) = rx.try_recv() {
             if draining {
-                inner
-                    .conn_count
-                    .fetch_sub(1, std::sync::atomic::Ordering::AcqRel);
+                inner.conn_count.fetch_sub(1, Ordering::AcqRel);
                 drop(stream); // accepted in the race window; EOF to client
-            } else {
-                conns.push(Conn::new(stream, inner));
+                continue;
+            }
+            let conn = Conn::new(stream, inner);
+            match slots.iter().position(|s| matches!(s, TickSlot::Empty)) {
+                Some(i) => slots[i] = TickSlot::Live(conn),
+                None => slots.push(TickSlot::Live(conn)),
             }
         }
-
-        let mut progressed = false;
-        for conn in &mut conns {
-            progressed |= service_conn(inner, conn, draining);
+        // Connections back from the executor resume normal service.
+        while let Ok((i, conn)) = ret_rx.try_recv() {
+            out -= 1;
+            slots[i] = TickSlot::Live(conn);
         }
+
+        // A tick is this backend's "wakeup": the contrast with the
+        // reactor backends (which only wake on events) is the whole
+        // point of the `server.wakeups` counter.
+        inner.stats.wakeups.bump();
+        let mut progressed = 0u64;
+        for (i, slot) in slots.iter_mut().enumerate() {
+            let TickSlot::Live(conn) = slot else {
+                continue;
+            };
+            let (prog, needs_exec) = service_conn(inner, ctx, conn, draining);
+            if prog || needs_exec {
+                progressed += 1;
+            }
+            if needs_exec {
+                let TickSlot::Live(conn) = std::mem::replace(slot, TickSlot::Out) else {
+                    unreachable!()
+                };
+                inner.stats.exec_offloads.bump();
+                match exec_tx.send((i, conn)) {
+                    Ok(()) => out += 1,
+                    Err(mpsc::SendError((_, mut conn))) => {
+                        // Executor gone: degrade to inline execution.
+                        run_pending(inner, ctx, &mut conn, draining);
+                        *slot = TickSlot::Live(conn);
+                    }
+                }
+            }
+        }
+        inner.events_per_wait.record(progressed);
 
         if draining {
-            let expired = inner.drain_elapsed() >= inner.cfg.drain_timeout;
-            for conn in &mut conns {
+            drain_mark(
+                inner,
+                slots.iter_mut().filter_map(|s| match s {
+                    TickSlot::Live(conn) => Some(conn),
+                    _ => None,
+                }),
+            );
+        }
+
+        for slot in &mut slots {
+            if let TickSlot::Live(conn) = slot {
                 if conn.dead {
-                    continue;
-                }
-                // A connection with nothing pending has had its say.
-                if conn.build.is_none()
-                    && conn.pending.is_empty()
-                    && conn.session.current_tx().is_none()
-                {
-                    conn.dead = true;
-                } else if expired {
-                    if conn.session.current_tx().is_some() {
-                        inner.stats.drain_rollbacks.bump();
-                    }
-                    conn.dead = true;
+                    reap_conn(inner, ctx, conn);
+                    *slot = TickSlot::Empty;
                 }
             }
         }
 
-        conns.retain_mut(|conn| {
-            if conn.dead {
-                // However the connection died — EOF, write timeout,
-                // malformed frame, drain — a spawned build or a live
-                // metrics stream still holds its admission slot;
-                // reclaim it here or the server wedges at
-                // max_inflight. The build thread itself keeps running
-                // detached (the `Db` is refcounted).
-                if conn.build.take().is_some() {
-                    inner.release();
-                }
-                if conn.observe.take().is_some() {
-                    inner.release();
-                }
-                if conn.wal_sub.take().is_some() {
-                    inner.release();
-                }
-                let _ = conn.session.close(); // rolls back an open tx
-                inner.stats.conns_closed.bump();
-                inner
-                    .conn_count
-                    .fetch_sub(1, std::sync::atomic::Ordering::AcqRel);
-                false
-            } else {
-                true
-            }
-        });
-
-        if draining && conns.is_empty() {
-            return;
+        if draining && out == 0 && slots.iter().all(|s| matches!(s, TickSlot::Empty)) {
+            break;
         }
-        if !progressed {
+        if progressed == 0 {
             std::thread::sleep(Duration::from_micros(500));
+        }
+    }
+    drop(exec_tx);
+    let _ = exec.join();
+}
+
+/// One drain pass over a shard's connections: a connection with
+/// nothing in flight has had its say; once the drain timeout expires
+/// everything goes, rolling back open transactions.
+pub(crate) fn drain_mark<'a>(inner: &Arc<Inner>, conns: impl Iterator<Item = &'a mut Conn>) {
+    let expired = inner.drain_elapsed() >= inner.cfg.drain_timeout;
+    for conn in conns {
+        if conn.dead {
+            continue;
+        }
+        if conn.build.is_none() && conn.pending.is_empty() && conn.session.current_tx().is_none() {
+            conn.dead = true;
+        } else if expired {
+            if conn.session.current_tx().is_some() {
+                inner.stats.drain_rollbacks.bump();
+            }
+            conn.dead = true;
         }
     }
 }
 
-/// One service pass over a connection. Returns true if any work
-/// happened (so the worker only sleeps on a fully idle shard).
-fn service_conn(inner: &Arc<Inner>, conn: &mut Conn, draining: bool) -> bool {
+/// Release everything a dead connection still holds. However the
+/// connection died — EOF, write timeout, malformed frame, drain — a
+/// spawned build or a live stream still holds its admission slot;
+/// reclaim it here or the server wedges at max_inflight. The build
+/// thread itself keeps running detached (the `Db` is refcounted).
+pub(crate) fn reap_conn(inner: &Arc<Inner>, ctx: &ShardCtx, conn: &mut Conn) {
+    if conn.build.take().is_some() {
+        inner.release();
+    }
+    if conn.observe.take().is_some() {
+        inner.release();
+    }
+    if conn.wal_sub.take().is_some() {
+        inner.release();
+        ctx.wal_subs.fetch_sub(1, Ordering::AcqRel);
+    }
+    let _ = conn.session.close(); // rolls back an open tx
+    inner.stats.conns_closed.bump();
+    inner.conn_count.fetch_sub(1, Ordering::AcqRel);
+}
+
+/// One service pass over a connection (threaded backend). Returns true
+/// if any work happened (so the worker only sleeps on a fully idle
+/// shard).
+pub(crate) fn service_conn(
+    inner: &Arc<Inner>,
+    ctx: &ShardCtx,
+    conn: &mut Conn,
+    draining: bool,
+) -> (bool, bool) {
     let mut progressed = false;
+    if conn.has_backlog() {
+        progressed |= try_flush(conn);
+        check_write_timeout(inner, conn);
+        if conn.dead {
+            return (true, false);
+        }
+    }
     if conn.build.is_some() {
         progressed |= watch_build(inner, conn);
     }
@@ -242,7 +443,24 @@ fn service_conn(inner: &Arc<Inner>, conn: &mut Conn, draining: bool) -> bool {
         progressed |= pump_wal_sub(inner, conn);
     }
 
-    // Pull whatever the socket has.
+    progressed |= read_socket(inner, conn);
+    if conn.dead {
+        return (true, false);
+    }
+    let before = conn.pending.len();
+    let needs_exec = run_pending_inline(inner, ctx, conn, draining);
+    progressed |= conn.pending.len() != before;
+    progressed |= check_idle(inner, conn);
+    (progressed, needs_exec)
+}
+
+/// Pull whatever the socket has and split complete frames off the
+/// receive buffer, stamping each with its arrival time: the
+/// per-request deadline is measured from when a frame's bytes were
+/// all here. (`last_activity` is refreshed by any later pipelined
+/// bytes, so it only feeds the idle timeout.)
+pub(crate) fn read_socket(inner: &Arc<Inner>, conn: &mut Conn) -> bool {
+    let mut progressed = false;
     let mut tmp = [0u8; 4096];
     loop {
         match conn.stream.read(&mut tmp) {
@@ -267,10 +485,6 @@ fn service_conn(inner: &Arc<Inner>, conn: &mut Conn, draining: bool) -> bool {
         }
     }
 
-    // Split complete frames off the receive buffer, stamping each with
-    // its arrival time: the per-request deadline is measured from when
-    // a frame's bytes were all here. (`last_activity` is refreshed by
-    // any later pipelined bytes, so it only feeds the idle timeout.)
     while !conn.dead {
         match take_frame(&mut conn.buf) {
             Ok(None) => break,
@@ -289,29 +503,76 @@ fn service_conn(inner: &Arc<Inner>, conn: &mut Conn, draining: bool) -> bool {
             }
         }
     }
+    progressed
+}
 
-    // Execute queued frames. While a build or a metrics stream owns
-    // this connection the exchange is mid-stream — queued requests
-    // wait their turn (for a stream, until the client disconnects).
-    while !conn.dead && conn.build.is_none() && conn.observe.is_none() && conn.wal_sub.is_none() {
+/// Execute queued frames. While a build or a metrics/WAL stream owns
+/// this connection the exchange is mid-stream — queued requests wait
+/// their turn (for a stream, until the client disconnects).
+pub(crate) fn run_pending(
+    inner: &Arc<Inner>,
+    ctx: &ShardCtx,
+    conn: &mut Conn,
+    draining: bool,
+) -> bool {
+    let mut progressed = false;
+    while !conn.dead && !conn.has_job() {
         let Some((payload, arrived)) = conn.pending.pop_front() else {
             break;
         };
         progressed = true;
-        handle_payload(inner, conn, &payload, arrived, draining);
-    }
-
-    if !conn.dead
-        && conn.build.is_none()
-        && conn.observe.is_none()
-        && conn.wal_sub.is_none()
-        && conn.last_activity.elapsed() >= inner.cfg.idle_timeout
-    {
-        inner.stats.idle_closed.bump();
-        conn.dead = true;
-        progressed = true;
+        handle_payload(inner, ctx, conn, &payload, arrived, draining);
     }
     progressed
+}
+
+/// Execute queued frames that cannot wait on engine locks, stopping
+/// at the first one that can. Returns `true` when a lock-acquiring
+/// frame remains queued — the reactor driver then hands the
+/// connection to the shard's executor thread instead of running it
+/// on the event loop. The loop itself must never sit in a lock wait:
+/// it services every connection on the shard, including the one
+/// whose `Commit` would release the locks the wait is queued behind.
+pub(crate) fn run_pending_inline(
+    inner: &Arc<Inner>,
+    ctx: &ShardCtx,
+    conn: &mut Conn,
+    draining: bool,
+) -> bool {
+    while !conn.dead && !conn.has_job() {
+        let Some((payload, _)) = conn.pending.front() else {
+            return false;
+        };
+        if Request::frame_may_block(payload) {
+            return true;
+        }
+        let (payload, arrived) = conn.pending.pop_front().expect("front observed above");
+        handle_payload(inner, ctx, conn, &payload, arrived, draining);
+    }
+    false
+}
+
+/// Close a connection that has been silent past the idle timeout.
+/// Connections owned by a build or stream are exempt.
+pub(crate) fn check_idle(inner: &Arc<Inner>, conn: &mut Conn) -> bool {
+    if !conn.dead && !conn.has_job() && conn.last_activity.elapsed() >= inner.cfg.idle_timeout {
+        inner.stats.idle_closed.bump();
+        conn.dead = true;
+        return true;
+    }
+    false
+}
+
+/// Kill a connection whose backlog has been stuck past the write
+/// timeout (the slow-client bound, measured from the first
+/// `WouldBlock` of the current backlog).
+pub(crate) fn check_write_timeout(inner: &Arc<Inner>, conn: &mut Conn) {
+    if let Some(since) = conn.blocked_since {
+        if !conn.dead && since.elapsed() >= inner.cfg.write_timeout {
+            inner.stats.slow_closed.bump();
+            conn.dead = true;
+        }
+    }
 }
 
 fn protocol_err(code: ErrorCode, message: &str) -> Response {
@@ -323,6 +584,7 @@ fn protocol_err(code: ErrorCode, message: &str) -> Response {
 
 fn handle_payload(
     inner: &Arc<Inner>,
+    ctx: &ShardCtx,
     conn: &mut Conn,
     payload: &[u8],
     arrived: Instant,
@@ -392,7 +654,7 @@ fn handle_payload(
     let opcode = req.name();
     let op_idx = opcode_index(&req);
     let started = Instant::now();
-    let keep_slot = execute(inner, conn, req);
+    let keep_slot = execute(inner, ctx, conn, req);
     let ran = started.elapsed();
     inner.req_us[op_idx].record_micros(ran);
     if ran >= inner.cfg.slow_request {
@@ -413,7 +675,7 @@ fn handle_payload(
 
 /// Execute one request and send its response(s). Returns true when
 /// the admission slot stays held past this call (a spawned build).
-fn execute(inner: &Arc<Inner>, conn: &mut Conn, req: Request) -> bool {
+fn execute(inner: &Arc<Inner>, ctx: &ShardCtx, conn: &mut Conn, req: Request) -> bool {
     // Role gate: on a replication follower, writes are refused with a
     // redirect hint and data reads are bounded by the configured
     // staleness budget. Checked here, at the wire boundary, so the
@@ -522,7 +784,7 @@ fn execute(inner: &Arc<Inner>, conn: &mut Conn, req: Request) -> bool {
             counters.push(("engine.active_txs".into(), inner.db.active_txs() as u64));
             counters.push((
                 "server.inflight".into(),
-                inner.inflight.load(std::sync::atomic::Ordering::Acquire) as u64,
+                inner.inflight.load(Ordering::Acquire) as u64,
             ));
             // Sorted so responses are deterministic and clients can
             // binary-search; `ServerStats::snapshot` emits in struct
@@ -563,6 +825,7 @@ fn execute(inner: &Arc<Inner>, conn: &mut Conn, req: Request) -> bool {
                 return false;
             }
             inner.stats.wal_subs.bump();
+            ctx.wal_subs.fetch_add(1, Ordering::AcqRel);
             conn.wal_sub = Some(WalSubJob {
                 next: from_lsn,
                 last_emit: Instant::now(),
@@ -572,7 +835,7 @@ fn execute(inner: &Arc<Inner>, conn: &mut Conn, req: Request) -> bool {
             return true; // slot stays held while the stream is live
         }
         Request::CreateIndex { table, algo, specs } => {
-            return start_build(inner, conn, TableId(table), algo, specs);
+            return start_build(inner, ctx, conn, TableId(table), algo, specs);
         }
         Request::Hello {
             proto_version: theirs,
@@ -633,7 +896,7 @@ fn metrics_response(inner: &Arc<Inner>) -> Response {
     counters.extend(inner.stats.snapshot());
     counters.push((
         "server.inflight".into(),
-        inner.inflight.load(std::sync::atomic::Ordering::Acquire) as u64,
+        inner.inflight.load(Ordering::Acquire) as u64,
     ));
     counters.sort_by(|a, b| a.0.cmp(&b.0));
     let hists = snap
@@ -655,8 +918,12 @@ fn metrics_response(inner: &Arc<Inner>) -> Response {
 }
 
 /// Emit the next frame of a connection's `ObserveStats` stream when
-/// its interval has elapsed.
-fn pump_observe(inner: &Arc<Inner>, conn: &mut Conn) -> bool {
+/// its interval has elapsed. Paused while a backlog exists — the
+/// frames would only pile onto a socket that is not draining.
+pub(crate) fn pump_observe(inner: &Arc<Inner>, conn: &mut Conn) -> bool {
+    if conn.has_backlog() {
+        return false;
+    }
     let due = match &mut conn.observe {
         Some(job) if job.last_emit.elapsed() >= job.interval => {
             job.last_emit = Instant::now();
@@ -677,8 +944,12 @@ fn pump_observe(inner: &Arc<Inner>, conn: &mut Conn) -> bool {
 /// heartbeat when the log is quiet. Only the flushed prefix ever goes
 /// out: a record past the flushed tail could still be discarded by a
 /// crash, and a follower must never apply state the primary would not
-/// itself recover.
-fn pump_wal_sub(inner: &Arc<Inner>, conn: &mut Conn) -> bool {
+/// itself recover. Paused while a backlog exists; the records
+/// coalesce into a bigger batch once the socket drains.
+pub(crate) fn pump_wal_sub(inner: &Arc<Inner>, conn: &mut Conn) -> bool {
+    if conn.has_backlog() {
+        return false;
+    }
     let Some(job) = &mut conn.wal_sub else {
         return false;
     };
@@ -719,11 +990,24 @@ fn pump_wal_sub(inner: &Arc<Inner>, conn: &mut Conn) -> bool {
             records,
         },
     );
-    true
+    !batch.is_empty()
+}
+
+/// Drain a WAL subscription's ready records completely: one
+/// [`pump_wal_sub`] ships at most a frame's worth, so a flush wakeup
+/// that published a large suffix keeps pumping until nothing is ready
+/// or the socket pushes back.
+pub(crate) fn pump_wal_burst(inner: &Arc<Inner>, conn: &mut Conn) -> bool {
+    let mut progressed = false;
+    while pump_wal_sub(inner, conn) {
+        progressed = true;
+    }
+    progressed
 }
 
 fn start_build(
     inner: &Arc<Inner>,
+    ctx: &ShardCtx,
     conn: &mut Conn,
     table: TableId,
     algo: BuildAlgo,
@@ -764,6 +1048,10 @@ fn start_build(
     let slot = Arc::clone(&result);
     let ids_slot = Arc::clone(&ids);
     let db = Arc::clone(&inner.db);
+    // Wake the owning shard when the result lands, so a blocked
+    // reactor notices completion immediately instead of at the next
+    // progress-poll deadline.
+    let waker = inner.shard_waker(ctx.shard);
     inner.stats.builds_started.bump();
     let spawned = std::thread::Builder::new()
         .name("oib-build".into())
@@ -772,6 +1060,9 @@ fn start_build(
                 *ids_slot.lock() = Some(registered.to_vec());
             });
             *slot.lock() = Some(r);
+            if let Some(w) = waker {
+                w.wake();
+            }
         });
     if spawned.is_err() {
         inner.stats.builds_failed.bump();
@@ -804,8 +1095,11 @@ fn start_build(
 }
 
 /// Poll a connection's running build: stream progress on change, and
-/// finish the exchange when the build thread reports its result.
-fn watch_build(inner: &Arc<Inner>, conn: &mut Conn) -> bool {
+/// finish the exchange when the build thread reports its result. The
+/// final frames go out (into the buffer) even against a backlog —
+/// they end the exchange and are bounded — but progress frames pause
+/// until the socket drains.
+pub(crate) fn watch_build(inner: &Arc<Inner>, conn: &mut Conn) -> bool {
     let Some(job) = &mut conn.build else {
         return false;
     };
@@ -839,6 +1133,12 @@ fn watch_build(inner: &Arc<Inner>, conn: &mut Conn) -> bool {
         return true;
     }
 
+    if conn.has_backlog() {
+        return false;
+    }
+    let Some(job) = &mut conn.build else {
+        return false;
+    };
     if job.last_poll.elapsed() < inner.cfg.progress_interval {
         return false;
     }
@@ -892,10 +1192,11 @@ fn phase_of(p: &BuildProgress) -> (BuildPhase, u64) {
     }
 }
 
-/// Write one response on a non-blocking stream, bounded by the write
-/// timeout; a persistently full socket marks the client slow and the
-/// connection dead.
-fn send(inner: &Arc<Inner>, conn: &mut Conn, resp: &Response) {
+/// Queue one response on a connection and flush as far as the socket
+/// accepts. Never blocks: a `WouldBlock` tail stays in the outbound
+/// buffer and resumes on write-readiness (reactor) or next tick
+/// (threaded), bounded by the write timeout and the backlog cap.
+pub(crate) fn send(inner: &Arc<Inner>, conn: &mut Conn, resp: &Response) {
     if conn.dead {
         return;
     }
@@ -908,40 +1209,65 @@ fn send(inner: &Arc<Inner>, conn: &mut Conn, resp: &Response) {
         // response constructor.)
         payload = protocol_err(ErrorCode::Internal, "response exceeds frame cap").encode();
     }
-    let mut framed = Vec::with_capacity(4 + payload.len());
-    framed.extend_from_slice(&(payload.len() as u32).to_be_bytes());
-    framed.extend_from_slice(&payload);
     debug_assert!({
         // write_frame and this manual framing must agree.
         let mut check = Vec::new();
         write_frame(&mut check, &payload).unwrap();
+        let mut framed = Vec::with_capacity(4 + payload.len());
+        framed.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        framed.extend_from_slice(&payload);
         check == framed
     });
+    if conn.out.len() - conn.out_pos + 4 + payload.len() > OUT_BACKLOG_CAP {
+        inner.stats.slow_closed.bump();
+        conn.dead = true;
+        return;
+    }
+    conn.out
+        .extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    conn.out.extend_from_slice(&payload);
+    try_flush(conn);
+}
 
-    let start = Instant::now();
-    let mut written = 0usize;
-    while written < framed.len() {
-        match conn.stream.write(&framed[written..]) {
+/// Push buffered outbound bytes until the socket stops accepting.
+/// Returns true if any byte moved (or the connection died trying).
+pub(crate) fn try_flush(conn: &mut Conn) -> bool {
+    if conn.dead || !conn.has_backlog() {
+        return false;
+    }
+    let mut progressed = false;
+    while conn.out_pos < conn.out.len() {
+        match conn.stream.write(&conn.out[conn.out_pos..]) {
             Ok(0) => {
                 conn.dead = true;
-                return;
+                return true;
             }
-            Ok(n) => written += n,
+            Ok(n) => {
+                conn.out_pos += n;
+                progressed = true;
+            }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                if start.elapsed() >= inner.cfg.write_timeout {
-                    inner.stats.slow_closed.bump();
-                    conn.dead = true;
-                    return;
+                if conn.blocked_since.is_none() {
+                    conn.blocked_since = Some(Instant::now());
                 }
-                std::thread::sleep(Duration::from_micros(200));
+                break;
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(_) => {
                 conn.dead = true;
-                return;
+                return true;
             }
         }
     }
+    if conn.out_pos == conn.out.len() {
+        conn.out.clear();
+        conn.out_pos = 0;
+        conn.blocked_since = None;
+    } else if conn.out_pos >= OUT_COMPACT {
+        conn.out.drain(..conn.out_pos);
+        conn.out_pos = 0;
+    }
+    progressed
 }
 
 #[cfg(test)]

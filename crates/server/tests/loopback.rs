@@ -579,3 +579,49 @@ fn observer_disconnect_releases_its_admission_slot() {
     }
     srv.drain();
 }
+
+/// Reactor regression: idle shards must not tick. Eight parked
+/// connections produce (nearly) no events for one second; the wakeup
+/// counter may move a handful of times — timer-wheel deadlines, stray
+/// wake bytes — but nothing like the ~2 000 ticks per shard per second
+/// the sleep-poll loop burns. A ceiling of 200 wakeups over the window
+/// sits two orders of magnitude under the threaded rate, so a
+/// regression back to tick-polling fails loudly. `Poll` is requested
+/// explicitly so a `MOHAN_IO_BACKEND=threaded` test run cannot turn
+/// this into a false failure.
+#[test]
+fn reactor_idle_shards_quiesce() {
+    use mohan_common::IoBackendChoice;
+    let db = engine(2_000);
+    let cfg = ServerConfig {
+        io_backend: IoBackendChoice::Poll,
+        ..ServerConfig::default()
+    };
+    let srv = match Server::start(Arc::clone(&db), cfg) {
+        Ok(s) => s,
+        // A host without a readiness backend has nothing to regress.
+        Err(_) => return,
+    };
+    let addr = addr_of(&srv);
+    let mut conns: Vec<Client> = (0..8).map(|_| Client::connect(&addr).unwrap()).collect();
+    for c in &mut conns {
+        c.ping().unwrap();
+    }
+
+    // Let the post-ping readiness edges settle, then watch a quiet
+    // second.
+    std::thread::sleep(Duration::from_millis(200));
+    let before = srv.stats().wakeups.get();
+    std::thread::sleep(Duration::from_secs(1));
+    let woke = srv.stats().wakeups.get() - before;
+    assert!(
+        woke < 200,
+        "idle shards woke {woke} times in 1s; reactor is tick-polling"
+    );
+
+    // Quiescent, not dead: every connection still answers.
+    for c in &mut conns {
+        c.ping().unwrap();
+    }
+    srv.drain();
+}

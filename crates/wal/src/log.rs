@@ -122,6 +122,9 @@ pub struct WalStats {
     pub coalesce_depth: Arc<Histogram>,
 }
 
+/// A registered flush-waker: (registration id, callback).
+type FlushWaker = (u64, Box<dyn Fn() + Send + Sync>);
+
 /// The write-ahead log.
 pub struct LogManager {
     /// Directory of doubling-size segments, initialized on first
@@ -156,6 +159,13 @@ pub struct LogManager {
     /// Transactions registered as index builders (their appends are
     /// counted separately).
     ib_txs: RwLock<Vec<TxId>>,
+    /// Callbacks fired after the durable prefix actually advances
+    /// (see [`LogManager::register_flush_waker`]).
+    flush_wakers: RwLock<Vec<FlushWaker>>,
+    /// Fast-path flag mirroring `flush_wakers.is_empty()`, so the
+    /// group-flush hot path pays one relaxed load when nobody listens.
+    has_flush_wakers: AtomicBool,
+    next_flush_waker_id: AtomicU64,
     /// Volume counters.
     pub stats: WalStats,
 }
@@ -181,7 +191,43 @@ impl LogManager {
             flushed: Pad(AtomicU64::new(0)),
             flush_request: Pad(AtomicU64::new(0)),
             ib_txs: RwLock::new(Vec::new()),
+            flush_wakers: RwLock::new(Vec::new()),
+            has_flush_wakers: AtomicBool::new(false),
+            next_flush_waker_id: AtomicU64::new(0),
             stats: WalStats::default(),
+        }
+    }
+
+    /// Register a callback to run after the durable prefix advances
+    /// (event-driven WAL shipping: a server shard with live
+    /// `SubscribeWal` streams registers its reactor waker here instead
+    /// of polling the flushed LSN). The callback runs on the flushing
+    /// thread and must be cheap and non-blocking — a wake, not work.
+    /// Returns an id for [`LogManager::unregister_flush_waker`].
+    pub fn register_flush_waker(&self, f: Box<dyn Fn() + Send + Sync>) -> u64 {
+        let id = self.next_flush_waker_id.fetch_add(1, Ordering::AcqRel);
+        let mut wakers = self.flush_wakers.write();
+        wakers.push((id, f));
+        self.has_flush_wakers.store(true, Ordering::Release);
+        id
+    }
+
+    /// Remove a callback registered by
+    /// [`LogManager::register_flush_waker`]. Unknown ids are a no-op.
+    pub fn unregister_flush_waker(&self, id: u64) {
+        let mut wakers = self.flush_wakers.write();
+        wakers.retain(|(i, _)| *i != id);
+        if wakers.is_empty() {
+            self.has_flush_wakers.store(false, Ordering::Release);
+        }
+    }
+
+    fn notify_flush_wakers(&self) {
+        if !self.has_flush_wakers.load(Ordering::Acquire) {
+            return;
+        }
+        for (_, f) in self.flush_wakers.read().iter() {
+            f();
         }
     }
 
@@ -340,6 +386,13 @@ impl LogManager {
             // Records this force made durable in one go: the group
             // batch another caller's fetch_max would otherwise split.
             self.stats.coalesce_depth.record(goal.saturating_sub(prev));
+        }
+        if goal > prev {
+            // This call advanced the durable prefix (even a caller
+            // counted as coalesced above can, when the group target
+            // outran its own): listeners get exactly one wake per
+            // actual advance.
+            self.notify_flush_wakers();
         }
         self.stats.flush_us.record_micros(started.elapsed());
     }

@@ -538,6 +538,30 @@ impl Request {
         };
         c.finish(req)
     }
+
+    /// Can the operation this encoded frame names block on engine
+    /// locks? Decided from the opcode byte alone so an event loop can
+    /// classify a frame without decoding it. Lock-acquiring work
+    /// (DML, reads, index builds) must not run on a thread that also
+    /// services `Commit`/`Rollback`: those release the very locks a
+    /// waiter may be queued behind, so stalling them behind a lock
+    /// wait deadlocks until the wait times out. Malformed frames are
+    /// "cannot block" — their error reply is immediate.
+    #[must_use]
+    pub fn frame_may_block(payload: &[u8]) -> bool {
+        matches!(
+            payload.first(),
+            Some(
+                &(REQ_INSERT
+                    | REQ_UPDATE
+                    | REQ_DELETE
+                    | REQ_READ
+                    | REQ_LOOKUP
+                    | REQ_CREATE_INDEX
+                    | REQ_PROMOTE),
+            )
+        )
+    }
 }
 
 /// Structured error classes a [`Response::Err`] carries.
@@ -1255,6 +1279,56 @@ mod tests {
         assert_eq!(Request::decode(&[0xEE]), None);
         assert_eq!(Response::decode(&[0xEE]), None);
         assert_eq!(Request::decode(&[]), None);
+    }
+
+    #[test]
+    fn frame_may_block_splits_acquirers_from_releasers() {
+        let blocking = [
+            Request::Insert {
+                table: 1,
+                cols: vec![1],
+            },
+            Request::Update {
+                table: 1,
+                rid: 0,
+                cols: vec![1],
+            },
+            Request::Delete { table: 1, rid: 0 },
+            Request::Read { table: 1, rid: 0 },
+            Request::Lookup {
+                index: 1,
+                key: vec![0],
+            },
+            Request::CreateIndex {
+                table: 1,
+                algo: BuildAlgo::Sf,
+                specs: vec![],
+            },
+            Request::Promote,
+        ];
+        for r in blocking {
+            assert!(Request::frame_may_block(&r.encode()), "{r:?}");
+        }
+        let inline = [
+            Request::Ping,
+            Request::Begin,
+            Request::Commit,
+            Request::Rollback,
+            Request::Stats,
+            Request::Metrics,
+            Request::ObserveStats { interval_ms: 10 },
+            Request::SubscribeWal { from_lsn: 0 },
+            Request::Hello {
+                proto_version: 1,
+                role: Role::Primary,
+            },
+        ];
+        for r in inline {
+            assert!(!Request::frame_may_block(&r.encode()), "{r:?}");
+        }
+        // Malformed frames get an immediate error reply: inline.
+        assert!(!Request::frame_may_block(&[]));
+        assert!(!Request::frame_may_block(&[0xEE]));
     }
 
     #[test]
