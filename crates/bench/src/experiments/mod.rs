@@ -1,4 +1,4 @@
-//! The experiment suite (E1-E19). Each experiment regenerates one of
+//! The experiment suite (E1-E20). Each experiment regenerates one of
 //! the paper's qualitative claims as a quantitative table; the mapping
 //! to paper sections lives in `DESIGN.md` §3 and the expected shapes
 //! in `EXPERIMENTS.md`.
@@ -8,6 +8,7 @@ pub mod build_cost;
 pub mod clustering;
 pub mod contention;
 pub mod observability;
+pub mod pg_front;
 pub mod pseudo;
 pub mod replication;
 pub mod restart;
@@ -35,7 +36,7 @@ pub(crate) fn scaled(n: i64) -> i64 {
     (n / SIZE_DIVISOR.load(Ordering::Relaxed)).max(1_000)
 }
 
-/// Run one experiment by id (`"e1"`..`"e19"`). `quick` shrinks the
+/// Run one experiment by id (`"e1"`..`"e20"`). `quick` shrinks the
 /// workloads for CI-speed runs.
 pub fn run(id: &str, quick: bool) -> Option<Vec<Table>> {
     Some(match id {
@@ -58,12 +59,13 @@ pub fn run(id: &str, quick: bool) -> Option<Vec<Table>> {
         "e17" => observability::e17_observability(quick),
         "e18" => replication::e18_replication(quick),
         "e19" => replication::e19_follower_reads(quick),
+        "e20" => pg_front::e20_pg_front(quick),
         _ => return None,
     })
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 19] = [
+pub const ALL: [&str; 20] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19",
+    "e16", "e17", "e18", "e19", "e20",
 ];

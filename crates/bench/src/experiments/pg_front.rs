@@ -1,0 +1,278 @@
+//! E20: the Postgres front door's toll — the same point DML over the
+//! native binary wire vs the pg simple-query protocol, one server,
+//! both listeners.
+//!
+//! The pg path pays text parsing (tokenizer + parser), catalog name
+//! resolution, and text-encoded result rows where the native path
+//! ships binary frames straight into the session. The claim under
+//! test: that toll is a constant per-statement cost — tens of
+//! microseconds, not a throughput cliff — so the convenience of stock
+//! clients (`psql`) does not compromise the engine's serving path.
+//! For point reads the comparison runs through the same complete
+//! index on both protocols; note that the native client needs two
+//! round trips (`Lookup` + `Read`) where SQL does both server-side in
+//! one, which is the one structural advantage the front door has.
+
+use crate::report::{f2, ms, us, Table};
+use crate::workload::{bench_config, seed_table, TABLE};
+use mohan_client::Client;
+use mohan_common::KeyValue;
+use mohan_oib::build::IndexSpec;
+use mohan_oib::schema::BuildAlgorithm;
+use mohan_oib::Session;
+use mohan_server::{Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Minimal blocking pg simple-query client, just enough for the
+/// closed-loop measurement (startup → `Q` → wait for `ReadyForQuery`).
+struct PgClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl PgClient {
+    fn connect(addr: &str) -> PgClient {
+        let stream = TcpStream::connect(addr).expect("pg connect");
+        stream.set_nodelay(true).ok();
+        let mut c = PgClient {
+            stream,
+            buf: vec![0u8; 64 * 1024],
+        };
+        let mut pkt = Vec::new();
+        let params = b"user\0bench\0\0";
+        pkt.extend_from_slice(&((8 + params.len()) as u32).to_be_bytes());
+        pkt.extend_from_slice(&196_608u32.to_be_bytes());
+        pkt.extend_from_slice(params);
+        c.stream.write_all(&pkt).expect("pg startup");
+        c.read_until_ready();
+        c
+    }
+
+    /// Read backend messages until `ReadyForQuery`; panic on any
+    /// `ErrorResponse` — benchmark statements are all expected to
+    /// succeed (admission is sized so `53300` cannot occur).
+    fn read_until_ready(&mut self) {
+        let mut have = 0usize;
+        loop {
+            // Scan complete `[type][u32 len][body]` messages in the
+            // buffered bytes; refill when a partial one remains.
+            let mut at = 0usize;
+            while have - at >= 5 {
+                let typ = self.buf[at];
+                let len = u32::from_be_bytes(self.buf[at + 1..at + 5].try_into().unwrap()) as usize;
+                if have - at < 1 + len {
+                    break;
+                }
+                assert!(
+                    typ != b'E',
+                    "pg error: {}",
+                    String::from_utf8_lossy(&self.buf[at + 5..at + 1 + len])
+                );
+                if typ == b'Z' {
+                    return;
+                }
+                at += 1 + len;
+            }
+            self.buf.copy_within(at..have, 0);
+            have -= at;
+            if have == self.buf.len() {
+                self.buf.resize(self.buf.len() * 2, 0);
+            }
+            let n = self.stream.read(&mut self.buf[have..]).expect("pg read");
+            assert!(n > 0, "pg server closed mid-reply");
+            have += n;
+        }
+    }
+
+    fn query(&mut self, sql: &str) {
+        let len = 4 + sql.len() + 1;
+        let mut pkt = Vec::with_capacity(1 + len);
+        pkt.push(b'Q');
+        pkt.extend_from_slice(&(len as u32).to_be_bytes());
+        pkt.extend_from_slice(sql.as_bytes());
+        pkt.push(0);
+        self.stream.write_all(&pkt).expect("pg query");
+        self.read_until_ready();
+    }
+}
+
+/// Sorted-percentile helper; `lat_us` must be sorted ascending.
+fn pctl(lat_us: &[u64], p: usize) -> Duration {
+    if lat_us.is_empty() {
+        return Duration::ZERO;
+    }
+    Duration::from_micros(lat_us[(lat_us.len() - 1) * p / 100])
+}
+
+/// Run `op` closed-loop on `threads` threads for `window`, returning
+/// the sorted per-op latencies (µs). Each thread gets its own
+/// connection via `setup` and a disjoint key space via its index.
+fn closed_loop<C: Send + 'static>(
+    threads: usize,
+    window: Duration,
+    setup: impl Fn(usize) -> C + Sync,
+    op: impl Fn(&mut C, i64) + Send + Sync + 'static,
+) -> Vec<u64> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let op = Arc::new(op);
+    let handles: Vec<_> = (0..threads)
+        .map(|i| {
+            let mut conn = setup(i);
+            let stop = Arc::clone(&stop);
+            let op = Arc::clone(&op);
+            std::thread::spawn(move || {
+                let mut lat = Vec::with_capacity(8 << 10);
+                let mut k = 0i64;
+                while !stop.load(Ordering::Relaxed) {
+                    let t0 = Instant::now();
+                    op(&mut conn, k);
+                    lat.push(t0.elapsed().as_micros() as u64);
+                    k += 1;
+                }
+                lat
+            })
+        })
+        .collect();
+    std::thread::sleep(window);
+    stop.store(true, Ordering::Relaxed);
+    let mut all = Vec::new();
+    for h in handles {
+        all.extend(h.join().expect("closed-loop thread"));
+    }
+    all.sort_unstable();
+    all
+}
+
+/// E20: pg-protocol vs native-wire round trips on one server.
+pub fn e20_pg_front(quick: bool) -> Vec<Table> {
+    let n: i64 = super::scaled(if quick { 20_000 } else { 60_000 });
+    const CLIENTS: usize = 4;
+    let window = Duration::from_millis(if quick { 300 } else { 1_000 });
+
+    let (db, _rids) = seed_table(bench_config(), n, 93);
+    // A complete index on the key column so both protocols' point
+    // reads take the same access path.
+    let mut session = Session::new(Arc::clone(&db));
+    let index = session
+        .create_index(
+            TABLE,
+            IndexSpec {
+                name: "e20_k".into(),
+                key_cols: vec![0],
+                unique: false,
+            },
+            BuildAlgorithm::Sf,
+        )
+        .expect("e20 index build");
+    drop(session);
+
+    let srv = Server::start(
+        Arc::clone(&db),
+        ServerConfig {
+            workers: 4,
+            max_inflight: CLIENTS * 4 + 8,
+            pg_bind_addr: Some("127.0.0.1:0".into()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let native_addr = srv.addr().to_string();
+    let pg_addr = srv.pg_addr().expect("pg listener").to_string();
+
+    let mut t = Table::new(
+        "E20: Postgres front door vs native wire (same server, same engine path)",
+        &[
+            "protocol",
+            "op",
+            "window",
+            "wire ops/s",
+            "p50 RTT",
+            "p99 RTT",
+            "vs native",
+        ],
+    );
+
+    let mut rows = Vec::new();
+    // INSERT: one statement per round trip on both protocols, with
+    // per-protocol disjoint key spaces (seeded keys are 0..n).
+    {
+        let addr = native_addr.clone();
+        let lat = closed_loop(
+            CLIENTS,
+            window,
+            |i| (Client::connect(&addr).expect("native connect"), i),
+            move |(c, i), k| {
+                let key = 10_000_000 * (*i as i64 + 1) + k;
+                c.insert(TABLE, vec![key, 7]).expect("native insert");
+            },
+        );
+        rows.push(("native", "INSERT", lat));
+    }
+    {
+        let addr = pg_addr.clone();
+        let lat = closed_loop(
+            CLIENTS,
+            window,
+            |i| (PgClient::connect(&addr), i),
+            move |(c, i), k| {
+                let key = 20_000_000 * (*i as i64 + 1) + k;
+                c.query(&format!("INSERT INTO t1 VALUES ({key}, 7)"));
+            },
+        );
+        rows.push(("pg", "INSERT", lat));
+    }
+    // Point SELECT through the complete index. The native client
+    // needs Lookup + Read (two round trips); SQL does both
+    // server-side in one.
+    {
+        let addr = native_addr.clone();
+        let lat = closed_loop(
+            CLIENTS,
+            window,
+            |_| Client::connect(&addr).expect("native connect"),
+            move |c, k| {
+                let key = KeyValue::from_i64(k % n);
+                let rids = c.lookup(index, &key).expect("native lookup");
+                for rid in rids {
+                    c.read(TABLE, rid).expect("native read");
+                }
+            },
+        );
+        rows.push(("native", "SELECT (lookup+read)", lat));
+    }
+    {
+        let addr = pg_addr.clone();
+        let lat = closed_loop(
+            CLIENTS,
+            window,
+            |_| PgClient::connect(&addr),
+            move |c, k| c.query(&format!("SELECT * FROM t1 WHERE c0 = {}", k % n)),
+        );
+        rows.push(("pg", "SELECT (point, via index)", lat));
+    }
+    srv.drain();
+
+    let mut native_tp = f64::NAN;
+    for (proto, op, lat) in rows {
+        let tp = lat.len() as f64 / window.as_secs_f64();
+        if proto == "native" {
+            native_tp = tp;
+        }
+        t.row(vec![
+            proto.into(),
+            op.into(),
+            ms(window),
+            f2(tp),
+            us(pctl(&lat, 50)),
+            us(pctl(&lat, 99)),
+            format!("{:.1}%", 100.0 * tp / native_tp),
+        ]);
+    }
+    t.note("pg adds text parse + catalog resolution + text row encoding per statement.");
+    t.note("native point reads pay two round trips (Lookup then Read); SQL folds both into one.");
+    vec![t]
+}

@@ -77,6 +77,11 @@ fn render(report: &MetricsReport, frame: u64, clear: bool) {
         // threaded backend, stays near-flat on an idle reactor.
         report.counter("server.wakeups").unwrap_or(0),
     ));
+    out.push_str(&format!(
+        "   lock waits {} ({} timeouts)",
+        report.counter("lock.waits").unwrap_or(0),
+        report.counter("lock.timeouts").unwrap_or(0),
+    ));
     // Only a replication follower registers repl.* gauges; on a
     // primary the header stays unchanged.
     if let Some(lag) = report.counter("repl.lag_lsn") {

@@ -331,6 +331,15 @@ impl Client {
         }
     }
 
+    /// Dump the server's span trace ring as JSON lines (one completed
+    /// span per line, newest last).
+    pub fn trace_dump(&mut self) -> ClientResult<String> {
+        match self.expect(&Request::TraceDump)? {
+            Response::TraceDump { jsonl } => Ok(jsonl),
+            other => Self::protocol("TraceDump", &other),
+        }
+    }
+
     /// One full metrics snapshot: engine + server counters/gauges and
     /// histogram summaries, both lists sorted by name.
     pub fn metrics(&mut self) -> ClientResult<MetricsReport> {

@@ -115,6 +115,12 @@ impl EngineConfig {
 /// runs the loopback suites under each backend.
 pub const IO_BACKEND_ENV: &str = "MOHAN_IO_BACKEND";
 
+/// Environment variable enabling the server's Postgres-protocol
+/// listener. A bare port number binds `127.0.0.1:<port>`; a value
+/// containing `:` is used as the full bind address. Read by
+/// `ServerConfig::default`.
+pub const PG_PORT_ENV: &str = "MOHAN_PG_PORT";
+
 /// Which I/O readiness backend the server's connection layer uses.
 ///
 /// Lives in `mohan-common` (not the server crate) so binaries and

@@ -25,6 +25,7 @@
 
 use mohan_common::stats::Counter;
 use mohan_common::{Error, Result, Rid, TableId, TxId};
+use mohan_obs::Histogram;
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -160,6 +161,9 @@ pub struct LockStats {
     pub timeouts: Counter,
     /// Conditional requests denied immediately.
     pub conditional_denials: Counter,
+    /// Time spent queued behind other holders, per wait (µs).
+    /// `Arc` so an observability registry can adopt it.
+    pub wait_us: Arc<Histogram>,
 }
 
 /// The lock manager.
@@ -205,12 +209,14 @@ impl LockManager {
         if !st.can_grant(tx, mode) {
             self.stats.waits.bump();
             let ticket = st.enqueue();
-            let deadline = Instant::now() + self.timeout;
+            let started = Instant::now();
+            let deadline = started + self.timeout;
             while !st.can_grant_ticket(tx, mode, ticket) {
                 if entry.cv.wait_until(&mut st, deadline).timed_out() {
                     st.dequeue(ticket);
                     entry.cv.notify_all();
                     self.stats.timeouts.bump();
+                    self.stats.wait_us.record_micros(started.elapsed());
                     return Err(Error::LockTimeout {
                         tx,
                         name: name.to_string(),
@@ -219,6 +225,7 @@ impl LockManager {
             }
             st.dequeue(ticket);
             entry.cv.notify_all();
+            self.stats.wait_us.record_micros(started.elapsed());
         }
         st.grant(tx, mode);
         drop(st);
@@ -268,12 +275,14 @@ impl LockManager {
         if !st.can_grant(tx, mode) {
             self.stats.waits.bump();
             let ticket = st.enqueue();
-            let deadline = Instant::now() + self.timeout;
+            let started = Instant::now();
+            let deadline = started + self.timeout;
             while !st.can_grant_ticket(tx, mode, ticket) {
                 if entry.cv.wait_until(&mut st, deadline).timed_out() {
                     st.dequeue(ticket);
                     entry.cv.notify_all();
                     self.stats.timeouts.bump();
+                    self.stats.wait_us.record_micros(started.elapsed());
                     return Err(Error::LockTimeout {
                         tx,
                         name: name.to_string(),
@@ -282,6 +291,7 @@ impl LockManager {
             }
             st.dequeue(ticket);
             entry.cv.notify_all();
+            self.stats.wait_us.record_micros(started.elapsed());
         }
         Ok(())
     }

@@ -143,6 +143,11 @@ impl Db {
                 .map(|i| i.side_file.drain_passes.get())
                 .sum()
         });
+        self.obs
+            .adopt_histogram("lock.wait_us", Arc::clone(&self.locks.stats.wait_us));
+        gauge("lock.calls", |db| db.locks.stats.calls.get());
+        gauge("lock.waits", |db| db.locks.stats.waits.get());
+        gauge("lock.timeouts", |db| db.locks.stats.timeouts.get());
         gauge("engine.active_txs", |db| db.active_txs() as u64);
         gauge("latch.wait_events", |db| {
             let mut n = 0;
@@ -182,6 +187,15 @@ impl Db {
             .adopt_histogram("latch.wait_us", Arc::clone(&t.cache.latch_stats().wait_us));
         self.tables.write().insert(id, Arc::clone(&t));
         t
+    }
+
+    /// Ids of every existing table (SQL catalogs enumerate these to
+    /// name tables created outside SQL).
+    #[must_use]
+    pub fn table_ids(&self) -> Vec<TableId> {
+        let mut ids: Vec<TableId> = self.tables.read().keys().copied().collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// Look up a table.

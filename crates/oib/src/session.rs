@@ -144,6 +144,26 @@ impl Session {
         self.db.index_lookup(index, key)
     }
 
+    /// Key-range probe of a complete index: RIDs of live entries with
+    /// `lo ≤ key ≤ hi`, in key order. The leaf prefetch strategy is
+    /// fixed to physical-sequence (§2.3.1's clustering payoff) so
+    /// statement-level callers need no B-tree knowledge.
+    pub fn lookup_range(&self, index: IndexId, lo: &KeyValue, hi: &KeyValue) -> Result<Vec<Rid>> {
+        let (entries, _stats) = self.db.index_range_lookup(
+            index,
+            lo,
+            hi,
+            mohan_btree::PrefetchStrategy::PhysicalSequence,
+        )?;
+        Ok(entries.into_iter().map(|e| e.rid).collect())
+    }
+
+    /// Snapshot every record in a table (the heap-scan access path for
+    /// statements with no usable index).
+    pub fn table_scan(&self, table: TableId) -> Result<Vec<(Rid, Record)>> {
+        self.db.table_scan(table)
+    }
+
     // ----- DDL --------------------------------------------------------
 
     /// Build one or more indexes in a single scan (§6.2).

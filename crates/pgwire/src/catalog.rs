@@ -1,0 +1,135 @@
+//! The SQL name catalog: table names → engine [`TableId`]s + column
+//! names.
+//!
+//! The engine itself is schemaless (a record is a vector of `i64`
+//! columns keyed by position); SQL needs names. This catalog is the
+//! thin naming layer on top: `CREATE TABLE` registers a name and its
+//! column list, and tables created outside SQL (native wire, seeds)
+//! are pre-registered as `t<ID>` with *positional* columns — `c0`,
+//! `c1`, ... resolve by index, so `SELECT c0 FROM t1` works against a
+//! natively seeded table with no declared schema.
+
+use mohan_common::TableId;
+use mohan_oib::Db;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// What the catalog knows about one table.
+#[derive(Debug, Clone)]
+pub struct TableMeta {
+    /// The engine table this name maps to.
+    pub id: TableId,
+    /// Declared column names, in position order. Empty for tables
+    /// created outside SQL — their columns resolve positionally as
+    /// `c<N>`.
+    pub cols: Vec<String>,
+}
+
+impl TableMeta {
+    /// Resolve a column name to its record position.
+    #[must_use]
+    pub fn col_position(&self, name: &str) -> Option<usize> {
+        if let Some(i) = self.cols.iter().position(|c| c == name) {
+            return Some(i);
+        }
+        if self.cols.is_empty() {
+            // Positional fallback for undeclared schemas: c0, c1, ...
+            return name.strip_prefix('c').and_then(|n| n.parse().ok());
+        }
+        None
+    }
+
+    /// The display name of column `i`.
+    #[must_use]
+    pub fn col_name(&self, i: usize) -> String {
+        self.cols.get(i).cloned().unwrap_or_else(|| format!("c{i}"))
+    }
+}
+
+/// Shared, thread-safe name → table mapping.
+pub struct Catalog {
+    tables: Mutex<HashMap<String, Arc<TableMeta>>>,
+    next_id: AtomicU32,
+}
+
+impl Catalog {
+    /// Build a catalog over `db`, pre-registering every existing
+    /// engine table as `t<ID>` so natively created tables are
+    /// reachable from SQL.
+    #[must_use]
+    pub fn new(db: &Db) -> Catalog {
+        let mut tables = HashMap::new();
+        let mut max_id = 0u32;
+        for id in db.table_ids() {
+            max_id = max_id.max(id.0);
+            tables.insert(
+                format!("t{}", id.0),
+                Arc::new(TableMeta {
+                    id,
+                    cols: Vec::new(),
+                }),
+            );
+        }
+        Catalog {
+            tables: Mutex::new(tables),
+            next_id: AtomicU32::new(max_id + 1),
+        }
+    }
+
+    /// Look up a table by SQL name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<Arc<TableMeta>> {
+        self.tables.lock().get(name).cloned()
+    }
+
+    /// Register a new table name with its columns, creating the heap
+    /// table in the engine. `None` means the name is already taken.
+    pub fn create(&self, name: &str, cols: Vec<String>, db: &Db) -> Option<TableId> {
+        let mut tables = self.tables.lock();
+        if tables.contains_key(name) {
+            return None;
+        }
+        let id = TableId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        db.create_table(id);
+        tables.insert(name.to_string(), Arc::new(TableMeta { id, cols }));
+        // The engine id is now live; make it reachable by its
+        // positional alias too, matching pre-registered tables.
+        tables.entry(format!("t{}", id.0)).or_insert_with(|| {
+            Arc::new(TableMeta {
+                id,
+                cols: Vec::new(),
+            })
+        });
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positional_columns_resolve() {
+        let meta = TableMeta {
+            id: TableId(1),
+            cols: Vec::new(),
+        };
+        assert_eq!(meta.col_position("c0"), Some(0));
+        assert_eq!(meta.col_position("c12"), Some(12));
+        assert_eq!(meta.col_position("k"), None);
+        assert_eq!(meta.col_name(1), "c1");
+    }
+
+    #[test]
+    fn declared_columns_resolve_by_name_only() {
+        let meta = TableMeta {
+            id: TableId(1),
+            cols: vec!["k".into(), "v".into()],
+        };
+        assert_eq!(meta.col_position("v"), Some(1));
+        assert_eq!(meta.col_position("c0"), None);
+        assert_eq!(meta.col_name(0), "k");
+    }
+}

@@ -1,0 +1,633 @@
+//! Statement execution: parsed [`Statement`]s → engine calls through
+//! [`Session`] → encoded backend messages.
+//!
+//! The executor appends `RowDescription`/`DataRow`/`CommandComplete`
+//! bytes for everything it can finish synchronously. `CREATE INDEX`
+//! is the exception: index builds are *online* and long-running, so
+//! the executor validates and returns [`StmtOutcome::StartBuild`] —
+//! the serving layer spawns the build thread and streams `NOTICE`
+//! progress lines from the build-progress hook until
+//! `CommandComplete("CREATE INDEX")`.
+//!
+//! `SELECT` picks its access path the way the paper frames index
+//! utility: a point predicate on a column with a *complete* index is
+//! a [`Session::lookup`]; a `BETWEEN` predicate is a key-range scan
+//! through [`Session::lookup_range`]; everything else falls back to
+//! the heap scan.
+
+use crate::catalog::{Catalog, TableMeta};
+use crate::proto;
+use crate::sql::{Filter, SelectCols, Statement};
+use mohan_common::{Error, IndexId, KeyValue, Rid, TableId};
+use mohan_oib::build::IndexSpec;
+use mohan_oib::schema::{BuildAlgorithm, Record};
+use mohan_oib::{IndexState, Session};
+
+/// A SQL-level failure: a SQLSTATE plus human-readable message,
+/// rendered as an `ErrorResponse`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PgError {
+    /// Five-character SQLSTATE code.
+    pub sqlstate: &'static str,
+    /// Message for the `M` field.
+    pub message: String,
+}
+
+impl PgError {
+    /// `42601` syntax error.
+    #[must_use]
+    pub fn syntax(msg: &str) -> PgError {
+        PgError {
+            sqlstate: "42601",
+            message: format!("syntax error: {msg}"),
+        }
+    }
+
+    /// `0A000` feature not supported.
+    #[must_use]
+    pub fn unsupported(msg: &str) -> PgError {
+        PgError {
+            sqlstate: "0A000",
+            message: msg.to_string(),
+        }
+    }
+
+    /// `42P01` undefined table.
+    #[must_use]
+    pub fn no_table(name: &str) -> PgError {
+        PgError {
+            sqlstate: "42P01",
+            message: format!("relation \"{name}\" does not exist"),
+        }
+    }
+
+    /// `42703` undefined column.
+    #[must_use]
+    pub fn no_column(name: &str) -> PgError {
+        PgError {
+            sqlstate: "42703",
+            message: format!("column \"{name}\" does not exist"),
+        }
+    }
+
+    /// Map an engine error onto its SQLSTATE.
+    #[must_use]
+    pub fn from_engine(e: &Error) -> PgError {
+        PgError {
+            sqlstate: sqlstate_of(e),
+            message: e.to_string(),
+        }
+    }
+}
+
+/// The SQLSTATE an engine [`Error`] maps to on the Postgres wire.
+#[must_use]
+pub fn sqlstate_of(e: &Error) -> &'static str {
+    match e {
+        Error::UniqueViolation { .. } => "23505",
+        Error::LockTimeout { .. } => "40P01", // deadlock_detected: timeout is our resolution
+        Error::LockBusy => "55P03",           // lock_not_available
+        Error::NotFound(_) => "42704",        // undefined_object
+        Error::PageFull => "53100",           // disk_full (closest resource class)
+        Error::Corruption(_) => "XX001",      // data_corrupted
+        Error::BuildCancelled => "57014",     // query_canceled
+        Error::InjectedCrash(_) => "XX000",   // internal_error
+        Error::TxNotActive(_) => "25000",     // invalid_transaction_state
+        Error::NoSuchIndex(_) => "42704",
+        Error::IndexNotReadable(_) => "55000", // object_not_in_prerequisite_state
+        Error::NoOpenTx => "25P01",            // no_active_sql_transaction
+        Error::TxAlreadyOpen(_) => "25001",    // active_sql_transaction
+        Error::NotWritable => "25006",         // read_only_sql_transaction
+        Error::ReplicaStale { .. } => "72000", // snapshot_too_old
+    }
+}
+
+/// Role/staleness context for replica gating, mirrored from the
+/// serving layer's config so the gate lives at the same statement
+/// boundary as the native wire's.
+#[derive(Debug, Clone, Default)]
+pub struct ExecEnv {
+    /// The engine is a replication follower.
+    pub is_replica: bool,
+    /// Where writes should go instead (attached to refusals).
+    pub leader_hint: String,
+    /// Current replication lag in LSNs.
+    pub repl_lag: u64,
+    /// Staleness bound for follower reads.
+    pub max_lag_lsn: u64,
+}
+
+/// What executing one statement produced.
+#[derive(Debug)]
+pub enum StmtOutcome {
+    /// Finished; response messages were appended to `out`.
+    Complete,
+    /// A validated `CREATE INDEX`: the caller spawns the online build
+    /// and owns the progress → `NOTICE` → `CommandComplete` exchange.
+    StartBuild {
+        /// Table to index.
+        table: TableId,
+        /// Engine index specs (names + key column positions).
+        specs: Vec<IndexSpec>,
+        /// Build algorithm from the `USING` clause (SF default).
+        algorithm: BuildAlgorithm,
+    },
+}
+
+/// Execute one statement against `session`, appending backend
+/// messages to `out`. Errors are returned (not encoded) so the caller
+/// can also flip its transaction-failed state.
+pub fn execute_statement(
+    stmt: &Statement,
+    session: &mut Session,
+    catalog: &Catalog,
+    env: &ExecEnv,
+    out: &mut Vec<u8>,
+) -> Result<StmtOutcome, PgError> {
+    if env.is_replica {
+        gate_replica(stmt, env)?;
+    }
+    match stmt {
+        Statement::Begin => {
+            session.begin().map_err(|e| PgError::from_engine(&e))?;
+            proto::command_complete(out, "BEGIN");
+        }
+        Statement::Commit => {
+            session.commit().map_err(|e| PgError::from_engine(&e))?;
+            proto::command_complete(out, "COMMIT");
+        }
+        Statement::Rollback => {
+            session.rollback().map_err(|e| PgError::from_engine(&e))?;
+            proto::command_complete(out, "ROLLBACK");
+        }
+        Statement::CreateTable { name, cols } => {
+            catalog
+                .create(name, cols.clone(), session.db())
+                .ok_or_else(|| PgError {
+                    sqlstate: "42P07",
+                    message: format!("relation \"{name}\" already exists"),
+                })?;
+            proto::command_complete(out, "CREATE TABLE");
+        }
+        Statement::Insert { table, cols, rows } => {
+            let meta = lookup_table(catalog, table)?;
+            validate_insert_cols(&meta, cols.as_deref())?;
+            for row in rows {
+                if !meta.cols.is_empty() && row.len() != meta.cols.len() {
+                    return Err(PgError::syntax(&format!(
+                        "INSERT row has {} expressions, table \"{table}\" has {} columns",
+                        row.len(),
+                        meta.cols.len()
+                    )));
+                }
+                session
+                    .insert(meta.id, &Record(row.clone()))
+                    .map_err(|e| PgError::from_engine(&e))?;
+            }
+            proto::command_complete(out, &format!("INSERT 0 {}", rows.len()));
+        }
+        Statement::Select {
+            table,
+            cols,
+            filter,
+        } => {
+            let meta = lookup_table(catalog, table)?;
+            let rows = matching_rows(session, &meta, filter.as_ref())?;
+            emit_rows(&meta, cols, &rows, out)?;
+        }
+        Statement::Update { table, set, filter } => {
+            let meta = lookup_table(catalog, table)?;
+            let assignments: Vec<(usize, i64)> = set
+                .iter()
+                .map(|(col, v)| Ok((col_position(&meta, col)?, *v)))
+                .collect::<Result<_, PgError>>()?;
+            let rows = matching_rows(session, &meta, Some(filter))?;
+            let n = rows.len();
+            for (rid, rec) in rows {
+                let mut new = rec;
+                for &(pos, v) in &assignments {
+                    if pos >= new.0.len() {
+                        return Err(PgError {
+                            sqlstate: "42703",
+                            message: format!(
+                                "column position {pos} out of range for a {}-column row",
+                                new.0.len()
+                            ),
+                        });
+                    }
+                    new.0[pos] = v;
+                }
+                session
+                    .update(meta.id, rid, &new)
+                    .map_err(|e| PgError::from_engine(&e))?;
+            }
+            proto::command_complete(out, &format!("UPDATE {n}"));
+        }
+        Statement::Delete { table, filter } => {
+            let meta = lookup_table(catalog, table)?;
+            let rows = matching_rows(session, &meta, Some(filter))?;
+            let n = rows.len();
+            for (rid, _) in rows {
+                session
+                    .delete(meta.id, rid)
+                    .map_err(|e| PgError::from_engine(&e))?;
+            }
+            proto::command_complete(out, &format!("DELETE {n}"));
+        }
+        Statement::CreateIndex {
+            unique,
+            name,
+            table,
+            cols,
+            algo,
+        } => {
+            let meta = lookup_table(catalog, table)?;
+            if let Some(tx) = session.current_tx() {
+                return Err(PgError::from_engine(&Error::TxAlreadyOpen(tx)));
+            }
+            if session
+                .db()
+                .indexes_of(meta.id)
+                .iter()
+                .any(|rt| rt.def.name == *name)
+            {
+                return Err(PgError {
+                    sqlstate: "42710",
+                    message: format!("index \"{name}\" already exists on \"{table}\""),
+                });
+            }
+            let key_cols = cols
+                .iter()
+                .map(|c| col_position(&meta, c))
+                .collect::<Result<Vec<_>, _>>()?;
+            let algorithm = match algo.as_deref() {
+                // `btree` is what stock clients say; SF is the paper's
+                // no-quiesce default.
+                None | Some("sf") | Some("btree") => BuildAlgorithm::Sf,
+                Some("nsf") => BuildAlgorithm::Nsf,
+                Some("offline") => BuildAlgorithm::Offline,
+                Some(other) => {
+                    return Err(PgError::unsupported(&format!(
+                        "unknown build algorithm \"{other}\" (sf | nsf | offline)"
+                    )))
+                }
+            };
+            return Ok(StmtOutcome::StartBuild {
+                table: meta.id,
+                specs: vec![IndexSpec {
+                    name: name.clone(),
+                    key_cols,
+                    unique: *unique,
+                }],
+                algorithm,
+            });
+        }
+    }
+    Ok(StmtOutcome::Complete)
+}
+
+/// Replica gate, mirroring the native wire's: writes are refused with
+/// a leader hint; reads are bounded by the staleness budget.
+fn gate_replica(stmt: &Statement, env: &ExecEnv) -> Result<(), PgError> {
+    match stmt {
+        Statement::Begin
+        | Statement::Insert { .. }
+        | Statement::Update { .. }
+        | Statement::Delete { .. }
+        | Statement::CreateTable { .. }
+        | Statement::CreateIndex { .. } => {
+            let hint = if env.leader_hint.is_empty() {
+                String::new()
+            } else {
+                format!(" (leader: {})", env.leader_hint)
+            };
+            Err(PgError {
+                sqlstate: "25006",
+                message: format!(
+                    "server is a replication follower; writes go to the primary{hint}"
+                ),
+            })
+        }
+        Statement::Select { .. } if env.repl_lag > env.max_lag_lsn => Err(PgError {
+            sqlstate: "72000",
+            message: format!(
+                "replication lag {} LSNs exceeds max_lag_lsn {}",
+                env.repl_lag, env.max_lag_lsn
+            ),
+        }),
+        _ => Ok(()),
+    }
+}
+
+fn lookup_table(catalog: &Catalog, name: &str) -> Result<std::sync::Arc<TableMeta>, PgError> {
+    catalog.get(name).ok_or_else(|| PgError::no_table(name))
+}
+
+fn col_position(meta: &TableMeta, name: &str) -> Result<usize, PgError> {
+    meta.col_position(name)
+        .ok_or_else(|| PgError::no_column(name))
+}
+
+/// An explicit INSERT column list must match the declared columns in
+/// order — partial/reordered lists would need per-column defaults the
+/// engine does not have.
+fn validate_insert_cols(meta: &TableMeta, cols: Option<&[String]>) -> Result<(), PgError> {
+    let Some(cols) = cols else { return Ok(()) };
+    if meta.cols.is_empty() || cols == meta.cols {
+        Ok(())
+    } else {
+        Err(PgError::unsupported(
+            "INSERT column lists must name all declared columns in order",
+        ))
+    }
+}
+
+/// The complete index over exactly `[pos]`, if one exists — the
+/// access path for point and range predicates on that column.
+fn complete_index_on(session: &Session, table: TableId, pos: usize) -> Option<IndexId> {
+    session
+        .db()
+        .indexes_of(table)
+        .iter()
+        .find(|rt| rt.state() == IndexState::Complete && rt.def.key_cols == [pos])
+        .map(|rt| rt.def.id)
+}
+
+/// Rows matching `filter`: index point lookup, index range scan, or
+/// heap scan + residual filter.
+fn matching_rows(
+    session: &mut Session,
+    meta: &TableMeta,
+    filter: Option<&Filter>,
+) -> Result<Vec<(Rid, Record)>, PgError> {
+    let eng = |e: Error| PgError::from_engine(&e);
+    match filter {
+        None => session.table_scan(meta.id).map_err(eng),
+        Some(Filter::Eq(col, v)) => {
+            let pos = col_position(meta, col)?;
+            match complete_index_on(session, meta.id, pos) {
+                Some(idx) => {
+                    let rids = session.lookup(idx, &KeyValue::from_i64(*v)).map_err(eng)?;
+                    read_all(session, meta.id, rids)
+                }
+                None => {
+                    let mut rows = session.table_scan(meta.id).map_err(eng)?;
+                    rows.retain(|(_, rec)| rec.0.get(pos) == Some(v));
+                    Ok(rows)
+                }
+            }
+        }
+        Some(Filter::Between(col, lo, hi)) => {
+            if lo > hi {
+                return Ok(Vec::new());
+            }
+            let pos = col_position(meta, col)?;
+            match complete_index_on(session, meta.id, pos) {
+                Some(idx) => {
+                    let rids = session
+                        .lookup_range(idx, &KeyValue::from_i64(*lo), &KeyValue::from_i64(*hi))
+                        .map_err(eng)?;
+                    read_all(session, meta.id, rids)
+                }
+                None => {
+                    let mut rows = session.table_scan(meta.id).map_err(eng)?;
+                    rows.retain(|(_, rec)| rec.0.get(pos).is_some_and(|v| (lo..=hi).contains(&v)));
+                    Ok(rows)
+                }
+            }
+        }
+    }
+}
+
+fn read_all(
+    session: &Session,
+    table: TableId,
+    rids: Vec<Rid>,
+) -> Result<Vec<(Rid, Record)>, PgError> {
+    rids.into_iter()
+        .map(|rid| {
+            session
+                .read(table, rid)
+                .map(|rec| (rid, rec))
+                .map_err(|e| PgError::from_engine(&e))
+        })
+        .collect()
+}
+
+/// Encode `RowDescription` + `DataRow`s + `CommandComplete` for a
+/// result set under the requested projection.
+fn emit_rows(
+    meta: &TableMeta,
+    cols: &SelectCols,
+    rows: &[(Rid, Record)],
+    out: &mut Vec<u8>,
+) -> Result<(), PgError> {
+    // Positions to project, and their display names.
+    let (positions, names): (Vec<usize>, Vec<String>) = match cols {
+        SelectCols::Cols(named) => {
+            let positions = named
+                .iter()
+                .map(|c| col_position(meta, c))
+                .collect::<Result<Vec<_>, _>>()?;
+            (positions, named.clone())
+        }
+        SelectCols::Star => {
+            // Declared schemas project their declared arity; undeclared
+            // ones project the widest row seen (positional names).
+            let arity = if meta.cols.is_empty() {
+                rows.iter().map(|(_, r)| r.0.len()).max().unwrap_or(0)
+            } else {
+                meta.cols.len()
+            };
+            let positions: Vec<usize> = (0..arity).collect();
+            let names = positions.iter().map(|&i| meta.col_name(i)).collect();
+            (positions, names)
+        }
+    };
+    proto::row_description(out, &names);
+    for (_, rec) in rows {
+        let vals: Vec<Option<String>> = positions
+            .iter()
+            .map(|&p| rec.0.get(p).map(i64::to_string))
+            .collect();
+        proto::data_row(out, &vals);
+    }
+    proto::command_complete(out, &format!("SELECT {}", rows.len()));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::parse;
+    use mohan_common::EngineConfig;
+    use mohan_oib::Db;
+
+    fn setup() -> (std::sync::Arc<Db>, Session, Catalog) {
+        let db = Db::new(EngineConfig::small());
+        let session = Session::new(std::sync::Arc::clone(&db));
+        let catalog = Catalog::new(&db);
+        (db, session, catalog)
+    }
+
+    fn run(
+        sql: &str,
+        session: &mut Session,
+        catalog: &Catalog,
+        env: &ExecEnv,
+    ) -> Result<Vec<u8>, PgError> {
+        let mut out = Vec::new();
+        for stmt in parse(sql)? {
+            match execute_statement(&stmt, session, catalog, env, &mut out)? {
+                StmtOutcome::Complete => {}
+                StmtOutcome::StartBuild { .. } => panic!("no builds in this helper"),
+            }
+        }
+        Ok(out)
+    }
+
+    #[test]
+    fn crud_through_sql() {
+        let (_db, mut session, catalog) = setup();
+        let env = ExecEnv::default();
+        run(
+            "CREATE TABLE kv (k bigint, v bigint); \
+             INSERT INTO kv VALUES (1, 10), (2, 20), (3, 30); \
+             UPDATE kv SET v = 99 WHERE k = 2; \
+             DELETE FROM kv WHERE k = 3",
+            &mut session,
+            &catalog,
+            &env,
+        )
+        .unwrap();
+        let out = run("SELECT v FROM kv WHERE k = 2", &mut session, &catalog, &env).unwrap();
+        let text = String::from_utf8_lossy(&out).into_owned();
+        assert!(text.contains("99"), "expected updated value in {text:?}");
+        let out = run("SELECT * FROM kv", &mut session, &catalog, &env).unwrap();
+        assert!(String::from_utf8_lossy(&out).contains("SELECT 2"));
+    }
+
+    #[test]
+    fn select_uses_index_when_complete() {
+        let (db, mut session, catalog) = setup();
+        let env = ExecEnv::default();
+        run(
+            "CREATE TABLE kv (k bigint, v bigint); \
+             INSERT INTO kv VALUES (5, 50), (6, 60)",
+            &mut session,
+            &catalog,
+            &env,
+        )
+        .unwrap();
+        let meta = catalog.get("kv").unwrap();
+        session
+            .create_index(
+                meta.id,
+                IndexSpec {
+                    name: "kv_k".into(),
+                    key_cols: vec![0],
+                    unique: false,
+                },
+                BuildAlgorithm::Sf,
+            )
+            .unwrap();
+        assert!(complete_index_on(&session, meta.id, 0).is_some());
+        let out = run(
+            "SELECT v FROM kv WHERE k BETWEEN 5 AND 6",
+            &mut session,
+            &catalog,
+            &env,
+        )
+        .unwrap();
+        let text = String::from_utf8_lossy(&out).into_owned();
+        assert!(text.contains("SELECT 2"), "{text:?}");
+        drop(db);
+    }
+
+    #[test]
+    fn errors_map_to_sqlstates() {
+        let (_db, mut session, catalog) = setup();
+        let env = ExecEnv::default();
+        assert_eq!(
+            run("SELECT * FROM missing", &mut session, &catalog, &env)
+                .unwrap_err()
+                .sqlstate,
+            "42P01"
+        );
+        run("CREATE TABLE kv (k, v)", &mut session, &catalog, &env).unwrap();
+        assert_eq!(
+            run("CREATE TABLE kv (k)", &mut session, &catalog, &env)
+                .unwrap_err()
+                .sqlstate,
+            "42P07"
+        );
+        assert_eq!(
+            run("SELECT nope FROM kv", &mut session, &catalog, &env)
+                .unwrap_err()
+                .sqlstate,
+            "42703"
+        );
+        assert_eq!(
+            run("INSERT INTO kv VALUES (1)", &mut session, &catalog, &env)
+                .unwrap_err()
+                .sqlstate,
+            "42601"
+        );
+        assert_eq!(
+            run("COMMIT", &mut session, &catalog, &env)
+                .unwrap_err()
+                .sqlstate,
+            "25P01"
+        );
+    }
+
+    #[test]
+    fn replica_gate_maps_writes_and_stale_reads() {
+        let (_db, mut session, catalog) = setup();
+        run(
+            "CREATE TABLE kv (k, v)",
+            &mut session,
+            &catalog,
+            &ExecEnv::default(),
+        )
+        .unwrap();
+        let env = ExecEnv {
+            is_replica: true,
+            leader_hint: "10.0.0.1:4400".into(),
+            repl_lag: 100,
+            max_lag_lsn: 10,
+        };
+        let err = run("INSERT INTO kv VALUES (1, 1)", &mut session, &catalog, &env).unwrap_err();
+        assert_eq!(err.sqlstate, "25006");
+        assert!(err.message.contains("10.0.0.1:4400"));
+        let err = run("SELECT * FROM kv", &mut session, &catalog, &env).unwrap_err();
+        assert_eq!(err.sqlstate, "72000");
+        // Within the staleness budget the read is served.
+        let ok_env = ExecEnv { repl_lag: 5, ..env };
+        run("SELECT * FROM kv", &mut session, &catalog, &ok_env).unwrap();
+    }
+
+    #[test]
+    fn create_index_validates_then_defers() {
+        let (_db, mut session, catalog) = setup();
+        let env = ExecEnv::default();
+        run("CREATE TABLE kv (k, v)", &mut session, &catalog, &env).unwrap();
+        let stmt = &parse("CREATE UNIQUE INDEX kv_k ON kv (k)").unwrap()[0];
+        let mut out = Vec::new();
+        match execute_statement(stmt, &mut session, &catalog, &env, &mut out).unwrap() {
+            StmtOutcome::StartBuild {
+                specs, algorithm, ..
+            } => {
+                assert_eq!(specs[0].name, "kv_k");
+                assert_eq!(specs[0].key_cols, vec![0]);
+                assert!(specs[0].unique);
+                assert!(matches!(algorithm, BuildAlgorithm::Sf));
+            }
+            StmtOutcome::Complete => panic!("expected a build"),
+        }
+        assert!(out.is_empty());
+        let stmt = &parse("CREATE INDEX bad ON kv USING zzz (k)").unwrap()[0];
+        let err = execute_statement(stmt, &mut session, &catalog, &env, &mut out).unwrap_err();
+        assert_eq!(err.sqlstate, "0A000");
+    }
+}

@@ -1,0 +1,423 @@
+//! Postgres v3 protocol framing and message encoding.
+//!
+//! The startup phase is untyped: one `[len: u32][payload]` packet
+//! where `len` includes itself. Everything after is typed:
+//! `[type: u8][len: u32][body]`, `len` again including itself (but
+//! not the type byte). All integers are big-endian, all strings
+//! NUL-terminated.
+//!
+//! Decoders here are *strict and total*: any length that is absurd or
+//! over the cap is a [`FrameError`], truncated input is `Ok(None)`
+//! (wait for more bytes), and nothing panics on garbage — the proptest
+//! suite at the bottom feeds both splitters arbitrary bytes.
+
+/// `SSLRequest` magic (1234.5679): answered with a single `'N'`.
+pub const SSL_REQUEST_CODE: u32 = 80877103;
+/// `CancelRequest` magic (1234.5678): carries a key we never issued;
+/// the connection is simply closed.
+pub const CANCEL_REQUEST_CODE: u32 = 80877102;
+/// `GSSENCRequest` magic (1234.5680): answered with a single `'N'`.
+pub const GSSENC_REQUEST_CODE: u32 = 80877104;
+/// Protocol version 3.0 as sent in `StartupMessage`.
+pub const PROTOCOL_V3: u32 = 3 << 16;
+
+/// Startup packets are tiny (user/database/options); anything bigger
+/// is not a Postgres client.
+pub const MAX_STARTUP: usize = 16 * 1024;
+/// Cap on one typed message, matching the native protocol's frame cap.
+pub const MAX_MESSAGE: usize = 16 << 20;
+
+/// Why a byte stream stopped being parseable as Postgres protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// A declared length exceeds the cap (or is below the minimum).
+    Oversized,
+    /// The startup packet names a protocol major we do not speak.
+    UnsupportedProtocol(u32),
+    /// Structurally invalid bytes (unterminated strings, bad params).
+    Garbled,
+}
+
+/// One parsed startup-phase packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Startup {
+    /// `SSLRequest` probe — refuse with `'N'`, client retries plain.
+    Ssl,
+    /// `GSSENCRequest` probe — refuse with `'N'`.
+    Gssenc,
+    /// `CancelRequest` — close the connection.
+    Cancel,
+    /// A real v3 `StartupMessage` with its key/value parameters.
+    Start {
+        /// Parameters (`user`, `database`, ...), in wire order.
+        params: Vec<(String, String)>,
+    },
+}
+
+fn read_u32(buf: &[u8], at: usize) -> Option<u32> {
+    let b = buf.get(at..at + 4)?;
+    Some(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+}
+
+/// Split one startup-phase packet off the front of `buf`. `Ok(None)`
+/// means incomplete — keep reading.
+pub fn take_startup(buf: &mut Vec<u8>) -> Result<Option<Startup>, FrameError> {
+    let Some(len) = read_u32(buf, 0) else {
+        return Ok(None);
+    };
+    let len = len as usize;
+    if !(8..=MAX_STARTUP).contains(&len) {
+        return Err(FrameError::Oversized);
+    }
+    if buf.len() < len {
+        return Ok(None);
+    }
+    let code = read_u32(buf, 4).expect("len >= 8 checked above");
+    let body: Vec<u8> = buf[8..len].to_vec();
+    buf.drain(..len);
+    match code {
+        SSL_REQUEST_CODE => Ok(Some(Startup::Ssl)),
+        GSSENC_REQUEST_CODE => Ok(Some(Startup::Gssenc)),
+        CANCEL_REQUEST_CODE => Ok(Some(Startup::Cancel)),
+        v if v >> 16 == 3 => {
+            let params = parse_startup_params(&body)?;
+            Ok(Some(Startup::Start { params }))
+        }
+        v => Err(FrameError::UnsupportedProtocol(v)),
+    }
+}
+
+/// The startup body: NUL-terminated key/value pairs, then one final
+/// NUL. Tolerates a missing terminator as long as pairs are complete.
+fn parse_startup_params(body: &[u8]) -> Result<Vec<(String, String)>, FrameError> {
+    let mut params = Vec::new();
+    let mut at = 0usize;
+    loop {
+        if at >= body.len() || body[at] == 0 {
+            return Ok(params);
+        }
+        let key = take_cstr(body, &mut at).ok_or(FrameError::Garbled)?;
+        let val = take_cstr(body, &mut at).ok_or(FrameError::Garbled)?;
+        params.push((key, val));
+    }
+}
+
+fn take_cstr(buf: &[u8], at: &mut usize) -> Option<String> {
+    let rest = buf.get(*at..)?;
+    let nul = rest.iter().position(|&b| b == 0)?;
+    let s = String::from_utf8_lossy(&rest[..nul]).into_owned();
+    *at += nul + 1;
+    Some(s)
+}
+
+/// Split one typed message off the front of `buf` → `(type, body)`.
+/// `Ok(None)` means incomplete.
+pub fn take_message(buf: &mut Vec<u8>) -> Result<Option<(u8, Vec<u8>)>, FrameError> {
+    if buf.is_empty() {
+        return Ok(None);
+    }
+    let typ = buf[0];
+    let Some(len) = read_u32(buf, 1) else {
+        return Ok(None);
+    };
+    let len = len as usize;
+    if !(4..=MAX_MESSAGE).contains(&len) {
+        return Err(FrameError::Oversized);
+    }
+    if buf.len() < 1 + len {
+        return Ok(None);
+    }
+    let body = buf[5..1 + len].to_vec();
+    buf.drain(..1 + len);
+    Ok(Some((typ, body)))
+}
+
+/// Read the NUL-terminated query string out of a `Query` body.
+pub fn query_string(body: &[u8]) -> Option<String> {
+    let nul = body.iter().position(|&b| b == 0)?;
+    Some(String::from_utf8_lossy(&body[..nul]).into_owned())
+}
+
+// ----- backend message encoders ------------------------------------
+
+fn push_msg(out: &mut Vec<u8>, typ: u8, body: impl FnOnce(&mut Vec<u8>)) {
+    out.push(typ);
+    let len_at = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    body(out);
+    let len = (out.len() - len_at) as u32;
+    out[len_at..len_at + 4].copy_from_slice(&len.to_be_bytes());
+}
+
+fn push_cstr(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(s.as_bytes());
+    out.push(0);
+}
+
+/// `AuthenticationOk` — trustful: any startup succeeds.
+pub fn auth_ok(out: &mut Vec<u8>) {
+    push_msg(out, b'R', |b| b.extend_from_slice(&0u32.to_be_bytes()));
+}
+
+/// `ParameterStatus(name, value)`.
+pub fn parameter_status(out: &mut Vec<u8>, name: &str, value: &str) {
+    push_msg(out, b'S', |b| {
+        push_cstr(b, name);
+        push_cstr(b, value);
+    });
+}
+
+/// `BackendKeyData` — psql stores it for cancel requests; ours is a
+/// dummy (cancel closes the connection either way).
+pub fn backend_key_data(out: &mut Vec<u8>, pid: u32, secret: u32) {
+    push_msg(out, b'K', |b| {
+        b.extend_from_slice(&pid.to_be_bytes());
+        b.extend_from_slice(&secret.to_be_bytes());
+    });
+}
+
+/// `ReadyForQuery` with the transaction-status byte: `'I'` idle,
+/// `'T'` in transaction, `'E'` in a failed transaction.
+pub fn ready_for_query(out: &mut Vec<u8>, status: u8) {
+    push_msg(out, b'Z', |b| b.push(status));
+}
+
+/// `RowDescription` for all-int8 text-format columns.
+pub fn row_description(out: &mut Vec<u8>, cols: &[String]) {
+    push_msg(out, b'T', |b| {
+        b.extend_from_slice(&(cols.len() as u16).to_be_bytes());
+        for name in cols {
+            push_cstr(b, name);
+            b.extend_from_slice(&0u32.to_be_bytes()); // table oid
+            b.extend_from_slice(&0u16.to_be_bytes()); // column attnum
+            b.extend_from_slice(&20u32.to_be_bytes()); // type oid: int8
+            b.extend_from_slice(&8u16.to_be_bytes()); // type size
+            b.extend_from_slice(&u32::MAX.to_be_bytes()); // atttypmod
+            b.extend_from_slice(&0u16.to_be_bytes()); // format: text
+        }
+    });
+}
+
+/// `DataRow` with text-format values (`None` renders SQL NULL).
+pub fn data_row(out: &mut Vec<u8>, vals: &[Option<String>]) {
+    push_msg(out, b'D', |b| {
+        b.extend_from_slice(&(vals.len() as u16).to_be_bytes());
+        for v in vals {
+            match v {
+                None => b.extend_from_slice(&u32::MAX.to_be_bytes()),
+                Some(s) => {
+                    b.extend_from_slice(&(s.len() as u32).to_be_bytes());
+                    b.extend_from_slice(s.as_bytes());
+                }
+            }
+        }
+    });
+}
+
+/// `CommandComplete` with its tag (`"INSERT 0 3"`, `"SELECT 7"`, ...).
+pub fn command_complete(out: &mut Vec<u8>, tag: &str) {
+    push_msg(out, b'C', |b| push_cstr(b, tag));
+}
+
+/// `EmptyQueryResponse` — the graceful answer to an empty query
+/// string.
+pub fn empty_query_response(out: &mut Vec<u8>) {
+    push_msg(out, b'I', |_| {});
+}
+
+/// `ErrorResponse` with severity ERROR, the given SQLSTATE, and
+/// message.
+pub fn error_response(out: &mut Vec<u8>, sqlstate: &str, message: &str) {
+    push_msg(out, b'E', |b| {
+        b.push(b'S');
+        push_cstr(b, "ERROR");
+        b.push(b'V');
+        push_cstr(b, "ERROR");
+        b.push(b'C');
+        push_cstr(b, sqlstate);
+        b.push(b'M');
+        push_cstr(b, message);
+        b.push(0);
+    });
+}
+
+/// `NoticeResponse` — used for online `CREATE INDEX` progress lines.
+pub fn notice_response(out: &mut Vec<u8>, message: &str) {
+    push_msg(out, b'N', |b| {
+        b.push(b'S');
+        push_cstr(b, "NOTICE");
+        b.push(b'V');
+        push_cstr(b, "NOTICE");
+        b.push(b'C');
+        push_cstr(b, "00000");
+        b.push(b'M');
+        push_cstr(b, message);
+        b.push(0);
+    });
+}
+
+// ----- frontend encoders (tests, bench drivers) --------------------
+
+/// Encode a v3 `StartupMessage` (the bytes a client sends first).
+#[must_use]
+pub fn startup_message(params: &[(&str, &str)]) -> Vec<u8> {
+    let mut body = Vec::new();
+    body.extend_from_slice(&PROTOCOL_V3.to_be_bytes());
+    for (k, v) in params {
+        push_cstr(&mut body, k);
+        push_cstr(&mut body, v);
+    }
+    body.push(0);
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(&((4 + body.len()) as u32).to_be_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Encode a simple-protocol `Query` message.
+#[must_use]
+pub fn query_message(sql: &str) -> Vec<u8> {
+    let mut out = Vec::new();
+    push_msg(&mut out, b'Q', |b| push_cstr(b, sql));
+    out
+}
+
+/// Encode a `Terminate` message.
+#[must_use]
+pub fn terminate_message() -> Vec<u8> {
+    let mut out = Vec::new();
+    push_msg(&mut out, b'X', |_| {});
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn startup_roundtrip() {
+        let mut buf = startup_message(&[("user", "alice"), ("database", "oib")]);
+        let got = take_startup(&mut buf).unwrap().unwrap();
+        assert_eq!(
+            got,
+            Startup::Start {
+                params: vec![
+                    ("user".into(), "alice".into()),
+                    ("database".into(), "oib".into()),
+                ],
+            }
+        );
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn ssl_probe_and_cancel() {
+        for (code, want) in [
+            (SSL_REQUEST_CODE, Startup::Ssl),
+            (GSSENC_REQUEST_CODE, Startup::Gssenc),
+            (CANCEL_REQUEST_CODE, Startup::Cancel),
+        ] {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(&8u32.to_be_bytes());
+            buf.extend_from_slice(&code.to_be_bytes());
+            assert_eq!(take_startup(&mut buf).unwrap(), Some(want));
+        }
+    }
+
+    #[test]
+    fn startup_truncated_waits() {
+        let full = startup_message(&[("user", "u")]);
+        for cut in 0..full.len() {
+            let mut buf = full[..cut].to_vec();
+            assert_eq!(take_startup(&mut buf).unwrap(), None, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn startup_oversized_and_wrong_major_refused() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&((MAX_STARTUP as u32) + 1).to_be_bytes());
+        assert_eq!(take_startup(&mut buf), Err(FrameError::Oversized));
+
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&9u32.to_be_bytes());
+        buf.extend_from_slice(&(2u32 << 16).to_be_bytes());
+        buf.push(0);
+        assert_eq!(
+            take_startup(&mut buf),
+            Err(FrameError::UnsupportedProtocol(2 << 16))
+        );
+    }
+
+    #[test]
+    fn message_roundtrip() {
+        let mut buf = query_message("SELECT 1");
+        buf.extend_from_slice(&terminate_message());
+        let (typ, body) = take_message(&mut buf).unwrap().unwrap();
+        assert_eq!(typ, b'Q');
+        assert_eq!(query_string(&body).unwrap(), "SELECT 1");
+        let (typ, body) = take_message(&mut buf).unwrap().unwrap();
+        assert_eq!((typ, body.len()), (b'X', 0));
+        assert_eq!(take_message(&mut buf).unwrap(), None);
+    }
+
+    #[test]
+    fn message_oversized_refused() {
+        let mut buf = vec![b'Q'];
+        buf.extend_from_slice(&((MAX_MESSAGE as u32) + 1).to_be_bytes());
+        assert_eq!(take_message(&mut buf), Err(FrameError::Oversized));
+        // A length below the 4-byte minimum is equally unrecoverable.
+        let mut buf = vec![b'Q'];
+        buf.extend_from_slice(&3u32.to_be_bytes());
+        assert_eq!(take_message(&mut buf), Err(FrameError::Oversized));
+    }
+
+    #[test]
+    fn error_response_fields_parse() {
+        let mut out = Vec::new();
+        error_response(&mut out, "42601", "syntax error");
+        assert_eq!(out[0], b'E');
+        let s = String::from_utf8_lossy(&out);
+        assert!(s.contains("42601"));
+        assert!(s.contains("syntax error"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+        /// Arbitrary bytes never panic either splitter; they parse,
+        /// wait, or fail cleanly.
+        #[test]
+        fn splitters_are_total(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+            let mut b1 = bytes.clone();
+            let _ = take_startup(&mut b1);
+            let mut b2 = bytes;
+            let _ = take_message(&mut b2);
+        }
+
+        /// Every prefix of a valid message stream is "incomplete",
+        /// never an error.
+        #[test]
+        fn prefixes_wait(sql in ".{0,40}", cut in 0usize..64) {
+            let full = query_message(&sql);
+            let cut = cut.min(full.len());
+            let mut buf = full[..cut].to_vec();
+            if cut < full.len() {
+                prop_assert_eq!(take_message(&mut buf).unwrap(), None);
+            } else {
+                prop_assert!(take_message(&mut buf).unwrap().is_some());
+            }
+        }
+
+        /// Query strings round-trip through the frontend encoder and
+        /// backend splitter.
+        #[test]
+        fn query_roundtrip(sql in "[^\u{0}]{0,200}") {
+            let mut buf = query_message(&sql);
+            let (typ, body) = take_message(&mut buf).unwrap().unwrap();
+            prop_assert_eq!(typ, b'Q');
+            prop_assert_eq!(query_string(&body).unwrap(), sql);
+        }
+    }
+}

@@ -1,7 +1,8 @@
 //! Standalone engine server.
 //!
 //! ```text
-//! oib-server [--addr HOST:PORT] [--workers N] [--max-inflight N] [--seed-rows N]
+//! oib-server [--addr HOST:PORT] [--pg-port PORT|HOST:PORT] [--workers N]
+//!            [--max-inflight N] [--seed-rows N]
 //!            [--io-backend auto|epoll|poll|threaded]
 //! ```
 //!
@@ -33,6 +34,16 @@ fn main() {
         };
         match arg.as_str() {
             "--addr" => cfg.bind_addr = value("--addr"),
+            // Overrides MOHAN_PG_PORT (same precedence rule as
+            // --io-backend). A bare port binds 127.0.0.1.
+            "--pg-port" => {
+                let v = value("--pg-port");
+                cfg.pg_bind_addr = Some(if v.contains(':') {
+                    v
+                } else {
+                    format!("127.0.0.1:{v}")
+                });
+            }
             "--workers" => cfg.workers = value("--workers").parse().expect("--workers N"),
             "--max-inflight" => {
                 cfg.max_inflight = value("--max-inflight").parse().expect("--max-inflight N");
@@ -81,6 +92,13 @@ fn main() {
         server.addr(),
         server.io_backend()
     );
+    if let Some(pg) = server.pg_addr() {
+        println!(
+            "pg protocol on {pg} (try: psql -h {} -p {})",
+            pg.ip(),
+            pg.port()
+        );
+    }
     println!("serving table 1; close stdin (or send EOF) to drain and exit");
 
     // Block until the launcher closes our stdin — the portable,

@@ -46,6 +46,7 @@
 
 #![warn(missing_docs)]
 
+mod pg;
 #[cfg(unix)]
 mod reactor;
 mod worker;
@@ -58,6 +59,7 @@ mod reactor {
     use std::io;
 
     pub(crate) mod driver {
+        use crate::pg::ConnKind;
         use crate::worker::{self, ShardCtx};
         use crate::Inner;
         use std::net::TcpStream;
@@ -66,7 +68,7 @@ mod reactor {
         pub(crate) fn run(
             inner: &Arc<Inner>,
             ctx: &ShardCtx,
-            rx: &mpsc::Receiver<TcpStream>,
+            rx: &mpsc::Receiver<(TcpStream, ConnKind)>,
             _kind: super::ResolvedBackend,
             _wake: super::WakeRx,
         ) {
@@ -171,6 +173,12 @@ pub struct ServerConfig {
     /// open-for-writes sequence and reports what it did. With no hook
     /// configured, `Promote` answers an `Internal` error.
     pub promote_hook: Option<PromoteHook>,
+    /// Optional second listener speaking the Postgres v3 protocol
+    /// (simple query). `None` disables it. The default honors the
+    /// `MOHAN_PG_PORT` environment variable: a bare port binds
+    /// `127.0.0.1:<port>`, a value containing `:` is used as the full
+    /// bind address.
+    pub pg_bind_addr: Option<String>,
     /// Which I/O readiness backend drives the connection layer.
     /// `Auto` detects at startup (epoll where available, else
     /// poll(2)); `ThreadedSleep` selects the legacy sleep-polling
@@ -231,6 +239,16 @@ impl Default for ServerConfig {
             max_lag_lsn: u64::MAX,
             leader_hint: String::new(),
             promote_hook: None,
+            pg_bind_addr: std::env::var(mohan_common::config::PG_PORT_ENV)
+                .ok()
+                .filter(|v| !v.is_empty())
+                .map(|v| {
+                    if v.contains(':') {
+                        v
+                    } else {
+                        format!("127.0.0.1:{v}")
+                    }
+                }),
             io_backend: IoBackendChoice::from_env()
                 .unwrap_or_else(|bad| {
                     eprintln!(
@@ -392,6 +410,16 @@ pub(crate) struct Inner {
     drain_started: Mutex<Option<Instant>>,
     pub(crate) inflight: AtomicUsize,
     pub(crate) conn_count: AtomicUsize,
+    /// Live connections per shard, for least-occupied accept routing.
+    /// Incremented at hand-off, decremented when the shard reaps (or
+    /// drops) the connection — unlike `stats.conn_shards`, which
+    /// counts cumulative assignments.
+    pub(crate) shard_conns: Vec<AtomicUsize>,
+    /// Table-name catalog shared by every pg session.
+    pub(crate) catalog: Arc<mohan_pgwire::Catalog>,
+    /// Per-statement-kind latency histograms
+    /// (`server.pg_req_us.<kind>`), mirroring `req_us`.
+    pub(crate) pg_req_us: Vec<Arc<Histogram>>,
     /// Per-opcode request-latency histograms (`server.req_us.<op>`),
     /// resolved once at startup so the request hot path records with
     /// plain atomics instead of a registry lookup.
@@ -469,10 +497,15 @@ pub struct DrainReport {
 pub struct Server {
     inner: Arc<Inner>,
     addr: SocketAddr,
+    /// Bound address of the pg listener, when configured.
+    pg_addr: Option<SocketAddr>,
     accept: Option<JoinHandle<()>>,
+    pg_accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     /// Wakes a reactor-blocked accept thread at drain time.
     accept_waker: Option<reactor::Waker>,
+    /// Same, for the pg listener's accept thread.
+    pg_accept_waker: Option<reactor::Waker>,
     /// WAL flush-waker registrations to undo after the workers join.
     flush_hooks: Vec<u64>,
     /// What the configured `io_backend` resolved to on this host.
@@ -489,11 +522,28 @@ impl Server {
         let listener = TcpListener::bind(&cfg.bind_addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let pg_listener = match &cfg.pg_bind_addr {
+            Some(bind) => {
+                let l = TcpListener::bind(bind)?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
+        let pg_addr = pg_listener
+            .as_ref()
+            .map(TcpListener::local_addr)
+            .transpose()?;
         let workers = cfg.workers.max(1);
         let req_us = worker::OPCODES
             .iter()
             .map(|op| db.obs.histogram(&format!("server.req_us.{op}")))
             .collect();
+        let pg_req_us = pg::PG_OPS
+            .iter()
+            .map(|op| db.obs.histogram(&format!("server.pg_req_us.{op}")))
+            .collect();
+        let catalog = Arc::new(mohan_pgwire::Catalog::new(&db));
         let reads_served = db.obs.counter("repl.reads_served");
         let reads_stale = db.obs.counter("repl.reads_rejected_stale");
         let events_per_wait = db.obs.histogram("server.events_per_wait");
@@ -520,6 +570,9 @@ impl Server {
             drain_started: Mutex::new(None),
             inflight: AtomicUsize::new(0),
             conn_count: AtomicUsize::new(0),
+            shard_conns: (0..workers).map(|_| AtomicUsize::new(0)).collect(),
+            catalog,
+            pg_req_us,
             req_us,
             reads_served,
             reads_stale,
@@ -531,7 +584,7 @@ impl Server {
         let mut handles = Vec::with_capacity(workers);
         let mut flush_hooks = Vec::new();
         for shard in 0..workers {
-            let (tx, rx) = mpsc::channel::<TcpStream>();
+            let (tx, rx) = mpsc::channel::<(TcpStream, pg::ConnKind)>();
             senders.push(tx);
             let wal_subs = Arc::new(AtomicUsize::new(0));
             if let Some(waker) = inner.shard_waker(shard) {
@@ -564,30 +617,40 @@ impl Server {
             );
         }
 
-        let accept_waker = if reactor_mode {
-            let (w, rx) = reactor::waker_pair()?;
-            let inner2 = Arc::clone(&inner);
-            let accept = std::thread::Builder::new()
-                .name("oib-accept".into())
-                .spawn(move || accept_loop(&inner2, &listener, &senders, backend, Some(rx)))
-                .expect("spawn acceptor");
-            (Some(w), accept)
-        } else {
-            let inner2 = Arc::clone(&inner);
-            let accept = std::thread::Builder::new()
-                .name("oib-accept".into())
-                .spawn(move || accept_loop(&inner2, &listener, &senders, backend, None))
-                .expect("spawn acceptor");
-            (None, accept)
+        let (pg_accept_waker, pg_accept) = match pg_listener {
+            Some(l) => {
+                let (w, h) = spawn_accept(
+                    &inner,
+                    l,
+                    senders.clone(),
+                    pg::ConnKind::Pg,
+                    backend,
+                    reactor_mode,
+                    "oib-pg-accept",
+                )?;
+                (w, Some(h))
+            }
+            None => (None, None),
         };
-        let (accept_waker, accept) = accept_waker;
+        let (accept_waker, accept) = spawn_accept(
+            &inner,
+            listener,
+            senders,
+            pg::ConnKind::Native,
+            backend,
+            reactor_mode,
+            "oib-accept",
+        )?;
 
         Ok(Server {
             inner,
             addr,
+            pg_addr,
             accept: Some(accept),
+            pg_accept,
             workers: handles,
             accept_waker,
+            pg_accept_waker,
             flush_hooks,
             backend,
         })
@@ -604,6 +667,12 @@ impl Server {
     #[must_use]
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The pg listener's bound address, when one is configured.
+    #[must_use]
+    pub fn pg_addr(&self) -> Option<SocketAddr> {
+        self.pg_addr
     }
 
     /// The server's counters.
@@ -632,8 +701,14 @@ impl Server {
         if let Some(w) = &self.accept_waker {
             w.wake();
         }
+        if let Some(w) = &self.pg_accept_waker {
+            w.wake();
+        }
         self.inner.wake_all();
         if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.pg_accept.take() {
             let _ = h.join();
         }
         for h in self.workers.drain(..) {
@@ -697,6 +772,56 @@ fn classify_accept_error(e: &io::Error) -> AcceptError {
     }
 }
 
+/// Spawn one accept thread for `listener`, tagging every accepted
+/// connection with `kind` so the shard knows which protocol to speak.
+fn spawn_accept(
+    inner: &Arc<Inner>,
+    listener: TcpListener,
+    senders: Vec<mpsc::Sender<(TcpStream, pg::ConnKind)>>,
+    kind: pg::ConnKind,
+    backend: reactor::ResolvedBackend,
+    reactor_mode: bool,
+    name: &str,
+) -> io::Result<(Option<reactor::Waker>, JoinHandle<()>)> {
+    if reactor_mode {
+        let (w, rx) = reactor::waker_pair()?;
+        let inner2 = Arc::clone(inner);
+        let h = std::thread::Builder::new()
+            .name(name.into())
+            .spawn(move || accept_loop(&inner2, &listener, &senders, kind, backend, Some(rx)))
+            .expect("spawn acceptor");
+        Ok((Some(w), h))
+    } else {
+        let inner2 = Arc::clone(inner);
+        let h = std::thread::Builder::new()
+            .name(name.into())
+            .spawn(move || accept_loop(&inner2, &listener, &senders, kind, backend, None))
+            .expect("spawn acceptor");
+        Ok((None, h))
+    }
+}
+
+/// Pick the shard with the fewest live connections, starting the scan
+/// at a rotating offset so ties spread round-robin. Both listeners
+/// route through here, so a shard loaded with long-lived pg sessions
+/// receives fewer native connections and vice versa.
+fn pick_shard(inner: &Arc<Inner>, next: &mut usize) -> usize {
+    let n = inner.shard_conns.len();
+    let start = *next % n;
+    *next = next.wrapping_add(1);
+    let mut best = start;
+    let mut best_count = inner.shard_conns[start].load(Ordering::Acquire);
+    for off in 1..n {
+        let i = (start + off) % n;
+        let count = inner.shard_conns[i].load(Ordering::Acquire);
+        if count < best_count {
+            best = i;
+            best_count = count;
+        }
+    }
+    best
+}
+
 /// Accept until `WouldBlock` (socket drained) or drain. Classifies
 /// errors per [`AcceptError`]: exhaustion backs off with a doubling
 /// sleep, transient errors keep the loop accepting. Each error burst
@@ -705,7 +830,8 @@ fn classify_accept_error(e: &io::Error) -> AcceptError {
 fn accept_burst(
     inner: &Arc<Inner>,
     listener: &TcpListener,
-    senders: &[mpsc::Sender<TcpStream>],
+    senders: &[mpsc::Sender<(TcpStream, pg::ConnKind)>],
+    kind: pg::ConnKind,
     next: &mut usize,
     burst_logged: &mut bool,
 ) {
@@ -728,16 +854,17 @@ fn accept_burst(
                 }
                 inner.conn_count.fetch_add(1, Ordering::AcqRel);
                 inner.stats.conns_accepted.bump();
-                let shard = *next % senders.len();
+                let shard = pick_shard(inner, next);
                 inner.stats.conn_shards.bump(shard);
+                inner.shard_conns[shard].fetch_add(1, Ordering::AcqRel);
                 // A worker only disappears at drain time; if the send
                 // races that, the stream just drops (client sees EOF).
-                if senders[shard].send(stream).is_err() {
+                if senders[shard].send((stream, kind)).is_err() {
                     inner.conn_count.fetch_sub(1, Ordering::AcqRel);
+                    inner.shard_conns[shard].fetch_sub(1, Ordering::AcqRel);
                 } else if let Some(w) = inner.shard_waker(shard) {
                     w.wake();
                 }
-                *next = next.wrapping_add(1);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
@@ -780,13 +907,14 @@ fn accept_burst(
 fn accept_loop(
     inner: &Arc<Inner>,
     listener: &TcpListener,
-    senders: &[mpsc::Sender<TcpStream>],
+    senders: &[mpsc::Sender<(TcpStream, pg::ConnKind)>],
+    kind: pg::ConnKind,
     backend: reactor::ResolvedBackend,
     wake_rx: Option<reactor::WakeRx>,
 ) {
     #[cfg(unix)]
     if let Some(rx) = wake_rx {
-        if accept_reactor_loop(inner, listener, senders, backend, &rx).is_ok() {
+        if accept_reactor_loop(inner, listener, senders, kind, backend, &rx).is_ok() {
             return;
         }
         // Backend construction failed; fall through to sleep-polling.
@@ -798,7 +926,7 @@ fn accept_loop(
     let mut next = 0usize;
     let mut burst_logged = false;
     while !inner.draining() {
-        accept_burst(inner, listener, senders, &mut next, &mut burst_logged);
+        accept_burst(inner, listener, senders, kind, &mut next, &mut burst_logged);
         std::thread::sleep(Duration::from_micros(500));
     }
 }
@@ -809,7 +937,8 @@ fn accept_loop(
 fn accept_reactor_loop(
     inner: &Arc<Inner>,
     listener: &TcpListener,
-    senders: &[mpsc::Sender<TcpStream>],
+    senders: &[mpsc::Sender<(TcpStream, pg::ConnKind)>],
+    kind: pg::ConnKind,
     backend: reactor::ResolvedBackend,
     wake_rx: &reactor::WakeRx,
 ) -> io::Result<()> {
@@ -839,7 +968,7 @@ fn accept_reactor_loop(
                 reactor::drain_wake(wake_rx);
             }
         }
-        accept_burst(inner, listener, senders, &mut next, &mut burst_logged);
+        accept_burst(inner, listener, senders, kind, &mut next, &mut burst_logged);
     }
     Ok(())
 }

@@ -172,7 +172,7 @@ impl Slab {
 pub(crate) fn run(
     inner: &Arc<Inner>,
     ctx: &ShardCtx,
-    rx: &mpsc::Receiver<TcpStream>,
+    rx: &mpsc::Receiver<(TcpStream, crate::pg::ConnKind)>,
     kind: ResolvedBackend,
     wake_rx: UnixStream,
 ) {
@@ -232,13 +232,14 @@ pub(crate) fn run(
 
         // New connections handed off by the accept loop (it wakes us
         // after each send).
-        while let Ok(stream) = rx.try_recv() {
+        while let Ok((stream, kind)) = rx.try_recv() {
             if draining {
                 inner.conn_count.fetch_sub(1, Ordering::AcqRel);
+                inner.shard_conns[ctx.shard].fetch_sub(1, Ordering::AcqRel);
                 drop(stream); // accepted in the race window; EOF to client
                 continue;
             }
-            let conn = Conn::new(stream, inner);
+            let conn = Conn::new(stream, inner, kind);
             let token = slab.insert(conn);
             let conn = slab.get_mut(token).unwrap();
             let fd = conn.stream.as_raw_fd();

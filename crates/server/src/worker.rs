@@ -23,6 +23,7 @@
 //! global in-flight cap spans all shards, so admission control is a
 //! property of the server, not of a lucky shard assignment.
 
+use crate::pg::ConnKind;
 use crate::Inner;
 use mohan_common::{Error, IndexId, KeyValue, Rid, TableId};
 use mohan_oib::build::{build_indexes_observed, IndexSpec};
@@ -61,6 +62,7 @@ pub(crate) const OPCODES: &[&str] = &[
     "SubscribeWal",
     "Hello",
     "Promote",
+    "TraceDump",
 ];
 
 /// Index of a request's opcode into [`OPCODES`] / `Inner::req_us`.
@@ -83,6 +85,7 @@ fn opcode_index(req: &Request) -> usize {
         Request::SubscribeWal { .. } => 13,
         Request::Hello { .. } => 14,
         Request::Promote => 15,
+        Request::TraceDump => 16,
     }
 }
 
@@ -156,12 +159,16 @@ const OUT_COMPACT: usize = 64 * 1024;
 
 pub(crate) struct Conn {
     pub(crate) stream: TcpStream,
-    buf: Vec<u8>,
+    /// Which protocol this connection speaks, plus its protocol
+    /// state; decided by the accepting listener.
+    pub(crate) proto: crate::pg::Proto,
+    pub(crate) buf: Vec<u8>,
     /// Complete frames split off `buf`, each stamped with its arrival
     /// time so the per-request deadline is measured per frame, not
-    /// from the connection's most recent byte.
-    pending: VecDeque<(Vec<u8>, Instant)>,
-    session: Session,
+    /// from the connection's most recent byte. Native frames are a
+    /// `Request` payload; pg frames are `[type byte][body]`.
+    pub(crate) pending: VecDeque<(Vec<u8>, Instant)>,
+    pub(crate) session: Session,
     pub(crate) last_activity: Instant,
     build: Option<BuildJob>,
     observe: Option<ObserveJob>,
@@ -183,9 +190,13 @@ pub(crate) struct Conn {
 }
 
 impl Conn {
-    pub(crate) fn new(stream: TcpStream, inner: &Arc<Inner>) -> Conn {
+    pub(crate) fn new(stream: TcpStream, inner: &Arc<Inner>, kind: ConnKind) -> Conn {
         Conn {
             stream,
+            proto: match kind {
+                ConnKind::Native => crate::pg::Proto::Native,
+                ConnKind::Pg => crate::pg::Proto::Pg(Default::default()),
+            },
             buf: Vec::new(),
             pending: VecDeque::new(),
             session: Session::new(Arc::clone(&inner.db)),
@@ -269,7 +280,11 @@ enum TickSlot {
     Empty,
 }
 
-pub(crate) fn worker_loop(inner: &Arc<Inner>, ctx: &ShardCtx, rx: &mpsc::Receiver<TcpStream>) {
+pub(crate) fn worker_loop(
+    inner: &Arc<Inner>,
+    ctx: &ShardCtx,
+    rx: &mpsc::Receiver<(TcpStream, ConnKind)>,
+) {
     // Lock-acquiring frames run on this executor thread so the tick
     // loop never sits in a lock wait: the loop must stay free to run
     // the peer's `Commit`/`Rollback` that releases the contended
@@ -297,13 +312,14 @@ pub(crate) fn worker_loop(inner: &Arc<Inner>, ctx: &ShardCtx, rx: &mpsc::Receive
     let mut out = 0usize;
     loop {
         let draining = inner.draining();
-        while let Ok(stream) = rx.try_recv() {
+        while let Ok((stream, kind)) = rx.try_recv() {
             if draining {
                 inner.conn_count.fetch_sub(1, Ordering::AcqRel);
+                inner.shard_conns[ctx.shard].fetch_sub(1, Ordering::AcqRel);
                 drop(stream); // accepted in the race window; EOF to client
                 continue;
             }
-            let conn = Conn::new(stream, inner);
+            let conn = Conn::new(stream, inner, kind);
             match slots.iter().position(|s| matches!(s, TickSlot::Empty)) {
                 Some(i) => slots[i] = TickSlot::Live(conn),
                 None => slots.push(TickSlot::Live(conn)),
@@ -414,6 +430,7 @@ pub(crate) fn reap_conn(inner: &Arc<Inner>, ctx: &ShardCtx, conn: &mut Conn) {
     let _ = conn.session.close(); // rolls back an open tx
     inner.stats.conns_closed.bump();
     inner.conn_count.fetch_sub(1, Ordering::AcqRel);
+    inner.shard_conns[ctx.shard].fetch_sub(1, Ordering::AcqRel);
 }
 
 /// One service pass over a connection (threaded backend). Returns true
@@ -485,6 +502,10 @@ pub(crate) fn read_socket(inner: &Arc<Inner>, conn: &mut Conn) -> bool {
         }
     }
 
+    if matches!(conn.proto, crate::pg::Proto::Pg(_)) {
+        crate::pg::split_frames(inner, conn);
+        return progressed;
+    }
     while !conn.dead {
         match take_frame(&mut conn.buf) {
             Ok(None) => break,
@@ -543,7 +564,11 @@ pub(crate) fn run_pending_inline(
         let Some((payload, _)) = conn.pending.front() else {
             return false;
         };
-        if Request::frame_may_block(payload) {
+        let may_block = match conn.proto {
+            crate::pg::Proto::Native => Request::frame_may_block(payload),
+            crate::pg::Proto::Pg(_) => crate::pg::frame_may_block(payload),
+        };
+        if may_block {
             return true;
         }
         let (payload, arrived) = conn.pending.pop_front().expect("front observed above");
@@ -590,6 +615,10 @@ fn handle_payload(
     arrived: Instant,
     draining: bool,
 ) {
+    if matches!(conn.proto, crate::pg::Proto::Pg(_)) {
+        crate::pg::handle_payload(inner, ctx, conn, payload, arrived, draining);
+        return;
+    }
     let Some(req) = Request::decode(payload) else {
         inner.stats.malformed.bump();
         send(
@@ -882,6 +911,9 @@ fn execute(inner: &Arc<Inner>, ctx: &ShardCtx, conn: &mut Conn, req: Request) ->
                 }
             }
         }
+        Request::TraceDump => Response::TraceDump {
+            jsonl: inner.db.obs.trace().dump_jsonl(),
+        },
     };
     send(inner, conn, &resp);
     false
@@ -1005,6 +1037,22 @@ pub(crate) fn pump_wal_burst(inner: &Arc<Inner>, conn: &mut Conn) -> bool {
     progressed
 }
 
+/// Refuse a build before it spawns, rendered per protocol.
+fn build_refuse(inner: &Arc<Inner>, conn: &mut Conn, e: &Error) {
+    match conn.proto {
+        crate::pg::Proto::Native => send(inner, conn, &Response::from_error(e)),
+        crate::pg::Proto::Pg(_) => {
+            let mut out = Vec::new();
+            mohan_pgwire::proto::error_response(
+                &mut out,
+                mohan_pgwire::sqlstate_of(e),
+                &e.to_string(),
+            );
+            send_raw(inner, conn, &out);
+        }
+    }
+}
+
 fn start_build(
     inner: &Arc<Inner>,
     ctx: &ShardCtx,
@@ -1021,14 +1069,6 @@ fn start_build(
         );
         return false;
     }
-    if let Some(tx) = conn.session.current_tx() {
-        send(
-            inner,
-            conn,
-            &Response::from_error(&Error::TxAlreadyOpen(tx)),
-        );
-        return false;
-    }
     let algorithm = match algo {
         BuildAlgo::Offline => BuildAlgorithm::Offline,
         BuildAlgo::Nsf => BuildAlgorithm::Nsf,
@@ -1042,7 +1082,27 @@ fn start_build(
             unique: s.unique,
         })
         .collect();
+    start_build_engine(inner, ctx, conn, table, algorithm, engine_specs)
+}
 
+/// Spawn an online index build on its own thread and attach it to
+/// this connection. Both protocols land here — the native
+/// `CreateIndex` opcode (via [`start_build`]'s wire-type conversion)
+/// and a SQL `CREATE INDEX` (via the pg executor's validated
+/// `StmtOutcome::StartBuild`). The immediate first frame and any
+/// failure reply are rendered per protocol.
+pub(crate) fn start_build_engine(
+    inner: &Arc<Inner>,
+    ctx: &ShardCtx,
+    conn: &mut Conn,
+    table: TableId,
+    algorithm: BuildAlgorithm,
+    engine_specs: Vec<IndexSpec>,
+) -> bool {
+    if let Some(tx) = conn.session.current_tx() {
+        build_refuse(inner, conn, &Error::TxAlreadyOpen(tx));
+        return false;
+    }
     let result: BuildResult = Arc::new(Mutex::new(None));
     let ids: BuildIds = Arc::new(Mutex::new(None));
     let slot = Arc::clone(&result);
@@ -1066,25 +1126,43 @@ fn start_build(
         });
     if spawned.is_err() {
         inner.stats.builds_failed.bump();
-        send(
-            inner,
-            conn,
-            &protocol_err(ErrorCode::Internal, "could not spawn build thread"),
-        );
+        match conn.proto {
+            crate::pg::Proto::Native => send(
+                inner,
+                conn,
+                &protocol_err(ErrorCode::Internal, "could not spawn build thread"),
+            ),
+            crate::pg::Proto::Pg(_) => {
+                let mut out = Vec::new();
+                mohan_pgwire::proto::error_response(
+                    &mut out,
+                    "XX000",
+                    "could not spawn build thread",
+                );
+                send_raw(inner, conn, &out);
+            }
+        }
         return false;
     }
     // First frame immediately: the client knows the build was admitted
     // before any checkpoint exists to poll.
     inner.stats.progress_frames.bump();
-    send(
-        inner,
-        conn,
-        &Response::Progress {
-            index: 0,
-            phase: BuildPhase::Starting,
-            detail: 0,
-        },
-    );
+    match conn.proto {
+        crate::pg::Proto::Native => send(
+            inner,
+            conn,
+            &Response::Progress {
+                index: 0,
+                phase: BuildPhase::Starting,
+                detail: 0,
+            },
+        ),
+        crate::pg::Proto::Pg(_) => {
+            let mut out = Vec::new();
+            mohan_pgwire::proto::notice_response(&mut out, "index build: Starting");
+            send_raw(inner, conn, &out);
+        }
+    }
     conn.build = Some(BuildJob {
         result,
         ids,
@@ -1106,6 +1184,38 @@ pub(crate) fn watch_build(inner: &Arc<Inner>, conn: &mut Conn) -> bool {
 
     let finished = { job.result.lock().take() };
     if let Some(result) = finished {
+        if matches!(conn.proto, crate::pg::Proto::Pg(_)) {
+            // SQL exchange: NOTICE + CommandComplete (or
+            // ErrorResponse), then the ReadyForQuery deferred since
+            // the CREATE INDEX statement.
+            let mut out = Vec::new();
+            match result {
+                Ok(ids) => {
+                    inner.stats.builds_done.bump();
+                    inner.stats.progress_frames.bump();
+                    conn.build = None;
+                    inner.release();
+                    mohan_pgwire::proto::notice_response(
+                        &mut out,
+                        &format!("index build: Done ({} indexes)", ids.len()),
+                    );
+                    mohan_pgwire::proto::command_complete(&mut out, "CREATE INDEX");
+                }
+                Err(e) => {
+                    inner.stats.builds_failed.bump();
+                    conn.build = None;
+                    inner.release();
+                    mohan_pgwire::proto::error_response(
+                        &mut out,
+                        mohan_pgwire::sqlstate_of(&e),
+                        &e.to_string(),
+                    );
+                }
+            }
+            mohan_pgwire::proto::ready_for_query(&mut out, crate::pg::tx_status(conn));
+            send_raw(inner, conn, &out);
+            return true;
+        }
         let final_resp = match result {
             Ok(ids) => {
                 inner.stats.builds_done.bump();
@@ -1170,15 +1280,27 @@ pub(crate) fn watch_build(inner: &Arc<Inner>, conn: &mut Conn) -> bool {
         return false;
     };
     inner.stats.progress_frames.bump();
-    send(
-        inner,
-        conn,
-        &Response::Progress {
-            index,
-            phase,
-            detail,
-        },
-    );
+    match conn.proto {
+        crate::pg::Proto::Native => send(
+            inner,
+            conn,
+            &Response::Progress {
+                index,
+                phase,
+                detail,
+            },
+        ),
+        crate::pg::Proto::Pg(_) => {
+            // Progress as NOTICE lines: visible in psql mid-build
+            // without breaking the simple-query exchange.
+            let mut out = Vec::new();
+            mohan_pgwire::proto::notice_response(
+                &mut out,
+                &format!("index build {index}: {phase:?} ({detail})"),
+            );
+            send_raw(inner, conn, &out);
+        }
+    }
     true
 }
 
@@ -1218,14 +1340,25 @@ pub(crate) fn send(inner: &Arc<Inner>, conn: &mut Conn, resp: &Response) {
         framed.extend_from_slice(&payload);
         check == framed
     });
-    if conn.out.len() - conn.out_pos + 4 + payload.len() > OUT_BACKLOG_CAP {
+    let mut framed = Vec::with_capacity(4 + payload.len());
+    framed.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    framed.extend_from_slice(&payload);
+    send_raw(inner, conn, &framed);
+}
+
+/// Queue pre-encoded outbound bytes — a native frame or a batch of
+/// pg backend messages — and flush as far as the socket accepts.
+/// Shares the backlog cap and slow-client accounting with [`send`].
+pub(crate) fn send_raw(inner: &Arc<Inner>, conn: &mut Conn, bytes: &[u8]) {
+    if conn.dead {
+        return;
+    }
+    if conn.out.len() - conn.out_pos + bytes.len() > OUT_BACKLOG_CAP {
         inner.stats.slow_closed.bump();
         conn.dead = true;
         return;
     }
-    conn.out
-        .extend_from_slice(&(payload.len() as u32).to_be_bytes());
-    conn.out.extend_from_slice(&payload);
+    conn.out.extend_from_slice(bytes);
     try_flush(conn);
 }
 
@@ -1311,6 +1444,7 @@ mod tests {
                 role: Role::Client,
             },
             Request::Promote,
+            Request::TraceDump,
         ]
     }
 

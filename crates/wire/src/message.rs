@@ -340,6 +340,10 @@ pub enum Request {
     /// open the engine for writes. Only meaningful on a replica's own
     /// socket; a primary answers with an error.
     Promote,
+    /// Dump the server's span trace ring as JSON lines (one span per
+    /// line, newest last). Diagnostic; the ring is bounded, so the
+    /// reply is too.
+    TraceDump,
 }
 
 const REQ_PING: u8 = 1;
@@ -358,6 +362,7 @@ const REQ_OBSERVE_STATS: u8 = 13;
 const REQ_SUBSCRIBE_WAL: u8 = 14;
 const REQ_HELLO: u8 = 15;
 const REQ_PROMOTE: u8 = 16;
+const REQ_TRACE_DUMP: u8 = 17;
 
 /// Explicit protocol cap on every `u16`-counted list (columns, index
 /// specs, key columns, created ids, stat counters). Encoders clamp to
@@ -410,6 +415,7 @@ impl Request {
             Request::SubscribeWal { .. } => "SubscribeWal",
             Request::Hello { .. } => "Hello",
             Request::Promote => "Promote",
+            Request::TraceDump => "TraceDump",
         }
     }
 
@@ -477,6 +483,7 @@ impl Request {
                 put_u8(&mut out, role.tag());
             }
             Request::Promote => put_u8(&mut out, REQ_PROMOTE),
+            Request::TraceDump => put_u8(&mut out, REQ_TRACE_DUMP),
         }
         out
     }
@@ -534,6 +541,7 @@ impl Request {
                 role: Role::from_tag(c.get_u8()?)?,
             },
             REQ_PROMOTE => Request::Promote,
+            REQ_TRACE_DUMP => Request::TraceDump,
             _ => return None,
         };
         c.finish(req)
@@ -824,6 +832,11 @@ pub enum Response {
         /// In-flight transactions rolled back by the restart-undo pass.
         losers_undone: u64,
     },
+    /// Answer to [`Request::TraceDump`]: the span trace ring.
+    TraceDump {
+        /// JSON-lines dump, one completed span per line.
+        jsonl: String,
+    },
 }
 
 const RESP_PONG: u8 = 1;
@@ -844,6 +857,7 @@ const RESP_METRICS: u8 = 15;
 const RESP_WAL_FRAME: u8 = 16;
 const RESP_WELCOME: u8 = 17;
 const RESP_PROMOTED: u8 = 18;
+const RESP_TRACE_DUMP: u8 = 19;
 
 impl Response {
     /// Encode to a frame payload (tag + body).
@@ -952,6 +966,10 @@ impl Response {
                 put_u64(&mut out, *last_lsn);
                 put_u64(&mut out, *losers_undone);
             }
+            Response::TraceDump { jsonl } => {
+                put_u8(&mut out, RESP_TRACE_DUMP);
+                put_string(&mut out, jsonl);
+            }
         }
         out
     }
@@ -1041,6 +1059,9 @@ impl Response {
                 last_lsn: c.get_u64()?,
                 losers_undone: c.get_u64()?,
             },
+            RESP_TRACE_DUMP => Response::TraceDump {
+                jsonl: c.get_string()?,
+            },
             _ => return None,
         };
         c.finish(resp)
@@ -1119,6 +1140,7 @@ mod tests {
                 role: Role::Replica,
             },
             Request::Promote,
+            Request::TraceDump,
         ]
     }
 
@@ -1212,6 +1234,9 @@ mod tests {
             Response::Promoted {
                 last_lsn: 9_999,
                 losers_undone: 3,
+            },
+            Response::TraceDump {
+                jsonl: "{\"name\":\"server.drain\",\"us\":12}\n".into(),
             },
         ]
     }
@@ -1322,6 +1347,7 @@ mod tests {
                 proto_version: 1,
                 role: Role::Primary,
             },
+            Request::TraceDump,
         ];
         for r in inline {
             assert!(!Request::frame_may_block(&r.encode()), "{r:?}");
