@@ -1,0 +1,147 @@
+//! E21: what causal tracing costs on the request path. Every server
+//! request installs a trace context and opens a request span; under a
+//! sampled trace the WAL append also tags records for cross-process
+//! propagation. This experiment reproduces exactly that per-request
+//! wrapping around the E1 DML workload and interleaves three arms:
+//!
+//! * **off** — trace recording disabled (`set_recording(false)`): the
+//!   span guards and context installs still run, the ring never sees
+//!   an event. The floor.
+//! * **unsampled** — recording on, head-based sampling set to keep one
+//!   trace in a million: contexts are minted and checked, but span
+//!   commits and WAL tags short-circuit on the sampled bit. The
+//!   steady-state production arm when sampling is dialled down.
+//! * **sampled** — sampling keeps every trace (the default): every op
+//!   records its request span and tags its WAL records.
+//!
+//! The smoke run asserts the *sampled* arm stays inside the same
+//! generous noise budget E17 applies to the metrics registry — the
+//! tracing path is a thread-local install, one ring push, and one
+//! bounded-deque tag per op, so regressions that add a lock or an
+//! allocation show up long before the budget does.
+
+use crate::report::{f2, pct, Table};
+use crate::workload::{bench_config, seed_table, TABLE};
+use mohan_oib::schema::Record;
+use mohan_oib::Db;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Same budget as E17's registry arm: sampled tracing must keep at
+/// least this fraction of the recording-off throughput.
+const MIN_KEPT_FRACTION: f64 = 0.65;
+
+const ARMS: [&str; 3] = ["off", "unsampled", "sampled"];
+
+/// Configure the global tracing state for one arm.
+fn arm_enter(arm: &str) {
+    match arm {
+        "off" => {
+            mohan_obs::set_recording(false);
+            mohan_obs::set_trace_sampling(1);
+        }
+        "unsampled" => {
+            mohan_obs::set_recording(true);
+            mohan_obs::set_trace_sampling(1_000_000);
+        }
+        "sampled" => {
+            mohan_obs::set_recording(true);
+            mohan_obs::set_trace_sampling(1);
+        }
+        other => unreachable!("unknown arm {other}"),
+    }
+}
+
+/// One churn round: two threads of auto-commit inserts, each op
+/// wrapped the way `mohan-server` wraps a request — fresh trace
+/// context installed, a request span opened and committed around the
+/// engine call.
+fn traced_round(rows: i64, seed: u64, window: Duration) -> u64 {
+    let (db, _rids) = seed_table(bench_config(), rows, seed);
+    let stop = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = (0..2)
+        .map(|w| {
+            let db: Arc<Db> = Arc::clone(&db);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut key = 10_000_000 * (i64::from(w) + 1);
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let _scope = mohan_obs::install_ctx(mohan_obs::ctx_for(0));
+                    let span = db.obs.trace().span("wire.recv", "Insert");
+                    let tx = db.begin();
+                    db.insert_record(tx, TABLE, &Record(vec![key, 0]))
+                        .expect("churn insert");
+                    db.commit(tx).expect("churn commit");
+                    span.commit();
+                    key += 1;
+                    ops += 1;
+                }
+                ops
+            })
+        })
+        .collect();
+    std::thread::sleep(window);
+    stop.store(true, Ordering::Release);
+    workers.into_iter().map(|h| h.join().unwrap()).sum()
+}
+
+/// E21: per-request tracing overhead, three interleaved arms.
+pub fn e21_tracing(quick: bool) -> Vec<Table> {
+    let rows = super::scaled(if quick { 10_000 } else { 30_000 });
+    let window = Duration::from_millis(if quick { 200 } else { 600 });
+    const ROUNDS: u64 = 3;
+
+    let mut ops = [0u64; ARMS.len()];
+    for round in 0..ROUNDS {
+        // Interleave arms within each round so machine drift lands on
+        // all three equally.
+        for (i, arm) in ARMS.iter().enumerate() {
+            arm_enter(arm);
+            ops[i] += traced_round(rows, 21 + round, window);
+        }
+    }
+    // Restore the defaults whatever arm ran last.
+    mohan_obs::set_recording(true);
+    mohan_obs::set_trace_sampling(1);
+
+    let tp = |o: u64| o as f64 / (ROUNDS as f64 * window.as_secs_f64());
+    let tp_off = tp(ops[0]);
+
+    let mut t = Table::new(
+        "E21: causal-tracing overhead on the request path",
+        &["arm", "rounds", "ops/s", "vs recording off"],
+    );
+    for (i, arm) in ARMS.iter().enumerate() {
+        let tp_arm = tp(ops[i]);
+        t.row(vec![
+            (*arm).into(),
+            ROUNDS.to_string(),
+            f2(tp_arm),
+            pct(tp_arm / tp_off.max(1e-9)),
+        ]);
+    }
+    t.note(
+        "Each op installs a trace context and commits a request span, \
+         mirroring the server's per-request wrapping; 'sampled' also \
+         tags every WAL record for replica propagation.",
+    );
+    t.note(format!(
+        "Budget: the sampled arm must keep >= {:.0}% of the \
+         recording-off throughput (same noise budget as E17).",
+        MIN_KEPT_FRACTION * 100.0
+    ));
+    if quick {
+        let kept = tp(ops[2]) / tp_off.max(1e-9);
+        assert!(
+            kept >= MIN_KEPT_FRACTION,
+            "sampled tracing overhead over budget: kept {:.1}% < {:.1}% \
+             (sampled {:.0} ops/s vs off {tp_off:.0} ops/s)",
+            kept * 100.0,
+            MIN_KEPT_FRACTION * 100.0,
+            tp(ops[2]),
+        );
+    }
+    vec![t]
+}

@@ -85,7 +85,10 @@ fn render(report: &MetricsReport, frame: u64, clear: bool) {
     // Only a replication follower registers repl.* gauges; on a
     // primary the header stays unchanged.
     if let Some(lag) = report.counter("repl.lag_lsn") {
-        out.push_str(&format!("   repl lag {lag} lsn"));
+        out.push_str(&format!(
+            "   repl lag {lag} lsn (queue {})",
+            report.counter("repl.queue_depth").unwrap_or(0),
+        ));
     }
     out.push('\n');
     out.push_str(&format!(

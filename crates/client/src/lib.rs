@@ -134,6 +134,10 @@ pub struct Promoted {
 /// One blocking connection to the server.
 pub struct Client {
     stream: TcpStream,
+    /// When set, every request ships inside a trace envelope carrying
+    /// this id, and the server threads it through everything the
+    /// request causes — down to replica apply on a follower.
+    trace_id: Option<u64>,
 }
 
 impl Client {
@@ -141,7 +145,10 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> ClientResult<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Client { stream })
+        Ok(Client {
+            stream,
+            trace_id: None,
+        })
     }
 
     /// Bound how long a single response read may block. `None`
@@ -151,9 +158,23 @@ impl Client {
         Ok(())
     }
 
+    /// Attach a trace id to every subsequent request on this
+    /// connection (`None` stops attaching). The server adopts the id
+    /// as the request's causal trace — sampled or not by its
+    /// configured rate — so a client can later fetch the whole span
+    /// tree with [`Client::trace_dump`]. A zero id is treated as
+    /// unset server-side (the server generates its own).
+    pub fn set_trace_id(&mut self, trace_id: Option<u64>) {
+        self.trace_id = trace_id;
+    }
+
     fn send(&mut self, req: &Request) -> ClientResult<()> {
+        let payload = match self.trace_id {
+            Some(id) => mohan_wire::message::encode_traced(id, req),
+            None => req.encode(),
+        };
         let mut w = BufWriter::new(&mut self.stream);
-        write_frame(&mut w, &req.encode())?;
+        write_frame(&mut w, &payload)?;
         w.flush()?;
         Ok(())
     }
@@ -332,9 +353,15 @@ impl Client {
     }
 
     /// Dump the server's span trace ring as JSON lines (one completed
-    /// span per line, newest last).
-    pub fn trace_dump(&mut self) -> ClientResult<String> {
-        match self.expect(&Request::TraceDump)? {
+    /// span per line, newest last). `trace_id` restricts the dump to
+    /// one trace (0 = all traces); `since_seq` skips events below
+    /// that ring sequence number (0 = from the oldest retained) —
+    /// resume tailing from the last `seq` seen.
+    pub fn trace_dump(&mut self, trace_id: u64, since_seq: u64) -> ClientResult<String> {
+        match self.expect(&Request::TraceDump {
+            trace_id,
+            since_seq,
+        })? {
             Response::TraceDump { jsonl } => Ok(jsonl),
             other => Self::protocol("TraceDump", &other),
         }
@@ -380,14 +407,16 @@ impl Client {
     /// (1-based; `applied + 1` on reconnect). The server ships batched
     /// frames covering only the *flushed* prefix of its log; empty
     /// frames are heartbeats carrying the advancing flushed LSN.
-    /// `on_frame` receives the primary's flushed LSN and the decoded
-    /// records; returning `false` ends the stream by disconnecting
-    /// (the protocol's way to unsubscribe — hence the method consumes
-    /// the client).
+    /// `on_frame` receives the primary's flushed LSN, the decoded
+    /// records, and the frame's trace tags (`(lsn, trace_id)` pairs
+    /// naming which records were appended under a sampled trace —
+    /// usually empty); returning `false` ends the stream by
+    /// disconnecting (the protocol's way to unsubscribe — hence the
+    /// method consumes the client).
     pub fn subscribe_wal(
         mut self,
         from_lsn: u64,
-        mut on_frame: impl FnMut(u64, Vec<mohan_wal::LogRecord>) -> bool,
+        mut on_frame: impl FnMut(u64, Vec<mohan_wal::LogRecord>, Vec<(u64, u64)>) -> bool,
     ) -> ClientResult<()> {
         self.send(&Request::SubscribeWal { from_lsn })?;
         loop {
@@ -396,11 +425,12 @@ impl Client {
                     flushed,
                     count,
                     records,
+                    traces,
                 } => {
                     let Some(records) = mohan_wal::decode_records(&records, count as usize) else {
                         return Err(ClientError::Protocol("undecodable WAL records".into()));
                     };
-                    if !on_frame(flushed, records) {
+                    if !on_frame(flushed, records, traces) {
                         return Ok(()); // drop disconnects
                     }
                 }

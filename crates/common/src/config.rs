@@ -121,6 +121,18 @@ pub const IO_BACKEND_ENV: &str = "MOHAN_IO_BACKEND";
 /// `ServerConfig::default`.
 pub const PG_PORT_ENV: &str = "MOHAN_PG_PORT";
 
+/// Environment variable enabling the server's HTTP sidecar listener
+/// (`/metrics`, `/healthz`, `/readyz`). Same address spelling as
+/// [`PG_PORT_ENV`]: a bare port binds `127.0.0.1:<port>`, a value
+/// containing `:` is the full bind address. Read by
+/// `ServerConfig::default`.
+pub const HTTP_PORT_ENV: &str = "MOHAN_HTTP_PORT";
+
+/// Environment variable setting the head-based trace sampling rate:
+/// keep one trace in `N` (`0`/`1` keep every trace). Read by
+/// `ServerConfig::default` and applied process-wide at server start.
+pub const TRACE_SAMPLE_ENV: &str = "MOHAN_TRACE_SAMPLE";
+
 /// Which I/O readiness backend the server's connection layer uses.
 ///
 /// Lives in `mohan-common` (not the server crate) so binaries and

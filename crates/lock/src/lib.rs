@@ -25,10 +25,10 @@
 
 use mohan_common::stats::Counter;
 use mohan_common::{Error, Result, Rid, TableId, TxId};
-use mohan_obs::Histogram;
+use mohan_obs::{Histogram, TraceSink};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Lock modes. `IX` is the intent mode update transactions hold on a
@@ -171,6 +171,10 @@ pub struct LockManager {
     table: Mutex<HashMap<LockName, Arc<LockEntry>>>,
     held: Mutex<HashMap<TxId, Vec<LockName>>>,
     timeout: Duration,
+    /// Trace ring for `lock.wait` spans — which trace waited, on what
+    /// resource, for how long. Set once by the engine's observability
+    /// registration; absent in bare unit tests.
+    trace_sink: OnceLock<Arc<TraceSink>>,
     /// Event counters.
     pub stats: LockStats,
 }
@@ -183,7 +187,31 @@ impl LockManager {
             table: Mutex::new(HashMap::new()),
             held: Mutex::new(HashMap::new()),
             timeout,
+            trace_sink: OnceLock::new(),
             stats: LockStats::default(),
+        }
+    }
+
+    /// Adopt the trace ring `lock.wait` spans record into. Set once at
+    /// engine construction; later calls are ignored.
+    pub fn set_trace_sink(&self, sink: Arc<TraceSink>) {
+        let _ = self.trace_sink.set(sink);
+    }
+
+    /// Record a finished lock wait as a span of the current sampled
+    /// trace (detail 1 = the wait timed out). Guarded on the context
+    /// so untraced waits cost one thread-local read, and do not churn
+    /// the bounded ring.
+    fn trace_wait(&self, name: &LockName, started: Instant, timed_out: bool) {
+        if mohan_obs::current_ctx().is_some_and(|c| c.sampled) {
+            if let Some(sink) = self.trace_sink.get() {
+                sink.span_event(
+                    "lock.wait",
+                    name.to_string(),
+                    started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+                    u64::from(timed_out),
+                );
+            }
         }
     }
 
@@ -217,6 +245,7 @@ impl LockManager {
                     entry.cv.notify_all();
                     self.stats.timeouts.bump();
                     self.stats.wait_us.record_micros(started.elapsed());
+                    self.trace_wait(&name, started, true);
                     return Err(Error::LockTimeout {
                         tx,
                         name: name.to_string(),
@@ -226,6 +255,7 @@ impl LockManager {
             st.dequeue(ticket);
             entry.cv.notify_all();
             self.stats.wait_us.record_micros(started.elapsed());
+            self.trace_wait(&name, started, false);
         }
         st.grant(tx, mode);
         drop(st);
@@ -283,6 +313,7 @@ impl LockManager {
                     entry.cv.notify_all();
                     self.stats.timeouts.bump();
                     self.stats.wait_us.record_micros(started.elapsed());
+                    self.trace_wait(&name, started, true);
                     return Err(Error::LockTimeout {
                         tx,
                         name: name.to_string(),
@@ -292,6 +323,7 @@ impl LockManager {
             st.dequeue(ticket);
             entry.cv.notify_all();
             self.stats.wait_us.record_micros(started.elapsed());
+            self.trace_wait(&name, started, false);
         }
         Ok(())
     }
@@ -461,6 +493,53 @@ mod tests {
         m.lock(TxId(1), rec(1), LockMode::X).unwrap();
         m.crash();
         assert!(m.try_lock(TxId(2), rec(1), LockMode::X).is_ok());
+    }
+
+    #[test]
+    fn waits_under_sampled_ctx_record_lock_wait_spans() {
+        let m = Arc::new(mgr());
+        let sink = Arc::new(TraceSink::new(32));
+        m.set_trace_sink(Arc::clone(&sink));
+        m.lock(TxId(1), rec(1), LockMode::X).unwrap();
+        let m2 = Arc::clone(&m);
+        let h = thread::spawn(move || {
+            let _g = mohan_obs::install_ctx(mohan_obs::TraceCtx {
+                trace_id: 0x77,
+                span_id: 0,
+                sampled: true,
+            });
+            m2.lock(TxId(2), rec(1), LockMode::X)
+        });
+        thread::sleep(Duration::from_millis(20));
+        m.release_all(TxId(1));
+        h.join().unwrap().unwrap();
+        let evs: Vec<_> = sink
+            .events()
+            .into_iter()
+            .filter(|e| e.kind == "lock.wait")
+            .collect();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].trace_id, 0x77);
+        assert_eq!(evs[0].detail, 0); // granted, not timed out
+        assert!(evs[0].dur_us >= 10_000);
+        assert!(evs[0].label.contains("record"));
+        // A timeout wait tags detail 1.
+        m.lock(TxId(3), rec(2), LockMode::X).unwrap();
+        {
+            let _g = mohan_obs::install_ctx(mohan_obs::TraceCtx {
+                trace_id: 0x78,
+                span_id: 0,
+                sampled: true,
+            });
+            assert!(m.lock(TxId(4), rec(2), LockMode::X).is_err());
+        }
+        let timed: Vec<_> = sink
+            .events()
+            .into_iter()
+            .filter(|e| e.kind == "lock.wait" && e.trace_id == 0x78)
+            .collect();
+        assert_eq!(timed.len(), 1);
+        assert_eq!(timed[0].detail, 1);
     }
 
     #[test]

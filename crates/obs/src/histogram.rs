@@ -223,6 +223,26 @@ impl HistogramSnapshot {
         let idx = bucket_of(v);
         (bucket_lower(idx), bucket_upper(idx))
     }
+
+    /// Cumulative distribution as `(upper_bound, cumulative_count)`
+    /// pairs, one per *occupied* bucket — the exact OpenMetrics `le`
+    /// series for this log-linear histogram (empty buckets add no
+    /// information to a cumulative series, so they are elided and the
+    /// exposition stays compact without losing precision). The final
+    /// pair's count equals [`count`](HistogramSnapshot::count); an
+    /// exporter still appends its own `+Inf` bucket.
+    #[must_use]
+    pub fn cumulative(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            if n > 0 {
+                seen += n;
+                out.push((bucket_upper(idx), seen));
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -341,6 +361,26 @@ mod tests {
         assert_eq!(s.sum, expect_sum);
         assert_eq!(s.buckets.iter().sum::<u64>(), THREADS * PER);
         assert!(s.max < 1_000_003);
+    }
+
+    #[test]
+    fn cumulative_elides_empty_buckets_and_sums_to_count() {
+        let h = Histogram::new();
+        for v in [3u64, 3, 100, 5000, 5000, 5000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let c = s.cumulative();
+        assert_eq!(c.len(), 3); // three occupied buckets
+                                // Monotone uppers, monotone cumulative counts, total = count.
+        for w in c.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(c.last().unwrap().1, s.count);
+        // Each observed value is <= the upper of the pair it lands in.
+        assert!(c[0].0 >= 3 && c[0].1 == 2);
+        assert!(HistogramSnapshot::empty().cumulative().is_empty());
     }
 
     proptest! {

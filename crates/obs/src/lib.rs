@@ -28,13 +28,18 @@
 
 #![warn(missing_docs)]
 
+mod ctx;
 mod histogram;
 mod registry;
 mod trace;
 
+pub use ctx::{
+    ctx_for, current_ctx, install_ctx, new_trace_id, next_span_id, set_trace_sampling, splitmix64,
+    trace_sampled, trace_sampling, CtxGuard, TraceCtx,
+};
 pub use histogram::{Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
 pub use registry::{MetricsSnapshot, Registry};
-pub use trace::{SpanGuard, TraceEvent, TraceSink};
+pub use trace::{render_span_tree, SpanGuard, TraceEvent, TraceSink};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

@@ -24,7 +24,7 @@ pub struct Registry {
     counters: RwLock<BTreeMap<String, Arc<Counter>>>,
     gauges: RwLock<BTreeMap<String, GaugeFn>>,
     hists: RwLock<BTreeMap<String, Vec<Arc<Histogram>>>>,
-    trace: TraceSink,
+    trace: Arc<TraceSink>,
 }
 
 impl std::fmt::Debug for Registry {
@@ -58,7 +58,7 @@ impl Registry {
             counters: RwLock::new(BTreeMap::new()),
             gauges: RwLock::new(BTreeMap::new()),
             hists: RwLock::new(BTreeMap::new()),
-            trace: TraceSink::new(trace_capacity),
+            trace: Arc::new(TraceSink::new(trace_capacity)),
         }
     }
 
@@ -114,6 +114,14 @@ impl Registry {
         &self.trace
     }
 
+    /// Owned handle to the trace ring, for subsystems that cannot
+    /// hold the registry itself (the lock manager and WAL record
+    /// into the ring without depending on this crate's namespace).
+    #[must_use]
+    pub fn trace_handle(&self) -> Arc<TraceSink> {
+        Arc::clone(&self.trace)
+    }
+
     /// Point-in-time snapshot of everything, names sorted.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -123,7 +131,11 @@ impl Registry {
             .iter()
             .map(|(n, c)| (n.clone(), c.get()))
             .collect();
-        counters.extend(self.gauges.read().iter().map(|(n, f)| (n.clone(), f())));
+        let mut gauge_names: Vec<String> = Vec::new();
+        for (n, f) in self.gauges.read().iter() {
+            gauge_names.push(n.clone());
+            counters.push((n.clone(), f()));
+        }
         counters.sort_by(|a, b| a.0.cmp(&b.0));
         let histograms: Vec<(String, HistogramSnapshot)> = self
             .hists
@@ -139,6 +151,7 @@ impl Registry {
             .collect();
         MetricsSnapshot {
             counters,
+            gauge_names,
             histograms,
         }
     }
@@ -151,6 +164,11 @@ impl Registry {
 pub struct MetricsSnapshot {
     /// `(name, value)` for every counter and gauge.
     pub counters: Vec<(String, u64)>,
+    /// Which of `counters` are gauges (point-in-time reads rather
+    /// than monotone counts) — exporters that distinguish metric
+    /// types (OpenMetrics) consult this; everything else ignores it.
+    /// Sorted by name.
+    pub gauge_names: Vec<String>,
     /// `(name, merged distribution)` for every histogram name.
     pub histograms: Vec<(String, HistogramSnapshot)>,
 }
@@ -163,6 +181,14 @@ impl MetricsSnapshot {
             .binary_search_by(|(n, _)| n.as_str().cmp(name))
             .ok()
             .map(|i| self.counters[i].1)
+    }
+
+    /// Whether `name` was registered as a gauge (vs a counter).
+    #[must_use]
+    pub fn is_gauge(&self, name: &str) -> bool {
+        self.gauge_names
+            .binary_search_by(|n| n.as_str().cmp(name))
+            .is_ok()
     }
 
     /// Distribution of the histogram named `name`.

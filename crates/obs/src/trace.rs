@@ -9,11 +9,20 @@
 //! when full. Events carry a global sequence number so a merged dump
 //! reads in record order.
 //!
+//! Events are causal: when a [`TraceCtx`](crate::TraceCtx) is
+//! installed on the recording thread, every event inherits its trace
+//! id and links to the innermost open span as its parent, and spans
+//! opened via [`TraceSink::span`] install themselves as the current
+//! parent for their scope. Unsampled traces record nothing (the
+//! context still propagates). Events recorded with no context remain
+//! plain ring entries with zero ids, exactly as before.
+//!
 //! Two producers exist: explicit [`TraceSink::event`] calls (build
 //! phase transitions) and [`TraceSink::span`] guards that measure a
 //! scoped duration and record on drop (slow requests — the caller
 //! decides the threshold via [`SpanGuard::commit_if_over`]).
 
+use crate::ctx::{current_ctx, install_ctx, next_span_id, CtxGuard, TraceCtx};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -29,6 +38,12 @@ pub struct TraceEvent {
     pub seq: u64,
     /// Microseconds since the sink was created.
     pub at_us: u64,
+    /// Trace this event belongs to (0 = recorded outside any trace).
+    pub trace_id: u64,
+    /// This event's own span id (0 when recorded outside any trace).
+    pub span_id: u64,
+    /// Span id of the enclosing span (0 = root of its trace).
+    pub parent_id: u64,
     /// Event kind, e.g. `"build.phase"` or `"server.slow_request"`.
     pub kind: &'static str,
     /// Instance label, e.g. `"sf.drain.pass"` or an opcode name.
@@ -44,9 +59,12 @@ impl TraceEvent {
     #[must_use]
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"seq\":{},\"at_us\":{},\"kind\":\"{}\",\"label\":\"{}\",\"dur_us\":{},\"detail\":{}}}",
+            "{{\"seq\":{},\"at_us\":{},\"trace\":{},\"span\":{},\"parent\":{},\"kind\":\"{}\",\"label\":\"{}\",\"dur_us\":{},\"detail\":{}}}",
             self.seq,
             self.at_us,
+            self.trace_id,
+            self.span_id,
+            self.parent_id,
             json_escape(self.kind),
             json_escape(&self.label),
             self.dur_us,
@@ -108,7 +126,9 @@ impl TraceSink {
     }
 
     /// Record a point event (no duration). A no-op while recording is
-    /// globally disabled.
+    /// globally disabled, and for unsampled traces. Under an installed
+    /// context the event gets its own span id and links to the
+    /// innermost open span.
     pub fn event(&self, kind: &'static str, label: impl Into<String>, detail: u64) {
         self.push(kind, label.into(), 0, detail);
     }
@@ -127,20 +147,55 @@ impl TraceSink {
 
     /// Start a span; the guard records `kind`/`label` with the
     /// measured duration when committed (or dropped, for
-    /// [`SpanGuard::commit`]-style unconditional spans).
+    /// [`SpanGuard::commit`]-style unconditional spans). While a
+    /// trace context is installed, the span allocates its own span id
+    /// and becomes the current parent for its scope — events and
+    /// child spans recorded inside link to it.
     #[must_use]
     pub fn span<'a>(&'a self, kind: &'static str, label: impl Into<String>) -> SpanGuard<'a> {
+        let (ids, scope) = match current_ctx() {
+            Some(c) if c.sampled => {
+                let own = next_span_id();
+                let scope = install_ctx(TraceCtx {
+                    trace_id: c.trace_id,
+                    span_id: own,
+                    sampled: true,
+                });
+                (Some((c.trace_id, own, c.span_id)), Some(scope))
+            }
+            // Unsampled trace: propagate nothing, record nothing.
+            Some(_) => (None, None),
+            None => (Some((0, 0, 0)), None),
+        };
         SpanGuard {
             sink: self,
             kind,
             label: label.into(),
             detail: 0,
             started: Instant::now(),
-            armed: true,
+            armed: ids.is_some(),
+            ids: ids.unwrap_or((0, 0, 0)),
+            _scope: scope,
         }
     }
 
     fn push(&self, kind: &'static str, label: String, dur_us: u64, detail: u64) {
+        let (trace_id, span_id, parent_id) = match current_ctx() {
+            Some(c) if !c.sampled => return,
+            Some(c) => (c.trace_id, next_span_id(), c.span_id),
+            None => (0, 0, 0),
+        };
+        self.push_raw(kind, label, dur_us, detail, (trace_id, span_id, parent_id));
+    }
+
+    fn push_raw(
+        &self,
+        kind: &'static str,
+        label: String,
+        dur_us: u64,
+        detail: u64,
+        (trace_id, span_id, parent_id): (u64, u64, u64),
+    ) {
         if !crate::recording_enabled() {
             return;
         }
@@ -149,6 +204,9 @@ impl TraceSink {
         let ev = TraceEvent {
             seq,
             at_us,
+            trace_id,
+            span_id,
+            parent_id,
             kind,
             label,
             dur_us,
@@ -164,9 +222,23 @@ impl TraceSink {
     /// All retained events, merged across shards in record order.
     #[must_use]
     pub fn events(&self) -> Vec<TraceEvent> {
+        self.events_filtered(0, 0)
+    }
+
+    /// Retained events matching the filter, merged in record order.
+    /// `trace_id == 0` matches every trace (including untraced
+    /// events); `since_seq` drops events numbered below it.
+    #[must_use]
+    pub fn events_filtered(&self, trace_id: u64, since_seq: u64) -> Vec<TraceEvent> {
         let mut all: Vec<TraceEvent> = Vec::new();
         for shard in &self.shards {
-            all.extend(shard.lock().iter().cloned());
+            all.extend(
+                shard
+                    .lock()
+                    .iter()
+                    .filter(|e| e.seq >= since_seq && (trace_id == 0 || e.trace_id == trace_id))
+                    .cloned(),
+            );
         }
         all.sort_by_key(|e| e.seq);
         all
@@ -175,8 +247,15 @@ impl TraceSink {
     /// Retained events as JSON-lines (one object per line).
     #[must_use]
     pub fn dump_jsonl(&self) -> String {
+        self.dump_jsonl_filtered(0, 0)
+    }
+
+    /// Filtered events ([`events_filtered`](Self::events_filtered)
+    /// semantics) as JSON-lines.
+    #[must_use]
+    pub fn dump_jsonl_filtered(&self, trace_id: u64, since_seq: u64) -> String {
         let mut out = String::new();
-        for ev in self.events() {
+        for ev in self.events_filtered(trace_id, since_seq) {
             out.push_str(&ev.to_json());
             out.push('\n');
         }
@@ -191,11 +270,60 @@ impl TraceSink {
     }
 }
 
+/// Render events as an indented span forest, children under parents in
+/// record order. Events whose parent is absent (evicted from the ring,
+/// or a remote continuation whose parent span lives in another
+/// process) become roots — a cross-process trace renders as a forest
+/// with the follower's apply spans as sibling roots of the primary's
+/// request span.
+#[must_use]
+pub fn render_span_tree(events: &[TraceEvent]) -> String {
+    use std::collections::{HashMap, HashSet};
+    // Map each present span id to its event index (span_id 0 events
+    // are untraced or pre-context; they render as roots).
+    let mut by_span: HashMap<u64, usize> = HashMap::new();
+    for (i, e) in events.iter().enumerate() {
+        if e.span_id != 0 {
+            by_span.insert(e.span_id, i);
+        }
+    }
+    let mut children: HashMap<usize, Vec<usize>> = HashMap::new();
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        match by_span.get(&e.parent_id) {
+            Some(&p) if e.parent_id != 0 && p != i => children.entry(p).or_default().push(i),
+            _ => roots.push(i),
+        }
+    }
+    let mut out = String::new();
+    let mut seen: HashSet<usize> = HashSet::new();
+    let mut stack: Vec<(usize, usize)> = roots.into_iter().rev().map(|i| (i, 0)).collect();
+    while let Some((i, depth)) = stack.pop() {
+        if !seen.insert(i) {
+            continue; // defensive: a parent cycle can't recurse
+        }
+        let e = &events[i];
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&format!(
+            "{} {} trace={:#x} span={} dur_us={} detail={}\n",
+            e.kind, e.label, e.trace_id, e.span_id, e.dur_us, e.detail
+        ));
+        if let Some(kids) = children.get(&i) {
+            for &k in kids.iter().rev() {
+                stack.push((k, depth + 1));
+            }
+        }
+    }
+    out
+}
+
 /// Measures a scope's duration for a [`TraceSink`]; records on
 /// [`commit`](SpanGuard::commit) or
 /// [`commit_if_over`](SpanGuard::commit_if_over). Dropping without
 /// committing records nothing, so speculative spans on hot paths cost
-/// one `Instant::now()` when they turn out fast.
+/// one `Instant::now()` when they turn out fast. While alive, the
+/// guard is the current parent span for its thread (restored on
+/// drop), so it must be dropped on the thread that created it.
 pub struct SpanGuard<'a> {
     sink: &'a TraceSink,
     kind: &'static str,
@@ -203,6 +331,11 @@ pub struct SpanGuard<'a> {
     detail: u64,
     started: Instant,
     armed: bool,
+    /// `(trace_id, own span id, parent span id)` captured at open.
+    ids: (u64, u64, u64),
+    /// Keeps this span installed as the thread's current parent;
+    /// dropping the guard restores the enclosing context.
+    _scope: Option<CtxGuard>,
 }
 
 impl SpanGuard<'_> {
@@ -211,6 +344,12 @@ impl SpanGuard<'_> {
     pub fn with_detail(mut self, detail: u64) -> Self {
         self.detail = detail;
         self
+    }
+
+    /// This span's id (0 when recorded outside any sampled trace).
+    #[must_use]
+    pub fn span_id(&self) -> u64 {
+        self.ids.1
     }
 
     /// Elapsed time since the span started.
@@ -242,11 +381,12 @@ impl SpanGuard<'_> {
         if self.armed {
             self.armed = false;
             let dur_us = d.as_micros().min(u128::from(u64::MAX)) as u64;
-            self.sink.push(
+            self.sink.push_raw(
                 self.kind,
                 std::mem::take(&mut self.label),
                 dur_us,
                 self.detail,
+                self.ids,
             );
         }
     }
@@ -255,6 +395,17 @@ impl SpanGuard<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ctx::{ctx_for, install_ctx, new_trace_id, TEST_SAMPLING_LOCK};
+
+    /// A root context that is always sampled, regardless of whatever
+    /// global rate a concurrently running test may have set.
+    fn test_ctx() -> TraceCtx {
+        TraceCtx {
+            trace_id: new_trace_id(),
+            span_id: 0,
+            sampled: true,
+        }
+    }
 
     #[test]
     fn events_come_back_in_record_order() {
@@ -269,6 +420,8 @@ mod tests {
             assert_eq!(ev.label, format!("phase-{i}"));
             assert_eq!(ev.detail, i as u64);
             assert_eq!(ev.dur_us, 0);
+            assert_eq!(ev.trace_id, 0);
+            assert_eq!(ev.span_id, 0);
         }
     }
 
@@ -343,6 +496,206 @@ mod tests {
         let evs = sink.events();
         assert_eq!(evs.len(), 2000);
         // seq strictly increasing in merged output.
+        for w in evs.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
+    }
+
+    #[test]
+    fn events_under_a_context_inherit_trace_and_parent() {
+        let sink = TraceSink::new(32);
+        let ctx = test_ctx();
+        let _g = install_ctx(ctx);
+        let span = sink.span("wire.recv", "CreateIndex");
+        let parent = span.span_id();
+        assert_ne!(parent, 0);
+        sink.event("build.phase", "scan", 1);
+        let _ = span.commit();
+        let evs = sink.events_filtered(ctx.trace_id, 0);
+        assert_eq!(evs.len(), 2);
+        let phase = evs.iter().find(|e| e.kind == "build.phase").unwrap();
+        assert_eq!(phase.trace_id, ctx.trace_id);
+        assert_eq!(phase.parent_id, parent);
+        assert_ne!(phase.span_id, 0);
+        let recv = evs.iter().find(|e| e.kind == "wire.recv").unwrap();
+        assert_eq!(recv.span_id, parent);
+        assert_eq!(recv.parent_id, 0); // root of its trace
+    }
+
+    #[test]
+    fn nested_spans_link_and_restore_parent() {
+        let sink = TraceSink::new(32);
+        let ctx = test_ctx();
+        let _g = install_ctx(ctx);
+        let outer = sink.span("a", "outer");
+        let outer_id = outer.span_id();
+        let inner = sink.span("b", "inner");
+        let inner_id = inner.span_id();
+        let _ = inner.commit();
+        // Inner's guard dropped → outer is the parent again.
+        sink.event("c", "sibling", 0);
+        let _ = outer.commit();
+        let evs = sink.events_filtered(ctx.trace_id, 0);
+        let find = |k: &str| evs.iter().find(|e| e.kind == k).unwrap();
+        assert_eq!(find("b").parent_id, outer_id);
+        assert_eq!(find("b").span_id, inner_id);
+        assert_eq!(find("c").parent_id, outer_id);
+        assert_eq!(find("a").parent_id, 0);
+    }
+
+    #[test]
+    fn unsampled_traces_record_nothing_but_sampled_ones_do() {
+        let _lock = TEST_SAMPLING_LOCK.lock().unwrap();
+        let sink = TraceSink::new(64);
+        crate::set_trace_sampling(2);
+        // Find one kept and one dropped id at this rate; ctx_for then
+        // applies the same deterministic verdict.
+        let (keep_id, drop_id) = loop {
+            let a = new_trace_id();
+            let b = new_trace_id();
+            match (crate::trace_sampled(a), crate::trace_sampled(b)) {
+                (true, false) => break (a, b),
+                (false, true) => break (b, a),
+                _ => {}
+            }
+        };
+        {
+            let _g = install_ctx(ctx_for(drop_id));
+            sink.event("k", "dropped", 1);
+            let s = sink.span("k", "dropped-span");
+            let _ = s.commit();
+        }
+        {
+            let _g = install_ctx(ctx_for(keep_id));
+            sink.event("k", "kept", 1);
+        }
+        crate::set_trace_sampling(0);
+        let evs = sink.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].label, "kept");
+        assert_eq!(evs[0].trace_id, keep_id);
+    }
+
+    #[test]
+    fn filtered_dump_honours_trace_and_since() {
+        let sink = TraceSink::new(64);
+        let a = test_ctx();
+        let b = test_ctx();
+        {
+            let _g = install_ctx(a);
+            sink.event("k", "a1", 0);
+        }
+        {
+            let _g = install_ctx(b);
+            sink.event("k", "b1", 0);
+        }
+        {
+            let _g = install_ctx(a);
+            sink.event("k", "a2", 0);
+        }
+        let only_a = sink.events_filtered(a.trace_id, 0);
+        assert_eq!(only_a.len(), 2);
+        assert!(only_a.iter().all(|e| e.trace_id == a.trace_id));
+        let since = sink.events_filtered(0, 2);
+        assert_eq!(since.len(), 1);
+        assert_eq!(since[0].label, "a2");
+        let dump = sink.dump_jsonl_filtered(b.trace_id, 0);
+        assert_eq!(dump.lines().count(), 1);
+        assert!(dump.contains("\"label\":\"b1\""));
+    }
+
+    #[test]
+    fn span_tree_renders_forest_with_orphans_as_roots() {
+        let sink = TraceSink::new(64);
+        let ctx = test_ctx();
+        {
+            let _g = install_ctx(ctx);
+            let outer = sink.span("wire.recv", "CreateIndex");
+            sink.event("build.phase", "scan", 1);
+            let inner = sink.span("wal.flush", "group");
+            let _ = inner.commit();
+            let _ = outer.commit();
+        }
+        // A remote continuation: same trace, parent span unknown here.
+        {
+            let _g = install_ctx(ctx);
+            sink.event("repl.apply", "frame", 3);
+        }
+        let evs = sink.events_filtered(ctx.trace_id, 0);
+        let tree = render_span_tree(&evs);
+        let lines: Vec<&str> = tree.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let depth = |l: &str| l.len() - l.trim_start().len();
+        let at = |k: &str| lines.iter().find(|l| l.contains(k)).copied().unwrap();
+        assert_eq!(depth(at("wire.recv")), 0);
+        assert_eq!(depth(at("build.phase")), 2);
+        assert_eq!(depth(at("wal.flush")), 2);
+        // repl.apply's parent is the root ctx (span 0) → sibling root.
+        assert_eq!(depth(at("repl.apply")), 0);
+    }
+
+    #[test]
+    fn parent_child_links_survive_ring_wrap() {
+        // Satellite: after the ring wraps, surviving children whose
+        // parent was evicted render as roots and keep their ids.
+        let sink = TraceSink::new(4);
+        let ctx = test_ctx();
+        let _g = install_ctx(ctx);
+        let outer = sink.span("outer", "o");
+        let outer_id = outer.span_id();
+        for i in 0..16u64 {
+            sink.event("child", format!("c{i}"), i);
+        }
+        let _ = outer.commit();
+        let evs = sink.events_filtered(ctx.trace_id, 0);
+        // Everything retained still carries the right parent id even
+        // though early siblings were evicted.
+        for e in evs.iter().filter(|e| e.kind == "child") {
+            assert_eq!(e.parent_id, outer_id);
+            assert_eq!(e.trace_id, ctx.trace_id);
+        }
+        let tree = render_span_tree(&evs);
+        assert!(tree.contains("outer"));
+        // The outer span survived, so children nest under it.
+        assert!(tree.lines().any(|l| l.starts_with("  child")));
+    }
+
+    #[test]
+    fn concurrent_traced_writers_keep_link_integrity() {
+        // Satellite: many threads, each its own trace, small rings →
+        // constant wrap. Every surviving event must still belong to
+        // its writer's trace and point at that writer's root span.
+        let sink = std::sync::Arc::new(TraceSink::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let sink = std::sync::Arc::clone(&sink);
+                std::thread::spawn(move || {
+                    let ctx = test_ctx();
+                    let _g = install_ctx(ctx);
+                    let root = sink.span("root", "r");
+                    let root_id = root.span_id();
+                    for i in 0..200u64 {
+                        sink.event("w", "e", i);
+                    }
+                    let _ = root.commit();
+                    (ctx.trace_id, root_id)
+                })
+            })
+            .collect();
+        let idents: Vec<(u64, u64)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let evs = sink.events();
+        assert!(!evs.is_empty());
+        for e in &evs {
+            let (trace_id, root_id) = *idents
+                .iter()
+                .find(|(t, _)| *t == e.trace_id)
+                .expect("event from unknown trace");
+            if e.kind == "w" {
+                assert_eq!(e.parent_id, root_id);
+            }
+            assert_eq!(e.trace_id, trace_id);
+        }
+        // seq still strictly increasing in merged output.
         for w in evs.windows(2) {
             assert!(w[0].seq < w[1].seq);
         }

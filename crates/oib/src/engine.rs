@@ -100,6 +100,8 @@ impl Db {
     /// Gauges capture a `Weak<Db>` so the registry (held by long-lived
     /// snapshot consumers) never keeps the engine alive.
     fn register_observability(self: &Arc<Db>) {
+        self.wal.set_trace_sink(self.obs.trace_handle());
+        self.locks.set_trace_sink(self.obs.trace_handle());
         self.obs
             .adopt_histogram("wal.flush_us", Arc::clone(&self.wal.stats.flush_us));
         self.obs.adopt_histogram(

@@ -91,6 +91,10 @@ pub struct PromotionReport {
     pub downtime: Duration,
 }
 
+/// One received frame's records plus its trace tags
+/// (`(lsn, trace_id)` pairs for the sampled traces covering them).
+type TaggedBatch = (Vec<LogRecord>, Vec<(u64, u64)>);
+
 /// A replication follower: owns the local engine's apply position,
 /// the reconnect loop, and the promotion state machine.
 pub struct Replica {
@@ -107,11 +111,12 @@ pub struct Replica {
     stop: AtomicBool,
     /// A frame was received since the last disconnect (resets backoff).
     progressed: AtomicBool,
-    /// Received-but-unapplied record batches. `queued_records` is the
+    /// Received-but-unapplied record batches, each with the frame's
+    /// trace tags (`(lsn, trace_id)` pairs). `queued_records` is the
     /// total record count across them; both are only updated with the
     /// queue lock held so clear-and-stall can never interleave with an
     /// enqueue.
-    queue: Mutex<VecDeque<Vec<LogRecord>>>,
+    queue: Mutex<VecDeque<TaggedBatch>>,
     queued_records: AtomicU64,
     /// Held for the duration of each frame's apply. Promotion takes it
     /// to wait out (and then exclude) the apply thread without joining
@@ -281,8 +286,8 @@ impl Replica {
                     .event("repl.subscribe", addr.clone(), from);
                 let me = Arc::clone(self);
                 let mut expected = from;
-                client.subscribe_wal(from, move |flushed, records| {
-                    me.on_frame(flushed, records, &mut expected)
+                client.subscribe_wal(from, move |flushed, records, traces| {
+                    me.on_frame(flushed, records, traces, &mut expected)
                 })
             });
             if self.stop.load(Ordering::Acquire) {
@@ -407,7 +412,13 @@ impl Replica {
     /// Receive one frame (runs on the receive thread). Returning false
     /// drops the connection; the outer loop resubscribes from
     /// `applied + 1`.
-    fn on_frame(&self, flushed: u64, records: Vec<LogRecord>, expected: &mut u64) -> bool {
+    fn on_frame(
+        &self,
+        flushed: u64,
+        records: Vec<LogRecord>,
+        traces: Vec<(u64, u64)>,
+        expected: &mut u64,
+    ) -> bool {
         if self.stop.load(Ordering::Acquire) || self.apply_stalled.load(Ordering::Acquire) {
             return false;
         }
@@ -443,7 +454,7 @@ impl Replica {
         if self.apply_stalled.load(Ordering::Acquire) {
             return false;
         }
-        q.push_back(records);
+        q.push_back((records, traces));
         self.queued_records.fetch_add(n, Ordering::AcqRel);
         true
     }
@@ -451,7 +462,7 @@ impl Replica {
     /// The apply thread: drain the queue until stopped.
     fn apply_loop(&self) {
         loop {
-            let Some(records) = self.queue.lock().pop_front() else {
+            let Some((records, traces)) = self.queue.lock().pop_front() else {
                 if self.stop.load(Ordering::Acquire) {
                     return;
                 }
@@ -473,6 +484,20 @@ impl Replica {
             let mut last = Lsn::NULL;
             for rec in &records {
                 let t = Instant::now();
+                // A trace tag on this record's LSN means the primary
+                // sampled the originating request: continue the same
+                // trace across the process boundary so one id links
+                // wire receive, WAL flush, and follower apply.
+                let tag = traces.iter().find(|&&(lsn, _)| lsn == rec.lsn.0);
+                let _trace_scope =
+                    tag.map(|&(_, tid)| mohan_obs::install_ctx(mohan_obs::ctx_for(tid)));
+                let apply_span = tag.map(|_| {
+                    self.db
+                        .obs
+                        .trace()
+                        .span("repl.apply", format!("{:?}", rec.kind))
+                        .with_detail(rec.lsn.0)
+                });
                 if let Err(e) = self.apply_record(rec) {
                     self.apply_errors.fetch_add(1, Ordering::Relaxed);
                     self.db
@@ -483,6 +508,9 @@ impl Replica {
                     break;
                 }
                 self.apply_us.record_micros(t.elapsed());
+                if let Some(span) = apply_span {
+                    span.commit();
+                }
                 self.applied.store(rec.lsn.0, Ordering::Release);
                 last = rec.lsn;
             }

@@ -1,7 +1,8 @@
 //! Standalone engine server.
 //!
 //! ```text
-//! oib-server [--addr HOST:PORT] [--pg-port PORT|HOST:PORT] [--workers N]
+//! oib-server [--addr HOST:PORT] [--pg-port PORT|HOST:PORT]
+//!            [--http-port PORT|HOST:PORT] [--workers N]
 //!            [--max-inflight N] [--seed-rows N]
 //!            [--io-backend auto|epoll|poll|threaded]
 //! ```
@@ -39,6 +40,15 @@ fn main() {
             "--pg-port" => {
                 let v = value("--pg-port");
                 cfg.pg_bind_addr = Some(if v.contains(':') {
+                    v
+                } else {
+                    format!("127.0.0.1:{v}")
+                });
+            }
+            // Overrides MOHAN_HTTP_PORT; same shape as --pg-port.
+            "--http-port" => {
+                let v = value("--http-port");
+                cfg.http_bind_addr = Some(if v.contains(':') {
                     v
                 } else {
                     format!("127.0.0.1:{v}")
@@ -98,6 +108,9 @@ fn main() {
             pg.ip(),
             pg.port()
         );
+    }
+    if let Some(http) = server.http_addr() {
+        println!("http sidecar on {http} (/metrics /healthz /readyz)");
     }
     println!("serving table 1; close stdin (or send EOF) to drain and exit");
 

@@ -46,6 +46,7 @@
 
 #![warn(missing_docs)]
 
+mod http;
 mod pg;
 #[cfg(unix)]
 mod reactor;
@@ -179,6 +180,22 @@ pub struct ServerConfig {
     /// `127.0.0.1:<port>`, a value containing `:` is used as the full
     /// bind address.
     pub pg_bind_addr: Option<String>,
+    /// Optional HTTP sidecar listener serving `/metrics` (OpenMetrics
+    /// text exposition), `/healthz` (process liveness), and `/readyz`
+    /// (role, drain state, replication lag vs [`Self::max_lag_lsn`]).
+    /// `None` disables it. The default honors the `MOHAN_HTTP_PORT`
+    /// environment variable with the same spelling as
+    /// [`Self::pg_bind_addr`]: a bare port binds `127.0.0.1:<port>`,
+    /// a value containing `:` is the full bind address.
+    pub http_bind_addr: Option<String>,
+    /// Head-based trace sampling: keep one trace in `N` (`0`/`1` keep
+    /// every trace). Applied process-wide at [`Server::start`] via
+    /// [`mohan_obs::set_trace_sampling`]; the keep/drop decision is a
+    /// deterministic hash of the trace id, so a primary and its
+    /// followers agree on which traces record when their rates agree.
+    /// The default honors the `MOHAN_TRACE_SAMPLE` environment
+    /// variable.
+    pub trace_sample_one_in: u32,
     /// Which I/O readiness backend drives the connection layer.
     /// `Auto` detects at startup (epoll where available, else
     /// poll(2)); `ThreadedSleep` selects the legacy sleep-polling
@@ -239,16 +256,12 @@ impl Default for ServerConfig {
             max_lag_lsn: u64::MAX,
             leader_hint: String::new(),
             promote_hook: None,
-            pg_bind_addr: std::env::var(mohan_common::config::PG_PORT_ENV)
+            pg_bind_addr: bind_addr_from_env(mohan_common::config::PG_PORT_ENV),
+            http_bind_addr: bind_addr_from_env(mohan_common::config::HTTP_PORT_ENV),
+            trace_sample_one_in: std::env::var(mohan_common::config::TRACE_SAMPLE_ENV)
                 .ok()
-                .filter(|v| !v.is_empty())
-                .map(|v| {
-                    if v.contains(':') {
-                        v
-                    } else {
-                        format!("127.0.0.1:{v}")
-                    }
-                }),
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(1),
             io_backend: IoBackendChoice::from_env()
                 .unwrap_or_else(|bad| {
                     eprintln!(
@@ -260,6 +273,18 @@ impl Default for ServerConfig {
                 .unwrap_or_default(),
         }
     }
+}
+
+/// `env` as a bind address: a bare port means `127.0.0.1:<port>`, a
+/// value containing `:` is used verbatim, unset/empty means none.
+fn bind_addr_from_env(env: &str) -> Option<String> {
+    std::env::var(env).ok().filter(|v| !v.is_empty()).map(|v| {
+        if v.contains(':') {
+            v
+        } else {
+            format!("127.0.0.1:{v}")
+        }
+    })
 }
 
 /// Server-side counters, exposed over the wire via `Request::Stats`.
@@ -410,6 +435,10 @@ pub(crate) struct Inner {
     drain_started: Mutex<Option<Instant>>,
     pub(crate) inflight: AtomicUsize,
     pub(crate) conn_count: AtomicUsize,
+    /// Live HTTP sidecar connections (a subset of `conn_count`). When
+    /// every remaining connection is an HTTP probe, a drain has
+    /// nothing left to wait for (see `worker::drain_mark`).
+    pub(crate) http_conns: AtomicUsize,
     /// Live connections per shard, for least-occupied accept routing.
     /// Incremented at hand-off, decremented when the shard reaps (or
     /// drops) the connection — unlike `stats.conn_shards`, which
@@ -499,13 +528,18 @@ pub struct Server {
     addr: SocketAddr,
     /// Bound address of the pg listener, when configured.
     pg_addr: Option<SocketAddr>,
+    /// Bound address of the HTTP sidecar listener, when configured.
+    http_addr: Option<SocketAddr>,
     accept: Option<JoinHandle<()>>,
     pg_accept: Option<JoinHandle<()>>,
+    http_accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     /// Wakes a reactor-blocked accept thread at drain time.
     accept_waker: Option<reactor::Waker>,
     /// Same, for the pg listener's accept thread.
     pg_accept_waker: Option<reactor::Waker>,
+    /// Same, for the HTTP sidecar's accept thread.
+    http_accept_waker: Option<reactor::Waker>,
     /// WAL flush-waker registrations to undo after the workers join.
     flush_hooks: Vec<u64>,
     /// What the configured `io_backend` resolved to on this host.
@@ -519,6 +553,10 @@ impl Server {
     pub fn start(db: Arc<Db>, cfg: ServerConfig) -> io::Result<Server> {
         let backend = reactor::resolve(cfg.io_backend)?;
         let reactor_mode = !matches!(backend, reactor::ResolvedBackend::ThreadedSleep);
+        // Process-wide by design: the sampling decision must be a pure
+        // function of the trace id so every layer (and every follower
+        // configured with the same rate) agrees which traces record.
+        mohan_obs::set_trace_sampling(cfg.trace_sample_one_in);
         let listener = TcpListener::bind(&cfg.bind_addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -531,6 +569,18 @@ impl Server {
             None => None,
         };
         let pg_addr = pg_listener
+            .as_ref()
+            .map(TcpListener::local_addr)
+            .transpose()?;
+        let http_listener = match &cfg.http_bind_addr {
+            Some(bind) => {
+                let l = TcpListener::bind(bind)?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
+        let http_addr = http_listener
             .as_ref()
             .map(TcpListener::local_addr)
             .transpose()?;
@@ -570,6 +620,7 @@ impl Server {
             drain_started: Mutex::new(None),
             inflight: AtomicUsize::new(0),
             conn_count: AtomicUsize::new(0),
+            http_conns: AtomicUsize::new(0),
             shard_conns: (0..workers).map(|_| AtomicUsize::new(0)).collect(),
             catalog,
             pg_req_us,
@@ -632,6 +683,21 @@ impl Server {
             }
             None => (None, None),
         };
+        let (http_accept_waker, http_accept) = match http_listener {
+            Some(l) => {
+                let (w, h) = spawn_accept(
+                    &inner,
+                    l,
+                    senders.clone(),
+                    pg::ConnKind::Http,
+                    backend,
+                    reactor_mode,
+                    "oib-http-accept",
+                )?;
+                (w, Some(h))
+            }
+            None => (None, None),
+        };
         let (accept_waker, accept) = spawn_accept(
             &inner,
             listener,
@@ -646,11 +712,14 @@ impl Server {
             inner,
             addr,
             pg_addr,
+            http_addr,
             accept: Some(accept),
             pg_accept,
+            http_accept,
             workers: handles,
             accept_waker,
             pg_accept_waker,
+            http_accept_waker,
             flush_hooks,
             backend,
         })
@@ -673,6 +742,13 @@ impl Server {
     #[must_use]
     pub fn pg_addr(&self) -> Option<SocketAddr> {
         self.pg_addr
+    }
+
+    /// The HTTP sidecar listener's bound address, when one is
+    /// configured.
+    #[must_use]
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.http_addr
     }
 
     /// The server's counters.
@@ -704,11 +780,17 @@ impl Server {
         if let Some(w) = &self.pg_accept_waker {
             w.wake();
         }
+        if let Some(w) = &self.http_accept_waker {
+            w.wake();
+        }
         self.inner.wake_all();
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
         if let Some(h) = self.pg_accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.http_accept.take() {
             let _ = h.join();
         }
         for h in self.workers.drain(..) {
@@ -853,6 +935,9 @@ fn accept_burst(
                     continue;
                 }
                 inner.conn_count.fetch_add(1, Ordering::AcqRel);
+                if matches!(kind, pg::ConnKind::Http) {
+                    inner.http_conns.fetch_add(1, Ordering::AcqRel);
+                }
                 inner.stats.conns_accepted.bump();
                 let shard = pick_shard(inner, next);
                 inner.stats.conn_shards.bump(shard);
@@ -861,6 +946,9 @@ fn accept_burst(
                 // races that, the stream just drops (client sees EOF).
                 if senders[shard].send((stream, kind)).is_err() {
                     inner.conn_count.fetch_sub(1, Ordering::AcqRel);
+                    if matches!(kind, pg::ConnKind::Http) {
+                        inner.http_conns.fetch_sub(1, Ordering::AcqRel);
+                    }
                     inner.shard_conns[shard].fetch_sub(1, Ordering::AcqRel);
                 } else if let Some(w) = inner.shard_waker(shard) {
                     w.wake();

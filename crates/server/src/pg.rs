@@ -30,6 +30,8 @@ pub(crate) enum ConnKind {
     Native,
     /// Postgres protocol v3 (simple query).
     Pg,
+    /// HTTP/1.1 sidecar (`/metrics`, `/healthz`, `/readyz`).
+    Http,
 }
 
 /// Per-connection protocol state.
@@ -38,6 +40,8 @@ pub(crate) enum Proto {
     Native,
     /// Postgres protocol v3.
     Pg(PgState),
+    /// HTTP/1.1 sidecar: frames are request head blocks.
+    Http,
 }
 
 /// Mutable pg-session state.
@@ -129,7 +133,7 @@ pub(crate) fn split_frames(inner: &Arc<Inner>, conn: &mut Conn) {
     while !conn.dead {
         let started = match &conn.proto {
             Proto::Pg(st) => st.started,
-            Proto::Native => return,
+            Proto::Native | Proto::Http => return,
         };
         if !started {
             match proto::take_startup(&mut conn.buf) {
@@ -314,6 +318,18 @@ fn handle_query(
     }
 
     inner.stats.requests.bump();
+    // Every admitted query runs under a trace context. SQL has no
+    // envelope to carry a client id, so the id is server-generated
+    // here; the `pg.query` span parents every statement's lock waits,
+    // WAL flushes and (for CREATE INDEX) build phases.
+    let _trace_scope = mohan_obs::install_ctx(mohan_obs::ctx_for(0));
+    let query_span = inner
+        .db
+        .obs
+        .trace()
+        .span("pg.query", stmts[0].kind())
+        .with_detail(stmts.len() as u64);
+    let mut slowest: Option<(&'static str, std::time::Duration)> = None;
     let env = ExecEnv {
         is_replica: inner.db.is_replica(),
         leader_hint: inner.cfg.leader_hint.clone(),
@@ -359,6 +375,9 @@ fn handle_query(
                 ran.as_micros().min(u128::from(u64::MAX)) as u64,
                 waited.as_micros().min(u128::from(u64::MAX)) as u64,
             );
+            if slowest.is_none_or(|(_, worst)| ran > worst) {
+                slowest = Some((stmt.kind(), ran));
+            }
         }
         match result {
             Ok(StmtOutcome::Complete) => {}
@@ -394,6 +413,12 @@ fn handle_query(
                 break;
             }
         }
+    }
+    // Commit the query span before the slow-request dump so the
+    // rendered tree contains its own root.
+    query_span.commit();
+    if let Some((kind, ran)) = slowest {
+        worker::log_slow_trace(inner, kind, ran);
     }
     if build_started {
         // `ReadyForQuery` is deferred to build completion

@@ -235,6 +235,9 @@ pub(crate) fn run(
         while let Ok((stream, kind)) = rx.try_recv() {
             if draining {
                 inner.conn_count.fetch_sub(1, Ordering::AcqRel);
+                if matches!(kind, crate::pg::ConnKind::Http) {
+                    inner.http_conns.fetch_sub(1, Ordering::AcqRel);
+                }
                 inner.shard_conns[ctx.shard].fetch_sub(1, Ordering::AcqRel);
                 drop(stream); // accepted in the race window; EOF to client
                 continue;

@@ -85,7 +85,7 @@ fn opcode_index(req: &Request) -> usize {
         Request::SubscribeWal { .. } => 13,
         Request::Hello { .. } => 14,
         Request::Promote => 15,
-        Request::TraceDump => 16,
+        Request::TraceDump { .. } => 16,
     }
 }
 
@@ -196,6 +196,7 @@ impl Conn {
             proto: match kind {
                 ConnKind::Native => crate::pg::Proto::Native,
                 ConnKind::Pg => crate::pg::Proto::Pg(Default::default()),
+                ConnKind::Http => crate::pg::Proto::Http,
             },
             buf: Vec::new(),
             pending: VecDeque::new(),
@@ -315,6 +316,9 @@ pub(crate) fn worker_loop(
         while let Ok((stream, kind)) = rx.try_recv() {
             if draining {
                 inner.conn_count.fetch_sub(1, Ordering::AcqRel);
+                if matches!(kind, crate::pg::ConnKind::Http) {
+                    inner.http_conns.fetch_sub(1, Ordering::AcqRel);
+                }
                 inner.shard_conns[ctx.shard].fetch_sub(1, Ordering::AcqRel);
                 drop(stream); // accepted in the race window; EOF to client
                 continue;
@@ -396,8 +400,20 @@ pub(crate) fn worker_loop(
 /// everything goes, rolling back open transactions.
 pub(crate) fn drain_mark<'a>(inner: &Arc<Inner>, conns: impl Iterator<Item = &'a mut Conn>) {
     let expired = inner.drain_elapsed() >= inner.cfg.drain_timeout;
+    // HTTP probe connections survive the early pass so an orchestrator
+    // can observe `/readyz` flip during the drain window; every
+    // response sent while draining closes its connection (see
+    // `crate::http`). Once probes are all that remain *globally*, the
+    // drain has nothing left to tell them and they go too — an idle
+    // keep-alive probe must not hold the drain open to the timeout.
+    let only_probes =
+        inner.http_conns.load(Ordering::Acquire) >= inner.conn_count.load(Ordering::Acquire);
     for conn in conns {
         if conn.dead {
+            continue;
+        }
+        let probe = matches!(conn.proto, crate::pg::Proto::Http);
+        if probe && !only_probes && !expired {
             continue;
         }
         if conn.build.is_none() && conn.pending.is_empty() && conn.session.current_tx().is_none() {
@@ -430,6 +446,9 @@ pub(crate) fn reap_conn(inner: &Arc<Inner>, ctx: &ShardCtx, conn: &mut Conn) {
     let _ = conn.session.close(); // rolls back an open tx
     inner.stats.conns_closed.bump();
     inner.conn_count.fetch_sub(1, Ordering::AcqRel);
+    if matches!(conn.proto, crate::pg::Proto::Http) {
+        inner.http_conns.fetch_sub(1, Ordering::AcqRel);
+    }
     inner.shard_conns[ctx.shard].fetch_sub(1, Ordering::AcqRel);
 }
 
@@ -502,9 +521,16 @@ pub(crate) fn read_socket(inner: &Arc<Inner>, conn: &mut Conn) -> bool {
         }
     }
 
-    if matches!(conn.proto, crate::pg::Proto::Pg(_)) {
-        crate::pg::split_frames(inner, conn);
-        return progressed;
+    match conn.proto {
+        crate::pg::Proto::Pg(_) => {
+            crate::pg::split_frames(inner, conn);
+            return progressed;
+        }
+        crate::pg::Proto::Http => {
+            crate::http::split_frames(inner, conn);
+            return progressed;
+        }
+        crate::pg::Proto::Native => {}
     }
     while !conn.dead {
         match take_frame(&mut conn.buf) {
@@ -567,6 +593,9 @@ pub(crate) fn run_pending_inline(
         let may_block = match conn.proto {
             crate::pg::Proto::Native => Request::frame_may_block(payload),
             crate::pg::Proto::Pg(_) => crate::pg::frame_may_block(payload),
+            // Every HTTP route answers from in-memory state; none can
+            // sit in an engine lock wait.
+            crate::pg::Proto::Http => false,
         };
         if may_block {
             return true;
@@ -615,10 +644,22 @@ fn handle_payload(
     arrived: Instant,
     draining: bool,
 ) {
-    if matches!(conn.proto, crate::pg::Proto::Pg(_)) {
-        crate::pg::handle_payload(inner, ctx, conn, payload, arrived, draining);
-        return;
+    match conn.proto {
+        crate::pg::Proto::Pg(_) => {
+            crate::pg::handle_payload(inner, ctx, conn, payload, arrived, draining);
+            return;
+        }
+        // Admission- and drain-exempt: health probes must answer
+        // precisely when the server is saturated or draining.
+        crate::pg::Proto::Http => {
+            crate::http::handle_payload(inner, conn, payload);
+            return;
+        }
+        crate::pg::Proto::Native => {}
     }
+    // The trace envelope is transport dressing, peeled before decode;
+    // a bare frame passes through unchanged.
+    let (supplied_trace, payload) = mohan_wire::peel_traced(payload);
     let Some(req) = Request::decode(payload) else {
         inner.stats.malformed.bump();
         send(
@@ -682,11 +723,24 @@ fn handle_payload(
     inner.stats.requests.bump();
     let opcode = req.name();
     let op_idx = opcode_index(&req);
+    // Every executed request runs under a trace context: the client's
+    // id when the frame arrived enveloped, a fresh one otherwise. The
+    // `wire.recv` span is the trace's root on this process — engine
+    // events (lock waits, WAL flushes, build phases) fired during
+    // execution link under it through the thread-local context.
+    let _trace_scope = mohan_obs::install_ctx(mohan_obs::ctx_for(supplied_trace.unwrap_or(0)));
+    let recv_span = inner
+        .db
+        .obs
+        .trace()
+        .span("wire.recv", opcode)
+        .with_detail(waited.as_micros().min(u128::from(u64::MAX)) as u64);
     let started = Instant::now();
     let keep_slot = execute(inner, ctx, conn, req);
     let ran = started.elapsed();
     inner.req_us[op_idx].record_micros(ran);
-    if ran >= inner.cfg.slow_request {
+    let slow = ran >= inner.cfg.slow_request;
+    if slow {
         inner.db.obs.trace().span_event(
             "server.slow_request",
             opcode,
@@ -694,12 +748,35 @@ fn handle_payload(
             waited.as_micros().min(u128::from(u64::MAX)) as u64,
         );
     }
+    // Commit before the slow dump so the rendered tree has its root.
+    recv_span.commit();
+    if slow {
+        log_slow_trace(inner, opcode, ran);
+    }
     if ran + waited >= inner.cfg.request_deadline {
         inner.stats.deadline_overruns.bump();
     }
     if admitted && !keep_slot {
         inner.release();
     }
+}
+
+/// Dump the current trace's reconstructed span tree to stderr — the
+/// slow-request log. Only sampled traces have anything to render;
+/// unsampled ones already recorded nothing.
+pub(crate) fn log_slow_trace(inner: &Arc<Inner>, opcode: &str, ran: Duration) {
+    let Some(tctx) = mohan_obs::current_ctx() else {
+        return;
+    };
+    if !tctx.sampled {
+        return;
+    }
+    let tree = mohan_obs::render_span_tree(&inner.db.obs.trace().events_filtered(tctx.trace_id, 0));
+    eprintln!(
+        "slow request: {opcode} took {}ms, trace {:#x}:\n{tree}",
+        ran.as_millis(),
+        tctx.trace_id
+    );
 }
 
 /// Execute one request and send its response(s). Returns true when
@@ -911,8 +988,15 @@ fn execute(inner: &Arc<Inner>, ctx: &ShardCtx, conn: &mut Conn, req: Request) ->
                 }
             }
         }
-        Request::TraceDump => Response::TraceDump {
-            jsonl: inner.db.obs.trace().dump_jsonl(),
+        Request::TraceDump {
+            trace_id,
+            since_seq,
+        } => Response::TraceDump {
+            jsonl: inner
+                .db
+                .obs
+                .trace()
+                .dump_jsonl_filtered(trace_id, since_seq),
         },
     };
     send(inner, conn, &resp);
@@ -1010,6 +1094,12 @@ pub(crate) fn pump_wal_sub(inner: &Arc<Inner>, conn: &mut Conn) -> bool {
         job.next = last.lsn.0 + 1;
     }
     let count = batch.len() as u32;
+    // Trace tags ride the frame so the follower's apply spans join
+    // the primary-side trace that caused each record.
+    let traces = match (batch.first(), batch.last()) {
+        (Some(first), Some(last)) => inner.db.wal.trace_tags_for(first.lsn.0, last.lsn.0),
+        _ => Vec::new(),
+    };
     let records = mohan_wal::encode_records(batch.iter().map(|r| &**r));
     inner.stats.wal_frames.bump();
     inner.stats.wal_records.add(u64::from(count));
@@ -1020,6 +1110,7 @@ pub(crate) fn pump_wal_sub(inner: &Arc<Inner>, conn: &mut Conn) -> bool {
             flushed,
             count,
             records,
+            traces,
         },
     );
     !batch.is_empty()
@@ -1040,7 +1131,11 @@ pub(crate) fn pump_wal_burst(inner: &Arc<Inner>, conn: &mut Conn) -> bool {
 /// Refuse a build before it spawns, rendered per protocol.
 fn build_refuse(inner: &Arc<Inner>, conn: &mut Conn, e: &Error) {
     match conn.proto {
-        crate::pg::Proto::Native => send(inner, conn, &Response::from_error(e)),
+        // HTTP connections never start builds; the arm is for match
+        // exhaustiveness only.
+        crate::pg::Proto::Native | crate::pg::Proto::Http => {
+            send(inner, conn, &Response::from_error(e));
+        }
         crate::pg::Proto::Pg(_) => {
             let mut out = Vec::new();
             mohan_pgwire::proto::error_response(
@@ -1113,9 +1208,14 @@ pub(crate) fn start_build_engine(
     // progress-poll deadline.
     let waker = inner.shard_waker(ctx.shard);
     inner.stats.builds_started.bump();
+    // Carry the requesting trace onto the build thread: the build's
+    // phase transitions, drain passes, and quiesce/flip spans then
+    // link into the same trace as the `CREATE INDEX` that caused them.
+    let trace_ctx = mohan_obs::current_ctx();
     let spawned = std::thread::Builder::new()
         .name("oib-build".into())
         .spawn(move || {
+            let _trace_scope = trace_ctx.map(mohan_obs::install_ctx);
             let r = build_indexes_observed(&db, table, &engine_specs, algorithm, |registered| {
                 *ids_slot.lock() = Some(registered.to_vec());
             });
@@ -1127,7 +1227,7 @@ pub(crate) fn start_build_engine(
     if spawned.is_err() {
         inner.stats.builds_failed.bump();
         match conn.proto {
-            crate::pg::Proto::Native => send(
+            crate::pg::Proto::Native | crate::pg::Proto::Http => send(
                 inner,
                 conn,
                 &protocol_err(ErrorCode::Internal, "could not spawn build thread"),
@@ -1148,7 +1248,7 @@ pub(crate) fn start_build_engine(
     // before any checkpoint exists to poll.
     inner.stats.progress_frames.bump();
     match conn.proto {
-        crate::pg::Proto::Native => send(
+        crate::pg::Proto::Native | crate::pg::Proto::Http => send(
             inner,
             conn,
             &Response::Progress {
@@ -1281,7 +1381,7 @@ pub(crate) fn watch_build(inner: &Arc<Inner>, conn: &mut Conn) -> bool {
     };
     inner.stats.progress_frames.bump();
     match conn.proto {
-        crate::pg::Proto::Native => send(
+        crate::pg::Proto::Native | crate::pg::Proto::Http => send(
             inner,
             conn,
             &Response::Progress {
@@ -1444,7 +1544,10 @@ mod tests {
                 role: Role::Client,
             },
             Request::Promote,
-            Request::TraceDump,
+            Request::TraceDump {
+                trace_id: 0,
+                since_seq: 0,
+            },
         ]
     }
 

@@ -1,0 +1,237 @@
+//! The tracing acceptance scenario: one trace id links a SQL
+//! `CREATE INDEX ... USING sf` — issued over the pg wire while native
+//! DML load churns the table — to the primary's build phases, drain
+//! passes, quiesce, flip, and WAL flushes, *and* (via the trace tags
+//! on replicated WAL frames) to the follower's apply spans. The test
+//! fetches the primary's half of the tree over the wire with the
+//! filtered `TraceDump`, merges the follower's half, and asserts the
+//! rendered forest contains every hop.
+
+use mohan_client::{Client, ClientError};
+use mohan_common::{EngineConfig, TableId};
+use mohan_oib::schema::Record;
+use mohan_oib::Db;
+use mohan_replica::Replica;
+use mohan_server::{Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const T: TableId = TableId(1);
+const CATCH_UP: Duration = Duration::from_secs(30);
+
+/// Minimal simple-query pg client — startup, one query, terminate.
+/// (The byte-level conformance suite lives in `pgwire_loopback.rs`;
+/// this one only needs to drive a statement through the pg path so
+/// the request is traced as `pg.query`.)
+struct PgConn {
+    stream: TcpStream,
+}
+
+impl PgConn {
+    fn connect(addr: &str) -> PgConn {
+        let stream = TcpStream::connect(addr).expect("connect pg listener");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let mut conn = PgConn { stream };
+        let mut params = Vec::new();
+        for (k, v) in [("user", "trace"), ("database", "oib")] {
+            params.extend_from_slice(k.as_bytes());
+            params.push(0);
+            params.extend_from_slice(v.as_bytes());
+            params.push(0);
+        }
+        params.push(0);
+        let len = 4 + 4 + params.len();
+        let mut pkt = Vec::with_capacity(len);
+        pkt.extend_from_slice(&(len as u32).to_be_bytes());
+        pkt.extend_from_slice(&196_608u32.to_be_bytes()); // protocol 3.0
+        pkt.extend_from_slice(&params);
+        conn.stream.write_all(&pkt).unwrap();
+        conn.read_until_ready();
+        conn
+    }
+
+    /// Read backend messages until `ReadyForQuery`, returning the
+    /// type bytes seen (enough to tell an error from a completion).
+    fn read_until_ready(&mut self) -> Vec<u8> {
+        let mut seen = Vec::new();
+        loop {
+            let mut head = [0u8; 5];
+            let mut got = 0;
+            while got < head.len() {
+                match self.stream.read(&mut head[got..]) {
+                    Ok(0) => panic!("server closed before ReadyForQuery"),
+                    Ok(n) => got += n,
+                    Err(e) => panic!("read header: {e}"),
+                }
+            }
+            let len = u32::from_be_bytes([head[1], head[2], head[3], head[4]]) as usize;
+            let mut body = vec![0u8; len - 4];
+            let mut got = 0;
+            while got < body.len() {
+                match self.stream.read(&mut body[got..]) {
+                    Ok(0) => panic!("EOF mid-message"),
+                    Ok(n) => got += n,
+                    Err(e) => panic!("read body: {e}"),
+                }
+            }
+            seen.push(head[0]);
+            if head[0] == b'Z' {
+                return seen;
+            }
+        }
+    }
+
+    fn query(&mut self, sql: &str) -> Vec<u8> {
+        let len = 4 + sql.len() + 1;
+        let mut pkt = Vec::with_capacity(1 + len);
+        pkt.push(b'Q');
+        pkt.extend_from_slice(&(len as u32).to_be_bytes());
+        pkt.extend_from_slice(sql.as_bytes());
+        pkt.push(0);
+        self.stream.write_all(&pkt).unwrap();
+        self.read_until_ready()
+    }
+}
+
+#[test]
+fn pg_create_index_links_one_span_tree_across_primary_and_follower() {
+    let primary = Db::new(EngineConfig {
+        lock_timeout_ms: 20_000,
+        ..EngineConfig::small()
+    });
+    primary.create_table(T);
+    {
+        let tx = primary.begin();
+        for k in 0..1024 {
+            primary
+                .insert_record(tx, T, &Record(vec![k, k * 3]))
+                .unwrap();
+        }
+        primary.commit(tx).unwrap();
+    }
+
+    let srv = Server::start(
+        Arc::clone(&primary),
+        ServerConfig {
+            bind_addr: "127.0.0.1:0".into(),
+            pg_bind_addr: Some("127.0.0.1:0".into()),
+            workers: 4,
+            max_inflight: 16,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let native_addr = srv.addr().to_string();
+    let pg_addr = srv.pg_addr().expect("pg listener").to_string();
+
+    let follower = Db::new(EngineConfig {
+        replica: true,
+        lock_timeout_ms: 20_000,
+        ..EngineConfig::small()
+    });
+    follower.create_table(T);
+    let replica = Replica::new(Arc::clone(&follower), &native_addr);
+    let tail = replica.spawn();
+
+    // Native DML load while the index builds, so the build has drain
+    // passes to trace.
+    let stop = Arc::new(AtomicBool::new(false));
+    let loaders: Vec<_> = (0..2)
+        .map(|w| {
+            let addr = native_addr.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr).unwrap();
+                let mut k = 10_000 + i64::from(w) * 100_000;
+                // Full-speed inserts: the side file must see a backlog
+                // while the scan runs, or the drain closes on its
+                // first (empty) pass and there is nothing to trace.
+                while !stop.load(Ordering::Acquire) {
+                    match c.insert(T, vec![k, k * 3]) {
+                        Ok(_) => k += 1,
+                        Err(ClientError::Busy) => std::thread::yield_now(),
+                        Err(e) => panic!("loader: {e}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(30));
+
+    // The SQL path: `t1` is the positional alias for the natively
+    // created table, `c0` its first column. `query` returns once the
+    // build completes (NOTICE progress lines stream in between).
+    let mut pg = PgConn::connect(&pg_addr);
+    let reply = pg.query("CREATE INDEX k_idx ON t1 USING sf (c0)");
+    assert!(
+        reply.contains(&b'C') && !reply.contains(&b'E'),
+        "CREATE INDEX failed: {reply:?}"
+    );
+
+    stop.store(true, Ordering::Release);
+    for l in loaders {
+        l.join().unwrap();
+    }
+
+    // Let the follower apply everything the build and loaders wrote.
+    primary.wal.flush_all();
+    let target = primary.wal.flushed_lsn();
+    assert!(
+        replica.wait_caught_up(target, CATCH_UP),
+        "follower stuck at {} short of {}",
+        replica.applied_lsn().0,
+        target.0
+    );
+
+    // The CREATE INDEX was the only pg statement, so its `pg.query`
+    // span is the only one in the ring; its trace id is the handle to
+    // the whole causal chain.
+    let pg_spans: Vec<_> = primary
+        .obs
+        .trace()
+        .events_filtered(0, 0)
+        .into_iter()
+        .filter(|e| e.kind == "pg.query")
+        .collect();
+    assert_eq!(pg_spans.len(), 1, "exactly one traced pg statement");
+    let trace_id = pg_spans[0].trace_id;
+    assert_ne!(trace_id, 0, "pg requests mint a trace id");
+
+    // The wire surface agrees: a filtered TraceDump returns only this
+    // trace, and every line carries its id.
+    let mut c = Client::connect(&native_addr).unwrap();
+    let jsonl = c.trace_dump(trace_id, 0).unwrap();
+    assert!(!jsonl.is_empty(), "filtered dump has events");
+    for line in jsonl.lines() {
+        assert!(
+            line.contains(&format!("\"trace\":{trace_id}")),
+            "foreign trace leaked into filtered dump: {line}"
+        );
+    }
+
+    // One forest across both processes: the primary's request span
+    // plus the follower's apply spans (roots there — their parent
+    // spans live in the primary's ring).
+    let mut events = primary.obs.trace().events_filtered(trace_id, 0);
+    events.extend(follower.obs.trace().events_filtered(trace_id, 0));
+    let tree = mohan_obs::render_span_tree(&events);
+    for needle in [
+        "pg.query",      // wire receive (SQL front door)
+        "build.phase",   // build phases
+        "sf.drain.pass", // no-quiesce drain passes
+        "flip",          // catalog flip
+        "wal.flush",     // group flush on the primary
+        "repl.apply",    // follower apply
+    ] {
+        assert!(tree.contains(needle), "span tree missing {needle}:\n{tree}");
+    }
+
+    replica.stop();
+    tail.join().unwrap();
+    srv.drain();
+}

@@ -22,8 +22,9 @@
 use crate::record::{LogPayload, LogRecord, RecKind};
 use mohan_common::stats::{Counter, StripedCounter};
 use mohan_common::{Lsn, TxId};
-use mohan_obs::Histogram;
-use parking_lot::RwLock;
+use mohan_obs::{Histogram, TraceSink};
+use parking_lot::{Mutex, RwLock};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -166,9 +167,25 @@ pub struct LogManager {
     /// group-flush hot path pays one relaxed load when nobody listens.
     has_flush_wakers: AtomicBool,
     next_flush_waker_id: AtomicU64,
+    /// `(lsn, trace_id)` for records appended under a *sampled* trace
+    /// context — a bounded drop-oldest side map, deliberately outside
+    /// the frozen record codec, that lets the WAL subscription tag
+    /// shipped frames with the trace that caused each write. Taken
+    /// only when a sampled context is installed, so the lock-free
+    /// append fast path is untouched for untraced work.
+    trace_tags: Mutex<VecDeque<(u64, u64)>>,
+    /// Trace ring for `wal.flush` spans (set once by the engine's
+    /// observability registration; absent in bare unit tests).
+    trace_sink: OnceLock<Arc<TraceSink>>,
     /// Volume counters.
     pub stats: WalStats,
 }
+
+/// Retained [`LogManager::trace_tags_for`] entries; old tags fall off
+/// once the tagged records are this far behind the tail (subscribers
+/// that lag further already reconnect through catch-up, which does
+/// not replay attribution).
+const TRACE_TAG_CAP: usize = 4096;
 
 impl Default for LogManager {
     fn default() -> Self {
@@ -194,8 +211,30 @@ impl LogManager {
             flush_wakers: RwLock::new(Vec::new()),
             has_flush_wakers: AtomicBool::new(false),
             next_flush_waker_id: AtomicU64::new(0),
+            trace_tags: Mutex::new(VecDeque::new()),
+            trace_sink: OnceLock::new(),
             stats: WalStats::default(),
         }
+    }
+
+    /// Adopt the trace ring `wal.flush` spans record into. Set once at
+    /// engine construction; later calls are ignored.
+    pub fn set_trace_sink(&self, sink: Arc<TraceSink>) {
+        let _ = self.trace_sink.set(sink);
+    }
+
+    /// Trace attributions for records in `from ..= to` LSN order:
+    /// which sampled trace appended each (tagged) record. Sparse —
+    /// untraced records have no entry, and tags older than the
+    /// retention window are gone.
+    #[must_use]
+    pub fn trace_tags_for(&self, from: u64, to: u64) -> Vec<(u64, u64)> {
+        self.trace_tags
+            .lock()
+            .iter()
+            .filter(|&&(lsn, _)| lsn >= from && lsn <= to)
+            .copied()
+            .collect()
     }
 
     /// Register a callback to run after the durable prefix advances
@@ -307,6 +346,15 @@ impl LogManager {
             self.stats.ib_records.bump();
             self.stats.ib_bytes.add(size);
         }
+        if let Some(ctx) = mohan_obs::current_ctx() {
+            if ctx.sampled {
+                let mut tags = self.trace_tags.lock();
+                if tags.len() >= TRACE_TAG_CAP {
+                    tags.pop_front();
+                }
+                tags.push_back((lsn.0, ctx.trace_id));
+            }
+        }
         lsn
     }
 
@@ -346,6 +394,16 @@ impl LogManager {
         // exists iff `n <= next`. Anything above can never publish.
         let target = lsn.0.min(self.next.load(Ordering::Acquire));
         if self.flushed.load(Ordering::Acquire) >= target {
+            // Already durable — but under a sampled trace the causal
+            // fact still matters: this request's records were flushed
+            // by somebody else's group. Record the ride so the trace's
+            // WAL hop never silently disappears when a concurrent
+            // flusher wins the race.
+            if mohan_obs::current_ctx().is_some_and(|c| c.sampled) {
+                if let Some(sink) = self.trace_sink.get() {
+                    sink.span_event("wal.flush", "coalesced", 0, target);
+                }
+            }
             return;
         }
         let started = std::time::Instant::now();
@@ -394,7 +452,23 @@ impl LogManager {
             // actual advance.
             self.notify_flush_wakers();
         }
-        self.stats.flush_us.record_micros(started.elapsed());
+        let took = started.elapsed();
+        self.stats.flush_us.record_micros(took);
+        // Under a sampled trace, the flush-group wait becomes a span
+        // of that trace (label says whether this call forced or rode
+        // a coalesced group). Guarded on the context so untraced
+        // flushes do not churn the bounded ring.
+        if mohan_obs::current_ctx().is_some_and(|c| c.sampled) {
+            if let Some(sink) = self.trace_sink.get() {
+                let label = if prev >= target { "coalesced" } else { "force" };
+                sink.span_event(
+                    "wal.flush",
+                    label,
+                    took.as_micros().min(u128::from(u64::MAX)) as u64,
+                    goal,
+                );
+            }
+        }
     }
 
     /// Force the whole log.
@@ -466,6 +540,9 @@ impl LogManager {
         self.flush_request.store(flushed, Ordering::Release);
         self.ib_txs.write().clear();
         self.has_ib.store(false, Ordering::Release);
+        // Truncated LSNs get reused densely; attribution for the
+        // burned tail would name records that no longer exist.
+        self.trace_tags.lock().retain(|&(lsn, _)| lsn <= flushed);
     }
 }
 
@@ -484,6 +561,36 @@ mod tests {
 
     fn begin(log: &LogManager, tx: u64) -> Lsn {
         log.append(TxId(tx), Lsn::NULL, RecKind::RedoOnly, LogPayload::TxBegin)
+    }
+
+    #[test]
+    fn appends_under_sampled_ctx_are_tagged_and_crash_prunes() {
+        let log = LogManager::new();
+        begin(&log, 1); // untraced → no tag
+        let ctx = mohan_obs::TraceCtx {
+            trace_id: 0xabcd,
+            span_id: 0,
+            sampled: true,
+        };
+        {
+            let _g = mohan_obs::install_ctx(ctx);
+            begin(&log, 2); // lsn 2, tagged
+            begin(&log, 3); // lsn 3, tagged
+        }
+        {
+            let _g = mohan_obs::install_ctx(mohan_obs::TraceCtx {
+                sampled: false,
+                ..ctx
+            });
+            begin(&log, 4); // unsampled → no tag
+        }
+        assert_eq!(log.trace_tags_for(1, 10), vec![(2, 0xabcd), (3, 0xabcd)]);
+        assert_eq!(log.trace_tags_for(3, 3), vec![(3, 0xabcd)]);
+        assert!(log.trace_tags_for(5, 10).is_empty());
+        // Crash with lsn 2 durable: the tag for burned lsn 3 must go.
+        log.flush_to(Lsn(2));
+        log.crash();
+        assert_eq!(log.trace_tags_for(1, 10), vec![(2, 0xabcd)]);
     }
 
     #[test]

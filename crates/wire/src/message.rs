@@ -18,7 +18,13 @@ use mohan_common::error::Error;
 /// changes. Minor bumps are additive and interoperate.
 pub const PROTO_MAJOR: u16 = 1;
 /// Protocol minor version (additive changes only).
-pub const PROTO_MINOR: u16 = 0;
+///
+/// History: 1 added causal tracing — the [`REQ_TRACED`] request
+/// envelope, filter arguments on [`Request::TraceDump`] (a bodyless
+/// dump still decodes, as minor 0 sent it), and per-record trace tags
+/// on [`Response::WalFrame`] (a frame without the trailing tag list
+/// still decodes, as minor 0 cut it).
+pub const PROTO_MINOR: u16 = 1;
 
 /// This build's packed protocol version (`major << 16 | minor`).
 #[must_use]
@@ -343,7 +349,14 @@ pub enum Request {
     /// Dump the server's span trace ring as JSON lines (one span per
     /// line, newest last). Diagnostic; the ring is bounded, so the
     /// reply is too.
-    TraceDump,
+    TraceDump {
+        /// Only events of this trace (0 = every trace) — the bound
+        /// that keeps dumps from a busy server readable.
+        trace_id: u64,
+        /// Only events with sequence number ≥ this (0 = from the
+        /// oldest retained), so pollers can fetch increments.
+        since_seq: u64,
+    },
 }
 
 const REQ_PING: u8 = 1;
@@ -363,6 +376,40 @@ const REQ_SUBSCRIBE_WAL: u8 = 14;
 const REQ_HELLO: u8 = 15;
 const REQ_PROMOTE: u8 = 16;
 const REQ_TRACE_DUMP: u8 = 17;
+/// Tag of the trace envelope: `[REQ_TRACED][u64 trace id][inner
+/// request payload]`. Deliberately *not* a [`Request`] variant — the
+/// envelope is transport dressing peeled by [`peel_traced`] before
+/// decode, so the opcode table, executor classification and every
+/// `match` over requests stay untouched by tracing.
+pub const REQ_TRACED: u8 = 18;
+
+/// Wrap an encoded request in the trace envelope, attributing it to
+/// `trace_id`. The server installs the id as the request's trace
+/// context (subject to its sampling rate); a zero id makes the server
+/// mint one, same as sending the request bare.
+#[must_use]
+pub fn encode_traced(trace_id: u64, req: &Request) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9);
+    put_u8(&mut out, REQ_TRACED);
+    put_u64(&mut out, trace_id);
+    out.extend_from_slice(&req.encode());
+    out
+}
+
+/// Split a request payload into its optional client-supplied trace id
+/// and the inner payload. Non-enveloped payloads pass through as
+/// `(None, payload)`; a too-short envelope passes through unchanged
+/// and fails request decode as malformed.
+#[must_use]
+pub fn peel_traced(payload: &[u8]) -> (Option<u64>, &[u8]) {
+    if payload.first() == Some(&REQ_TRACED) && payload.len() >= 9 {
+        let mut id = [0u8; 8];
+        id.copy_from_slice(&payload[1..9]);
+        (Some(u64::from_be_bytes(id)), &payload[9..])
+    } else {
+        (None, payload)
+    }
+}
 
 /// Explicit protocol cap on every `u16`-counted list (columns, index
 /// specs, key columns, created ids, stat counters). Encoders clamp to
@@ -415,7 +462,7 @@ impl Request {
             Request::SubscribeWal { .. } => "SubscribeWal",
             Request::Hello { .. } => "Hello",
             Request::Promote => "Promote",
-            Request::TraceDump => "TraceDump",
+            Request::TraceDump { .. } => "TraceDump",
         }
     }
 
@@ -483,7 +530,14 @@ impl Request {
                 put_u8(&mut out, role.tag());
             }
             Request::Promote => put_u8(&mut out, REQ_PROMOTE),
-            Request::TraceDump => put_u8(&mut out, REQ_TRACE_DUMP),
+            Request::TraceDump {
+                trace_id,
+                since_seq,
+            } => {
+                put_u8(&mut out, REQ_TRACE_DUMP);
+                put_u64(&mut out, *trace_id);
+                put_u64(&mut out, *since_seq);
+            }
         }
         out
     }
@@ -541,7 +595,16 @@ impl Request {
                 role: Role::from_tag(c.get_u8()?)?,
             },
             REQ_PROMOTE => Request::Promote,
-            REQ_TRACE_DUMP => Request::TraceDump,
+            // A bodyless dump is the minor-0 encoding: everything,
+            // from the oldest retained event.
+            REQ_TRACE_DUMP if c.remaining() == 0 => Request::TraceDump {
+                trace_id: 0,
+                since_seq: 0,
+            },
+            REQ_TRACE_DUMP => Request::TraceDump {
+                trace_id: c.get_u64()?,
+                since_seq: c.get_u64()?,
+            },
             _ => return None,
         };
         c.finish(req)
@@ -554,11 +617,14 @@ impl Request {
     /// services `Commit`/`Rollback`: those release the very locks a
     /// waiter may be queued behind, so stalling them behind a lock
     /// wait deadlocks until the wait times out. Malformed frames are
-    /// "cannot block" — their error reply is immediate.
+    /// "cannot block" — their error reply is immediate. The
+    /// [`REQ_TRACED`] envelope is looked through: classification
+    /// follows the inner opcode.
     #[must_use]
     pub fn frame_may_block(payload: &[u8]) -> bool {
+        let (_, inner) = peel_traced(payload);
         matches!(
-            payload.first(),
+            inner.first(),
             Some(
                 &(REQ_INSERT
                     | REQ_UPDATE
@@ -802,6 +868,11 @@ pub enum Response {
         count: u32,
         /// Concatenated record encodings.
         records: Vec<u8>,
+        /// `(lsn, trace_id)` tags for carried records that were
+        /// appended under a sampled trace — how one trace id follows
+        /// a write across the subscription into the follower's apply
+        /// path. Sparse: untagged records simply have no entry.
+        traces: Vec<(u64, u64)>,
     },
     /// Admission control rejected the request; retry after backoff.
     Busy,
@@ -936,11 +1007,18 @@ impl Response {
                 flushed,
                 count,
                 records,
+                traces,
             } => {
                 put_u8(&mut out, RESP_WAL_FRAME);
                 put_u64(&mut out, *flushed);
                 put_u32(&mut out, *count);
                 put_bytes(&mut out, records);
+                let n = traces.len().min(MAX_LIST);
+                put_u16(&mut out, n as u16);
+                for &(lsn, trace_id) in &traces[..n] {
+                    put_u64(&mut out, lsn);
+                    put_u64(&mut out, trace_id);
+                }
             }
             Response::Busy => put_u8(&mut out, RESP_BUSY),
             Response::Err { code, message } => {
@@ -1040,11 +1118,26 @@ impl Response {
                 }
                 Response::Metrics { counters, hists }
             }
-            RESP_WAL_FRAME => Response::WalFrame {
-                flushed: c.get_u64()?,
-                count: c.get_u32()?,
-                records: c.get_bytes()?,
-            },
+            RESP_WAL_FRAME => {
+                let flushed = c.get_u64()?;
+                let count = c.get_u32()?;
+                let records = c.get_bytes()?;
+                // Minor-0 frames end here; minor-1 appends the tags.
+                let mut traces = Vec::new();
+                if c.remaining() > 0 {
+                    let n = c.get_u16()? as usize;
+                    traces.reserve(n.min(256));
+                    for _ in 0..n {
+                        traces.push((c.get_u64()?, c.get_u64()?));
+                    }
+                }
+                Response::WalFrame {
+                    flushed,
+                    count,
+                    records,
+                    traces,
+                }
+            }
             RESP_BUSY => Response::Busy,
             RESP_ERR => Response::Err {
                 code: ErrorCode::decode(&mut c)?,
@@ -1140,7 +1233,14 @@ mod tests {
                 role: Role::Replica,
             },
             Request::Promote,
-            Request::TraceDump,
+            Request::TraceDump {
+                trace_id: 0,
+                since_seq: 0,
+            },
+            Request::TraceDump {
+                trace_id: 0xdead_beef_cafe_f00d,
+                since_seq: 42,
+            },
         ]
     }
 
@@ -1201,11 +1301,13 @@ mod tests {
                 flushed: 512,
                 count: 3,
                 records: vec![0xAB, 0xCD, 0xEF, 0x01],
+                traces: vec![(510, 0x1111_2222_3333_4444), (512, 0x5555_6666_7777_8888)],
             },
             Response::WalFrame {
                 flushed: 512,
                 count: 0,
                 records: Vec::new(),
+                traces: Vec::new(),
             },
             Response::Busy,
             Response::Err {
@@ -1257,18 +1359,57 @@ mod tests {
         }
     }
 
+    /// Is the `cut`-byte prefix of `full` exactly a valid minor-0
+    /// encoding that minor 1 deliberately still accepts? Two exist: a
+    /// bodyless `TraceDump` (just the tag) and a `WalFrame` cut right
+    /// before the appended trace-tag list.
+    fn legacy_prefix_request(full: &Request, cut: usize) -> Option<Request> {
+        match full {
+            Request::TraceDump { .. } if cut == 1 => Some(Request::TraceDump {
+                trace_id: 0,
+                since_seq: 0,
+            }),
+            _ => None,
+        }
+    }
+
+    fn legacy_prefix_response(full: &Response, cut: usize) -> Option<Response> {
+        match full {
+            Response::WalFrame {
+                flushed,
+                count,
+                records,
+                ..
+            } if cut == 1 + 8 + 4 + 4 + records.len() => Some(Response::WalFrame {
+                flushed: *flushed,
+                count: *count,
+                records: records.clone(),
+                traces: Vec::new(),
+            }),
+            _ => None,
+        }
+    }
+
     #[test]
     fn every_truncation_is_rejected() {
         for req in sample_requests() {
             let bytes = req.encode();
             for cut in 0..bytes.len() {
-                assert_eq!(Request::decode(&bytes[..cut]), None, "{req:?} cut {cut}");
+                assert_eq!(
+                    Request::decode(&bytes[..cut]),
+                    legacy_prefix_request(&req, cut),
+                    "{req:?} cut {cut}"
+                );
             }
         }
         for resp in sample_responses() {
             let bytes = resp.encode();
             for cut in 0..bytes.len() {
-                assert_eq!(Response::decode(&bytes[..cut]), None, "{resp:?} cut {cut}");
+                assert_eq!(
+                    Response::decode(&bytes[..cut]),
+                    legacy_prefix_response(&resp, cut),
+                    "{resp:?} cut {cut}"
+                );
             }
         }
     }
@@ -1347,7 +1488,10 @@ mod tests {
                 proto_version: 1,
                 role: Role::Primary,
             },
-            Request::TraceDump,
+            Request::TraceDump {
+                trace_id: 0,
+                since_seq: 0,
+            },
         ];
         for r in inline {
             assert!(!Request::frame_may_block(&r.encode()), "{r:?}");
@@ -1355,6 +1499,50 @@ mod tests {
         // Malformed frames get an immediate error reply: inline.
         assert!(!Request::frame_may_block(&[]));
         assert!(!Request::frame_may_block(&[0xEE]));
+        // The trace envelope is transparent to classification.
+        let ins = Request::Insert {
+            table: 1,
+            cols: vec![1],
+        };
+        assert!(Request::frame_may_block(&encode_traced(7, &ins)));
+        assert!(!Request::frame_may_block(&encode_traced(7, &Request::Ping)));
+        // A truncated envelope is malformed, hence inline.
+        assert!(!Request::frame_may_block(&[REQ_TRACED, 0, 0]));
+    }
+
+    #[test]
+    fn trace_envelope_peels_and_inner_roundtrips() {
+        let req = Request::CreateIndex {
+            table: 3,
+            algo: BuildAlgo::Sf,
+            specs: vec![IndexSpecWire {
+                name: "ix".into(),
+                key_cols: vec![0],
+                unique: false,
+            }],
+        };
+        let framed = encode_traced(0xfeed_face_0123_4567, &req);
+        let (id, inner) = peel_traced(&framed);
+        assert_eq!(id, Some(0xfeed_face_0123_4567));
+        assert_eq!(Request::decode(inner), Some(req.clone()));
+        // Bare payloads pass through untouched.
+        let bare = req.encode();
+        let (id, inner) = peel_traced(&bare);
+        assert_eq!(id, None);
+        assert_eq!(inner, &bare[..]);
+        // The envelope tag is not a decodable request on its own, and
+        // a short envelope stays malformed after the peel.
+        assert_eq!(Request::decode(&framed), None);
+        let (id, inner) = peel_traced(&[REQ_TRACED, 1, 2]);
+        assert_eq!(id, None);
+        assert_eq!(Request::decode(inner), None);
+        // An envelope around garbage: peeled id, inner still rejected.
+        let mut bad = vec![REQ_TRACED];
+        bad.extend_from_slice(&7u64.to_be_bytes());
+        bad.push(0xEE);
+        let (id, inner) = peel_traced(&bad);
+        assert_eq!(id, Some(7));
+        assert_eq!(Request::decode(inner), None);
     }
 
     #[test]
