@@ -1,4 +1,4 @@
-//! The experiment suite (E1-E21). Each experiment regenerates one of
+//! The experiment suite (E1-E22). Each experiment regenerates one of
 //! the paper's qualitative claims as a quantitative table; the mapping
 //! to paper sections lives in `DESIGN.md` §3 and the expected shapes
 //! in `EXPERIMENTS.md`.
@@ -37,7 +37,7 @@ pub(crate) fn scaled(n: i64) -> i64 {
     (n / SIZE_DIVISOR.load(Ordering::Relaxed)).max(1_000)
 }
 
-/// Run one experiment by id (`"e1"`..`"e21"`). `quick` shrinks the
+/// Run one experiment by id (`"e1"`..`"e22"`). `quick` shrinks the
 /// workloads for CI-speed runs.
 pub fn run(id: &str, quick: bool) -> Option<Vec<Table>> {
     Some(match id {
@@ -62,12 +62,13 @@ pub fn run(id: &str, quick: bool) -> Option<Vec<Table>> {
         "e19" => replication::e19_follower_reads(quick),
         "e20" => pg_front::e20_pg_front(quick),
         "e21" => tracing::e21_tracing(quick),
+        "e22" => replication::e22_fanout(quick),
         _ => return None,
     })
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 21] = [
+pub const ALL: [&str; 22] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "e20", "e21",
+    "e16", "e17", "e18", "e19", "e20", "e21", "e22",
 ];

@@ -91,6 +91,20 @@ fn render(report: &MetricsReport, frame: u64, clear: bool) {
         ));
     }
     out.push('\n');
+    // A primary with WAL subscribers shows the broadcast fan-out ring:
+    // live subscriber count, ring occupancy, shared scan/encode totals,
+    // and how many lagging streams were cut loose.
+    if let Some(subs) = report.counter("repl.fanout.subscribers") {
+        out.push_str(&format!(
+            "fanout   subs {subs}   ring {} chunks / {} KiB   scans {}   encodes {}   evicted {}   cut loose {}\n",
+            report.counter("repl.fanout.ring_chunks").unwrap_or(0),
+            report.counter("repl.fanout.ring_bytes").unwrap_or(0) / 1024,
+            report.counter("repl.fanout.scans").unwrap_or(0),
+            report.counter("repl.fanout.encodes").unwrap_or(0),
+            report.counter("repl.fanout.evicted").unwrap_or(0),
+            report.counter("repl.fanout.cut_loose").unwrap_or(0),
+        ));
+    }
     out.push_str(&format!(
         "{:<28} {:>10} {:>9} {:>9} {:>9} {:>9}\n",
         "histogram (µs)", "count", "p50", "p90", "p99", "max"

@@ -18,14 +18,19 @@
 use mohan_common::{IndexId, KeyValue, Rid, TableId, TxId};
 use mohan_wire::frame::{read_frame, write_frame};
 use mohan_wire::message::{
-    proto_version, BuildAlgo, BuildPhase, ErrorCode, HistogramSummaryWire, IndexSpecWire, Request,
-    Response, Role,
+    proto_version, BuildAlgo, BuildPhase, HistogramSummaryWire, IndexSpecWire, Request, Response,
+    Role,
 };
 use parking_lot::Mutex;
 use std::io::{self, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use std::time::Duration;
+
+// Re-exported so callers can match on `ClientError::Server { code }`
+// (e.g. a follower telling a cut-loose apart from a generic stream
+// error) without depending on the wire crate themselves.
+pub use mohan_wire::message::ErrorCode;
 
 /// Everything a client call can fail with.
 #[derive(Debug)]

@@ -42,7 +42,7 @@
 
 #![warn(missing_docs)]
 
-use mohan_client::Client;
+use mohan_client::{Client, ClientError, ErrorCode};
 use mohan_common::stats::Counter;
 use mohan_common::{Error, IndexId, KeyValue, Lsn, ReadApi, Result, Rid, TableId};
 use mohan_obs::Histogram;
@@ -107,6 +107,12 @@ pub struct Replica {
     /// advance it even when no records flow).
     primary_flushed: AtomicU64,
     reconnects: AtomicU64,
+    /// Times the primary cut this follower loose
+    /// (`ErrorCode::SubscriptionLagged`) for falling behind its
+    /// broadcast window. Each one resubscribes immediately from
+    /// `applied + 1` — the position is still trusted, only the
+    /// stream was dropped.
+    cut_loose: AtomicU64,
     apply_errors: AtomicU64,
     stop: AtomicBool,
     /// A frame was received since the last disconnect (resets backoff).
@@ -143,8 +149,8 @@ impl Replica {
     /// Registers the follower's gauges and histograms on the engine's
     /// registry: `repl.lag_lsn`, `repl.applied_lsn`,
     /// `repl.primary_flushed_lsn`, `repl.queue_depth`,
-    /// `repl.reconnects`, `repl.apply_errors`, `repl.batch_us`,
-    /// `repl.apply_us`.
+    /// `repl.reconnects`, `repl.cut_loose`, `repl.apply_errors`,
+    /// `repl.batch_us`, `repl.apply_us`.
     #[must_use]
     pub fn new(db: Arc<Db>, addr: &str) -> Arc<Replica> {
         assert!(
@@ -159,6 +165,7 @@ impl Replica {
             applied: AtomicU64::new(0),
             primary_flushed: AtomicU64::new(0),
             reconnects: AtomicU64::new(0),
+            cut_loose: AtomicU64::new(0),
             apply_errors: AtomicU64::new(0),
             stop: AtomicBool::new(false),
             progressed: AtomicBool::new(false),
@@ -183,6 +190,7 @@ impl Replica {
             r.queued_records.load(Ordering::Relaxed)
         });
         gauge("repl.reconnects", Replica::reconnects);
+        gauge("repl.cut_loose", Replica::cut_loose_count);
         gauge("repl.apply_errors", |r| {
             r.apply_errors.load(Ordering::Relaxed)
         });
@@ -232,6 +240,13 @@ impl Replica {
     #[must_use]
     pub fn reconnects(&self) -> u64 {
         self.reconnects.load(Ordering::Relaxed)
+    }
+
+    /// Times the primary cut this follower loose for falling behind
+    /// its broadcast window.
+    #[must_use]
+    pub fn cut_loose_count(&self) -> u64 {
+        self.cut_loose.load(Ordering::Relaxed)
     }
 
     /// How long since the last frame (heartbeats included) arrived
@@ -293,10 +308,28 @@ impl Replica {
             if self.stop.load(Ordering::Acquire) {
                 break;
             }
+            let mut immediate = false;
             match outcome {
                 // `on_frame` returned false: stop, stall, backpressure
                 // abort or a gap — all roads lead to resubscribing.
                 Ok(()) => {}
+                Err(ClientError::Server {
+                    code: ErrorCode::SubscriptionLagged { retained_from },
+                    ..
+                }) => {
+                    // Deliberate cut-loose, not a failure: the primary
+                    // dropped the stream because this cursor fell out
+                    // of its broadcast window. `applied + 1` is still a
+                    // trusted position — resubscribe right away and let
+                    // the primary's catch-up scans walk us back into
+                    // the window.
+                    self.cut_loose.fetch_add(1, Ordering::Relaxed);
+                    self.db
+                        .obs
+                        .trace()
+                        .event("repl.cut_loose", "resubscribing", retained_from);
+                    immediate = true;
+                }
                 Err(e) => {
                     self.db
                         .obs
@@ -304,12 +337,14 @@ impl Replica {
                         .event("repl.disconnect", e.to_string(), 0);
                 }
             }
-            if self.progressed.swap(false, Ordering::AcqRel) {
+            if immediate || self.progressed.swap(false, Ordering::AcqRel) {
                 backoff = BACKOFF_MIN;
             }
             self.reconnects.fetch_add(1, Ordering::Relaxed);
-            std::thread::sleep(backoff);
-            backoff = (backoff * 2).min(BACKOFF_MAX);
+            if !immediate {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(BACKOFF_MAX);
+            }
         }
         let _ = apply.join();
     }

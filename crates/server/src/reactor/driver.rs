@@ -307,7 +307,7 @@ pub(crate) fn run(
                         // Socket drained: resume whatever the backlog
                         // had paused.
                         worker::pump_observe(inner, conn);
-                        worker::pump_wal_burst(inner, conn);
+                        worker::pump_wal_burst(inner, ctx, conn);
                         worker::watch_build(inner, conn);
                     }
                 }
@@ -357,7 +357,7 @@ pub(crate) fn run(
                         needs_exec = worker::run_pending_inline(inner, ctx, conn, draining);
                     }
                     if conn.has_wal_sub() {
-                        worker::pump_wal_burst(inner, conn);
+                        worker::pump_wal_burst(inner, ctx, conn);
                     }
                     if !needs_exec {
                         sync_interest(&mut *backend, conn, token);
@@ -387,7 +387,7 @@ pub(crate) fn run(
                         needs_exec = worker::run_pending_inline(inner, ctx, conn, draining);
                     }
                     worker::pump_observe(inner, conn);
-                    worker::pump_wal_burst(inner, conn);
+                    worker::pump_wal_burst(inner, ctx, conn);
                     worker::check_idle(inner, conn);
                 }
                 if !needs_exec {
@@ -503,7 +503,7 @@ fn take_back(
     worker::try_flush(conn);
     worker::watch_build(inner, conn);
     worker::pump_observe(inner, conn);
-    worker::pump_wal_burst(inner, conn);
+    worker::pump_wal_burst(inner, ctx, conn);
     let needs_exec = worker::run_pending_inline(inner, ctx, conn, inner.draining());
     if needs_exec {
         return Some(token);

@@ -128,7 +128,11 @@ struct ObserveJob {
 
 /// A `SubscribeWal` subscription: the connection becomes a WAL
 /// stream, tailing the log's *flushed* prefix in batched
-/// [`Response::WalFrame`]s until the client disconnects.
+/// [`Response::WalFrame`]s until the client disconnects. The frames
+/// come from the shared broadcast ring (`Inner::broadcast`) — each
+/// flushed suffix is scanned and encoded once for every subscriber —
+/// with bounded private scans only while the cursor is below the
+/// ring's retained window.
 struct WalSubJob {
     /// Next LSN to ship.
     next: u64,
@@ -137,6 +141,13 @@ struct WalSubJob {
     /// Force an immediate first frame so the subscriber learns the
     /// primary's flushed LSN without waiting out a heartbeat.
     primed: bool,
+    /// Whether this cursor has ever reached the broadcast ring's
+    /// retained window. Only a subscriber that was inside the window
+    /// and fell out of it is cut loose; one that started behind it
+    /// (a fresh replica subscribing from an old LSN) is served by
+    /// catch-up scans until it re-enters — otherwise every
+    /// resubscription below the window would be cut again, forever.
+    caught_up: bool,
 }
 
 /// Idle subscriptions still get a frame this often: an empty
@@ -147,6 +158,10 @@ const WAL_SUB_MAX_RECORDS: usize = 1024;
 /// Approximate byte budget for one frame's record blob, far under
 /// `MAX_FRAME`.
 const WAL_SUB_MAX_BYTES: usize = 1 << 20;
+/// Most pre-encoded ring chunks one [`pump_wal_sub`] call ships
+/// before re-checking the socket; [`pump_wal_burst`] keeps pumping
+/// until the backlog pushes back or the cursor catches up.
+const WAL_BURST_CHUNKS: usize = 4;
 
 /// A connection whose outbound backlog exceeds this is a slow client
 /// regardless of the write timeout: responses to pipelined requests
@@ -245,7 +260,15 @@ impl Conn {
             return None;
         }
         if let Some(b) = self.blocked_since {
-            return Some(b + cfg.write_timeout);
+            // While blocked, the write timeout dominates — except that
+            // a backlogged WAL subscription still owes heartbeats (the
+            // follower's liveness signal), so its emission deadline
+            // stays armed alongside it.
+            let mut at = b + cfg.write_timeout;
+            if let Some(j) = &self.wal_sub {
+                at = at.min(j.last_emit + WAL_SUB_HEARTBEAT);
+            }
+            return Some(at);
         }
         let mut at: Option<Instant> = None;
         let mut fold = |t: Instant| at = Some(at.map_or(t, |a: Instant| a.min(t)));
@@ -442,6 +465,7 @@ pub(crate) fn reap_conn(inner: &Arc<Inner>, ctx: &ShardCtx, conn: &mut Conn) {
     if conn.wal_sub.take().is_some() {
         inner.release();
         ctx.wal_subs.fetch_sub(1, Ordering::AcqRel);
+        inner.broadcast.subscriber_detached();
     }
     let _ = conn.session.close(); // rolls back an open tx
     inner.stats.conns_closed.bump();
@@ -476,7 +500,7 @@ pub(crate) fn service_conn(
         progressed |= pump_observe(inner, conn);
     }
     if conn.wal_sub.is_some() {
-        progressed |= pump_wal_sub(inner, conn);
+        progressed |= pump_wal_sub(inner, ctx, conn);
     }
 
     progressed |= read_socket(inner, conn);
@@ -892,6 +916,14 @@ fn execute(inner: &Arc<Inner>, ctx: &ShardCtx, conn: &mut Conn, req: Request) ->
                 "server.inflight".into(),
                 inner.inflight.load(Ordering::Acquire) as u64,
             ));
+            let b = &inner.broadcast;
+            counters.push(("repl.fanout.subscribers".into(), b.subscribers()));
+            counters.push(("repl.fanout.ring_chunks".into(), b.ring_chunks()));
+            counters.push(("repl.fanout.ring_bytes".into(), b.ring_bytes()));
+            counters.push(("repl.fanout.scans".into(), b.scans()));
+            counters.push(("repl.fanout.encodes".into(), b.encodes()));
+            counters.push(("repl.fanout.evicted".into(), b.chunks_evicted()));
+            counters.push(("repl.fanout.cut_loose".into(), b.cut_loose()));
             // Sorted so responses are deterministic and clients can
             // binary-search; `ServerStats::snapshot` emits in struct
             // order and the two gauges above land at the tail.
@@ -932,12 +964,14 @@ fn execute(inner: &Arc<Inner>, ctx: &ShardCtx, conn: &mut Conn, req: Request) ->
             }
             inner.stats.wal_subs.bump();
             ctx.wal_subs.fetch_add(1, Ordering::AcqRel);
+            inner.broadcast.subscriber_attached();
             conn.wal_sub = Some(WalSubJob {
                 next: from_lsn,
                 last_emit: Instant::now(),
                 primed: false,
+                caught_up: false,
             });
-            pump_wal_sub(inner, conn);
+            pump_wal_sub(inner, ctx, conn);
             return true; // slot stays held while the stream is live
         }
         Request::CreateIndex { table, algo, specs } => {
@@ -1056,51 +1090,210 @@ pub(crate) fn pump_observe(inner: &Arc<Inner>, conn: &mut Conn) -> bool {
     true
 }
 
+/// What one pump step decided to do for a subscriber, derived from
+/// where its cursor sits relative to the broadcast ring.
+enum PumpPlan {
+    /// Cursor is inside the retained window: ship pre-encoded chunks.
+    Chunks(Vec<Arc<mohan_wal::WalChunk>>),
+    /// Cursor is below the window (or between chunk boundaries): a
+    /// bounded private scan through `through` inclusive, after which
+    /// the cursor lands on a chunk boundary and rejoins the ring.
+    Scan { through: u64 },
+    /// Cursor was inside the window and fell out of it: cut the
+    /// stream loose with a structured error so the follower
+    /// resubscribes instead of waiting forever.
+    CutLoose { retained_from: u64 },
+    /// Nothing flushed past the cursor: heartbeat when due.
+    Heartbeat,
+}
+
 /// Ship the next batch of a connection's WAL subscription, or a
 /// heartbeat when the log is quiet. Only the flushed prefix ever goes
 /// out: a record past the flushed tail could still be discarded by a
 /// crash, and a follower must never apply state the primary would not
-/// itself recover. Paused while a backlog exists; the records
-/// coalesce into a bigger batch once the socket drains.
-pub(crate) fn pump_wal_sub(inner: &Arc<Inner>, conn: &mut Conn) -> bool {
-    if conn.has_backlog() {
+/// itself recover.
+///
+/// Records come from the shared broadcast ring: whichever subscriber
+/// pumps first scans and encodes the newly flushed suffix *once*, and
+/// every other subscriber ships the same pre-encoded chunks from its
+/// own cursor. A cursor below the ring's retained window gets bounded
+/// private scans (a fresh replica catching up); one that *fell out*
+/// of the window is cut loose — see [`PumpPlan`].
+pub(crate) fn pump_wal_sub(inner: &Arc<Inner>, ctx: &ShardCtx, conn: &mut Conn) -> bool {
+    let Some(job) = &conn.wal_sub else {
         return false;
+    };
+    let (cursor, caught_up) = (job.next, job.caught_up);
+    let heartbeat_due = !job.primed || job.last_emit.elapsed() >= WAL_SUB_HEARTBEAT;
+
+    inner.broadcast.fill(&inner.db.wal);
+
+    let plan = match inner.broadcast.tail_from(cursor, WAL_BURST_CHUNKS) {
+        mohan_wal::Tail::Chunks(chunks) => PumpPlan::Chunks(chunks),
+        mohan_wal::Tail::CaughtUp => PumpPlan::Heartbeat,
+        mohan_wal::Tail::CatchUp { through } => PumpPlan::Scan { through },
+        mohan_wal::Tail::Behind { retained_from } if caught_up => {
+            PumpPlan::CutLoose { retained_from }
+        }
+        mohan_wal::Tail::Behind { retained_from } => PumpPlan::Scan {
+            through: retained_from.saturating_sub(1),
+        },
+    };
+    if matches!(plan, PumpPlan::Chunks(_) | PumpPlan::Heartbeat) {
+        if let Some(j) = conn.wal_sub.as_mut() {
+            j.caught_up = true;
+        }
     }
-    let Some(job) = &mut conn.wal_sub else {
+
+    match plan {
+        PumpPlan::CutLoose { retained_from } => {
+            // Executes even against a backlog: the error frame rides
+            // the existing buffer and the ring no longer owes this
+            // cursor anything.
+            cut_loose(inner, ctx, conn, cursor, retained_from);
+            false
+        }
+        PumpPlan::Heartbeat => {
+            if heartbeat_due {
+                emit_heartbeat(inner, conn);
+            }
+            false
+        }
+        _ if conn.has_backlog() => {
+            // Records wait for the socket to drain and coalesce into
+            // bigger batches, but liveness must not: a backlogged
+            // follower still gets periodic heartbeats, so it can tell
+            // "I am slow" apart from "the primary is dead".
+            if heartbeat_due {
+                emit_heartbeat(inner, conn);
+            }
+            false
+        }
+        PumpPlan::Chunks(chunks) => ship_chunks(inner, ctx, conn, &chunks),
+        PumpPlan::Scan { through } => ship_scan(inner, conn, through),
+    }
+}
+
+/// Emit an empty `WalFrame` carrying only the flushed LSN — the
+/// stream's liveness signal.
+fn emit_heartbeat(inner: &Arc<Inner>, conn: &mut Conn) {
+    let flushed = inner.db.wal.flushed_lsn().0;
+    if let Some(j) = conn.wal_sub.as_mut() {
+        j.primed = true;
+        j.last_emit = Instant::now();
+    }
+    inner.stats.wal_frames.bump();
+    send(
+        inner,
+        conn,
+        &Response::WalFrame {
+            flushed,
+            count: 0,
+            records: Vec::new(),
+            traces: Vec::new(),
+        },
+    );
+}
+
+/// Ship pre-encoded ring chunks from the subscriber's cursor. The
+/// wire framing for each chunk is built once, on first ship, and
+/// cached on the chunk itself — later subscribers reuse the bytes.
+fn ship_chunks(
+    inner: &Arc<Inner>,
+    ctx: &ShardCtx,
+    conn: &mut Conn,
+    chunks: &[Arc<mohan_wal::WalChunk>],
+) -> bool {
+    let mut progressed = false;
+    for chunk in chunks {
+        let framed = chunk.wire_cache.get_or_init(|| {
+            let payload = Response::WalFrame {
+                flushed: chunk.flushed,
+                count: chunk.count,
+                records: chunk.records.clone(),
+                traces: chunk.traces.clone(),
+            }
+            .encode();
+            let mut framed = Vec::with_capacity(4 + payload.len());
+            framed.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+            framed.extend_from_slice(&payload);
+            framed
+        });
+        if framed.len() > MAX_FRAME + 4 {
+            // A single record too large for any frame can never ship.
+            // End the stream with an explicit error instead of letting
+            // `send` substitute one mid-stream and silently desync the
+            // follower's cursor.
+            send(
+                inner,
+                conn,
+                &protocol_err(ErrorCode::Internal, "WAL record exceeds the wire frame cap"),
+            );
+            drop_sub(inner, ctx, conn);
+            return progressed;
+        }
+        inner.stats.wal_frames.bump();
+        inner.stats.wal_records.add(u64::from(chunk.count));
+        send_raw(inner, conn, framed);
+        if conn.dead {
+            return progressed;
+        }
+        if let Some(j) = conn.wal_sub.as_mut() {
+            j.next = chunk.last_lsn + 1;
+            j.primed = true;
+            j.last_emit = Instant::now();
+        }
+        progressed = true;
+        if conn.has_backlog() {
+            break;
+        }
+    }
+    progressed
+}
+
+/// Bounded private scan for a cursor below the broadcast window,
+/// through `through` inclusive — at most a frame's worth per call, so
+/// one lagging follower cannot monopolise the shard.
+fn ship_scan(inner: &Arc<Inner>, conn: &mut Conn, through: u64) -> bool {
+    let Some(job) = &conn.wal_sub else {
+        return false;
+    };
+    let next = job.next;
+    let mut batch: Vec<Arc<mohan_wal::LogRecord>> = Vec::new();
+    let mut bytes = 0usize;
+    for rec in inner
+        .db
+        .wal
+        .scan_range(mohan_common::Lsn(next - 1), WAL_SUB_MAX_RECORDS)
+    {
+        if rec.lsn.0 > through {
+            break;
+        }
+        let size = rec.payload.encoded_size() + 32;
+        // Cap *before* pushing so a full batch is never extended past
+        // the budget; a record that alone exceeds it (e.g. a catalog
+        // snapshot) travels in its own frame.
+        if !batch.is_empty() && bytes + size > WAL_SUB_MAX_BYTES {
+            break;
+        }
+        bytes += size;
+        batch.push(rec);
+    }
+    let Some(last) = batch.last() else {
         return false;
     };
     let flushed = inner.db.wal.flushed_lsn().0;
-    let mut batch: Vec<Arc<mohan_wal::LogRecord>> = Vec::new();
-    if flushed >= job.next {
-        let mut bytes = 0usize;
-        for rec in inner
-            .db
-            .wal
-            .scan_range(mohan_common::Lsn(job.next - 1), WAL_SUB_MAX_RECORDS)
-        {
-            if rec.lsn.0 > flushed || bytes >= WAL_SUB_MAX_BYTES {
-                break;
-            }
-            bytes += rec.payload.encoded_size() + 32;
-            batch.push(rec);
-        }
-    }
-    if batch.is_empty() && job.primed && job.last_emit.elapsed() < WAL_SUB_HEARTBEAT {
-        return false;
-    }
-    job.primed = true;
-    job.last_emit = Instant::now();
-    if let Some(last) = batch.last() {
-        job.next = last.lsn.0 + 1;
-    }
     let count = batch.len() as u32;
     // Trace tags ride the frame so the follower's apply spans join
     // the primary-side trace that caused each record.
-    let traces = match (batch.first(), batch.last()) {
-        (Some(first), Some(last)) => inner.db.wal.trace_tags_for(first.lsn.0, last.lsn.0),
-        _ => Vec::new(),
-    };
+    let traces = inner.db.wal.trace_tags_for(batch[0].lsn.0, last.lsn.0);
+    let next = last.lsn.0 + 1;
     let records = mohan_wal::encode_records(batch.iter().map(|r| &**r));
+    if let Some(j) = conn.wal_sub.as_mut() {
+        j.next = next;
+        j.primed = true;
+        j.last_emit = Instant::now();
+    }
     inner.stats.wal_frames.bump();
     inner.stats.wal_records.add(u64::from(count));
     send(
@@ -1113,16 +1306,48 @@ pub(crate) fn pump_wal_sub(inner: &Arc<Inner>, conn: &mut Conn) -> bool {
             traces,
         },
     );
-    !batch.is_empty()
+    true
+}
+
+/// Terminate a lagging subscription with [`ErrorCode::SubscriptionLagged`].
+/// The follower treats it as "resubscribe from where you are" — the
+/// catch-up scans in [`ship_scan`] then walk it back into the window.
+fn cut_loose(inner: &Arc<Inner>, ctx: &ShardCtx, conn: &mut Conn, cursor: u64, retained_from: u64) {
+    inner.broadcast.note_cut_loose();
+    inner.db.obs.trace().event(
+        "repl.cut_loose",
+        format!("cursor {cursor} behind window start {retained_from}"),
+        retained_from,
+    );
+    send(
+        inner,
+        conn,
+        &protocol_err(
+            ErrorCode::SubscriptionLagged { retained_from },
+            &format!("subscriber cursor {cursor} fell behind the broadcast window"),
+        ),
+    );
+    drop_sub(inner, ctx, conn);
+}
+
+/// Tear down a WAL subscription without closing the connection:
+/// release the admission slot, drop the shard's flush-wakeup gate,
+/// and detach from the broadcast ring.
+fn drop_sub(inner: &Arc<Inner>, ctx: &ShardCtx, conn: &mut Conn) {
+    if conn.wal_sub.take().is_some() {
+        inner.release();
+        ctx.wal_subs.fetch_sub(1, Ordering::AcqRel);
+        inner.broadcast.subscriber_detached();
+    }
 }
 
 /// Drain a WAL subscription's ready records completely: one
-/// [`pump_wal_sub`] ships at most a frame's worth, so a flush wakeup
-/// that published a large suffix keeps pumping until nothing is ready
-/// or the socket pushes back.
-pub(crate) fn pump_wal_burst(inner: &Arc<Inner>, conn: &mut Conn) -> bool {
+/// [`pump_wal_sub`] ships at most a burst of chunks, so a flush
+/// wakeup that published a large suffix keeps pumping until nothing
+/// is ready or the socket pushes back.
+pub(crate) fn pump_wal_burst(inner: &Arc<Inner>, ctx: &ShardCtx, conn: &mut Conn) -> bool {
     let mut progressed = false;
-    while pump_wal_sub(inner, conn) {
+    while pump_wal_sub(inner, ctx, conn) {
         progressed = true;
     }
     progressed

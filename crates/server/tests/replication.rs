@@ -11,16 +11,19 @@
 
 use mohan_btree::scan::collect_all;
 use mohan_client::{Client, ClientError};
-use mohan_common::{EngineConfig, IndexEntry, IndexId, Lsn, TableId};
+use mohan_common::{EngineConfig, IndexEntry, IndexId, Lsn, TableId, TxId};
 use mohan_oib::runtime::IndexState;
 use mohan_oib::schema::Record;
 use mohan_oib::verify::verify_index;
 use mohan_oib::Db;
 use mohan_replica::Replica;
 use mohan_server::{Server, ServerConfig};
+use mohan_wal::{LogPayload, RecKind};
 use mohan_wire::message::{BuildAlgo, ErrorCode, IndexSpecWire, Request, Response};
 use std::collections::BTreeSet;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -457,4 +460,333 @@ fn subscriber_disconnect_releases_admission_slot() {
     }
     assert!(srv.stats().wal_subs.get() >= 1);
     srv.drain();
+}
+
+/// One named counter out of a `Request::Stats` round trip.
+fn stat(c: &mut Client, key: &str) -> u64 {
+    match c.call(&Request::Stats).unwrap() {
+        Response::Stats { counters } => counters
+            .iter()
+            .find(|(k, _)| k == key)
+            .map_or(0, |(_, v)| *v),
+        other => panic!("expected Stats, got {other:?}"),
+    }
+}
+
+/// A record bigger than the pump's per-frame byte budget (but under
+/// the wire frame cap) must travel alone in its own frame, with the
+/// stream intact and gapless around it — the shape `persist_catalog`
+/// produces for a large schema.
+#[test]
+fn oversized_record_ships_alone_without_breaking_stream() {
+    const BIG: usize = 3 << 20;
+    let primary = primary_engine();
+    seed(&primary, 20);
+    primary.wal.flush_all();
+    let srv = server(&primary, ServerConfig::default());
+    let addr = addr_of(&srv);
+
+    // `tail` is 0 until the writer below is done; the subscriber keeps
+    // listening until it has everything up to the final flushed LSN.
+    let tail = Arc::new(AtomicU64::new(0));
+    let sub = {
+        let tail = Arc::clone(&tail);
+        let c = Client::connect(&addr).unwrap();
+        std::thread::spawn(move || {
+            let mut next = 1u64;
+            let mut big_frame_records = 0usize;
+            let res = c.subscribe_wal(1, |_flushed, records, _traces| {
+                if records.iter().any(|r| {
+                    matches!(&r.payload, LogPayload::CatalogUpdate { bytes } if bytes.len() == BIG)
+                }) {
+                    big_frame_records += records.len();
+                }
+                for rec in &records {
+                    assert_eq!(rec.lsn.0, next, "stream gap or replay");
+                    next += 1;
+                }
+                let t = tail.load(Ordering::Acquire);
+                t == 0 || next <= t
+            });
+            (res, next, big_frame_records)
+        })
+    };
+
+    // Live records on both sides of a record ~3x the frame budget.
+    std::thread::sleep(Duration::from_millis(100));
+    let tx = primary.begin();
+    for k in 0..10 {
+        primary
+            .insert_record(tx, T, &Record(vec![700 + k, 0]))
+            .unwrap();
+    }
+    primary.commit(tx).unwrap();
+    primary.wal.append(
+        TxId(999_999),
+        Lsn::NULL,
+        RecKind::RedoOnly,
+        LogPayload::CatalogUpdate {
+            bytes: vec![0xCD; BIG],
+        },
+    );
+    let tx = primary.begin();
+    for k in 0..10 {
+        primary
+            .insert_record(tx, T, &Record(vec![800 + k, 0]))
+            .unwrap();
+    }
+    primary.commit(tx).unwrap();
+    primary.wal.flush_all();
+    tail.store(primary.wal.flushed_lsn().0, Ordering::Release);
+
+    let (res, next, big_frame_records) = sub.join().unwrap();
+    res.expect("stream must survive the oversized record");
+    assert_eq!(next, tail.load(Ordering::Acquire) + 1, "records missing");
+    assert_eq!(
+        big_frame_records, 1,
+        "oversized record must travel alone in its own frame"
+    );
+    srv.drain();
+}
+
+/// A subscriber that stops reading while the log churns past the
+/// broadcast ring's retained window is cut loose with the structured
+/// [`ErrorCode::SubscriptionLagged`] — not silently starved, not
+/// killed by the write timeout.
+#[test]
+fn stalled_subscriber_cut_loose_with_structured_error() {
+    let primary = primary_engine();
+    seed(&primary, 50);
+    primary.wal.flush_all();
+    let srv = server(
+        &primary,
+        ServerConfig {
+            // Long enough that the slow-follower policy (not the
+            // blocked-write reaper) decides this connection's fate.
+            write_timeout: Duration::from_secs(60),
+            fanout_ring_bytes: 1 << 20,
+            ..ServerConfig::default()
+        },
+    );
+    let addr = addr_of(&srv);
+
+    // The subscriber stalls inside its first frame callback — reading
+    // nothing — until the main thread has seen the cut-loose land.
+    let resume = Arc::new(AtomicBool::new(false));
+    let from = primary.wal.flushed_lsn().0 + 1;
+    let sub = {
+        let resume = Arc::clone(&resume);
+        let c = Client::connect(&addr).unwrap();
+        std::thread::spawn(move || {
+            let mut stalled_once = false;
+            c.subscribe_wal(from, move |_flushed, _records, _traces| {
+                if !stalled_once {
+                    stalled_once = true;
+                    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+                    while !resume.load(Ordering::Acquire) && std::time::Instant::now() < deadline {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                }
+                true
+            })
+        })
+    };
+
+    // Churn whole ring windows past the stalled cursor until the
+    // fan-out counters show the cut; the payloads are raw filler — no
+    // follower engine ever applies them.
+    let mut statsc = Client::connect(&addr).unwrap();
+    let mut cut = 0u64;
+    for _ in 0..48 {
+        for _ in 0..16 {
+            primary.wal.append(
+                TxId(999_999),
+                Lsn::NULL,
+                RecKind::RedoOnly,
+                LogPayload::CatalogUpdate {
+                    bytes: vec![0xAB; 64 << 10],
+                },
+            );
+        }
+        primary.wal.flush_all();
+        cut = stat(&mut statsc, "repl.fanout.cut_loose");
+        if cut >= 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(cut >= 1, "stalled subscriber was never cut loose");
+    resume.store(true, Ordering::Release);
+
+    match sub.join().unwrap() {
+        Err(ClientError::Server {
+            code: ErrorCode::SubscriptionLagged { retained_from },
+            ..
+        }) => assert!(retained_from > 1, "retained_from {retained_from}"),
+        other => panic!("expected SubscriptionLagged cut-loose, got {other:?}"),
+    }
+    srv.drain();
+}
+
+/// Copy one direction of a proxied connection; while `pause` holds,
+/// reads stop — which freezes the stream and turns into TCP
+/// backpressure on the writer.
+fn pipe(
+    mut from: TcpStream,
+    mut to: TcpStream,
+    pause: Option<Arc<AtomicBool>>,
+    stop: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        from.set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        let mut buf = [0u8; 8192];
+        loop {
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+            if pause.as_ref().is_some_and(|p| p.load(Ordering::Relaxed)) {
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+            match from.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => {
+                    if to.write_all(&buf[..n]).is_err() {
+                        break;
+                    }
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) => {}
+                Err(_) => break,
+            }
+        }
+        let _ = to.shutdown(std::net::Shutdown::Both);
+        let _ = from.shutdown(std::net::Shutdown::Both);
+    })
+}
+
+/// A pausable TCP proxy in front of the primary: the cheapest honest
+/// model of a stalled follower. Pausing freezes only the
+/// server→client direction, so (re)subscribe requests still reach the
+/// primary while its responses back up.
+fn pausable_proxy(target: String) -> (String, Arc<AtomicBool>, Arc<AtomicBool>, JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    listener.set_nonblocking(true).unwrap();
+    let pause = Arc::new(AtomicBool::new(false));
+    let stop = Arc::new(AtomicBool::new(false));
+    let (p, s) = (Arc::clone(&pause), Arc::clone(&stop));
+    let handle = std::thread::spawn(move || {
+        let mut pipes: Vec<JoinHandle<()>> = Vec::new();
+        while !s.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((client, _)) => {
+                    let upstream = TcpStream::connect(&target).expect("proxy upstream connect");
+                    pipes.push(pipe(
+                        client.try_clone().unwrap(),
+                        upstream.try_clone().unwrap(),
+                        None,
+                        Arc::clone(&s),
+                    ));
+                    pipes.push(pipe(upstream, client, Some(Arc::clone(&p)), Arc::clone(&s)));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => break,
+            }
+        }
+        for t in pipes {
+            let _ = t.join();
+        }
+    });
+    (addr, pause, stop, handle)
+}
+
+/// The cut-loose acceptance scenario end to end: a live follower's
+/// stream freezes mid-SF-build, the primary churns several ring
+/// windows past it and cuts it loose, and on thaw the follower
+/// resubscribes, catches up through the primary's bounded scans, and
+/// converges with zero committed writes lost and a verifying index.
+#[test]
+fn cut_loose_follower_reconnects_and_converges_mid_build() {
+    let primary = primary_engine();
+    seed(&primary, 300);
+    let srv = server(
+        &primary,
+        ServerConfig {
+            workers: 2,
+            max_inflight: 32,
+            write_timeout: Duration::from_secs(60),
+            fanout_ring_bytes: 1 << 20,
+            ..ServerConfig::default()
+        },
+    );
+    let addr = addr_of(&srv);
+    let (proxy_addr, pause, proxy_stop, proxy) = pausable_proxy(addr.clone());
+
+    let follower = replica_engine();
+    let replica = Replica::new(Arc::clone(&follower), &proxy_addr);
+    let apply = replica.spawn();
+    converge(&primary, &replica);
+
+    // Freeze the follower's stream, then commit wide rows — whole ring
+    // windows' worth — until the primary cuts the stalled subscription
+    // loose. The freeze stays well under the follower's socket read
+    // timeout, so the *structured error*, not a timeout, is what it
+    // sees first.
+    pause.store(true, Ordering::Release);
+    let mut committed = BTreeSet::new();
+    let mut statsc = Client::connect(&addr).unwrap();
+    let mut cut = 0u64;
+    for batch in 0..64i64 {
+        let tx = primary.begin();
+        for i in 0..1000 {
+            let key = 5_000_000 + batch * 1000 + i;
+            // 12 columns: as wide as `EngineConfig::small()` pages fit.
+            primary
+                .insert_record(tx, T, &Record(vec![key; 12]))
+                .unwrap();
+            committed.insert(key);
+        }
+        primary.commit(tx).unwrap();
+        primary.wal.flush_all();
+        cut = stat(&mut statsc, "repl.fanout.cut_loose");
+        if cut >= 1 {
+            break;
+        }
+    }
+    assert!(cut >= 1, "primary never cut the frozen follower loose");
+
+    // SF build while the follower is still frozen and cut: its DDL and
+    // side-file records reach the follower only via the reconnect
+    // catch-up path.
+    let mut builder = Client::connect(&addr).unwrap();
+    let ids = builder
+        .create_index(T, BuildAlgo::Sf, vec![ix_spec("ix_cut")], |_, _, _| {})
+        .expect("SF build while the follower is cut loose");
+    let built = ids[0];
+    pause.store(false, Ordering::Release);
+
+    converge(&primary, &replica);
+    assert!(
+        replica.cut_loose_count() >= 1,
+        "follower never classified a cut-loose (reconnects {})",
+        replica.reconnects()
+    );
+    assert_identical(&primary, &follower, built);
+    let visible = surviving_keys(&follower);
+    for key in &committed {
+        assert!(visible.contains(key), "committed key {key} lost");
+    }
+
+    replica.stop();
+    proxy_stop.store(true, Ordering::Release);
+    srv.drain();
+    apply.join().unwrap();
+    proxy.join().unwrap();
 }

@@ -11,6 +11,8 @@
 //! Modules:
 //! * [`record`] — typed log records and payloads.
 //! * [`codec`] — byte encoding of records, for WAL stream replication.
+//! * [`broadcast`] — decode-once fan-out: a bounded ring of
+//!   pre-encoded chunks shared by every WAL subscriber.
 //! * [`log`] — the log manager: append/flush, flushed-prefix crash
 //!   semantics, per-transaction `prev_lsn` chains.
 //! * [`recovery`] — the analysis / redo / undo driver, generic over a
@@ -20,11 +22,13 @@
 
 #![warn(missing_docs)]
 
+pub mod broadcast;
 pub mod codec;
 pub mod log;
 pub mod record;
 pub mod recovery;
 
+pub use broadcast::{Tail, WalBroadcast, WalChunk};
 pub use codec::{decode_record, decode_records, encode_record, encode_records};
 pub use log::{LogManager, WalStats};
 pub use record::{LogPayload, LogRecord, RecKind, SideFileOp};

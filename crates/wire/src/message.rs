@@ -24,7 +24,13 @@ pub const PROTO_MAJOR: u16 = 1;
 /// dump still decodes, as minor 0 sent it), and per-record trace tags
 /// on [`Response::WalFrame`] (a frame without the trailing tag list
 /// still decodes, as minor 0 cut it).
-pub const PROTO_MINOR: u16 = 1;
+///
+/// 2 added [`ErrorCode::SubscriptionLagged`] — the structured
+/// cut-loose a `SubscribeWal` stream receives when its cursor falls
+/// behind the broadcast ring's retained window. Older clients decode
+/// it as a malformed error code and treat the disconnect as a plain
+/// stream error, which still lands them in reconnect-catch-up.
+pub const PROTO_MINOR: u16 = 2;
 
 /// This build's packed protocol version (`major << 16 | minor`).
 #[must_use]
@@ -697,6 +703,17 @@ pub enum ErrorCode {
     /// The peer's [`Request::Hello`] carried a protocol major version
     /// this server does not speak.
     UnsupportedProto,
+    /// A `SubscribeWal` stream was cut loose: the subscriber's cursor
+    /// fell behind the broadcast ring's retained window and the
+    /// primary will not keep scanning the log privately for it. The
+    /// follower should resubscribe from its applied LSN — the server
+    /// serves fresh subscriptions below the window with bounded
+    /// catch-up scans until they re-enter it.
+    SubscriptionLagged {
+        /// Oldest LSN still retained in the broadcast window when the
+        /// stream was cut.
+        retained_from: u64,
+    },
 }
 
 impl ErrorCode {
@@ -722,6 +739,7 @@ impl ErrorCode {
             ErrorCode::NotWritable { .. } => 36,
             ErrorCode::Stale { .. } => 37,
             ErrorCode::UnsupportedProto => 38,
+            ErrorCode::SubscriptionLagged { .. } => 39,
         }
     }
 
@@ -732,6 +750,7 @@ impl ErrorCode {
         match self {
             ErrorCode::NotWritable { leader_hint } => put_string(out, leader_hint),
             ErrorCode::Stale { lag } => put_u64(out, *lag),
+            ErrorCode::SubscriptionLagged { retained_from } => put_u64(out, *retained_from),
             _ => {}
         }
     }
@@ -760,6 +779,9 @@ impl ErrorCode {
             },
             37 => ErrorCode::Stale { lag: c.get_u64()? },
             38 => ErrorCode::UnsupportedProto,
+            39 => ErrorCode::SubscriptionLagged {
+                retained_from: c.get_u64()?,
+            },
             _ => return None,
         })
     }
@@ -1327,6 +1349,12 @@ mod tests {
             Response::Err {
                 code: ErrorCode::UnsupportedProto,
                 message: "major 9 unsupported".into(),
+            },
+            Response::Err {
+                code: ErrorCode::SubscriptionLagged {
+                    retained_from: 88_001,
+                },
+                message: "cursor fell behind the broadcast window".into(),
             },
             Response::Welcome {
                 proto_version: proto_version(),
