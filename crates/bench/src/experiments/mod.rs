@@ -1,4 +1,4 @@
-//! The experiment suite (E1-E22). Each experiment regenerates one of
+//! The experiment suite (E1-E23). Each experiment regenerates one of
 //! the paper's qualitative claims as a quantitative table; the mapping
 //! to paper sections lives in `DESIGN.md` §3 and the expected shapes
 //! in `EXPERIMENTS.md`.
@@ -8,6 +8,7 @@ pub mod build_cost;
 pub mod clustering;
 pub mod contention;
 pub mod observability;
+pub mod parallel_build;
 pub mod pg_front;
 pub mod pseudo;
 pub mod replication;
@@ -37,7 +38,7 @@ pub(crate) fn scaled(n: i64) -> i64 {
     (n / SIZE_DIVISOR.load(Ordering::Relaxed)).max(1_000)
 }
 
-/// Run one experiment by id (`"e1"`..`"e22"`). `quick` shrinks the
+/// Run one experiment by id (`"e1"`..`"e23"`). `quick` shrinks the
 /// workloads for CI-speed runs.
 pub fn run(id: &str, quick: bool) -> Option<Vec<Table>> {
     Some(match id {
@@ -63,12 +64,13 @@ pub fn run(id: &str, quick: bool) -> Option<Vec<Table>> {
         "e20" => pg_front::e20_pg_front(quick),
         "e21" => tracing::e21_tracing(quick),
         "e22" => replication::e22_fanout(quick),
+        "e23" => parallel_build::e23_parallel_build(quick),
         _ => return None,
     })
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 22] = [
+pub const ALL: [&str; 23] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "e20", "e21", "e22",
+    "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23",
 ];

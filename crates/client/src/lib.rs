@@ -18,8 +18,8 @@
 use mohan_common::{IndexId, KeyValue, Rid, TableId, TxId};
 use mohan_wire::frame::{read_frame, write_frame};
 use mohan_wire::message::{
-    proto_version, BuildAlgo, BuildPhase, HistogramSummaryWire, IndexSpecWire, Request, Response,
-    Role,
+    proto_version, BuildAlgo, BuildOptionsWire, BuildPhase, HistogramSummaryWire, IndexSpecWire,
+    Request, Response, Role,
 };
 use parking_lot::Mutex;
 use std::io::{self, BufWriter, Write};
@@ -459,13 +459,41 @@ impl Client {
         table: TableId,
         algo: BuildAlgo,
         specs: Vec<IndexSpecWire>,
-        mut on_progress: impl FnMut(IndexId, BuildPhase, u64),
+        on_progress: impl FnMut(IndexId, BuildPhase, u64),
     ) -> ClientResult<Vec<IndexId>> {
         self.send(&Request::CreateIndex {
             table: table.0,
             algo,
             specs,
         })?;
+        self.follow_build(on_progress)
+    }
+
+    /// [`Client::create_index`] with build tuning options (worker
+    /// count, run compression, drain policy, checkpoint interval),
+    /// carried by the minor-3 `CreateIndexV2` request. Same exchange
+    /// and connection-occupancy semantics.
+    pub fn create_index_with(
+        &mut self,
+        table: TableId,
+        algo: BuildAlgo,
+        specs: Vec<IndexSpecWire>,
+        options: BuildOptionsWire,
+        on_progress: impl FnMut(IndexId, BuildPhase, u64),
+    ) -> ClientResult<Vec<IndexId>> {
+        self.send(&Request::CreateIndexV2 {
+            table: table.0,
+            algo,
+            specs,
+            options,
+        })?;
+        self.follow_build(on_progress)
+    }
+
+    fn follow_build(
+        &mut self,
+        mut on_progress: impl FnMut(IndexId, BuildPhase, u64),
+    ) -> ClientResult<Vec<IndexId>> {
         loop {
             match self.recv()? {
                 Response::Progress {

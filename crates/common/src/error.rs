@@ -63,6 +63,10 @@ pub enum Error {
         /// Replication lag, in LSNs, when the read was refused.
         lag: u64,
     },
+    /// A caller-supplied argument was structurally invalid (empty spec
+    /// list, zero worker count, unknown option). A statement-level
+    /// error, never an engine invariant violation.
+    InvalidArg(String),
 }
 
 impl fmt::Display for Error {
@@ -104,6 +108,7 @@ impl fmt::Display for Error {
                     "follower read refused: replication lag {lag} LSNs over bound"
                 )
             }
+            Error::InvalidArg(msg) => write!(f, "invalid argument: {msg}"),
         }
     }
 }

@@ -3,16 +3,20 @@
 //! cancel (§2.3.2).
 
 use crate::engine::Db;
-use crate::progress::{self, BuildProgress};
+use crate::progress::{self, BuildProgress, PartCheckpoint};
 use crate::runtime::{IndexRuntime, IndexState};
 use crate::schema::{BuildAlgorithm, IndexDef, Record};
 use mohan_btree::{BulkLoader, InsertMode, InsertOutcome};
-use mohan_common::{Error, IndexEntry, IndexId, PageId, Result, Rid, SlotId, TableId, TxId};
+use mohan_common::{
+    EngineConfig, Error, IndexEntry, IndexId, PageId, Result, Rid, SlotId, TableId, TxId,
+};
 use mohan_lock::{LockMode, LockName};
 use mohan_sort::{
     ExternalSort, Merge, MergeCheckpoint, MergePassCheckpoint, RunFormation, SortCheckpoint,
 };
 use mohan_wal::{LogPayload, RecKind};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -53,7 +57,7 @@ impl Drop for PhaseTimer<'_> {
 }
 
 /// What the caller wants indexed.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IndexSpec {
     /// Index name.
     pub name: String,
@@ -61,6 +65,157 @@ pub struct IndexSpec {
     pub key_cols: Vec<usize>,
     /// Enforce key-value uniqueness.
     pub unique: bool,
+}
+
+/// How a build runs. One configuration type shared by every layer:
+/// the engine API ([`build_indexes_with`] /
+/// [`crate::Session::create_index_with`]), the wire protocol
+/// (`Request::CreateIndexV2`), the native client, and SQL
+/// `CREATE INDEX ... WITH (...)`.
+///
+/// The durable per-build options blob (`build/{id}/options`) records
+/// the options a build started with, so a post-crash
+/// [`resume_build`] keeps the same worker layout and intervals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildOptions {
+    /// Worker threads for the scan + run-formation phase (≥ 1). The
+    /// scan range is split into one contiguous page partition per
+    /// worker; each partition checkpoints independently.
+    pub parallel_workers: usize,
+    /// Store sorted runs prefix-compressed (common-prefix truncation
+    /// per block, decoded only when the merge reads them back).
+    pub compress_runs: bool,
+    /// Per-build override of [`EngineConfig::side_file_sorted_apply`]
+    /// (`None` keeps the engine default).
+    pub sort_side_file_drain: Option<bool>,
+    /// Per-build override of every checkpoint interval — sort, merge
+    /// and insert/load keys between checkpoints (`None` keeps the
+    /// engine defaults).
+    pub checkpoint_every: Option<usize>,
+}
+
+impl Default for BuildOptions {
+    fn default() -> BuildOptions {
+        BuildOptions {
+            parallel_workers: 1,
+            compress_runs: false,
+            sort_side_file_drain: None,
+            checkpoint_every: None,
+        }
+    }
+}
+
+impl BuildOptions {
+    /// Engine defaults: serial, uncompressed, config-driven intervals.
+    #[must_use]
+    pub fn new() -> BuildOptions {
+        BuildOptions::default()
+    }
+
+    /// Set the scan/sort worker count (clamped to at least 1).
+    #[must_use]
+    pub fn workers(mut self, n: usize) -> BuildOptions {
+        self.parallel_workers = n.max(1);
+        self
+    }
+
+    /// Enable / disable prefix-compressed run storage.
+    #[must_use]
+    pub fn compress(mut self, on: bool) -> BuildOptions {
+        self.compress_runs = on;
+        self
+    }
+
+    /// Override the sorted side-file drain pass.
+    #[must_use]
+    pub fn sorted_drain(mut self, on: bool) -> BuildOptions {
+        self.sort_side_file_drain = Some(on);
+        self
+    }
+
+    /// Override every checkpoint interval of the build.
+    #[must_use]
+    pub fn checkpoint_every(mut self, keys: usize) -> BuildOptions {
+        self.checkpoint_every = Some(keys);
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.parallel_workers == 0 {
+            return Err(Error::InvalidArg(
+                "parallel_workers must be at least 1".into(),
+            ));
+        }
+        if self.checkpoint_every == Some(0) {
+            return Err(Error::InvalidArg(
+                "checkpoint_every must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    pub(crate) fn sort_checkpoint_keys(&self, cfg: &EngineConfig) -> usize {
+        self.checkpoint_every
+            .unwrap_or(cfg.sort_checkpoint_every_keys)
+    }
+
+    pub(crate) fn merge_checkpoint_keys(&self, cfg: &EngineConfig) -> usize {
+        self.checkpoint_every
+            .unwrap_or(cfg.merge_checkpoint_every_keys)
+    }
+
+    pub(crate) fn ib_checkpoint_keys(&self, cfg: &EngineConfig) -> usize {
+        self.checkpoint_every
+            .unwrap_or(cfg.ib_checkpoint_every_keys)
+    }
+
+    pub(crate) fn sorted_apply(&self, cfg: &EngineConfig) -> bool {
+        self.sort_side_file_drain
+            .unwrap_or(cfg.side_file_sorted_apply)
+    }
+
+    /// Serialize for the durable options blob:
+    /// `[u16 workers][u8 flags][u32 checkpoint_every, 0 = unset]`,
+    /// flags bit 0 = compress, bit 1 = drain override present, bit 2 =
+    /// drain override value.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(7);
+        let w = self.parallel_workers.min(u16::MAX as usize) as u16;
+        out.extend_from_slice(&w.to_be_bytes());
+        let mut flags = 0u8;
+        if self.compress_runs {
+            flags |= 1;
+        }
+        if self.sort_side_file_drain.is_some() {
+            flags |= 2;
+        }
+        if self.sort_side_file_drain == Some(true) {
+            flags |= 4;
+        }
+        out.push(flags);
+        let ce = self.checkpoint_every.unwrap_or(0).min(u32::MAX as usize) as u32;
+        out.extend_from_slice(&ce.to_be_bytes());
+        out
+    }
+
+    /// Deserialize; `None` on malformed bytes.
+    #[must_use]
+    pub fn decode(buf: &[u8]) -> Option<BuildOptions> {
+        let workers = u16::from_be_bytes(buf.get(0..2)?.try_into().ok()?) as usize;
+        let flags = *buf.get(2)?;
+        let ce = u32::from_be_bytes(buf.get(3..7)?.try_into().ok()?) as usize;
+        Some(BuildOptions {
+            parallel_workers: workers.max(1),
+            compress_runs: flags & 1 != 0,
+            sort_side_file_drain: if flags & 2 != 0 {
+                Some(flags & 4 != 0)
+            } else {
+                None
+            },
+            checkpoint_every: if ce == 0 { None } else { Some(ce) },
+        })
+    }
 }
 
 /// Build one index.
@@ -83,13 +238,24 @@ pub fn build_indexes(
     specs: &[IndexSpec],
     algorithm: BuildAlgorithm,
 ) -> Result<Vec<IndexId>> {
-    build_indexes_observed(db, table, specs, algorithm, |_| {})
+    build_indexes_with(db, table, specs, algorithm, &BuildOptions::default())
 }
 
-/// [`build_indexes`] with an observer hook: `on_ids` fires once the
-/// batch's index ids are allocated (descriptors registered for NSF/SF,
-/// runtimes created for offline), before any scan work. An observer —
-/// e.g. a server streaming progress frames — can then poll
+/// [`build_indexes`] with explicit [`BuildOptions`].
+pub fn build_indexes_with(
+    db: &Arc<Db>,
+    table: TableId,
+    specs: &[IndexSpec],
+    algorithm: BuildAlgorithm,
+    options: &BuildOptions,
+) -> Result<Vec<IndexId>> {
+    build_indexes_observed(db, table, specs, algorithm, options, |_| {})
+}
+
+/// [`build_indexes_with`] with an observer hook: `on_ids` fires once
+/// the batch's index ids are allocated (descriptors registered for
+/// NSF/SF, runtimes created for offline), before any scan work. An
+/// observer — e.g. a server streaming progress frames — can then poll
 /// [`progress::load`] for exactly these ids instead of guessing which
 /// of the table's in-flight builds is this one.
 pub fn build_indexes_observed(
@@ -97,16 +263,26 @@ pub fn build_indexes_observed(
     table: TableId,
     specs: &[IndexSpec],
     algorithm: BuildAlgorithm,
+    options: &BuildOptions,
     on_ids: impl FnOnce(&[IndexId]),
 ) -> Result<Vec<IndexId>> {
-    assert!(!specs.is_empty());
+    if specs.is_empty() {
+        return Err(Error::InvalidArg("no index specs".into()));
+    }
+    options.validate()?;
+    db.build_sort_workers
+        .observe(options.parallel_workers as u64);
     match algorithm {
-        BuildAlgorithm::Offline => offline_build(db, table, specs, on_ids),
+        BuildAlgorithm::Offline => offline_build(db, table, specs, options, on_ids),
         BuildAlgorithm::Nsf | BuildAlgorithm::Sf => {
             let idxs = create_descriptors(db, table, specs, algorithm)?;
             let ids: Vec<IndexId> = idxs.iter().map(|i| i.def.id).collect();
+            for idx in &idxs {
+                idx.configure_run_store(options.compress_runs);
+                progress::store_options(db, idx.def.id, options);
+            }
             on_ids(&ids);
-            match run_from_scratch(db, &idxs) {
+            match run_from_scratch(db, &idxs, options) {
                 Ok(()) => Ok(ids),
                 Err(e) if e.is_crash() => Err(e),
                 Err(e) => {
@@ -118,13 +294,17 @@ pub fn build_indexes_observed(
     }
 }
 
-/// Continue an interrupted build after [`Db::restart`].
+/// Continue an interrupted build after [`Db::restart`], with the
+/// [`BuildOptions`] the build was started with (from the durable
+/// options blob).
 pub fn resume_build(db: &Arc<Db>, id: IndexId) -> Result<()> {
     let idx = db.index(id)?;
     if idx.state() == IndexState::Complete {
         return Ok(());
     }
-    let result = resume_one(db, &idx);
+    let options = progress::load_options(db, id);
+    idx.configure_run_store(options.compress_runs);
+    let result = resume_one(db, &idx, &options);
     match result {
         Ok(()) => Ok(()),
         Err(e) if e.is_crash() => Err(e),
@@ -242,38 +422,47 @@ fn set_scan_bounds(rt: &IndexRuntime, tbl: &mohan_heap::HeapTable) {
 // the build pipeline
 // ===================================================================
 
-fn run_from_scratch(db: &Arc<Db>, idxs: &[Arc<IndexRuntime>]) -> Result<()> {
-    let runs = scan_and_sort(db, idxs, &vec![None; idxs.len()])?;
+fn run_from_scratch(db: &Arc<Db>, idxs: &[Arc<IndexRuntime>], opts: &BuildOptions) -> Result<()> {
+    let runs = if opts.parallel_workers > 1 {
+        parallel_scan_and_sort(db, idxs, &vec![None; idxs.len()], opts)?
+    } else {
+        scan_and_sort(db, idxs, &vec![None; idxs.len()], opts)?
+    };
     for (idx, idx_runs) in idxs.iter().zip(runs) {
-        let finals = reduce_phase(db, idx, idx_runs, None)?;
-        enter_final_phase(db, idx, finals)?;
+        let finals = reduce_phase(db, idx, idx_runs, None, opts)?;
+        enter_final_phase(db, idx, finals, opts)?;
     }
     Ok(())
 }
 
-fn resume_one(db: &Arc<Db>, idx: &Arc<IndexRuntime>) -> Result<()> {
+fn resume_one(db: &Arc<Db>, idx: &Arc<IndexRuntime>, opts: &BuildOptions) -> Result<()> {
     match progress::load(db, idx.def.id)? {
         None => {
             // Crash before the first sort checkpoint: start over.
-            run_from_scratch(db, std::slice::from_ref(idx))
+            run_from_scratch(db, std::slice::from_ref(idx), opts)
         }
         Some(BuildProgress::Scanning { sort }) => {
-            let runs = scan_and_sort(db, std::slice::from_ref(idx), &[Some(sort)])?;
-            let finals = reduce_phase(db, idx, runs.into_iter().next().expect("one"), None)?;
-            enter_final_phase(db, idx, finals)
+            let runs = scan_and_sort(db, std::slice::from_ref(idx), &[Some(sort)], opts)?;
+            let finals = reduce_phase(db, idx, runs.into_iter().next().expect("one"), None, opts)?;
+            enter_final_phase(db, idx, finals, opts)
+        }
+        Some(BuildProgress::ScanningParallel { parts }) => {
+            let runs = parallel_scan_and_sort(db, std::slice::from_ref(idx), &[Some(parts)], opts)?;
+            let finals = reduce_phase(db, idx, runs.into_iter().next().expect("one"), None, opts)?;
+            enter_final_phase(db, idx, finals, opts)
         }
         Some(BuildProgress::Reducing { pass }) => {
-            let finals = reduce_phase(db, idx, Vec::new(), Some(pass))?;
-            enter_final_phase(db, idx, finals)
+            let finals = reduce_phase(db, idx, Vec::new(), Some(pass), opts)?;
+            enter_final_phase(db, idx, finals, opts)
         }
         Some(BuildProgress::Loading { merge, bulk }) => {
-            sf_load_phase(db, idx, merge, Some(bulk))?;
-            sf_drain_phase(db, idx, 0)
+            sf_load_phase(db, idx, merge, Some(bulk), opts)?;
+            sf_drain_phase(db, idx, 0, opts)
         }
         Some(BuildProgress::Inserting { merge, inserted }) => {
-            nsf_insert_phase(db, idx, merge, inserted)
+            nsf_insert_phase(db, idx, merge, inserted, opts)
         }
-        Some(BuildProgress::Draining { pos }) => sf_drain_phase(db, idx, pos),
+        Some(BuildProgress::Draining { pos }) => sf_drain_phase(db, idx, pos, opts),
     }
 }
 
@@ -284,8 +473,10 @@ fn scan_and_sort(
     db: &Arc<Db>,
     idxs: &[Arc<IndexRuntime>],
     resumes: &[Option<SortCheckpoint<IndexEntry>>],
+    opts: &BuildOptions,
 ) -> Result<Vec<Vec<u64>>> {
     let _phase = PhaseTimer::new(db, "scan");
+    let cp_every = opts.sort_checkpoint_keys(&db.cfg);
     let table = db.table(idxs[0].def.table)?;
     let ws = db.cfg.sort_workspace_keys;
     let mut rfs: Vec<RunFormation<IndexEntry>> = Vec::with_capacity(idxs.len());
@@ -335,7 +526,7 @@ fn scan_and_sort(
                 }
                 db.failpoints.hit("build.scan.record")?;
                 since_cp += 1;
-                if since_cp >= db.cfg.sort_checkpoint_every_keys {
+                if since_cp >= cp_every {
                     since_cp = 0;
                     for (i, idx) in idxs.iter().enumerate() {
                         let cp = rfs[i].checkpoint()?;
@@ -378,19 +569,262 @@ fn scan_and_sort(
     Ok(all_runs)
 }
 
+/// Persist one [`BuildProgress::ScanningParallel`] record per index
+/// from the combined per-worker checkpoint state. Callers hold the
+/// state lock, so concurrent workers never interleave half-updated
+/// records.
+fn persist_parallel_parts(
+    db: &Db,
+    idxs: &[Arc<IndexRuntime>],
+    parts: &[(u32, u32)],
+    state: &[Vec<SortCheckpoint<IndexEntry>>],
+) {
+    for (i, idx) in idxs.iter().enumerate() {
+        let pcs: Vec<PartCheckpoint> = parts
+            .iter()
+            .enumerate()
+            .map(|(w, &(lo, hi))| PartCheckpoint {
+                lo,
+                hi,
+                sort: state[i][w].clone(),
+            })
+            .collect();
+        progress::store(
+            db,
+            idx.def.id,
+            &BuildProgress::ScanningParallel { parts: pcs },
+        );
+    }
+}
+
+/// [`scan_and_sort`] on several worker threads: the scan range is
+/// split into one contiguous page partition per worker, and each
+/// worker runs its own §5.1 replacement selection per index into the
+/// index's shared run store. Checkpoints are per-partition
+/// ([`PartCheckpoint`]): each worker's checkpoint is a valid serial
+/// restart point for its page range, so a crash resumes every worker
+/// from its own position (re-using the checkpointed partition table).
+///
+/// Safety of the §3.2.2 visibility rule under out-of-order page
+/// completion: Current-RID only ever advances (`fetch_max`), so a
+/// worker finishing a *later* partition first makes records in
+/// still-unscanned earlier partitions conservatively visible. Their
+/// updates go straight to the index/side-file *and* their keys are
+/// extracted by the scan — the same over-visibility the post-crash
+/// conservative rescan produces, absorbed the same way: duplicate
+/// inserts are rejected and missing-key deletes are no-ops at drain.
+///
+/// The §6.2 multi-index batch rides the same partitioned scan: one
+/// worker feeds every index's sorter for its page range.
+fn parallel_scan_and_sort(
+    db: &Arc<Db>,
+    idxs: &[Arc<IndexRuntime>],
+    resumes: &[Option<Vec<PartCheckpoint>>],
+    opts: &BuildOptions,
+) -> Result<Vec<Vec<u64>>> {
+    let _phase = PhaseTimer::new(db, "scan");
+    let table = db.table(idxs[0].def.table)?;
+    let ws = db.cfg.sort_workspace_keys;
+    let cp_every = opts.sort_checkpoint_keys(&db.cfg);
+    let scan_end = idxs[0].scan_end();
+    let empty = scan_end == PageId(u32::MAX) || table.num_pages() == 0;
+
+    // Partition table: a resume re-uses the checkpointed partitions
+    // (they define which runs belong to which worker); a fresh build
+    // splits the scan range evenly.
+    let parts: Vec<(u32, u32)> = match resumes.iter().flatten().next() {
+        Some(cps) => cps.iter().map(|p| (p.lo, p.hi)).collect(),
+        None if empty => vec![(0, 0)],
+        None => {
+            let pages = u64::from(scan_end.0) + 1;
+            let w = (opts.parallel_workers as u64).min(pages).max(1);
+            let chunk = pages / w;
+            let rem = pages % w;
+            let mut out = Vec::with_capacity(w as usize);
+            let mut lo = 0u64;
+            for i in 0..w {
+                let len = chunk + u64::from(i < rem);
+                out.push((lo as u32, (lo + len - 1) as u32));
+                lo += len;
+            }
+            out
+        }
+    };
+    let nw = parts.len();
+    db.build_sort_workers.observe(nw as u64);
+
+    // One RunFormation per (worker, index). Resumed workers reposition
+    // via `resume_keeping`, preserving every sibling partition's
+    // checkpointed runs in the shared store; runs no checkpoint knows
+    // (flushed after the last checkpoint, then lost to the crash) are
+    // deleted once here.
+    let mut worker_rfs: Vec<Vec<RunFormation<IndexEntry>>> = Vec::with_capacity(nw);
+    let mut worker_floors: Vec<Vec<u64>> = Vec::with_capacity(nw);
+    let mut cp_init: Vec<Vec<SortCheckpoint<IndexEntry>>> = vec![Vec::new(); idxs.len()];
+    for w in 0..nw {
+        let mut row = Vec::with_capacity(idxs.len());
+        let mut frow = Vec::with_capacity(idxs.len());
+        for (i, idx) in idxs.iter().enumerate() {
+            let store = idx.run_store();
+            match &resumes[i] {
+                Some(cps) => {
+                    let preserve: Vec<u64> = cps
+                        .iter()
+                        .flat_map(|p| p.sort.runs.iter().map(|r| r.id))
+                        .collect();
+                    let cp = &cps[w].sort;
+                    frow.push(cp.scan_pos);
+                    cp_init[i].push(cp.clone());
+                    row.push(RunFormation::resume_keeping(store, ws, cp, &preserve)?);
+                }
+                None => {
+                    frow.push(0);
+                    cp_init[i].push(SortCheckpoint {
+                        runs: Vec::new(),
+                        scan_pos: 0,
+                        last_run_high: None,
+                    });
+                    row.push(RunFormation::new(store, ws));
+                }
+            }
+        }
+        worker_rfs.push(row);
+        worker_floors.push(frow);
+    }
+
+    let stop = AtomicBool::new(false);
+    let first_err: Mutex<Option<Error>> = Mutex::new(None);
+    // cp_state[i][w]: index `i`'s latest checkpoint for partition `w`.
+    let cp_state = Mutex::new(cp_init);
+
+    if !empty {
+        let finished: Vec<Vec<RunFormation<IndexEntry>>> = std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(nw);
+            for (w, (row, floors)) in worker_rfs
+                .drain(..)
+                .zip(worker_floors.drain(..))
+                .enumerate()
+            {
+                let (lo, hi) = parts[w];
+                let (stop, first_err, cp_state) = (&stop, &first_err, &cp_state);
+                let (table, parts) = (&table, &parts);
+                handles.push(s.spawn(move || {
+                    let mut rfs = row;
+                    // Resume strictly after the checkpointed position.
+                    // A fresh partition starts just before its first
+                    // page: every RID of page `lo - 1` compares ≤
+                    // `from`, so only the page_done hook re-fires there
+                    // — harmless, Current-RID only grows.
+                    let min_floor = floors.iter().copied().min().unwrap_or(0);
+                    let from = if min_floor > 0 {
+                        Some(Rid::unpack(min_floor - 1))
+                    } else if lo == 0 {
+                        None
+                    } else {
+                        Some(Rid {
+                            page: PageId(lo - 1),
+                            slot: SlotId(u16::MAX),
+                        })
+                    };
+                    let mut since_cp = 0usize;
+                    let r = table.scan_pages(
+                        from,
+                        PageId(hi),
+                        |rid, data| {
+                            if stop.load(Ordering::Relaxed) {
+                                return Ok(false);
+                            }
+                            let rec = Record::decode(data)?;
+                            let pos = rid.pack() + 1;
+                            for (i, idx) in idxs.iter().enumerate() {
+                                if pos > floors[i] {
+                                    let entry = idx.def.entry_of(&rec, rid)?;
+                                    rfs[i].push(entry, pos)?;
+                                }
+                                if idx.algorithm == BuildAlgorithm::Sf {
+                                    idx.set_current_rid(rid);
+                                }
+                            }
+                            db.failpoints.hit("build.scan.record")?;
+                            since_cp += 1;
+                            if since_cp >= cp_every {
+                                since_cp = 0;
+                                let mut cps = Vec::with_capacity(idxs.len());
+                                for rf in rfs.iter_mut() {
+                                    cps.push(rf.checkpoint()?);
+                                }
+                                let mut state = cp_state.lock();
+                                for (i, cp) in cps.into_iter().enumerate() {
+                                    state[i][w] = cp;
+                                }
+                                persist_parallel_parts(db, idxs, parts, &state);
+                                db.failpoints.hit("build.scan")?;
+                            }
+                            Ok(true)
+                        },
+                        |page| {
+                            for idx in idxs {
+                                if idx.algorithm == BuildAlgorithm::Sf {
+                                    idx.set_current_rid(Rid {
+                                        page,
+                                        slot: SlotId(u16::MAX),
+                                    });
+                                }
+                            }
+                        },
+                    );
+                    if let Err(e) = r {
+                        stop.store(true, Ordering::Relaxed);
+                        let mut g = first_err.lock();
+                        if g.is_none() {
+                            *g = Some(e);
+                        }
+                    }
+                    rfs
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scan worker panicked"))
+                .collect()
+        });
+        worker_rfs = finished;
+    }
+    if let Some(e) = first_err.into_inner() {
+        return Err(e);
+    }
+    for idx in idxs {
+        if idx.algorithm == BuildAlgorithm::Sf {
+            idx.finish_scan();
+        }
+    }
+    // Combined run set, partition order: deterministic input for the
+    // merge (which is order-insensitive anyway — the total order on
+    // `IndexEntry` makes the merged output identical to the serial
+    // build's).
+    let mut all_runs: Vec<Vec<u64>> = vec![Vec::new(); idxs.len()];
+    for row in worker_rfs {
+        for (i, rf) in row.into_iter().enumerate() {
+            all_runs[i].extend(rf.finish()?);
+        }
+    }
+    Ok(all_runs)
+}
+
 /// Reduce runs below the merge fan-in, persisting §5.2 checkpoints.
 fn reduce_phase(
     db: &Arc<Db>,
     idx: &Arc<IndexRuntime>,
     runs: Vec<u64>,
     resume: Option<MergePassCheckpoint>,
+    opts: &BuildOptions,
 ) -> Result<Vec<u64>> {
     let _phase = PhaseTimer::new(db, "reduce");
     let ext = ExternalSort {
         store: idx.run_store(),
         workspace: db.cfg.sort_workspace_keys,
         fan_in: db.cfg.merge_fan_in,
-        checkpoint_every: db.cfg.merge_checkpoint_every_keys,
+        checkpoint_every: opts.merge_checkpoint_keys(&db.cfg),
     };
     let id = idx.def.id;
     let mut persist = |cp: &MergePassCheckpoint| -> Result<()> {
@@ -404,7 +838,12 @@ fn reduce_phase(
 }
 
 /// Persist the initial final-phase progress record, then run it.
-fn enter_final_phase(db: &Arc<Db>, idx: &Arc<IndexRuntime>, finals: Vec<u64>) -> Result<()> {
+fn enter_final_phase(
+    db: &Arc<Db>,
+    idx: &Arc<IndexRuntime>,
+    finals: Vec<u64>,
+    opts: &BuildOptions,
+) -> Result<()> {
     let merge_cp = MergeCheckpoint {
         counters: vec![0; finals.len()],
         inputs: finals,
@@ -420,11 +859,11 @@ fn enter_final_phase(db: &Arc<Db>, idx: &Arc<IndexRuntime>, finals: Vec<u64>) ->
                     inserted: 0,
                 },
             );
-            nsf_insert_phase(db, idx, merge_cp, 0)
+            nsf_insert_phase(db, idx, merge_cp, 0, opts)
         }
         BuildAlgorithm::Sf => {
-            sf_load_phase(db, idx, merge_cp, None)?;
-            sf_drain_phase(db, idx, 0)
+            sf_load_phase(db, idx, merge_cp, None, opts)?;
+            sf_drain_phase(db, idx, 0, opts)
         }
         BuildAlgorithm::Offline => offline_load(db, idx, merge_cp),
     }
@@ -458,8 +897,10 @@ fn nsf_insert_phase(
     idx: &Arc<IndexRuntime>,
     merge_cp: MergeCheckpoint,
     mut inserted: u64,
+    opts: &BuildOptions,
 ) -> Result<()> {
     let _phase = PhaseTimer::new(db, "insert");
+    let cp_every = opts.ib_checkpoint_keys(&db.cfg);
     let store = idx.run_store();
     let mut merge = Merge::resume(&store, &merge_cp)?;
     let mut ib = db.begin_ib();
@@ -487,7 +928,7 @@ fn nsf_insert_phase(
             if batch.len() >= db.cfg.ib_multi_key_batch {
                 flush_ib_batch(db, ib, idx, &mut batch)?;
             }
-            if since_cp >= db.cfg.ib_checkpoint_every_keys {
+            if since_cp >= cp_every {
                 since_cp = 0;
                 flush_ib_batch(db, ib, idx, &mut batch)?;
                 // §2.2.3 periodic checkpointing: force the tree, commit
@@ -623,8 +1064,10 @@ fn sf_load_phase(
     idx: &Arc<IndexRuntime>,
     merge_cp: MergeCheckpoint,
     bulk_cp: Option<mohan_btree::BulkCheckpoint>,
+    opts: &BuildOptions,
 ) -> Result<()> {
     let _phase = PhaseTimer::new(db, "load");
+    let cp_keys = opts.ib_checkpoint_keys(&db.cfg);
     let store = idx.run_store();
     let mut merge = Merge::resume(&store, &merge_cp)?;
     let mut loader = match &bulk_cp {
@@ -650,7 +1093,7 @@ fn sf_load_phase(
 
     let result = (|| -> Result<()> {
         loop {
-            if since_cp >= db.cfg.ib_checkpoint_every_keys {
+            if since_cp >= cp_keys {
                 // The unique-path lookahead may hold one consumed
                 // entry; it can be flushed (making the merge counters
                 // and the loader agree) unless an equal-key run is
@@ -755,7 +1198,12 @@ fn resolve_unique_group(
     Ok(survivor)
 }
 
-pub(crate) fn sf_drain_phase(db: &Arc<Db>, idx: &Arc<IndexRuntime>, mut pos: u64) -> Result<()> {
+pub(crate) fn sf_drain_phase(
+    db: &Arc<Db>,
+    idx: &Arc<IndexRuntime>,
+    mut pos: u64,
+    opts: &BuildOptions,
+) -> Result<()> {
     let _phase = PhaseTimer::new(db, "drain");
     idx.side_file.set_drained(pos);
     let mut ib = db.begin_ib();
@@ -764,7 +1212,7 @@ pub(crate) fn sf_drain_phase(db: &Arc<Db>, idx: &Arc<IndexRuntime>, mut pos: u64
         // access, preserving the relative order of identical keys
         // (§3.2.5). Applied as one atomic IB transaction; a crash
         // repeats the pass.
-        if db.cfg.side_file_sorted_apply {
+        if opts.sorted_apply(&db.cfg) {
             let snapshot = idx.side_file.len();
             if snapshot > pos {
                 let mut ops = idx.side_file.read(pos, (snapshot - pos) as usize);
@@ -919,6 +1367,7 @@ fn offline_build(
     db: &Arc<Db>,
     table: TableId,
     specs: &[IndexSpec],
+    opts: &BuildOptions,
     on_ids: impl FnOnce(&[IndexId]),
 ) -> Result<Vec<IndexId>> {
     let tx = db.begin();
@@ -935,14 +1384,19 @@ fn offline_build(
                 IndexState::Complete,
             );
             set_scan_bounds(&rt, &tbl);
+            rt.configure_run_store(opts.compress_runs);
             idxs.push(rt);
         }
         on_ids(&idxs.iter().map(|i| i.def.id).collect::<Vec<_>>());
         // One shared scan, unregistered runtimes: a crash leaves no
         // trace (the offline strategy is restart-from-scratch).
-        let runs = scan_and_sort(db, &idxs, &vec![None; idxs.len()])?;
+        let runs = if opts.parallel_workers > 1 {
+            parallel_scan_and_sort(db, &idxs, &vec![None; idxs.len()], opts)?
+        } else {
+            scan_and_sort(db, &idxs, &vec![None; idxs.len()], opts)?
+        };
         for (idx, idx_runs) in idxs.iter().zip(runs) {
-            let finals = reduce_phase(db, idx, idx_runs, None)?;
+            let finals = reduce_phase(db, idx, idx_runs, None, opts)?;
             let merge_cp = MergeCheckpoint {
                 counters: vec![0; finals.len()],
                 inputs: finals,

@@ -13,6 +13,7 @@
 use crate::runtime::{IndexRuntime, IndexState};
 use crate::schema::{BuildAlgorithm, Record};
 use mohan_common::failpoint::{FailpointSet, Failpoints};
+use mohan_common::stats::MaxGauge;
 use mohan_common::{EngineConfig, Error, IndexEntry, IndexId, Lsn, Result, Rid, TableId, TxId};
 use mohan_heap::HeapTable;
 use mohan_lock::{LockManager, LockMode, LockName};
@@ -51,6 +52,9 @@ pub struct Db {
     /// cache, latch and build metrics register here under the dotted
     /// namespace DESIGN.md documents; the server layer adds its own.
     pub obs: Arc<Registry>,
+    /// High-water worker count across every build this engine ran
+    /// (the `build.sort_workers` gauge).
+    pub build_sort_workers: MaxGauge,
     tables: RwLock<HashMap<TableId, Arc<HeapTable>>>,
     indexes: RwLock<Vec<Arc<IndexRuntime>>>,
     txs: Mutex<HashMap<TxId, Lsn>>,
@@ -82,6 +86,7 @@ impl Db {
             blobs: BlobStore::new(),
             failpoints: FailpointSet::new(),
             obs: Registry::new(),
+            build_sort_workers: MaxGauge::new(),
             tables: RwLock::new(HashMap::new()),
             indexes: RwLock::new(Vec::new()),
             txs: Mutex::new(HashMap::new()),
@@ -143,6 +148,21 @@ impl Db {
                 .read()
                 .iter()
                 .map(|i| i.side_file.drain_passes.get())
+                .sum()
+        });
+        gauge("build.sort_workers", |db| db.build_sort_workers.get());
+        gauge("build.run_bytes", |db| {
+            db.indexes
+                .read()
+                .iter()
+                .filter_map(|i| i.sort_store.lock().as_ref().map(|rs| rs.raw_bytes.get()))
+                .sum()
+        });
+        gauge("build.run_bytes_compressed", |db| {
+            db.indexes
+                .read()
+                .iter()
+                .filter_map(|i| i.sort_store.lock().as_ref().map(|rs| rs.stored_bytes.get()))
                 .sum()
         });
         self.obs

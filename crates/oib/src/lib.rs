@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod build;
+pub mod convert;
 pub mod dml;
 pub mod engine;
 pub mod gc;
@@ -47,6 +48,7 @@ pub mod session;
 pub mod side_file;
 pub mod verify;
 
+pub use build::{BuildOptions, IndexSpec};
 pub use engine::Db;
 pub use runtime::{IndexRuntime, IndexState};
 pub use schema::{BuildAlgorithm, IndexDef, Record};

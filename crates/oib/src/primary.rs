@@ -174,7 +174,7 @@ pub fn build_secondary_via_primary(
         db.wal.flush_all();
         loader.finish(db.wal.flushed_lsn())?;
         progress::store(db, id, &BuildProgress::Draining { pos: 0 });
-        crate::build::sf_drain_phase(db, &idx, 0)
+        crate::build::sf_drain_phase(db, &idx, 0, &crate::build::BuildOptions::default())
     })();
 
     match result {

@@ -7,10 +7,44 @@
 //! insert position, §3.2.4 SF bulk-load checkpoint, §3.2.5 drain
 //! position).
 
+use crate::build::BuildOptions;
 use crate::engine::Db;
 use mohan_btree::BulkCheckpoint;
 use mohan_common::{Error, IndexEntry, IndexId, Result};
 use mohan_sort::{MergeCheckpoint, MergePassCheckpoint, SortCheckpoint};
+
+/// One scan partition's restart point in a parallel build: the page
+/// range the worker owns plus its own §5.1 sort checkpoint. Each
+/// worker's checkpoint is a valid serial restart point for its range;
+/// together they are the build's scan-phase progress.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartCheckpoint {
+    /// First page of the partition (inclusive).
+    pub lo: u32,
+    /// Last page of the partition (inclusive).
+    pub hi: u32,
+    /// The worker's sort-phase checkpoint.
+    pub sort: SortCheckpoint<IndexEntry>,
+}
+
+impl PartCheckpoint {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.lo.to_be_bytes());
+        out.extend_from_slice(&self.hi.to_be_bytes());
+        let s = self.sort.encode();
+        out.extend_from_slice(&(s.len() as u32).to_be_bytes());
+        out.extend_from_slice(&s);
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<PartCheckpoint> {
+        let lo = u32::from_be_bytes(buf.get(*pos..*pos + 4)?.try_into().ok()?);
+        let hi = u32::from_be_bytes(buf.get(*pos + 4..*pos + 8)?.try_into().ok()?);
+        let slen = u32::from_be_bytes(buf.get(*pos + 8..*pos + 12)?.try_into().ok()?) as usize;
+        let sort = SortCheckpoint::decode(buf.get(*pos + 12..*pos + 12 + slen)?)?;
+        *pos += 12 + slen;
+        Some(PartCheckpoint { lo, hi, sort })
+    }
+}
 
 /// Where an interrupted build resumes.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,6 +53,12 @@ pub enum BuildProgress {
     Scanning {
         /// Sort-phase checkpoint (includes the data-scan position).
         sort: SortCheckpoint<IndexEntry>,
+    },
+    /// Partitioned scan on several workers: one §5.1 checkpoint per
+    /// scan partition, restarted per-partition.
+    ScanningParallel {
+        /// Per-worker partition checkpoints, in partition order.
+        parts: Vec<PartCheckpoint>,
     },
     /// Reducing runs below the merge fan-in (§5.2).
     Reducing {
@@ -79,6 +119,13 @@ impl BuildProgress {
                 out.push(4);
                 out.extend_from_slice(&pos.to_be_bytes());
             }
+            BuildProgress::ScanningParallel { parts } => {
+                out.push(5);
+                out.extend_from_slice(&(parts.len() as u16).to_be_bytes());
+                for p in parts {
+                    p.encode(&mut out);
+                }
+            }
         }
         out
     }
@@ -109,6 +156,15 @@ impl BuildProgress {
             4 => Some(BuildProgress::Draining {
                 pos: u64::from_be_bytes(buf.get(1..9)?.try_into().ok()?),
             }),
+            5 => {
+                let n = u16::from_be_bytes(buf.get(1..3)?.try_into().ok()?) as usize;
+                let mut pos = 3;
+                let mut parts = Vec::with_capacity(n);
+                for _ in 0..n {
+                    parts.push(PartCheckpoint::decode(buf, &mut pos)?);
+                }
+                Some(BuildProgress::ScanningParallel { parts })
+            }
             _ => None,
         }
     }
@@ -116,6 +172,10 @@ impl BuildProgress {
 
 fn key(id: IndexId) -> String {
     format!("build/{}/progress", id.0)
+}
+
+fn options_key(id: IndexId) -> String {
+    format!("build/{}/options", id.0)
 }
 
 /// Durably record build progress.
@@ -133,9 +193,27 @@ pub fn load(db: &Db, id: IndexId) -> Result<Option<BuildProgress>> {
     }
 }
 
-/// Remove the progress record (build finished or cancelled).
+/// Remove the progress (and options) records — build finished or
+/// cancelled.
 pub fn clear(db: &Db, id: IndexId) {
     db.blobs.remove(&key(id));
+    db.blobs.remove(&options_key(id));
+}
+
+/// Durably record the build's [`BuildOptions`], so a resumed build
+/// keeps the worker count, run compression and interval overrides it
+/// started with.
+pub fn store_options(db: &Db, id: IndexId, options: &BuildOptions) {
+    db.blobs.put(&options_key(id), options.encode());
+}
+
+/// The options a build was started with ([`BuildOptions::default`]
+/// for builds that predate the record).
+pub fn load_options(db: &Db, id: IndexId) -> BuildOptions {
+    db.blobs
+        .get(&options_key(id))
+        .and_then(|b| BuildOptions::decode(&b))
+        .unwrap_or_default()
 }
 
 #[cfg(test)]
@@ -192,6 +270,28 @@ mod tests {
                 inserted: 123,
             },
             BuildProgress::Draining { pos: 77 },
+            BuildProgress::ScanningParallel {
+                parts: vec![
+                    PartCheckpoint {
+                        lo: 0,
+                        hi: 9,
+                        sort: SortCheckpoint {
+                            runs: vec![RunMeta { id: 3, len: 5 }],
+                            scan_pos: 41,
+                            last_run_high: Some(e.clone()),
+                        },
+                    },
+                    PartCheckpoint {
+                        lo: 10,
+                        hi: 19,
+                        sort: SortCheckpoint {
+                            runs: vec![],
+                            scan_pos: 0,
+                            last_run_high: None,
+                        },
+                    },
+                ],
+            },
         ];
         for c in cases {
             assert_eq!(BuildProgress::decode(&c.encode()), Some(c));

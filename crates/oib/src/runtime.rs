@@ -180,11 +180,22 @@ impl IndexRuntime {
     /// Get (or lazily create) the build's run store.
     #[must_use]
     pub fn run_store(&self) -> std::sync::Arc<RunStore<mohan_common::IndexEntry>> {
+        self.configure_run_store(false)
+    }
+
+    /// Get the build's run store, creating it with the given
+    /// compression mode if it does not exist yet. An existing store's
+    /// mode wins: a resumed build keeps whatever layout its runs were
+    /// written in.
+    pub fn configure_run_store(
+        &self,
+        compress: bool,
+    ) -> std::sync::Arc<RunStore<mohan_common::IndexEntry>> {
         let mut g = self.sort_store.lock();
         if let Some(rs) = &*g {
             return std::sync::Arc::clone(rs);
         }
-        let rs = std::sync::Arc::new(RunStore::new());
+        let rs = std::sync::Arc::new(RunStore::with_compression(compress));
         *g = Some(std::sync::Arc::clone(&rs));
         rs
     }

@@ -20,7 +20,7 @@
 //! [`Error::TxAlreadyOpen`] — the server maps both onto structured
 //! wire errors rather than guessing intent.
 
-use crate::build::{self, IndexSpec};
+use crate::build::{self, BuildOptions, IndexSpec};
 use crate::engine::Db;
 use crate::schema::{BuildAlgorithm, Record};
 use mohan_common::{Error, IndexId, KeyValue, Result, Rid, TableId, TxId};
@@ -178,11 +178,22 @@ impl Session {
         specs: &[IndexSpec],
         algorithm: BuildAlgorithm,
     ) -> Result<Vec<IndexId>> {
+        self.create_indexes_with(table, specs, algorithm, &BuildOptions::default())
+    }
+
+    /// [`Session::create_indexes`] with explicit [`BuildOptions`].
+    pub fn create_indexes_with(
+        &mut self,
+        table: TableId,
+        specs: &[IndexSpec],
+        algorithm: BuildAlgorithm,
+        options: &BuildOptions,
+    ) -> Result<Vec<IndexId>> {
         self.check_writable()?;
         if let Some(tx) = self.tx {
             return Err(Error::TxAlreadyOpen(tx));
         }
-        build::build_indexes(&self.db, table, specs, algorithm)
+        build::build_indexes_with(&self.db, table, specs, algorithm, options)
     }
 
     /// [`Session::create_indexes`] for a single spec.
@@ -193,6 +204,17 @@ impl Session {
         algorithm: BuildAlgorithm,
     ) -> Result<IndexId> {
         Ok(self.create_indexes(table, &[spec], algorithm)?[0])
+    }
+
+    /// [`Session::create_index`] with explicit [`BuildOptions`].
+    pub fn create_index_with(
+        &mut self,
+        table: TableId,
+        spec: IndexSpec,
+        algorithm: BuildAlgorithm,
+        options: &BuildOptions,
+    ) -> Result<IndexId> {
+        Ok(self.create_indexes_with(table, &[spec], algorithm, options)?[0])
     }
 
     // ----- lifecycle --------------------------------------------------

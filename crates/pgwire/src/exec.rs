@@ -19,7 +19,7 @@ use crate::catalog::{Catalog, TableMeta};
 use crate::proto;
 use crate::sql::{Filter, SelectCols, Statement};
 use mohan_common::{Error, IndexId, KeyValue, Rid, TableId};
-use mohan_oib::build::IndexSpec;
+use mohan_oib::build::{BuildOptions, IndexSpec};
 use mohan_oib::schema::{BuildAlgorithm, Record};
 use mohan_oib::{IndexState, Session};
 
@@ -99,6 +99,7 @@ pub fn sqlstate_of(e: &Error) -> &'static str {
         Error::TxAlreadyOpen(_) => "25001",    // active_sql_transaction
         Error::NotWritable => "25006",         // read_only_sql_transaction
         Error::ReplicaStale { .. } => "72000", // snapshot_too_old
+        Error::InvalidArg(_) => "22023",       // invalid_parameter_value
     }
 }
 
@@ -131,7 +132,50 @@ pub enum StmtOutcome {
         specs: Vec<IndexSpec>,
         /// Build algorithm from the `USING` clause (SF default).
         algorithm: BuildAlgorithm,
+        /// Build tuning from the `WITH` clause (defaults otherwise).
+        options: BuildOptions,
     },
+}
+
+/// Validate a `WITH (key = value, ...)` clause into [`BuildOptions`].
+/// Unknown keys and malformed values are statement errors (SQLSTATE
+/// `22023`, invalid_parameter_value), named specifically so the user
+/// can fix the statement.
+fn parse_build_options(with_options: &[(String, String)]) -> Result<BuildOptions, PgError> {
+    let invalid = |msg: String| PgError {
+        sqlstate: "22023",
+        message: msg,
+    };
+    let as_bool = |key: &str, val: &str| match val {
+        "on" | "true" | "yes" | "1" => Ok(true),
+        "off" | "false" | "no" | "0" => Ok(false),
+        _ => Err(invalid(format!(
+            "invalid value \"{val}\" for option \"{key}\" (expected on/off)"
+        ))),
+    };
+    let as_count = |key: &str, val: &str| {
+        val.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(|| {
+            invalid(format!(
+                "invalid value \"{val}\" for option \"{key}\" (expected a positive integer)"
+            ))
+        })
+    };
+    let mut opts = BuildOptions::default();
+    for (key, val) in with_options {
+        match key.as_str() {
+            "parallel_workers" => opts.parallel_workers = as_count(key, val)?,
+            "compress_runs" => opts.compress_runs = as_bool(key, val)?,
+            "sorted_drain" => opts.sort_side_file_drain = Some(as_bool(key, val)?),
+            "checkpoint_every" => opts.checkpoint_every = Some(as_count(key, val)?),
+            other => {
+                return Err(invalid(format!(
+                    "unknown index build option \"{other}\" (parallel_workers | \
+                     compress_runs | sorted_drain | checkpoint_every)"
+                )))
+            }
+        }
+    }
+    Ok(opts)
 }
 
 /// Execute one statement against `session`, appending backend
@@ -240,6 +284,7 @@ pub fn execute_statement(
             table,
             cols,
             algo,
+            with_options,
         } => {
             let meta = lookup_table(catalog, table)?;
             if let Some(tx) = session.current_tx() {
@@ -272,6 +317,7 @@ pub fn execute_statement(
                     )))
                 }
             };
+            let options = parse_build_options(with_options)?;
             return Ok(StmtOutcome::StartBuild {
                 table: meta.id,
                 specs: vec![IndexSpec {
@@ -280,6 +326,7 @@ pub fn execute_statement(
                     unique: *unique,
                 }],
                 algorithm,
+                options,
             });
         }
     }
@@ -616,12 +663,16 @@ mod tests {
         let mut out = Vec::new();
         match execute_statement(stmt, &mut session, &catalog, &env, &mut out).unwrap() {
             StmtOutcome::StartBuild {
-                specs, algorithm, ..
+                specs,
+                algorithm,
+                options,
+                ..
             } => {
                 assert_eq!(specs[0].name, "kv_k");
                 assert_eq!(specs[0].key_cols, vec![0]);
                 assert!(specs[0].unique);
                 assert!(matches!(algorithm, BuildAlgorithm::Sf));
+                assert_eq!(options, BuildOptions::default());
             }
             StmtOutcome::Complete => panic!("expected a build"),
         }
@@ -629,5 +680,48 @@ mod tests {
         let stmt = &parse("CREATE INDEX bad ON kv USING zzz (k)").unwrap()[0];
         let err = execute_statement(stmt, &mut session, &catalog, &env, &mut out).unwrap_err();
         assert_eq!(err.sqlstate, "0A000");
+    }
+
+    #[test]
+    fn create_index_with_clause_validates_options() {
+        let (_db, mut session, catalog) = setup();
+        let env = ExecEnv::default();
+        run("CREATE TABLE kv (k, v)", &mut session, &catalog, &env).unwrap();
+        let stmt = &parse(
+            "CREATE INDEX kv_v ON kv (v) WITH \
+             (parallel_workers = 4, compress_runs = on, \
+              sorted_drain = off, checkpoint_every = 5000)",
+        )
+        .unwrap()[0];
+        let mut out = Vec::new();
+        match execute_statement(stmt, &mut session, &catalog, &env, &mut out).unwrap() {
+            StmtOutcome::StartBuild { options, .. } => {
+                assert_eq!(
+                    options,
+                    BuildOptions::new()
+                        .workers(4)
+                        .compress(true)
+                        .sorted_drain(false)
+                        .checkpoint_every(5000)
+                );
+            }
+            StmtOutcome::Complete => panic!("expected a build"),
+        }
+        // Unknown keys and malformed values are 22023 statement errors.
+        for bad in [
+            "CREATE INDEX b1 ON kv (v) WITH (fillfactor = 70)",
+            "CREATE INDEX b2 ON kv (v) WITH (parallel_workers = 0)",
+            "CREATE INDEX b3 ON kv (v) WITH (compress_runs = maybe)",
+            "CREATE INDEX b4 ON kv (v) WITH (checkpoint_every = -5)",
+        ] {
+            let stmt = &parse(bad).unwrap()[0];
+            let err = execute_statement(stmt, &mut session, &catalog, &env, &mut out).unwrap_err();
+            assert_eq!(err.sqlstate, "22023", "{bad}");
+        }
+        // The engine-level empty-spec rejection maps to 22023 too.
+        assert_eq!(
+            sqlstate_of(&Error::InvalidArg("no index specs".into())),
+            "22023"
+        );
     }
 }

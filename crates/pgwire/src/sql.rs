@@ -7,6 +7,7 @@
 //! ```text
 //! CREATE TABLE name ( col [type-words ...] [, ...] )
 //! CREATE [UNIQUE] INDEX name ON table [USING sf|nsf|offline|btree] ( col [, ...] )
+//!     [WITH ( option = value [, ...] )]
 //! INSERT INTO table [( col [, ...] )] VALUES ( int [, ...] ) [, ( ... )]*
 //! SELECT * | col [, ...] FROM table [WHERE col = int | col BETWEEN int AND int]
 //! UPDATE table SET col = int [, ...] WHERE <filter>
@@ -197,6 +198,11 @@ pub enum Statement {
         /// Build algorithm from `USING` (`sf` default; `btree` is an
         /// accepted alias for `sf` so stock clients work unchanged).
         algo: Option<String>,
+        /// `WITH (key = value, ...)` build options, in statement
+        /// order, values as written (numbers rendered decimal). The
+        /// executor validates keys and values; unknown ones are a
+        /// statement error, not a parse error.
+        with_options: Vec<(String, String)>,
     },
     /// `INSERT INTO ... VALUES ...` (multi-row).
     Insert {
@@ -476,12 +482,35 @@ impl Parser {
             None
         };
         let cols = self.ident_list("a column name")?;
+        let with_options = if self.eat_kw("with") {
+            self.expect_symbol('(')?;
+            let mut opts = Vec::new();
+            loop {
+                let key = self.ident("an option name")?;
+                self.expect_symbol('=')?;
+                let val = match self.next() {
+                    Some(Token::Ident(s)) => s,
+                    Some(Token::Number(n)) => n.to_string(),
+                    _ => return Err(PgError::syntax("expected an option value")),
+                };
+                opts.push((key, val));
+                if self.eat_symbol(',') {
+                    continue;
+                }
+                self.expect_symbol(')')?;
+                break;
+            }
+            opts
+        } else {
+            Vec::new()
+        };
         Ok(Statement::CreateIndex {
             unique,
             name,
             table,
             cols,
             algo,
+            with_options,
         })
     }
 
@@ -622,6 +651,7 @@ mod tests {
                 table: "kv".into(),
                 cols: vec!["k".into()],
                 algo: Some("sf".into()),
+                with_options: vec![],
             }
         );
         assert_eq!(
@@ -646,6 +676,39 @@ mod tests {
         assert_eq!(stmts[7], Statement::Begin);
         assert_eq!(stmts[8], Statement::Commit);
         assert_eq!(stmts[9], Statement::Rollback);
+    }
+
+    #[test]
+    fn create_index_with_options_parses() {
+        let stmts = parse(
+            "CREATE INDEX kv_v ON kv USING sf (v) \
+             WITH (parallel_workers = 4, compress_runs = on, \
+                   sorted_drain = off, checkpoint_every = 5000)",
+        )
+        .unwrap();
+        assert_eq!(
+            stmts[0],
+            Statement::CreateIndex {
+                unique: false,
+                name: "kv_v".into(),
+                table: "kv".into(),
+                cols: vec!["v".into()],
+                algo: Some("sf".into()),
+                with_options: vec![
+                    ("parallel_workers".into(), "4".into()),
+                    ("compress_runs".into(), "on".into()),
+                    ("sorted_drain".into(), "off".into()),
+                    ("checkpoint_every".into(), "5000".into()),
+                ],
+            }
+        );
+        // A WITH clause without parentheses is a syntax error.
+        assert_eq!(
+            parse("CREATE INDEX i ON t (k) WITH parallel_workers = 2")
+                .unwrap_err()
+                .sqlstate,
+            "42601"
+        );
     }
 
     #[test]

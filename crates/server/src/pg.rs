@@ -385,6 +385,7 @@ fn handle_query(
                 table,
                 specs,
                 algorithm,
+                options,
             }) => {
                 // The build owns the connection until it finishes;
                 // trailing statements in the same string would never
@@ -402,7 +403,7 @@ fn handle_query(
                 worker::send_raw(inner, conn, &out);
                 out.clear();
                 build_started =
-                    worker::start_build_engine(inner, ctx, conn, table, algorithm, specs);
+                    worker::start_build_engine(inner, ctx, conn, table, algorithm, specs, options);
                 break;
             }
             Err(e) => {
@@ -453,6 +454,7 @@ mod tests {
                 table: "t".into(),
                 cols: vec!["k".into()],
                 algo: None,
+                with_options: vec![],
             },
             Statement::Insert {
                 table: "t".into(),

@@ -26,14 +26,14 @@
 use crate::pg::ConnKind;
 use crate::Inner;
 use mohan_common::{Error, IndexId, KeyValue, Rid, TableId};
-use mohan_oib::build::{build_indexes_observed, IndexSpec};
+use mohan_oib::build::{build_indexes_observed, BuildOptions, IndexSpec};
 use mohan_oib::progress::{self, BuildProgress};
 use mohan_oib::schema::{BuildAlgorithm, Record};
 use mohan_oib::Session;
 use mohan_wire::frame::{take_frame, write_frame, MAX_FRAME};
 use mohan_wire::message::{
-    proto_major, proto_version, BuildAlgo, BuildPhase, ErrorCode, HistogramSummaryWire, Request,
-    Response, Role, PROTO_MAJOR,
+    proto_major, proto_version, BuildAlgo, BuildOptionsWire, BuildPhase, ErrorCode,
+    HistogramSummaryWire, Request, Response, Role, PROTO_MAJOR,
 };
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -63,6 +63,7 @@ pub(crate) const OPCODES: &[&str] = &[
     "Hello",
     "Promote",
     "TraceDump",
+    "CreateIndexV2",
 ];
 
 /// Index of a request's opcode into [`OPCODES`] / `Inner::req_us`.
@@ -86,6 +87,7 @@ fn opcode_index(req: &Request) -> usize {
         Request::Hello { .. } => 14,
         Request::Promote => 15,
         Request::TraceDump { .. } => 16,
+        Request::CreateIndexV2 { .. } => 17,
     }
 }
 
@@ -817,7 +819,8 @@ fn execute(inner: &Arc<Inner>, ctx: &ShardCtx, conn: &mut Conn, req: Request) ->
             | Request::Insert { .. }
             | Request::Update { .. }
             | Request::Delete { .. }
-            | Request::CreateIndex { .. } => {
+            | Request::CreateIndex { .. }
+            | Request::CreateIndexV2 { .. } => {
                 send(
                     inner,
                     conn,
@@ -975,7 +978,23 @@ fn execute(inner: &Arc<Inner>, ctx: &ShardCtx, conn: &mut Conn, req: Request) ->
             return true; // slot stays held while the stream is live
         }
         Request::CreateIndex { table, algo, specs } => {
-            return start_build(inner, ctx, conn, TableId(table), algo, specs);
+            return start_build(
+                inner,
+                ctx,
+                conn,
+                TableId(table),
+                algo,
+                specs,
+                BuildOptionsWire::default(),
+            );
+        }
+        Request::CreateIndexV2 {
+            table,
+            algo,
+            specs,
+            options,
+        } => {
+            return start_build(inner, ctx, conn, TableId(table), algo, specs, options);
         }
         Request::Hello {
             proto_version: theirs,
@@ -1373,6 +1392,7 @@ fn build_refuse(inner: &Arc<Inner>, conn: &mut Conn, e: &Error) {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn start_build(
     inner: &Arc<Inner>,
     ctx: &ShardCtx,
@@ -1380,13 +1400,12 @@ fn start_build(
     table: TableId,
     algo: BuildAlgo,
     specs: Vec<mohan_wire::message::IndexSpecWire>,
+    options: BuildOptionsWire,
 ) -> bool {
     if specs.is_empty() {
-        send(
-            inner,
-            conn,
-            &protocol_err(ErrorCode::Malformed, "no index specs"),
-        );
+        // Same statement-level rejection the engine would raise,
+        // answered before a build thread spawns for nothing.
+        build_refuse(inner, conn, &Error::InvalidArg("no index specs".into()));
         return false;
     }
     let algorithm = match algo {
@@ -1394,15 +1413,16 @@ fn start_build(
         BuildAlgo::Nsf => BuildAlgorithm::Nsf,
         BuildAlgo::Sf => BuildAlgorithm::Sf,
     };
-    let engine_specs: Vec<IndexSpec> = specs
-        .into_iter()
-        .map(|s| IndexSpec {
-            name: s.name,
-            key_cols: s.key_cols.into_iter().map(usize::from).collect(),
-            unique: s.unique,
-        })
-        .collect();
-    start_build_engine(inner, ctx, conn, table, algorithm, engine_specs)
+    let engine_specs: Vec<IndexSpec> = specs.into_iter().map(IndexSpec::from).collect();
+    start_build_engine(
+        inner,
+        ctx,
+        conn,
+        table,
+        algorithm,
+        engine_specs,
+        BuildOptions::from(options),
+    )
 }
 
 /// Spawn an online index build on its own thread and attach it to
@@ -1411,6 +1431,7 @@ fn start_build(
 /// and a SQL `CREATE INDEX` (via the pg executor's validated
 /// `StmtOutcome::StartBuild`). The immediate first frame and any
 /// failure reply are rendered per protocol.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn start_build_engine(
     inner: &Arc<Inner>,
     ctx: &ShardCtx,
@@ -1418,6 +1439,7 @@ pub(crate) fn start_build_engine(
     table: TableId,
     algorithm: BuildAlgorithm,
     engine_specs: Vec<IndexSpec>,
+    options: BuildOptions,
 ) -> bool {
     if let Some(tx) = conn.session.current_tx() {
         build_refuse(inner, conn, &Error::TxAlreadyOpen(tx));
@@ -1441,9 +1463,16 @@ pub(crate) fn start_build_engine(
         .name("oib-build".into())
         .spawn(move || {
             let _trace_scope = trace_ctx.map(mohan_obs::install_ctx);
-            let r = build_indexes_observed(&db, table, &engine_specs, algorithm, |registered| {
-                *ids_slot.lock() = Some(registered.to_vec());
-            });
+            let r = build_indexes_observed(
+                &db,
+                table,
+                &engine_specs,
+                algorithm,
+                &options,
+                |registered| {
+                    *ids_slot.lock() = Some(registered.to_vec());
+                },
+            );
             *slot.lock() = Some(r);
             if let Some(w) = waker {
                 w.wake();
@@ -1632,6 +1661,11 @@ pub(crate) fn watch_build(inner: &Arc<Inner>, conn: &mut Conn) -> bool {
 fn phase_of(p: &BuildProgress) -> (BuildPhase, u64) {
     match p {
         BuildProgress::Scanning { sort } => (BuildPhase::Scanning, sort.scan_pos),
+        // Parallel scan: report the partitions' combined position.
+        BuildProgress::ScanningParallel { parts } => (
+            BuildPhase::Scanning,
+            parts.iter().map(|p| p.sort.scan_pos).sum(),
+        ),
         BuildProgress::Reducing { .. } => (BuildPhase::Reducing, 0),
         BuildProgress::Loading { merge, .. } => (BuildPhase::Loading, merge.emitted),
         BuildProgress::Inserting { inserted, .. } => (BuildPhase::Inserting, *inserted),
@@ -1772,6 +1806,12 @@ mod tests {
             Request::TraceDump {
                 trace_id: 0,
                 since_seq: 0,
+            },
+            Request::CreateIndexV2 {
+                table: 1,
+                algo: BuildAlgo::Sf,
+                specs: vec![],
+                options: BuildOptionsWire::default(),
             },
         ]
     }

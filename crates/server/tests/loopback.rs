@@ -17,7 +17,9 @@ use mohan_oib::verify::verify_index;
 use mohan_oib::Db;
 use mohan_server::{Server, ServerConfig};
 use mohan_wire::frame::{read_frame, write_frame};
-use mohan_wire::message::{BuildAlgo, BuildPhase, ErrorCode, IndexSpecWire, Request, Response};
+use mohan_wire::message::{
+    BuildAlgo, BuildOptionsWire, BuildPhase, ErrorCode, IndexSpecWire, Request, Response,
+};
 use std::collections::BTreeSet;
 use std::io::Write;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -623,5 +625,86 @@ fn reactor_idle_shards_quiesce() {
     for c in &mut conns {
         c.ping().unwrap();
     }
+    srv.drain();
+}
+
+/// `CreateIndexV2` round-trip: `BuildOptions` chosen client-side
+/// reach the engine (the `build.sort_workers` gauge reports the
+/// requested parallelism, the compressed-run gauges account spilled
+/// bytes), the built index verifies, and the old tag-10 `CreateIndex`
+/// still works beside it on the same server.
+#[test]
+fn create_index_v2_options_reach_the_engine() {
+    let db = engine(5_000);
+    seed(&db, 1_500);
+    let srv = server(&db, ServerConfig::default());
+    let addr = addr_of(&srv);
+
+    let mut c = Client::connect(&addr).unwrap();
+    let mut frames = 0u32;
+    let ids = c
+        .create_index_with(
+            T,
+            BuildAlgo::Sf,
+            vec![IndexSpecWire {
+                name: "ix_v2".into(),
+                key_cols: vec![0],
+                unique: false,
+            }],
+            BuildOptionsWire {
+                parallel_workers: 4,
+                compress_runs: true,
+                ..BuildOptionsWire::default()
+            },
+            |_, _, _| frames += 1,
+        )
+        .expect("parallel compressed build over CreateIndexV2");
+    assert_eq!(ids.len(), 1);
+    assert!(frames > 0, "V2 streams BuildProgress like tag-10 does");
+    verify_index(&db, ids[0]).unwrap();
+
+    let report = c.metrics().unwrap();
+    let get = |name: &str| {
+        report
+            .counter(name)
+            .unwrap_or_else(|| panic!("gauge {name} missing"))
+    };
+    assert_eq!(get("build.sort_workers"), 4, "requested parallelism");
+    let raw = get("build.run_bytes");
+    let stored = get("build.run_bytes_compressed");
+    assert!(raw > 0, "spilled run bytes accounted");
+    assert!(stored < raw, "compression shrank runs: {stored} < {raw}");
+
+    // Empty spec lists refuse with the structured InvalidArg code
+    // instead of a protocol error, and the connection survives.
+    match c.create_index_with(
+        T,
+        BuildAlgo::Sf,
+        vec![],
+        BuildOptionsWire::default(),
+        |_, _, _| {},
+    ) {
+        Err(ClientError::Server {
+            code: ErrorCode::InvalidArg { msg },
+            ..
+        }) => assert!(msg.contains("spec"), "{msg}"),
+        other => panic!("expected InvalidArg, got {other:?}"),
+    }
+    c.ping().unwrap();
+
+    // The v1 request still builds on the same server.
+    let ids = c
+        .create_index(
+            T,
+            BuildAlgo::Sf,
+            vec![IndexSpecWire {
+                name: "ix_v1".into(),
+                key_cols: vec![1],
+                unique: false,
+            }],
+            |_, _, _| {},
+        )
+        .expect("legacy CreateIndex beside V2");
+    verify_index(&db, ids[0]).unwrap();
     srv.drain();
 }

@@ -494,3 +494,80 @@ fn garbage_frames_get_errors_or_clean_disconnects_never_hangs() {
     c.terminate();
     srv.drain();
 }
+
+/// The `WITH (...)` clause on `CREATE INDEX` reaches the engine: the
+/// requested parallelism shows up on the `build.sort_workers` gauge,
+/// compressed runs account fewer stored than raw bytes, and bad
+/// options refuse with SQLSTATE 22023 before any build starts.
+#[test]
+fn create_index_with_clause_round_trips_build_options() {
+    let db = engine();
+    let srv = pg_server(&db, 4);
+    let addr = srv.pg_addr().unwrap().to_string();
+    let mut c = PgConn::connect(&addr);
+
+    expect_tag(
+        &c.query("CREATE TABLE big (k BIGINT, v BIGINT)"),
+        "CREATE TABLE",
+    );
+    for chunk in 0..10 {
+        let values: Vec<String> = (0..100)
+            .map(|i| {
+                let k = chunk * 100 + i;
+                format!("({}, {})", (k * 7919) % 1000, k)
+            })
+            .collect();
+        expect_tag(
+            &c.query(&format!("INSERT INTO big VALUES {}", values.join(", "))),
+            "INSERT 0 100",
+        );
+    }
+
+    // Invalid options refuse with invalid_parameter_value and leave
+    // no half-registered index behind.
+    for bad in [
+        "CREATE INDEX b1 ON big USING sf (k) WITH (parallel_workers = 0)",
+        "CREATE INDEX b2 ON big USING sf (k) WITH (compress_runs = sideways)",
+        "CREATE INDEX b3 ON big USING sf (k) WITH (fillfactor = 90)",
+    ] {
+        let reply = c.query(bad);
+        assert_eq!(sqlstate(&reply).as_deref(), Some("22023"), "{bad}");
+    }
+    assert!(db.indexes_of(TableId(1)).is_empty());
+
+    // A valid WITH clause builds and lands on the engine gauge.
+    expect_tag(
+        &c.query(
+            "CREATE INDEX big_k ON big USING sf (k) \
+             WITH (parallel_workers = 4, compress_runs = on, checkpoint_every = 64)",
+        ),
+        "CREATE INDEX",
+    );
+    let built = db
+        .indexes_of(TableId(1))
+        .into_iter()
+        .find(|i| i.def.name == "big_k")
+        .expect("index registered");
+    assert_eq!(built.state(), IndexState::Complete);
+    verify_index(&db, built.def.id).unwrap();
+    assert_eq!(
+        db.build_sort_workers.get(),
+        4,
+        "WITH (parallel_workers = 4) reached the sort"
+    );
+    let guard = built.sort_store.lock();
+    let rs = guard.as_ref().expect("compressed run store retained");
+    assert!(rs.raw_bytes.get() > 0);
+    assert!(
+        rs.stored_bytes.get() < rs.raw_bytes.get(),
+        "WITH (compress_runs = on) shrank spilled runs"
+    );
+    drop(guard);
+
+    // The index serves queries.
+    let reply = c.query("SELECT * FROM big WHERE k = 500");
+    assert!(!rows(&reply).is_empty());
+
+    c.terminate();
+    srv.drain();
+}

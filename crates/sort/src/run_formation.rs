@@ -57,9 +57,23 @@ impl<T: SortItem> RunFormation<T> {
         capacity: usize,
         cp: &SortCheckpoint<T>,
     ) -> Result<RunFormation<T>> {
+        Self::resume_keeping(store, capacity, cp, &[])
+    }
+
+    /// [`RunFormation::resume`] for a store shared by several sorters
+    /// (the parallel scan: one run store, one `RunFormation` per
+    /// worker). Runs in `preserve` belong to sibling checkpoints and
+    /// survive the unknown-run cleanup; everything else this
+    /// checkpoint does not know is deleted as usual.
+    pub fn resume_keeping(
+        store: Arc<RunStore<T>>,
+        capacity: usize,
+        cp: &SortCheckpoint<T>,
+        preserve: &[u64],
+    ) -> Result<RunFormation<T>> {
         let known: Vec<u64> = cp.runs.iter().map(|r| r.id).collect();
         for id in store.run_ids() {
-            if !known.contains(&id) {
+            if !known.contains(&id) && !preserve.contains(&id) {
                 store.delete(id);
             }
         }
@@ -323,6 +337,35 @@ mod tests {
         }
         let runs = rf.finish().unwrap();
         assert_eq!(runs.len(), 2, "a smaller key must open a new stream");
+    }
+
+    #[test]
+    fn resume_keeping_preserves_sibling_runs() {
+        // Two workers share one store; worker A resumes without
+        // destroying worker B's checkpointed runs.
+        let store: Arc<RunStore<i64>> = Arc::new(RunStore::new());
+        let mut a = RunFormation::new(Arc::clone(&store), 2);
+        let mut b = RunFormation::new(Arc::clone(&store), 2);
+        for (i, v) in [5i64, 1, 4].iter().enumerate() {
+            a.push(*v, i as u64 + 1).unwrap();
+        }
+        for (i, v) in [9i64, 2, 8].iter().enumerate() {
+            b.push(*v, i as u64 + 1).unwrap();
+        }
+        let cp_a = a.checkpoint().unwrap();
+        let cp_b = b.checkpoint().unwrap();
+        let b_runs: Vec<u64> = cp_b.runs.iter().map(|r| r.id).collect();
+        // A ghost run neither checkpoint knows about must still vanish.
+        let ghost = store.create_run();
+        store.append(ghost, &[99]).unwrap();
+        store.force_run(ghost).unwrap();
+        drop((a, b));
+        store.crash();
+        let _a = RunFormation::resume_keeping(Arc::clone(&store), 2, &cp_a, &b_runs).unwrap();
+        for id in &b_runs {
+            assert!(store.read(*id, 0, 1).is_ok(), "sibling run {id} deleted");
+        }
+        assert!(store.read(ghost, 0, 1).is_err(), "ghost run survived");
     }
 
     #[test]

@@ -5,6 +5,17 @@
 //! back to its forced prefix and the restart logic (driven by the
 //! checkpoint metadata) then discards runs the checkpoint never knew
 //! about.
+//!
+//! A store can be created in **prefix-compressed** mode
+//! ([`RunStore::new_compressed`]): run bytes are held as blocks of
+//! encoded items where every item after a block's first stores only
+//! `(shared-prefix-length, suffix)` against its predecessor's
+//! encoding. Sorted runs share long key prefixes, so this is the
+//! classic compressed-key-sort layout — items are decoded only when a
+//! merge cursor (or the leaf loader at the end of the pipeline) reads
+//! them back. The item-granular API (`append`/`read`/`truncate`/
+//! `force_run`) is identical in both modes, so the §5 checkpoint
+//! machinery never sees the difference.
 
 use crate::item::SortItem;
 use mohan_common::stats::Counter;
@@ -12,19 +23,157 @@ use mohan_common::{Error, Result};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 
+/// Items per compression block: the first is stored in full, the rest
+/// as prefix-truncated deltas. Small enough that point reads decode a
+/// bounded prefix, large enough to amortize the full first item.
+const BLOCK_ITEMS: usize = 16;
+
+/// One prefix-compressed block of up to [`BLOCK_ITEMS`] items.
+struct Block {
+    /// `[u16 len][first-item bytes]` then per delta
+    /// `[u16 shared][u16 suffix_len][suffix bytes]`.
+    bytes: Vec<u8>,
+    /// Items encoded in `bytes`.
+    items: usize,
+}
+
+fn push_u16(out: &mut Vec<u8>, v: usize) {
+    out.extend_from_slice(&(v as u16).to_be_bytes());
+}
+
+fn read_u16(buf: &[u8], pos: &mut usize) -> Option<usize> {
+    let b: [u8; 2] = buf.get(*pos..*pos + 2)?.try_into().ok()?;
+    *pos += 2;
+    Some(u16::from_be_bytes(b) as usize)
+}
+
+/// Prefix-compressed item storage for one run.
+struct CompressedRun {
+    blocks: Vec<Block>,
+    len: usize,
+    /// Encoding of the last item appended, the delta base for the next.
+    last_enc: Vec<u8>,
+}
+
+impl CompressedRun {
+    fn new() -> CompressedRun {
+        CompressedRun {
+            blocks: Vec::new(),
+            len: 0,
+            last_enc: Vec::new(),
+        }
+    }
+
+    /// Append one encoded item, returning the bytes actually stored.
+    fn push_enc(&mut self, enc: &[u8]) -> usize {
+        let stored = if self.len.is_multiple_of(BLOCK_ITEMS) {
+            let mut bytes = Vec::with_capacity(2 + enc.len());
+            push_u16(&mut bytes, enc.len());
+            bytes.extend_from_slice(enc);
+            let n = bytes.len();
+            self.blocks.push(Block { bytes, items: 1 });
+            n
+        } else {
+            let shared = self
+                .last_enc
+                .iter()
+                .zip(enc)
+                .take_while(|(a, b)| a == b)
+                .count()
+                .min(u16::MAX as usize);
+            let block = self.blocks.last_mut().expect("open block");
+            let before = block.bytes.len();
+            push_u16(&mut block.bytes, shared);
+            push_u16(&mut block.bytes, enc.len() - shared);
+            block.bytes.extend_from_slice(&enc[shared..]);
+            block.items += 1;
+            block.bytes.len() - before
+        };
+        self.last_enc.clear();
+        self.last_enc.extend_from_slice(enc);
+        self.len += 1;
+        stored
+    }
+
+    /// Decode `count` items starting at item `offset` (clamped).
+    fn read<T: SortItem>(&self, offset: usize, count: usize) -> Result<Vec<T>> {
+        let corrupt = || Error::Corruption("compressed run block truncated".into());
+        let mut out = Vec::new();
+        if offset >= self.len || count == 0 {
+            return Ok(out);
+        }
+        let first_block = offset / BLOCK_ITEMS;
+        let mut item_idx = first_block * BLOCK_ITEMS;
+        let mut prev: Vec<u8> = Vec::new();
+        'blocks: for block in &self.blocks[first_block..] {
+            let mut pos = 0;
+            for i in 0..block.items {
+                if i == 0 {
+                    let n = read_u16(&block.bytes, &mut pos).ok_or_else(corrupt)?;
+                    let full = block.bytes.get(pos..pos + n).ok_or_else(corrupt)?;
+                    pos += n;
+                    prev.clear();
+                    prev.extend_from_slice(full);
+                } else {
+                    let shared = read_u16(&block.bytes, &mut pos).ok_or_else(corrupt)?;
+                    let slen = read_u16(&block.bytes, &mut pos).ok_or_else(corrupt)?;
+                    let suffix = block.bytes.get(pos..pos + slen).ok_or_else(corrupt)?;
+                    pos += slen;
+                    if shared > prev.len() {
+                        return Err(corrupt());
+                    }
+                    prev.truncate(shared);
+                    prev.extend_from_slice(suffix);
+                }
+                if item_idx >= offset {
+                    let mut p = 0;
+                    out.push(T::decode_item(&prev, &mut p).ok_or_else(corrupt)?);
+                    if out.len() == count {
+                        break 'blocks;
+                    }
+                }
+                item_idx += 1;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Item storage for one run: plain or prefix-compressed.
+enum RunData<T> {
+    Raw(Vec<T>),
+    Compressed(CompressedRun),
+}
+
 struct Run<T> {
-    items: Vec<T>,
+    data: RunData<T>,
     durable: usize,
+}
+
+impl<T: SortItem> Run<T> {
+    fn len(&self) -> usize {
+        match &self.data {
+            RunData::Raw(v) => v.len(),
+            RunData::Compressed(c) => c.len,
+        }
+    }
 }
 
 /// Stable storage for the runs of one sort.
 pub struct RunStore<T: SortItem> {
     runs: Mutex<HashMap<u64, Run<T>>>,
     next_id: Mutex<u64>,
+    compress: bool,
     /// Items appended (volume statistic).
     pub appended: Counter,
     /// Items made durable by forces.
     pub forced: Counter,
+    /// Bytes the appended items would occupy uncompressed (full
+    /// [`SortItem::encode_item`] size), cumulative.
+    pub raw_bytes: Counter,
+    /// Bytes actually stored for appended items (equals `raw_bytes`
+    /// plus per-item framing for an uncompressed store), cumulative.
+    pub stored_bytes: Counter,
 }
 
 impl<T: SortItem> Default for RunStore<T> {
@@ -34,15 +183,36 @@ impl<T: SortItem> Default for RunStore<T> {
 }
 
 impl<T: SortItem> RunStore<T> {
-    /// Empty store.
+    /// Empty store holding runs uncompressed.
     #[must_use]
     pub fn new() -> RunStore<T> {
+        Self::with_compression(false)
+    }
+
+    /// Empty store holding runs in the prefix-compressed block format.
+    #[must_use]
+    pub fn new_compressed() -> RunStore<T> {
+        Self::with_compression(true)
+    }
+
+    /// Empty store with an explicit compression mode.
+    #[must_use]
+    pub fn with_compression(compress: bool) -> RunStore<T> {
         RunStore {
             runs: Mutex::new(HashMap::new()),
             next_id: Mutex::new(0),
+            compress,
             appended: Counter::new(),
             forced: Counter::new(),
+            raw_bytes: Counter::new(),
+            stored_bytes: Counter::new(),
         }
+    }
+
+    /// Does this store hold runs prefix-compressed?
+    #[must_use]
+    pub fn compressed(&self) -> bool {
+        self.compress
     }
 
     /// Create a new, empty run and return its id.
@@ -50,13 +220,12 @@ impl<T: SortItem> RunStore<T> {
         let mut id = self.next_id.lock();
         let run_id = *id;
         *id += 1;
-        self.runs.lock().insert(
-            run_id,
-            Run {
-                items: Vec::new(),
-                durable: 0,
-            },
-        );
+        let data = if self.compress {
+            RunData::Compressed(CompressedRun::new())
+        } else {
+            RunData::Raw(Vec::new())
+        };
+        self.runs.lock().insert(run_id, Run { data, durable: 0 });
         run_id
     }
 
@@ -66,8 +235,31 @@ impl<T: SortItem> RunStore<T> {
         let r = runs
             .get_mut(&run)
             .ok_or_else(|| Error::NotFound(format!("run {run}")))?;
-        r.items.extend_from_slice(items);
+        let mut scratch = Vec::new();
+        let mut raw = 0u64;
+        let mut stored = 0u64;
+        match &mut r.data {
+            RunData::Raw(v) => {
+                for item in items {
+                    scratch.clear();
+                    item.encode_item(&mut scratch);
+                    raw += scratch.len() as u64;
+                }
+                stored = raw;
+                v.extend_from_slice(items);
+            }
+            RunData::Compressed(c) => {
+                for item in items {
+                    scratch.clear();
+                    item.encode_item(&mut scratch);
+                    raw += scratch.len() as u64;
+                    stored += c.push_enc(&scratch) as u64;
+                }
+            }
+        }
         self.appended.add(items.len() as u64);
+        self.raw_bytes.add(raw);
+        self.stored_bytes.add(stored);
         Ok(())
     }
 
@@ -77,8 +269,8 @@ impl<T: SortItem> RunStore<T> {
         let r = runs
             .get_mut(&run)
             .ok_or_else(|| Error::NotFound(format!("run {run}")))?;
-        self.forced.add((r.items.len() - r.durable) as u64);
-        r.durable = r.items.len();
+        self.forced.add((r.len() - r.durable) as u64);
+        r.durable = r.len();
         Ok(())
     }
 
@@ -88,7 +280,7 @@ impl<T: SortItem> RunStore<T> {
         let r = runs
             .get(&run)
             .ok_or_else(|| Error::NotFound(format!("run {run}")))?;
-        Ok(r.items.len() as u64)
+        Ok(r.len() as u64)
     }
 
     /// True if the store has no runs.
@@ -104,9 +296,14 @@ impl<T: SortItem> RunStore<T> {
         let r = runs
             .get(&run)
             .ok_or_else(|| Error::NotFound(format!("run {run}")))?;
-        let start = (offset as usize).min(r.items.len());
-        let end = start.saturating_add(count).min(r.items.len());
-        Ok(r.items[start..end].to_vec())
+        match &r.data {
+            RunData::Raw(v) => {
+                let start = (offset as usize).min(v.len());
+                let end = start.saturating_add(count).min(v.len());
+                Ok(v[start..end].to_vec())
+            }
+            RunData::Compressed(c) => c.read((offset as usize).min(c.len), count),
+        }
     }
 
     /// Truncate a run to `len` items (restart repositioning, §5.1-5.2).
@@ -116,8 +313,28 @@ impl<T: SortItem> RunStore<T> {
         let r = runs
             .get_mut(&run)
             .ok_or_else(|| Error::NotFound(format!("run {run}")))?;
-        r.items.truncate(len as usize);
-        r.durable = r.durable.min(len as usize);
+        let len = len as usize;
+        match &mut r.data {
+            RunData::Raw(v) => v.truncate(len),
+            RunData::Compressed(c) => {
+                if len < c.len {
+                    // Truncation only happens on restart repositioning:
+                    // decode the kept prefix and rebuild the blocks.
+                    // Byte counters stay cumulative (they count writes,
+                    // not occupancy), matching `appended`/`forced`.
+                    let kept: Vec<T> = c.read(0, len)?;
+                    let mut fresh = CompressedRun::new();
+                    let mut scratch = Vec::new();
+                    for item in &kept {
+                        scratch.clear();
+                        item.encode_item(&mut scratch);
+                        fresh.push_enc(&scratch);
+                    }
+                    *c = fresh;
+                }
+            }
+        }
+        r.durable = r.durable.min(len);
         Ok(())
     }
 
@@ -138,9 +355,15 @@ impl<T: SortItem> RunStore<T> {
     /// first force; empty unforced runs simply come back empty, and the
     /// restart logic deletes unknown ones).
     pub fn crash(&self) {
-        let mut runs = self.runs.lock();
-        for r in runs.values_mut() {
-            r.items.truncate(r.durable);
+        let ids = self.run_ids();
+        for id in ids {
+            let durable = {
+                let runs = self.runs.lock();
+                runs.get(&id).map(|r| r.durable)
+            };
+            if let Some(d) = durable {
+                let _ = self.truncate(id, d as u64);
+            }
         }
     }
 }
@@ -148,6 +371,8 @@ impl<T: SortItem> RunStore<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::item::entry;
+    use mohan_common::IndexEntry;
 
     #[test]
     fn append_read_roundtrip() {
@@ -202,5 +427,69 @@ mod tests {
         s.force_run(r).unwrap();
         assert_eq!(s.appended.get(), 4);
         assert_eq!(s.forced.get(), 4);
+        assert_eq!(s.raw_bytes.get(), 32); // four 8-byte encodings
+        assert_eq!(s.stored_bytes.get(), 32);
+    }
+
+    /// The compressed store must be observationally identical to the
+    /// raw one through the whole item-level API.
+    #[test]
+    fn compressed_matches_raw_through_api() {
+        let raw: RunStore<IndexEntry> = RunStore::new();
+        let comp: RunStore<IndexEntry> = RunStore::new_compressed();
+        assert!(!raw.compressed());
+        assert!(comp.compressed());
+        let items: Vec<IndexEntry> = (0..200).map(|i| entry(1000 + i / 3, i as u32, 0)).collect();
+        for s in [&raw, &comp] {
+            let r = s.create_run();
+            // Append in uneven chunks to cross block boundaries.
+            for chunk in items.chunks(7) {
+                s.append(r, chunk).unwrap();
+            }
+            assert_eq!(s.len(r).unwrap(), items.len() as u64);
+            assert_eq!(s.read(r, 0, usize::MAX).unwrap(), items);
+            // Offset reads inside and across blocks.
+            assert_eq!(s.read(r, 5, 3).unwrap(), items[5..8].to_vec());
+            assert_eq!(s.read(r, 15, 20).unwrap(), items[15..35].to_vec());
+            assert_eq!(s.read(r, 199, 10).unwrap(), items[199..].to_vec());
+            assert!(s.read(r, 500, 10).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn compressed_runs_shrink_sorted_entries() {
+        let raw: RunStore<IndexEntry> = RunStore::new();
+        let comp: RunStore<IndexEntry> = RunStore::new_compressed();
+        // Sorted entries with a long shared key prefix — the bulk-build
+        // case the compressed format exists for.
+        let items: Vec<IndexEntry> = (0..1000).map(|i| entry(5_000_000 + i, 1, 0)).collect();
+        for s in [&raw, &comp] {
+            let r = s.create_run();
+            s.append(r, &items).unwrap();
+            assert_eq!(s.read(r, 0, usize::MAX).unwrap(), items);
+        }
+        assert_eq!(raw.raw_bytes.get(), comp.raw_bytes.get());
+        assert!(
+            comp.stored_bytes.get() < raw.stored_bytes.get() * 3 / 4,
+            "compression should shrink sorted entries: {} vs {}",
+            comp.stored_bytes.get(),
+            raw.stored_bytes.get()
+        );
+    }
+
+    #[test]
+    fn compressed_truncate_and_crash_reposition_exactly() {
+        let s: RunStore<IndexEntry> = RunStore::new_compressed();
+        let items: Vec<IndexEntry> = (0..100).map(|i| entry(i, i as u32, 0)).collect();
+        let r = s.create_run();
+        s.append(r, &items[..50]).unwrap();
+        s.force_run(r).unwrap();
+        s.append(r, &items[50..]).unwrap();
+        s.crash();
+        assert_eq!(s.read(r, 0, usize::MAX).unwrap(), items[..50].to_vec());
+        // Mid-block truncation, then appends continue compressed.
+        s.truncate(r, 21).unwrap();
+        s.append(r, &items[21..30]).unwrap();
+        assert_eq!(s.read(r, 0, usize::MAX).unwrap(), items[..30].to_vec());
     }
 }

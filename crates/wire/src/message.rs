@@ -30,7 +30,14 @@ pub const PROTO_MAJOR: u16 = 1;
 /// behind the broadcast ring's retained window. Older clients decode
 /// it as a malformed error code and treat the disconnect as a plain
 /// stream error, which still lands them in reconnect-catch-up.
-pub const PROTO_MINOR: u16 = 2;
+///
+/// 3 added [`Request::CreateIndexV2`] — `CreateIndex` carrying a
+/// [`BuildOptionsWire`] (parallel workers, run compression, drain
+/// policy, checkpoint interval) — and [`ErrorCode::InvalidArg`] for
+/// statement-level argument rejection. The tag-10 `CreateIndex`
+/// encoding is unchanged and still decodes; a client that never sends
+/// options keeps using it.
+pub const PROTO_MINOR: u16 = 3;
 
 /// This build's packed protocol version (`major << 16 | minor`).
 #[must_use]
@@ -148,6 +155,74 @@ impl IndexSpecWire {
             name,
             key_cols,
             unique,
+        })
+    }
+}
+
+/// Build tuning options as carried on the wire (mirrors
+/// `oib::BuildOptions` without depending on it). The body is fixed
+/// width: `[u16 workers][u8 flags][u32 checkpoint_every]`, where flag
+/// bit 0 is `compress_runs`, bit 1 says a drain override is present
+/// and bit 2 carries its value, and a zero `checkpoint_every` means
+/// "engine default".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildOptionsWire {
+    /// Scan/sort worker threads (0 is rejected engine-side; encode
+    /// what the user asked for).
+    pub parallel_workers: u16,
+    /// Prefix-compress spilled sort runs.
+    pub compress_runs: bool,
+    /// Override the engine's sorted side-file drain default
+    /// (`None` = use the server's configured default).
+    pub sort_side_file_drain: Option<bool>,
+    /// Override every build checkpoint interval, in keys
+    /// (0 = use the server's configured defaults).
+    pub checkpoint_every: u32,
+}
+
+impl Default for BuildOptionsWire {
+    fn default() -> Self {
+        BuildOptionsWire {
+            parallel_workers: 1,
+            compress_runs: false,
+            sort_side_file_drain: None,
+            checkpoint_every: 0,
+        }
+    }
+}
+
+impl BuildOptionsWire {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u16(out, self.parallel_workers);
+        let mut flags = 0u8;
+        if self.compress_runs {
+            flags |= 1;
+        }
+        if let Some(v) = self.sort_side_file_drain {
+            flags |= 2;
+            if v {
+                flags |= 4;
+            }
+        }
+        put_u8(out, flags);
+        put_u32(out, self.checkpoint_every);
+    }
+
+    fn decode(c: &mut Cursor<'_>) -> Option<Self> {
+        let parallel_workers = c.get_u16()?;
+        let flags = c.get_u8()?;
+        if flags & !0b111 != 0 {
+            return None;
+        }
+        Some(BuildOptionsWire {
+            parallel_workers,
+            compress_runs: flags & 1 != 0,
+            sort_side_file_drain: if flags & 2 != 0 {
+                Some(flags & 4 != 0)
+            } else {
+                None
+            },
+            checkpoint_every: c.get_u32()?,
         })
     }
 }
@@ -311,6 +386,19 @@ pub enum Request {
         /// Index definitions (multiple = §5 multi-index single scan).
         specs: Vec<IndexSpecWire>,
     },
+    /// [`Request::CreateIndex`] plus build tuning options (minor 3).
+    /// Same exchange: the server streams [`Response::Progress`]
+    /// frames, then [`Response::IndexCreated`].
+    CreateIndexV2 {
+        /// Table to index.
+        table: u32,
+        /// Build algorithm.
+        algo: BuildAlgo,
+        /// Index definitions (multiple = §5 multi-index single scan).
+        specs: Vec<IndexSpecWire>,
+        /// Parallelism / compression / checkpoint tuning.
+        options: BuildOptionsWire,
+    },
     /// Snapshot of the server's counters.
     Stats,
     /// Full metrics snapshot: engine + server counters/gauges and
@@ -388,6 +476,7 @@ const REQ_TRACE_DUMP: u8 = 17;
 /// decode, so the opcode table, executor classification and every
 /// `match` over requests stay untouched by tracing.
 pub const REQ_TRACED: u8 = 18;
+const REQ_CREATE_INDEX_V2: u8 = 19;
 
 /// Wrap an encoded request in the trace envelope, attributing it to
 /// `trace_id`. The server installs the id as the request's trace
@@ -462,6 +551,7 @@ impl Request {
             Request::Read { .. } => "Read",
             Request::Lookup { .. } => "Lookup",
             Request::CreateIndex { .. } => "CreateIndex",
+            Request::CreateIndexV2 { .. } => "CreateIndexV2",
             Request::Stats => "Stats",
             Request::Metrics => "Metrics",
             Request::ObserveStats { .. } => "ObserveStats",
@@ -516,6 +606,22 @@ impl Request {
                 for s in &specs[..n] {
                     s.encode(&mut out);
                 }
+            }
+            Request::CreateIndexV2 {
+                table,
+                algo,
+                specs,
+                options,
+            } => {
+                put_u8(&mut out, REQ_CREATE_INDEX_V2);
+                put_u32(&mut out, *table);
+                put_u8(&mut out, algo.tag());
+                let n = specs.len().min(MAX_LIST);
+                put_u16(&mut out, n as u16);
+                for s in &specs[..n] {
+                    s.encode(&mut out);
+                }
+                options.encode(&mut out);
             }
             Request::Stats => put_u8(&mut out, REQ_STATS),
             Request::Metrics => put_u8(&mut out, REQ_METRICS),
@@ -588,6 +694,22 @@ impl Request {
                 }
                 Request::CreateIndex { table, algo, specs }
             }
+            REQ_CREATE_INDEX_V2 => {
+                let table = c.get_u32()?;
+                let algo = BuildAlgo::from_tag(c.get_u8()?)?;
+                let n = c.get_u16()? as usize;
+                let mut specs = Vec::with_capacity(n.min(16));
+                for _ in 0..n {
+                    specs.push(IndexSpecWire::decode(&mut c)?);
+                }
+                let options = BuildOptionsWire::decode(&mut c)?;
+                Request::CreateIndexV2 {
+                    table,
+                    algo,
+                    specs,
+                    options,
+                }
+            }
             REQ_STATS => Request::Stats,
             REQ_METRICS => Request::Metrics,
             REQ_OBSERVE_STATS => Request::ObserveStats {
@@ -638,6 +760,7 @@ impl Request {
                     | REQ_READ
                     | REQ_LOOKUP
                     | REQ_CREATE_INDEX
+                    | REQ_CREATE_INDEX_V2
                     | REQ_PROMOTE),
             )
         )
@@ -680,6 +803,12 @@ pub enum ErrorCode {
     NoOpenTx,
     /// [`Error::TxAlreadyOpen`]: `Begin` while one is already open.
     TxAlreadyOpen,
+    /// [`Error::InvalidArg`]: a structurally invalid caller argument
+    /// (empty spec list, zero worker count, unknown option).
+    InvalidArg {
+        /// What was wrong, for the human behind the statement.
+        msg: String,
+    },
     /// The request payload failed to decode.
     Malformed,
     /// The request missed its per-request deadline before execution.
@@ -732,6 +861,7 @@ impl ErrorCode {
             ErrorCode::IndexNotReadable => 11,
             ErrorCode::NoOpenTx => 12,
             ErrorCode::TxAlreadyOpen => 13,
+            ErrorCode::InvalidArg { .. } => 14,
             ErrorCode::Malformed => 32,
             ErrorCode::DeadlineExceeded => 33,
             ErrorCode::Draining => 34,
@@ -748,6 +878,7 @@ impl ErrorCode {
     fn encode(&self, out: &mut Vec<u8>) {
         put_u8(out, self.tag());
         match self {
+            ErrorCode::InvalidArg { msg } => put_string(out, msg),
             ErrorCode::NotWritable { leader_hint } => put_string(out, leader_hint),
             ErrorCode::Stale { lag } => put_u64(out, *lag),
             ErrorCode::SubscriptionLagged { retained_from } => put_u64(out, *retained_from),
@@ -770,6 +901,9 @@ impl ErrorCode {
             11 => ErrorCode::IndexNotReadable,
             12 => ErrorCode::NoOpenTx,
             13 => ErrorCode::TxAlreadyOpen,
+            14 => ErrorCode::InvalidArg {
+                msg: c.get_string()?,
+            },
             32 => ErrorCode::Malformed,
             33 => ErrorCode::DeadlineExceeded,
             34 => ErrorCode::Draining,
@@ -810,6 +944,7 @@ pub fn error_code_of(e: &Error) -> ErrorCode {
             leader_hint: String::new(),
         },
         Error::ReplicaStale { lag } => ErrorCode::Stale { lag: *lag },
+        Error::InvalidArg(msg) => ErrorCode::InvalidArg { msg: msg.clone() },
     }
 }
 
@@ -1239,6 +1374,31 @@ mod tests {
                     },
                 ],
             },
+            Request::CreateIndexV2 {
+                table: 1,
+                algo: BuildAlgo::Sf,
+                specs: vec![IndexSpecWire {
+                    name: "ix_k".into(),
+                    key_cols: vec![0],
+                    unique: true,
+                }],
+                options: BuildOptionsWire {
+                    parallel_workers: 4,
+                    compress_runs: true,
+                    sort_side_file_drain: Some(false),
+                    checkpoint_every: 10_000,
+                },
+            },
+            Request::CreateIndexV2 {
+                table: 2,
+                algo: BuildAlgo::Nsf,
+                specs: vec![IndexSpecWire {
+                    name: "ix_v".into(),
+                    key_cols: vec![1, 0],
+                    unique: false,
+                }],
+                options: BuildOptionsWire::default(),
+            },
             Request::Stats,
             Request::Metrics,
             Request::ObserveStats { interval_ms: 250 },
@@ -1349,6 +1509,12 @@ mod tests {
             Response::Err {
                 code: ErrorCode::UnsupportedProto,
                 message: "major 9 unsupported".into(),
+            },
+            Response::Err {
+                code: ErrorCode::InvalidArg {
+                    msg: "no index specs".into(),
+                },
+                message: "invalid argument: no index specs".into(),
             },
             Response::Err {
                 code: ErrorCode::SubscriptionLagged {
@@ -1498,6 +1664,12 @@ mod tests {
                 algo: BuildAlgo::Sf,
                 specs: vec![],
             },
+            Request::CreateIndexV2 {
+                table: 1,
+                algo: BuildAlgo::Sf,
+                specs: vec![],
+                options: BuildOptionsWire::default(),
+            },
             Request::Promote,
         ];
         for r in blocking {
@@ -1613,6 +1785,12 @@ mod tests {
             (
                 Error::ReplicaStale { lag: 512 },
                 ErrorCode::Stale { lag: 512 },
+            ),
+            (
+                Error::InvalidArg("no index specs".into()),
+                ErrorCode::InvalidArg {
+                    msg: "no index specs".into(),
+                },
             ),
         ];
         for (err, code) in cases {
